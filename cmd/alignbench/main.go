@@ -1,0 +1,84 @@
+// Command alignbench drives the multiple-sequence-alignment experiments
+// (E11): native wall-clock speedup and simulated motif comparison.
+//
+// Usage:
+//
+//	alignbench [-n seqs] [-len seqLen] [-seed N] [-mode native|sim|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bio"
+	"repro/internal/exp"
+	"repro/internal/skel"
+)
+
+func main() {
+	n := flag.Int("n", 24, "number of sequences in the synthetic family")
+	seqLen := flag.Int("len", 120, "ancestral sequence length")
+	seed := flag.Int64("seed", 7, "random seed")
+	mode := flag.String("mode", "both", "native (wall-clock skeleton), sim (motif simulator), quality, or both")
+	fasta := flag.String("fasta", "", "align the sequences in this FASTA file and print the alignment (overrides -mode)")
+	flag.Parse()
+
+	if *fasta != "" {
+		f, err := os.Open(*fasta)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		fam, err := bio.ReadFasta(f)
+		if err != nil {
+			fatal(err)
+		}
+		aln, _, err := bio.AlignFamily(fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		if err := bio.WriteAlignedFasta(os.Stdout, aln, fam.Names); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "aligned %d sequences, %d columns, SP identity %.3f\n",
+			len(aln), aln.Width(), aln.SPIdentity())
+		return
+	}
+
+	if *mode == "quality" || *mode == "both" {
+		tab, err := exp.E15AlignmentQuality(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== E15: alignment quality vs divergence ==\n%s\n", tab)
+	}
+
+	if *mode == "native" || *mode == "both" {
+		tab, err := exp.E11AlignmentSpeedup(*n, *seqLen, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== E11a: native alignment speedup (%d sequences, len %d) ==\n%s\n", *n, *seqLen, tab)
+	}
+	if *mode == "sim" || *mode == "both" {
+		// The simulator interprets every reduction; keep the instance small.
+		sn, sl := *n, *seqLen
+		if sn > 12 {
+			sn = 12
+		}
+		if sl > 48 {
+			sl = 48
+		}
+		tab, err := exp.E11AlignmentSimulated(sn, sl, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("== E11b: simulated motif comparison (%d sequences, len %d) ==\n%s\n", sn, sl, tab)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "alignbench:", err)
+	os.Exit(1)
+}

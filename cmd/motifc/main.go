@@ -1,0 +1,144 @@
+// Command motifc is the "motif compiler": it applies a composition of
+// algorithmic motifs to an application program and prints the resulting
+// program — or, with -stages, every intermediate program, reproducing the
+// paper's Figure 5 for Tree-Reduce-1.
+//
+// Usage:
+//
+//	motifc [-compose tree1,rand,server] [-entry run/2] [-stages] [file.str]
+//
+// With no file, the built-in arithmetic node-evaluation application
+// (Figure 2, Part A) is used. Motifs in -compose are listed innermost
+// first, so "tree1,rand,server" denotes Server ∘ Rand ∘ Tree1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/motifs"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func main() {
+	compose := flag.String("compose", "tree1,rand,server",
+		"comma-separated motifs, innermost first: tree1, tree2, scheduler, batch-scheduler, dc, pipe, grid, rand, server")
+	entry := flag.String("entry", "run/2", "entry-point indicators for the rand motif (comma-separated)")
+	preset := flag.String("preset", "",
+		"named composition (overrides -compose): tree-reduce-1, tree-reduce-2, scheduler, batch-scheduler, dc, search, terminating-random")
+	scEntry := flag.String("sc-entry", "spray/1", "entry indicator for presets using short-circuit termination")
+	stages := flag.Bool("stages", false, "print every intermediate program (Figure 5)")
+	flag.Parse()
+
+	src := motifs.ArithmeticEvalSrc
+	if flag.NArg() == 1 {
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: motifc [flags] [file.str]")
+		os.Exit(2)
+	}
+
+	var entries []string
+	for _, e := range strings.Split(*entry, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			entries = append(entries, e)
+		}
+	}
+
+	var comp core.Applier
+	if *preset != "" {
+		switch *preset {
+		case "tree-reduce-1":
+			comp = motifs.TreeReduce1()
+		case "tree-reduce-2":
+			comp = motifs.TreeReduce2()
+		case "scheduler":
+			comp = motifs.SchedulerMotif()
+		case "batch-scheduler":
+			comp = motifs.BatchSchedulerMotif()
+		case "dc":
+			comp = motifs.DCMotif()
+		case "search":
+			comp = motifs.SearchMotif()
+		case "terminating-random":
+			tr, err := motifs.TerminatingRandom(*scEntry)
+			if err != nil {
+				fatal(err)
+			}
+			comp = tr
+		default:
+			fatal(fmt.Errorf("unknown preset %q", *preset))
+		}
+	} else {
+		var appliers []core.Applier
+		names := strings.Split(*compose, ",")
+		// -compose lists innermost first; core.Compose wants outermost first.
+		for i := len(names) - 1; i >= 0; i-- {
+			switch strings.TrimSpace(names[i]) {
+			case "tree1":
+				appliers = append(appliers, motifs.Tree1())
+			case "tree2", "tree-reduce":
+				appliers = append(appliers, motifs.Tree2Lib())
+			case "scheduler":
+				appliers = append(appliers, motifs.Scheduler())
+			case "batch-scheduler":
+				appliers = append(appliers, motifs.BatchScheduler())
+			case "dc":
+				appliers = append(appliers, motifs.DC())
+			case "pipe":
+				appliers = append(appliers, motifs.Pipe())
+			case "grid":
+				appliers = append(appliers, motifs.Grid())
+			case "search-lib":
+				appliers = append(appliers, motifs.SearchLib())
+			case "rand":
+				appliers = append(appliers, motifs.Rand(entries...))
+			case "server":
+				appliers = append(appliers, motifs.Server())
+			case "":
+			default:
+				fatal(fmt.Errorf("unknown motif %q", names[i]))
+			}
+		}
+		comp = core.Compose(appliers...)
+	}
+
+	h := term.NewHeap()
+	app, err := parser.Parse(h, src)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stages {
+		c, ok := comp.(*core.Composition)
+		if !ok {
+			c = core.Compose(comp)
+		}
+		all, err := c.Stages(app, h)
+		if err != nil {
+			fatal(err)
+		}
+		for _, s := range all {
+			fmt.Printf("%% ===== output of %s =====\n%s\n", s.Motif, s.Program)
+		}
+		return
+	}
+	out, err := comp.ApplyTo(app, h)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%% %s applied\n%s", comp.Name(), out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "motifc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command strand runs a program in the motif system's high-level concurrent
+// language on the simulated multicomputer.
+//
+// Usage:
+//
+//	strand [-procs N] [-seed S] [-goal G] [-trace] [-allow-suspended] file.str
+//
+// The goal (default "main") is spawned on processor 1; on completion the
+// run's metrics are printed to stderr.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+func main() {
+	procs := flag.Int("procs", 4, "number of simulated processors")
+	seed := flag.Int64("seed", 1, "random seed (mapping decisions)")
+	goal := flag.String("goal", "main", "initial goal term")
+	trace := flag.Bool("trace", false, "print the reduction trace")
+	allowSuspended := flag.Bool("allow-suspended", false, "do not treat suspended processes at quiescence as deadlock")
+	stats := flag.Bool("stats", false, "print per-processor utilization bars")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: strand [flags] file.str")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	h := term.NewHeap()
+	prog, err := parser.Parse(h, string(src))
+	if err != nil {
+		fatal(err)
+	}
+	g, err := parser.ParseTerm(h, *goal)
+	if err != nil {
+		fatal(fmt.Errorf("bad goal: %w", err))
+	}
+	opts := strand.Options{
+		Procs:               *procs,
+		Seed:                *seed,
+		Out:                 os.Stdout,
+		AllowSuspendedAtEnd: *allowSuspended,
+	}
+	if *trace {
+		opts.Trace = os.Stderr
+	}
+	rt := strand.New(prog, h, opts)
+	rt.Spawn(g, 0)
+	res, err := rt.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "goal %s: %d reductions, %s\n",
+		term.Sprint(g), res.Reductions, res.Metrics)
+	if *stats {
+		fmt.Fprint(os.Stderr, res.Metrics.UtilizationBars(40))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "strand:", err)
+	os.Exit(1)
+}

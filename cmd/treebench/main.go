@@ -1,0 +1,71 @@
+// Command treebench drives the tree-reduction experiments of DESIGN.md's
+// index and prints one table per experiment.
+//
+// Usage:
+//
+//	treebench [-exp all|arith|balance|crossover|memory|locality|reuse|skeletons] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+	"repro/internal/metrics"
+)
+
+func main() {
+	which := flag.String("exp", "all", "experiment: all, arith (E2), balance (E6), crossover (E7), memory (E9), locality (E5), reuse (E8), skeletons (E10)")
+	seed := flag.Int64("seed", 7, "random seed")
+	flag.Parse()
+
+	type entry struct {
+		key, title string
+		run        func() (*metrics.Table, error)
+	}
+	entries := []entry{
+		{"arith", "E2: Figure 2 — arithmetic tree reduction (value 24) under Tree-Reduce-1",
+			func() (*metrics.Table, error) { return exp.E2ArithmeticTree(*seed) }},
+		{"speedup", "E2b: simulated speedup of Tree-Reduce-1 (256-leaf tree, uniform cost 200)",
+			func() (*metrics.Table, error) { return exp.E2Speedup(*seed) }},
+		{"balance", "E6: random mapping load balance vs |Nodes|/|Processors|",
+			func() (*metrics.Table, error) { return exp.E6RandomMappingBalance(*seed) }},
+		{"crossover", "E7: static vs dynamic allocation under uniform / exponential / pareto costs",
+			func() (*metrics.Table, error) { return exp.E7StaticVsDynamic(*seed) }},
+		{"memory", "E9: peak concurrent node evaluations per processor (TR1 vs TR2)",
+			func() (*metrics.Table, error) { return exp.E9PeakMemory(*seed) }},
+		{"locality", "E5: sibling vs independent labeling — crossings and messages (TR2)",
+			func() (*metrics.Table, error) { return exp.E5LabelLocality(*seed) }},
+		{"reuse", "E8: lines of code per composition stage and transformation time",
+			func() (*metrics.Table, error) { return exp.E8ReuseCost() }},
+		{"skeletons", "E10: future-work motif areas on standard problems",
+			func() (*metrics.Table, error) { return exp.E10Skeletons(*seed) }},
+		{"langmotifs", "E10b: motif areas implemented at the language level",
+			func() (*metrics.Table, error) { return exp.E10LanguageMotifs(*seed) }},
+		{"latency", "E12: message-latency sensitivity of the two tree-reduction motifs",
+			func() (*metrics.Table, error) { return exp.E12MessageLatency(*seed) }},
+		{"batching", "E13: scheduler batching ablation (messages vs balance)",
+			func() (*metrics.Table, error) { return exp.E13SchedulerBatching(*seed) }},
+		{"hierarchy", "E13b: flat vs hierarchical scheduler (top-manager traffic)",
+			func() (*metrics.Table, error) { return exp.E13bHierarchy(*seed) }},
+	}
+
+	ran := false
+	for _, e := range entries {
+		if *which != "all" && *which != e.key {
+			continue
+		}
+		ran = true
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "treebench: %s: %v\n", e.key, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s ==\n%s\n", e.title, tab)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "treebench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

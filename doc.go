@@ -1,0 +1,12 @@
+// Package repro is a reproduction of Foster & Stevens, "Parallel
+// Programming with Algorithmic Motifs" (ICPP 1990): a motif framework
+// (internal/core), the concrete motifs of the paper's case study
+// (internal/motifs), a Strand-like concurrent language runtime
+// (internal/strand) on a simulated multicomputer (internal/machine), a
+// native goroutine skeleton library (internal/skel), and the motivating
+// multiple-sequence-alignment application (internal/bio).
+//
+// See DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-versus-measured results. The root bench_test.go
+// regenerates the timing side of every experiment.
+package repro

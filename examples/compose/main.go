@@ -1,0 +1,54 @@
+// Compose: the paper's Figure 5, live — apply
+// Tree-Reduce-1 = Server ∘ Rand ∘ Tree1 one motif at a time to the
+// arithmetic node-evaluation application and print each intermediate
+// program, then run the final program.
+//
+//	go run ./examples/compose
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/motifs"
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+func main() {
+	h := term.NewHeap()
+	app, err := parser.Parse(h, motifs.ArithmeticEvalSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	comp := core.Compose(motifs.Server(), motifs.Rand("run/2"), motifs.Tree1())
+	fmt.Println("composition:", comp.Name())
+
+	stages, err := comp.Stages(app, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range stages {
+		fmt.Printf("\n%% ===== output of %s =====\n%s", s.Motif, s.Program)
+	}
+
+	// Execute the final stage.
+	final := stages[len(stages)-1].Program
+	tree := motifs.NewNode("*",
+		motifs.NewNode("*", motifs.NewLeaf(term.Int(3)), motifs.NewLeaf(term.Int(2))),
+		motifs.NewNode("+",
+			motifs.NewNode("+", motifs.NewLeaf(term.Int(2)), motifs.NewLeaf(term.Int(1))),
+			motifs.NewLeaf(term.Int(1))))
+	value := h.NewVar("Value")
+	rt := strand.New(final, h, strand.Options{Procs: 4, Seed: 1})
+	rt.Spawn(motifs.TreeReduce1Goal(tree.Term(), 4, value), 0)
+	res, err := rt.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%% executing create(4, run(Tree, Value)) ...\n")
+	fmt.Printf("Value = %s  (%d reductions, %d messages)\n",
+		term.Sprint(term.Walk(value)), res.Reductions, res.Metrics.Messages)
+}

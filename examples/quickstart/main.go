@@ -1,0 +1,45 @@
+// Quickstart: evaluate the paper's arithmetic expression tree in parallel
+// with the Tree-Reduce-1 motif.
+//
+// The user writes only the node evaluation function (eval/4, here the
+// built-in arithmetic rules); the composed motif
+// Tree-Reduce-1 = Server ∘ Rand ∘ Tree1 turns it into a complete parallel
+// program executed on the simulated multicomputer.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/motifs"
+	"repro/internal/term"
+)
+
+func main() {
+	// The Section 3.1 example tree: (3*2) * ((2+1)+1) = 24.
+	tree := motifs.NewNode("*",
+		motifs.NewNode("*",
+			motifs.NewLeaf(term.Int(3)),
+			motifs.NewLeaf(term.Int(2))),
+		motifs.NewNode("+",
+			motifs.NewNode("+",
+				motifs.NewLeaf(term.Int(2)),
+				motifs.NewLeaf(term.Int(1))),
+			motifs.NewLeaf(term.Int(1))))
+
+	fmt.Println("reduction tree:")
+	fmt.Print(tree.Render())
+
+	for _, procs := range []int{1, 4} {
+		value, res, err := motifs.RunTreeReduce1(motifs.ArithmeticEvalSrc, tree,
+			motifs.RunConfig{Procs: procs, Seed: 42})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("procs=%d  value=%s  reductions=%d  messages=%d  makespan=%d\n",
+			procs, term.Sprint(value), res.Reductions,
+			res.Metrics.Messages, res.Metrics.Makespan)
+	}
+}

@@ -1,0 +1,31 @@
+// Search: the or-parallel search motif (the paper cites or-parallel
+// Prologs as a motif instance and lists "search" among future motif areas)
+// applied to the N-queens problem.
+//
+//	go run ./examples/search
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/skel"
+)
+
+func main() {
+	for _, n := range []int{6, 8, 10} {
+		q := skel.NQueens{N: n}
+		start := time.Now()
+		sols, stats := skel.Search[skel.NQState](q, q.Start(), skel.SearchOptions{Workers: 4})
+		fmt.Printf("%2d-queens: %6d solutions in %8v  (%d states explored, imbalance %.2f)\n",
+			n, len(sols), time.Since(start).Round(time.Microsecond),
+			stats.TotalUnits(), stats.Imbalance())
+	}
+
+	// First solution only: or-parallel cut.
+	q := skel.NQueens{N: 12}
+	start := time.Now()
+	sols, _ := skel.Search[skel.NQState](q, q.Start(), skel.SearchOptions{Workers: 4, FirstOnly: true})
+	fmt.Printf("first 12-queens solution in %v: %v\n",
+		time.Since(start).Round(time.Microsecond), sols[0].Cols)
+}

@@ -1,0 +1,251 @@
+package bio
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scoring parameters for alignment (simple linear gap model).
+const (
+	matchScore    = 2
+	mismatchScore = -1
+	gapScore      = -2
+)
+
+// Alignment is a multiple sequence alignment: rows of equal length over
+// ACGU plus '-' gaps. A single ungapped row is the trivial alignment of one
+// sequence.
+type Alignment []string
+
+// Width returns the column count.
+func (a Alignment) Width() int {
+	if len(a) == 0 {
+		return 0
+	}
+	return len(a[0])
+}
+
+// Validate checks the alignment invariants: non-empty, rectangular, only
+// legal characters, and no all-gap rows.
+func (a Alignment) Validate() error {
+	if len(a) == 0 {
+		return fmt.Errorf("bio: empty alignment")
+	}
+	w := len(a[0])
+	for i, row := range a {
+		if len(row) != w {
+			return fmt.Errorf("bio: row %d has width %d, want %d", i, len(row), w)
+		}
+		allGap := true
+		for j := 0; j < len(row); j++ {
+			c := row[j]
+			if c != '-' && !strings.ContainsRune(Bases, rune(c)) {
+				return fmt.Errorf("bio: row %d has illegal character %q", i, string(c))
+			}
+			if c != '-' {
+				allGap = false
+			}
+		}
+		if allGap && w > 0 {
+			return fmt.Errorf("bio: row %d is all gaps", i)
+		}
+	}
+	return nil
+}
+
+// Degap returns the original (ungapped) sequence of row i.
+func (a Alignment) Degap(i int) Seq {
+	return Seq(strings.ReplaceAll(a[i], "-", ""))
+}
+
+// charScore scores a pair of alignment characters.
+func charScore(x, y byte) int {
+	switch {
+	case x == '-' && y == '-':
+		return 0
+	case x == '-' || y == '-':
+		return gapScore
+	case x == y:
+		return matchScore
+	default:
+		return mismatchScore
+	}
+}
+
+// PairAlign globally aligns two sequences with Needleman–Wunsch and returns
+// the two gapped rows and the optimal score.
+func PairAlign(a, b Seq) (string, string, int) {
+	rows, score := profileAlign(Alignment{string(a)}, Alignment{string(b)})
+	return rows[0], rows[1], score
+}
+
+// AlignNode is the node evaluation function of the paper's Section 3
+// application: it merges the alignments of two sequence clusters into one
+// alignment of the union, by aligning profile against profile. Its cost
+// grows with the product of the two alignments' sizes and is therefore
+// non-uniform across the phylogenetic tree — the property that motivates
+// the dynamic tree-reduction motifs.
+func AlignNode(l, r Alignment) (Alignment, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("left input: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("right input: %w", err)
+	}
+	out, _ := profileAlign(l, r)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("align-node output: %w", err)
+	}
+	return out, nil
+}
+
+// AlignCost estimates the work of AlignNode(l, r) — the DP table size
+// weighted by the profile heights. Used as the simulator's cycle cost.
+func AlignCost(l, r Alignment) int64 {
+	return int64(l.Width()+1) * int64(r.Width()+1) * int64(len(l)+len(r)) / 8
+}
+
+// profileAlign aligns two profiles column-against-column with
+// Needleman–Wunsch, using the average pairwise character score between
+// columns, and returns the merged alignment (l's rows first) and the score.
+func profileAlign(l, r Alignment) (Alignment, int) {
+	m, n := l.Width(), r.Width()
+	// colScore[i][j] is cached lazily per cell; with small alphabets a
+	// direct computation is fine.
+	colPairScore := func(i, j int) int {
+		s := 0
+		for _, lr := range l {
+			for _, rr := range r {
+				s += charScore(lr[i], rr[j])
+			}
+		}
+		return s / (len(l) * len(r))
+	}
+	gapAgainst := func(p Alignment, col int) int {
+		// Score of aligning column col of p against an all-gap column.
+		s := 0
+		for _, row := range p {
+			s += charScore(row[col], '-')
+		}
+		return s / len(p)
+	}
+
+	// DP over (m+1) x (n+1).
+	dp := make([][]int, m+1)
+	move := make([][]byte, m+1) // 'd' diag, 'u' up (l consumes), 'l' left (r consumes)
+	for i := range dp {
+		dp[i] = make([]int, n+1)
+		move[i] = make([]byte, n+1)
+	}
+	for i := 1; i <= m; i++ {
+		dp[i][0] = dp[i-1][0] + gapAgainst(l, i-1)
+		move[i][0] = 'u'
+	}
+	for j := 1; j <= n; j++ {
+		dp[0][j] = dp[0][j-1] + gapAgainst(r, j-1)
+		move[0][j] = 'l'
+	}
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			d := dp[i-1][j-1] + colPairScore(i-1, j-1)
+			u := dp[i-1][j] + gapAgainst(l, i-1)
+			lft := dp[i][j-1] + gapAgainst(r, j-1)
+			best, mv := d, byte('d')
+			if u > best {
+				best, mv = u, 'u'
+			}
+			if lft > best {
+				best, mv = lft, 'l'
+			}
+			dp[i][j], move[i][j] = best, mv
+		}
+	}
+
+	// Traceback: build the merged rows right to left.
+	k := len(l) + len(r)
+	bufs := make([][]byte, k)
+	i, j := m, n
+	for i > 0 || j > 0 {
+		switch move[i][j] {
+		case 'd':
+			i--
+			j--
+			for x, row := range l {
+				bufs[x] = append(bufs[x], row[i])
+			}
+			for x, row := range r {
+				bufs[len(l)+x] = append(bufs[len(l)+x], row[j])
+			}
+		case 'u':
+			i--
+			for x, row := range l {
+				bufs[x] = append(bufs[x], row[i])
+			}
+			for x := range r {
+				bufs[len(l)+x] = append(bufs[len(l)+x], '-')
+			}
+		case 'l':
+			j--
+			for x := range l {
+				bufs[x] = append(bufs[x], '-')
+			}
+			for x, row := range r {
+				bufs[len(l)+x] = append(bufs[len(l)+x], row[j])
+			}
+		default:
+			panic("bio: corrupt traceback")
+		}
+	}
+	out := make(Alignment, k)
+	for x, buf := range bufs {
+		// Reverse.
+		for a, b := 0, len(buf)-1; a < b; a, b = a+1, b-1 {
+			buf[a], buf[b] = buf[b], buf[a]
+		}
+		out[x] = string(buf)
+	}
+	return out, dp[m][n]
+}
+
+// Identity returns the fraction of aligned (non-gap/non-gap) positions that
+// match between rows i and j.
+func (a Alignment) Identity(i, j int) float64 {
+	ri, rj := a[i], a[j]
+	match, total := 0, 0
+	for k := 0; k < len(ri); k++ {
+		if ri[k] == '-' || rj[k] == '-' {
+			continue
+		}
+		total++
+		if ri[k] == rj[k] {
+			match++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(match) / float64(total)
+}
+
+// Consensus returns the majority character of every column (gaps excluded;
+// ties broken alphabetically; all-gap columns yield '-').
+func (a Alignment) Consensus() string {
+	w := a.Width()
+	out := make([]byte, w)
+	for c := 0; c < w; c++ {
+		counts := map[byte]int{}
+		for _, row := range a {
+			if row[c] != '-' {
+				counts[row[c]]++
+			}
+		}
+		best, bestN := byte('-'), 0
+		for _, ch := range []byte("ACGU") {
+			if counts[ch] > bestN {
+				best, bestN = ch, counts[ch]
+			}
+		}
+		out[c] = best
+	}
+	return string(out)
+}

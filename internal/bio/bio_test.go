@@ -1,0 +1,340 @@
+package bio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/motifs"
+	"repro/internal/skel"
+	"repro/internal/term"
+)
+
+func TestRandomSeq(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := RandomSeq(200, rng)
+	if len(s) != 200 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := 0; i < len(s); i++ {
+		if !strings.ContainsRune(Bases, rune(s[i])) {
+			t.Fatalf("illegal base %q", string(s[i]))
+		}
+	}
+}
+
+func TestMutateRates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := RandomSeq(1000, rng)
+	same := Mutate(s, 0, 0, rng)
+	if same != s {
+		t.Fatal("zero-rate mutation changed sequence")
+	}
+	mut := Mutate(s, 0.2, 0.02, rng)
+	if mut == s {
+		t.Fatal("mutation produced identical sequence (astronomically unlikely)")
+	}
+	if len(mut) == 0 {
+		t.Fatal("empty mutant")
+	}
+}
+
+func TestMutateNeverEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Seq("A")
+	for i := 0; i < 200; i++ {
+		s = Mutate(s, 0.5, 0.5, rng)
+		if len(s) == 0 {
+			t.Fatal("mutation produced empty sequence")
+		}
+	}
+}
+
+func TestEvolveFamily(t *testing.T) {
+	fam, err := Evolve(8, 60, 0.05, 0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fam.Seqs) != 8 || len(fam.Names) != 8 {
+		t.Fatalf("family size %d/%d", len(fam.Seqs), len(fam.Names))
+	}
+	for _, s := range fam.Seqs {
+		if len(s) == 0 {
+			t.Fatal("empty sequence in family")
+		}
+	}
+	if _, err := Evolve(1, 10, 0.1, 0, 1); err == nil {
+		t.Fatal("Evolve(1) should fail")
+	}
+	if _, err := Evolve(4, 0, 0.1, 0, 1); err == nil {
+		t.Fatal("Evolve with zero length should fail")
+	}
+}
+
+func TestEvolveDeterminism(t *testing.T) {
+	a, _ := Evolve(6, 40, 0.1, 0.01, 9)
+	b, _ := Evolve(6, 40, 0.1, 0.01, 9)
+	for i := range a.Seqs {
+		if a.Seqs[i] != b.Seqs[i] {
+			t.Fatal("same seed, different families")
+		}
+	}
+}
+
+func TestPairAlignIdentical(t *testing.T) {
+	a, b, score := PairAlign("ACGU", "ACGU")
+	if a != "ACGU" || b != "ACGU" {
+		t.Fatalf("aligned %q %q", a, b)
+	}
+	if score != 4*matchScore {
+		t.Fatalf("score = %d", score)
+	}
+}
+
+func TestPairAlignWithGap(t *testing.T) {
+	a, b, _ := PairAlign("ACGU", "AGU")
+	if len(a) != len(b) {
+		t.Fatalf("ragged alignment %q %q", a, b)
+	}
+	if strings.ReplaceAll(b, "-", "") != "AGU" || strings.ReplaceAll(a, "-", "") != "ACGU" {
+		t.Fatalf("degapping mismatch: %q %q", a, b)
+	}
+	if !strings.Contains(b, "-") {
+		t.Fatalf("expected a gap in %q", b)
+	}
+}
+
+func TestAlignmentValidate(t *testing.T) {
+	good := Alignment{"AC-U", "ACGU"}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Alignment{
+		{},
+		{"ACG", "AC"},
+		{"AXG"},
+		{"---"},
+	}
+	for i, a := range cases {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d should fail: %v", i, a)
+		}
+	}
+}
+
+func TestAlignNodePreservesSequences(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s1, s2, s3 := RandomSeq(40, rng), RandomSeq(35, rng), RandomSeq(45, rng)
+	l, err := AlignNode(Alignment{string(s1)}, Alignment{string(s2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := AlignNode(l, Alignment{string(s3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("rows = %d", len(out))
+	}
+	for i, want := range []Seq{s1, s2, s3} {
+		if out.Degap(i) != want {
+			t.Fatalf("row %d degap mismatch:\n got %s\nwant %s", i, out.Degap(i), want)
+		}
+	}
+}
+
+func TestAlignNodeRejectsBadInput(t *testing.T) {
+	if _, err := AlignNode(Alignment{}, Alignment{"A"}); err == nil {
+		t.Fatal("empty left input accepted")
+	}
+	if _, err := AlignNode(Alignment{"A"}, Alignment{"AC", "A"}); err == nil {
+		t.Fatal("ragged right input accepted")
+	}
+}
+
+func TestAlignCostGrowsWithSize(t *testing.T) {
+	small := Alignment{"ACGU"}
+	big := Alignment{strings.Repeat("ACGU", 20), strings.Repeat("AC-U", 20)}
+	if AlignCost(big, big) <= AlignCost(small, small) {
+		t.Fatal("cost not monotone in size")
+	}
+}
+
+func TestIdentityAndConsensus(t *testing.T) {
+	a := Alignment{"ACGU", "ACGA", "ACG-"}
+	if got := a.Identity(0, 1); got != 0.75 {
+		t.Fatalf("identity = %v", got)
+	}
+	if got := a.Identity(0, 2); got != 1.0 {
+		t.Fatalf("identity with gaps = %v", got)
+	}
+	cons := a.Consensus()
+	if !strings.HasPrefix(cons, "ACG") {
+		t.Fatalf("consensus = %q", cons)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := RandomSeq(60, rng)
+	if d := Distance(s, s); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	near := Mutate(s, 0.05, 0, rng)
+	far := RandomSeq(60, rng)
+	dn, df := Distance(s, near), Distance(s, far)
+	if dn >= df {
+		t.Fatalf("near distance %v >= far distance %v", dn, df)
+	}
+}
+
+func TestGuideTreeStructure(t *testing.T) {
+	fam, err := Evolve(10, 50, 0.08, 0.01, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := GuideTree(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Leaves() != 10 {
+		t.Fatalf("guide tree leaves = %d", tree.Leaves())
+	}
+	// Every leaf index must appear exactly once, and internal nodes carry
+	// the align operator.
+	counts := map[int64]int{}
+	var walk func(n *motifs.BinTree)
+	walk = func(n *motifs.BinTree) {
+		if n.IsLeaf() {
+			counts[int64(n.Leaf.(term.Int))]++
+			return
+		}
+		if n.Op != "align" {
+			t.Fatalf("internal node op = %q", n.Op)
+		}
+		walk(n.L)
+		walk(n.R)
+	}
+	walk(tree)
+	for i := int64(0); i < 10; i++ {
+		if counts[i] != 1 {
+			t.Fatalf("leaf %d appears %d times", i, counts[i])
+		}
+	}
+}
+
+func TestAlignFamilyEndToEnd(t *testing.T) {
+	fam, err := Evolve(8, 50, 0.06, 0.01, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, stats, err := AlignFamily(fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aln) != 8 {
+		t.Fatalf("alignment rows = %d", len(aln))
+	}
+	if err := aln.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every input sequence must be recoverable by degapping some row.
+	degapped := map[Seq]int{}
+	for i := range aln {
+		degapped[aln.Degap(i)]++
+	}
+	for _, s := range fam.Seqs {
+		if degapped[s] == 0 {
+			t.Fatalf("sequence %s missing from alignment", s)
+		}
+	}
+	if stats.TotalUnits() != 7 {
+		t.Fatalf("units = %d, want 7 internal nodes", stats.TotalUnits())
+	}
+}
+
+func TestAlignFamilyWorkerInvariance(t *testing.T) {
+	fam, err := Evolve(6, 40, 0.05, 0.01, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, _, err := AlignFamily(fam, skel.ReduceOptions{Workers: 1, Mapper: skel.MapStatic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a4, _, err := AlignFamily(fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same guide tree, same deterministic eval: identical result regardless
+	// of parallel schedule.
+	if len(a1) != len(a4) {
+		t.Fatalf("row counts differ: %d vs %d", len(a1), len(a4))
+	}
+	for i := range a1 {
+		if a1[i] != a4[i] {
+			t.Fatalf("row %d differs:\n%s\n%s", i, a1[i], a4[i])
+		}
+	}
+}
+
+func TestAlignmentTermRoundTrip(t *testing.T) {
+	a := Alignment{"AC-U", "ACGU"}
+	tm := AlignmentTerm(a)
+	back, err := TermAlignment(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != a[0] || back[1] != a[1] {
+		t.Fatalf("round trip: %v", back)
+	}
+	// Single-sequence encoding.
+	single, err := TermAlignment(term.String_("ACGU"))
+	if err != nil || len(single) != 1 || single[0] != "ACGU" {
+		t.Fatalf("single decode: %v %v", single, err)
+	}
+	if _, err := TermAlignment(term.Int(3)); err == nil {
+		t.Fatal("bad term accepted")
+	}
+}
+
+func TestSeqTree(t *testing.T) {
+	fam, err := Evolve(4, 30, 0.05, 0.01, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guide, err := GuideTree(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := SeqTree(guide, fam)
+	if st.Leaves() != 4 {
+		t.Fatalf("leaves = %d", st.Leaves())
+	}
+	// Leaf payloads are strings now.
+	cur := st
+	for !cur.IsLeaf() {
+		cur = cur.L
+	}
+	if _, ok := cur.Leaf.(term.String_); !ok {
+		t.Fatalf("leaf payload is %T", cur.Leaf)
+	}
+}
+
+// Property: PairAlign output degaps to its inputs and rows have equal
+// length, for random sequences.
+func TestPropPairAlignInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	f := func(n1, n2 uint8) bool {
+		a := RandomSeq(int(n1%50)+1, rng)
+		b := RandomSeq(int(n2%50)+1, rng)
+		ra, rb, _ := PairAlign(a, b)
+		return len(ra) == len(rb) &&
+			strings.ReplaceAll(ra, "-", "") == string(a) &&
+			strings.ReplaceAll(rb, "-", "") == string(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

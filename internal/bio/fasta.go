@@ -1,0 +1,166 @@
+package bio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteFasta writes the family in FASTA format (80-column wrapped).
+func WriteFasta(w io.Writer, f *Family) error {
+	for i, s := range f.Seqs {
+		name := fmt.Sprintf("seq%d", i+1)
+		if i < len(f.Names) {
+			name = f.Names[i]
+		}
+		if _, err := fmt.Fprintf(w, ">%s\n", name); err != nil {
+			return err
+		}
+		if err := writeWrapped(w, string(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteAlignedFasta writes a multiple alignment in FASTA format, gaps
+// included, using the given row names (defaulting to seqN).
+func WriteAlignedFasta(w io.Writer, a Alignment, names []string) error {
+	for i, row := range a {
+		name := fmt.Sprintf("seq%d", i+1)
+		if i < len(names) {
+			name = names[i]
+		}
+		if _, err := fmt.Fprintf(w, ">%s\n", name); err != nil {
+			return err
+		}
+		if err := writeWrapped(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeWrapped(w io.Writer, s string) error {
+	const width = 80
+	for len(s) > 0 {
+		n := width
+		if n > len(s) {
+			n = len(s)
+		}
+		if _, err := fmt.Fprintln(w, s[:n]); err != nil {
+			return err
+		}
+		s = s[n:]
+	}
+	return nil
+}
+
+// ReadFasta parses FASTA input into a family. Sequences are validated
+// against the RNA alphabet, with T accepted and transcribed to U (so DNA
+// input works too); lowercase is accepted and upcased. Gap characters are
+// rejected — use ReadAlignedFasta for alignments.
+func ReadFasta(r io.Reader) (*Family, error) {
+	names, rows, err := readFastaRaw(r)
+	if err != nil {
+		return nil, err
+	}
+	fam := &Family{Names: names}
+	for i, row := range rows {
+		seq, err := normalizeSeq(row)
+		if err != nil {
+			return nil, fmt.Errorf("bio: sequence %q: %w", names[i], err)
+		}
+		fam.Seqs = append(fam.Seqs, seq)
+	}
+	if len(fam.Seqs) == 0 {
+		return nil, fmt.Errorf("bio: no sequences in FASTA input")
+	}
+	return fam, nil
+}
+
+// ReadAlignedFasta parses a FASTA multiple alignment (rows may contain '-'
+// and must be rectangular).
+func ReadAlignedFasta(r io.Reader) (Alignment, []string, error) {
+	names, rows, err := readFastaRaw(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	aln := make(Alignment, len(rows))
+	for i, row := range rows {
+		var b strings.Builder
+		for _, c := range strings.ToUpper(row) {
+			switch c {
+			case 'A', 'C', 'G', 'U', '-':
+				b.WriteRune(c)
+			case 'T':
+				b.WriteRune('U')
+			case ' ', '\t':
+			default:
+				return nil, nil, fmt.Errorf("bio: row %q: illegal character %q", names[i], string(c))
+			}
+		}
+		aln[i] = b.String()
+	}
+	if err := aln.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return aln, names, nil
+}
+
+func readFastaRaw(r io.Reader) ([]string, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var names, rows []string
+	var cur strings.Builder
+	flush := func() {
+		if len(names) > 0 {
+			rows = append(rows, cur.String())
+			cur.Reset()
+		}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, ";"):
+		case strings.HasPrefix(line, ">"):
+			flush()
+			name := strings.TrimSpace(strings.TrimPrefix(line, ">"))
+			if name == "" {
+				name = fmt.Sprintf("seq%d", len(names)+1)
+			}
+			names = append(names, name)
+		default:
+			if len(names) == 0 {
+				return nil, nil, fmt.Errorf("bio: line %d: sequence data before any > header", lineNo)
+			}
+			cur.WriteString(line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	flush()
+	return names, rows, nil
+}
+
+func normalizeSeq(raw string) (Seq, error) {
+	var b strings.Builder
+	for _, c := range strings.ToUpper(raw) {
+		switch c {
+		case 'A', 'C', 'G', 'U':
+			b.WriteRune(c)
+		case 'T':
+			b.WriteRune('U')
+		default:
+			return "", fmt.Errorf("illegal character %q", string(c))
+		}
+	}
+	if b.Len() == 0 {
+		return "", fmt.Errorf("empty sequence")
+	}
+	return Seq(b.String()), nil
+}

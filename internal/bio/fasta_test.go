@@ -1,0 +1,145 @@
+package bio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/skel"
+)
+
+func TestFastaRoundTrip(t *testing.T) {
+	fam, err := Evolve(5, 150, 0.05, 0.01, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, fam); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Seqs) != 5 {
+		t.Fatalf("seqs = %d", len(back.Seqs))
+	}
+	for i := range fam.Seqs {
+		if back.Seqs[i] != fam.Seqs[i] {
+			t.Fatalf("seq %d mismatch", i)
+		}
+		if back.Names[i] != fam.Names[i] {
+			t.Fatalf("name %d mismatch: %q vs %q", i, back.Names[i], fam.Names[i])
+		}
+	}
+}
+
+func TestFastaWrapping(t *testing.T) {
+	fam := &Family{Names: []string{"long"}, Seqs: []Seq{Seq(strings.Repeat("ACGU", 50))}}
+	var buf bytes.Buffer
+	if err := WriteFasta(&buf, fam); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if len(line) > 80 {
+			t.Fatalf("line longer than 80: %d", len(line))
+		}
+	}
+	back, err := ReadFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Seqs[0]) != 200 {
+		t.Fatalf("wrapped sequence length %d", len(back.Seqs[0]))
+	}
+}
+
+func TestReadFastaDNAAndLowercase(t *testing.T) {
+	fam, err := ReadFasta(strings.NewReader(">x\nacgt\n>y\nTTAA\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Seqs[0] != "ACGU" || fam.Seqs[1] != "UUAA" {
+		t.Fatalf("seqs = %v", fam.Seqs)
+	}
+}
+
+func TestReadFastaErrors(t *testing.T) {
+	cases := []string{
+		"ACGU\n",       // data before header
+		">x\nACGX\n",   // illegal char
+		">x\n-A-\n",    // gaps in unaligned input
+		"",             // empty
+		">x\n\n>y\nAC", // empty sequence for x
+	}
+	for _, src := range cases {
+		if _, err := ReadFasta(strings.NewReader(src)); err == nil {
+			t.Errorf("ReadFasta(%q) should fail", src)
+		}
+	}
+}
+
+func TestReadFastaCommentsAndBlankLines(t *testing.T) {
+	fam, err := ReadFasta(strings.NewReader("; comment\n\n>a\nAC\nGU\n\n>b desc here\nGG\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Seqs[0] != "ACGU" || fam.Names[1] != "b desc here" {
+		t.Fatalf("fam = %v %v", fam.Names, fam.Seqs)
+	}
+}
+
+func TestAlignedFastaRoundTrip(t *testing.T) {
+	fam, err := Evolve(4, 40, 0.08, 0.02, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, _, err := AlignFamily(fam, skelOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteAlignedFasta(&buf, aln, fam.Names); err != nil {
+		t.Fatal(err)
+	}
+	back, names, err := ReadAlignedFasta(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(aln) || len(names) != len(aln) {
+		t.Fatalf("rows = %d names = %d", len(back), len(names))
+	}
+	for i := range aln {
+		if back[i] != aln[i] {
+			t.Fatalf("row %d mismatch:\n%s\n%s", i, back[i], aln[i])
+		}
+	}
+}
+
+func TestReadAlignedFastaRejectsRagged(t *testing.T) {
+	if _, _, err := ReadAlignedFasta(strings.NewReader(">a\nAC-\n>b\nAC\n")); err == nil {
+		t.Fatal("ragged alignment accepted")
+	}
+}
+
+func skelOpts() skel.ReduceOptions {
+	return skel.ReduceOptions{Workers: 2, Mapper: skel.MapRandom, Seed: 1}
+}
+
+func TestAlignFamilyRowsMatchInputOrder(t *testing.T) {
+	fam, err := Evolve(7, 50, 0.08, 0.01, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aln, _, err := AlignFamily(fam, skelOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row i must degap to input sequence i exactly.
+	for i := range fam.Seqs {
+		if aln.Degap(i) != fam.Seqs[i] {
+			t.Fatalf("row %d does not align sequence %d:\n got %s\nwant %s",
+				i, i, aln.Degap(i), fam.Seqs[i])
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package bio
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGotohIdentical(t *testing.T) {
+	a, b, score := GotohAlign("ACGU", "ACGU")
+	if a != "ACGU" || b != "ACGU" {
+		t.Fatalf("aligned %q %q", a, b)
+	}
+	if score != 4*matchScore {
+		t.Fatalf("score = %d", score)
+	}
+}
+
+func TestGotohSingleLongGapPreferred(t *testing.T) {
+	// Under the affine model, one length-3 gap (open + 3*extend = -7)
+	// beats three scattered gaps (3*open + 3*extend = -15): deleting a
+	// contiguous block must produce one contiguous run of dashes.
+	a := Seq("AACCCGGUU")
+	b := Seq("AACGGUU") // CC deleted
+	ra, rb, _ := GotohAlign(a, b)
+	if strings.ReplaceAll(ra, "-", "") != string(a) || strings.ReplaceAll(rb, "-", "") != string(b) {
+		t.Fatalf("degap mismatch: %q %q", ra, rb)
+	}
+	// The gap in rb must be contiguous.
+	trimmed := strings.Trim(rb, "-")
+	inner := strings.Count(trimmed, "-")
+	if inner != 2 {
+		t.Fatalf("gap not contiguous: %q (inner dashes %d)", rb, inner)
+	}
+}
+
+func TestGotohEmptySequences(t *testing.T) {
+	ra, rb, score := GotohAlign("", "ACG")
+	if ra != "---" || rb != "ACG" {
+		t.Fatalf("aligned %q %q", ra, rb)
+	}
+	if score != gapOpen+3*gapExtend {
+		t.Fatalf("score = %d, want %d", score, gapOpen+3*gapExtend)
+	}
+	ra, rb, _ = GotohAlign("AC", "")
+	if ra != "AC" || rb != "--" {
+		t.Fatalf("aligned %q %q", ra, rb)
+	}
+}
+
+func TestGotohScoreMatchesRecomputation(t *testing.T) {
+	// Recompute the affine score of the returned alignment and compare.
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		a := RandomSeq(5+rng.Intn(40), rng)
+		b := Mutate(a, 0.2, 0.05, rng)
+		ra, rb, score := GotohAlign(a, b)
+		if got := affineScore(ra, rb); got != score {
+			t.Fatalf("trial %d: reported %d, recomputed %d\n%s\n%s", trial, score, got, ra, rb)
+		}
+	}
+}
+
+// affineScore recomputes the affine-gap score of a pairwise alignment.
+func affineScore(ra, rb string) int {
+	score := 0
+	inGapA, inGapB := false, false
+	for k := 0; k < len(ra); k++ {
+		switch {
+		case ra[k] == '-':
+			if !inGapA {
+				score += gapOpen
+				inGapA = true
+			}
+			score += gapExtend
+			inGapB = false
+		case rb[k] == '-':
+			if !inGapB {
+				score += gapOpen
+				inGapB = true
+			}
+			score += gapExtend
+			inGapA = false
+		default:
+			inGapA, inGapB = false, false
+			if ra[k] == rb[k] {
+				score += matchScore
+			} else {
+				score += mismatchScore
+			}
+		}
+	}
+	return score
+}
+
+// Property: Gotoh output degaps to its inputs, rows equal length, and the
+// score is optimal-or-equal to any single-gap-model alignment rescored
+// under the affine model... (weaker: score >= affine score of the NW
+// alignment, since Gotoh optimizes the affine objective).
+func TestPropGotohInvariantsAndDominance(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	f := func(n1, n2 uint8) bool {
+		a := RandomSeq(int(n1%40)+1, rng)
+		b := RandomSeq(int(n2%40)+1, rng)
+		ra, rb, score := GotohAlign(a, b)
+		if len(ra) != len(rb) {
+			return false
+		}
+		if strings.ReplaceAll(ra, "-", "") != string(a) || strings.ReplaceAll(rb, "-", "") != string(b) {
+			return false
+		}
+		// Optimality relative to the linear-gap alignment under the
+		// affine objective.
+		na, nb, _ := PairAlign(a, b)
+		return score >= affineScore(na, nb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSPIdentity(t *testing.T) {
+	a := Alignment{"ACGU", "ACGU", "ACGA"}
+	// Pairs: (0,1)=1.0, (0,2)=0.75, (1,2)=0.75 → mean 2.5/3.
+	want := 2.5 / 3
+	if got := a.SPIdentity(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("SPIdentity = %v, want %v", got, want)
+	}
+	single := Alignment{"ACGU"}
+	if single.SPIdentity() != 1 {
+		t.Fatal("single-row SP should be 1")
+	}
+}

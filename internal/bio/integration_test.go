@@ -1,0 +1,79 @@
+package bio
+
+import (
+	"testing"
+
+	"repro/internal/motifs"
+	"repro/internal/skel"
+	"repro/internal/strand"
+)
+
+// TestAlignmentViaMotifSimulator runs the paper's full application on the
+// language runtime: the guide tree is reduced by the composed Tree-Reduce-1
+// and Tree-Reduce-2 motifs with align-node as a native (foreign) evaluation
+// function, and the result must equal the native skeleton reduction of the
+// same guide tree.
+func TestAlignmentViaMotifSimulator(t *testing.T) {
+	fam, err := Evolve(6, 30, 0.06, 0.01, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guide, err := GuideTree(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := alignTree(SkelAlignTree(guide, fam), skel.ReduceOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqTree := SeqTree(guide, fam)
+	cfg := motifs.RunConfig{
+		Procs:   4,
+		Seed:    23,
+		Natives: map[string]strand.NativeFn{"eval/4": EvalNative()},
+	}
+
+	v1, res1, err := motifs.RunTreeReduce1("", seqTree, cfg)
+	if err != nil {
+		t.Fatalf("TR1: %v", err)
+	}
+	got1, err := TermAlignment(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAlignment(t, "tree-reduce-1", got1, want)
+	if res1.SuspendedAtEnd != 0 {
+		t.Fatalf("TR1 left %d suspended", res1.SuspendedAtEnd)
+	}
+
+	v2, res2, err := motifs.RunTreeReduce2("", seqTree, motifs.SiblingLabels, cfg)
+	if err != nil {
+		t.Fatalf("TR2: %v", err)
+	}
+	got2, err := TermAlignment(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAlignment(t, "tree-reduce-2", got2, want)
+	if res2.SuspendedAtEnd != 0 {
+		t.Fatalf("TR2 left %d suspended", res2.SuspendedAtEnd)
+	}
+
+	// The cost model reflects alignment work: makespans are nontrivial.
+	if res1.Metrics.Makespan < 10 || res2.Metrics.Makespan < 10 {
+		t.Fatalf("suspiciously small makespans: %d %d", res1.Metrics.Makespan, res2.Metrics.Makespan)
+	}
+}
+
+func assertSameAlignment(t *testing.T, label string, got, want Alignment) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: rows %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: row %d differs:\n got %s\nwant %s", label, i, got[i], want[i])
+		}
+	}
+}

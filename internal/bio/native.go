@@ -1,0 +1,105 @@
+package bio
+
+import (
+	"fmt"
+
+	"repro/internal/motifs"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+// AlignmentTerm encodes an alignment as a list-of-strings term, the value
+// representation flowing through the tree-reduction motifs at the language
+// level. A single sequence (leaf payload) is encoded as a plain string.
+func AlignmentTerm(a Alignment) term.Term {
+	rows := make([]term.Term, len(a))
+	for i, r := range a {
+		rows[i] = term.String_(r)
+	}
+	return term.MkList(rows...)
+}
+
+// TermAlignment decodes an alignment value: either a plain string (one
+// sequence) or a list of row strings.
+func TermAlignment(t term.Term) (Alignment, error) {
+	t = term.Walk(t)
+	if s, ok := t.(term.String_); ok {
+		return Alignment{string(s)}, nil
+	}
+	rows, ok := term.ListSlice(t)
+	if !ok {
+		return nil, fmt.Errorf("bio: not an alignment term: %s", term.Sprint(t))
+	}
+	out := make(Alignment, len(rows))
+	for i, r := range rows {
+		s, ok := term.Walk(r).(term.String_)
+		if !ok {
+			return nil, fmt.Errorf("bio: alignment row %d is not a string: %s", i, term.Sprint(r))
+		}
+		out[i] = string(s)
+	}
+	return out, nil
+}
+
+// LeafTerm returns the leaf payload term for sequence index i of f.
+func LeafTerm(f *Family, i int) term.Term { return term.String_(f.Seqs[i]) }
+
+// EvalNative returns the foreign-predicate implementation of the
+// application's node evaluation function for the language runtime:
+// eval(align, L, R, Value) aligns the two cluster alignments and binds
+// Value, charging a cycle cost proportional to the dynamic-programming
+// work (AlignCost) — the paper's multilingual structure, with the
+// compute-heavy align-node in the low-level language.
+func EvalNative() strand.NativeFn {
+	return func(rt *strand.Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+		if len(args) != 4 {
+			return 1, nil, fmt.Errorf("bio: eval/4 expected 4 args")
+		}
+		op := term.Walk(args[0])
+		if a, ok := op.(term.Atom); !ok || a != "align" {
+			return 1, nil, fmt.Errorf("bio: eval op must be align, got %s", term.Sprint(op))
+		}
+		// Suspend until both inputs are fully computed alignments.
+		var susp []*term.Var
+		for _, in := range args[1:3] {
+			for _, v := range term.Vars(in) {
+				susp = append(susp, v)
+			}
+		}
+		if len(susp) > 0 {
+			return 0, susp, nil
+		}
+		l, err := TermAlignment(args[1])
+		if err != nil {
+			return 1, nil, err
+		}
+		r, err := TermAlignment(args[2])
+		if err != nil {
+			return 1, nil, err
+		}
+		out, err := AlignNode(l, r)
+		if err != nil {
+			return 1, nil, err
+		}
+		v, ok := term.Walk(args[3]).(*term.Var)
+		if !ok {
+			return 1, nil, fmt.Errorf("bio: eval output must be unbound")
+		}
+		cost := AlignCost(l, r)
+		if cost < 1 {
+			cost = 1
+		}
+		return cost, nil, rt.Bind(p, v, AlignmentTerm(out))
+	}
+}
+
+// SeqTree returns a copy of the guide tree whose leaf payloads are the
+// sequence strings (rather than indices), ready for motif-level reduction
+// with EvalNative.
+func SeqTree(guide *motifs.BinTree, f *Family) *motifs.BinTree {
+	if guide.IsLeaf() {
+		idx := int(guide.Leaf.(term.Int))
+		return motifs.NewLeaf(LeafTerm(f, idx))
+	}
+	return motifs.NewNode(guide.Op, SeqTree(guide.L, f), SeqTree(guide.R, f))
+}

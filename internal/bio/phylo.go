@@ -1,0 +1,184 @@
+package bio
+
+import (
+	"fmt"
+
+	"repro/internal/motifs"
+	"repro/internal/skel"
+	"repro/internal/term"
+)
+
+// Distance returns a dissimilarity in [0, 1] between two sequences: one
+// minus the identity of their optimal pairwise alignment.
+func Distance(a, b Seq) float64 {
+	ra, rb, _ := PairAlign(a, b)
+	aln := Alignment{ra, rb}
+	return 1 - aln.Identity(0, 1)
+}
+
+// DistanceMatrix computes all pairwise distances of the family.
+func DistanceMatrix(f *Family) [][]float64 {
+	n := len(f.Seqs)
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dist := Distance(f.Seqs[i], f.Seqs[j])
+			d[i][j], d[j][i] = dist, dist
+		}
+	}
+	return d
+}
+
+// GuideTree builds the binary phylogenetic ("philogenetic" in the paper)
+// guide tree by UPGMA: repeatedly join the two closest clusters, with
+// average linkage. Leaf payloads are the sequence indices (0-based); every
+// internal node carries the align operator tag.
+func GuideTree(f *Family) (*motifs.BinTree, error) {
+	n := len(f.Seqs)
+	if n < 2 {
+		return nil, fmt.Errorf("bio: GuideTree needs at least 2 sequences")
+	}
+	d := DistanceMatrix(f)
+
+	type cluster struct {
+		tree *motifs.BinTree
+		size int
+		id   int
+	}
+	clusters := make([]*cluster, n)
+	for i := 0; i < n; i++ {
+		clusters[i] = &cluster{
+			tree: motifs.NewLeaf(term.Int(int64(i))),
+			size: 1,
+			id:   i,
+		}
+	}
+	// dist[idA][idB] between live cluster ids; new ids extend the matrix.
+	dist := make([][]float64, n, 2*n)
+	for i := range dist {
+		dist[i] = make([]float64, n, 2*n)
+		copy(dist[i], d[i])
+	}
+	nextID := n
+
+	for len(clusters) > 1 {
+		// Find closest pair (deterministic tie-break by index order).
+		bi, bj := 0, 1
+		best := dist[clusters[0].id][clusters[1].id]
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				dd := dist[clusters[i].id][clusters[j].id]
+				if dd < best {
+					best, bi, bj = dd, i, j
+				}
+			}
+		}
+		a, b := clusters[bi], clusters[bj]
+		merged := &cluster{
+			tree: motifs.NewNode("align", a.tree, b.tree),
+			size: a.size + b.size,
+			id:   nextID,
+		}
+		nextID++
+		// Average-linkage distances to the new cluster.
+		row := make([]float64, nextID)
+		for _, c := range clusters {
+			if c == a || c == b {
+				continue
+			}
+			da := dist[a.id][c.id]
+			db := dist[b.id][c.id]
+			avg := (da*float64(a.size) + db*float64(b.size)) / float64(a.size+b.size)
+			row[c.id] = avg
+		}
+		// Grow the matrix.
+		for i := range dist {
+			dist[i] = append(dist[i], row[i])
+		}
+		dist = append(dist, row)
+		// Replace a and b by merged.
+		out := clusters[:0]
+		for _, c := range clusters {
+			if c != a && c != b {
+				out = append(out, c)
+			}
+		}
+		clusters = append(out, merged)
+	}
+	return clusters[0].tree, nil
+}
+
+// SkelAlignTree converts the guide tree into the native skeleton form whose
+// leaves carry the trivial single-sequence alignments.
+func SkelAlignTree(t *motifs.BinTree, f *Family) *skel.Tree[Alignment] {
+	if t.IsLeaf() {
+		idx := int(t.Leaf.(term.Int))
+		return skel.NewLeaf(Alignment{string(f.Seqs[idx])})
+	}
+	return skel.NewNode(t.Op, SkelAlignTree(t.L, f), SkelAlignTree(t.R, f))
+}
+
+// AlignEval is the native eval function for skeleton-level reduction of the
+// guide tree. It panics on invalid intermediate alignments, which indicates
+// a bug rather than a data condition.
+func AlignEval(op string, l, r Alignment) Alignment {
+	out, err := AlignNode(l, r)
+	if err != nil {
+		panic(fmt.Sprintf("bio: align eval: %v", err))
+	}
+	return out
+}
+
+// AlignFamily is the end-to-end application: build the guide tree, then
+// reduce it with align-node using the given skeleton options. Rows are
+// returned in the family's input order (row i aligns f.Seqs[i]), so they
+// pair directly with f.Names.
+func AlignFamily(f *Family, opts skel.ReduceOptions) (Alignment, *skel.Stats, error) {
+	guide, err := GuideTree(f)
+	if err != nil {
+		return nil, nil, err
+	}
+	tree := SkelAlignTree(guide, f)
+	aln, stats, err := alignTree(tree, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The reduction produces rows in guide-tree leaf order; permute them
+	// back to input order.
+	order := guideLeafOrder(guide)
+	if len(order) != len(aln) {
+		return nil, nil, fmt.Errorf("bio: guide tree has %d leaves but alignment has %d rows",
+			len(order), len(aln))
+	}
+	out := make(Alignment, len(aln))
+	for pos, origIdx := range order {
+		if origIdx < 0 || origIdx >= len(out) || out[origIdx] != "" {
+			return nil, nil, fmt.Errorf("bio: corrupt guide leaf order %v", order)
+		}
+		out[origIdx] = aln[pos]
+	}
+	return out, stats, nil
+}
+
+// guideLeafOrder returns the original sequence index of each guide-tree
+// leaf, left to right.
+func guideLeafOrder(t *motifs.BinTree) []int {
+	if t.IsLeaf() {
+		return []int{int(t.Leaf.(term.Int))}
+	}
+	return append(guideLeafOrder(t.L), guideLeafOrder(t.R)...)
+}
+
+func alignTree(tree *skel.Tree[Alignment], opts skel.ReduceOptions) (Alignment, *skel.Stats, error) {
+	out, stats, err := skel.TreeReduce(tree, AlignEval, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,181 @@
+// Package core implements the paper's central abstraction: the algorithmic
+// motif. A motif M = {T, L} pairs a source-to-source transformation T with a
+// library program L; applying M to an application program A yields
+//
+//	M(A) = T(A) ∪ L
+//
+// i.e. the transformed application linked with the library. Motifs compose:
+//
+//	(M2 ∘ M1)(A) = M2(M1(A)) = T2(T1(A) ∪ L1) ∪ L2
+//
+// so new motifs are built from old ones by providing an additional
+// transformation and library. Package motifs provides the paper's concrete
+// motifs (Server, Rand, Random, Tree-Reduce-1, Tree-Reduce-2, Scheduler)
+// on top of this framework.
+//
+// Transformations manipulate programs as data — programs are structured
+// terms (package parser's AST over package term) and transformations are Go
+// functions over that representation, mirroring the paper's observation
+// that Strand's "simple, recursively-defined structure" makes
+// transformations easy to write.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// Transformation rewrites an application program. Implementations must not
+// mutate the input program; they return a new one (possibly sharing
+// unmodified rules).
+type Transformation interface {
+	// Name identifies the transformation for diagnostics and stage listings.
+	Name() string
+	// Transform rewrites prog, allocating any fresh variables from h.
+	Transform(prog *parser.Program, h *term.Heap) (*parser.Program, error)
+}
+
+// TransformFunc adapts a function to the Transformation interface.
+type TransformFunc struct {
+	N string
+	F func(prog *parser.Program, h *term.Heap) (*parser.Program, error)
+}
+
+// Name implements Transformation.
+func (t TransformFunc) Name() string { return t.N }
+
+// Transform implements Transformation.
+func (t TransformFunc) Transform(prog *parser.Program, h *term.Heap) (*parser.Program, error) {
+	return t.F(prog, h)
+}
+
+// Identity is the identity transformation (used by library-only motifs such
+// as the paper's Tree1).
+var Identity Transformation = TransformFunc{
+	N: "identity",
+	F: func(prog *parser.Program, h *term.Heap) (*parser.Program, error) { return prog, nil },
+}
+
+// Applier is anything that can be applied to an application program: a
+// single motif or a composition of motifs.
+type Applier interface {
+	// Name identifies the motif (or composition).
+	Name() string
+	// ApplyTo produces the output program for the given application.
+	ApplyTo(app *parser.Program, h *term.Heap) (*parser.Program, error)
+}
+
+// Motif is the paper's M = {T, L}. A nil T means the identity
+// transformation; a nil L means the empty library.
+type Motif struct {
+	MotifName string
+	T         Transformation
+	L         *parser.Program
+}
+
+// NewMotif builds a motif from a transformation and a library (either may
+// be nil).
+func NewMotif(name string, t Transformation, lib *parser.Program) *Motif {
+	return &Motif{MotifName: name, T: t, L: lib}
+}
+
+// LibraryOnly builds a motif with the identity transformation — reuse
+// "as is", the only form supported by the template systems the paper
+// contrasts itself with.
+func LibraryOnly(name string, lib *parser.Program) *Motif {
+	return &Motif{MotifName: name, T: Identity, L: lib}
+}
+
+// Name implements Applier.
+func (m *Motif) Name() string { return m.MotifName }
+
+// ApplyTo implements Applier: M(A) = T(A) ∪ L.
+func (m *Motif) ApplyTo(app *parser.Program, h *term.Heap) (*parser.Program, error) {
+	t := m.T
+	if t == nil {
+		t = Identity
+	}
+	out, err := t.Transform(app, h)
+	if err != nil {
+		return nil, fmt.Errorf("motif %s: %w", m.MotifName, err)
+	}
+	if m.L != nil {
+		// Clone the library so repeated applications never share variables.
+		out = out.Union(m.L.Clone(h))
+	}
+	return out, nil
+}
+
+// Composition applies a sequence of motifs innermost-first:
+// Compose(m2, m1).ApplyTo(A) = m2(m1(A)).
+type Composition struct {
+	// stages holds the appliers outermost-first, matching the notation
+	// M2 ∘ M1 (m2 applied to the output of m1).
+	stages []Applier
+}
+
+// Compose builds the composition outer ∘ ... ∘ inner from its arguments in
+// application order of the notation: Compose(m2, m1) means m2 ∘ m1.
+// Compositions flatten, so Compose(m3, Compose(m2, m1)) has three stages.
+func Compose(outerToInner ...Applier) *Composition {
+	var stages []Applier
+	for _, a := range outerToInner {
+		if c, ok := a.(*Composition); ok {
+			stages = append(stages, c.stages...)
+			continue
+		}
+		stages = append(stages, a)
+	}
+	return &Composition{stages: stages}
+}
+
+// Name implements Applier.
+func (c *Composition) Name() string {
+	names := make([]string, len(c.stages))
+	for i, s := range c.stages {
+		names[i] = s.Name()
+	}
+	return strings.Join(names, " ∘ ")
+}
+
+// ApplyTo implements Applier: stages run innermost (last) first.
+func (c *Composition) ApplyTo(app *parser.Program, h *term.Heap) (*parser.Program, error) {
+	out := app
+	var err error
+	for i := len(c.stages) - 1; i >= 0; i-- {
+		out, err = c.stages[i].ApplyTo(out, h)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Stage records one intermediate program of a staged application — the
+// paper's Figure 5 shows exactly this sequence for Tree-Reduce-1.
+type Stage struct {
+	// Motif is the name of the motif whose output this is; the first stage
+	// is the untransformed application and has Motif == "application".
+	Motif string
+	// Program is the program after applying the motif.
+	Program *parser.Program
+}
+
+// Stages applies the composition one motif at a time and returns every
+// intermediate program, starting with the application itself.
+func (c *Composition) Stages(app *parser.Program, h *term.Heap) ([]Stage, error) {
+	out := []Stage{{Motif: "application", Program: app}}
+	cur := app
+	var err error
+	for i := len(c.stages) - 1; i >= 0; i-- {
+		cur, err = c.stages[i].ApplyTo(cur, h)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Stage{Motif: c.stages[i].Name(), Program: cur})
+	}
+	return out, nil
+}

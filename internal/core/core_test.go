@@ -1,0 +1,310 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func TestMotifApplyIsTransformThenLink(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, "p(1).")
+	lib := parser.MustParse(h, "lib(2).")
+	upcase := TransformFunc{
+		N: "rename-p",
+		F: func(prog *parser.Program, h *term.Heap) (*parser.Program, error) {
+			out := &parser.Program{}
+			for _, r := range prog.Rules {
+				name, args, _ := GoalParts(r.Head)
+				out.Rules = append(out.Rules, &parser.Rule{
+					Head: term.NewCompound("q_"+name, args...),
+				})
+			}
+			return out, nil
+		},
+	}
+	m := NewMotif("test", upcase, lib)
+	got, err := m.ApplyTo(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Defines("q_p/1") {
+		t.Fatalf("transformation not applied: %v", got.Indicators())
+	}
+	if !got.Defines("lib/1") {
+		t.Fatalf("library not linked: %v", got.Indicators())
+	}
+	// Library rules come after transformed application rules (A' = T(A) ∪ L).
+	if got.Rules[0].HeadIndicator() != "q_p/1" {
+		t.Fatalf("rule order wrong: %v", got.Rules[0].HeadIndicator())
+	}
+}
+
+func TestLibraryOnlyMotif(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, "p(1).")
+	lib := parser.MustParse(h, "l(1).")
+	m := LibraryOnly("lib-only", lib)
+	got, err := m.ApplyTo(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rules) != 2 {
+		t.Fatalf("rules = %d", len(got.Rules))
+	}
+}
+
+func TestNilTransformAndLibrary(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, "p(1).")
+	m := &Motif{MotifName: "empty"}
+	got, err := m.ApplyTo(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != app.String() {
+		t.Fatal("empty motif changed the program")
+	}
+}
+
+func TestLibraryClonedPerApplication(t *testing.T) {
+	// Applying the same motif twice must not share variables between the
+	// two linked library copies.
+	h := term.NewHeap()
+	lib := parser.MustParse(h, "l(X) :- m(X).")
+	m := LibraryOnly("lib", lib)
+	a1, err := m.ApplyTo(parser.MustParse(h, "p(1)."), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := m.ApplyTo(parser.MustParse(h, "p(2)."), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := term.Vars(a1.Definition("l/1")[0].Head)
+	v2 := term.Vars(a2.Definition("l/1")[0].Head)
+	if len(v1) != 1 || len(v2) != 1 || v1[0] == v2[0] {
+		t.Fatal("library variables shared across applications")
+	}
+}
+
+func TestComposeOrderIsInnermostLast(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, "p.")
+	mark := func(name string) *Motif {
+		return NewMotif(name, nil, parser.MustParse(term.NewHeap(), name+"_lib."))
+	}
+	// Compose(outer, inner): inner's library must be present when outer
+	// runs, and both libraries are in the final program.
+	sawInner := false
+	outer := NewMotif("outer", TransformFunc{
+		N: "outer",
+		F: func(prog *parser.Program, h *term.Heap) (*parser.Program, error) {
+			sawInner = prog.Defines("inner_lib/0")
+			return prog, nil
+		},
+	}, nil)
+	got, err := Compose(outer, mark("inner")).ApplyTo(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sawInner {
+		t.Fatal("outer transformation did not see inner's library: wrong composition order")
+	}
+	if !got.Defines("inner_lib/0") {
+		t.Fatal("inner library missing from final program")
+	}
+}
+
+func TestComposeFlattens(t *testing.T) {
+	a := LibraryOnly("a", nil)
+	b := LibraryOnly("b", nil)
+	c := LibraryOnly("c", nil)
+	comp := Compose(a, Compose(b, c))
+	if comp.Name() != "a ∘ b ∘ c" {
+		t.Fatalf("name = %q", comp.Name())
+	}
+}
+
+func TestStages(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, "p.")
+	m1 := LibraryOnly("m1", parser.MustParse(term.NewHeap(), "one."))
+	m2 := LibraryOnly("m2", parser.MustParse(term.NewHeap(), "two."))
+	stages, err := Compose(m2, m1).Stages(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 3 {
+		t.Fatalf("stages = %d", len(stages))
+	}
+	if stages[0].Motif != "application" || stages[1].Motif != "m1" || stages[2].Motif != "m2" {
+		t.Fatalf("stage names: %s %s %s", stages[0].Motif, stages[1].Motif, stages[2].Motif)
+	}
+	if stages[1].Program.Defines("two/0") {
+		t.Fatal("stage 1 already has m2's library")
+	}
+	if !stages[2].Program.Defines("two/0") || !stages[2].Program.Defines("one/0") {
+		t.Fatal("final stage missing a library")
+	}
+}
+
+func TestRewriteBodies(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, `
+main :- a(1), b(2).
+`)
+	out, err := RewriteBodies(prog, h, func(g term.Term, h *term.Heap) ([]term.Term, bool, error) {
+		name, args, ok := GoalParts(g)
+		if !ok || name != "a" {
+			return nil, false, nil
+		}
+		return []term.Term{term.NewCompound("pre", args...), term.NewCompound("a2", args...)}, true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "pre(1), a2(1), b(2)") {
+		t.Fatalf("plain rewrite failed:\n%s", s)
+	}
+	// Annotated goal expanded to >1 goals is an error; to exactly 1 is ok.
+	annotated := parser.MustParse(h, "other :- a(3)@random.")
+	_, err = RewriteBodies(annotated, h, func(g term.Term, h *term.Heap) ([]term.Term, bool, error) {
+		name, args, ok := GoalParts(g)
+		if !ok || name != "a" {
+			return nil, false, nil
+		}
+		return []term.Term{term.NewCompound("x", args...), term.NewCompound("y")}, true, nil
+	})
+	if err == nil {
+		t.Fatal("expected error expanding annotated goal to 2 goals")
+	}
+}
+
+func TestRewriteBodiesPreservesAnnotation(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, "w :- a(3)@7.")
+	out, err := RewriteBodies(prog, h, func(g term.Term, h *term.Heap) ([]term.Term, bool, error) {
+		name, args, ok := GoalParts(g)
+		if !ok || name != "a" {
+			return nil, false, nil
+		}
+		return []term.Term{term.NewCompound("b", args...)}, true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "b(3)@7") {
+		t.Fatalf("annotation lost:\n%s", out.String())
+	}
+}
+
+func TestRewriteAnnotations(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, `
+main :- work(1)@random, keep(2)@3, plain(4).
+`)
+	out, err := RewriteAnnotations(prog, h,
+		func(goal, target term.Term, h *term.Heap) ([]term.Term, bool, error) {
+			a, ok := term.Walk(target).(term.Atom)
+			if !ok || a != "random" {
+				return nil, false, nil
+			}
+			return []term.Term{term.NewCompound("shipped", goal)}, true, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "shipped(work(1))") {
+		t.Fatalf("random annotation not rewritten:\n%s", s)
+	}
+	if !strings.Contains(s, "keep(2)@3") {
+		t.Fatalf("numeric annotation disturbed:\n%s", s)
+	}
+	if !strings.Contains(s, "plain(4)") {
+		t.Fatalf("plain goal disturbed:\n%s", s)
+	}
+}
+
+func TestThreadArgument(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, `
+top(X) :- mid(X), leaf(X).
+mid(X) :- bottom(X)@2.
+bottom(X) :- use(X).
+leaf(_).
+use(_).
+`)
+	targets := map[string]bool{"top/1": true, "mid/1": true, "bottom/1": true}
+	out, err := ThreadArgument(prog, h, targets, "DT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ind := range []string{"top/2", "mid/2", "bottom/2"} {
+		if !out.Defines(ind) {
+			t.Fatalf("missing %s: %v", ind, out.Indicators())
+		}
+	}
+	if !out.Defines("leaf/1") || !out.Defines("use/1") {
+		t.Fatalf("untargeted definitions disturbed: %v", out.Indicators())
+	}
+	// Head var and body call var must be the same variable.
+	topRule := out.Definition("top/2")[0]
+	headDT := topRule.HeadArgs()[1]
+	midCall := term.Walk(topRule.Body[0]).(*term.Compound)
+	if term.Walk(midCall.Args[1]) != term.Walk(headDT) {
+		t.Fatal("threaded variable differs between head and call")
+	}
+	// The annotated call keeps its annotation with the threaded arg inside.
+	midRule := out.Definition("mid/2")[0]
+	at := term.Walk(midRule.Body[0]).(*term.Compound)
+	if at.Functor != "@" {
+		t.Fatalf("annotation lost: %s", term.Sprint(midRule.Body[0]))
+	}
+	inner := term.Walk(at.Args[0]).(*term.Compound)
+	if inner.Indicator() != "bottom/2" {
+		t.Fatalf("annotated call not threaded: %s", term.Sprint(inner))
+	}
+}
+
+func TestThreadArgumentDetectsNonClosure(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, `
+caller :- target(1).
+target(_).
+`)
+	// caller calls target but is not itself in targets: must error.
+	_, err := ThreadArgument(prog, h, map[string]bool{"target/1": true}, "DT")
+	if err == nil {
+		t.Fatal("expected ancestor-closure error")
+	}
+}
+
+func TestAnnotatedIndicators(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, `
+a :- p(1)@random, q(1,2)@random, r(0)@3, p(9)@random.
+`)
+	got := AnnotatedIndicators(prog, "random")
+	if len(got) != 2 || !got["p/1"] || !got["q/2"] {
+		t.Fatalf("annotated = %v", got)
+	}
+}
+
+func TestCallsAny(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, "a :- send(1, m).\nb :- x(1)@2.")
+	if !CallsAny(prog, map[string]bool{"send/2": true}) {
+		t.Fatal("send call not found")
+	}
+	if !CallsAny(prog, map[string]bool{"x/1": true}) {
+		t.Fatal("annotated call not found")
+	}
+	if CallsAny(prog, map[string]bool{"nope/0": true}) {
+		t.Fatal("phantom call found")
+	}
+}

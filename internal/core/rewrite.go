@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// GoalRewrite maps one body goal to its replacement goals. Returning
+// ok=false leaves the goal unchanged. The rewriter sees goals inside
+// placement annotations (Goal@P) as the bare Goal; the annotation is
+// reconstructed around the single replacement (it is an error to expand an
+// annotated goal to several goals).
+type GoalRewrite func(goal term.Term, h *term.Heap) (replacement []term.Term, ok bool, err error)
+
+// RewriteBodies applies fn to every body goal of every rule, returning a new
+// program. Heads and guards are untouched.
+func RewriteBodies(prog *parser.Program, h *term.Heap, fn GoalRewrite) (*parser.Program, error) {
+	out := &parser.Program{Rules: make([]*parser.Rule, len(prog.Rules))}
+	for i, r := range prog.Rules {
+		nr := &parser.Rule{Head: r.Head, Guards: r.Guards, Line: r.Line}
+		for _, g := range r.Body {
+			repl, err := rewriteGoal(g, h, fn)
+			if err != nil {
+				return nil, fmt.Errorf("rule %s: %w", r.HeadIndicator(), err)
+			}
+			nr.Body = append(nr.Body, repl...)
+		}
+		out.Rules[i] = nr
+	}
+	return out, nil
+}
+
+func rewriteGoal(g term.Term, h *term.Heap, fn GoalRewrite) ([]term.Term, error) {
+	w := term.Walk(g)
+	if c, ok := w.(*term.Compound); ok && c.Functor == "@" && len(c.Args) == 2 {
+		repl, changed, err := fn(c.Args[0], h)
+		if err != nil {
+			return nil, err
+		}
+		if !changed {
+			return []term.Term{w}, nil
+		}
+		if len(repl) != 1 {
+			return nil, fmt.Errorf("cannot expand annotated goal %s into %d goals",
+				term.Sprint(w), len(repl))
+		}
+		return []term.Term{term.NewCompound("@", repl[0], c.Args[1])}, nil
+	}
+	repl, changed, err := fn(w, h)
+	if err != nil {
+		return nil, err
+	}
+	if !changed {
+		return []term.Term{w}, nil
+	}
+	return repl, nil
+}
+
+// RewriteAnnotations applies fn to every placement-annotated body goal
+// (Goal@Target), replacing the whole annotated goal by fn's result.
+// Unannotated goals are untouched.
+func RewriteAnnotations(prog *parser.Program, h *term.Heap,
+	fn func(goal, target term.Term, h *term.Heap) ([]term.Term, bool, error)) (*parser.Program, error) {
+	out := &parser.Program{Rules: make([]*parser.Rule, len(prog.Rules))}
+	for i, r := range prog.Rules {
+		nr := &parser.Rule{Head: r.Head, Guards: r.Guards, Line: r.Line}
+		for _, g := range r.Body {
+			w := term.Walk(g)
+			c, isC := w.(*term.Compound)
+			if !isC || c.Functor != "@" || len(c.Args) != 2 {
+				nr.Body = append(nr.Body, w)
+				continue
+			}
+			repl, changed, err := fn(c.Args[0], c.Args[1], h)
+			if err != nil {
+				return nil, fmt.Errorf("rule %s: %w", r.HeadIndicator(), err)
+			}
+			if !changed {
+				nr.Body = append(nr.Body, w)
+				continue
+			}
+			nr.Body = append(nr.Body, repl...)
+		}
+		out.Rules[i] = nr
+	}
+	return out, nil
+}
+
+// GoalParts splits a callable goal into functor name and arguments.
+func GoalParts(g term.Term) (name string, args []term.Term, ok bool) {
+	switch x := term.Walk(g).(type) {
+	case term.Atom:
+		return string(x), nil, true
+	case *term.Compound:
+		return x.Functor, x.Args, true
+	default:
+		return "", nil, false
+	}
+}
+
+// ThreadArgument implements the paper's argument-threading step (Server
+// transformation step 1): it appends one fresh variable argument to the head
+// of every rule whose definition is in targets, and appends the same
+// variable to every body call (including inside placement annotations) whose
+// callee is in targets. Target indicators are pre-threading ("send/2" means
+// the send goals currently written with 2 args).
+//
+// The returned program's affected definitions have arity+1; callers must
+// supply targets closed under "calls a target" (see parser.Program.Callers)
+// or the program will be left inconsistent.
+func ThreadArgument(prog *parser.Program, h *term.Heap, targets map[string]bool, varName string) (*parser.Program, error) {
+	out := &parser.Program{Rules: make([]*parser.Rule, len(prog.Rules))}
+	for i, r := range prog.Rules {
+		nr := &parser.Rule{Guards: r.Guards, Line: r.Line}
+		var carrier term.Term
+		if targets[r.HeadIndicator()] {
+			v := h.NewVar(varName)
+			carrier = v
+			name, args, _ := GoalParts(r.Head)
+			nr.Head = term.NewCompound(name, append(append([]term.Term{}, args...), v)...)
+		} else {
+			nr.Head = r.Head
+		}
+		for _, g := range r.Body {
+			ng, err := threadGoal(g, targets, carrier, r)
+			if err != nil {
+				return nil, err
+			}
+			nr.Body = append(nr.Body, ng)
+		}
+		out.Rules[i] = nr
+	}
+	return out, nil
+}
+
+func threadGoal(g term.Term, targets map[string]bool, carrier term.Term, r *parser.Rule) (term.Term, error) {
+	w := term.Walk(g)
+	if c, ok := w.(*term.Compound); ok && c.Functor == "@" && len(c.Args) == 2 {
+		inner, err := threadGoal(c.Args[0], targets, carrier, r)
+		if err != nil {
+			return nil, err
+		}
+		return term.NewCompound("@", inner, c.Args[1]), nil
+	}
+	name, args, ok := GoalParts(w)
+	if !ok {
+		return w, nil
+	}
+	ind := fmt.Sprintf("%s/%d", name, len(args))
+	if !targets[ind] {
+		return w, nil
+	}
+	if carrier == nil {
+		return nil, fmt.Errorf("rule %s calls threaded goal %s but is not itself threaded (targets not ancestor-closed)",
+			r.HeadIndicator(), ind)
+	}
+	return term.NewCompound(name, append(append([]term.Term{}, args...), carrier)...), nil
+}
+
+// AnnotatedIndicators returns the set of "name/arity" indicators of goals
+// that appear under a placement annotation with the given target atom (e.g.
+// "random" collects every P in P@random).
+func AnnotatedIndicators(prog *parser.Program, target string) map[string]bool {
+	out := map[string]bool{}
+	for _, r := range prog.Rules {
+		for _, g := range r.Body {
+			w := term.Walk(g)
+			c, ok := w.(*term.Compound)
+			if !ok || c.Functor != "@" || len(c.Args) != 2 {
+				continue
+			}
+			a, ok := term.Walk(c.Args[1]).(term.Atom)
+			if !ok || string(a) != target {
+				continue
+			}
+			if name, args, ok := GoalParts(c.Args[0]); ok {
+				out[fmt.Sprintf("%s/%d", name, len(args))] = true
+			}
+		}
+	}
+	return out
+}
+
+// CallsAny reports whether the program contains a body call to any of the
+// given indicators (looking through placement annotations).
+func CallsAny(prog *parser.Program, indicators map[string]bool) bool {
+	for _, r := range prog.Rules {
+		for _, g := range r.Body {
+			if goalCallsAny(g, indicators) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func goalCallsAny(g term.Term, indicators map[string]bool) bool {
+	w := term.Walk(g)
+	if c, ok := w.(*term.Compound); ok && c.Functor == "@" && len(c.Args) == 2 {
+		return goalCallsAny(c.Args[0], indicators)
+	}
+	if ind, ok := parser.GoalIndicator(w); ok {
+		return indicators[ind]
+	}
+	return false
+}

@@ -1,0 +1,621 @@
+// Package exp implements the experiment drivers that regenerate the paper's
+// artifacts (DESIGN.md's experiment index E1–E11). Each experiment returns
+// an aligned text table; cmd/treebench and cmd/alignbench print them, the
+// benchmark suite times their building blocks, and EXPERIMENTS.md records
+// representative output.
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/motifs"
+	"repro/internal/parser"
+	"repro/internal/skel"
+	"repro/internal/strand"
+	"repro/internal/term"
+	"repro/internal/workload"
+)
+
+// PaperTree is the arithmetic expression tree of Section 3.1 (value 24).
+func PaperTree() *motifs.BinTree {
+	return motifs.NewNode("*",
+		motifs.NewNode("*", motifs.NewLeaf(term.Int(3)), motifs.NewLeaf(term.Int(2))),
+		motifs.NewNode("+",
+			motifs.NewNode("+", motifs.NewLeaf(term.Int(2)), motifs.NewLeaf(term.Int(1))),
+			motifs.NewLeaf(term.Int(1))))
+}
+
+// E2ArithmeticTree reduces the paper's example tree with Tree-Reduce-1 over
+// a range of processor counts (Figure 2's program, executed).
+func E2ArithmeticTree(seed int64) (*metrics.Table, error) {
+	tab := metrics.NewTable("procs", "value", "reductions", "messages", "makespan", "efficiency")
+	for _, procs := range []int{1, 2, 4, 8} {
+		val, res, err := motifs.RunTreeReduce1(motifs.ArithmeticEvalSrc, PaperTree(),
+			motifs.RunConfig{Procs: procs, Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("E2 procs=%d: %w", procs, err)
+		}
+		tab.AddRow(procs, term.Sprint(val), res.Reductions, res.Metrics.Messages,
+			res.Metrics.Makespan, res.Metrics.Efficiency())
+	}
+	return tab, nil
+}
+
+// E2Speedup measures simulated parallel speedup of Tree-Reduce-1 on a
+// larger tree with a uniform node-evaluation cost that dominates the
+// coordination overhead — the speedup curve the paper's motifs exist to
+// deliver. Speedup is measured as makespan(1 proc) / makespan(P procs).
+func E2Speedup(seed int64) (*metrics.Table, error) {
+	tree := workload.IntTree(256, workload.ShapeRandom, seed)
+	cost := workload.UniformCost(200)
+	tab := metrics.NewTable("procs", "makespan", "speedup", "efficiency", "messages")
+	var base int64
+	for _, procs := range []int{1, 2, 4, 8, 16} {
+		_, res, err := motifs.RunTreeReduce1(motifs.ArithmeticEvalSrc, tree,
+			motifs.RunConfig{
+				Procs:    procs,
+				Seed:     seed,
+				EvalCost: workload.GoalCostFn(cost),
+			})
+		if err != nil {
+			return nil, fmt.Errorf("E2 speedup procs=%d: %w", procs, err)
+		}
+		if procs == 1 {
+			base = res.Metrics.Makespan
+		}
+		tab.AddRow(procs, res.Metrics.Makespan,
+			float64(base)/float64(res.Metrics.Makespan),
+			res.Metrics.Efficiency(), res.Metrics.Messages)
+	}
+	return tab, nil
+}
+
+// E6RandomMappingBalance measures the load balance of random mapping as the
+// ratio of tree nodes to processors grows — the paper's claim that random
+// mapping "should produce a reasonably balanced load if |Nodes| >>
+// |Processors|". Loads are per-processor busy cycles under Tree-Reduce-1
+// with a uniform node cost.
+func E6RandomMappingBalance(seed int64) (*metrics.Table, error) {
+	tab := metrics.NewTable("leaves", "procs", "nodes/proc", "imbalance(max/mean)", "gini")
+	for _, procs := range []int{4, 8, 16} {
+		for _, leaves := range []int{16, 64, 256, 1024} {
+			tree := workload.IntTree(leaves, workload.ShapeRandom, seed)
+			cost := workload.UniformCost(20)
+			_, res, err := motifs.RunTreeReduce1(motifs.ArithmeticEvalSrc, tree,
+				motifs.RunConfig{
+					Procs:    procs,
+					Seed:     seed,
+					EvalCost: workload.GoalCostFn(cost),
+				})
+			if err != nil {
+				return nil, fmt.Errorf("E6 procs=%d leaves=%d: %w", procs, leaves, err)
+			}
+			busy := metrics.Int64s(res.Metrics.BusyCycles)
+			tab.AddRow(leaves, procs,
+				fmt.Sprintf("%.1f", float64(2*leaves-1)/float64(procs)),
+				metrics.MaxOverMean(busy), metrics.Gini(busy))
+		}
+	}
+	return tab, nil
+}
+
+// SchedSim computes the makespan of scheduling tasks with the given costs
+// onto p workers, either statically (contiguous blocks) or dynamically
+// (greedy list scheduling, the behaviour of an idle-worker pull queue).
+func SchedSim(costs []int64, p int, static bool) int64 {
+	if p < 1 {
+		p = 1
+	}
+	loads := make([]int64, p)
+	if static {
+		n := len(costs)
+		for w := 0; w < p; w++ {
+			lo, hi := w*n/p, (w+1)*n/p
+			for _, c := range costs[lo:hi] {
+				loads[w] += c
+			}
+		}
+	} else {
+		for _, c := range costs {
+			// Next task goes to the least-loaded worker (equivalently: the
+			// first worker to go idle pulls the next task).
+			min := 0
+			for w := 1; w < p; w++ {
+				if loads[w] < loads[min] {
+					min = w
+				}
+			}
+			loads[min] += c
+		}
+	}
+	var max int64
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// E7StaticVsDynamic sweeps task-cost variability and reports the makespan
+// of static block allocation versus dynamic (idle-worker) allocation — the
+// paper's claim that a static partition is "probably ideal" for uniform
+// costs while non-uniform, unpredictable costs demand a dynamic algorithm.
+func E7StaticVsDynamic(seed int64) (*metrics.Table, error) {
+	const tasks = 512
+	const procs = 8
+	tab := metrics.NewTable("cost model", "static makespan", "dynamic makespan", "dynamic/static", "winner")
+	models := []*workload.CostModel{
+		workload.UniformCost(100),
+		workload.ExpCost(100, seed),
+		workload.ParetoCost(1.3, 20, seed),
+	}
+	for _, m := range models {
+		costs := make([]int64, tasks)
+		for i := range costs {
+			costs[i] = m.Next()
+		}
+		st := SchedSim(costs, procs, true)
+		dy := SchedSim(costs, procs, false)
+		winner := "static (tie)"
+		if dy < st {
+			winner = "dynamic"
+		} else if st < dy {
+			winner = "static"
+		}
+		tab.AddRow(m.Name(), st, dy, float64(dy)/float64(st), winner)
+	}
+	return tab, nil
+}
+
+// E9PeakMemory contrasts Tree-Reduce-1 and Tree-Reduce-2 on the paper's
+// memory claim: the peak number of simultaneously live node evaluations per
+// processor (each holds its operands — "large intermediate data structures"
+// in the alignment application).
+func E9PeakMemory(seed int64) (*metrics.Table, error) {
+	tab := metrics.NewTable("leaves", "procs", "TR1 peak evals/proc", "TR2 peak evals/proc")
+	for _, leaves := range []int{16, 64, 256} {
+		for _, procs := range []int{2, 4, 8} {
+			tree := workload.IntTree(leaves, workload.ShapeRandom, seed)
+			// Expensive node evaluations, as in the alignment application:
+			// pending evaluations (and their operands) pile up under TR1.
+			cfg := motifs.RunConfig{
+				Procs:    procs,
+				Seed:     seed,
+				Watch:    []string{"eval/4"},
+				EvalCost: workload.GoalCostFn(workload.UniformCost(40)),
+			}
+			_, res1, err := motifs.RunTreeReduce1(motifs.ArithmeticEvalSrc, tree, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("E9 TR1: %w", err)
+			}
+			_, res2, err := motifs.RunTreeReduce2(motifs.ArithmeticEvalSrc, tree, motifs.SiblingLabels, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("E9 TR2: %w", err)
+			}
+			tab.AddRow(leaves, procs, maxOf(res1.PeakLive["eval/4"]), maxOf(res2.PeakLive["eval/4"]))
+		}
+	}
+	return tab, nil
+}
+
+func maxOf(xs []int64) int64 {
+	var max int64
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// E5LabelLocality contrasts the sibling labeling scheme with independent
+// random labels under Tree-Reduce-2: inter-processor messages during the
+// reduction, and the labeling's predicted crossing counts.
+func E5LabelLocality(seed int64) (*metrics.Table, error) {
+	tab := metrics.NewTable("leaves", "procs", "scheme", "crossings(predicted)", "messages(simulated)")
+	for _, leaves := range []int{64, 256} {
+		for _, procs := range []int{4, 8} {
+			tree := workload.IntTree(leaves, workload.ShapeRandom, seed)
+			for _, scheme := range []motifs.LabelScheme{motifs.SiblingLabels, motifs.IndependentLabels} {
+				rng := rand.New(rand.NewSource(seed ^ 0x7ee2))
+				lab, err := motifs.LabelTree(tree, procs, scheme, rng)
+				if err != nil {
+					return nil, err
+				}
+				cross, _ := lab.CrossEdges()
+				_, res, err := motifs.RunTreeReduce2(motifs.ArithmeticEvalSrc, tree, scheme,
+					motifs.RunConfig{Procs: procs, Seed: seed})
+				if err != nil {
+					return nil, fmt.Errorf("E5: %w", err)
+				}
+				tab.AddRow(leaves, procs, scheme.String(), cross, res.Metrics.Messages)
+			}
+		}
+	}
+	return tab, nil
+}
+
+// E8ReuseCost quantifies the paper's "virtually eliminate the incremental
+// cost" claim: lines of user-written code versus generated parallel
+// program, and the time the transformations take.
+func E8ReuseCost() (*metrics.Table, error) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, motifs.ArithmeticEvalSrc)
+	comp := core.Compose(motifs.Server(), motifs.Rand("run/2"), motifs.Tree1())
+	start := time.Now()
+	stages, err := comp.Stages(app, h)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	tab := metrics.NewTable("stage", "program lines", "definitions")
+	for _, s := range stages {
+		tab.AddRow(s.Motif, s.Program.LineCount(), len(s.Program.Indicators()))
+	}
+	tab.AddRow("(transform time)", elapsed.Round(time.Microsecond).String(), "")
+	return tab, nil
+}
+
+// E11AlignmentSpeedup aligns a synthetic RNA family with the native
+// skeleton over increasing worker counts, reporting wall-clock speedup —
+// the application-level experiment the paper motivates but could not yet
+// run.
+func E11AlignmentSpeedup(families, seqLen int, seed int64) (*metrics.Table, error) {
+	fam, err := bio.Evolve(families, seqLen, 0.08, 0.01, seed)
+	if err != nil {
+		return nil, err
+	}
+	guide, err := bio.GuideTree(fam)
+	if err != nil {
+		return nil, err
+	}
+	tree := bio.SkelAlignTree(guide, fam)
+
+	var t1 time.Duration
+	tab := metrics.NewTable("workers", "time", "speedup", "cross msgs", "imbalance")
+	for _, w := range []int{1, 2, 4, 8} {
+		start := time.Now()
+		aln, stats, err := skel.TreeReduce(tree, bio.AlignEval,
+			skel.ReduceOptions{Workers: w, Mapper: skel.MapRandom, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		if err := aln.Validate(); err != nil {
+			return nil, err
+		}
+		if w == 1 {
+			t1 = el
+		}
+		tab.AddRow(w, el.Round(time.Microsecond).String(),
+			float64(t1)/float64(el), stats.CrossMessages, stats.Imbalance())
+	}
+	return tab, nil
+}
+
+// E11AlignmentSimulated runs the same alignment on the language runtime
+// under both tree-reduction motifs, reporting simulated makespan and
+// messages — who wins and why (TR2 trades parallel slack for locality and
+// bounded memory).
+func E11AlignmentSimulated(families, seqLen int, seed int64) (*metrics.Table, error) {
+	fam, err := bio.Evolve(families, seqLen, 0.08, 0.01, seed)
+	if err != nil {
+		return nil, err
+	}
+	guide, err := bio.GuideTree(fam)
+	if err != nil {
+		return nil, err
+	}
+	seqTree := bio.SeqTree(guide, fam)
+	tab := metrics.NewTable("motif", "procs", "makespan", "messages", "peak evals/proc")
+	for _, procs := range []int{2, 4, 8} {
+		cfg := motifs.RunConfig{
+			Procs:   procs,
+			Seed:    seed,
+			Natives: map[string]strand.NativeFn{"eval/4": bio.EvalNative()},
+			Watch:   []string{"eval/4"},
+		}
+		_, res1, err := motifs.RunTreeReduce1("", seqTree, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E11 TR1: %w", err)
+		}
+		tab.AddRow("tree-reduce-1", procs, res1.Metrics.Makespan, res1.Metrics.Messages,
+			maxOf(res1.PeakLive["eval/4"]))
+		_, res2, err := motifs.RunTreeReduce2("", seqTree, motifs.SiblingLabels, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E11 TR2: %w", err)
+		}
+		tab.AddRow("tree-reduce-2", procs, res2.Metrics.Makespan, res2.Metrics.Messages,
+			maxOf(res2.PeakLive["eval/4"]))
+	}
+	return tab, nil
+}
+
+// E10LanguageMotifs exercises the future-work motif areas implemented at
+// the language level (not just as native skeletons): or-parallel search,
+// divide-and-conquer sorting, grid relaxation, and pipelines — each a
+// motif composition run on the simulated machine.
+func E10LanguageMotifs(seed int64) (*metrics.Table, error) {
+	tab := metrics.NewTable("motif area", "composition", "problem", "result")
+
+	// Search: binary strings of length 8 without adjacent ones = fib(10) = 55.
+	searchApp := `
+goalp(s(0, _, _), T) :- T := true.
+goalp(s(K, _, _), T) :- K > 0 | T := false.
+expand(s(K, Last, Acc), Cs) :- K > 0 | K1 is K - 1, exp1(K1, Last, Acc, Cs).
+exp1(K1, 1, Acc, Cs) :- Cs := [s(K1, 0, [0|Acc])].
+exp1(K1, 0, Acc, Cs) :- Cs := [s(K1, 0, [0|Acc]), s(K1, 1, [1|Acc])].
+`
+	start := term.NewCompound("s", term.Int(8), term.Int(0), term.EmptyList)
+	sols, _, err := motifs.RunSearch(searchApp, start, motifs.RunConfig{Procs: 4, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("E10b search: %w", err)
+	}
+	tab.AddRow("search", "server∘collector∘rand∘short-circuit∘search", "fib-strings(8)", len(sols))
+
+	// Sorting via the divide-and-conquer motif.
+	sortApp := `
+leafp([], T) :- T := true.
+leafp([_], T) :- T := true.
+leafp([_,_|_], T) :- T := false.
+trivial(L, R) :- R := L.
+split([], A, B) :- A := [], B := [].
+split([X], A, B) :- A := [X], B := [].
+split([X,Y|L], A, B) :- A := [X|A1], B := [Y|B1], split(L, A1, B1).
+combine([], Ys, R) :- R := Ys.
+combine([X|Xs], [], R) :- R := [X|Xs].
+combine([X|Xs], [Y|Ys], R) :- X =< Y | R := [X|R1], combine(Xs, [Y|Ys], R1).
+combine([X|Xs], [Y|Ys], R) :- X > Y | R := [Y|R1], combine([X|Xs], Ys, R1).
+`
+	rng := rand.New(rand.NewSource(seed))
+	elems := make([]term.Term, 16)
+	for i := range elems {
+		elems[i] = term.Int(int64(rng.Intn(100)))
+	}
+	sorted, _, err := motifs.RunDC(sortApp, term.MkList(elems...), motifs.RunConfig{Procs: 4, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("E10b sort: %w", err)
+	}
+	vals, _ := term.ListSlice(sorted)
+	isSorted := sort.SliceIsSorted(vals, func(i, j int) bool {
+		return term.Walk(vals[i]).(term.Int) < term.Walk(vals[j]).(term.Int)
+	})
+	tab.AddRow("sorting (d&c)", "server∘rand∘dc", "mergesort 16 ints", isSorted)
+
+	// Grid relaxation vs the exact reference.
+	blocks := [][]float64{{1, 2, 3}, {4, 5}, {6, 7, 8}}
+	got, _, err := motifs.RunGrid(motifs.JacobiRelaxSrc, blocks, 5, 0, motifs.RunConfig{Procs: 3, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("E10b grid: %w", err)
+	}
+	cells := 0
+	for _, b := range got {
+		cells += len(b)
+	}
+	tab.AddRow("grid", "grid (stream dataflow)", "1-D jacobi 5 sweeps, cells", cells)
+
+	// Pipeline.
+	pipeApp := `
+stage(I, [X|Xs], Out) :- Y is X + I, Out := [Y|Out1], stage(I, Xs, Out1).
+stage(_, [], Out) :- Out := [].
+`
+	out, _, err := motifs.ApplyAndRun(motifs.Pipe(), pipeApp,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Out")
+			return motifs.PipeGoal(3, []term.Term{term.Int(1), term.Int(2)}, v), v, nil
+		}, motifs.RunConfig{Procs: 4, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("E10b pipe: %w", err)
+	}
+	tab.AddRow("pipeline", "pipe (stream dataflow)", "3 inc-stages on [1,2]", term.Sprint(out))
+	return tab, nil
+}
+
+// E12MessageLatency sweeps the simulated inter-processor message latency
+// and reports each tree-reduction motif's makespan — an ablation of the
+// machine model: Tree-Reduce-1's critical path contains one shipped
+// process and one value return per tree level, so latency stretches it;
+// Tree-Reduce-2 pre-places work and pays latency only on its value
+// messages.
+func E12MessageLatency(seed int64) (*metrics.Table, error) {
+	tree := workload.IntTree(64, workload.ShapeRandom, seed)
+	tab := metrics.NewTable("msg latency", "TR1 makespan", "TR2 makespan")
+	for _, lat := range []int64{0, 2, 8, 32} {
+		cfg := motifs.RunConfig{Procs: 4, Seed: seed, MessageCost: lat}
+		_, res1, err := motifs.RunTreeReduce1(motifs.ArithmeticEvalSrc, tree, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E12 TR1 lat=%d: %w", lat, err)
+		}
+		_, res2, err := motifs.RunTreeReduce2(motifs.ArithmeticEvalSrc, tree, motifs.SiblingLabels, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E12 TR2 lat=%d: %w", lat, err)
+		}
+		tab.AddRow(lat, res1.Metrics.Makespan, res2.Metrics.Makespan)
+	}
+	return tab, nil
+}
+
+// E13SchedulerBatching ablates the batched scheduler modification: manager
+// message traffic and makespan versus batch size, for uniform and
+// heavy-tailed task costs. Batching cuts coordination messages but loses
+// balance when costs are skewed — the trade the paper's "reuse through
+// modification" example is about.
+func E13SchedulerBatching(seed int64) (*metrics.Table, error) {
+	const nTasks = 48
+	appSrc := `task(t(N), R) :- R is N.`
+	var tasks []term.Term
+	for i := 0; i < nTasks; i++ {
+		tasks = append(tasks, term.NewCompound("t", term.Int(int64(i))))
+	}
+	tab := metrics.NewTable("task cost", "batch", "messages", "makespan")
+	for _, heavy := range []bool{false, true} {
+		costName := "uniform"
+		var costFn func(goal term.Term) int64
+		if heavy {
+			costName = "pareto"
+			costFn = workload.GoalCostFn(workload.ParetoCost(1.3, 10, seed))
+		} else {
+			costFn = workload.GoalCostFn(workload.UniformCost(10))
+		}
+		for _, batch := range []int{1, 4, 12} {
+			cfg := motifs.RunConfig{Procs: 5, Seed: seed}
+			cfg.EvalCost = nil
+			// Charge the cost on task/2 commits rather than eval/4.
+			results, res, err := runBatchedWithCost(appSrc, tasks, batch, cfg, costFn)
+			if err != nil {
+				return nil, fmt.Errorf("E13 batch=%d: %w", batch, err)
+			}
+			if len(results) != nTasks {
+				return nil, fmt.Errorf("E13 batch=%d: %d results", batch, len(results))
+			}
+			tab.AddRow(costName, batch, res.Metrics.Messages, res.Metrics.Makespan)
+		}
+	}
+	return tab, nil
+}
+
+// E13bHierarchy contrasts the flat scheduler with the two-level
+// hierarchical variant — the paper's literal modification example — on the
+// traffic concentrated at the top manager (processor 1) and the makespan.
+func E13bHierarchy(seed int64) (*metrics.Table, error) {
+	const nTasks = 60
+	appSrc := `task(t(N), R) :- R is N.`
+	var tasks []term.Term
+	for i := 0; i < nTasks; i++ {
+		tasks = append(tasks, term.NewCompound("t", term.Int(int64(i))))
+	}
+	tab := metrics.NewTable("scheduler", "procs", "manager inbox msgs", "total msgs", "makespan")
+
+	cfg := motifs.RunConfig{Procs: 11, Seed: seed}
+	_, res, err := motifs.RunScheduler(appSrc, tasks, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("E13b flat: %w", err)
+	}
+	tab.AddRow("flat", 11, res.PortTraffic[0], res.Metrics.Messages, res.Metrics.Makespan)
+
+	for _, groups := range []int{2, 3} {
+		_, res, err := motifs.RunHierScheduler(appSrc, tasks, groups, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("E13b hier(%d): %w", groups, err)
+		}
+		tab.AddRow(fmt.Sprintf("hier(G=%d)", groups), 11,
+			res.PortTraffic[0], res.Metrics.Messages, res.Metrics.Makespan)
+	}
+	return tab, nil
+}
+
+// runBatchedWithCost runs the batched scheduler with a per-task cost model.
+func runBatchedWithCost(appSrc string, tasks []term.Term, batch int,
+	cfg motifs.RunConfig, costFn func(goal term.Term) int64) ([]term.Term, *strand.Result, error) {
+	h := term.NewHeap()
+	app, err := parser.Parse(h, appSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := motifs.BatchSchedulerMotif().ApplyTo(app, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := h.NewVar("Results")
+	rt := strand.New(prog, h, strand.Options{
+		Procs: cfg.Procs,
+		Seed:  cfg.Seed,
+		CostFn: func(ind string, goal term.Term) int64 {
+			if ind == "task/2" {
+				return costFn(goal)
+			}
+			return 0
+		},
+	})
+	rt.Spawn(motifs.BatchSchedulerGoal(tasks, batch, cfg.Procs, results), 0)
+	res, err := rt.Run()
+	if err != nil {
+		return nil, res, err
+	}
+	out, ok := term.ListSlice(results)
+	if !ok {
+		return nil, res, fmt.Errorf("results not a list")
+	}
+	return out, res, nil
+}
+
+// E15AlignmentQuality sweeps the family's divergence (substitution rate)
+// and reports the multiple alignment's sum-of-pairs identity and how well
+// its consensus recovers the true ancestral sequence — validating that the
+// align-node substitute behaves like a real progressive aligner: quality
+// degrades smoothly with divergence and the consensus tracks the ancestor
+// closely at low divergence.
+func E15AlignmentQuality(seed int64) (*metrics.Table, error) {
+	tab := metrics.NewTable("sub rate", "indel rate", "SP identity", "consensus~ancestor")
+	for _, rates := range [][2]float64{{0.01, 0.002}, {0.05, 0.01}, {0.10, 0.02}, {0.25, 0.05}} {
+		fam, err := bio.Evolve(10, 80, rates[0], rates[1], seed)
+		if err != nil {
+			return nil, err
+		}
+		aln, _, err := bio.AlignFamily(fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		cons := bio.Seq(strings.ReplaceAll(aln.Consensus(), "-", ""))
+		tab.AddRow(rates[0], rates[1], aln.SPIdentity(), 1-bio.Distance(cons, fam.Ancestor))
+	}
+	return tab, nil
+}
+
+// E10Skeletons exercises each future-work motif area on a standard problem,
+// reporting a correctness witness for each.
+func E10Skeletons(seed int64) (*metrics.Table, error) {
+	tab := metrics.NewTable("motif area", "problem", "result")
+
+	// Search: 8-queens.
+	q := skel.NQueens{N: 8}
+	sols, _ := skel.Search[skel.NQState](q, q.Start(), skel.SearchOptions{Workers: 4})
+	tab.AddRow("search", "8-queens solutions", len(sols))
+
+	// Sorting: mergesort over 10k ints.
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]int, 10000)
+	for i := range xs {
+		xs[i] = rng.Intn(1 << 20)
+	}
+	sorted := skel.MergeSort(xs, func(a, b int) bool { return a < b }, 4)
+	ok := sort.IntsAreSorted(sorted)
+	tab.AddRow("sorting", "mergesort 10k sorted", ok)
+
+	// Grid: Jacobi convergence.
+	g := skel.NewGrid(34, 34)
+	for c := 0; c < 34; c++ {
+		g.Set(0, c, 1)
+	}
+	_, sweeps, _, err := skel.Jacobi(g, skel.JacobiOptions{Workers: 4, Iterations: 100000, Tolerance: 1e-8})
+	if err != nil {
+		return nil, err
+	}
+	tab.AddRow("grid", "jacobi sweeps to 1e-8", sweeps)
+
+	// Divide and conquer: fib(25).
+	fib := skel.DivideConquer(25,
+		func(n int) bool { return n < 2 },
+		func(n int) int { return n },
+		func(n int) []int { return []int{n - 1, n - 2} },
+		func(_ int, rs []int) int { return rs[0] + rs[1] },
+		skel.DCOptions{Parallel: 4, Depth: 3})
+	tab.AddRow("divide-and-conquer", "fib(25)", fib)
+
+	// Graph/reduction: parallel reduce of 1e6 ints.
+	big := make([]int64, 1_000_000)
+	for i := range big {
+		big[i] = int64(i)
+	}
+	sum := skel.ParReduce(big, 0, func(a, b int64) int64 { return a + b }, 8)
+	tab.AddRow("reduction", "sum 1..1e6-1", sum)
+	return tab, nil
+}

@@ -1,0 +1,254 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestE2Table(t *testing.T) {
+	tab, err := E2ArithmeticTree(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if strings.Count(s, "24") < 4 {
+		t.Fatalf("expected value 24 for every processor count:\n%s", s)
+	}
+}
+
+func TestE6BalanceImprovesWithScale(t *testing.T) {
+	tab, err := E6RandomMappingBalance(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "1024") {
+		t.Fatalf("missing sweep points:\n%s", s)
+	}
+}
+
+func TestE7CrossoverShape(t *testing.T) {
+	tab, err := E7StaticVsDynamic(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	// The qualitative claim: static wins (or ties) under uniform costs,
+	// dynamic wins under pareto.
+	lines := strings.Split(s, "\n")
+	var uniformLine, paretoLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "uniform") {
+			uniformLine = l
+		}
+		if strings.HasPrefix(l, "pareto") {
+			paretoLine = l
+		}
+	}
+	if !strings.Contains(uniformLine, "static") {
+		t.Fatalf("uniform costs should favor static:\n%s", s)
+	}
+	if !strings.Contains(paretoLine, "dynamic") {
+		t.Fatalf("pareto costs should favor dynamic:\n%s", s)
+	}
+}
+
+func TestE9MemoryShape(t *testing.T) {
+	tab, err := E9PeakMemory(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TR2 column must be all 1s: parse rows.
+	for _, line := range strings.Split(tab.String(), "\n")[2:] {
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			continue
+		}
+		if fields[3] != "1" {
+			t.Fatalf("TR2 peak evals/proc = %s (want 1):\n%s", fields[3], tab)
+		}
+	}
+}
+
+func TestE5LocalityShape(t *testing.T) {
+	tab, err := E5LabelLocality(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "sibling") || !strings.Contains(tab.String(), "independent") {
+		t.Fatalf("missing schemes:\n%s", tab)
+	}
+}
+
+func TestE8ReuseTable(t *testing.T) {
+	tab, err := E8ReuseCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, frag := range []string{"application", "tree1", "rand", "server"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("missing stage %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestE10Skeletons(t *testing.T) {
+	tab, err := E10Skeletons(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "92") { // 8-queens solutions
+		t.Fatalf("8-queens count missing:\n%s", s)
+	}
+	if !strings.Contains(s, "75025") { // fib(25)
+		t.Fatalf("fib(25) missing:\n%s", s)
+	}
+	if !strings.Contains(s, "499999500000") { // sum 0..999999
+		t.Fatalf("reduction sum missing:\n%s", s)
+	}
+	if !strings.Contains(s, "true") {
+		t.Fatalf("sorting witness missing:\n%s", s)
+	}
+}
+
+func TestE11SimulatedSmall(t *testing.T) {
+	tab, err := E11AlignmentSimulated(5, 24, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "tree-reduce-1") || !strings.Contains(s, "tree-reduce-2") {
+		t.Fatalf("missing motifs:\n%s", s)
+	}
+}
+
+func TestE11SpeedupSmall(t *testing.T) {
+	tab, err := E11AlignmentSpeedup(6, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "speedup") {
+		t.Fatalf("bad table:\n%s", tab)
+	}
+}
+
+func TestSchedSimMakespans(t *testing.T) {
+	// 4 unit tasks on 2 workers: both strategies give makespan 2.
+	costs := []int64{1, 1, 1, 1}
+	if SchedSim(costs, 2, true) != 2 || SchedSim(costs, 2, false) != 2 {
+		t.Fatal("uniform scheduling wrong")
+	}
+	// One huge task first: static blocks {10,1},{1,1} -> 11; dynamic -> 10 vs 3 -> 10.
+	costs = []int64{10, 1, 1, 1}
+	if got := SchedSim(costs, 2, true); got != 11 {
+		t.Fatalf("static = %d", got)
+	}
+	if got := SchedSim(costs, 2, false); got != 10 {
+		t.Fatalf("dynamic = %d", got)
+	}
+}
+
+func TestE10LanguageMotifs(t *testing.T) {
+	tab, err := E10LanguageMotifs(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "55") { // fib(10) strings
+		t.Fatalf("search witness missing:\n%s", s)
+	}
+	if !strings.Contains(s, "true") {
+		t.Fatalf("sorting witness missing:\n%s", s)
+	}
+	if !strings.Contains(s, "[7,8]") {
+		t.Fatalf("pipeline witness missing:\n%s", s)
+	}
+}
+
+func TestE12LatencyShape(t *testing.T) {
+	tab, err := E12MessageLatency(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.String(), "32") {
+		t.Fatalf("latency sweep incomplete:\n%s", tab)
+	}
+}
+
+func TestE13BatchingShape(t *testing.T) {
+	tab, err := E13SchedulerBatching(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "uniform") || !strings.Contains(s, "pareto") {
+		t.Fatalf("batching table incomplete:\n%s", s)
+	}
+}
+
+func TestE15QualityDegradesWithDivergence(t *testing.T) {
+	tab, err := E15AlignmentQuality(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parse the SP column and check monotone non-increase.
+	lines := strings.Split(strings.TrimSpace(tab.String()), "\n")[2:]
+	var prev float64 = 2
+	for _, l := range lines {
+		fields := strings.Fields(l)
+		if len(fields) != 4 {
+			t.Fatalf("bad row %q", l)
+		}
+		var sp float64
+		if _, err := fmt.Sscanf(fields[2], "%f", &sp); err != nil {
+			t.Fatal(err)
+		}
+		if sp > prev+0.02 {
+			t.Fatalf("SP identity not degrading: %v then %v\n%s", prev, sp, tab)
+		}
+		prev = sp
+	}
+	// Low divergence row should have high consensus fidelity.
+	first := strings.Fields(lines[0])
+	var fid float64
+	if _, err := fmt.Sscanf(first[3], "%f", &fid); err != nil {
+		t.Fatal(err)
+	}
+	if fid < 0.9 {
+		t.Fatalf("low-divergence consensus fidelity %v < 0.9", fid)
+	}
+}
+
+func TestE13bHierarchyShape(t *testing.T) {
+	tab, err := E13bHierarchy(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "flat") || !strings.Contains(s, "hier(G=2)") {
+		t.Fatalf("table incomplete:\n%s", s)
+	}
+	// The hierarchy must reduce top-manager inbox traffic.
+	lines := strings.Split(strings.TrimSpace(s), "\n")[2:]
+	var flatMsgs, hier3Msgs int
+	for _, l := range lines {
+		f := strings.Fields(l)
+		if len(f) < 3 {
+			continue
+		}
+		var v int
+		fmt.Sscanf(f[2], "%d", &v)
+		if f[0] == "flat" {
+			flatMsgs = v
+		}
+		if f[0] == "hier(G=3)" {
+			hier3Msgs = v
+		}
+	}
+	if hier3Msgs >= flatMsgs {
+		t.Fatalf("hierarchy did not reduce manager traffic: flat=%d hier=%d\n%s", flatMsgs, hier3Msgs, s)
+	}
+}

@@ -1,0 +1,279 @@
+// Package machine simulates the MIMD multicomputer that the paper's motifs
+// target: P processors, each with a FIFO run queue of work items, advancing
+// in lock-step cycles under a deterministic (seeded) scheduler.
+//
+// The simulation abstracts exactly the phenomena the paper reasons about —
+// per-processor load, inter-processor message traffic, concurrent memory
+// pressure, and parallel completion time — while staying deterministic so
+// that every experiment in EXPERIMENTS.md is reproducible bit-for-bit.
+//
+// The machine is generic over work items: package strand runs language
+// processes on it, and package skel's simulation-mode skeletons run native
+// Go closures on it.
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Task is an opaque unit of work placed on a processor's run queue.
+type Task any
+
+// Config parameterizes a simulated machine.
+type Config struct {
+	// Procs is the number of processors (≥ 1).
+	Procs int
+	// Seed seeds the machine's random number generator (used by rand_num
+	// and random mapping decisions). The same seed yields the same run.
+	Seed int64
+	// MessageCost is the number of cycles of latency added to a task that
+	// is shipped to another processor: the task becomes runnable only
+	// MessageCost cycles after it is sent. Zero means instantaneous.
+	MessageCost int64
+	// MaxCycles aborts the run after this many cycles as a safety net
+	// against livelock; 0 means no limit.
+	MaxCycles int64
+}
+
+// Machine is a simulated multicomputer. It is not safe for concurrent use;
+// the whole point is deterministic single-threaded interleaving.
+type Machine struct {
+	cfg    Config
+	queues []fifo
+	// delayed holds tasks in flight: runnable at cycle `due` on proc `to`.
+	delayed []delayedTask
+	rng     *rand.Rand
+	now     int64
+	// busyUntil[p] > now means processor p is executing a long task.
+	busyUntil []int64
+
+	met Metrics
+}
+
+type delayedTask struct {
+	due  int64
+	to   int
+	task Task
+}
+
+// fifo is a simple queue with stable order.
+type fifo struct {
+	items []Task
+	head  int
+}
+
+func (q *fifo) push(t Task) { q.items = append(q.items, t) }
+
+func (q *fifo) pop() (Task, bool) {
+	if q.head >= len(q.items) {
+		return nil, false
+	}
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 > len(q.items) {
+		q.items = append(q.items[:0], q.items[q.head:]...)
+		q.head = 0
+	}
+	return t, true
+}
+
+func (q *fifo) len() int { return len(q.items) - q.head }
+
+// New creates a machine. It panics on a non-positive processor count, which
+// is a configuration bug, not a run-time condition.
+func New(cfg Config) *Machine {
+	if cfg.Procs <= 0 {
+		panic(fmt.Sprintf("machine: Procs must be positive, got %d", cfg.Procs))
+	}
+	return &Machine{
+		cfg:       cfg,
+		queues:    make([]fifo, cfg.Procs),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		busyUntil: make([]int64, cfg.Procs),
+		met: Metrics{
+			Reductions:      make([]int64, cfg.Procs),
+			MessagesToProc:  make([]int64, cfg.Procs),
+			BusyCycles:      make([]int64, cfg.Procs),
+			PeakQueueLength: make([]int, cfg.Procs),
+		},
+	}
+}
+
+// Procs returns the processor count.
+func (m *Machine) Procs() int { return m.cfg.Procs }
+
+// Now returns the current cycle number.
+func (m *Machine) Now() int64 { return m.now }
+
+// Rand returns a deterministic random integer in [0, n). It panics if
+// n <= 0.
+func (m *Machine) Rand(n int) int { return m.rng.Intn(n) }
+
+// RandProc returns a uniformly random processor index.
+func (m *Machine) RandProc() int { return m.rng.Intn(m.cfg.Procs) }
+
+// Enqueue places a task on processor p's run queue immediately, without
+// counting a message (used for initial work placement and local spawns).
+func (m *Machine) Enqueue(p int, t Task) {
+	m.checkProc(p)
+	m.queues[p].push(t)
+	if l := m.queues[p].len(); l > m.met.PeakQueueLength[p] {
+		m.met.PeakQueueLength[p] = l
+	}
+}
+
+// EnqueueAfter places a task on processor p's run queue after the given
+// delay in cycles, without counting a message (callers that model message
+// delivery count it separately via CountMessage).
+func (m *Machine) EnqueueAfter(p int, t Task, delay int64) {
+	m.checkProc(p)
+	if delay <= 0 {
+		m.Enqueue(p, t)
+		return
+	}
+	m.delayed = append(m.delayed, delayedTask{due: m.now + delay, to: p, task: t})
+}
+
+// CountMessage records an inter-processor message for accounting without
+// shipping a task — used when the payload travels through a shared data
+// structure (e.g. a stream) rather than as a schedulable task. A self-send
+// is not a message.
+func (m *Machine) CountMessage(from, to int) {
+	m.checkProc(to)
+	if from == to {
+		return
+	}
+	m.met.Messages++
+	m.met.MessagesToProc[to]++
+}
+
+// Send ships a task from processor `from` to processor `to`, counting an
+// inter-processor message when from != to and applying the configured
+// message latency. A send to self is a local enqueue and is free.
+func (m *Machine) Send(from, to int, t Task) {
+	m.checkProc(to)
+	if from == to {
+		m.Enqueue(to, t)
+		return
+	}
+	m.met.Messages++
+	m.met.MessagesToProc[to]++
+	if m.cfg.MessageCost <= 0 {
+		m.Enqueue(to, t)
+		return
+	}
+	m.delayed = append(m.delayed, delayedTask{due: m.now + m.cfg.MessageCost, to: to, task: t})
+}
+
+func (m *Machine) checkProc(p int) {
+	if p < 0 || p >= m.cfg.Procs {
+		panic(fmt.Sprintf("machine: processor %d out of range [0,%d)", p, m.cfg.Procs))
+	}
+}
+
+// Exec is the work-execution callback supplied by the runtime layered on the
+// machine. It runs task t on processor p and returns the task's cost in
+// cycles (minimum 1): the processor is busy for that many cycles.
+type Exec func(p int, t Task) int64
+
+// Idle reports whether no task is queued, delayed, or executing.
+func (m *Machine) Idle() bool {
+	if len(m.delayed) > 0 {
+		return false
+	}
+	for p := range m.queues {
+		if m.queues[p].len() > 0 {
+			return false
+		}
+		if m.busyUntil[p] > m.now {
+			return false
+		}
+	}
+	return true
+}
+
+// QueuedTasks returns the total number of queued (not delayed) tasks.
+func (m *Machine) QueuedTasks() int {
+	n := 0
+	for p := range m.queues {
+		n += m.queues[p].len()
+	}
+	return n
+}
+
+// Step advances the machine by one cycle: delayed tasks that have arrived
+// are delivered, then every non-busy processor executes at most one task
+// from its queue via exec. It returns false once the machine is idle.
+func (m *Machine) Step(exec Exec) (bool, error) {
+	if m.Idle() {
+		return false, nil
+	}
+	if m.cfg.MaxCycles > 0 && m.now >= m.cfg.MaxCycles {
+		return false, fmt.Errorf("machine: exceeded MaxCycles=%d with %d tasks queued",
+			m.cfg.MaxCycles, m.QueuedTasks())
+	}
+
+	// Deliver arrived messages.
+	if len(m.delayed) > 0 {
+		kept := m.delayed[:0]
+		for _, d := range m.delayed {
+			if d.due <= m.now {
+				m.Enqueue(d.to, d.task)
+			} else {
+				kept = append(kept, d)
+			}
+		}
+		m.delayed = kept
+	}
+
+	for p := range m.queues {
+		if m.busyUntil[p] > m.now {
+			m.met.BusyCycles[p]++
+			continue
+		}
+		t, ok := m.queues[p].pop()
+		if !ok {
+			continue
+		}
+		cost := exec(p, t)
+		if cost < 1 {
+			cost = 1
+		}
+		m.met.Reductions[p]++
+		m.met.BusyCycles[p] += 1 // this cycle; remaining busy cycles counted as they pass
+		if cost > 1 {
+			m.busyUntil[p] = m.now + cost
+		}
+	}
+	m.now++
+	return true, nil
+}
+
+// Run steps the machine until idle (or error). It returns the metrics
+// snapshot at completion.
+func (m *Machine) Run(exec Exec) (*Metrics, error) {
+	for {
+		more, err := m.Step(exec)
+		if err != nil {
+			return m.MetricsSnapshot(), err
+		}
+		if !more {
+			break
+		}
+	}
+	return m.MetricsSnapshot(), nil
+}
+
+// MetricsSnapshot returns a copy of the machine's metrics with the makespan
+// filled in.
+func (m *Machine) MetricsSnapshot() *Metrics {
+	cp := m.met
+	cp.Makespan = m.now
+	cp.Reductions = append([]int64(nil), m.met.Reductions...)
+	cp.MessagesToProc = append([]int64(nil), m.met.MessagesToProc...)
+	cp.BusyCycles = append([]int64(nil), m.met.BusyCycles...)
+	cp.PeakQueueLength = append([]int(nil), m.met.PeakQueueLength...)
+	return &cp
+}

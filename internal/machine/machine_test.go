@@ -1,0 +1,329 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Procs=0")
+		}
+	}()
+	New(Config{Procs: 0})
+}
+
+func TestSingleTaskRun(t *testing.T) {
+	m := New(Config{Procs: 1, Seed: 1})
+	ran := 0
+	m.Enqueue(0, "t")
+	met, err := m.Run(func(p int, task Task) int64 {
+		if p != 0 || task != Task("t") {
+			t.Fatalf("exec got p=%d task=%v", p, task)
+		}
+		ran++
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d", ran)
+	}
+	if met.Makespan != 1 || met.TotalReductions() != 1 {
+		t.Fatalf("metrics = %s", met)
+	}
+}
+
+func TestFIFOOrderWithinProcessor(t *testing.T) {
+	m := New(Config{Procs: 1, Seed: 1})
+	for i := 0; i < 5; i++ {
+		m.Enqueue(0, i)
+	}
+	var order []int
+	if _, err := m.Run(func(p int, task Task) int64 {
+		order = append(order, task.(int))
+		return 1
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestParallelismAcrossProcessors(t *testing.T) {
+	// 4 procs, 4 tasks, one per proc: makespan should be 1 cycle.
+	m := New(Config{Procs: 4, Seed: 1})
+	for p := 0; p < 4; p++ {
+		m.Enqueue(p, p)
+	}
+	met, err := m.Run(func(p int, task Task) int64 { return 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Makespan != 1 {
+		t.Fatalf("makespan = %d, want 1", met.Makespan)
+	}
+}
+
+func TestTaskCostOccupiesProcessor(t *testing.T) {
+	// One proc: a cost-5 task then a cost-1 task => makespan 6.
+	m := New(Config{Procs: 1, Seed: 1})
+	m.Enqueue(0, "slow")
+	m.Enqueue(0, "fast")
+	met, err := m.Run(func(p int, task Task) int64 {
+		if task == Task("slow") {
+			return 5
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Makespan != 6 {
+		t.Fatalf("makespan = %d, want 6", met.Makespan)
+	}
+	if met.BusyCycles[0] != 6 {
+		t.Fatalf("busy = %d, want 6", met.BusyCycles[0])
+	}
+}
+
+func TestSendCountsMessagesAndSelfSendFree(t *testing.T) {
+	m := New(Config{Procs: 2, Seed: 1})
+	m.Send(0, 1, "remote")
+	m.Send(1, 1, "local")
+	met := m.MetricsSnapshot()
+	if met.Messages != 1 {
+		t.Fatalf("messages = %d, want 1", met.Messages)
+	}
+	if met.MessagesToProc[1] != 1 {
+		t.Fatalf("messagesToProc[1] = %d", met.MessagesToProc[1])
+	}
+}
+
+func TestMessageLatencyDelaysDelivery(t *testing.T) {
+	m := New(Config{Procs: 2, Seed: 1, MessageCost: 3})
+	m.Send(0, 1, "msg")
+	var execCycle int64 = -1
+	met, err := m.Run(func(p int, task Task) int64 {
+		execCycle = m.Now()
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sent at cycle 0 with cost 3: delivered at the start of cycle 3.
+	if execCycle != 3 {
+		t.Fatalf("executed at cycle %d, want 3", execCycle)
+	}
+	if met.Makespan != 4 {
+		t.Fatalf("makespan = %d", met.Makespan)
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	m := New(Config{Procs: 1, Seed: 1, MaxCycles: 10})
+	m.Enqueue(0, 0)
+	_, err := m.Run(func(p int, task Task) int64 {
+		m.Enqueue(0, 0) // livelock: always requeue
+		return 1
+	})
+	if err == nil {
+		t.Fatal("expected MaxCycles error")
+	}
+}
+
+func TestDeterminismWithSeed(t *testing.T) {
+	run := func() []int {
+		m := New(Config{Procs: 8, Seed: 42})
+		var picks []int
+		for i := 0; i < 100; i++ {
+			picks = append(picks, m.RandProc())
+		}
+		return picks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different random sequences")
+		}
+	}
+}
+
+func TestRandProcInRange(t *testing.T) {
+	m := New(Config{Procs: 5, Seed: 7})
+	for i := 0; i < 1000; i++ {
+		p := m.RandProc()
+		if p < 0 || p >= 5 {
+			t.Fatalf("RandProc out of range: %d", p)
+		}
+	}
+}
+
+func TestIdleAndQueuedTasks(t *testing.T) {
+	m := New(Config{Procs: 2, Seed: 1})
+	if !m.Idle() {
+		t.Fatal("fresh machine not idle")
+	}
+	m.Enqueue(0, "a")
+	m.Enqueue(1, "b")
+	if m.Idle() || m.QueuedTasks() != 2 {
+		t.Fatalf("idle=%v queued=%d", m.Idle(), m.QueuedTasks())
+	}
+}
+
+func TestBusyProcessorNotIdle(t *testing.T) {
+	m := New(Config{Procs: 1, Seed: 1})
+	m.Enqueue(0, "slow")
+	// One step: task starts, costs 3 cycles.
+	more, err := m.Step(func(p int, task Task) int64 { return 3 })
+	if err != nil || !more {
+		t.Fatalf("step: %v %v", more, err)
+	}
+	if m.Idle() {
+		t.Fatal("machine idle while processor busy")
+	}
+}
+
+func TestMetricsImbalance(t *testing.T) {
+	met := &Metrics{BusyCycles: []int64{10, 10, 10, 10}}
+	if got := met.LoadImbalance(); got != 1.0 {
+		t.Fatalf("balanced imbalance = %v", got)
+	}
+	met = &Metrics{BusyCycles: []int64{40, 0, 0, 0}}
+	if got := met.LoadImbalance(); got != 4.0 {
+		t.Fatalf("worst imbalance = %v", got)
+	}
+}
+
+func TestMetricsEfficiency(t *testing.T) {
+	met := &Metrics{Makespan: 10, BusyCycles: []int64{10, 10}}
+	if got := met.Efficiency(); got != 1.0 {
+		t.Fatalf("efficiency = %v", got)
+	}
+	met = &Metrics{Makespan: 10, BusyCycles: []int64{10, 0}}
+	if got := met.Efficiency(); got != 0.5 {
+		t.Fatalf("efficiency = %v", got)
+	}
+}
+
+func TestPeakQueueTracked(t *testing.T) {
+	m := New(Config{Procs: 1, Seed: 1})
+	for i := 0; i < 7; i++ {
+		m.Enqueue(0, i)
+	}
+	met := m.MetricsSnapshot()
+	if met.PeakQueueLength[0] != 7 {
+		t.Fatalf("peak queue = %d", met.PeakQueueLength[0])
+	}
+}
+
+// Property: every enqueued task is executed exactly once regardless of
+// distribution across processors.
+func TestPropAllTasksExecuteOnce(t *testing.T) {
+	f := func(nTasks uint8, procs uint8, seed int64) bool {
+		p := int(procs%8) + 1
+		n := int(nTasks % 200)
+		m := New(Config{Procs: p, Seed: seed})
+		for i := 0; i < n; i++ {
+			m.Enqueue(i%p, i)
+		}
+		seen := map[int]int{}
+		if _, err := m.Run(func(_ int, task Task) int64 {
+			seen[task.(int)]++
+			return 1
+		}); err != nil {
+			return false
+		}
+		if len(seen) != n {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: makespan is at least ceil(n/p) for n unit tasks on p procs and
+// at most n.
+func TestPropMakespanBounds(t *testing.T) {
+	f := func(nTasks uint8, procs uint8) bool {
+		p := int(procs%8) + 1
+		n := int(nTasks%100) + 1
+		m := New(Config{Procs: p, Seed: 1})
+		for i := 0; i < n; i++ {
+			m.Enqueue(i%p, i)
+		}
+		met, err := m.Run(func(int, Task) int64 { return 1 })
+		if err != nil {
+			return false
+		}
+		lower := int64((n + p - 1) / p)
+		return met.Makespan >= lower && met.Makespan <= int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnqueueAfter(t *testing.T) {
+	m := New(Config{Procs: 1, Seed: 1})
+	m.EnqueueAfter(0, "later", 4)
+	var ranAt int64 = -1
+	met, err := m.Run(func(p int, task Task) int64 {
+		ranAt = m.Now()
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranAt != 4 {
+		t.Fatalf("ran at cycle %d, want 4", ranAt)
+	}
+	if met.Messages != 0 {
+		t.Fatalf("EnqueueAfter counted %d messages", met.Messages)
+	}
+}
+
+func TestEnqueueAfterZeroDelayImmediate(t *testing.T) {
+	m := New(Config{Procs: 1, Seed: 1})
+	m.EnqueueAfter(0, "now", 0)
+	if m.QueuedTasks() != 1 {
+		t.Fatal("zero-delay task not queued immediately")
+	}
+}
+
+func TestUtilizationBars(t *testing.T) {
+	met := &Metrics{
+		Makespan:   10,
+		BusyCycles: []int64{10, 5},
+		Reductions: []int64{10, 5},
+	}
+	out := met.UtilizationBars(10)
+	if !contains(out, "100.0%") || !contains(out, "50.0%") {
+		t.Fatalf("bars = %q", out)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Metrics aggregates the observable behaviour of a simulated run — the
+// quantities the paper's qualitative claims are about.
+type Metrics struct {
+	// Makespan is the number of cycles until the machine went idle: the
+	// simulated parallel completion time.
+	Makespan int64
+	// Reductions[p] counts tasks executed on processor p (the load).
+	Reductions []int64
+	// Messages counts inter-processor task ships.
+	Messages int64
+	// MessagesToProc[p] counts messages delivered to processor p.
+	MessagesToProc []int64
+	// BusyCycles[p] counts cycles processor p spent executing.
+	BusyCycles []int64
+	// PeakQueueLength[p] is the largest run-queue length seen on p — the
+	// memory-pressure proxy used by experiment E9.
+	PeakQueueLength []int
+}
+
+// TotalReductions sums per-processor reduction counts.
+func (m *Metrics) TotalReductions() int64 {
+	var s int64
+	for _, r := range m.Reductions {
+		s += r
+	}
+	return s
+}
+
+// LoadImbalance returns max/mean of per-processor busy cycles; 1.0 is
+// perfect balance. Returns 0 for an empty run.
+func (m *Metrics) LoadImbalance() float64 {
+	return imbalance(m.BusyCycles)
+}
+
+// ReductionImbalance returns max/mean of per-processor reduction counts.
+func (m *Metrics) ReductionImbalance() float64 {
+	return imbalance(m.Reductions)
+}
+
+func imbalance(xs []int64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, x := range xs {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(xs))
+	return float64(max) / mean
+}
+
+// Efficiency returns aggregate busy cycles divided by (makespan × procs):
+// the fraction of processor-cycles doing useful work.
+func (m *Metrics) Efficiency() float64 {
+	if m.Makespan == 0 || len(m.BusyCycles) == 0 {
+		return 0
+	}
+	var busy int64
+	for _, b := range m.BusyCycles {
+		busy += b
+	}
+	return float64(busy) / float64(m.Makespan*int64(len(m.BusyCycles)))
+}
+
+// MaxPeakQueue returns the largest per-processor peak queue length.
+func (m *Metrics) MaxPeakQueue() int {
+	max := 0
+	for _, q := range m.PeakQueueLength {
+		if q > max {
+			max = q
+		}
+	}
+	return max
+}
+
+// UtilizationBars renders one text bar per processor showing its busy
+// fraction of the makespan — the at-a-glance load picture cmd/strand
+// prints with -stats.
+func (m *Metrics) UtilizationBars(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var b strings.Builder
+	for p, busy := range m.BusyCycles {
+		frac := 0.0
+		if m.Makespan > 0 {
+			frac = float64(busy) / float64(m.Makespan)
+		}
+		filled := int(frac*float64(width) + 0.5)
+		if filled > width {
+			filled = width
+		}
+		fmt.Fprintf(&b, "p%-3d |%s%s| %5.1f%%  (%d busy / %d reductions)\n",
+			p+1,
+			strings.Repeat("█", filled),
+			strings.Repeat(" ", width-filled),
+			100*frac, busy, m.Reductions[p])
+	}
+	return b.String()
+}
+
+// String renders a compact human-readable summary.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "makespan=%d reductions=%d messages=%d imbalance=%.3f efficiency=%.3f peakQueue=%d",
+		m.Makespan, m.TotalReductions(), m.Messages, m.LoadImbalance(), m.Efficiency(), m.MaxPeakQueue())
+	return b.String()
+}

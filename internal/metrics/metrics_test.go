@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Mean(xs), 5) {
+		t.Fatalf("mean = %v", Mean(xs))
+	}
+	if !almost(Stddev(xs), 2) {
+		t.Fatalf("stddev = %v", Stddev(xs))
+	}
+	if Mean(nil) != 0 || Stddev(nil) != 0 {
+		t.Fatal("empty input not zero")
+	}
+}
+
+func TestCV(t *testing.T) {
+	if !almost(CV([]float64{5, 5, 5}), 0) {
+		t.Fatal("CV of constant should be 0")
+	}
+	if CV([]float64{0, 0}) != 0 {
+		t.Fatal("CV with zero mean should be 0")
+	}
+}
+
+func TestMaxOverMean(t *testing.T) {
+	if !almost(MaxOverMean([]float64{10, 10, 10, 10}), 1) {
+		t.Fatal("balanced != 1")
+	}
+	if !almost(MaxOverMean([]float64{40, 0, 0, 0}), 4) {
+		t.Fatal("all-on-one != procs")
+	}
+}
+
+func TestGini(t *testing.T) {
+	if !almost(Gini([]float64{5, 5, 5, 5}), 0) {
+		t.Fatalf("gini equal = %v", Gini([]float64{5, 5, 5, 5}))
+	}
+	g := Gini([]float64{100, 0, 0, 0})
+	if g < 0.7 {
+		t.Fatalf("gini concentrated = %v", g)
+	}
+	if Gini(nil) != 0 || Gini([]float64{0, 0}) != 0 {
+		t.Fatal("degenerate gini not 0")
+	}
+}
+
+func TestInt64s(t *testing.T) {
+	out := Int64s([]int64{1, 2})
+	if len(out) != 2 || out[1] != 2.0 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", 100)
+	s := tab.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), s)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[0], "value") {
+		t.Fatalf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "1.500") {
+		t.Fatalf("float formatting: %q", lines[2])
+	}
+	// Columns align: the "value" header column start matches across rows.
+	if strings.Index(lines[0], "value") != strings.Index(lines[2], "1.500") {
+		t.Fatalf("misaligned:\n%s", s)
+	}
+}
+
+// Property: Gini is in [0, 1) and scale-invariant.
+func TestPropGiniBoundsAndScale(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = float64(x)
+		}
+		g := Gini(xs)
+		if g < -1e-9 || g >= 1 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 3.7 * x
+		}
+		return math.Abs(Gini(scaled)-g) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MaxOverMean >= 1 for non-degenerate non-negative loads.
+func TestPropImbalanceAtLeastOne(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		total := 0.0
+		for _, x := range raw {
+			xs = append(xs, float64(x))
+			total += float64(x)
+		}
+		if total == 0 {
+			return true
+		}
+		return MaxOverMean(xs) >= 1-1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package motifs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+// batchSchedulerLibrarySrc is the Scheduler motif adapted by *modification*
+// — the reuse mode the paper's introduction highlights ("a scheduler motif
+// might be adapted to the demands of a highly parallel computer"): the
+// manager hands each ready worker a *batch* of B jobs instead of one,
+// trading per-task balance for an O(B) reduction in manager traffic. The
+// worker performs its batch sequentially (each job waits for the previous
+// result) and only then announces readiness again.
+//
+// Entry message: jobs(Tasks, B, Results).
+const batchSchedulerLibrarySrc = `
+% Batched scheduler motif library (Scheduler modified for batching).
+server([jobs(Tasks, B, Results)|In]) :-
+    pair_jobs(Tasks, Results, Js),
+    nodes(N),
+    start_workers(N),
+    await_results(Results),
+    bmanager(In, B, Js).
+server([start|In]) :-
+    self(W), send(1, ready(W)), server(In).
+server([batch(Js)|In]) :-
+    do_jobs(Js, Flag), ready_when(Flag), server(In).
+server([halt|_]).
+
+pair_jobs([T|Ts], Rs, Js) :-
+    Rs := [R|Rs1], Js := [job(T, R)|Js1], pair_jobs(Ts, Rs1, Js1).
+pair_jobs([], Rs, Js) :- Rs := [], Js := [].
+
+start_workers(N) :- N > 1 | send(N, start), N1 is N - 1, start_workers(N1).
+start_workers(1).
+
+bmanager([ready(W)|In], B, Js) :-
+    split(B, Js, Take, Rest),
+    give(W, Take),
+    bmanager(In, B, Rest).
+bmanager([halt|_], _, _).
+
+split(0, Ts, Take, Rest) :- Take := [], Rest := Ts.
+split(B, [T|Ts], Take, Rest) :-
+    B > 0 |
+    Take := [T|Take1], B1 is B - 1, split(B1, Ts, Take1, Rest).
+split(B, [], Take, Rest) :- B > 0 | Take := [], Rest := [].
+
+give(_, []).
+give(W, [J|Js]) :- send(W, batch([J|Js])).
+
+do_jobs([], Flag) :- Flag := ok.
+do_jobs([job(T, R)|Js], Flag) :- task(T, R), next_job(R, Js, Flag).
+next_job(R, Js, Flag) :- data(R) | do_jobs(Js, Flag).
+
+ready_when(Flag) :- data(Flag) | self(W), send(1, ready(W)).
+
+await_results([R|Rs]) :- data(R) | await_results(Rs).
+await_results([]) :- halt.
+`
+
+// BatchScheduler returns the batched scheduler motif (identity
+// transformation plus the modified library). The user supplies task/2.
+func BatchScheduler() *core.Motif {
+	lib := parser.MustParse(term.NewHeap(), batchSchedulerLibrarySrc)
+	return core.LibraryOnly("batch-scheduler", lib)
+}
+
+// BatchSchedulerMotif returns the executable composition
+// Server ∘ BatchScheduler.
+func BatchSchedulerMotif() core.Applier {
+	return core.Compose(Server(), BatchScheduler())
+}
+
+// BatchSchedulerGoal builds create(Procs, jobs(Tasks, Batch, Results)).
+func BatchSchedulerGoal(tasks []term.Term, batch, procs int, results *term.Var) term.Term {
+	return term.NewCompound("create",
+		term.Int(procs),
+		term.NewCompound("jobs", term.MkList(tasks...), term.Int(int64(batch)), results))
+}
+
+// RunBatchScheduler executes tasks under the batched scheduler and returns
+// the results in task order.
+func RunBatchScheduler(appSrc string, tasks []term.Term, batch int, cfg RunConfig) ([]term.Term, *strand.Result, error) {
+	out, res, err := ApplyAndRun(BatchSchedulerMotif(), appSrc,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Results")
+			return BatchSchedulerGoal(tasks, batch, cfg.Procs, v), v, nil
+		}, cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	results, ok := term.ListSlice(out)
+	if !ok {
+		return nil, res, fmt.Errorf("batch scheduler results not a proper list: %s", term.Sprint(out))
+	}
+	return results, res, nil
+}

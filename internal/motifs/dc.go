@@ -1,0 +1,62 @@
+package motifs
+
+import (
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+// dcLibrarySrc is the generic divide-and-conquer motif — one of the areas
+// the paper's conclusion nominates ("divide and conquer"). The user
+// supplies four processes:
+//
+//	leafp(P, T)       — T := true if P is a base-case problem, else false
+//	trivial(P, R)     — solve a base-case problem directly
+//	split(P, P1, P2)  — divide a problem in two
+//	combine(R1, R2, R) — merge two sub-results
+//
+// The motif contributes the parallel structure: one branch of every split
+// is shipped to a randomly selected processor (via the @random pragma, so
+// the Rand and Server motifs below it do the rest), and the computation
+// halts once the root result is fully constructed (ground, not merely
+// bound, since results may be built incrementally).
+const dcLibrarySrc = `
+% Divide-and-conquer motif library.
+run(P, R) :- dc(P, R), watch(R).
+watch(R) :- ground(R) | halt.
+
+dc(P, R) :- leafp(P, T), dc1(T, P, R).
+dc1(true, P, R) :- trivial(P, R).
+dc1(false, P, R) :-
+    split(P, P1, P2),
+    dc(P2, R2)@random,
+    dc(P1, R1),
+    combine(R1, R2, R).
+`
+
+// DC returns the divide-and-conquer motif {identity, dc library}.
+func DC() *core.Motif {
+	lib := parser.MustParse(term.NewHeap(), dcLibrarySrc)
+	return core.LibraryOnly("dc", lib)
+}
+
+// DCMotif returns the executable composition Server ∘ Rand ∘ DC; the
+// computation is initiated with create(N, run(Problem, Result)).
+func DCMotif() core.Applier {
+	return core.Compose(Server(), Rand("run/2"), DC())
+}
+
+// RunDC applies the divide-and-conquer motif to the application in appSrc
+// (which must define leafp/2, trivial/2, split/3, combine/3) and solves
+// problem, returning the fully resolved result.
+func RunDC(appSrc string, problem term.Term, cfg RunConfig) (term.Term, *strand.Result, error) {
+	return ApplyAndRun(DCMotif(), appSrc,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Result")
+			goal := term.NewCompound("create",
+				term.Int(int64(cfg.Procs)),
+				term.NewCompound("run", problem, v))
+			return goal, v, nil
+		}, cfg)
+}

@@ -1,0 +1,125 @@
+package motifs
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+// mergeSortSrc is the user side of the divide-and-conquer motif: mergesort
+// of an integer list, expressed as the four domain processes.
+const mergeSortSrc = `
+leafp([], T) :- T := true.
+leafp([_], T) :- T := true.
+leafp([_,_|_], T) :- T := false.
+
+trivial(L, R) :- R := L.
+
+split([], A, B) :- A := [], B := [].
+split([X], A, B) :- A := [X], B := [].
+split([X,Y|L], A, B) :- A := [X|A1], B := [Y|B1], split(L, A1, B1).
+
+combine([], Ys, R) :- R := Ys.
+combine([X|Xs], [], R) :- R := [X|Xs].
+combine([X|Xs], [Y|Ys], R) :- X =< Y | R := [X|R1], combine(Xs, [Y|Ys], R1).
+combine([X|Xs], [Y|Ys], R) :- X > Y | R := [Y|R1], combine([X|Xs], Ys, R1).
+`
+
+func TestDCMergeSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 5; trial++ {
+		n := 1 + rng.Intn(24)
+		xs := make([]int, n)
+		elems := make([]term.Term, n)
+		for i := range xs {
+			xs[i] = rng.Intn(100)
+			elems[i] = term.Int(int64(xs[i]))
+		}
+		res, out, err := RunDC(mergeSortSrc, term.MkList(elems...),
+			RunConfig{Procs: 4, Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if out.SuspendedAtEnd != 0 {
+			t.Fatalf("trial %d: %d suspended", trial, out.SuspendedAtEnd)
+		}
+		got, ok := term.ListSlice(res)
+		if !ok || len(got) != n {
+			t.Fatalf("trial %d: result %s", trial, term.Sprint(res))
+		}
+		sort.Ints(xs)
+		for i := range xs {
+			if term.Walk(got[i]) != term.Term(term.Int(int64(xs[i]))) {
+				t.Fatalf("trial %d: sorted[%d] = %s, want %d", trial, i, term.Sprint(got[i]), xs[i])
+			}
+		}
+	}
+}
+
+func TestDCMergeSortEmptyAndSingle(t *testing.T) {
+	res, _, err := RunDC(mergeSortSrc, term.MkList(), RunConfig{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !term.IsEmptyList(term.Walk(res)) {
+		t.Fatalf("empty sort = %s", term.Sprint(res))
+	}
+	res, _, err = RunDC(mergeSortSrc, term.MkList(term.Int(5)), RunConfig{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Sprint(res) != "[5]" {
+		t.Fatalf("singleton sort = %s", term.Sprint(res))
+	}
+}
+
+func TestDCDistributesWork(t *testing.T) {
+	elems := make([]term.Term, 64)
+	for i := range elems {
+		elems[i] = term.Int(int64(63 - i))
+	}
+	_, out, err := RunDC(mergeSortSrc, term.MkList(elems...), RunConfig{Procs: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, r := range out.Metrics.Reductions {
+		if r > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Fatalf("work not distributed: %v", out.Metrics.Reductions)
+	}
+	if out.Metrics.Messages == 0 {
+		t.Fatal("no messages despite @random shipping")
+	}
+}
+
+func TestGroundGuardWaitsForFullResult(t *testing.T) {
+	// watch must not fire on a partially constructed list: feed a program
+	// where the result is built in two steps with a pause between.
+	src := `
+main(R, Done) :- R := [1|T], later(T), watch2(R, Done).
+later(T) :- T := [2].
+watch2(R, Done) :- ground(R) | Done := ok.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := strand.New(prog, h, strand.Options{Procs: 1, Seed: 1})
+	r, done := h.NewVar("R"), h.NewVar("Done")
+	rt.Spawn(term.NewCompound("main", r, done), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Sprint(term.Walk(done)) != "ok" {
+		t.Fatalf("Done = %s", term.Sprint(done))
+	}
+	if term.Sprint(term.Resolve(r)) != "[1,2]" {
+		t.Fatalf("R = %s", term.Sprint(term.Resolve(r)))
+	}
+}

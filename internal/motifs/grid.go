@@ -1,0 +1,148 @@
+package motifs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+// gridLibrarySrc is the grid motif — the paper's "grid problems" area and
+// the structure of systems like DIME that it cites: the domain is split
+// into blocks, one process per processor, and neighbours exchange boundary
+// values every iteration. The exchange uses pure stream dataflow (each
+// block publishes a stream of its boundary values and destructures its
+// neighbours' streams), so no server network is needed — only placement.
+//
+// The user supplies relax/4: relax(Block, LeftBoundary, RightBoundary,
+// NewBlock). The computation is started with
+//
+//	grid(Blocks, Iters, Edge, Finals)
+//
+// where Blocks is a list of per-processor blocks, Edge the fixed boundary
+// value at both ends of the row, and Finals is bound to the list of
+// final(Id, Block) terms.
+const gridLibrarySrc = `
+% Grid motif library.
+grid(Blocks, Iters, Edge, Fs) :-
+    edge_stream(Edge, Iters, LeftEdge),
+    chain(1, Blocks, Iters, Edge, LeftEdge, _, Fs).
+
+% chain(Id, Blocks, Iters, Edge, LIn, BackOut, Fs): build the block row;
+% LIn is the stream of boundary values arriving from the left, BackOut the
+% stream this row's first block sends back to its left neighbour.
+chain(Id, [B], Iters, Edge, LIn, BackOut, Fs) :-
+    edge_stream(Edge, Iters, RIn),
+    block(Id, B, Iters, LIn, BackOut, RIn, _, F)@Id,
+    Fs := [F].
+chain(Id, [B, B2|Bs], Iters, Edge, LIn, BackOut, Fs) :-
+    block(Id, B, Iters, LIn, BackOut, RBack, ROut, F)@Id,
+    Id1 is Id + 1,
+    Fs := [F|Fs1],
+    chain(Id1, [B2|Bs], Iters, Edge, ROut, RBack, Fs1).
+
+% A fixed edge produces the same boundary value every iteration.
+edge_stream(_, 0, S) :- S := [].
+edge_stream(V, K, S) :- K > 0 | S := [V|S1], K1 is K - 1, edge_stream(V, K1, S1).
+
+% block(Id, B, K, LIn, LOut, RIn, ROut, F): publish this iteration's
+% boundaries, wait for the neighbours' (stream head matching), relax, and
+% recurse; after K iterations close the streams and report the block.
+block(Id, B, 0, _, LOut, _, ROut, F) :-
+    LOut := [], ROut := [], F := final(Id, B).
+block(Id, B, K, LIn, LOut, RIn, ROut, F) :-
+    K > 0 |
+    bounds(B, FirstV, LastV),
+    LOut := [FirstV|LOut1], ROut := [LastV|ROut1],
+    step(Id, B, K, LIn, LOut1, RIn, ROut1, F).
+step(Id, B, K, [LV|LIn], LOut, [RV|RIn], ROut, F) :-
+    relax(B, LV, RV, B1),
+    K1 is K - 1,
+    block(Id, B1, K1, LIn, LOut, RIn, ROut, F).
+
+% bounds(B, First, Last) of a non-empty list.
+bounds([X|Xs], F, L) :- F := X, last1(X, Xs, L).
+last1(X, [], L) :- L := X.
+last1(_, [Y|Ys], L) :- last1(Y, Ys, L).
+`
+
+// Grid returns the grid motif {identity, grid library}.
+func Grid() *core.Motif {
+	return core.LibraryOnly("grid", parser.MustParse(term.NewHeap(), gridLibrarySrc))
+}
+
+// GridGoal builds grid(Blocks, Iters, Edge, Finals). Each block is a list
+// of cell values.
+func GridGoal(blocks [][]float64, iters int, edge float64, finals *term.Var) term.Term {
+	blockTerms := make([]term.Term, len(blocks))
+	for i, b := range blocks {
+		cells := make([]term.Term, len(b))
+		for j, v := range b {
+			cells[j] = term.Float(v)
+		}
+		blockTerms[i] = term.MkList(cells...)
+	}
+	return term.NewCompound("grid",
+		term.MkList(blockTerms...),
+		term.Int(int64(iters)),
+		term.Float(edge),
+		finals)
+}
+
+// RunGrid relaxes the row of blocks for the given iterations using the
+// grid motif applied to appSrc (which must define relax/4), and decodes
+// the final blocks in row order.
+func RunGrid(appSrc string, blocks [][]float64, iters int, edge float64, cfg RunConfig) ([][]float64, *strand.Result, error) {
+	out, res, err := ApplyAndRun(Grid(), appSrc,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Finals")
+			return GridGoal(blocks, iters, edge, v), v, nil
+		}, cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	finals, ok := term.ListSlice(out)
+	if !ok {
+		return nil, res, fmt.Errorf("grid finals not a list: %s", term.Sprint(out))
+	}
+	result := make([][]float64, len(blocks))
+	for _, f := range finals {
+		c, ok := term.Walk(f).(*term.Compound)
+		if !ok || c.Functor != "final" || len(c.Args) != 2 {
+			return nil, res, fmt.Errorf("bad final term: %s", term.Sprint(f))
+		}
+		id, ok := term.Walk(c.Args[0]).(term.Int)
+		if !ok || id < 1 || int(id) > len(blocks) {
+			return nil, res, fmt.Errorf("bad block id in %s", term.Sprint(f))
+		}
+		cells, ok := term.ListSlice(c.Args[1])
+		if !ok {
+			return nil, res, fmt.Errorf("bad block in %s", term.Sprint(f))
+		}
+		row := make([]float64, len(cells))
+		for j, cv := range cells {
+			switch x := term.Walk(cv).(type) {
+			case term.Float:
+				row[j] = float64(x)
+			case term.Int:
+				row[j] = float64(x)
+			default:
+				return nil, res, fmt.Errorf("bad cell %s", term.Sprint(cv))
+			}
+		}
+		result[int(id)-1] = row
+	}
+	return result, res, nil
+}
+
+// JacobiRelaxSrc is the canonical relax/4 for the grid motif: 1-D Jacobi
+// relaxation, each cell replaced by the mean of its two neighbours.
+const JacobiRelaxSrc = `
+relax(B, LV, RV, B1) :- relax1(LV, B, RV, B1).
+relax1(Prev, [X|Xs], RV, Out) :- r2(Prev, X, Xs, RV, Out).
+r2(Prev, _, [], RV, Out) :- M is (Prev + RV) / 2, Out := [M].
+r2(Prev, X, [Y|Ys], RV, Out) :-
+    M is (Prev + Y) / 2, Out := [M|Out1], r2(X, Y, Ys, RV, Out1).
+`

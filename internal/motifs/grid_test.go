@@ -1,0 +1,121 @@
+package motifs
+
+import (
+	"math"
+	"testing"
+)
+
+// jacobiRef is the Go reference for 1-D Jacobi relaxation of the flattened
+// row with fixed boundary `edge` at both ends.
+func jacobiRef(cells []float64, iters int, edge float64) []float64 {
+	cur := append([]float64(nil), cells...)
+	next := make([]float64, len(cells))
+	for k := 0; k < iters; k++ {
+		for i := range cur {
+			l, r := edge, edge
+			if i > 0 {
+				l = cur[i-1]
+			}
+			if i < len(cur)-1 {
+				r = cur[i+1]
+			}
+			next[i] = (l + r) / 2
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+func flatten(blocks [][]float64) []float64 {
+	var out []float64
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func TestGridMotifMatchesReference(t *testing.T) {
+	blocks := [][]float64{
+		{1, 2, 3},
+		{4, 5},
+		{6, 7, 8, 9},
+	}
+	const iters = 6
+	const edge = 0.0
+	want := jacobiRef(flatten(blocks), iters, edge)
+
+	got, res, err := RunGrid(JacobiRelaxSrc, blocks, iters, edge, RunConfig{Procs: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuspendedAtEnd != 0 {
+		t.Fatalf("suspended = %d", res.SuspendedAtEnd)
+	}
+	flat := flatten(got)
+	if len(flat) != len(want) {
+		t.Fatalf("cells = %d, want %d", len(flat), len(want))
+	}
+	for i := range want {
+		if math.Abs(flat[i]-want[i]) > 1e-9 {
+			t.Fatalf("cell %d = %g, want %g\n got %v\nwant %v", i, flat[i], want[i], flat, want)
+		}
+	}
+}
+
+func TestGridMotifDistributesBlocks(t *testing.T) {
+	blocks := [][]float64{{1, 1}, {2, 2}, {3, 3}, {4, 4}}
+	_, res, err := RunGrid(JacobiRelaxSrc, blocks, 4, 0, RunConfig{Procs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each block runs on its own processor.
+	for p := 0; p < 4; p++ {
+		if res.Metrics.Reductions[p] == 0 {
+			t.Fatalf("processor %d idle: %v", p+1, res.Metrics.Reductions)
+		}
+	}
+}
+
+func TestGridMotifSingleBlock(t *testing.T) {
+	got, _, err := RunGrid(JacobiRelaxSrc, [][]float64{{10, 20, 30}}, 3, 1, RunConfig{Procs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jacobiRef([]float64{10, 20, 30}, 3, 1)
+	for i := range want {
+		if math.Abs(got[0][i]-want[i]) > 1e-9 {
+			t.Fatalf("cell %d = %g, want %g", i, got[0][i], want[i])
+		}
+	}
+}
+
+func TestGridMotifZeroIterations(t *testing.T) {
+	blocks := [][]float64{{1, 2}, {3, 4}}
+	got, _, err := RunGrid(JacobiRelaxSrc, blocks, 0, 0, RunConfig{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blocks {
+		for j := range b {
+			if got[i][j] != b[j] {
+				t.Fatalf("zero iterations changed block %d", i)
+			}
+		}
+	}
+}
+
+func TestGridMotifConvergesTowardLinearProfile(t *testing.T) {
+	// With edges 0 and 0 everything decays toward 0.
+	blocks := [][]float64{{8, 8}, {8, 8}}
+	got, _, err := RunGrid(JacobiRelaxSrc, blocks, 60, 0, RunConfig{Procs: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		for _, v := range b {
+			if math.Abs(v) > 0.1 {
+				t.Fatalf("did not decay: %v", got)
+			}
+		}
+	}
+}

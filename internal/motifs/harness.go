@@ -1,0 +1,141 @@
+package motifs
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+// ArithmeticEvalSrc is the example application of Section 3.1: a node
+// evaluation function for arithmetic expression trees. Linking it with a
+// tree-reduction motif yields a parallel expression evaluator.
+const ArithmeticEvalSrc = `
+% Application-specific node evaluation function (Figure 2, Part A).
+eval('+', L, R, Value) :- Value is L + R.
+eval('*', L, R, Value) :- Value is L * R.
+eval('-', L, R, Value) :- Value is L - R.
+eval(max, L, R, Value) :- Value is max(L, R).
+eval(min, L, R, Value) :- Value is min(L, R).
+`
+
+// RunConfig configures a motif execution on the simulated machine.
+type RunConfig struct {
+	// Procs is the number of processors (= servers); Seed drives every
+	// random choice (mapping, labeling) for reproducibility.
+	Procs int
+	Seed  int64
+	// MessageCost is the simulated inter-processor message latency.
+	MessageCost int64
+	// EvalCost, if non-nil, returns the cycle cost of one eval/4 reduction
+	// given its goal — the knob for non-uniform node evaluation times.
+	EvalCost func(goal term.Term) int64
+	// Natives are extra foreign predicates (e.g. a Go align_node).
+	Natives map[string]strand.NativeFn
+	// Watch gauges live process counts per indicator (see strand.Options).
+	Watch []string
+	// Trace, if non-nil, receives the reduction trace.
+	Trace io.Writer
+	// MaxCycles caps the simulation (0 = default).
+	MaxCycles int64
+}
+
+func (cfg RunConfig) options() strand.Options {
+	opts := strand.Options{
+		Procs:       cfg.Procs,
+		Seed:        cfg.Seed,
+		MessageCost: cfg.MessageCost,
+		Natives:     cfg.Natives,
+		Watch:       cfg.Watch,
+		Trace:       cfg.Trace,
+		MaxCycles:   cfg.MaxCycles,
+	}
+	if cfg.EvalCost != nil {
+		opts.CostFn = func(ind string, goal term.Term) int64 {
+			if ind == "eval/4" {
+				return cfg.EvalCost(goal)
+			}
+			return 0
+		}
+	}
+	return opts
+}
+
+// ApplyAndRun applies a motif (or composition) to the application program
+// in appSrc, then executes the resulting program with the initial goal
+// produced by goal. The *term.Var returned by goal is resolved and returned
+// after the run.
+func ApplyAndRun(applier core.Applier, appSrc string,
+	goal func(h *term.Heap) (term.Term, *term.Var, error),
+	cfg RunConfig) (term.Term, *strand.Result, error) {
+
+	h := term.NewHeap()
+	app, err := parser.Parse(h, appSrc)
+	if err != nil {
+		return nil, nil, fmt.Errorf("parse application: %w", err)
+	}
+	prog, err := applier.ApplyTo(app, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	g, result, err := goal(h)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt := strand.New(prog, h, cfg.options())
+	rt.Spawn(g, 0)
+	res, err := rt.Run()
+	if err != nil {
+		return nil, res, err
+	}
+	return term.Resolve(result), res, nil
+}
+
+// RunTreeReduce1 reduces tree with the Tree-Reduce-1 motif applied to the
+// application in appSrc (which must define eval/4). It returns the root
+// value and the run's metrics.
+func RunTreeReduce1(appSrc string, tree *BinTree, cfg RunConfig) (term.Term, *strand.Result, error) {
+	return ApplyAndRun(TreeReduce1(), appSrc,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Value")
+			return TreeReduce1Goal(tree.Term(), cfg.Procs, v), v, nil
+		}, cfg)
+}
+
+// RunTreeReduce2 reduces tree with the Tree-Reduce-2 motif under the given
+// labeling scheme. The labeling rng derives from cfg.Seed.
+func RunTreeReduce2(appSrc string, tree *BinTree, scheme LabelScheme, cfg RunConfig) (term.Term, *strand.Result, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x7ee2))
+	lab, err := LabelTree(tree, cfg.Procs, scheme, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ApplyAndRun(TreeReduce2(), appSrc,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Value")
+			return TreeReduce2Goal(lab, cfg.Procs, v), v, nil
+		}, cfg)
+}
+
+// RunScheduler executes tasks under the scheduler motif applied to the
+// application in appSrc (which must define task/2). It returns the result
+// list (in task order).
+func RunScheduler(appSrc string, tasks []term.Term, cfg RunConfig) ([]term.Term, *strand.Result, error) {
+	out, res, err := ApplyAndRun(SchedulerMotif(), appSrc,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Results")
+			return SchedulerGoal(tasks, cfg.Procs, v), v, nil
+		}, cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	results, ok := term.ListSlice(out)
+	if !ok {
+		return nil, res, fmt.Errorf("scheduler results not a proper list: %s", term.Sprint(out))
+	}
+	return results, res, nil
+}

@@ -1,0 +1,142 @@
+package motifs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+// hierSchedulerLibrarySrc is the paper's introduction example of reuse
+// through modification, realized literally: the Scheduler motif "adapted to
+// the demands of a highly parallel computer by introducing additional
+// levels in its manager/worker hierarchy". Server 1 is the top manager,
+// servers 2..G+1 are group managers, and the remaining servers are workers,
+// assigned to groups round-robin. Worker readiness flows to the worker's
+// group manager; group managers request jobs from the top one at a time; a
+// job is dispatched to a queued ready worker. The top manager therefore
+// talks only to G group managers rather than to every worker.
+//
+// Entry message: hjobs(Tasks, Groups, Results).
+const hierSchedulerLibrarySrc = `
+% Hierarchical scheduler motif library (two-level manager/worker).
+server([hjobs(Tasks, G, Results)|In]) :-
+    pair_jobs(Tasks, Results, Js),
+    nodes(N),
+    B is (N - 2) // G + 1,
+    start_groups(2, G, N),
+    await_results(Results),
+    top(In, Js, B).
+server([gstart(G, N)|In]) :-
+    self(M),
+    sgw(M, G, N),
+    gm(In, M, [], []).
+server([start(M)|In]) :-
+    self(W), send(M, ready(W)), server(In).
+server([work(T, R, M)|In]) :-
+    task(T, R), ready_again(R, M), server(In).
+server([halt|_]).
+
+pair_jobs([T|Ts], Rs, Js) :-
+    Rs := [R|Rs1], Js := [job(T, R)|Js1], pair_jobs(Ts, Rs1, Js1).
+pair_jobs([], Rs, Js) :- Rs := [], Js := [].
+
+% Tell servers 2..G+1 to become group managers.
+start_groups(I, G, N) :- I =< G + 1 | send(I, gstart(G, N)), I1 is I + 1, start_groups(I1, G, N).
+start_groups(I, G, _) :- I > G + 1 | true.
+
+% A group manager M starts the workers that belong to its group: worker W
+% (G+2 <= W <= N) belongs to group ((W - G - 2) mod G) + 2.
+sgw(M, G, N) :- sgw1(M, G, N, 0).
+sgw1(M, G, N, K) :-
+    G + 2 + K =< N |
+    W is G + 2 + K,
+    Home is (W - G - 2) mod G + 2,
+    claim(Home, M, W),
+    K1 is K + 1,
+    sgw1(M, G, N, K1).
+sgw1(M, G, N, K) :- G + 2 + K > N | true.
+
+claim(Home, M, W) :- Home == M | send(W, start(M)).
+claim(Home, M, _) :- Home =\= M | true.
+
+% The top manager hands out a block of B jobs per group-manager request —
+% this is what actually relieves the top of per-task traffic.
+top([need(M)|In], Js, B) :-
+    hsplit(B, Js, Take, Rest), give_block(M, Take), top(In, Rest, B).
+top([halt|_], _, _).
+
+hsplit(0, Ts, Take, Rest) :- Take := [], Rest := Ts.
+hsplit(B, [T|Ts], Take, Rest) :-
+    B > 0 |
+    Take := [T|Take1], B1 is B - 1, hsplit(B1, Ts, Take1, Rest).
+hsplit(B, [], Take, Rest) :- B > 0 | Take := [], Rest := [].
+
+give_block(_, []).
+give_block(M, [J|Js]) :- send(M, block([J|Js])).
+
+% A group manager pairs queued ready workers with locally cached jobs,
+% requesting a new block from the top only when its cache runs dry.
+gm([ready(W)|In], M, Rs, []) :- send(1, need(M)), gm(In, M, [W|Rs], []).
+gm([ready(W)|In], M, Rs, [J|Js]) :- dispatch(J, W), gm(In, M, Rs, Js).
+gm([block(Bs)|In], M, Rs, Js) :-
+    append_jobs(Js, Bs, Js1),
+    drain(Rs, Js1, Rs1, Js2),
+    gm(In, M, Rs1, Js2).
+gm([halt|_], _, _, _).
+
+append_jobs([J|Js], Bs, Out) :- Out := [J|Out1], append_jobs(Js, Bs, Out1).
+append_jobs([], Bs, Out) :- Out := Bs.
+
+% Dispatch cached jobs to queued ready workers while both are available.
+drain([W|Rs], [J|Js], Rs1, Js1) :- dispatch(J, W), drain(Rs, Js, Rs1, Js1).
+drain([], Js, Rs1, Js1) :- Rs1 := [], Js1 := Js.
+drain([W|Rs], [], Rs1, Js1) :- Rs1 := [W|Rs], Js1 := [].
+
+dispatch(job(T, R), W) :- self(M), send(W, work(T, R, M)).
+
+% A worker announces readiness to its group manager after each result.
+ready_again(R, M) :- data(R) | self(W), send(M, ready(W)).
+
+await_results([R|Rs]) :- data(R) | await_results(Rs).
+await_results([]) :- halt.
+`
+
+// HierScheduler returns the two-level scheduler motif.
+func HierScheduler() *core.Motif {
+	return core.LibraryOnly("hier-scheduler", parser.MustParse(term.NewHeap(), hierSchedulerLibrarySrc))
+}
+
+// HierSchedulerMotif returns the executable composition
+// Server ∘ HierScheduler.
+func HierSchedulerMotif() core.Applier {
+	return core.Compose(Server(), HierScheduler())
+}
+
+// RunHierScheduler executes tasks under the hierarchical scheduler with the
+// given number of manager groups. Requires procs >= groups + 2 (top
+// manager, the group managers, and at least one worker).
+func RunHierScheduler(appSrc string, tasks []term.Term, groups int, cfg RunConfig) ([]term.Term, *strand.Result, error) {
+	if cfg.Procs < groups+2 {
+		return nil, nil, fmt.Errorf("hier-scheduler: need at least %d processors for %d groups, got %d",
+			groups+2, groups, cfg.Procs)
+	}
+	out, res, err := ApplyAndRun(HierSchedulerMotif(), appSrc,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Results")
+			goal := term.NewCompound("create",
+				term.Int(int64(cfg.Procs)),
+				term.NewCompound("hjobs", term.MkList(tasks...), term.Int(int64(groups)), v))
+			return goal, v, nil
+		}, cfg)
+	if err != nil {
+		return nil, res, err
+	}
+	results, ok := term.ListSlice(out)
+	if !ok {
+		return nil, res, fmt.Errorf("hier-scheduler results not a proper list: %s", term.Sprint(out))
+	}
+	return results, res, nil
+}

@@ -1,0 +1,92 @@
+package motifs
+
+import (
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestHierSchedulerCorrectness(t *testing.T) {
+	appSrc := `task(sq(N), R) :- R is N * N.`
+	var tasks []term.Term
+	for i := 1; i <= 24; i++ {
+		tasks = append(tasks, term.NewCompound("sq", term.Int(int64(i))))
+	}
+	for _, cfg := range []struct{ procs, groups int }{
+		{8, 2}, {10, 3}, {4, 1},
+	} {
+		results, res, err := RunHierScheduler(appSrc, tasks, cfg.groups,
+			RunConfig{Procs: cfg.procs, Seed: 4})
+		if err != nil {
+			t.Fatalf("procs=%d groups=%d: %v", cfg.procs, cfg.groups, err)
+		}
+		if len(results) != 24 {
+			t.Fatalf("results = %d", len(results))
+		}
+		for i, r := range results {
+			want := int64((i + 1) * (i + 1))
+			if term.Walk(r) != term.Term(term.Int(want)) {
+				t.Fatalf("result[%d] = %s", i, term.Sprint(r))
+			}
+		}
+		if res.SuspendedAtEnd != 0 {
+			t.Fatalf("suspended = %d", res.SuspendedAtEnd)
+		}
+	}
+}
+
+func TestHierSchedulerAllWorkersParticipate(t *testing.T) {
+	appSrc := `task(t(N), R) :- R is N.`
+	var tasks []term.Term
+	for i := 0; i < 60; i++ {
+		tasks = append(tasks, term.NewCompound("t", term.Int(int64(i))))
+	}
+	// 2 groups, procs 1(top) + 2(gm) + 5(workers) = 8.
+	_, res, err := RunHierScheduler(appSrc, tasks, 2, RunConfig{Procs: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers are processors 4..8 (indices 3..7): all must have worked.
+	for p := 3; p < 8; p++ {
+		if res.Metrics.Reductions[p] == 0 {
+			t.Fatalf("worker %d idle: %v", p+1, res.Metrics.Reductions)
+		}
+	}
+}
+
+func TestHierSchedulerRejectsTooFewProcs(t *testing.T) {
+	if _, _, err := RunHierScheduler("task(x, R) :- R := 0.", nil, 3, RunConfig{Procs: 4, Seed: 1}); err == nil {
+		t.Fatal("expected error for procs < groups+2")
+	}
+}
+
+func TestHierSchedulerEmptyTasks(t *testing.T) {
+	results, _, err := RunHierScheduler("task(x, R) :- R := 0.", nil, 2, RunConfig{Procs: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestHierVsFlatSchedulerAgree(t *testing.T) {
+	appSrc := `task(cube(N), R) :- R is N * N * N.`
+	var tasks []term.Term
+	for i := 1; i <= 12; i++ {
+		tasks = append(tasks, term.NewCompound("cube", term.Int(int64(i))))
+	}
+	flat, _, err := RunScheduler(appSrc, tasks, RunConfig{Procs: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, _, err := RunHierScheduler(appSrc, tasks, 2, RunConfig{Procs: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range flat {
+		if !term.Equal(flat[i], hier[i]) {
+			t.Fatalf("result %d differs: %s vs %s", i, term.Sprint(flat[i]), term.Sprint(hier[i]))
+		}
+	}
+}

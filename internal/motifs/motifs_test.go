@@ -1,0 +1,511 @@
+package motifs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// paperTree is the arithmetic expression tree of Section 3.1, whose
+// reduction yields 24: (3*2) * ((2+1)+1) = 6 * 4 = 24.
+func paperTree() *BinTree {
+	return NewNode("*",
+		NewNode("*", NewLeaf(term.Int(3)), NewLeaf(term.Int(2))),
+		NewNode("+",
+			NewNode("+", NewLeaf(term.Int(2)), NewLeaf(term.Int(1))),
+			NewLeaf(term.Int(1))))
+}
+
+// randomIntTree builds a random binary tree with n leaves of small ints,
+// using ops + and *.
+func randomIntTree(n int, rng *rand.Rand) *BinTree {
+	if n == 1 {
+		return NewLeaf(term.Int(int64(rng.Intn(3) + 1)))
+	}
+	k := 1 + rng.Intn(n-1)
+	op := "+"
+	if rng.Intn(2) == 0 {
+		op = "*"
+	}
+	return NewNode(op, randomIntTree(k, rng), randomIntTree(n-k, rng))
+}
+
+// seqReduce reduces a tree sequentially in Go for cross-checking.
+func seqReduce(t *BinTree) int64 {
+	if t.IsLeaf() {
+		return int64(t.Leaf.(term.Int))
+	}
+	l, r := seqReduce(t.L), seqReduce(t.R)
+	switch t.Op {
+	case "+":
+		return l + r
+	case "*":
+		return l * r
+	case "-":
+		return l - r
+	default:
+		panic("bad op " + t.Op)
+	}
+}
+
+func TestBinTreeBasics(t *testing.T) {
+	tr := paperTree()
+	if tr.Nodes() != 9 || tr.Leaves() != 5 || tr.Height() != 4 {
+		t.Fatalf("nodes=%d leaves=%d height=%d", tr.Nodes(), tr.Leaves(), tr.Height())
+	}
+	if got := tr.String(); !strings.Contains(got, "leaf(3)") || !strings.Contains(got, "tree('*'") {
+		t.Fatalf("term = %s", got)
+	}
+}
+
+func TestTreeReduce1PaperTree(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		val, res, err := RunTreeReduce1(ArithmeticEvalSrc, paperTree(),
+			RunConfig{Procs: procs, Seed: 7})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if val != term.Term(term.Int(24)) {
+			t.Fatalf("procs=%d: value = %s, want 24", procs, term.Sprint(val))
+		}
+		if res.SuspendedAtEnd != 0 {
+			t.Fatalf("procs=%d: %d suspended at end", procs, res.SuspendedAtEnd)
+		}
+	}
+}
+
+func TestTreeReduce2PaperTree(t *testing.T) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		val, res, err := RunTreeReduce2(ArithmeticEvalSrc, paperTree(), SiblingLabels,
+			RunConfig{Procs: procs, Seed: 7})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if val != term.Term(term.Int(24)) {
+			t.Fatalf("procs=%d: value = %s, want 24", procs, term.Sprint(val))
+		}
+		if res.SuspendedAtEnd != 0 {
+			t.Fatalf("procs=%d: %d suspended at end", procs, res.SuspendedAtEnd)
+		}
+	}
+}
+
+func TestTreeReduceMotifsAgreeOnRandomTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 8; trial++ {
+		tree := randomIntTree(6+rng.Intn(20), rng)
+		want := seqReduce(tree)
+		cfg := RunConfig{Procs: 4, Seed: int64(trial)}
+		v1, _, err := RunTreeReduce1(ArithmeticEvalSrc, tree, cfg)
+		if err != nil {
+			t.Fatalf("trial %d TR1: %v", trial, err)
+		}
+		v2, _, err := RunTreeReduce2(ArithmeticEvalSrc, tree, SiblingLabels, cfg)
+		if err != nil {
+			t.Fatalf("trial %d TR2: %v", trial, err)
+		}
+		if v1 != term.Term(term.Int(want)) || v2 != term.Term(term.Int(want)) {
+			t.Fatalf("trial %d: TR1=%s TR2=%s want %d (tree %s)",
+				trial, term.Sprint(v1), term.Sprint(v2), want, tree)
+		}
+	}
+}
+
+func TestTreeReduce2IndependentLabels(t *testing.T) {
+	val, _, err := RunTreeReduce2(ArithmeticEvalSrc, paperTree(), IndependentLabels,
+		RunConfig{Procs: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != term.Term(term.Int(24)) {
+		t.Fatalf("value = %s", term.Sprint(val))
+	}
+}
+
+func TestTreeReduce2SingleLeafTree(t *testing.T) {
+	val, _, err := RunTreeReduce2(ArithmeticEvalSrc, NewLeaf(term.Int(5)), SiblingLabels,
+		RunConfig{Procs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != term.Term(term.Int(5)) {
+		t.Fatalf("value = %s", term.Sprint(val))
+	}
+}
+
+func TestTreeReduce1SingleLeafTree(t *testing.T) {
+	val, _, err := RunTreeReduce1(ArithmeticEvalSrc, NewLeaf(term.Int(5)),
+		RunConfig{Procs: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != term.Term(term.Int(5)) {
+		t.Fatalf("value = %s", term.Sprint(val))
+	}
+}
+
+// TestFigure5Stages reproduces the paper's Figure 5: the three programs
+// produced as Tree-Reduce-1 = Server ∘ Rand ∘ Tree1 is applied stage by
+// stage to the node evaluation function.
+func TestFigure5Stages(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, ArithmeticEvalSrc)
+	comp := core.Compose(Server(), Rand("run/2"), Tree1())
+	stages, err := comp.Stages(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) != 4 {
+		t.Fatalf("stages = %d, want 4 (application + 3 motifs)", len(stages))
+	}
+
+	// Stage 1 (Tree1 output): the @random pragma is still present.
+	s1 := stages[1].Program.String()
+	if !strings.Contains(s1, "@random") {
+		t.Errorf("Tree1 output missing @random:\n%s", s1)
+	}
+	if stages[1].Motif != "tree1" {
+		t.Errorf("stage1 motif = %s", stages[1].Motif)
+	}
+
+	// Stage 2 (Rand output): @random replaced by nodes/rand_num/send and a
+	// server/1 definition generated.
+	s2p := stages[2].Program
+	s2 := s2p.String()
+	for _, frag := range []string{"nodes(", "rand_num(", "send("} {
+		if !strings.Contains(s2, frag) {
+			t.Errorf("Rand output missing %s:\n%s", frag, s2)
+		}
+	}
+	if strings.Contains(s2, "@random") {
+		t.Errorf("Rand output still contains @random")
+	}
+	if !s2p.Defines("server/1") {
+		t.Errorf("Rand output does not define server/1")
+	}
+
+	// Stage 3 (Server output): sends became distribute, nodes became
+	// length, server is threaded to server/2, and the library is linked.
+	s3p := stages[3].Program
+	s3 := s3p.String()
+	for _, frag := range []string{"distribute(", "length(", "broadcast_halt("} {
+		if !strings.Contains(s3, frag) {
+			t.Errorf("Server output missing %s:\n%s", frag, s3)
+		}
+	}
+	if strings.Contains(s3, "send(") {
+		t.Errorf("Server output still contains send calls:\n%s", s3)
+	}
+	if s3p.Defines("server/1") || !s3p.Defines("server/2") {
+		t.Errorf("Server output should define server/2, not server/1")
+	}
+	if !s3p.Defines("create/2") {
+		t.Errorf("Server library not linked (create/2 missing)")
+	}
+	// reduce must now be reduce/3 (DT threaded).
+	if s3p.Defines("reduce/2") || !s3p.Defines("reduce/3") {
+		t.Errorf("reduce not threaded to arity 3: %v", s3p.Indicators())
+	}
+	// eval is application code that uses no server primitive: untouched.
+	if !s3p.Defines("eval/4") {
+		t.Errorf("eval/4 disturbed: %v", s3p.Indicators())
+	}
+}
+
+func TestServerRequiresServerDefinition(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, "p(1).")
+	_, err := Server().ApplyTo(app, h)
+	if err == nil || !strings.Contains(err.Error(), "server/1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRandRejectsExistingServer(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, "server([m|In]) :- server(In).")
+	_, err := Rand().ApplyTo(app, h)
+	if err == nil || !strings.Contains(err.Error(), "server/1") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCompositionNameAndFlattening(t *testing.T) {
+	c := core.Compose(Server(), core.Compose(Rand("run/2"), Tree1()))
+	name := c.Name()
+	if name != "server ∘ rand ∘ tree1" {
+		t.Fatalf("name = %q", name)
+	}
+}
+
+func TestLabelTreeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		tree := randomIntTree(2+rng.Intn(40), rng)
+		procs := 1 + rng.Intn(8)
+		lab, err := LabelTree(tree, procs, SiblingLabels, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lab.N != tree.Nodes() {
+			t.Fatalf("N = %d, want %d", lab.N, tree.Nodes())
+		}
+		for id := 1; id <= lab.N; id++ {
+			if lab.Label[id] < 1 || lab.Label[id] > procs {
+				t.Fatalf("label[%d] = %d out of range", id, lab.Label[id])
+			}
+		}
+		// The paper's guarantee: at most one of each node's two offspring
+		// values crosses processors.
+		_, pairsWithTwo := lab.CrossEdges()
+		if pairsWithTwo != 0 {
+			t.Fatalf("trial %d: %d sibling pairs require two crossings under sibling labeling",
+				trial, pairsWithTwo)
+		}
+	}
+}
+
+func TestLabelTreeSiblingReducesCrossings(t *testing.T) {
+	// The left-child rule alone already bounds crossings to one per sibling
+	// pair; the sibling rule additionally eliminates the crossing for
+	// leaf-leaf pairs. Over a large tree the sibling scheme must therefore
+	// produce strictly fewer total crossings.
+	tree := randomIntTree(200, rand.New(rand.NewSource(6)))
+	labS, err := LabelTree(tree, 16, SiblingLabels, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	labI, err := LabelTree(tree, 16, IndependentLabels, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossS, _ := labS.CrossEdges()
+	crossI, _ := labI.CrossEdges()
+	if crossS >= crossI {
+		t.Fatalf("sibling labeling did not reduce crossings: sibling=%d independent=%d", crossS, crossI)
+	}
+	// Under either scheme the left-child rule caps crossings at one per
+	// internal node.
+	internal := tree.Nodes() - tree.Leaves()
+	if crossI > internal {
+		t.Fatalf("crossings %d exceed internal nodes %d", crossI, internal)
+	}
+}
+
+func TestLabelTreeTupleEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lab, err := LabelTree(paperTree(), 4, SiblingLabels, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elems, ok := term.IsTuple(lab.Tuple)
+	if !ok || len(elems) != 9 {
+		t.Fatalf("tuple encoding wrong: %v %d", ok, len(elems))
+	}
+	// Root (id 1, preorder) must have parent -1 and side root.
+	root := term.Walk(elems[0]).(*term.Compound)
+	if root.Functor != "node" || len(root.Args) != 4 {
+		t.Fatalf("root node term = %s", term.Sprint(root))
+	}
+	if root.Args[1] != term.Term(term.Int(-1)) {
+		t.Fatalf("root parent = %s", term.Sprint(root.Args[1]))
+	}
+	if a := term.Walk(root.Args[3]); a != term.Term(term.Atom("root")) {
+		t.Fatalf("root side = %s", term.Sprint(a))
+	}
+}
+
+func TestSchedulerRunsTasks(t *testing.T) {
+	appSrc := `
+task(sq(N), R) :- R is N * N.
+`
+	var tasks []term.Term
+	for i := 1; i <= 10; i++ {
+		tasks = append(tasks, term.NewCompound("sq", term.Int(int64(i))))
+	}
+	results, res, err := RunScheduler(appSrc, tasks, RunConfig{Procs: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 10 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		want := int64((i + 1) * (i + 1))
+		if term.Walk(r) != term.Term(term.Int(want)) {
+			t.Fatalf("result[%d] = %s, want %d", i, term.Sprint(r), want)
+		}
+	}
+	if res.SuspendedAtEnd != 0 {
+		t.Fatalf("suspended = %d", res.SuspendedAtEnd)
+	}
+}
+
+func TestSchedulerEmptyTaskList(t *testing.T) {
+	results, _, err := RunScheduler("task(x, R) :- R := 0.", nil, RunConfig{Procs: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %v", results)
+	}
+}
+
+func TestSchedulerBalancesLoad(t *testing.T) {
+	appSrc := `task(t(N), R) :- R is N.`
+	var tasks []term.Term
+	for i := 0; i < 64; i++ {
+		tasks = append(tasks, term.NewCompound("t", term.Int(int64(i))))
+	}
+	_, res, err := RunScheduler(appSrc, tasks, RunConfig{Procs: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers are procs 2..5 (indices 1..4); all should have worked.
+	for p := 1; p < 5; p++ {
+		if res.Metrics.Reductions[p] == 0 {
+			t.Fatalf("worker %d idle: %v", p+1, res.Metrics.Reductions)
+		}
+	}
+}
+
+func TestTreeReduce2SequencesEvals(t *testing.T) {
+	// The memory claim (E9): with Tree-Reduce-2, at most one eval/4 is live
+	// per processor at any time.
+	rng := rand.New(rand.NewSource(9))
+	tree := randomIntTree(32, rng)
+	_, res, err := RunTreeReduce2(ArithmeticEvalSrc, tree, SiblingLabels,
+		RunConfig{Procs: 4, Seed: 9, Watch: []string{"eval/4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := res.PeakLive["eval/4"]
+	for p, peak := range peaks {
+		if peak > 1 {
+			t.Fatalf("processor %d had %d concurrent evals under Tree-Reduce-2", p, peak)
+		}
+	}
+}
+
+func TestTreeReduce1SpawnsManyEvals(t *testing.T) {
+	// Contrast for E9: Tree-Reduce-1 leaves many eval activations pending
+	// simultaneously (they are created eagerly during the divide phase).
+	rng := rand.New(rand.NewSource(9))
+	tree := randomIntTree(32, rng)
+	_, res, err := RunTreeReduce1(ArithmeticEvalSrc, tree,
+		RunConfig{Procs: 4, Seed: 9, Watch: []string{"eval/4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max int64
+	for _, peak := range res.PeakLive["eval/4"] {
+		if peak > max {
+			max = peak
+		}
+	}
+	if max < 2 {
+		t.Fatalf("expected multiple concurrent evals under Tree-Reduce-1, got peak %d", max)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	tree := paperTree()
+	run := func() (int64, int64) {
+		_, res, err := RunTreeReduce1(ArithmeticEvalSrc, tree, RunConfig{Procs: 4, Seed: 77})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Metrics.Makespan, res.Metrics.Messages
+	}
+	m1, msg1 := run()
+	m2, msg2 := run()
+	if m1 != m2 || msg1 != msg2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", m1, msg1, m2, msg2)
+	}
+}
+
+func TestSplitIndicator(t *testing.T) {
+	name, ar, err := SplitIndicator("run/2")
+	if err != nil || name != "run" || ar != 2 {
+		t.Fatalf("got %s/%d, %v", name, ar, err)
+	}
+	for _, bad := range []string{"", "run", "/2", "run/x", "run/-1"} {
+		if _, _, err := SplitIndicator(bad); err == nil {
+			t.Errorf("SplitIndicator(%q) should fail", bad)
+		}
+	}
+}
+
+func TestLabelSchemeString(t *testing.T) {
+	if SiblingLabels.String() != "sibling" || IndependentLabels.String() != "independent" {
+		t.Fatal("scheme names wrong")
+	}
+	if LabelScheme(9).String() == "" {
+		t.Fatal("unknown scheme should still print")
+	}
+}
+
+func TestLabelTreeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := LabelTree(nil, 4, SiblingLabels, rng); err == nil {
+		t.Fatal("nil tree accepted")
+	}
+	if _, err := LabelTree(paperTree(), 0, SiblingLabels, rng); err == nil {
+		t.Fatal("zero procs accepted")
+	}
+}
+
+func TestRunConfigOptionsMapping(t *testing.T) {
+	// Every RunConfig knob must reach the runtime: verified observably
+	// through trace output, message cost, and the eval cost function.
+	var trace strings.Builder
+	tree := paperTree()
+	_, res, err := RunTreeReduce1(ArithmeticEvalSrc, tree, RunConfig{
+		Procs:       2,
+		Seed:        3,
+		MessageCost: 2,
+		Trace:       &trace,
+		MaxCycles:   5_000_000,
+		EvalCost: func(goal term.Term) int64 {
+			return 9
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() == 0 {
+		t.Fatal("trace not wired through")
+	}
+	// 4 evals at cost 9 each on <=2 procs forces makespan beyond the
+	// coordination-only run.
+	if res.Metrics.Makespan < 36/2 {
+		t.Fatalf("eval cost not applied: makespan %d", res.Metrics.Makespan)
+	}
+}
+
+func TestServerTransformGoalEdgeCases(t *testing.T) {
+	h := term.NewHeap()
+	// A rule whose body contains a non-goal term (a bare variable) and a
+	// nodes call under a placement annotation.
+	app := parser.MustParse(h, `
+server([m|In]) :- helper(In), server(In).
+helper(In) :- probe@2, nodes(N), use(N, In).
+use(_, _).
+`)
+	out, err := Server().ApplyTo(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "length(") {
+		t.Fatalf("nodes not rewritten:\n%s", s)
+	}
+	// probe is a zero-arity goal under @: untouched but annotation kept.
+	if !strings.Contains(s, "probe@2") {
+		t.Fatalf("annotated zero-arity goal disturbed:\n%s", s)
+	}
+}

@@ -1,0 +1,37 @@
+package motifs
+
+import (
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// pipeLibrarySrc is the Pipe motif: a pipeline of user-supplied stages
+// connected by streams, with stage I placed on processor I — the stream
+// style of the paper's Figure 1, packaged as a reusable motif. The user
+// supplies stage/3 rules: stage(I, In, Out) consumes the stream In and
+// produces the stream Out.
+//
+// pipe(K, In, Out) builds the chain In → stage(1) → ... → stage(K) → Out.
+// Unlike Server-based motifs the pipeline needs no server network, only
+// processor placement, so this motif is a library with no transformation.
+const pipeLibrarySrc = `
+% Pipe motif library.
+pipe(0, In, Out) :- Out = In.
+pipe(K, In, Out) :-
+    K > 0 |
+    stage(K, Mid, Out)@K,
+    K1 is K - 1,
+    pipe(K1, In, Mid).
+`
+
+// Pipe returns the Pipe motif.
+func Pipe() *core.Motif {
+	lib := parser.MustParse(term.NewHeap(), pipeLibrarySrc)
+	return core.LibraryOnly("pipe", lib)
+}
+
+// PipeGoal builds pipe(Stages, InputList, Out).
+func PipeGoal(stages int, input []term.Term, out *term.Var) term.Term {
+	return term.NewCompound("pipe", term.Int(int64(stages)), term.MkList(input...), out)
+}

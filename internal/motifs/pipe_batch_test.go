@@ -1,0 +1,110 @@
+package motifs
+
+import (
+	"testing"
+
+	"repro/internal/term"
+)
+
+const incStageSrc = `
+% Each stage adds its index to every stream element.
+stage(I, [X|Xs], Out) :- Y is X + I, Out := [Y|Out1], stage(I, Xs, Out1).
+stage(_, [], Out) :- Out := [].
+`
+
+func TestPipeMotif(t *testing.T) {
+	out, res, err := ApplyAndRun(Pipe(), incStageSrc,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Out")
+			return PipeGoal(3, []term.Term{term.Int(1), term.Int(2), term.Int(3)}, v), v, nil
+		},
+		RunConfig{Procs: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three stages add 1+2+3 = 6 to each element.
+	if got := term.Sprint(out); got != "[7,8,9]" {
+		t.Fatalf("pipeline output = %s", got)
+	}
+	if res.SuspendedAtEnd != 0 {
+		t.Fatalf("suspended = %d", res.SuspendedAtEnd)
+	}
+	// Stages actually ran on distinct processors (1..3).
+	for p := 0; p < 3; p++ {
+		if res.Metrics.Reductions[p] == 0 {
+			t.Fatalf("processor %d idle: %v", p+1, res.Metrics.Reductions)
+		}
+	}
+}
+
+func TestPipeZeroStages(t *testing.T) {
+	out, _, err := ApplyAndRun(Pipe(), incStageSrc,
+		func(h *term.Heap) (term.Term, *term.Var, error) {
+			v := h.NewVar("Out")
+			return PipeGoal(0, []term.Term{term.Int(9)}, v), v, nil
+		},
+		RunConfig{Procs: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := term.Sprint(out); got != "[9]" {
+		t.Fatalf("identity pipeline output = %s", got)
+	}
+}
+
+func TestBatchSchedulerCorrectness(t *testing.T) {
+	appSrc := `task(sq(N), R) :- R is N * N.`
+	var tasks []term.Term
+	for i := 1; i <= 20; i++ {
+		tasks = append(tasks, term.NewCompound("sq", term.Int(int64(i))))
+	}
+	for _, batch := range []int{1, 4, 16, 64} {
+		results, res, err := RunBatchScheduler(appSrc, tasks, batch, RunConfig{Procs: 4, Seed: 5})
+		if err != nil {
+			t.Fatalf("batch=%d: %v", batch, err)
+		}
+		if len(results) != 20 {
+			t.Fatalf("batch=%d: results = %d", batch, len(results))
+		}
+		for i, r := range results {
+			want := int64((i + 1) * (i + 1))
+			if term.Walk(r) != term.Term(term.Int(want)) {
+				t.Fatalf("batch=%d: result[%d] = %s", batch, i, term.Sprint(r))
+			}
+		}
+		if res.SuspendedAtEnd != 0 {
+			t.Fatalf("batch=%d: suspended = %d", batch, res.SuspendedAtEnd)
+		}
+	}
+}
+
+func TestBatchSchedulerReducesManagerTraffic(t *testing.T) {
+	// The point of the modification: larger batches mean fewer
+	// ready/work round trips with the manager.
+	appSrc := `task(t(N), R) :- R is N.`
+	var tasks []term.Term
+	for i := 0; i < 48; i++ {
+		tasks = append(tasks, term.NewCompound("t", term.Int(int64(i))))
+	}
+	msgs := map[int]int64{}
+	for _, batch := range []int{1, 8} {
+		_, res, err := RunBatchScheduler(appSrc, tasks, batch, RunConfig{Procs: 4, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		msgs[batch] = res.Metrics.Messages
+	}
+	if msgs[8] >= msgs[1] {
+		t.Fatalf("batching did not reduce messages: batch1=%d batch8=%d", msgs[1], msgs[8])
+	}
+}
+
+func TestBatchSchedulerEmptyTasks(t *testing.T) {
+	results, _, err := RunBatchScheduler("task(x, R) :- R := 0.", nil, 4, RunConfig{Procs: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("results = %v", results)
+	}
+}

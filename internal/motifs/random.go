@@ -1,0 +1,134 @@
+package motifs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// Rand returns the Rand motif: an empty library plus the transformation
+// supporting the @random pragma (Section 3.3):
+//
+//  1. replace each call P@random by the sequence
+//     nodes(N), rand_num(N, R), send(R, P)
+//     so the process is sent, as a message, to a randomly selected server;
+//  2. augment the program with a server/1 definition containing one rule
+//     for each process type annotated @random, one for each declared entry
+//     point (the processes used to initiate execution via the server
+//     network), and one for the halt message.
+//
+// entryPoints are "name/arity" indicators of initiating processes whose
+// messages the generated server must also accept (the paper's "process used
+// to initiate execution of the application").
+func Rand(entryPoints ...string) *core.Motif {
+	t := core.TransformFunc{
+		N: "rand",
+		F: func(prog *parser.Program, h *term.Heap) (*parser.Program, error) {
+			return randTransform(prog, h, entryPoints)
+		},
+	}
+	return core.NewMotif("rand", t, nil)
+}
+
+// Random returns the composed Random motif of Section 3.3:
+// Random = Server ∘ Rand.
+func Random(entryPoints ...string) core.Applier {
+	return core.Compose(Server(), Rand(entryPoints...))
+}
+
+func randTransform(prog *parser.Program, h *term.Heap, entryPoints []string) (*parser.Program, error) {
+	if prog.Defines("server/1") {
+		return nil, fmt.Errorf("rand motif: application already defines server/1; compose differently or rename")
+	}
+	annotated := core.AnnotatedIndicators(prog, "random")
+
+	out, err := core.RewriteAnnotations(prog, h,
+		func(goal, target term.Term, h *term.Heap) ([]term.Term, bool, error) {
+			a, ok := term.Walk(target).(term.Atom)
+			if !ok || a != "random" {
+				return nil, false, nil
+			}
+			n := h.NewVar("N")
+			r := h.NewVar("R")
+			return []term.Term{
+				term.NewCompound("nodes", n),
+				term.NewCompound("rand_num", n, r),
+				term.NewCompound("send", r, term.Walk(goal)),
+			}, true, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic rule order: annotated indicators sorted, then entry
+	// points in declaration order (skipping duplicates), then halt.
+	var inds []string
+	for ind := range annotated {
+		inds = append(inds, ind)
+	}
+	sort.Strings(inds)
+	for _, e := range entryPoints {
+		if !annotated[e] {
+			inds = append(inds, e)
+		}
+	}
+	seen := map[string]bool{}
+	for _, ind := range inds {
+		if seen[ind] {
+			continue
+		}
+		seen[ind] = true
+		r, err := serverDispatchRule(ind, h)
+		if err != nil {
+			return nil, err
+		}
+		out.Rules = append(out.Rules, r)
+	}
+	out.Rules = append(out.Rules, serverHaltRule(h))
+	return out, nil
+}
+
+// serverDispatchRule builds
+//
+//	server([p(V1,...,Vn)|In]) :- p(V1,...,Vn), server(In).
+func serverDispatchRule(indicator string, h *term.Heap) (*parser.Rule, error) {
+	name, arity, err := SplitIndicator(indicator)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]term.Term, arity)
+	for i := range args {
+		args[i] = h.NewVar("V")
+	}
+	msg := term.NewCompound(name, args...)
+	in := h.NewVar("In")
+	return &parser.Rule{
+		Head: term.NewCompound("server", term.Cons(msg, in)),
+		Body: []term.Term{msg, term.NewCompound("server", in)},
+	}, nil
+}
+
+// serverHaltRule builds server([halt|_]).
+func serverHaltRule(h *term.Heap) *parser.Rule {
+	return &parser.Rule{
+		Head: term.NewCompound("server", term.Cons(term.Atom("halt"), h.NewVar("_"))),
+	}
+}
+
+// SplitIndicator parses "name/arity".
+func SplitIndicator(ind string) (string, int, error) {
+	i := strings.LastIndex(ind, "/")
+	if i <= 0 {
+		return "", 0, fmt.Errorf("bad indicator %q", ind)
+	}
+	n, err := strconv.Atoi(ind[i+1:])
+	if err != nil || n < 0 {
+		return "", 0, fmt.Errorf("bad indicator %q", ind)
+	}
+	return ind[:i], n, nil
+}

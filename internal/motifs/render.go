@@ -1,0 +1,84 @@
+package motifs
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Render returns an ASCII drawing of the reduction tree, one node per line
+// with box-drawing connectors — used by examples and debugging output.
+func (t *BinTree) Render() string {
+	var b strings.Builder
+	var walk func(n *BinTree, prefix string, last bool, root bool)
+	walk = func(n *BinTree, prefix string, last bool, root bool) {
+		connector, childPrefix := "", ""
+		if !root {
+			if last {
+				connector = "└─ "
+				childPrefix = prefix + "   "
+			} else {
+				connector = "├─ "
+				childPrefix = prefix + "│  "
+			}
+		} else {
+			childPrefix = prefix
+		}
+		if n.IsLeaf() {
+			fmt.Fprintf(&b, "%s%sleaf %s\n", prefix, connector, term.Sprint(n.Leaf))
+			return
+		}
+		fmt.Fprintf(&b, "%s%s%s\n", prefix, connector, n.Op)
+		walk(n.L, childPrefix, false, false)
+		walk(n.R, childPrefix, true, false)
+	}
+	walk(t, "", true, true)
+	return b.String()
+}
+
+// Render returns an ASCII drawing of the labeled tree: each node's
+// identifier, payload, and processor label — the visual form of the
+// Tree-Reduce-2 preprocessing result.
+func (l *Labeling) Render() string {
+	elems, _ := term.IsTuple(l.Tuple)
+	children := map[int][]int{}
+	root := -1
+	for id := 1; id <= l.N; id++ {
+		p := l.Parent[id]
+		if p < 0 {
+			root = id
+		} else {
+			children[p] = append(children[p], id)
+		}
+	}
+	var b strings.Builder
+	var walk func(id int, prefix string, last, isRoot bool)
+	walk = func(id int, prefix string, last, isRoot bool) {
+		connector, childPrefix := "", prefix
+		if !isRoot {
+			if last {
+				connector = "└─ "
+				childPrefix = prefix + "   "
+			} else {
+				connector = "├─ "
+				childPrefix = prefix + "│  "
+			}
+		}
+		data := "?"
+		if id-1 < len(elems) {
+			if c, ok := term.Walk(elems[id-1]).(*term.Compound); ok && len(c.Args) > 0 {
+				data = term.Sprint(c.Args[0])
+			}
+		}
+		fmt.Fprintf(&b, "%s%s#%d %s @p%d\n", prefix, connector, id, data, l.Label[id])
+		kids := children[id]
+		for i, k := range kids {
+			walk(k, childPrefix, i == len(kids)-1, false)
+		}
+	}
+	if root > 0 {
+		walk(root, "", true, true)
+	}
+	return b.String()
+}

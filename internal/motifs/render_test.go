@@ -1,0 +1,51 @@
+package motifs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestBinTreeRender(t *testing.T) {
+	out := paperTree().Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "leaf 3") || !strings.Contains(out, "└─") || !strings.Contains(out, "├─") {
+		t.Fatalf("render missing parts:\n%s", out)
+	}
+	// Leaf count in rendering matches the tree.
+	if strings.Count(out, "leaf ") != 5 {
+		t.Fatalf("leaf lines = %d:\n%s", strings.Count(out, "leaf "), out)
+	}
+}
+
+func TestLabelingRender(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lab, err := LabelTree(paperTree(), 4, SiblingLabels, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := lab.Render()
+	// One line per node, each with an id and a processor label.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#1 ") || !strings.Contains(out, "@p") {
+		t.Fatalf("render missing ids/labels:\n%s", out)
+	}
+	if !strings.Contains(out, "leaf(3)") {
+		t.Fatalf("render missing payload:\n%s", out)
+	}
+}
+
+func TestRenderSingleLeaf(t *testing.T) {
+	out := NewLeaf(term.Int(9)).Render()
+	if !strings.Contains(out, "leaf 9") {
+		t.Fatalf("out = %q", out)
+	}
+}

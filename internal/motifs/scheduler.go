@@ -1,0 +1,79 @@
+package motifs
+
+import (
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// schedulerLibrarySrc is the Scheduler motif library: dynamic allocation of
+// tasks to idle processors through a manager/worker structure (the paper's
+// scheduler motif, described in its reference [6]). Server 1 is the manager;
+// servers 2..N are workers. A worker announces readiness, receives one task,
+// performs it with the user-supplied task/2 process, and announces readiness
+// again once the task's result is available — so each worker holds at most
+// one task at a time and fast workers automatically receive more work.
+//
+// The computation is started with create(N, jobs(Tasks, Results)): Tasks is
+// a list of task descriptions; Results is bound to the list of results in
+// task order. When every result is available, halt is broadcast.
+const schedulerLibrarySrc = `
+% Scheduler motif library (manager/worker).
+server([jobs(Tasks, Results)|In]) :-
+    pair_jobs(Tasks, Results, Js),
+    nodes(N),
+    start_workers(N),
+    await_results(Results),
+    manager(In, Js).
+server([start|In]) :-
+    self(W), send(1, ready(W)), server(In).
+server([work(T, R)|In]) :-
+    task(T, R), ready_after(R), server(In).
+server([halt|_]).
+
+% Pair each task with a fresh result variable.
+pair_jobs([T|Ts], Rs, Js) :-
+    Rs := [R|Rs1], Js := [job(T, R)|Js1], pair_jobs(Ts, Rs1, Js1).
+pair_jobs([], Rs, Js) :- Rs := [], Js := [].
+
+% Tell servers 2..N to become workers.
+start_workers(N) :- N > 1 | send(N, start), N1 is N - 1, start_workers(N1).
+start_workers(1).
+
+% The manager hands one job to each ready worker; idle readiness
+% announcements after exhaustion are absorbed.
+manager([ready(W)|In], [job(T, R)|Js]) :-
+    send(W, work(T, R)), manager(In, Js).
+manager([ready(_)|In], []) :- manager(In, []).
+manager([halt|_], _).
+
+% A worker asks for more work only after its current result is available.
+ready_after(R) :- data(R) | self(W), send(1, ready(W)).
+
+% Termination detection: when every result is bound, halt the network.
+await_results([R|Rs]) :- data(R) | await_results(Rs).
+await_results([]) :- halt.
+`
+
+// Scheduler returns the Scheduler motif {identity, scheduler library}.
+// The user's application supplies task/2 (task description in, result out).
+// Compose with Server to obtain an executable program:
+//
+//	Sched = Server ∘ Scheduler
+func Scheduler() *core.Motif {
+	lib := parser.MustParse(term.NewHeap(), schedulerLibrarySrc)
+	return core.LibraryOnly("scheduler", lib)
+}
+
+// SchedulerMotif returns the composed, executable scheduler:
+// Server ∘ Scheduler.
+func SchedulerMotif() core.Applier {
+	return core.Compose(Server(), Scheduler())
+}
+
+// SchedulerGoal builds create(Procs, jobs(Tasks, Results)).
+func SchedulerGoal(tasks []term.Term, procs int, results *term.Var) term.Term {
+	return term.NewCompound("create",
+		term.Int(procs),
+		term.NewCompound("jobs", term.MkList(tasks...), results))
+}

@@ -1,0 +1,85 @@
+package motifs
+
+import (
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+// searchLibrarySrc is the or-parallel search motif (the paper's
+// introduction cites or-parallel Prologs as a motif instance, and the
+// conclusion lists "search" as a motif area). The user supplies
+//
+//	goalp(S, T)    — T := true if state S is a solution, else false
+//	expand(S, Cs)  — Cs := list of successor states of a non-solution S
+//
+// The motif explores the search tree with every child shipped to a random
+// processor, reports solutions to the collector on server 1, and — since a
+// search has no single result value — terminates via the short-circuit
+// motif once the whole tree has been explored.
+const searchLibrarySrc = `
+% Search motif library.
+explore(S) :- goalp(S, T), explore1(T, S).
+explore1(true, S) :- send(1, sol(S)).
+explore1(false, S) :- expand(S, Cs), fan(Cs).
+fan([C|Cs]) :- explore(C)@random, fan(Cs).
+fan([]).
+`
+
+// collectorLibrarySrc adds the solution-collecting server rule. It joins
+// the program after the Rand motif has generated the dispatch rules, so the
+// two rule sets merge into one server definition discriminated by message.
+const collectorLibrarySrc = `
+server([sol(S)|In]) :- note(S), server(In).
+`
+
+// SearchLib returns the inner search motif {identity, search library}.
+func SearchLib() *core.Motif {
+	return core.LibraryOnly("search", parser.MustParse(term.NewHeap(), searchLibrarySrc))
+}
+
+// SearchMotif returns the executable or-parallel search:
+//
+//	Server ∘ Collector ∘ Rand ∘ ShortCircuit ∘ Search
+//
+// — a four-deep composition exercising every reuse mechanism the paper
+// proposes. The runtime must provide note/1 (the solution sink) as a
+// foreign predicate; RunSearch does so.
+func SearchMotif() core.Applier {
+	collector := core.LibraryOnly("collector", parser.MustParse(term.NewHeap(), collectorLibrarySrc))
+	return core.Compose(Server(), collector, Rand("sc_start/1"), ShortCircuit("explore/1"), SearchLib())
+}
+
+// RunSearch explores the search problem defined by appSrc (goalp/2,
+// expand/2) from the start state, returning every solution reported (order
+// depends on the parallel schedule).
+func RunSearch(appSrc string, start term.Term, cfg RunConfig) ([]term.Term, *strand.Result, error) {
+	h := term.NewHeap()
+	app, err := parser.Parse(h, appSrc)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := SearchMotif().ApplyTo(app, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	var solutions []term.Term
+	opts := cfg.options()
+	if opts.Natives == nil {
+		opts.Natives = map[string]strand.NativeFn{}
+	}
+	opts.Natives["note/1"] = func(rt *strand.Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+		solutions = append(solutions, term.Resolve(args[0]))
+		return 1, nil, nil
+	}
+	rt := strand.New(prog, h, opts)
+	rt.Spawn(term.NewCompound("create",
+		term.Int(int64(cfg.Procs)),
+		term.NewCompound("sc_start", start)), 0)
+	res, err := rt.Run()
+	if err != nil {
+		return nil, res, err
+	}
+	return solutions, res, nil
+}

@@ -1,0 +1,105 @@
+package motifs
+
+import (
+	"testing"
+
+	"repro/internal/term"
+)
+
+// fibStringsSrc enumerates binary strings of length K with no two adjacent
+// ones; there are fib(K+2) of them. State: s(Remaining, LastBit, Acc).
+const fibStringsSrc = `
+goalp(s(0, _, _), T) :- T := true.
+goalp(s(K, _, _), T) :- K > 0 | T := false.
+
+expand(s(K, Last, Acc), Cs) :- K > 0 | K1 is K - 1, exp1(K1, Last, Acc, Cs).
+exp1(K1, 1, Acc, Cs) :- Cs := [s(K1, 0, [0|Acc])].
+exp1(K1, 0, Acc, Cs) :- Cs := [s(K1, 0, [0|Acc]), s(K1, 1, [1|Acc])].
+`
+
+func startState(k int64) term.Term {
+	return term.NewCompound("s", term.Int(k), term.Int(0), term.EmptyList)
+}
+
+func TestSearchMotifCountsSolutions(t *testing.T) {
+	// fib(K+2): K=1→2, K=5→13, K=8→55.
+	for _, c := range []struct {
+		k    int64
+		want int
+	}{{1, 2}, {5, 13}, {8, 55}} {
+		sols, res, err := RunSearch(fibStringsSrc, startState(c.k), RunConfig{Procs: 4, Seed: 9})
+		if err != nil {
+			t.Fatalf("k=%d: %v", c.k, err)
+		}
+		if len(sols) != c.want {
+			t.Fatalf("k=%d: %d solutions, want %d", c.k, len(sols), c.want)
+		}
+		if res.SuspendedAtEnd != 0 {
+			t.Fatalf("k=%d: %d suspended at end", c.k, res.SuspendedAtEnd)
+		}
+	}
+}
+
+func TestSearchMotifSolutionsAreDistinctAndValid(t *testing.T) {
+	sols, _, err := RunSearch(fibStringsSrc, startState(6), RunConfig{Procs: 4, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, s := range sols {
+		key := term.Sprint(s)
+		if seen[key] {
+			t.Fatalf("duplicate solution %s", key)
+		}
+		seen[key] = true
+		// Validate: s(0, _, Acc) with Acc a length-6 01-list without
+		// adjacent ones.
+		c := term.Walk(s).(*term.Compound)
+		acc, ok := term.ListSlice(c.Args[2])
+		if !ok || len(acc) != 6 {
+			t.Fatalf("bad accumulator in %s", key)
+		}
+		prev := int64(0)
+		for _, b := range acc {
+			v := int64(term.Walk(b).(term.Int))
+			if v != 0 && v != 1 {
+				t.Fatalf("non-binary digit in %s", key)
+			}
+			if v == 1 && prev == 1 {
+				t.Fatalf("adjacent ones in %s", key)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSearchMotifDistributesExploration(t *testing.T) {
+	_, res, err := RunSearch(fibStringsSrc, startState(9), RunConfig{Procs: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := 0
+	for _, r := range res.Metrics.Reductions {
+		if r > 0 {
+			busy++
+		}
+	}
+	if busy < 3 {
+		t.Fatalf("exploration not distributed: %v", res.Metrics.Reductions)
+	}
+}
+
+func TestSearchMotifDeterministicPerSeed(t *testing.T) {
+	run := func() (int, int64) {
+		sols, res, err := RunSearch(fibStringsSrc, startState(5), RunConfig{Procs: 4, Seed: 12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(sols), res.Metrics.Makespan
+	}
+	n1, m1 := run()
+	n2, m2 := run()
+	if n1 != n2 || m1 != m2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", n1, m1, n2, m2)
+	}
+}

@@ -1,0 +1,148 @@
+package motifs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// serverLibrarySrc is the Server motif's library program (the paper's
+// Figure 3, recast over the runtime's channel primitives: make_channels and
+// distribute play the role of Figure 3's merger network, which real Strand
+// systems likewise provided as primitives). create(N, Msg) builds a fully
+// connected network of N servers — server I runs on processor I — and
+// delivers the initial message Msg to server 1.
+//
+// The library is written in post-transformation form: it is the bottom
+// layer, so its own sends are already distribute calls.
+const serverLibrarySrc = `
+% Server motif library.
+create(N, Msg) :-
+    make_channels(N, DT),
+    boot(N, DT),
+    distribute(1, DT, Msg).
+
+boot(N, DT) :-
+    N > 0 |
+    channel_stream(N, DT, In),
+    server(In, DT)@N,
+    N1 is N - 1,
+    boot(N1, DT).
+boot(0, _).
+
+% broadcast_halt sends halt to every server; the Server transformation
+% rewrites user-level halt calls into calls to this process.
+broadcast_halt(DT) :- length(DT, N), bhalt(N, DT).
+bhalt(N, DT) :- N > 0 | distribute(N, DT, halt), N1 is N - 1, bhalt(N1, DT).
+bhalt(0, _).
+`
+
+// serverPrims are the goal indicators the Server transformation rewrites.
+var serverPrims = map[string]bool{
+	"send/2":  true,
+	"nodes/1": true,
+	"halt/0":  true,
+}
+
+// Server returns the Server motif: the lowest-level building block, which
+// provides a fully connected set of named servers. Its transformation
+// implements the paper's four steps (Section 3.2):
+//
+//  1. add a new output-stream-tuple argument (DT) to every process
+//     definition that calls send, nodes, or halt — and to their ancestors
+//     in the call graph — and to the user's server/1 definition;
+//  2. replace send(Node, Msg) with distribute(Node, DT, Msg);
+//  3. replace nodes(N) with length(DT, N);
+//  4. replace halt with a broadcast of the halt message to every server.
+//
+// The application must define server/1 (one rule per message type plus a
+// rule for halt); the motif's library then calls the threaded server/2.
+func Server() *core.Motif {
+	lib := parser.MustParse(term.NewHeap(), serverLibrarySrc)
+	return core.NewMotif("server", core.TransformFunc{N: "server", F: serverTransform}, lib)
+}
+
+func serverTransform(prog *parser.Program, h *term.Heap) (*parser.Program, error) {
+	if !prog.Defines("server/1") {
+		return nil, fmt.Errorf("server motif requires the application to define server/1")
+	}
+	// Step 1's target set: definitions from which a server primitive is
+	// reachable, plus server/1 itself (the library invokes server/2).
+	threaded := prog.Callers(serverPrims)
+	threaded["server/1"] = true
+
+	out := &parser.Program{Rules: make([]*parser.Rule, len(prog.Rules))}
+	for i, r := range prog.Rules {
+		nr := &parser.Rule{Guards: r.Guards, Line: r.Line}
+		var dt term.Term
+		if threaded[r.HeadIndicator()] {
+			dt = h.NewVar("DT")
+			name, args, _ := core.GoalParts(r.Head)
+			nr.Head = term.NewCompound(name, append(append([]term.Term{}, args...), dt)...)
+		} else {
+			nr.Head = r.Head
+		}
+		for _, g := range r.Body {
+			ng, err := serverRewriteGoal(g, dt, threaded, r)
+			if err != nil {
+				return nil, err
+			}
+			nr.Body = append(nr.Body, ng)
+		}
+		out.Rules[i] = nr
+	}
+	return out, nil
+}
+
+func serverRewriteGoal(g term.Term, dt term.Term, threaded map[string]bool, r *parser.Rule) (term.Term, error) {
+	w := term.Walk(g)
+	if c, ok := w.(*term.Compound); ok && c.Functor == "@" && len(c.Args) == 2 {
+		inner, err := serverRewriteGoal(c.Args[0], dt, threaded, r)
+		if err != nil {
+			return nil, err
+		}
+		return term.NewCompound("@", inner, c.Args[1]), nil
+	}
+	name, args, ok := core.GoalParts(w)
+	if !ok {
+		return w, nil
+	}
+	ind := fmt.Sprintf("%s/%d", name, len(args))
+	needDT := func() (term.Term, error) {
+		if dt == nil {
+			return nil, fmt.Errorf("rule %s uses %s but was not identified for threading (internal error)",
+				r.HeadIndicator(), ind)
+		}
+		return dt, nil
+	}
+	switch ind {
+	case "send/2":
+		d, err := needDT()
+		if err != nil {
+			return nil, err
+		}
+		return term.NewCompound("distribute", args[0], d, args[1]), nil
+	case "nodes/1":
+		d, err := needDT()
+		if err != nil {
+			return nil, err
+		}
+		return term.NewCompound("length", d, args[0]), nil
+	case "halt/0":
+		d, err := needDT()
+		if err != nil {
+			return nil, err
+		}
+		return term.NewCompound("broadcast_halt", d), nil
+	}
+	if threaded[ind] {
+		d, err := needDT()
+		if err != nil {
+			return nil, err
+		}
+		return term.NewCompound(name, append(append([]term.Term{}, args...), d)...), nil
+	}
+	return w, nil
+}

@@ -1,0 +1,174 @@
+package motifs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// ShortCircuit returns the termination-detection motif the paper sketches
+// in Section 3.3: "the associated transformation can be extended to thread
+// a short circuit through the application program and to add code to
+// invoke the Server motif's halt operation when the application
+// terminates."
+//
+// The transformation threads a circuit — a pair of extra arguments (L, R)
+// — through every definition reachable from the entry process. A rule that
+// spawns no circuit-carrying processes closes its segment (L = R); a rule
+// that spawns k of them splits its segment into k links. It also adds
+//
+//	sc_start(V1,...,Vn) :- entry(V1,...,Vn, done, Done), sc_finish(Done).
+//	sc_finish(Done) :- data(Done) | halt.
+//
+// so the whole computation's completion unifies Done with done and halts
+// the server network. Calls to builtins and foreign predicates are not
+// threaded (they complete within one reduction, so they cannot outlive the
+// circuit). Compose as Server ∘ Rand ∘ ShortCircuit (see
+// TerminatingRandom).
+func ShortCircuit(entry string) *core.Motif {
+	t := core.TransformFunc{
+		N: "short-circuit",
+		F: func(prog *parser.Program, h *term.Heap) (*parser.Program, error) {
+			return shortCircuitTransform(prog, h, entry)
+		},
+	}
+	return core.NewMotif("short-circuit", t, nil)
+}
+
+// TerminatingRandom is the Random motif extended with termination
+// detection: Server ∘ Rand ∘ ShortCircuit. The computation is initiated
+// with create(N, sc_start(Args...)) where sc_start has the entry's
+// original arity; when every descendant process has completed, halt is
+// broadcast and the network shuts down — no result variable needed.
+func TerminatingRandom(entry string) (core.Applier, error) {
+	_, arity, err := SplitIndicator(entry)
+	if err != nil {
+		return nil, err
+	}
+	startInd := fmt.Sprintf("sc_start/%d", arity)
+	return core.Compose(Server(), Rand(startInd), ShortCircuit(entry)), nil
+}
+
+func shortCircuitTransform(prog *parser.Program, h *term.Heap, entry string) (*parser.Program, error) {
+	entryName, entryArity, err := SplitIndicator(entry)
+	if err != nil {
+		return nil, fmt.Errorf("short-circuit: %w", err)
+	}
+	if !prog.Defines(entry) {
+		return nil, fmt.Errorf("short-circuit: entry %s not defined", entry)
+	}
+	// Targets: every defined indicator reachable from the entry.
+	graph := prog.CallGraph()
+	targets := map[string]bool{entry: true}
+	queue := []string{entry}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for callee := range graph[cur] {
+			if !targets[callee] && prog.Defines(callee) {
+				targets[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	// Safety: no rule outside the target set may call a target, or the
+	// arity change would break it.
+	for _, r := range prog.Rules {
+		if targets[r.HeadIndicator()] {
+			continue
+		}
+		for _, g := range r.Body {
+			if core.CallsAny(&parser.Program{Rules: []*parser.Rule{{Head: r.Head, Body: []term.Term{g}}}}, targets) {
+				return nil, fmt.Errorf("short-circuit: %s calls threaded process outside the entry's call tree",
+					r.HeadIndicator())
+			}
+		}
+	}
+
+	out := &parser.Program{Rules: make([]*parser.Rule, 0, len(prog.Rules)+2)}
+	for _, r := range prog.Rules {
+		if !targets[r.HeadIndicator()] {
+			out.Rules = append(out.Rules, r)
+			continue
+		}
+		left := h.NewVar("L")
+		right := h.NewVar("R")
+		name, args, _ := core.GoalParts(r.Head)
+		nr := &parser.Rule{
+			Head:   term.NewCompound(name, append(append([]term.Term{}, args...), left, right)...),
+			Guards: r.Guards,
+			Line:   r.Line,
+		}
+		// Thread the circuit through targeted body calls, in order.
+		cur := term.Term(left)
+		nLinks := 0
+		for _, g := range r.Body {
+			threaded, next, err := scThreadGoal(g, targets, cur, right, &nLinks, h)
+			if err != nil {
+				return nil, err
+			}
+			nr.Body = append(nr.Body, threaded)
+			cur = next
+		}
+		if nLinks == 0 {
+			// No circuit-carrying spawns: close the segment.
+			nr.Body = append(nr.Body, term.NewCompound("=", left, right))
+		} else {
+			// The last link must end at R: patch by unifying the dangling
+			// end with R (cur is the last fresh mid variable).
+			if cur != term.Term(right) {
+				nr.Body = append(nr.Body, term.NewCompound("=", cur, right))
+			}
+		}
+		out.Rules = append(out.Rules, nr)
+	}
+
+	// Wrapper and monitor.
+	args := make([]term.Term, entryArity)
+	for i := range args {
+		args[i] = h.NewVar("V")
+	}
+	done := h.NewVar("Done")
+	out.Rules = append(out.Rules, &parser.Rule{
+		Head: term.NewCompound("sc_start", args...),
+		Body: []term.Term{
+			term.NewCompound(entryName, append(append([]term.Term{}, args...), term.Atom("done"), done)...),
+			term.NewCompound("sc_finish", done),
+		},
+	})
+	fin := h.NewVar("Done")
+	out.Rules = append(out.Rules, &parser.Rule{
+		Head:   term.NewCompound("sc_finish", fin),
+		Guards: []term.Term{term.NewCompound("data", fin)},
+		Body:   []term.Term{term.Atom("halt")},
+	})
+	return out, nil
+}
+
+// scThreadGoal threads the circuit through one body goal. It returns the
+// rewritten goal and the new dangling circuit end (unchanged if the goal
+// does not carry the circuit).
+func scThreadGoal(g term.Term, targets map[string]bool, cur, right term.Term, nLinks *int, h *term.Heap) (term.Term, term.Term, error) {
+	w := term.Walk(g)
+	if c, ok := w.(*term.Compound); ok && c.Functor == "@" && len(c.Args) == 2 {
+		inner, next, err := scThreadGoal(c.Args[0], targets, cur, right, nLinks, h)
+		if err != nil {
+			return nil, nil, err
+		}
+		return term.NewCompound("@", inner, c.Args[1]), next, nil
+	}
+	name, args, ok := core.GoalParts(w)
+	if !ok {
+		return w, cur, nil
+	}
+	ind := fmt.Sprintf("%s/%d", name, len(args))
+	if !targets[ind] {
+		return w, cur, nil
+	}
+	*nLinks++
+	mid := term.Term(h.NewVar("M"))
+	out := term.NewCompound(name, append(append([]term.Term{}, args...), cur, mid)...)
+	return out, mid, nil
+}

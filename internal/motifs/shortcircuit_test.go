@@ -1,0 +1,159 @@
+package motifs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/strand"
+	"repro/internal/term"
+)
+
+const spraySrc = `
+% Fire-and-forget workload: spray K tasks onto random processors. No result
+% variable exists, so only termination detection can shut the network down.
+spray(0).
+spray(K) :- K > 0 | work(K)@random, K1 is K - 1, spray(K1).
+work(K) :- tick(K).
+`
+
+func TestShortCircuitTransformShape(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, spraySrc)
+	out, err := ShortCircuit("spray/1").ApplyTo(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Threaded arities.
+	for _, ind := range []string{"spray/3", "work/3", "sc_start/1", "sc_finish/1"} {
+		if !out.Defines(ind) {
+			t.Fatalf("missing %s: %v", ind, out.Indicators())
+		}
+	}
+	if out.Defines("spray/1") || out.Defines("work/1") {
+		t.Fatalf("unthreaded definitions remain: %v", out.Indicators())
+	}
+	s := out.String()
+	// The base case closes its circuit segment.
+	if !strings.Contains(s, "L = R") {
+		t.Fatalf("no segment close in:\n%s", s)
+	}
+	// The recursive rule threads through the annotated call.
+	sprayRules := out.Definition("spray/3")
+	if len(sprayRules) != 2 {
+		t.Fatalf("spray/3 rules = %d", len(sprayRules))
+	}
+	rec := sprayRules[1].String()
+	if !strings.Contains(rec, "@random") {
+		t.Fatalf("annotation lost: %s", rec)
+	}
+	// The wrapper passes the done constant.
+	start := out.Definition("sc_start/1")[0].String()
+	if !strings.Contains(start, "done") || !strings.Contains(start, "sc_finish") {
+		t.Fatalf("bad wrapper: %s", start)
+	}
+}
+
+func TestShortCircuitRejectsOutsideCallers(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, `
+entry(X) :- helper(X).
+helper(_).
+outsider :- helper(1).
+`)
+	_, err := ShortCircuit("entry/1").ApplyTo(app, h)
+	if err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestShortCircuitUnknownEntry(t *testing.T) {
+	h := term.NewHeap()
+	app := parser.MustParse(h, "p(1).")
+	if _, err := ShortCircuit("nope/1").ApplyTo(app, h); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+// TestTerminatingRandomRunsToCompletion is the paper's Section 3.3
+// extension end to end: a result-free computation over the server network
+// halts itself exactly after all work is done.
+func TestTerminatingRandomRunsToCompletion(t *testing.T) {
+	applier, err := TerminatingRandom("spray/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := term.NewHeap()
+	app := parser.MustParse(h, spraySrc)
+	prog, err := applier.ApplyTo(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ticks := map[int64]int{}
+	rt := strand.New(prog, h, strand.Options{Procs: 4, Seed: 3})
+	rt.RegisterNative("tick/1", func(rt *strand.Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+		n, ok := term.Walk(args[0]).(term.Int)
+		if !ok {
+			if v, isVar := term.Walk(args[0]).(*term.Var); isVar {
+				return 0, []*term.Var{v}, nil
+			}
+			return 1, nil, nil
+		}
+		ticks[int64(n)]++
+		return 1, nil, nil
+	})
+	const k = 20
+	rt.Spawn(term.NewCompound("create", term.Int(4),
+		term.NewCompound("sc_start", term.Int(k))), 0)
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuspendedAtEnd != 0 {
+		t.Fatalf("suspended at end: %d", res.SuspendedAtEnd)
+	}
+	if len(ticks) != k {
+		t.Fatalf("distinct tasks ticked = %d, want %d", len(ticks), k)
+	}
+	for n, c := range ticks {
+		if c != 1 {
+			t.Fatalf("task %d ticked %d times", n, c)
+		}
+	}
+	// Work really was distributed: more than one processor reduced.
+	busyProcs := 0
+	for _, r := range res.Metrics.Reductions {
+		if r > 0 {
+			busyProcs++
+		}
+	}
+	if busyProcs < 2 {
+		t.Fatalf("work not distributed: %v", res.Metrics.Reductions)
+	}
+}
+
+func TestTerminatingRandomWithoutSCDeadlocks(t *testing.T) {
+	// Control experiment: the same program through plain Random (no
+	// termination detection) leaves the server network suspended — the
+	// deficiency the paper points out for its Random motif.
+	h := term.NewHeap()
+	app := parser.MustParse(h, spraySrc)
+	prog, err := Random("spray/1").ApplyTo(app, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := strand.New(prog, h, strand.Options{Procs: 4, Seed: 3, AllowSuspendedAtEnd: true})
+	rt.RegisterNative("tick/1", func(rt *strand.Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+		return 1, nil, nil
+	})
+	rt.Spawn(term.NewCompound("create", term.Int(4),
+		term.NewCompound("spray", term.Int(5))), 0)
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuspendedAtEnd == 0 {
+		t.Fatal("expected suspended servers without termination detection")
+	}
+}

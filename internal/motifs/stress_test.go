@@ -1,0 +1,116 @@
+package motifs
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// Stress tests: larger instances of each motif, asserting the same
+// invariants as the small tests. They keep the simulated machine honest
+// about scale (queue compaction, suspension bookkeeping, port growth).
+
+func TestStressTreeReduce1LargeTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tree := randomIntTree(1024, rand.New(rand.NewSource(71)))
+	val, res, err := RunTreeReduce1(motifsArithSum(), tree, RunConfig{Procs: 16, Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sumLeaves(tree)
+	if val != term.Term(term.Int(want)) {
+		t.Fatalf("value = %s, want %d", term.Sprint(val), want)
+	}
+	if res.SuspendedAtEnd != 0 {
+		t.Fatalf("suspended = %d", res.SuspendedAtEnd)
+	}
+	// All 16 processors participated.
+	busy := 0
+	for _, r := range res.Metrics.Reductions {
+		if r > 0 {
+			busy++
+		}
+	}
+	if busy != 16 {
+		t.Fatalf("only %d/16 processors busy", busy)
+	}
+}
+
+func TestStressTreeReduce2LargeTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tree := randomIntTree(512, rand.New(rand.NewSource(72)))
+	val, res, err := RunTreeReduce2(motifsArithSum(), tree, SiblingLabels,
+		RunConfig{Procs: 8, Seed: 72, Watch: []string{"eval/4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if val != term.Term(term.Int(sumLeaves(tree))) {
+		t.Fatalf("value = %s", term.Sprint(val))
+	}
+	for p, peak := range res.PeakLive["eval/4"] {
+		if peak > 1 {
+			t.Fatalf("proc %d peak evals %d > 1 at scale", p, peak)
+		}
+	}
+}
+
+func TestStressSchedulerManyTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var tasks []term.Term
+	for i := 0; i < 300; i++ {
+		tasks = append(tasks, term.NewCompound("sq", term.Int(int64(i))))
+	}
+	results, res, err := RunScheduler("task(sq(N), R) :- R is N * N.", tasks,
+		RunConfig{Procs: 8, Seed: 73})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 300 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if term.Walk(r) != term.Term(term.Int(int64(i*i))) {
+			t.Fatalf("result[%d] = %s", i, term.Sprint(r))
+		}
+	}
+	if res.SuspendedAtEnd != 0 {
+		t.Fatal("suspended processes at end")
+	}
+}
+
+func TestStressSearchDeep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// fib(14) = 377 solutions at K=12.
+	sols, res, err := RunSearch(fibStringsSrc, startState(12), RunConfig{Procs: 8, Seed: 74})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 377 {
+		t.Fatalf("solutions = %d, want 377", len(sols))
+	}
+	if res.SuspendedAtEnd != 0 {
+		t.Fatal("suspended at end")
+	}
+}
+
+// motifsArithSum returns an eval that only adds, so large-tree results stay
+// in int64 range regardless of tree shape.
+func motifsArithSum() string {
+	return `eval(_, L, R, Value) :- Value is L + R.`
+}
+
+func sumLeaves(t *BinTree) int64 {
+	if t.IsLeaf() {
+		return int64(t.Leaf.(term.Int))
+	}
+	return sumLeaves(t.L) + sumLeaves(t.R)
+}

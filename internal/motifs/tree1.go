@@ -1,0 +1,52 @@
+package motifs
+
+import (
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// tree1LibrarySrc is the Tree1 motif's library: the paper's four-line
+// divide-and-conquer tree reduction (Section 3.4) expressed with the
+// @random pragma, plus the run/watch entry point that adds the termination
+// detection the paper describes as a short-circuit extension (Section 3.3):
+// once the root value is available, halt is broadcast to the server network.
+//
+// The library is written in the convenient, motif-independent form; the
+// Rand and Server motifs transform it on the way down.
+const tree1LibrarySrc = `
+% Tree1 motif library: divide-and-conquer tree reduction.
+run(T, V) :- reduce(T, V), watch(V).
+watch(V) :- data(V) | halt.
+
+reduce(tree(V, L, R), Value) :-
+    reduce(R, RV)@random,
+    reduce(L, LV),
+    eval(V, LV, RV, Value).
+reduce(leaf(L), Value) :- Value := L.
+`
+
+// Tree1 returns the Tree1 motif: the identity transformation plus the
+// divide-and-conquer reduction library. The user's application supplies
+// eval/4 (the node evaluation function).
+func Tree1() *core.Motif {
+	lib := parser.MustParse(term.NewHeap(), tree1LibrarySrc)
+	return core.LibraryOnly("tree1", lib)
+}
+
+// TreeReduce1 returns the composed Tree-Reduce-1 motif of Section 3.4:
+//
+//	Tree-Reduce-1 = Server ∘ Rand ∘ Tree1
+//
+// Applied to an application that defines eval/4, it yields an executable
+// program; reduction of tree T is initiated with create(N, run(T, V)).
+func TreeReduce1() core.Applier {
+	return core.Compose(Server(), Rand("run/2"), Tree1())
+}
+
+// TreeReduce1Goal builds the initial goal create(Procs, run(Tree, Result)).
+func TreeReduce1Goal(treeTerm term.Term, procs int, result *term.Var) term.Term {
+	return term.NewCompound("create",
+		term.Int(procs),
+		term.NewCompound("run", treeTerm, result))
+}

@@ -1,0 +1,125 @@
+package motifs
+
+import (
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// tree2LibrarySrc is the Tree-Reduce-2 library (the paper's Figure 7,
+// Section 3.5). Every tree node is pre-assigned a processor label (see
+// LabelTree); a node's value is computed when both offspring values are
+// available and is then sent to the processor holding its parent. Each
+// server maintains state {Tree, Pending} and — crucially — sequences its
+// node evaluations: the pending list for the next message only becomes
+// available once the current evaluation has completed, so at most one
+// evaluation is active per processor at any time, bounding peak memory.
+//
+// Messages: init(Tree, Sol) starts the computation (broadcasts the tree and
+// injects the leaf values); tree(Tree, Sol) delivers the tree to the other
+// servers; value(Id, V) delivers a computed node value; halt terminates.
+// The root's value (parent identifier -1) binds the solution and halts the
+// network — the termination-detection code the motif adds around the
+// user-supplied eval/4.
+const tree2LibrarySrc = `
+% Tree-Reduce-2 motif library.
+server([init(Tree, Sol)|In]) :-
+    bcast_tree(Tree, Sol, Done),
+    send_leaves(Tree, Done),
+    loop(In, Tree, [], Sol).
+server([tree(Tree, Sol)|In]) :-
+    loop(In, Tree, [], Sol).
+server([halt|_]).
+
+loop([value(Id, V)|In], Tree, Pend, Sol) :-
+    handle(Id, V, Tree, Sol, Pend, Pend1),
+    loop(In, Tree, Pend1, Sol).
+loop([halt|_], _, _, _).
+
+% Broadcast the tree (and solution variable) to servers 2..N; Done signals
+% completion so that no value message can overtake a tree message.
+bcast_tree(Tree, Sol, Done) :- nodes(N), bc(N, Tree, Sol, Done).
+bc(I, Tree, Sol, Done) :- I > 1 | send(I, tree(Tree, Sol)), I1 is I - 1, bc(I1, Tree, Sol, Done).
+bc(1, _, _, Done) :- Done := ok.
+
+% Inject each leaf's value at the processor where its parent is evaluated.
+send_leaves(Tree, Done) :- data(Done) | length(Tree, N), sl(N, Tree).
+sl(I, Tree) :-
+    I > 0 |
+    get_arg(I, Tree, Node),
+    sl1(Node, I),
+    I1 is I - 1,
+    sl(I1, Tree).
+sl(0, _).
+sl1(node(leaf(V), _, PLab, _), I) :- send(PLab, value(I, V)).
+sl1(node(op(_), _, _, _), _).
+
+% handle: the root's value is the solution; other values pair up with a
+% pending sibling or wait in the pending list.
+handle(Id, V, Tree, Sol, Pend, Pend1) :-
+    get_arg(Id, Tree, node(_, PId, _, _)),
+    handle1(PId, Id, V, Tree, Sol, Pend, Pend1).
+
+handle1(-1, _, V, _, Sol, Pend, Pend1) :-
+    Sol := V, halt, Pend1 := Pend.
+handle1(PId, Id, V, Tree, _, Pend, Pend1) :-
+    PId > 0 |
+    take(PId, Pend, Rest, Found),
+    combine(Found, Id, V, PId, Tree, Rest, Pend1).
+
+% take(PId, Pend, Rest, Found): remove a pending sibling value with parent
+% PId, if any.
+take(PId, [pend(OId, PId, OV)|Pend], Rest, Found) :-
+    Rest := Pend, Found := found(OId, OV).
+take(PId, [pend(OId, QId, OV)|Pend], Rest, Found) :-
+    QId =\= PId |
+    take(PId, Pend, Rest1, Found), Rest := [pend(OId, QId, OV)|Rest1].
+take(_, [], Rest, Found) :- Rest := [], Found := none.
+
+% combine: with no sibling yet, queue the value; with the sibling present,
+% evaluate the parent node. Pend1 is bound only after the evaluation
+% completes, which sequences evaluations on this processor.
+combine(none, Id, V, PId, _, Rest, Pend1) :-
+    Pend1 := [pend(Id, PId, V)|Rest].
+combine(found(OId, OV), Id, V, PId, Tree, Rest, Pend1) :-
+    get_arg(PId, Tree, node(op(Op), _, _, _)),
+    get_arg(Id, Tree, node(_, _, _, Side)),
+    orient(Side, V, OV, LV, RV),
+    eval(Op, LV, RV, PV),
+    value_done(PV, PId, Tree, Rest, Pend1).
+
+orient(l, V, OV, LV, RV) :- LV := V, RV := OV.
+orient(r, V, OV, LV, RV) :- LV := OV, RV := V.
+
+% Once the evaluation has produced PV, forward it toward the parent's
+% processor and release the pending list.
+value_done(PV, PId, Tree, Rest, Pend1) :-
+    data(PV) |
+    get_arg(PId, Tree, node(_, _, PLab, _)),
+    send(PLab, value(PId, PV)),
+    Pend1 := Rest.
+`
+
+// Tree2Lib returns the inner Tree-Reduce motif {identity, tree-2 library}.
+func Tree2Lib() *core.Motif {
+	lib := parser.MustParse(term.NewHeap(), tree2LibrarySrc)
+	return core.LibraryOnly("tree-reduce", lib)
+}
+
+// TreeReduce2 returns the composed Tree-Reduce-2 motif of Section 3.5:
+//
+//	Tree-Reduce-2 = Server ∘ Tree-Reduce
+//
+// The user's application supplies eval/4; the input tree must be labeled
+// and encoded with LabelTree; reduction is initiated with
+// create(N, init(Tuple, V)).
+func TreeReduce2() core.Applier {
+	return core.Compose(Server(), Tree2Lib())
+}
+
+// TreeReduce2Goal builds the initial goal create(Procs, init(Tuple, Result)).
+func TreeReduce2Goal(labeled *Labeling, procs int, result *term.Var) term.Term {
+	return term.NewCompound("create",
+		term.Int(procs),
+		term.NewCompound("init", labeled.Tuple, result))
+}

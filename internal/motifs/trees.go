@@ -1,0 +1,231 @@
+// Package motifs provides the paper's concrete algorithmic motifs — Server,
+// Rand, Random, Tree1, Tree-Reduce-1, Tree-Reduce-2, and Scheduler — built
+// on the motif framework of package core, together with the tree encodings
+// their applications use.
+package motifs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/term"
+)
+
+// BinTree is the binary reduction tree a user application supplies: internal
+// nodes carry an operator name, leaves carry an arbitrary payload term. It
+// is the Go-side twin of the paper's tree(V,L,R)/leaf(L) structure.
+type BinTree struct {
+	// Op is the operator at an internal node ("" at leaves).
+	Op string
+	// Leaf is the payload at a leaf (nil at internal nodes).
+	Leaf term.Term
+	// L, R are the children (nil at leaves).
+	L, R *BinTree
+}
+
+// NewLeaf builds a leaf node.
+func NewLeaf(payload term.Term) *BinTree { return &BinTree{Leaf: payload} }
+
+// NewNode builds an internal node.
+func NewNode(op string, l, r *BinTree) *BinTree { return &BinTree{Op: op, L: l, R: r} }
+
+// IsLeaf reports whether the node is a leaf.
+func (t *BinTree) IsLeaf() bool { return t.L == nil && t.R == nil }
+
+// Nodes returns the total node count.
+func (t *BinTree) Nodes() int {
+	if t == nil {
+		return 0
+	}
+	if t.IsLeaf() {
+		return 1
+	}
+	return 1 + t.L.Nodes() + t.R.Nodes()
+}
+
+// Leaves returns the leaf count.
+func (t *BinTree) Leaves() int {
+	if t == nil {
+		return 0
+	}
+	if t.IsLeaf() {
+		return 1
+	}
+	return t.L.Leaves() + t.R.Leaves()
+}
+
+// Height returns the height (a single leaf has height 1).
+func (t *BinTree) Height() int {
+	if t == nil {
+		return 0
+	}
+	if t.IsLeaf() {
+		return 1
+	}
+	lh, rh := t.L.Height(), t.R.Height()
+	if lh > rh {
+		return lh + 1
+	}
+	return rh + 1
+}
+
+// Term encodes the tree in the divide-and-conquer form used by Tree1 and
+// Tree-Reduce-1: tree(Op, L, R) for internal nodes and leaf(V) for leaves.
+func (t *BinTree) Term() term.Term {
+	if t.IsLeaf() {
+		return term.NewCompound("leaf", t.Leaf)
+	}
+	return term.NewCompound("tree", term.Atom(t.Op), t.L.Term(), t.R.Term())
+}
+
+// String renders the tree as its Term form.
+func (t *BinTree) String() string { return term.Sprint(t.Term()) }
+
+// LabelScheme selects how Tree-Reduce-2 assigns processor labels to nodes.
+type LabelScheme int
+
+const (
+	// SiblingLabels is the paper's scheme: leaf labels are random with
+	// sibling leaves sharing a label; an internal node takes the label of
+	// its left child. This guarantees at most one of each node's two
+	// offspring values crosses processors.
+	SiblingLabels LabelScheme = iota
+	// IndependentLabels labels every leaf independently at random (the
+	// ablation baseline): internal nodes still take the left child's label,
+	// but leaf siblings may diverge, increasing communication.
+	IndependentLabels
+)
+
+func (s LabelScheme) String() string {
+	switch s {
+	case SiblingLabels:
+		return "sibling"
+	case IndependentLabels:
+		return "independent"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Labeling is the result of the Tree-Reduce-2 preprocessing step: node
+// identifiers, processor labels, and the tuple term the library consumes.
+type Labeling struct {
+	// N is the node count; identifiers run 1..N in preorder.
+	N int
+	// Label[i] is the 1-based processor label of node i (index 0 unused).
+	Label []int
+	// Parent[i] is the identifier of node i's parent (-1 for the root).
+	Parent []int
+	// Tuple is the encoded tree: element i is
+	// node(Data_i, ParentId_i, ParentLabel_i, Side_i) with Data either
+	// op(Op) or leaf(V), and Side one of l, r, root.
+	Tuple term.Term
+}
+
+// LabelTree performs Tree-Reduce-2's preprocessing: it assigns identifiers
+// and processor labels (1..procs) to every node under the given scheme and
+// encodes the tree as the tuple the Tree-Reduce-2 library consumes. The
+// paper introduces this step via the motif's transformation; here it is the
+// motif's Go-side preparation function, driven by a caller-supplied rng for
+// reproducibility.
+func LabelTree(t *BinTree, procs int, scheme LabelScheme, rng *rand.Rand) (*Labeling, error) {
+	if t == nil {
+		return nil, fmt.Errorf("motifs: LabelTree on empty tree")
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("motifs: LabelTree needs >= 1 processor, got %d", procs)
+	}
+	n := t.Nodes()
+	lab := &Labeling{
+		N:      n,
+		Label:  make([]int, n+1),
+		Parent: make([]int, n+1),
+	}
+	nodes := make([]*BinTree, n+1)
+	sides := make([]string, n+1)
+
+	// Assign preorder identifiers.
+	next := 1
+	var number func(node *BinTree, parent int, side string) int
+	number = func(node *BinTree, parent int, side string) int {
+		id := next
+		next++
+		nodes[id] = node
+		lab.Parent[id] = parent
+		sides[id] = side
+		if !node.IsLeaf() {
+			number(node.L, id, "l")
+			number(node.R, id, "r")
+		}
+		return id
+	}
+	number(t, -1, "root")
+
+	// Assign labels bottom-up.
+	var labelOf func(id int) int
+	labelOf = func(id int) int {
+		node := nodes[id]
+		if node.IsLeaf() {
+			return rng.Intn(procs) + 1
+		}
+		leftID := id + 1
+		rightID := leftID + nodes[id].L.Nodes()
+		lab.Label[leftID] = labelOf(leftID)
+		if scheme == SiblingLabels && node.L.IsLeaf() && node.R.IsLeaf() {
+			lab.Label[rightID] = lab.Label[leftID]
+		} else {
+			lab.Label[rightID] = labelOf(rightID)
+		}
+		return lab.Label[leftID]
+	}
+	lab.Label[1] = labelOf(1)
+
+	// Encode the tuple.
+	elems := make([]term.Term, n)
+	for id := 1; id <= n; id++ {
+		node := nodes[id]
+		var data term.Term
+		if node.IsLeaf() {
+			data = term.NewCompound("leaf", node.Leaf)
+		} else {
+			data = term.NewCompound("op", term.Atom(node.Op))
+		}
+		parentLabel := 1 // root's value is finalized at server 1
+		if lab.Parent[id] > 0 {
+			parentLabel = lab.Label[lab.Parent[id]]
+		}
+		elems[id-1] = term.NewCompound("node",
+			data,
+			term.Int(lab.Parent[id]),
+			term.Int(parentLabel),
+			term.Atom(sides[id]),
+		)
+	}
+	lab.Tuple = term.MkTuple(elems...)
+	return lab, nil
+}
+
+// CrossEdges counts, over all internal nodes, how many of the node's two
+// offspring values must cross processors under the labeling: offspring c of
+// parent p crosses when label(c) != label(p). This is the quantity the
+// paper's sibling-labeling scheme bounds by 1 per node.
+func (l *Labeling) CrossEdges() (crossings int, pairsWithTwo int) {
+	childLabels := map[int][]int{}
+	for id := 2; id <= l.N; id++ {
+		p := l.Parent[id]
+		childLabels[p] = append(childLabels[p], l.Label[id])
+	}
+	for p, kids := range childLabels {
+		c := 0
+		for _, kl := range kids {
+			if kl != l.Label[p] {
+				c++
+			}
+		}
+		crossings += c
+		if c == 2 {
+			pairsWithTwo++
+		}
+	}
+	return crossings, pairsWithTwo
+}

@@ -1,0 +1,288 @@
+// Package parser implements the surface syntax of the motif system's
+// high-level concurrent language: a Strand-like notation of guarded rules
+//
+//	H :- G1, ..., Gm | B1, ..., Bn.
+//
+// where H is the head, the Gi are guard tests, `|` is the commit operator,
+// and the Bj are body goals. The package also defines the program AST
+// (Program, Rule) that the runtime executes and that source-to-source
+// transformations in package core manipulate.
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/term"
+)
+
+// Rule is one guarded rule. Head is an Atom (for zero-arity processes) or a
+// *Compound. Guards may be empty (no commit bar in the source). Body may be
+// empty (the rule only tests and terminates, e.g. `consumer([]).`).
+type Rule struct {
+	Head   term.Term
+	Guards []term.Term
+	Body   []term.Term
+	// Line is the 1-based source line of the head, 0 for synthesized rules.
+	Line int
+}
+
+// HeadIndicator returns "name/arity" for the rule head.
+func (r *Rule) HeadIndicator() string {
+	switch h := term.Walk(r.Head).(type) {
+	case term.Atom:
+		return string(h) + "/0"
+	case *term.Compound:
+		return h.Indicator()
+	default:
+		return fmt.Sprintf("<%s>/?", r.Head)
+	}
+}
+
+// HeadName returns the head's functor name.
+func (r *Rule) HeadName() string {
+	switch h := term.Walk(r.Head).(type) {
+	case term.Atom:
+		return string(h)
+	case *term.Compound:
+		return h.Functor
+	default:
+		return ""
+	}
+}
+
+// HeadArity returns the head's arity.
+func (r *Rule) HeadArity() int {
+	if c, ok := term.Walk(r.Head).(*term.Compound); ok {
+		return c.Arity()
+	}
+	return 0
+}
+
+// HeadArgs returns the head argument terms (nil for atoms).
+func (r *Rule) HeadArgs() []term.Term {
+	if c, ok := term.Walk(r.Head).(*term.Compound); ok {
+		return c.Args
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the rule with all variables consistently
+// renamed using fresh variables from h.
+func (r *Rule) Clone(h *term.Heap) *Rule {
+	seen := map[*term.Var]*term.Var{}
+	nr := &Rule{Line: r.Line}
+	nr.Head = term.Rename(r.Head, h, seen)
+	for _, g := range r.Guards {
+		nr.Guards = append(nr.Guards, term.Rename(g, h, seen))
+	}
+	for _, b := range r.Body {
+		nr.Body = append(nr.Body, term.Rename(b, h, seen))
+	}
+	return nr
+}
+
+// String renders the rule in source syntax. Variables are printed with
+// clause-scoped names derived from their source names, so printing and
+// re-parsing a rule yields an equivalent rule (modulo renaming).
+func (r *Rule) String() string {
+	all := make([]term.Term, 0, 1+len(r.Guards)+len(r.Body))
+	all = append(all, r.Head)
+	all = append(all, r.Guards...)
+	all = append(all, r.Body...)
+	names := term.NameVars(all...)
+	var b strings.Builder
+	b.WriteString(term.SprintWith(r.Head, names))
+	if len(r.Guards) > 0 || len(r.Body) > 0 {
+		b.WriteString(" :- ")
+		if len(r.Guards) > 0 {
+			writeGoals(&b, r.Guards, names)
+			b.WriteString(" | ")
+		}
+		if len(r.Body) > 0 {
+			writeGoals(&b, r.Body, names)
+		} else {
+			b.WriteString("true")
+		}
+	}
+	b.WriteString(".")
+	return b.String()
+}
+
+func writeGoals(b *strings.Builder, goals []term.Term, names map[*term.Var]string) {
+	for i, g := range goals {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(term.SprintWith(g, names))
+	}
+}
+
+// Program is an ordered collection of rules. Rules with the same head name
+// and arity form a process definition (the paper's p/k); clause order within
+// a definition is preserved and meaningful (rules are tried in order).
+type Program struct {
+	Rules []*Rule
+}
+
+// NewProgram builds a program from rules.
+func NewProgram(rules ...*Rule) *Program { return &Program{Rules: rules} }
+
+// Clone returns a deep copy of the program; variables are renamed fresh from
+// h so the copy shares nothing mutable with the original.
+func (p *Program) Clone(h *term.Heap) *Program {
+	np := &Program{Rules: make([]*Rule, len(p.Rules))}
+	for i, r := range p.Rules {
+		np.Rules[i] = r.Clone(h)
+	}
+	return np
+}
+
+// Union returns a new program containing p's rules followed by q's — the
+// paper's M(A) = T(A) ∪ L link step. Neither input is modified.
+func (p *Program) Union(q *Program) *Program {
+	rules := make([]*Rule, 0, len(p.Rules)+len(q.Rules))
+	rules = append(rules, p.Rules...)
+	rules = append(rules, q.Rules...)
+	return &Program{Rules: rules}
+}
+
+// Definition returns the rules of the named process definition (indicator
+// form "name/arity"), in clause order.
+func (p *Program) Definition(indicator string) []*Rule {
+	var out []*Rule
+	for _, r := range p.Rules {
+		if r.HeadIndicator() == indicator {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Indicators returns the sorted set of process indicators defined by the
+// program.
+func (p *Program) Indicators() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range p.Rules {
+		ind := r.HeadIndicator()
+		if !seen[ind] {
+			seen[ind] = true
+			out = append(out, ind)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Defines reports whether the program has at least one rule for indicator.
+func (p *Program) Defines(indicator string) bool {
+	for _, r := range p.Rules {
+		if r.HeadIndicator() == indicator {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the program in source syntax, grouping definitions with a
+// blank line between them.
+func (p *Program) String() string {
+	var b strings.Builder
+	prev := ""
+	for i, r := range p.Rules {
+		ind := r.HeadIndicator()
+		if i > 0 && ind != prev {
+			b.WriteString("\n")
+		}
+		b.WriteString(r.String())
+		b.WriteString("\n")
+		prev = ind
+	}
+	return b.String()
+}
+
+// LineCount returns the number of non-blank lines in the program's source
+// rendering — used by the reuse experiments (E8) to compare user-written
+// versus generated code sizes.
+func (p *Program) LineCount() int {
+	n := 0
+	for _, line := range strings.Split(p.String(), "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// GoalIndicator returns "name/arity" for a goal term (atom or compound);
+// ok=false for non-callable terms.
+func GoalIndicator(g term.Term) (string, bool) {
+	switch x := term.Walk(g).(type) {
+	case term.Atom:
+		return string(x) + "/0", true
+	case *term.Compound:
+		return x.Indicator(), true
+	default:
+		return "", false
+	}
+}
+
+// CallGraph maps each defined indicator to the set of indicators its bodies
+// call (guards are tests and excluded). Placement annotations Goal@P count
+// as calls to the underlying goal.
+func (p *Program) CallGraph() map[string]map[string]bool {
+	g := map[string]map[string]bool{}
+	for _, r := range p.Rules {
+		from := r.HeadIndicator()
+		if g[from] == nil {
+			g[from] = map[string]bool{}
+		}
+		for _, goal := range r.Body {
+			for _, callee := range goalCallees(goal) {
+				g[from][callee] = true
+			}
+		}
+	}
+	return g
+}
+
+// goalCallees returns the indicators invoked by a body goal, looking through
+// placement annotations.
+func goalCallees(goal term.Term) []string {
+	goal = term.Walk(goal)
+	if c, ok := goal.(*term.Compound); ok && c.Functor == "@" && len(c.Args) == 2 {
+		return goalCallees(c.Args[0])
+	}
+	if ind, ok := GoalIndicator(goal); ok {
+		return []string{ind}
+	}
+	return nil
+}
+
+// Callers computes the transitive ancestor set of the given target
+// indicators in the call graph: every definition from which some target is
+// reachable. The targets themselves are not included unless they also call a
+// target.
+func (p *Program) Callers(targets map[string]bool) map[string]bool {
+	g := p.CallGraph()
+	ancestors := map[string]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for from, callees := range g {
+			if ancestors[from] {
+				continue
+			}
+			for callee := range callees {
+				if targets[callee] || ancestors[callee] {
+					ancestors[from] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return ancestors
+}

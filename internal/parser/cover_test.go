@@ -1,0 +1,86 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func TestHeadNameAndArity(t *testing.T) {
+	h := term.NewHeap()
+	p := MustParse(h, "p(1, 2).\nq.\n")
+	if p.Rules[0].HeadName() != "p" || p.Rules[0].HeadArity() != 2 {
+		t.Fatalf("p head: %s/%d", p.Rules[0].HeadName(), p.Rules[0].HeadArity())
+	}
+	if p.Rules[1].HeadName() != "q" || p.Rules[1].HeadArity() != 0 {
+		t.Fatalf("q head: %s/%d", p.Rules[1].HeadName(), p.Rules[1].HeadArity())
+	}
+	if p.Rules[1].HeadArgs() != nil {
+		t.Fatal("atom head should have nil args")
+	}
+}
+
+func TestNewProgramAndDefines(t *testing.T) {
+	h := term.NewHeap()
+	r := MustParse(h, "p(1).").Rules[0]
+	prog := NewProgram(r)
+	if !prog.Defines("p/1") || prog.Defines("q/0") {
+		t.Fatal("Defines wrong")
+	}
+}
+
+func TestGoalIndicatorNonCallable(t *testing.T) {
+	if _, ok := GoalIndicator(term.Int(3)); ok {
+		t.Fatal("integer should not be callable")
+	}
+	if ind, ok := GoalIndicator(term.Atom("halt")); !ok || ind != "halt/0" {
+		t.Fatalf("halt indicator = %s %v", ind, ok)
+	}
+}
+
+func TestEscapesInAtomsAndStrings(t *testing.T) {
+	h := term.NewHeap()
+	tm := MustParseTerm(h, `f('a\'b', "x\ny\tz\\")`)
+	c := term.Walk(tm).(*term.Compound)
+	if a := c.Args[0].(term.Atom); string(a) != "a'b" {
+		t.Fatalf("atom = %q", string(a))
+	}
+	if s := c.Args[1].(term.String_); string(s) != "x\ny\tz\\" {
+		t.Fatalf("string = %q", string(s))
+	}
+}
+
+func TestTokenAndErrorStrings(t *testing.T) {
+	e := &Error{Line: 3, Msg: "boom"}
+	if !strings.Contains(e.Error(), "line 3") {
+		t.Fatalf("error = %q", e.Error())
+	}
+	for _, k := range []tokKind{tokEOF, tokAtom, tokVar, tokInt, tokFloat, tokString, tokPunct, tokOp, tokDot, tokKind(99)} {
+		if k.String() == "" {
+			t.Fatalf("empty token kind string for %d", int(k))
+		}
+	}
+	if (token{kind: tokEOF}).String() != "end of input" {
+		t.Fatal("EOF token string")
+	}
+}
+
+func TestFloatScientific(t *testing.T) {
+	h := term.NewHeap()
+	tm := MustParseTerm(h, "p(1.5e3, 2e-2)")
+	c := term.Walk(tm).(*term.Compound)
+	if c.Args[0] != term.Term(term.Float(1500)) {
+		t.Fatalf("arg0 = %v", c.Args[0])
+	}
+	if c.Args[1] != term.Term(term.Float(0.02)) {
+		t.Fatalf("arg1 = %v", c.Args[1])
+	}
+}
+
+func TestBlockCommentErrors(t *testing.T) {
+	h := term.NewHeap()
+	if _, err := Parse(h, "/* unterminated"); err == nil {
+		t.Fatal("unterminated block comment accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/term"
+)
+
+// FuzzParse: parsing arbitrary input must never panic, and when it
+// succeeds, printing and re-parsing must succeed too.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"p(1).",
+		"go(N) :- producer(N,Xs,sync), consumer(Xs).",
+		"producer(N,Xs,Sync) :- N > 0 | Xs := [X|Xs1], N1 is N - 1, producer(N1,Xs1,X).",
+		"reduce(tree(V,L,R),Value) :- reduce(R,RV)@random, eval(V,LV,RV,Value).",
+		"x :- a == b, c =\\= d, e >= 1.5e3.",
+		"q([A|B], {C, D}) :- A = f(-1, 'quo\\'ted', \"str\").",
+		"% comment\n/* block */ r.",
+		"p(",
+		"1 :- q.",
+		"'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		h := term.NewHeap()
+		prog, err := Parse(h, src)
+		if err != nil {
+			return
+		}
+		text := prog.String()
+		h2 := term.NewHeap()
+		prog2, err := Parse(h2, text)
+		if err != nil {
+			t.Fatalf("re-parse of printed program failed: %v\ninput: %q\nprinted:\n%s", err, src, text)
+		}
+		if prog2.String() != text {
+			t.Fatalf("print not a fixed point:\n%s\nvs\n%s", text, prog2.String())
+		}
+	})
+}
+
+// FuzzParseTerm: single-term parsing must never panic.
+func FuzzParseTerm(f *testing.F) {
+	for _, s := range []string{"f(X)", "[1|T]", "{a,b}", "1 + 2 * 3", "-4.5", "a@b"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		h := term.NewHeap()
+		tm, err := ParseTerm(h, src)
+		if err != nil {
+			return
+		}
+		_ = term.Sprint(tm)
+	})
+}

@@ -1,0 +1,294 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokAtom
+	tokVar
+	tokInt
+	tokFloat
+	tokString
+	tokPunct // ( ) [ ] { } , |
+	tokOp    // :- := == =\= >= =< > < + - * / // mod is @
+	tokDot   // clause-terminating '.'
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokAtom:
+		return "atom"
+	case tokVar:
+		return "variable"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	case tokPunct:
+		return "punctuation"
+	case tokOp:
+		return "operator"
+	case tokDot:
+		return "'.'"
+	default:
+		return "token(?)"
+	}
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes rule-notation source text.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// Error is a parse error with position information.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) byteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '%':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.byteAt(1) == '*':
+			l.pos += 2
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				if l.src[l.pos] == '*' && l.byteAt(1) == '/' {
+					l.pos += 2
+					break
+				}
+				l.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	start := l.line
+	c := l.src[l.pos]
+
+	// Clause-terminating dot: '.' followed by whitespace, comment, or EOF.
+	if c == '.' {
+		nxt := l.byteAt(1)
+		if nxt == 0 || nxt == ' ' || nxt == '\t' || nxt == '\n' || nxt == '\r' || nxt == '%' {
+			l.pos++
+			return token{kind: tokDot, text: ".", line: start}, nil
+		}
+	}
+
+	// Numbers (including leading digit floats like 1.5; '-' is an operator).
+	if isDigit(c) {
+		j := l.pos
+		for j < len(l.src) && isDigit(l.src[j]) {
+			j++
+		}
+		isFloat := false
+		if j+1 < len(l.src) && l.src[j] == '.' && isDigit(l.src[j+1]) {
+			isFloat = true
+			j++
+			for j < len(l.src) && isDigit(l.src[j]) {
+				j++
+			}
+		}
+		if j < len(l.src) && (l.src[j] == 'e' || l.src[j] == 'E') {
+			k := j + 1
+			if k < len(l.src) && (l.src[k] == '+' || l.src[k] == '-') {
+				k++
+			}
+			if k < len(l.src) && isDigit(l.src[k]) {
+				isFloat = true
+				for k < len(l.src) && isDigit(l.src[k]) {
+					k++
+				}
+				j = k
+			}
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		if isFloat {
+			return token{kind: tokFloat, text: text, line: start}, nil
+		}
+		return token{kind: tokInt, text: text, line: start}, nil
+	}
+
+	// Variables: uppercase or underscore start.
+	if c == '_' || unicode.IsUpper(rune(c)) {
+		j := l.pos
+		for j < len(l.src) && isIdentByte(l.src[j]) {
+			j++
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		return token{kind: tokVar, text: text, line: start}, nil
+	}
+
+	// Atoms: lowercase identifier.
+	if c >= 'a' && c <= 'z' {
+		j := l.pos
+		for j < len(l.src) && isIdentByte(l.src[j]) {
+			j++
+		}
+		text := l.src[l.pos:j]
+		l.pos = j
+		// Word operators.
+		if text == "is" || text == "mod" {
+			return token{kind: tokOp, text: text, line: start}, nil
+		}
+		return token{kind: tokAtom, text: text, line: start}, nil
+	}
+
+	// Quoted atoms.
+	if c == '\'' {
+		var b strings.Builder
+		j := l.pos + 1
+		for {
+			if j >= len(l.src) {
+				return token{}, l.errf("unterminated quoted atom")
+			}
+			if l.src[j] == '\\' && j+1 < len(l.src) {
+				b.WriteByte(unescape(l.src[j+1]))
+				j += 2
+				continue
+			}
+			if l.src[j] == '\'' {
+				break
+			}
+			if l.src[j] == '\n' {
+				l.line++
+			}
+			b.WriteByte(l.src[j])
+			j++
+		}
+		l.pos = j + 1
+		return token{kind: tokAtom, text: b.String(), line: start}, nil
+	}
+
+	// Strings.
+	if c == '"' {
+		var b strings.Builder
+		j := l.pos + 1
+		for {
+			if j >= len(l.src) {
+				return token{}, l.errf("unterminated string")
+			}
+			if l.src[j] == '\\' && j+1 < len(l.src) {
+				b.WriteByte(unescape(l.src[j+1]))
+				j += 2
+				continue
+			}
+			if l.src[j] == '"' {
+				break
+			}
+			if l.src[j] == '\n' {
+				l.line++
+			}
+			b.WriteByte(l.src[j])
+			j++
+		}
+		l.pos = j + 1
+		return token{kind: tokString, text: b.String(), line: start}, nil
+	}
+
+	// Multi-byte operators, longest match first.
+	for _, op := range []string{":-", ":=", "=\\=", "==", ">=", "=<", "//"} {
+		if strings.HasPrefix(l.src[l.pos:], op) {
+			l.pos += len(op)
+			return token{kind: tokOp, text: op, line: start}, nil
+		}
+	}
+
+	switch c {
+	case '(', ')', '[', ']', '{', '}', ',', '|':
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: start}, nil
+	case '>', '<', '+', '-', '*', '/', '@', '.', '=':
+		l.pos++
+		return token{kind: tokOp, text: string(c), line: start}, nil
+	}
+	return token{}, l.errf("unexpected character %q", string(rune(c)))
+}
+
+func unescape(c byte) byte {
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	default:
+		return c
+	}
+}

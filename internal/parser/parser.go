@@ -1,0 +1,436 @@
+package parser
+
+import (
+	"strconv"
+
+	"repro/internal/term"
+)
+
+// Parser parses rule-notation source into a Program. Variables are scoped to
+// a clause: two occurrences of the same name in one clause denote one
+// variable; `_` is anonymous (each occurrence fresh).
+type Parser struct {
+	lex  *lexer
+	tok  token
+	heap *term.Heap
+	vars map[string]*term.Var
+}
+
+// Parse parses a complete program from src, allocating variables from h.
+func Parse(h *term.Heap, src string) (*Program, error) {
+	p := &Parser{lex: newLexer(src), heap: h}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	prog := &Program{}
+	for p.tok.kind != tokEOF {
+		r, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for tests and embedded library
+// sources that are compile-time constants.
+func MustParse(h *term.Heap, src string) *Program {
+	p, err := Parse(h, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParseTerm parses a single term (no trailing dot) from src.
+func ParseTerm(h *term.Heap, src string) (term.Term, error) {
+	p := &Parser{lex: newLexer(src), heap: h, vars: map[string]*term.Var{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	t, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF && p.tok.kind != tokDot {
+		return nil, p.errf("unexpected %s after term", p.tok)
+	}
+	return t, nil
+}
+
+// MustParseTerm is ParseTerm that panics on error.
+func MustParseTerm(h *term.Heap, src string) term.Term {
+	t, err := ParseTerm(h, src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (p *Parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errf(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Msg: sprintf(format, args...)}
+}
+
+func sprintf(format string, args ...any) string {
+	// Tiny wrapper to keep fmt out of hot paths elsewhere.
+	return fmtSprintf(format, args...)
+}
+
+func (p *Parser) parseClause() (*Rule, error) {
+	p.vars = map[string]*term.Var{}
+	line := p.tok.line
+	head, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	switch term.Walk(head).(type) {
+	case term.Atom, *term.Compound:
+	default:
+		return nil, &Error{Line: line, Msg: "clause head must be an atom or compound term, got " + term.Sprint(head)}
+	}
+	r := &Rule{Head: head, Line: line}
+	if p.tok.kind == tokOp && p.tok.text == ":-" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		first, err := p.parseGoals()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "|" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			body, err := p.parseGoals()
+			if err != nil {
+				return nil, err
+			}
+			r.Guards, r.Body = first, body
+		} else {
+			r.Body = first
+		}
+	}
+	if p.tok.kind != tokDot {
+		return nil, p.errf("expected '.' at end of clause, got %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	// `true` as the sole body goal means an empty body.
+	if len(r.Body) == 1 {
+		if a, ok := term.Walk(r.Body[0]).(term.Atom); ok && a == "true" {
+			r.Body = nil
+		}
+	}
+	return r, nil
+}
+
+func (p *Parser) parseGoals() ([]term.Term, error) {
+	var goals []term.Term
+	for {
+		g, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		goals = append(goals, g)
+		if p.tok.kind == tokPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return goals, nil
+	}
+}
+
+// Operator binding powers. All infix operators are left-associative except
+// the level-1 and level-2 operators, which are non-associative (enforced by
+// parsing their right side at a higher level).
+func infixPower(op string) (lbp int, nonAssoc bool, ok bool) {
+	switch op {
+	case ":=", "is", "=":
+		return 1, true, true
+	case "==", "=\\=", ">", "<", ">=", "=<":
+		return 2, true, true
+	case "@":
+		return 3, false, true
+	case "+", "-":
+		return 4, false, true
+	case "*", "/", "//", "mod":
+		return 5, false, true
+	}
+	return 0, false, false
+}
+
+func (p *Parser) parseExpr(minPower int) (term.Term, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp {
+		lbp, nonAssoc, ok := infixPower(p.tok.text)
+		if !ok || lbp < minPower {
+			break
+		}
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rbp := lbp + 1
+		if !nonAssoc {
+			rbp = lbp + 1 // left-assoc: right side binds tighter
+		}
+		right, err := p.parseExpr(rbp)
+		if err != nil {
+			return nil, err
+		}
+		left = term.NewCompound(op, left, right)
+	}
+	return left, nil
+}
+
+func (p *Parser) parsePrimary() (term.Term, error) {
+	tok := p.tok
+	switch tok.kind {
+	case tokInt:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", tok.text)
+		}
+		return term.Int(n), nil
+
+	case tokFloat:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		f, err := strconv.ParseFloat(tok.text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", tok.text)
+		}
+		return term.Float(f), nil
+
+	case tokString:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return term.String_(tok.text), nil
+
+	case tokVar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if tok.text == "_" {
+			return p.heap.NewVar("_"), nil
+		}
+		if v, ok := p.vars[tok.text]; ok {
+			return v, nil
+		}
+		v := p.heap.NewVar(tok.text)
+		p.vars[tok.text] = v
+		return v, nil
+
+	case tokAtom:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Compound: atom immediately followed by '('. The lexer has already
+		// consumed whitespace, so a(b) and a (b) both parse as a call; that
+		// matches the forgiving style of the paper's listings.
+		if p.tok.kind == tokPunct && p.tok.text == "(" {
+			args, err := p.parseArgList()
+			if err != nil {
+				return nil, err
+			}
+			return term.NewCompound(tok.text, args...), nil
+		}
+		return term.Atom(tok.text), nil
+
+	case tokPunct:
+		switch tok.text {
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			inner, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if p.tok.kind != tokPunct || p.tok.text != ")" {
+				return nil, p.errf("expected ')', got %s", p.tok)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		case "[":
+			return p.parseList()
+		case "{":
+			return p.parseTuple()
+		}
+
+	case tokOp:
+		if tok.text == "-" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			// Constant-fold negative literals.
+			switch p.tok.kind {
+			case tokInt:
+				n, err := strconv.ParseInt(p.tok.text, 10, 64)
+				if err != nil {
+					return nil, p.errf("bad integer %q", p.tok.text)
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				return term.Int(-n), nil
+			case tokFloat:
+				f, err := strconv.ParseFloat(p.tok.text, 64)
+				if err != nil {
+					return nil, p.errf("bad float %q", p.tok.text)
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				return term.Float(-f), nil
+			}
+			operand, err := p.parseExpr(6)
+			if err != nil {
+				return nil, err
+			}
+			return term.NewCompound("-", operand), nil
+		}
+	}
+	return nil, p.errf("unexpected %s", tok)
+}
+
+func (p *Parser) parseArgList() ([]term.Term, error) {
+	// Current token is '('.
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokPunct && p.tok.text == ")" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	var args []term.Term
+	for {
+		a, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.tok.kind == tokPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.tok.kind == tokPunct && p.tok.text == ")" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return args, nil
+		}
+		return nil, p.errf("expected ',' or ')' in argument list, got %s", p.tok)
+	}
+}
+
+func (p *Parser) parseList() (term.Term, error) {
+	// Current token is '['.
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokPunct && p.tok.text == "]" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return term.EmptyList, nil
+	}
+	var elems []term.Term
+	var tail term.Term = term.EmptyList
+	for {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		if p.tok.kind == tokPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "|" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			tail = t
+		}
+		break
+	}
+	if p.tok.kind != tokPunct || p.tok.text != "]" {
+		return nil, p.errf("expected ']' to close list, got %s", p.tok)
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	out := tail
+	for i := len(elems) - 1; i >= 0; i-- {
+		out = term.Cons(elems[i], out)
+	}
+	return out, nil
+}
+
+func (p *Parser) parseTuple() (term.Term, error) {
+	// Current token is '{'.
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokPunct && p.tok.text == "}" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return term.MkTuple(), nil
+	}
+	var elems []term.Term
+	for {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		if p.tok.kind == tokPunct && p.tok.text == "," {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if p.tok.kind == tokPunct && p.tok.text == "}" {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return term.MkTuple(elems...), nil
+		}
+		return nil, p.errf("expected ',' or '}' in tuple, got %s", p.tok)
+	}
+}

@@ -1,0 +1,365 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func parse(t *testing.T, src string) *Program {
+	t.Helper()
+	h := term.NewHeap()
+	p, err := Parse(h, src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseFact(t *testing.T) {
+	p := parse(t, "consumer([]).")
+	if len(p.Rules) != 1 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	r := p.Rules[0]
+	if r.HeadIndicator() != "consumer/1" {
+		t.Fatalf("indicator = %s", r.HeadIndicator())
+	}
+	if len(r.Guards) != 0 || len(r.Body) != 0 {
+		t.Fatalf("fact has guards/body: %v %v", r.Guards, r.Body)
+	}
+}
+
+func TestParseZeroArityHead(t *testing.T) {
+	p := parse(t, "go :- producer(4,Xs,sync), consumer(Xs).")
+	r := p.Rules[0]
+	if r.HeadIndicator() != "go/0" {
+		t.Fatalf("indicator = %s", r.HeadIndicator())
+	}
+	if len(r.Body) != 2 {
+		t.Fatalf("body = %v", r.Body)
+	}
+}
+
+func TestParseGuardAndCommit(t *testing.T) {
+	p := parse(t, `producer(N,Xs,Sync) :- N > 0 | Xs := [X|Xs1], N1 is N - 1, producer(N1,Xs1,X).`)
+	r := p.Rules[0]
+	if len(r.Guards) != 1 {
+		t.Fatalf("guards = %v", r.Guards)
+	}
+	g := term.Walk(r.Guards[0]).(*term.Compound)
+	if g.Functor != ">" {
+		t.Fatalf("guard functor = %s", g.Functor)
+	}
+	if len(r.Body) != 3 {
+		t.Fatalf("body len = %d", len(r.Body))
+	}
+	assign := term.Walk(r.Body[0]).(*term.Compound)
+	if assign.Functor != ":=" {
+		t.Fatalf("first body goal = %s", term.Sprint(r.Body[0]))
+	}
+	isGoal := term.Walk(r.Body[1]).(*term.Compound)
+	if isGoal.Functor != "is" {
+		t.Fatalf("second body goal = %s", term.Sprint(r.Body[1]))
+	}
+}
+
+func TestVariableScopePerClause(t *testing.T) {
+	p := parse(t, `
+p(X) :- q(X), r(X).
+s(X) :- t(X).
+`)
+	// Within clause 1, both X occurrences are the same var.
+	b1 := p.Rules[0]
+	q := term.Walk(b1.Body[0]).(*term.Compound)
+	r := term.Walk(b1.Body[1]).(*term.Compound)
+	if term.Walk(q.Args[0]) != term.Walk(r.Args[0]) {
+		t.Fatal("same-name vars in one clause differ")
+	}
+	// Across clauses they differ.
+	b2 := p.Rules[1]
+	tGoal := term.Walk(b2.Body[0]).(*term.Compound)
+	if term.Walk(q.Args[0]) == term.Walk(tGoal.Args[0]) {
+		t.Fatal("vars leak across clauses")
+	}
+}
+
+func TestAnonymousVarsAreDistinct(t *testing.T) {
+	p := parse(t, "p(_, _).")
+	args := p.Rules[0].HeadArgs()
+	if term.Walk(args[0]) == term.Walk(args[1]) {
+		t.Fatal("two _ occurrences should be distinct variables")
+	}
+}
+
+func TestParsePlacementAnnotation(t *testing.T) {
+	p := parse(t, "reduce(tree(V,L,R),Value) :- reduce(R,RV)@random, reduce(L,LV), eval(V,LV,RV,Value).")
+	body := p.Rules[0].Body
+	at := term.Walk(body[0]).(*term.Compound)
+	if at.Functor != "@" || len(at.Args) != 2 {
+		t.Fatalf("placement goal = %s", term.Sprint(body[0]))
+	}
+	if a, ok := term.Walk(at.Args[1]).(term.Atom); !ok || a != "random" {
+		t.Fatalf("placement target = %s", term.Sprint(at.Args[1]))
+	}
+}
+
+func TestParseNumericPlacement(t *testing.T) {
+	p := parse(t, "spawn(J) :- server_init(N)@J.")
+	at := term.Walk(p.Rules[0].Body[0]).(*term.Compound)
+	if at.Functor != "@" {
+		t.Fatalf("goal = %s", term.Sprint(p.Rules[0].Body[0]))
+	}
+}
+
+func TestParseListsAndTuples(t *testing.T) {
+	h := term.NewHeap()
+	cases := []struct{ src, want string }{
+		{"[]", "[]"},
+		{"[1,2,3]", "[1,2,3]"},
+		{"[X|Xs]", ""},
+		{"{a,1}", "{a,1}"},
+		{"{}", "{}"},
+		{"[a,[b,c]]", "[a,[b,c]]"},
+	}
+	for _, c := range cases {
+		tm, err := ParseTerm(h, c.src)
+		if err != nil {
+			t.Fatalf("ParseTerm(%q): %v", c.src, err)
+		}
+		if c.want != "" && term.Sprint(tm) != c.want {
+			t.Errorf("ParseTerm(%q) prints %q, want %q", c.src, term.Sprint(tm), c.want)
+		}
+	}
+}
+
+func TestParseArithmeticPrecedence(t *testing.T) {
+	h := term.NewHeap()
+	tm := MustParseTerm(h, "X is 1 + 2 * 3")
+	is := term.Walk(tm).(*term.Compound)
+	rhs := term.Walk(is.Args[1]).(*term.Compound)
+	if rhs.Functor != "+" {
+		t.Fatalf("rhs = %s", term.Sprint(rhs))
+	}
+	mul := term.Walk(rhs.Args[1]).(*term.Compound)
+	if mul.Functor != "*" {
+		t.Fatalf("expected * at deeper level, got %s", term.Sprint(rhs.Args[1]))
+	}
+}
+
+func TestParseParens(t *testing.T) {
+	h := term.NewHeap()
+	tm := MustParseTerm(h, "X is (1 + 2) * 3")
+	is := term.Walk(tm).(*term.Compound)
+	rhs := term.Walk(is.Args[1]).(*term.Compound)
+	if rhs.Functor != "*" {
+		t.Fatalf("rhs = %s", term.Sprint(rhs))
+	}
+}
+
+func TestParseNegativeLiterals(t *testing.T) {
+	h := term.NewHeap()
+	tm := MustParseTerm(h, "p(-1, -2.5)")
+	c := term.Walk(tm).(*term.Compound)
+	if c.Args[0] != term.Term(term.Int(-1)) {
+		t.Fatalf("arg0 = %v", c.Args[0])
+	}
+	if c.Args[1] != term.Term(term.Float(-2.5)) {
+		t.Fatalf("arg1 = %v", c.Args[1])
+	}
+}
+
+func TestParseQuotedAtomsAndStrings(t *testing.T) {
+	h := term.NewHeap()
+	tm := MustParseTerm(h, `eval('+', L, R, "out")`)
+	c := term.Walk(tm).(*term.Compound)
+	if a, ok := c.Args[0].(term.Atom); !ok || a != "+" {
+		t.Fatalf("arg0 = %v", c.Args[0])
+	}
+	if s, ok := c.Args[3].(term.String_); !ok || s != "out" {
+		t.Fatalf("arg3 = %v", c.Args[3])
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	p := parse(t, `
+% line comment
+p(1). /* block
+comment */ q(2).
+`)
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+}
+
+func TestParseFigure1(t *testing.T) {
+	// The paper's Figure 1 producer/consumer program.
+	p := parse(t, `
+go(N) :- producer(N,Xs,sync), consumer(Xs).
+
+producer(N,Xs,Sync) :-
+    N > 0 |
+    Xs := [X|Xs1], N1 is N - 1, producer(N1,Xs1,X).
+producer(0,Xs,_) :- Xs := [].
+
+consumer([X|Xs]) :- X := sync, consumer(Xs).
+consumer([]).
+`)
+	inds := p.Indicators()
+	want := []string{"consumer/1", "go/1", "producer/3"}
+	if len(inds) != 3 {
+		t.Fatalf("indicators = %v", inds)
+	}
+	for i := range want {
+		if inds[i] != want[i] {
+			t.Fatalf("indicators = %v, want %v", inds, want)
+		}
+	}
+	if defs := p.Definition("producer/3"); len(defs) != 2 {
+		t.Fatalf("producer/3 rules = %d", len(defs))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	h := term.NewHeap()
+	cases := []string{
+		"p(",
+		"p(1))",
+		"p(1)",       // missing final dot
+		"p(1) :- q(", // unterminated
+		"[1,2",
+		"{1,2",
+		"'unterminated",
+		`"unterminated`,
+		"1 :- q.", // number head
+	}
+	for _, src := range cases {
+		if _, err := Parse(h, src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	h := term.NewHeap()
+	_, err := Parse(h, "p(1).\nq(2).\nbroken(")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 3 {
+		t.Fatalf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func TestRoundTripPrintParse(t *testing.T) {
+	src := `
+go(N) :- producer(N,Xs,sync), consumer(Xs).
+producer(N,Xs,Sync) :- N > 0 | Xs := [X|Xs1], N1 is N - 1, producer(N1,Xs1,X).
+producer(0,Xs,_) :- Xs := [].
+consumer([X|Xs]) :- X := sync, consumer(Xs).
+consumer([]).
+reduce(tree(V,L,R),Value) :- reduce(R,RV)@random, reduce(L,LV), eval(V,LV,RV,Value).
+reduce(leaf(L),Value) :- Value := L.
+`
+	p1 := parse(t, src)
+	text := p1.String()
+	p2 := parse(t, text)
+	if p1.String() != p2.String() {
+		t.Fatalf("round trip mismatch:\n-- first --\n%s\n-- second --\n%s", p1.String(), p2.String())
+	}
+}
+
+func TestProgramUnionAndClone(t *testing.T) {
+	h := term.NewHeap()
+	a := MustParse(h, "p(1).")
+	b := MustParse(h, "q(2).")
+	u := a.Union(b)
+	if len(u.Rules) != 2 {
+		t.Fatalf("union rules = %d", len(u.Rules))
+	}
+	if len(a.Rules) != 1 || len(b.Rules) != 1 {
+		t.Fatal("union modified inputs")
+	}
+	c := u.Clone(h)
+	if c.String() != u.String() {
+		t.Fatal("clone differs")
+	}
+}
+
+func TestCallGraph(t *testing.T) {
+	p := parse(t, `
+main :- a(1), b(2).
+a(X) :- c(X)@random.
+b(X) :- X > 0 | send(1, m).
+c(_).
+`)
+	g := p.CallGraph()
+	if !g["main/0"]["a/1"] || !g["main/0"]["b/1"] {
+		t.Fatalf("main callees = %v", g["main/0"])
+	}
+	// Placement annotation looked through.
+	if !g["a/1"]["c/1"] {
+		t.Fatalf("a callees = %v", g["a/1"])
+	}
+	// Guards are not calls.
+	if g["b/1"][">/2"] {
+		t.Fatal("guard counted as call")
+	}
+	if !g["b/1"]["send/2"] {
+		t.Fatalf("b callees = %v", g["b/1"])
+	}
+}
+
+func TestCallers(t *testing.T) {
+	p := parse(t, `
+main :- helper(1).
+helper(X) :- worker(X).
+worker(X) :- send(1, X).
+unrelated(X) :- other(X).
+other(_).
+`)
+	anc := p.Callers(map[string]bool{"send/2": true})
+	for _, want := range []string{"worker/1", "helper/1", "main/0"} {
+		if !anc[want] {
+			t.Errorf("%s should be an ancestor of send/2; got %v", want, anc)
+		}
+	}
+	if anc["unrelated/1"] || anc["other/1"] {
+		t.Errorf("unrelated predicates marked: %v", anc)
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	p := parse(t, "p(1).\nq(2).")
+	if p.LineCount() != 2 {
+		t.Fatalf("LineCount = %d", p.LineCount())
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	p := parse(t, "producer(N,Xs,Sync) :- N > 0 | Xs := [X|Xs1], producer(N,Xs1,X).")
+	s := p.Rules[0].String()
+	for _, frag := range []string{":-", "|", ":=", "."} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rule string %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestGuardOnlyRule(t *testing.T) {
+	// A rule with guards but empty body renders with `true` and re-parses.
+	p := parse(t, "check(X) :- X > 0 | true.")
+	r := p.Rules[0]
+	if len(r.Guards) != 1 || len(r.Body) != 0 {
+		t.Fatalf("guards=%v body=%v", r.Guards, r.Body)
+	}
+	p2 := parse(t, r.String())
+	if p2.Rules[0].HeadIndicator() != "check/1" {
+		t.Fatal("re-parse failed")
+	}
+}

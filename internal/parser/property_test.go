@@ -1,0 +1,134 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+// genProgram builds a random but well-formed program: random definitions
+// with random heads, guards, and bodies drawn from the constructs the
+// grammar supports.
+func genProgram(rng *rand.Rand, h *term.Heap) *Program {
+	nDefs := 1 + rng.Intn(5)
+	prog := &Program{}
+	for d := 0; d < nDefs; d++ {
+		name := fmt.Sprintf("p%d", d)
+		arity := rng.Intn(4)
+		nRules := 1 + rng.Intn(3)
+		for r := 0; r < nRules; r++ {
+			vars := map[string]*term.Var{}
+			rule := &Rule{Head: genGoal(rng, h, name, arity, vars, 0)}
+			if rng.Intn(2) == 0 {
+				rule.Guards = []term.Term{genGuard(rng, h, vars)}
+			}
+			nGoals := rng.Intn(4)
+			for g := 0; g < nGoals; g++ {
+				callee := fmt.Sprintf("p%d", rng.Intn(nDefs))
+				goal := genGoal(rng, h, callee, rng.Intn(4), vars, 2)
+				if rng.Intn(4) == 0 {
+					goal = term.NewCompound("@", goal, term.Int(int64(rng.Intn(4)+1)))
+				}
+				rule.Body = append(rule.Body, goal)
+			}
+			prog.Rules = append(prog.Rules, rule)
+		}
+	}
+	return prog
+}
+
+func genGoal(rng *rand.Rand, h *term.Heap, name string, arity int, vars map[string]*term.Var, depth int) term.Term {
+	args := make([]term.Term, arity)
+	for i := range args {
+		args[i] = genTerm(rng, h, vars, depth)
+	}
+	return term.NewCompound(name, args...)
+}
+
+func genTerm(rng *rand.Rand, h *term.Heap, vars map[string]*term.Var, depth int) term.Term {
+	switch k := rng.Intn(7); {
+	case k == 0 && depth < 3:
+		n := rng.Intn(3)
+		args := make([]term.Term, n)
+		for i := range args {
+			args[i] = genTerm(rng, h, vars, depth+1)
+		}
+		if n == 0 {
+			return term.Atom("c")
+		}
+		return term.NewCompound("f", args...)
+	case k == 1 && depth < 3:
+		n := rng.Intn(3)
+		elems := make([]term.Term, n)
+		for i := range elems {
+			elems[i] = genTerm(rng, h, vars, depth+1)
+		}
+		return term.MkList(elems...)
+	case k == 2 && depth < 3:
+		return term.MkTuple(genTerm(rng, h, vars, depth+1))
+	case k == 3:
+		return term.Int(int64(rng.Intn(100) - 50))
+	case k == 4:
+		return term.String_("s")
+	case k == 5:
+		name := fmt.Sprintf("V%d", rng.Intn(4))
+		if v, ok := vars[name]; ok {
+			return v
+		}
+		v := h.NewVar(name)
+		vars[name] = v
+		return v
+	default:
+		return term.Atom(fmt.Sprintf("a%d", rng.Intn(5)))
+	}
+}
+
+func genGuard(rng *rand.Rand, h *term.Heap, vars map[string]*term.Var) term.Term {
+	ops := []string{">", "<", ">=", "=<", "==", "=\\="}
+	op := ops[rng.Intn(len(ops))]
+	return term.NewCompound(op,
+		term.Int(int64(rng.Intn(10))),
+		term.Int(int64(rng.Intn(10))))
+}
+
+// TestPropPrintParseRoundTrip: printing any generated program and parsing
+// it back yields a program that prints identically (fixed point after one
+// round).
+func TestPropPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		h := term.NewHeap()
+		prog := genProgram(rng, h)
+		text1 := prog.String()
+		h2 := term.NewHeap()
+		prog2, err := Parse(h2, text1)
+		if err != nil {
+			t.Fatalf("trial %d: re-parse failed: %v\nprogram:\n%s", trial, err, text1)
+		}
+		text2 := prog2.String()
+		if text1 != text2 {
+			t.Fatalf("trial %d: round trip not stable:\n-- 1 --\n%s\n-- 2 --\n%s", trial, text1, text2)
+		}
+	}
+}
+
+// TestPropIndicatorsStable: cloning preserves the definition set.
+func TestPropCloneStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 100; trial++ {
+		h := term.NewHeap()
+		prog := genProgram(rng, h)
+		clone := prog.Clone(h)
+		a := strings.Join(prog.Indicators(), ",")
+		b := strings.Join(clone.Indicators(), ",")
+		if a != b {
+			t.Fatalf("trial %d: indicators changed: %s vs %s", trial, a, b)
+		}
+		if prog.String() != clone.String() {
+			t.Fatalf("trial %d: clone prints differently", trial)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package parser
+
+import "fmt"
+
+// fmtSprintf isolates the fmt dependency for error construction.
+func fmtSprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,109 @@
+package skel
+
+import "sync"
+
+// DCOptions configures a divide-and-conquer skeleton.
+type DCOptions struct {
+	// Parallel caps the number of concurrently executing branches; 0 or
+	// negative means sequential execution.
+	Parallel int
+	// Depth limits how deep parallel splitting goes; below it the skeleton
+	// runs sequentially to avoid goroutine-per-leaf overhead. 0 means
+	// unlimited.
+	Depth int
+}
+
+// DivideConquer is the generic divide-and-conquer motif the paper lists as
+// a future-work area: base decides and solves trivial problems, divide
+// splits a problem, and combine merges sub-results. Subproblems run in
+// parallel up to the configured width and depth.
+func DivideConquer[P, R any](
+	problem P,
+	isBase func(P) bool,
+	base func(P) R,
+	divide func(P) []P,
+	combine func(P, []R) R,
+	opts DCOptions,
+) R {
+	var sem chan struct{}
+	if opts.Parallel > 0 {
+		sem = make(chan struct{}, opts.Parallel)
+	}
+	var solve func(p P, depth int) R
+	solve = func(p P, depth int) R {
+		if isBase(p) {
+			return base(p)
+		}
+		subs := divide(p)
+		results := make([]R, len(subs))
+		parallelHere := sem != nil && (opts.Depth == 0 || depth < opts.Depth)
+		if !parallelHere {
+			for i, s := range subs {
+				results[i] = solve(s, depth+1)
+			}
+			return combine(p, results)
+		}
+		var wg sync.WaitGroup
+		for i, s := range subs {
+			i, s := i, s
+			select {
+			case sem <- struct{}{}:
+				waitGroupGo(&wg, func() {
+					defer func() { <-sem }()
+					results[i] = solve(s, depth+1)
+				})
+			default:
+				// No slot free: compute inline rather than blocking, which
+				// both bounds goroutines and avoids deadlock.
+				results[i] = solve(s, depth+1)
+			}
+		}
+		wg.Wait()
+		return combine(p, results)
+	}
+	return solve(problem, 0)
+}
+
+// MergeSort sorts using the divide-and-conquer skeleton — the paper's
+// "sorting" motif area. It is a correctness vehicle for DivideConquer more
+// than a competitive sort.
+func MergeSort[T any](xs []T, less func(a, b T) bool, parallel int) []T {
+	type span struct{ lo, hi int }
+	buf := make([]T, len(xs))
+	copy(buf, xs)
+	out := DivideConquer(
+		span{0, len(xs)},
+		func(s span) bool { return s.hi-s.lo <= 1 },
+		func(s span) []T {
+			res := make([]T, s.hi-s.lo)
+			copy(res, buf[s.lo:s.hi])
+			return res
+		},
+		func(s span) []span {
+			mid := (s.lo + s.hi) / 2
+			return []span{{s.lo, mid}, {mid, s.hi}}
+		},
+		func(_ span, parts [][]T) []T {
+			return merge(parts[0], parts[1], less)
+		},
+		DCOptions{Parallel: parallel, Depth: 4},
+	)
+	return out
+}
+
+func merge[T any](a, b []T, less func(x, y T) bool) []T {
+	out := make([]T, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

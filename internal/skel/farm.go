@@ -1,0 +1,107 @@
+package skel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FarmOptions configures a task farm.
+type FarmOptions struct {
+	// Workers is the worker count; minimum 1.
+	Workers int
+	// Static, when true, pre-partitions the task index space into
+	// contiguous blocks (one per worker) instead of letting idle workers
+	// pull from a shared queue. This is the paper's static-vs-dynamic
+	// allocation contrast: static is ideal for uniform task costs, dynamic
+	// wins when costs are non-uniform and unpredictable.
+	Static bool
+}
+
+// Farm applies f to every task, in parallel, returning results in task
+// order — the native form of the scheduler motif: a manager hands tasks to
+// idle workers. Dynamic mode (default) is self-balancing; static mode fixes
+// the assignment up front.
+func Farm[T, R any](tasks []T, f func(T) R, opts FarmOptions) ([]R, *Stats, error) {
+	p := opts.Workers
+	if p < 1 {
+		p = 1
+	}
+	n := len(tasks)
+	results := make([]R, n)
+	stats := &Stats{UnitsPerWorker: make([]int64, p)}
+	if n == 0 {
+		return results, stats, nil
+	}
+	var conc gauge
+	var wg sync.WaitGroup
+
+	if opts.Static {
+		for w := 0; w < p; w++ {
+			w := w
+			lo, hi := w*n/p, (w+1)*n/p
+			waitGroupGo(&wg, func() {
+				for i := lo; i < hi; i++ {
+					conc.inc()
+					results[i] = f(tasks[i])
+					conc.dec()
+					stats.UnitsPerWorker[w]++
+				}
+			})
+		}
+	} else {
+		idx := make(chan int, n)
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		for w := 0; w < p; w++ {
+			w := w
+			waitGroupGo(&wg, func() {
+				for i := range idx {
+					conc.inc()
+					results[i] = f(tasks[i])
+					conc.dec()
+					stats.UnitsPerWorker[w]++
+				}
+			})
+		}
+	}
+	wg.Wait()
+	stats.PeakConcurrent = conc.peak.Load()
+	return results, stats, nil
+}
+
+// HierarchicalFarm runs a two-level manager/worker farm: tasks are first
+// split among `groups` sub-managers, each of which runs a dynamic farm over
+// its own workers. This is the paper's example of motif reuse through
+// modification — "a scheduler motif might be adapted to the demands of a
+// highly parallel computer by introducing additional levels in its
+// manager/worker hierarchy". Within a group allocation is dynamic; across
+// groups it is static, so the hierarchy trades balance for reduced
+// contention on a single manager.
+func HierarchicalFarm[T, R any](tasks []T, f func(T) R, groups, workersPerGroup int) ([]R, *Stats, error) {
+	if groups < 1 || workersPerGroup < 1 {
+		return nil, nil, fmt.Errorf("skel: HierarchicalFarm needs positive groups and workers, got %d×%d",
+			groups, workersPerGroup)
+	}
+	n := len(tasks)
+	results := make([]R, n)
+	stats := &Stats{UnitsPerWorker: make([]int64, groups*workersPerGroup)}
+	var wg sync.WaitGroup
+	for g := 0; g < groups; g++ {
+		g := g
+		lo, hi := g*n/groups, (g+1)*n/groups
+		waitGroupGo(&wg, func() {
+			sub, subStats, err := Farm(tasks[lo:hi], f, FarmOptions{Workers: workersPerGroup})
+			if err != nil {
+				return
+			}
+			copy(results[lo:hi], sub)
+			for w, c := range subStats.UnitsPerWorker {
+				stats.UnitsPerWorker[g*workersPerGroup+w] = c
+			}
+		})
+	}
+	wg.Wait()
+	return results, stats, nil
+}

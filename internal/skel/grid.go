@@ -1,0 +1,108 @@
+package skel
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Grid is a dense 2-D float64 grid, row-major.
+type Grid struct {
+	// Rows, Cols are the dimensions including boundary cells.
+	Rows, Cols int
+	// Data is row-major storage, length Rows*Cols.
+	Data []float64
+}
+
+// NewGrid allocates a zeroed grid.
+func NewGrid(rows, cols int) *Grid {
+	return &Grid{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the value at (r, c).
+func (g *Grid) At(r, c int) float64 { return g.Data[r*g.Cols+c] }
+
+// Set assigns the value at (r, c).
+func (g *Grid) Set(r, c int, v float64) { g.Data[r*g.Cols+c] = v }
+
+// Clone deep-copies the grid.
+func (g *Grid) Clone() *Grid {
+	n := NewGrid(g.Rows, g.Cols)
+	copy(n.Data, g.Data)
+	return n
+}
+
+// JacobiOptions configures the grid relaxation skeleton.
+type JacobiOptions struct {
+	// Workers is the number of row-block workers; minimum 1.
+	Workers int
+	// Iterations is the number of sweeps; if Tolerance > 0, iteration also
+	// stops once the max update falls below it.
+	Iterations int
+	// Tolerance is the optional convergence threshold.
+	Tolerance float64
+}
+
+// Jacobi runs Jacobi relaxation on the grid's interior (boundary rows and
+// columns are fixed): each interior cell is repeatedly replaced by the
+// average of its four neighbours. This is the paper's "grid problems" motif
+// area (and the structure of Cole's grid skeletons): the user supplies the
+// grid, the skeleton partitions it into horizontal blocks, one worker per
+// block, with a barrier between sweeps standing in for boundary exchange.
+// It returns the relaxed grid, the number of sweeps performed, and the
+// final maximum update.
+func Jacobi(g *Grid, opts JacobiOptions) (*Grid, int, float64, error) {
+	if g.Rows < 3 || g.Cols < 3 {
+		return nil, 0, 0, fmt.Errorf("skel: Jacobi needs at least a 3x3 grid, got %dx%d", g.Rows, g.Cols)
+	}
+	p := opts.Workers
+	if p < 1 {
+		p = 1
+	}
+	interior := g.Rows - 2
+	if p > interior {
+		p = interior
+	}
+	cur, next := g.Clone(), g.Clone()
+	maxDelta := make([]float64, p)
+
+	sweeps := 0
+	for it := 0; it < opts.Iterations; it++ {
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			w := w
+			lo := 1 + w*interior/p
+			hi := 1 + (w+1)*interior/p
+			waitGroupGo(&wg, func() {
+				var local float64
+				for r := lo; r < hi; r++ {
+					for c := 1; c < g.Cols-1; c++ {
+						v := 0.25 * (cur.At(r-1, c) + cur.At(r+1, c) + cur.At(r, c-1) + cur.At(r, c+1))
+						d := math.Abs(v - cur.At(r, c))
+						if d > local {
+							local = d
+						}
+						next.Set(r, c, v)
+					}
+				}
+				maxDelta[w] = local
+			})
+		}
+		wg.Wait()
+		cur, next = next, cur
+		sweeps++
+		delta := 0.0
+		for _, d := range maxDelta {
+			if d > delta {
+				delta = d
+			}
+		}
+		if opts.Tolerance > 0 && delta < opts.Tolerance {
+			return cur, sweeps, delta, nil
+		}
+		if it == opts.Iterations-1 {
+			return cur, sweeps, delta, nil
+		}
+	}
+	return cur, sweeps, 0, nil
+}

@@ -1,0 +1,74 @@
+package skel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stage is one pipeline stage: a function from an input item to an output
+// item. Stages communicate over channels, so all stages run concurrently on
+// different items — the stream-processing structure that Figure 1's
+// producer/consumer program exemplifies at the language level.
+type Stage[T any] func(T) T
+
+// Pipeline feeds the items through the stages in order, with every stage
+// running concurrently, and returns the fully processed items in order.
+func Pipeline[T any](items []T, stages ...Stage[T]) ([]T, error) {
+	if len(stages) == 0 {
+		out := make([]T, len(items))
+		copy(out, items)
+		return out, nil
+	}
+	in := make(chan T, len(items))
+	for _, it := range items {
+		in <- it
+	}
+	close(in)
+
+	cur := in
+	var wg sync.WaitGroup
+	for _, st := range stages {
+		st := st
+		prev := cur
+		next := make(chan T, cap(in))
+		waitGroupGo(&wg, func() {
+			defer close(next)
+			for it := range prev {
+				next <- st(it)
+			}
+		})
+		cur = next
+	}
+	var out []T
+	for it := range cur {
+		out = append(out, it)
+	}
+	wg.Wait()
+	if len(out) != len(items) {
+		return nil, fmt.Errorf("skel: pipeline dropped items: %d in, %d out", len(items), len(out))
+	}
+	return out, nil
+}
+
+// ProducerConsumer is the native twin of the paper's Figure 1: a producer
+// generates n items, a consumer acknowledges each one, and the two run in
+// lock step over an unbuffered channel (synchronous communication). It
+// returns the number of exchanges completed.
+func ProducerConsumer(n int, produce func(i int) int, consume func(v int)) int {
+	ch := make(chan int) // unbuffered: producer blocks until consumer takes
+	ack := make(chan struct{})
+	go func() {
+		for i := 0; i < n; i++ {
+			ch <- produce(i)
+			<-ack // the paper's sync acknowledgment
+		}
+		close(ch)
+	}()
+	count := 0
+	for v := range ch {
+		consume(v)
+		count++
+		ack <- struct{}{}
+	}
+	return count
+}

@@ -1,0 +1,152 @@
+package skel
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// SearchProblem describes an or-parallel tree search — the paper's "search"
+// motif area, and the structure or-parallel Prologs provide: the user
+// supplies the node expansion and goal test; the skeleton explores the tree
+// with a pool of workers.
+type SearchProblem[S any] interface {
+	// Expand returns the children of a search state (empty = dead end).
+	Expand(s S) []S
+	// IsGoal reports whether the state is a solution.
+	IsGoal(s S) bool
+}
+
+// SearchOptions configures the search skeleton.
+type SearchOptions struct {
+	// Workers is the exploration worker count; minimum 1.
+	Workers int
+	// FirstOnly stops at the first solution found instead of counting all.
+	FirstOnly bool
+}
+
+// Search explores the tree rooted at start and returns the solutions found
+// (all of them, or one if FirstOnly). Work is distributed by expanding the
+// frontier breadth-first until it has at least one subtree per worker, then
+// farming the subtrees dynamically — the standard or-parallel execution
+// scheme.
+func Search[S any](problem SearchProblem[S], start S, opts SearchOptions) ([]S, *Stats) {
+	p := opts.Workers
+	if p < 1 {
+		p = 1
+	}
+	stats := &Stats{UnitsPerWorker: make([]int64, p)}
+
+	// Grow a frontier of independent subtrees.
+	frontier := []S{start}
+	var preSolutions []S
+	for len(frontier) > 0 && len(frontier) < 4*p {
+		next := frontier[:0:0]
+		for _, s := range frontier {
+			if problem.IsGoal(s) {
+				preSolutions = append(preSolutions, s)
+				if opts.FirstOnly {
+					return preSolutions[:1], stats
+				}
+				continue
+			}
+			next = append(next, problem.Expand(s)...)
+		}
+		if len(next) == 0 {
+			return preSolutions, stats
+		}
+		frontier = next
+	}
+
+	var stop atomic.Bool
+	var mu sync.Mutex
+	solutions := preSolutions
+
+	var explore func(s S, w int)
+	explore = func(s S, w int) {
+		if stop.Load() {
+			return
+		}
+		stats.UnitsPerWorker[w]++ // each worker writes only its own slot
+		if problem.IsGoal(s) {
+			mu.Lock()
+			solutions = append(solutions, s)
+			mu.Unlock()
+			if opts.FirstOnly {
+				stop.Store(true)
+			}
+			return
+		}
+		for _, c := range problem.Expand(s) {
+			explore(c, w)
+			if stop.Load() {
+				return
+			}
+		}
+	}
+
+	idx := make(chan int, len(frontier))
+	for i := range frontier {
+		idx <- i
+	}
+	close(idx)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		w := w
+		waitGroupGo(&wg, func() {
+			for i := range idx {
+				if stop.Load() {
+					return
+				}
+				explore(frontier[i], w)
+			}
+		})
+	}
+	wg.Wait()
+	return solutions, stats
+}
+
+// NQueens is a ready-made search problem: place n queens on an n×n board.
+// A state is a prefix assignment of queens, one per row.
+type NQueens struct {
+	// N is the board size.
+	N int
+}
+
+// NQState is a partial placement: Cols[i] is the column of the queen in
+// row i.
+type NQState struct {
+	Cols []int8
+	N    int
+}
+
+// Expand implements SearchProblem.
+func (q NQueens) Expand(s NQState) []NQState {
+	row := len(s.Cols)
+	if row >= q.N {
+		return nil
+	}
+	var out []NQState
+	for c := 0; c < q.N; c++ {
+		ok := true
+		for r, pc := range s.Cols {
+			d := row - r
+			if int(pc) == c || int(pc) == c-d || int(pc) == c+d {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cols := make([]int8, row+1)
+			copy(cols, s.Cols)
+			cols[row] = int8(c)
+			out = append(out, NQState{Cols: cols, N: q.N})
+		}
+	}
+	return out
+}
+
+// IsGoal implements SearchProblem.
+func (q NQueens) IsGoal(s NQState) bool { return len(s.Cols) == q.N }
+
+// Start returns the empty placement.
+func (q NQueens) Start() NQState { return NQState{N: q.N} }

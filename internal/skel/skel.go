@@ -1,0 +1,139 @@
+// Package skel provides native Go implementations of the paper's algorithmic
+// motifs as goroutine/channel skeletons: tree reduction (both strategies),
+// task farms (the scheduler motif), pipelines, divide-and-conquer,
+// or-parallel search, grid relaxation, and parallel map/reduce/scan.
+//
+// The paper's architecture is multilingual: the high-level language
+// (package strand) coordinates; "low level, computationally-intensive
+// components" run natively. This package is that native layer — it executes
+// the same parallel structures at machine speed, so the wall-clock
+// experiments (speedup curves, static-vs-dynamic crossover) run on real
+// parallelism while the semantic experiments run on the simulator.
+package skel
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Mapper selects how work units are assigned to workers.
+type Mapper int
+
+// Mapping strategies.
+const (
+	// MapRandom assigns each unit to a uniformly random worker — the
+	// paper's random mapping, "reasonably balanced if |Nodes| >> |Procs|".
+	MapRandom Mapper = iota
+	// MapRoundRobin cycles through workers.
+	MapRoundRobin
+	// MapStatic block-partitions the unit index space: unit i of n goes to
+	// worker i*p/n. With tree reduction this keeps subtrees together — the
+	// static partition the paper calls "probably ideal" for uniform costs.
+	MapStatic
+)
+
+func (m Mapper) String() string {
+	switch m {
+	case MapRandom:
+		return "random"
+	case MapRoundRobin:
+		return "round-robin"
+	case MapStatic:
+		return "static"
+	default:
+		return fmt.Sprintf("mapper(%d)", int(m))
+	}
+}
+
+// assigner returns a deterministic unit→worker assignment function for n
+// units over p workers.
+func (m Mapper) assigner(n, p int, seed int64) func(i int) int {
+	switch m {
+	case MapRandom:
+		rng := rand.New(rand.NewSource(seed))
+		pre := make([]int, n)
+		for i := range pre {
+			pre[i] = rng.Intn(p)
+		}
+		return func(i int) int { return pre[i] }
+	case MapRoundRobin:
+		return func(i int) int { return i % p }
+	case MapStatic:
+		return func(i int) int {
+			w := i * p / n
+			if w >= p {
+				w = p - 1
+			}
+			return w
+		}
+	default:
+		panic("skel: unknown mapper")
+	}
+}
+
+// Stats aggregates the observable behaviour of a skeleton run.
+type Stats struct {
+	// UnitsPerWorker counts work units executed by each worker.
+	UnitsPerWorker []int64
+	// CrossMessages counts values that moved between workers.
+	CrossMessages int64
+	// PeakConcurrent is the peak number of simultaneously executing units
+	// across all workers (bounded by the worker count by construction).
+	PeakConcurrent int64
+}
+
+// Imbalance returns max/mean of UnitsPerWorker (1.0 = perfect balance).
+func (s *Stats) Imbalance() float64 {
+	if len(s.UnitsPerWorker) == 0 {
+		return 0
+	}
+	var sum, max int64
+	for _, x := range s.UnitsPerWorker {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) / (float64(sum) / float64(len(s.UnitsPerWorker)))
+}
+
+// TotalUnits sums UnitsPerWorker.
+func (s *Stats) TotalUnits() int64 {
+	var sum int64
+	for _, x := range s.UnitsPerWorker {
+		sum += x
+	}
+	return sum
+}
+
+// gauge tracks a concurrent high-water mark.
+type gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+func (g *gauge) inc() {
+	v := g.cur.Add(1)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+func (g *gauge) dec() { g.cur.Add(-1) }
+
+// waitGroupGo is a tiny helper running f in a goroutine tracked by wg.
+func waitGroupGo(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f()
+	}()
+}

@@ -1,0 +1,144 @@
+package skel
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// StealOptions configures the work-stealing pool.
+type StealOptions struct {
+	// Workers is the worker count; minimum 1.
+	Workers int
+	// Seed drives victim selection.
+	Seed int64
+}
+
+// StealStats extends Stats with steal accounting.
+type StealStats struct {
+	Stats
+	// Steals counts tasks taken from another worker's queue.
+	Steals int64
+}
+
+// dequeue is a mutex-guarded double-ended work queue: the owner pushes and
+// pops at the tail (LIFO, for locality); thieves steal from the head
+// (FIFO, taking the largest pending subcomputations first).
+type dequeue[T any] struct {
+	mu    sync.Mutex
+	items []T
+}
+
+func (d *dequeue[T]) push(t T) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+func (d *dequeue[T]) popTail() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zero T
+	n := len(d.items)
+	if n == 0 {
+		return zero, false
+	}
+	t := d.items[n-1]
+	d.items = d.items[:n-1]
+	return t, true
+}
+
+func (d *dequeue[T]) stealHead() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zero T
+	if len(d.items) == 0 {
+		return zero, false
+	}
+	t := d.items[0]
+	d.items = d.items[1:]
+	return t, true
+}
+
+// WorkStealing executes the initial tasks, allowing each task to spawn
+// further tasks through the spawn callback passed to do. Each worker owns
+// a deque (LIFO for its own work); idle workers steal from random victims
+// (FIFO) — the classic Cilk-style dynamic load balancer, an alternative
+// realization of the paper's dynamic task-allocation motif that needs no
+// central manager.
+func WorkStealing[T any](initial []T, do func(t T, spawn func(T)), opts StealOptions) *StealStats {
+	p := opts.Workers
+	if p < 1 {
+		p = 1
+	}
+	stats := &StealStats{Stats: Stats{UnitsPerWorker: make([]int64, p)}}
+	if len(initial) == 0 {
+		return stats
+	}
+
+	deques := make([]*dequeue[T], p)
+	for i := range deques {
+		deques[i] = &dequeue[T]{}
+	}
+	// Seed round-robin so every worker starts with a share.
+	for i, t := range initial {
+		deques[i%p].push(t)
+	}
+
+	var pending atomic.Int64
+	pending.Store(int64(len(initial)))
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	var steals atomic.Int64
+
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		w := w
+		rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+		waitGroupGo(&wg, func() {
+			spawn := func(t T) {
+				pending.Add(1)
+				deques[w].push(t)
+			}
+			for {
+				task, ok := deques[w].popTail()
+				if !ok {
+					// Try to steal from a random victim.
+					for tries := 0; tries < 2*p && !ok; tries++ {
+						v := rng.Intn(p)
+						if v == w {
+							continue
+						}
+						task, ok = deques[v].stealHead()
+					}
+					if ok {
+						steals.Add(1)
+					}
+				}
+				if !ok {
+					select {
+					case <-done:
+						return
+					default:
+						// Yield and retry; termination closes done.
+						if pending.Load() == 0 {
+							return
+						}
+						runtime.Gosched()
+						continue
+					}
+				}
+				do(task, spawn)
+				stats.UnitsPerWorker[w]++
+				if pending.Add(-1) == 0 {
+					closeOnce.Do(func() { close(done) })
+					return
+				}
+			}
+		})
+	}
+	wg.Wait()
+	stats.Steals = steals.Load()
+	return stats
+}

@@ -1,0 +1,88 @@
+package skel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkStealingAllTasksRunOnce(t *testing.T) {
+	const n = 500
+	var counts [n]atomic.Int64
+	initial := make([]int, n)
+	for i := range initial {
+		initial[i] = i
+	}
+	stats := WorkStealing(initial, func(i int, spawn func(int)) {
+		counts[i].Add(1)
+	}, StealOptions{Workers: 4, Seed: 1})
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, counts[i].Load())
+		}
+	}
+	if stats.TotalUnits() != n {
+		t.Fatalf("units = %d", stats.TotalUnits())
+	}
+}
+
+func TestWorkStealingSpawnedTasks(t *testing.T) {
+	// Binary fan-out: task k spawns 2 children until depth 0; total tasks
+	// for depth d seed = 2^(d+1)-1.
+	type task struct{ depth int }
+	var executed atomic.Int64
+	stats := WorkStealing([]task{{6}}, func(tk task, spawn func(task)) {
+		executed.Add(1)
+		if tk.depth > 0 {
+			spawn(task{tk.depth - 1})
+			spawn(task{tk.depth - 1})
+		}
+	}, StealOptions{Workers: 4, Seed: 2})
+	want := int64(1<<7 - 1)
+	if executed.Load() != want {
+		t.Fatalf("executed = %d, want %d", executed.Load(), want)
+	}
+	if stats.TotalUnits() != want {
+		t.Fatalf("units = %d, want %d", stats.TotalUnits(), want)
+	}
+}
+
+func TestWorkStealingTreeSumMatchesSequential(t *testing.T) {
+	// Sum a range by recursive splitting, accumulating into an atomic.
+	type span struct{ lo, hi int64 }
+	var sum atomic.Int64
+	WorkStealing([]span{{0, 100_000}}, func(s span, spawn func(span)) {
+		if s.hi-s.lo <= 1000 {
+			var acc int64
+			for i := s.lo; i < s.hi; i++ {
+				acc += i
+			}
+			sum.Add(acc)
+			return
+		}
+		mid := (s.lo + s.hi) / 2
+		spawn(span{s.lo, mid})
+		spawn(span{mid, s.hi})
+	}, StealOptions{Workers: 4, Seed: 3})
+	var want int64
+	for i := int64(0); i < 100_000; i++ {
+		want += i
+	}
+	if sum.Load() != want {
+		t.Fatalf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestWorkStealingEmpty(t *testing.T) {
+	stats := WorkStealing(nil, func(int, func(int)) {}, StealOptions{Workers: 3})
+	if stats.TotalUnits() != 0 {
+		t.Fatal("units on empty input")
+	}
+}
+
+func TestWorkStealingSingleWorker(t *testing.T) {
+	var n atomic.Int64
+	WorkStealing([]int{1, 2, 3}, func(int, func(int)) { n.Add(1) }, StealOptions{Workers: 1})
+	if n.Load() != 3 {
+		t.Fatalf("executed = %d", n.Load())
+	}
+}

@@ -1,0 +1,237 @@
+package skel
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tree is a binary reduction tree with leaf payloads of type V; internal
+// nodes carry an operator tag interpreted by the user's eval function —
+// the native twin of the motif-level tree(Op, L, R)/leaf(V) structure.
+type Tree[V any] struct {
+	// Op tags internal nodes.
+	Op string
+	// Leaf holds the payload at leaves.
+	Leaf V
+	// L, R are children (nil at leaves).
+	L, R *Tree[V]
+}
+
+// NewLeaf builds a leaf.
+func NewLeaf[V any](v V) *Tree[V] { return &Tree[V]{Leaf: v} }
+
+// NewNode builds an internal node.
+func NewNode[V any](op string, l, r *Tree[V]) *Tree[V] { return &Tree[V]{Op: op, L: l, R: r} }
+
+// IsLeaf reports whether the node is a leaf.
+func (t *Tree[V]) IsLeaf() bool { return t.L == nil && t.R == nil }
+
+// Nodes counts all nodes.
+func (t *Tree[V]) Nodes() int {
+	if t == nil {
+		return 0
+	}
+	if t.IsLeaf() {
+		return 1
+	}
+	return 1 + t.L.Nodes() + t.R.Nodes()
+}
+
+// Leaves counts leaf nodes.
+func (t *Tree[V]) Leaves() int {
+	if t == nil {
+		return 0
+	}
+	if t.IsLeaf() {
+		return 1
+	}
+	return t.L.Leaves() + t.R.Leaves()
+}
+
+// Height returns the tree height (single leaf = 1).
+func (t *Tree[V]) Height() int {
+	if t == nil {
+		return 0
+	}
+	if t.IsLeaf() {
+		return 1
+	}
+	lh, rh := t.L.Height(), t.R.Height()
+	if lh > rh {
+		return lh + 1
+	}
+	return rh + 1
+}
+
+// SeqReduce reduces the tree sequentially — the baseline for speedup
+// measurements.
+func SeqReduce[V any](t *Tree[V], eval func(op string, l, r V) V) V {
+	if t.IsLeaf() {
+		return t.Leaf
+	}
+	return eval(t.Op, SeqReduce(t.L, eval), SeqReduce(t.R, eval))
+}
+
+// ReduceOptions configures a parallel tree reduction.
+type ReduceOptions struct {
+	// Workers is the worker (processor) count; minimum 1.
+	Workers int
+	// Mapper assigns internal nodes to workers.
+	Mapper Mapper
+	// Seed drives the random mapper.
+	Seed int64
+}
+
+// combineTask is one ready internal-node evaluation.
+type combineTask struct {
+	node int
+}
+
+// TreeReduce reduces the tree in parallel: every internal node is assigned
+// to a worker by the mapper; a node's evaluation is enqueued on its worker
+// the moment both child values are available (dataflow), and each worker
+// executes its queue sequentially — the execution model shared by the
+// paper's two tree-reduction motifs, parameterized by the mapping strategy
+// that distinguishes them. It returns the root value and run statistics.
+func TreeReduce[V any](t *Tree[V], eval func(op string, l, r V) V, opts ReduceOptions) (V, *Stats, error) {
+	var zero V
+	if t == nil {
+		return zero, nil, fmt.Errorf("skel: TreeReduce on nil tree")
+	}
+	p := opts.Workers
+	if p < 1 {
+		p = 1
+	}
+	if t.IsLeaf() {
+		return t.Leaf, &Stats{UnitsPerWorker: make([]int64, p)}, nil
+	}
+
+	// Index the tree: nodes in preorder, 0-based. For MapStatic we assign
+	// by postorder position so contiguous index ranges are subtrees.
+	n := t.Nodes()
+	nodes := make([]*Tree[V], n)
+	parent := make([]int, n)
+	postPos := make([]int, n) // postorder position of each preorder id
+	{
+		next, post := 0, 0
+		var walk func(node *Tree[V], par int) int
+		walk = func(node *Tree[V], par int) int {
+			id := next
+			next++
+			nodes[id] = node
+			parent[id] = par
+			if !node.IsLeaf() {
+				walk(node.L, id)
+				walk(node.R, id)
+			}
+			postPos[id] = post
+			post++
+			return id
+		}
+		walk(t, -1)
+	}
+
+	assign := opts.Mapper.assigner(n, p, opts.Seed)
+	worker := make([]int, n)
+	for i := 0; i < n; i++ {
+		worker[i] = assign(postPos[i])
+	}
+
+	// Per-node synchronization: values and arrival counts.
+	vals := make([]V, n)
+	var pending []sync.WaitGroup // one per node, counts missing children
+	pending = make([]sync.WaitGroup, n)
+	for i := 0; i < n; i++ {
+		if !nodes[i].IsLeaf() {
+			pending[i].Add(2)
+		}
+	}
+
+	queues := make([]chan combineTask, p)
+	for w := range queues {
+		queues[w] = make(chan combineTask, n+1)
+	}
+
+	stats := &Stats{UnitsPerWorker: make([]int64, p)}
+	var cross int64
+	var crossMu sync.Mutex
+	var conc gauge
+
+	// deliver records a child value and enqueues the parent when ready.
+	var deliver func(id int, v V, fromWorker int)
+	deliver = func(id int, v V, fromWorker int) {
+		vals[id] = v
+		par := parent[id]
+		if par < 0 {
+			return
+		}
+		if fromWorker >= 0 && worker[par] != fromWorker {
+			crossMu.Lock()
+			cross++
+			crossMu.Unlock()
+		}
+		pending[par].Done()
+	}
+
+	// Waiter goroutines: one per internal node, enqueue the combine when
+	// both children have arrived. (A waitgroup per node keeps the dataflow
+	// logic simple; the per-worker queues still serialize evaluation.)
+	var waiters sync.WaitGroup
+	for i := 0; i < n; i++ {
+		if nodes[i].IsLeaf() {
+			continue
+		}
+		i := i
+		waitGroupGo(&waiters, func() {
+			pending[i].Wait()
+			queues[worker[i]] <- combineTask{node: i}
+		})
+	}
+
+	// Workers.
+	var wg sync.WaitGroup
+	var rootVal V
+	var rootOnce sync.Once
+	done := make(chan struct{})
+	for w := 0; w < p; w++ {
+		w := w
+		waitGroupGo(&wg, func() {
+			for {
+				select {
+				case task := <-queues[w]:
+					id := task.node
+					conc.inc()
+					l := vals[id+1]                     // left child is next in preorder
+					r := vals[id+1+nodes[id].L.Nodes()] // right child follows left subtree
+					v := eval(nodes[id].Op, l, r)
+					conc.dec()
+					stats.UnitsPerWorker[w]++
+					if parent[id] < 0 {
+						rootOnce.Do(func() {
+							rootVal = v
+							close(done)
+						})
+						return
+					}
+					deliver(id, v, w)
+				case <-done:
+					return
+				}
+			}
+		})
+	}
+
+	// Inject leaf values (counted as cross messages when the leaf's worker
+	// differs from its parent's, mirroring the simulator's accounting).
+	for i := 0; i < n; i++ {
+		if nodes[i].IsLeaf() {
+			deliver(i, nodes[i].Leaf, worker[i])
+		}
+	}
+
+	waiters.Wait()
+	wg.Wait()
+	stats.CrossMessages = cross
+	stats.PeakConcurrent = conc.peak.Load()
+	return rootVal, stats, nil
+}

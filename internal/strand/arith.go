@@ -1,0 +1,358 @@
+// Package strand interprets the motif system's high-level concurrent
+// language — a Strand-like notation of guarded rules over single-assignment
+// variables — on the simulated multicomputer of package machine.
+//
+// A program's state is a pool of lightweight processes distributed over the
+// machine's processors. Execution repeatedly selects a process and attempts
+// to reduce it with one of its definition's rules; a process whose arguments
+// are not yet sufficiently instantiated suspends on the variables it needs
+// and is woken when they are bound. Data availability is the only
+// synchronization mechanism, exactly as in the paper's Section 2.1.
+package strand
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// evalArith evaluates an arithmetic expression term. It returns the value
+// (Int or Float), or the unbound variables preventing evaluation, or an
+// error for non-arithmetic terms.
+func evalArith(t term.Term) (term.Term, []*term.Var, error) {
+	t = term.Walk(t)
+	switch x := t.(type) {
+	case term.Int, term.Float:
+		return x, nil, nil
+	case *term.Var:
+		return nil, []*term.Var{x}, nil
+	case *term.Compound:
+		switch {
+		case len(x.Args) == 1 && x.Functor == "-":
+			v, susp, err := evalArith(x.Args[0])
+			if err != nil || susp != nil {
+				return nil, susp, err
+			}
+			switch n := v.(type) {
+			case term.Int:
+				return term.Int(-n), nil, nil
+			case term.Float:
+				return term.Float(-n), nil, nil
+			}
+		case len(x.Args) == 2:
+			l, suspL, err := evalArith(x.Args[0])
+			if err != nil {
+				return nil, nil, err
+			}
+			r, suspR, err := evalArith(x.Args[1])
+			if err != nil {
+				return nil, nil, err
+			}
+			if susp := append(suspL, suspR...); len(susp) > 0 {
+				return nil, susp, nil
+			}
+			return applyArith(x.Functor, l, r)
+		}
+	}
+	return nil, nil, fmt.Errorf("non-arithmetic term in expression: %s", term.Sprint(t))
+}
+
+func applyArith(op string, l, r term.Term) (term.Term, []*term.Var, error) {
+	li, lInt := l.(term.Int)
+	ri, rInt := r.(term.Int)
+	if lInt && rInt {
+		switch op {
+		case "+":
+			return li + ri, nil, nil
+		case "-":
+			return li - ri, nil, nil
+		case "*":
+			return li * ri, nil, nil
+		case "//", "/":
+			if ri == 0 {
+				return nil, nil, fmt.Errorf("division by zero")
+			}
+			if op == "/" && li%ri != 0 {
+				return term.Float(float64(li) / float64(ri)), nil, nil
+			}
+			return li / ri, nil, nil
+		case "mod":
+			if ri == 0 {
+				return nil, nil, fmt.Errorf("mod by zero")
+			}
+			return li % ri, nil, nil
+		case "min":
+			if li < ri {
+				return li, nil, nil
+			}
+			return ri, nil, nil
+		case "max":
+			if li > ri {
+				return li, nil, nil
+			}
+			return ri, nil, nil
+		}
+		return nil, nil, fmt.Errorf("unknown arithmetic operator %q", op)
+	}
+	lf, okL := toFloat(l)
+	rf, okR := toFloat(r)
+	if !okL || !okR {
+		return nil, nil, fmt.Errorf("non-numeric operands for %q: %s, %s", op, term.Sprint(l), term.Sprint(r))
+	}
+	switch op {
+	case "+":
+		return term.Float(lf + rf), nil, nil
+	case "-":
+		return term.Float(lf - rf), nil, nil
+	case "*":
+		return term.Float(lf * rf), nil, nil
+	case "/":
+		if rf == 0 {
+			return nil, nil, fmt.Errorf("division by zero")
+		}
+		return term.Float(lf / rf), nil, nil
+	case "min":
+		if lf < rf {
+			return term.Float(lf), nil, nil
+		}
+		return term.Float(rf), nil, nil
+	case "max":
+		if lf > rf {
+			return term.Float(lf), nil, nil
+		}
+		return term.Float(rf), nil, nil
+	}
+	return nil, nil, fmt.Errorf("unknown float operator %q", op)
+}
+
+func toFloat(t term.Term) (float64, bool) {
+	switch x := t.(type) {
+	case term.Int:
+		return float64(x), true
+	case term.Float:
+		return float64(x), true
+	default:
+		return 0, false
+	}
+}
+
+// guardStatus is the three-valued outcome of a guard test.
+type guardStatus int
+
+const (
+	guardTrue guardStatus = iota
+	guardFalse
+	guardSuspend
+)
+
+// evalGuard evaluates one guard test.
+func evalGuard(g term.Term) (guardStatus, []*term.Var, error) {
+	g = term.Walk(g)
+	if a, ok := g.(term.Atom); ok {
+		switch a {
+		case "true", "otherwise":
+			return guardTrue, nil, nil
+		}
+		return guardFalse, nil, fmt.Errorf("unknown guard %s", term.Sprint(g))
+	}
+	c, ok := g.(*term.Compound)
+	if !ok {
+		return guardFalse, nil, fmt.Errorf("bad guard %s", term.Sprint(g))
+	}
+	switch c.Functor {
+	case ">", "<", ">=", "=<":
+		if len(c.Args) != 2 {
+			break
+		}
+		l, suspL, err := evalArith(c.Args[0])
+		if err != nil {
+			return guardFalse, nil, err
+		}
+		r, suspR, err := evalArith(c.Args[1])
+		if err != nil {
+			return guardFalse, nil, err
+		}
+		if susp := append(suspL, suspR...); len(susp) > 0 {
+			return guardSuspend, susp, nil
+		}
+		lf, _ := toFloat(l)
+		rf, _ := toFloat(r)
+		var holds bool
+		switch c.Functor {
+		case ">":
+			holds = lf > rf
+		case "<":
+			holds = lf < rf
+		case ">=":
+			holds = lf >= rf
+		case "=<":
+			holds = lf <= rf
+		}
+		if holds {
+			return guardTrue, nil, nil
+		}
+		return guardFalse, nil, nil
+
+	case "==", "=\\=":
+		if len(c.Args) != 2 {
+			break
+		}
+		// Identical terms (including the same unbound variable) decide
+		// immediately.
+		if term.Walk(c.Args[0]) == term.Walk(c.Args[1]) {
+			if c.Functor == "==" {
+				return guardTrue, nil, nil
+			}
+			return guardFalse, nil, nil
+		}
+		// Arithmetic comparison when both sides are numeric expressions
+		// (e.g. `I mod P == 0`); structural identity otherwise.
+		l, suspL, errL := evalArith(c.Args[0])
+		r, suspR, errR := evalArith(c.Args[1])
+		if errL == nil && errR == nil {
+			if susp := append(suspL, suspR...); len(susp) > 0 {
+				return guardSuspend, susp, nil
+			}
+			lf, _ := toFloat(l)
+			rf, _ := toFloat(r)
+			holds := lf == rf
+			if c.Functor == "=\\=" {
+				holds = !holds
+			}
+			if holds {
+				return guardTrue, nil, nil
+			}
+			return guardFalse, nil, nil
+		}
+		eq, vars := termEq(c.Args[0], c.Args[1])
+		switch eq {
+		case guardSuspend:
+			return guardSuspend, vars, nil
+		case guardTrue:
+			if c.Functor == "==" {
+				return guardTrue, nil, nil
+			}
+			return guardFalse, nil, nil
+		default:
+			if c.Functor == "==" {
+				return guardFalse, nil, nil
+			}
+			return guardTrue, nil, nil
+		}
+
+	case "integer", "number", "atom", "list", "tuple", "string", "data", "unknown", "compound":
+		if len(c.Args) != 1 {
+			break
+		}
+		return typeGuard(c.Functor, c.Args[0])
+
+	case "ground":
+		// ground(T) suspends until T contains no unbound variables — the
+		// deep counterpart of data/1, needed to detect completion of
+		// incrementally constructed results (e.g. sorted lists).
+		if len(c.Args) != 1 {
+			break
+		}
+		if vars := term.Vars(c.Args[0]); len(vars) > 0 {
+			return guardSuspend, vars, nil
+		}
+		return guardTrue, nil, nil
+	}
+	return guardFalse, nil, fmt.Errorf("unknown guard %s", term.Sprint(g))
+}
+
+// termEq compares two terms for structural identity, suspending when unbound
+// variables make the answer unknown (two distinct unbound vars may yet be
+// bound to equal values; identical vars are equal now).
+func termEq(a, b term.Term) (guardStatus, []*term.Var) {
+	a, b = term.Walk(a), term.Walk(b)
+	if a == b {
+		return guardTrue, nil
+	}
+	av, aVar := a.(*term.Var)
+	bv, bVar := b.(*term.Var)
+	if aVar || bVar {
+		var susp []*term.Var
+		if aVar {
+			susp = append(susp, av)
+		}
+		if bVar {
+			susp = append(susp, bv)
+		}
+		return guardSuspend, susp
+	}
+	if a.Kind() != b.Kind() {
+		return guardFalse, nil
+	}
+	if ac, ok := a.(*term.Compound); ok {
+		bc := b.(*term.Compound)
+		if ac.Functor != bc.Functor || len(ac.Args) != len(bc.Args) {
+			return guardFalse, nil
+		}
+		out := guardTrue
+		var susp []*term.Var
+		for i := range ac.Args {
+			st, vs := termEq(ac.Args[i], bc.Args[i])
+			if st == guardFalse {
+				return guardFalse, nil
+			}
+			if st == guardSuspend {
+				out = guardSuspend
+				susp = append(susp, vs...)
+			}
+		}
+		return out, susp
+	}
+	if term.Equal(a, b) {
+		return guardTrue, nil
+	}
+	return guardFalse, nil
+}
+
+func typeGuard(name string, t term.Term) (guardStatus, []*term.Var, error) {
+	w := term.Walk(t)
+	if v, ok := w.(*term.Var); ok {
+		if name == "unknown" {
+			// Nonmonotonic test: true of a currently-unbound variable.
+			return guardTrue, nil, nil
+		}
+		if name == "data" {
+			return guardSuspend, []*term.Var{v}, nil
+		}
+		return guardSuspend, []*term.Var{v}, nil
+	}
+	var holds bool
+	switch name {
+	case "integer":
+		_, holds = w.(term.Int)
+	case "number":
+		switch w.(type) {
+		case term.Int, term.Float:
+			holds = true
+		}
+	case "atom":
+		_, holds = w.(term.Atom)
+	case "string":
+		_, holds = w.(term.String_)
+	case "list":
+		if term.IsEmptyList(w) {
+			holds = true
+		} else {
+			_, _, holds = term.IsCons(w)
+		}
+	case "tuple":
+		_, holds = term.IsTuple(w)
+	case "compound":
+		_, holds = w.(*term.Compound)
+	case "data":
+		holds = true
+	case "unknown":
+		holds = false
+	default:
+		return guardFalse, nil, fmt.Errorf("unknown type guard %s/1", name)
+	}
+	if holds {
+		return guardTrue, nil, nil
+	}
+	return guardFalse, nil, nil
+}

@@ -1,0 +1,454 @@
+package strand
+
+import (
+	"fmt"
+
+	"repro/internal/term"
+)
+
+// builtinFn implements a primitive process. Returning a non-nil susp slice
+// means the call could not yet run and must suspend on those variables.
+type builtinFn func(rt *Runtime, p int, args []term.Term) (cost int64, susp []*term.Var, err error)
+
+// builtins is the primitive process table. It contains exactly the
+// primitives the paper's programs rely on: assignment, arithmetic, tuple
+// and list inspection, random numbers, the distribute/merge communication
+// layer (ports), process placement, and output.
+var builtins map[string]builtinFn
+
+func init() {
+	builtins = map[string]builtinFn{
+		":=/2":             biAssign,
+		"=/2":              biUnify,
+		"is/2":             biIs,
+		"$spawn_at/2":      biSpawnAt,
+		"length/2":         biLength,
+		"make_tuple/2":     biMakeTuple,
+		"put_arg/3":        biPutArg,
+		"get_arg/3":        biGetArg,
+		"rand_num/2":       biRandNum,
+		"make_channels/2":  biMakeChannels,
+		"channel_stream/3": biChannelStream,
+		"distribute/3":     biDistribute,
+		"close_channels/1": biCloseChannels,
+		"merge/3":          biMerge,
+		"self/1":           biSelf,
+		"write/1":          biWrite,
+		"writeln/1":        biWriteln,
+		"nl/0":             biNl,
+		"true/0":           biTrue,
+	}
+}
+
+// biAssign implements X := V, the single-assignment primitive.
+func biAssign(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	lhs := term.Walk(args[0])
+	if v, ok := lhs.(*term.Var); ok {
+		return 1, nil, rt.Bind(p, v, args[1])
+	}
+	// Assigning to a bound value succeeds iff the values agree (handles
+	// benign races like the paper's sync acknowledgements).
+	st, susp := termEq(lhs, args[1])
+	switch st {
+	case guardTrue:
+		return 1, nil, nil
+	case guardSuspend:
+		return 0, susp, nil
+	default:
+		return 1, nil, fmt.Errorf("single-assignment violation: %s := %s",
+			term.Sprint(lhs), term.Sprint(args[1]))
+	}
+}
+
+// biIs implements X is Expr with arithmetic evaluation.
+func biIs(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	val, susp, err := evalArith(args[1])
+	if err != nil {
+		return 1, nil, err
+	}
+	if susp != nil {
+		return 0, susp, nil
+	}
+	lhs := term.Walk(args[0])
+	if v, ok := lhs.(*term.Var); ok {
+		return 1, nil, rt.Bind(p, v, val)
+	}
+	if term.Equal(lhs, val) {
+		return 1, nil, nil
+	}
+	return 1, nil, fmt.Errorf("is/2: %s is %s but left side is %s",
+		term.Sprint(args[0]), term.Sprint(val), term.Sprint(lhs))
+}
+
+// biSpawnAt implements the @ placement annotation: $spawn_at(Goal, Target).
+// Target may be a 1-based processor number or an arithmetic expression.
+func biSpawnAt(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	val, susp, err := evalArith(args[1])
+	if err != nil {
+		return 1, nil, fmt.Errorf("@ placement: %w", err)
+	}
+	if susp != nil {
+		return 0, susp, nil
+	}
+	n, ok := val.(term.Int)
+	if !ok {
+		return 1, nil, fmt.Errorf("@ placement target must be an integer, got %s", term.Sprint(val))
+	}
+	return 1, nil, rt.shipProcess(p, int64(n), args[0])
+}
+
+// biLength implements length(T, N) for tuples (arity), proper lists
+// (element count), and strings (byte length). An open list suspends.
+func biLength(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	t := term.Walk(args[0])
+	switch x := t.(type) {
+	case *term.Var:
+		return 0, []*term.Var{x}, nil
+	case term.String_:
+		return 1, nil, bindInt(rt, p, args[1], int64(len(x)))
+	default:
+	}
+	if elems, ok := term.IsTuple(t); ok {
+		return 1, nil, bindInt(rt, p, args[1], int64(len(elems)))
+	}
+	// List: walk the spine, suspending at an unbound tail.
+	n := int64(0)
+	cur := t
+	for {
+		cur = term.Walk(cur)
+		if term.IsEmptyList(cur) {
+			return 1, nil, bindInt(rt, p, args[1], n)
+		}
+		if v, ok := cur.(*term.Var); ok {
+			return 0, []*term.Var{v}, nil
+		}
+		_, tail, ok := term.IsCons(cur)
+		if !ok {
+			return 1, nil, fmt.Errorf("length/2: not a list or tuple: %s", term.Sprint(t))
+		}
+		n++
+		cur = tail
+	}
+}
+
+func bindInt(rt *Runtime, p int, t term.Term, n int64) error {
+	w := term.Walk(t)
+	if v, ok := w.(*term.Var); ok {
+		return rt.Bind(p, v, term.Int(n))
+	}
+	if i, ok := w.(term.Int); ok && int64(i) == n {
+		return nil
+	}
+	return fmt.Errorf("cannot bind %s to %d", term.Sprint(t), n)
+}
+
+// biMakeTuple implements make_tuple(N, T): T becomes a tuple of N fresh
+// variables (the paper's Figure 3 uses it to build the stream tuple).
+func biMakeTuple(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	nT := term.Walk(args[0])
+	n, ok := nT.(term.Int)
+	if !ok {
+		if v, isVar := nT.(*term.Var); isVar {
+			return 0, []*term.Var{v}, nil
+		}
+		return 1, nil, fmt.Errorf("make_tuple/2: size must be an integer, got %s", term.Sprint(nT))
+	}
+	if n < 0 {
+		return 1, nil, fmt.Errorf("make_tuple/2: negative size %d", n)
+	}
+	elems := make([]term.Term, n)
+	for i := range elems {
+		elems[i] = rt.heap.NewVar("T")
+	}
+	out := term.Walk(args[1])
+	v, ok := out.(*term.Var)
+	if !ok {
+		return 1, nil, fmt.Errorf("make_tuple/2: output must be unbound, got %s", term.Sprint(out))
+	}
+	return 1, nil, rt.Bind(p, v, term.MkTuple(elems...))
+}
+
+// biPutArg implements put_arg(I, T, V): assigns V to the I-th (1-based)
+// element of tuple T, which must be an unbound variable slot.
+func biPutArg(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	i, tup, susp, err := tupleIndex("put_arg/3", args[0], args[1])
+	if err != nil || susp != nil {
+		return 1, susp, err
+	}
+	slot := term.Walk(tup[i-1])
+	v, ok := slot.(*term.Var)
+	if !ok {
+		return 1, nil, fmt.Errorf("put_arg/3: slot %d already holds %s", i, term.Sprint(slot))
+	}
+	return 1, nil, rt.Bind(p, v, args[2])
+}
+
+// biGetArg implements get_arg(I, T, V): V is unified with the I-th
+// (1-based) element of tuple T, so V may be a pattern like node(_, P, _)
+// whose variables are bound by the call.
+func biGetArg(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	i, tup, susp, err := tupleIndex("get_arg/3", args[0], args[1])
+	if err != nil || susp != nil {
+		return 1, susp, err
+	}
+	if err := rt.Unify(p, args[2], tup[i-1]); err != nil {
+		return 1, nil, fmt.Errorf("get_arg/3: %w", err)
+	}
+	return 1, nil, nil
+}
+
+// biUnify implements T1 = T2, full unification.
+func biUnify(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	return 1, nil, rt.Unify(p, args[0], args[1])
+}
+
+func tupleIndex(who string, idx, tup term.Term) (int, []term.Term, []*term.Var, error) {
+	iT := term.Walk(idx)
+	i, ok := iT.(term.Int)
+	if !ok {
+		if v, isVar := iT.(*term.Var); isVar {
+			return 0, nil, []*term.Var{v}, nil
+		}
+		return 0, nil, nil, fmt.Errorf("%s: index must be an integer, got %s", who, term.Sprint(iT))
+	}
+	tT := term.Walk(tup)
+	elems, ok := term.IsTuple(tT)
+	if !ok {
+		if v, isVar := tT.(*term.Var); isVar {
+			return 0, nil, []*term.Var{v}, nil
+		}
+		return 0, nil, nil, fmt.Errorf("%s: not a tuple: %s", who, term.Sprint(tT))
+	}
+	if i < 1 || int(i) > len(elems) {
+		return 0, nil, nil, fmt.Errorf("%s: index %d out of range 1..%d", who, i, len(elems))
+	}
+	return int(i), elems, nil, nil
+}
+
+// biRandNum implements rand_num(N, R): R is a deterministic pseudo-random
+// integer in 1..N (the paper's range "(1,N)").
+func biRandNum(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	nT := term.Walk(args[0])
+	n, ok := nT.(term.Int)
+	if !ok {
+		if v, isVar := nT.(*term.Var); isVar {
+			return 0, []*term.Var{v}, nil
+		}
+		return 1, nil, fmt.Errorf("rand_num/2: bound must be an integer, got %s", term.Sprint(nT))
+	}
+	if n < 1 {
+		return 1, nil, fmt.Errorf("rand_num/2: bound must be >= 1, got %d", n)
+	}
+	r := term.Int(rt.mach.Rand(int(n)) + 1)
+	out := term.Walk(args[1])
+	v, ok := out.(*term.Var)
+	if !ok {
+		return 1, nil, fmt.Errorf("rand_num/2: output must be unbound")
+	}
+	return 1, nil, rt.Bind(p, v, r)
+}
+
+// biMakeChannels implements make_channels(N, DT): DT becomes a tuple of N
+// ports, port i owned by (and delivering to) language-level processor i.
+// Together with distribute/3 this provides the paper's server-network
+// communication substrate (Figure 3's merger plumbing) as a runtime
+// primitive, the way real Strand systems provided merge.
+func biMakeChannels(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	nT := term.Walk(args[0])
+	n, ok := nT.(term.Int)
+	if !ok {
+		if v, isVar := nT.(*term.Var); isVar {
+			return 0, []*term.Var{v}, nil
+		}
+		return 1, nil, fmt.Errorf("make_channels/2: size must be an integer")
+	}
+	if n < 1 || int64(n) > int64(rt.mach.Procs()) {
+		return 1, nil, fmt.Errorf("make_channels/2: size %d out of range 1..%d", n, rt.mach.Procs())
+	}
+	elems := make([]term.Term, n)
+	for i := range elems {
+		port := term.NewPort(rt.heap, fmt.Sprintf("srv%d", i+1))
+		rt.portOwner[port] = i // machine proc index
+		elems[i] = port
+	}
+	out := term.Walk(args[1])
+	v, ok := out.(*term.Var)
+	if !ok {
+		return 1, nil, fmt.Errorf("make_channels/2: output must be unbound")
+	}
+	return 1, nil, rt.Bind(p, v, term.MkTuple(elems...))
+}
+
+// biChannelStream implements channel_stream(I, DT, S): S := the message
+// stream of the I-th channel, for the owning server to read.
+func biChannelStream(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	i, tup, susp, err := tupleIndex("channel_stream/3", args[0], args[1])
+	if err != nil || susp != nil {
+		return 1, susp, err
+	}
+	port, ok := term.Walk(tup[i-1]).(*term.Port)
+	if !ok {
+		return 1, nil, fmt.Errorf("channel_stream/3: element %d is not a channel", i)
+	}
+	out := term.Walk(args[2])
+	v, ok := out.(*term.Var)
+	if !ok {
+		return 1, nil, fmt.Errorf("channel_stream/3: output must be unbound")
+	}
+	return 1, nil, rt.Bind(p, v, port.Stream())
+}
+
+// biDistribute implements distribute(O, DT, Msg): appends Msg to the O-th
+// stream in the channel tuple DT, counting an inter-processor message when
+// the destination differs from the sending processor.
+func biDistribute(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	i, tup, susp, err := tupleIndex("distribute/3", args[0], args[1])
+	if err != nil || susp != nil {
+		return 1, susp, err
+	}
+	port, ok := term.Walk(tup[i-1]).(*term.Port)
+	if !ok {
+		return 1, nil, fmt.Errorf("distribute/3: element %d is not a channel", i)
+	}
+	if owner, known := rt.portOwner[port]; known {
+		rt.mach.CountMessage(p, owner)
+	}
+	woken, err := port.Send(term.Resolve(args[2]))
+	if err != nil {
+		return 1, nil, err
+	}
+	rt.wakeAll(woken, p, true)
+	return 1, nil, nil
+}
+
+// biCloseChannels implements close_channels(DT): closes every channel in
+// the tuple, terminating all server input streams with [].
+func biCloseChannels(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	t := term.Walk(args[0])
+	elems, ok := term.IsTuple(t)
+	if !ok {
+		if v, isVar := t.(*term.Var); isVar {
+			return 0, []*term.Var{v}, nil
+		}
+		return 1, nil, fmt.Errorf("close_channels/1: not a tuple: %s", term.Sprint(t))
+	}
+	for _, e := range elems {
+		port, ok := term.Walk(e).(*term.Port)
+		if !ok {
+			return 1, nil, fmt.Errorf("close_channels/1: non-channel element %s", term.Sprint(e))
+		}
+		woken, err := port.Close()
+		if err != nil {
+			return 1, nil, err
+		}
+		rt.wakeAll(woken, p, true)
+	}
+	return 1, nil, nil
+}
+
+// biMerge implements merge(Xs, Ys, Zs), the stream-merge primitive the
+// paper's server library cites ([8]): items from either input stream are
+// forwarded to Zs as they become available. Fairness comes from swapping
+// the inputs after each forwarded item. When one input closes, Zs is the
+// remainder of the other.
+func biMerge(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	xs, ys, zs := term.Walk(args[0]), term.Walk(args[1]), args[2]
+	for _, in := range []term.Term{xs, ys} {
+		switch {
+		case term.IsEmptyList(in):
+		default:
+			if _, _, ok := term.IsCons(in); ok {
+				continue
+			}
+			if _, ok := in.(*term.Var); ok {
+				continue
+			}
+			return 1, nil, fmt.Errorf("merge/3: not a stream: %s", term.Sprint(in))
+		}
+	}
+	forward := func(stream term.Term, other term.Term) (int64, []*term.Var, error) {
+		head, tail, _ := term.IsCons(stream)
+		z1 := rt.heap.NewVar("Zs")
+		zv, ok := term.Walk(zs).(*term.Var)
+		if !ok {
+			return 1, nil, fmt.Errorf("merge/3: output already bound to %s", term.Sprint(zs))
+		}
+		if err := rt.Bind(p, zv, term.Cons(head, z1)); err != nil {
+			return 1, nil, err
+		}
+		// Respawn with the inputs swapped for fairness.
+		rt.mach.Enqueue(p, &Process{Goal: term.NewCompound("merge", other, tail, z1), Proc: p})
+		return 1, nil, nil
+	}
+
+	if _, _, ok := term.IsCons(xs); ok {
+		return forward(xs, ys)
+	}
+	if _, _, ok := term.IsCons(ys); ok {
+		return forward(ys, xs)
+	}
+	if term.IsEmptyList(xs) {
+		return 1, nil, rt.Unify(p, zs, ys)
+	}
+	if term.IsEmptyList(ys) {
+		return 1, nil, rt.Unify(p, zs, xs)
+	}
+	// Both inputs unbound: wait for either.
+	var susp []*term.Var
+	if v, ok := xs.(*term.Var); ok {
+		susp = append(susp, v)
+	} else {
+		return 1, nil, fmt.Errorf("merge/3: not a stream: %s", term.Sprint(xs))
+	}
+	if v, ok := ys.(*term.Var); ok {
+		susp = append(susp, v)
+	} else {
+		return 1, nil, fmt.Errorf("merge/3: not a stream: %s", term.Sprint(ys))
+	}
+	return 0, susp, nil
+}
+
+// biSelf implements self(I): I is the 1-based language-level number of the
+// processor the calling process is executing on. Under the Server motif's
+// one-server-per-processor placement this is the server's own name.
+func biSelf(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	return 1, nil, bindInt(rt, p, args[0], int64(p+1))
+}
+
+// writeForm renders a term for write/1: strings print raw (no quotes),
+// everything else in source syntax.
+func writeForm(t term.Term) string {
+	if s, ok := term.Walk(t).(term.String_); ok {
+		return string(s)
+	}
+	return term.Sprint(term.Resolve(t))
+}
+
+// biWrite implements write(T).
+func biWrite(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	if rt.opts.Out != nil {
+		fmt.Fprint(rt.opts.Out, writeForm(args[0]))
+	}
+	return 1, nil, nil
+}
+
+// biWriteln implements writeln(T).
+func biWriteln(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	if rt.opts.Out != nil {
+		fmt.Fprintln(rt.opts.Out, writeForm(args[0]))
+	}
+	return 1, nil, nil
+}
+
+// biNl implements nl.
+func biNl(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	if rt.opts.Out != nil {
+		fmt.Fprintln(rt.opts.Out)
+	}
+	return 1, nil, nil
+}
+
+// biTrue implements the empty goal.
+func biTrue(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, error) {
+	return 1, nil, nil
+}

@@ -1,0 +1,299 @@
+package strand
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func TestTypeGuards(t *testing.T) {
+	src := `
+t_integer(X, R) :- integer(X) | R := yes.
+t_number(X, R) :- number(X) | R := yes.
+t_atom(X, R) :- atom(X) | R := yes.
+t_string(X, R) :- string(X) | R := yes.
+t_list(X, R) :- list(X) | R := yes.
+t_tuple(X, R) :- tuple(X) | R := yes.
+t_compound(X, R) :- compound(X) | R := yes.
+t_data(X, R) :- data(X) | R := yes.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	cases := []struct {
+		pred string
+		arg  string
+		ok   bool
+	}{
+		{"t_integer", "3", true},
+		{"t_integer", "3.5", false},
+		{"t_number", "3.5", true},
+		{"t_number", "foo", false},
+		{"t_atom", "foo", true},
+		{"t_atom", "3", false},
+		{"t_string", `"s"`, true},
+		{"t_string", "foo", false},
+		{"t_list", "[1,2]", true},
+		{"t_list", "[]", true},
+		{"t_list", "{1}", false},
+		{"t_tuple", "{1,2}", true},
+		{"t_tuple", "{}", true},
+		{"t_tuple", "[1]", false},
+		{"t_compound", "f(1)", true},
+		{"t_compound", "foo", false},
+		{"t_data", "anything", true},
+	}
+	for _, c := range cases {
+		rt := New(prog, h, Options{Procs: 1, Seed: 1})
+		r := h.NewVar("R")
+		arg := parser.MustParseTerm(h, c.arg)
+		rt.Spawn(term.NewCompound(c.pred, arg, r), 0)
+		_, err := rt.Run()
+		if c.ok {
+			if err != nil {
+				t.Errorf("%s(%s): %v", c.pred, c.arg, err)
+			} else if term.Sprint(term.Walk(r)) != "yes" {
+				t.Errorf("%s(%s): R = %s", c.pred, c.arg, term.Sprint(r))
+			}
+		} else if err == nil {
+			t.Errorf("%s(%s): expected guard failure", c.pred, c.arg)
+		}
+	}
+}
+
+func TestUnknownGuard(t *testing.T) {
+	// unknown(X) is the nonmonotonic test: true of a currently-unbound var.
+	src := `
+probe(X, R) :- unknown(X) | R := unbound.
+probe(X, R) :- data(X) | R := bound.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	r := h.NewVar("R")
+	x := h.NewVar("X")
+	rt.Spawn(term.NewCompound("probe", x, r), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Sprint(term.Walk(r)) != "unbound" {
+		t.Fatalf("R = %s", term.Sprint(r))
+	}
+
+	rt = New(prog, h, Options{Procs: 1, Seed: 1})
+	r2 := h.NewVar("R")
+	rt.Spawn(term.NewCompound("probe", term.Int(1), r2), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Sprint(term.Walk(r2)) != "bound" {
+		t.Fatalf("R = %s", term.Sprint(r2))
+	}
+}
+
+func TestDataGuardSuspends(t *testing.T) {
+	src := `
+main(R) :- waiter(X, R), feed(X).
+waiter(X, R) :- data(X) | R := got(X).
+feed(X) :- X := 42.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	r := h.NewVar("R")
+	rt.Spawn(term.NewCompound("main", r), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Sprint(term.Resolve(r)) != "got(42)" {
+		t.Fatalf("R = %s", term.Sprint(term.Resolve(r)))
+	}
+}
+
+func TestGroundGuardOnGroundTerm(t *testing.T) {
+	src := `g(X, R) :- ground(X) | R := ok.`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	r := h.NewVar("R")
+	rt.Spawn(term.NewCompound("g", parser.MustParseTerm(h, "f([1,2],{a})"), r), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Sprint(term.Walk(r)) != "ok" {
+		t.Fatalf("R = %s", term.Sprint(r))
+	}
+}
+
+func TestSelfBuiltin(t *testing.T) {
+	src := `
+main(A, B) :- self(A), probe(B)@3.
+probe(B) :- self(B).
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 4, Seed: 1})
+	a, b := h.NewVar("A"), h.NewVar("B")
+	rt.Spawn(term.NewCompound("main", a, b), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Walk(a) != term.Term(term.Int(1)) {
+		t.Fatalf("A = %s, want 1", term.Sprint(a))
+	}
+	if term.Walk(b) != term.Term(term.Int(3)) {
+		t.Fatalf("B = %s, want 3", term.Sprint(b))
+	}
+}
+
+func TestCloseChannels(t *testing.T) {
+	src := `
+main(Log) :- make_channels(2, DT),
+             channel_stream(1, DT, In),
+             drain(In, Log),
+             distribute(1, DT, a),
+             distribute(1, DT, b),
+             close_channels(DT).
+drain([X|Xs], Log) :- Log := [X|Log1], drain(Xs, Log1).
+drain([], Log) :- Log := [].
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 2, Seed: 1})
+	log := h.NewVar("Log")
+	rt.Spawn(term.NewCompound("main", log), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := term.Sprint(term.Resolve(log)); got != "[a,b]" {
+		t.Fatalf("Log = %s", got)
+	}
+}
+
+func TestTrueGoalInBody(t *testing.T) {
+	res, _, err := tryRunSrc("main :- check.\ncheck :- true, deeper.\ndeeper.", "main", Options{Procs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuspendedAtEnd != 0 {
+		t.Fatal("suspended")
+	}
+}
+
+func TestTrueAsSpawnedGoal(t *testing.T) {
+	// `true` spawned explicitly as a process (not stripped by the parser).
+	h := term.NewHeap()
+	prog := parser.MustParse(h, "p(1).")
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	rt.Spawn(term.Atom("true"), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWatchGaugeInStrand(t *testing.T) {
+	src := `
+main :- slowpair(A, B), useit(A, B).
+slowpair(A, B) :- A := 1, B := 2.
+useit(A, B) :- data(A) | done(A, B).
+done(_, _).
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 1, Seed: 1, Watch: []string{"useit/2"}})
+	rt.Spawn(term.Atom("main"), 0)
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks, ok := res.PeakLive["useit/2"]
+	if !ok || len(peaks) != 1 {
+		t.Fatalf("PeakLive = %v", res.PeakLive)
+	}
+	if peaks[0] != 1 {
+		t.Fatalf("useit peak = %d", peaks[0])
+	}
+}
+
+func TestRuntimeAccessors(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, "p(1).")
+	rt := New(prog, h, Options{Procs: 3, Seed: 1})
+	if rt.Machine().Procs() != 3 {
+		t.Fatal("Machine accessor broken")
+	}
+	if rt.Heap() != h {
+		t.Fatal("Heap accessor broken")
+	}
+}
+
+func TestDeadlockErrorMessage(t *testing.T) {
+	_, _, err := tryRunSrc("main :- q(X).\nq(1).", "main", Options{Procs: 1})
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(de.Error(), "deadlock") || de.Total != 1 {
+		t.Fatalf("message = %q, total = %d", de.Error(), de.Total)
+	}
+}
+
+func TestGuardErrors(t *testing.T) {
+	cases := []string{
+		"main :- bogus_guard(1) | p.\np.",
+		"main :- nonsense | p.\np.",
+	}
+	for _, src := range cases {
+		if _, _, err := tryRunSrc(src, "main", Options{Procs: 1}); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestOtherwiseGuard(t *testing.T) {
+	src := `
+pick(X, R) :- X > 10 | R := big.
+pick(_, R) :- otherwise | R := small.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	for _, c := range []struct {
+		x    int64
+		want string
+	}{{20, "big"}, {3, "small"}} {
+		rt := New(prog, h, Options{Procs: 1, Seed: 1})
+		r := h.NewVar("R")
+		rt.Spawn(term.NewCompound("pick", term.Int(c.x), r), 0)
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if term.Sprint(term.Walk(r)) != c.want {
+			t.Fatalf("pick(%d) = %s", c.x, term.Sprint(r))
+		}
+	}
+}
+
+func TestTupleBuiltinErrors(t *testing.T) {
+	cases := []string{
+		"main :- make_tuple(-1, T).",
+		"main :- make_tuple(2, T), put_arg(5, T, x).",
+		"main :- make_tuple(2, T), get_arg(0, T, V).",
+		"main :- put_arg(1, notatuple, x).",
+		"main :- length(3, N).",
+		"main :- rand_num(0, R).",
+	}
+	for _, src := range cases {
+		if _, _, err := tryRunSrc(src, "main", Options{Procs: 1}); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestPutArgTwiceFails(t *testing.T) {
+	src := "main :- make_tuple(1, T), put_arg(1, T, a), put_arg(1, T, b)."
+	if _, _, err := tryRunSrc(src, "main", Options{Procs: 1}); err == nil {
+		t.Fatal("double put_arg should fail")
+	}
+}

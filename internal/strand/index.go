@@ -1,0 +1,129 @@
+package strand
+
+import (
+	"fmt"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// defIndex accelerates rule selection with first-argument indexing, the
+// classic committed-choice implementation technique: a goal whose first
+// argument is bound can only commit to (or suspend on) rules whose first
+// head argument is a variable or has the same principal functor, so the
+// interpreter skips — without renaming or matching — rules that would
+// definitely fail.
+//
+// Semantics are unchanged: skipped rules would have produced MatchNo, which
+// contributes neither bindings nor suspension variables.
+type defIndex struct {
+	// rules is the full definition in clause order.
+	rules []*parser.Rule
+	// indexable is false when the definition cannot be indexed (zero-arity
+	// heads, or heads that are not compounds).
+	indexable bool
+	// pos[i] is the clause position of rules[i] (used for stable merges).
+	byKey map[string][]indexedRule
+	// varRules are the rules whose first head argument is a variable; they
+	// are candidates for every goal.
+	varRules []indexedRule
+	// merged caches the stable merge of byKey[key] and varRules.
+	merged map[string][]*parser.Rule
+	// varOnly is the candidate list for keys with no dedicated bucket.
+	varOnly []*parser.Rule
+}
+
+type indexedRule struct {
+	rule *parser.Rule
+	pos  int
+}
+
+// firstArgKey classifies a (dereferenced) term for indexing. ok=false means
+// the term is an unbound variable (or a port) and cannot be indexed.
+func firstArgKey(t term.Term) (string, bool) {
+	switch x := t.(type) {
+	case term.Atom:
+		return "a:" + string(x), true
+	case term.Int:
+		return fmt.Sprintf("i:%d", int64(x)), true
+	case term.Float:
+		return fmt.Sprintf("f:%g", float64(x)), true
+	case term.String_:
+		return "s:" + string(x), true
+	case *term.Compound:
+		return "c:" + x.Indicator(), true
+	default:
+		return "", false
+	}
+}
+
+// newDefIndex builds the index for one definition.
+func newDefIndex(rules []*parser.Rule) *defIndex {
+	ix := &defIndex{
+		rules:     rules,
+		indexable: true,
+		byKey:     map[string][]indexedRule{},
+		merged:    map[string][]*parser.Rule{},
+	}
+	for pos, r := range rules {
+		args := r.HeadArgs()
+		if len(args) == 0 {
+			ix.indexable = false
+			return ix
+		}
+		first := term.Walk(args[0])
+		key, ok := firstArgKey(first)
+		if !ok {
+			// Variable first argument: candidate for everything.
+			ix.varRules = append(ix.varRules, indexedRule{r, pos})
+			continue
+		}
+		ix.byKey[key] = append(ix.byKey[key], indexedRule{r, pos})
+	}
+	ix.varOnly = make([]*parser.Rule, len(ix.varRules))
+	for i, vr := range ix.varRules {
+		ix.varOnly[i] = vr.rule
+	}
+	return ix
+}
+
+// candidates returns the rules a goal with the given arguments can reduce
+// with, in clause order.
+func (ix *defIndex) candidates(args []term.Term) []*parser.Rule {
+	if !ix.indexable || len(args) == 0 {
+		return ix.rules
+	}
+	first := term.Walk(args[0])
+	key, ok := firstArgKey(first)
+	if !ok {
+		// Unbound first argument: every rule may suspend or commit.
+		return ix.rules
+	}
+	bucket, has := ix.byKey[key]
+	if !has {
+		return ix.varOnly
+	}
+	if m, done := ix.merged[key]; done {
+		return m
+	}
+	// Stable merge of bucket and varRules by clause position.
+	out := make([]*parser.Rule, 0, len(bucket)+len(ix.varRules))
+	i, j := 0, 0
+	for i < len(bucket) && j < len(ix.varRules) {
+		if bucket[i].pos < ix.varRules[j].pos {
+			out = append(out, bucket[i].rule)
+			i++
+		} else {
+			out = append(out, ix.varRules[j].rule)
+			j++
+		}
+	}
+	for ; i < len(bucket); i++ {
+		out = append(out, bucket[i].rule)
+	}
+	for ; j < len(ix.varRules); j++ {
+		out = append(out, ix.varRules[j].rule)
+	}
+	ix.merged[key] = out
+	return out
+}

@@ -1,0 +1,145 @@
+package strand
+
+import (
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+func TestFirstArgKey(t *testing.T) {
+	h := term.NewHeap()
+	cases := []struct {
+		t   term.Term
+		key string
+		ok  bool
+	}{
+		{term.Atom("foo"), "a:foo", true},
+		{term.Int(3), "i:3", true},
+		{term.Float(1.5), "f:1.5", true},
+		{term.String_("s"), "s:s", true},
+		{term.NewCompound("f", term.Int(1)), "c:f/1", true},
+		{h.NewVar("X"), "", false},
+	}
+	for _, c := range cases {
+		key, ok := firstArgKey(c.t)
+		if key != c.key || ok != c.ok {
+			t.Errorf("firstArgKey(%s) = %q,%v want %q,%v", term.Sprint(c.t), key, ok, c.key, c.ok)
+		}
+	}
+}
+
+func TestDefIndexCandidates(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, `
+p(foo, 1).
+p(X, 2) :- data(X) | true.
+p(bar, 3).
+p(f(_), 4).
+`)
+	ix := newDefIndex(prog.Rules)
+	if !ix.indexable {
+		t.Fatal("definition should be indexable")
+	}
+	// Goal p(foo, R): candidates = rule1 (foo) + rule2 (var), in order.
+	cands := ix.candidates([]term.Term{term.Atom("foo"), h.NewVar("R")})
+	if len(cands) != 2 {
+		t.Fatalf("candidates for foo = %d", len(cands))
+	}
+	if cands[0] != prog.Rules[0] || cands[1] != prog.Rules[1] {
+		t.Fatal("candidate order wrong")
+	}
+	// Goal p(f(9), R): rule2 (var) then rule4 (c:f/1) in clause order.
+	cands = ix.candidates([]term.Term{term.NewCompound("f", term.Int(9)), h.NewVar("R")})
+	if len(cands) != 2 || cands[0] != prog.Rules[1] || cands[1] != prog.Rules[3] {
+		t.Fatalf("candidates for f/1 wrong: %d", len(cands))
+	}
+	// Goal p(qux, R): only the var rule.
+	cands = ix.candidates([]term.Term{term.Atom("qux"), h.NewVar("R")})
+	if len(cands) != 1 || cands[0] != prog.Rules[1] {
+		t.Fatal("varOnly candidates wrong")
+	}
+	// Unbound first arg: all rules.
+	cands = ix.candidates([]term.Term{h.NewVar("X"), h.NewVar("R")})
+	if len(cands) != 4 {
+		t.Fatalf("unbound candidates = %d", len(cands))
+	}
+	// Cached merge returns the same slice.
+	again := ix.candidates([]term.Term{term.Atom("foo"), h.NewVar("R")})
+	if &again[0] != &ix.merged["a:foo"][0] {
+		t.Fatal("merge not cached")
+	}
+}
+
+func TestDefIndexZeroArityNotIndexable(t *testing.T) {
+	h := term.NewHeap()
+	prog := parser.MustParse(h, "p.\np :- q.\nq.")
+	ix := newDefIndex(prog.Definition("p/0"))
+	if ix.indexable {
+		t.Fatal("zero-arity definition marked indexable")
+	}
+	if len(ix.candidates(nil)) != 2 {
+		t.Fatal("candidates should be all rules")
+	}
+}
+
+// TestIndexingSemanticsUnchanged runs a representative suite of programs
+// with and without indexing and compares observable results.
+func TestIndexingSemanticsUnchanged(t *testing.T) {
+	programs := []struct {
+		src, goal string
+		resultVar int // index of the result variable in the goal args
+		arity     int
+	}{
+		{`
+classify(0, R) :- R := zero.
+classify(N, R) :- N > 0 | R := pos.
+classify(N, R) :- N < 0 | R := neg.
+main(R) :- classify(-7, R).
+`, "main", 0, 1},
+		{`
+app([X|Xs], Ys, Zs) :- Zs := [X|Zs1], app(Xs, Ys, Zs1).
+app([], Ys, Zs) :- Zs := Ys.
+main(R) :- app([1,2], [3], R).
+`, "main", 0, 1},
+	}
+	for i, p := range programs {
+		results := map[bool]string{}
+		for _, disable := range []bool{false, true} {
+			h := term.NewHeap()
+			prog := parser.MustParse(h, p.src)
+			rt := New(prog, h, Options{Procs: 2, Seed: 1, DisableIndexing: disable})
+			args := make([]term.Term, p.arity)
+			for j := range args {
+				args[j] = h.NewVar("R")
+			}
+			rt.Spawn(term.NewCompound(p.goal, args...), 0)
+			if _, err := rt.Run(); err != nil {
+				t.Fatalf("program %d disable=%v: %v", i, disable, err)
+			}
+			results[disable] = term.Sprint(term.Resolve(args[p.resultVar]))
+		}
+		if results[false] != results[true] {
+			t.Fatalf("program %d: indexing changed result: %q vs %q",
+				i, results[false], results[true])
+		}
+	}
+}
+
+// TestIndexingReducesWork: with a 40-clause table definition, indexed
+// lookup must not clone/match all clauses. We observe this indirectly via
+// reductions being identical but wall time lower; here we just assert the
+// candidate list is a singleton.
+func TestIndexingReducesCandidates(t *testing.T) {
+	h := term.NewHeap()
+	src := ""
+	for i := 0; i < 40; i++ {
+		src += "table(" + term.Int(int64(i)).String() + ", v" + term.Int(int64(i)).String() + ").\n"
+	}
+	prog := parser.MustParse(h, src)
+	ix := newDefIndex(prog.Rules)
+	cands := ix.candidates([]term.Term{term.Int(17), h.NewVar("V")})
+	if len(cands) != 1 {
+		t.Fatalf("candidates = %d, want 1", len(cands))
+	}
+}

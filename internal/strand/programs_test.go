@@ -1,0 +1,316 @@
+package strand
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// loadExample parses one of the shipped .str example programs.
+func loadExample(t *testing.T, name string) (*parser.Program, *term.Heap) {
+	t.Helper()
+	h := term.NewHeap()
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "strand", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := parser.Parse(h, string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, h
+}
+
+func TestExamplePrimesSieve(t *testing.T) {
+	prog, h := loadExample(t, "primes.str")
+	var out bytes.Buffer
+	rt := New(prog, h, Options{Procs: 1, Seed: 1, Out: &out})
+	ps := h.NewVar("Ps")
+	rt.Spawn(term.NewCompound("primes", term.Int(30), ps), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	elems, ok := term.ListSlice(ps)
+	if !ok {
+		t.Fatalf("primes not a list: %s", term.Sprint(ps))
+	}
+	want := []int64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	if len(elems) != len(want) {
+		t.Fatalf("primes = %s", term.Sprint(term.Resolve(ps)))
+	}
+	for i, w := range want {
+		if term.Walk(elems[i]) != term.Term(term.Int(w)) {
+			t.Fatalf("primes[%d] = %s, want %d", i, term.Sprint(elems[i]), w)
+		}
+	}
+}
+
+func TestExamplePrimesMain(t *testing.T) {
+	prog, h := loadExample(t, "primes.str")
+	var out bytes.Buffer
+	rt := New(prog, h, Options{Procs: 1, Seed: 1, Out: &out})
+	rt.Spawn(term.NewCompound("main", term.Int(20)), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "19") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestExampleFig1(t *testing.T) {
+	prog, h := loadExample(t, "fig1.str")
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	rt.Spawn(term.NewCompound("go", term.Int(10)), 0)
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuspendedAtEnd != 0 {
+		t.Fatal("fig1 did not terminate cleanly")
+	}
+}
+
+func TestExampleRing(t *testing.T) {
+	prog, h := loadExample(t, "ring.str")
+	rt := New(prog, h, Options{Procs: 4, Seed: 1})
+	count := h.NewVar("C")
+	rt.Spawn(term.NewCompound("main", term.Int(4), term.Int(3), count), 0)
+	res, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if term.Walk(count) != term.Term(term.Int(12)) {
+		t.Fatalf("count = %s, want 12", term.Sprint(count))
+	}
+	// The token visited every processor.
+	for p, r := range res.Metrics.Reductions {
+		if r == 0 {
+			t.Fatalf("processor %d never held the token: %v", p, res.Metrics.Reductions)
+		}
+	}
+	// 12 hops, each shipped to another processor (except self-hops: none
+	// with 4 procs and mod-ring): 11 messages after the first local spawn.
+	if res.Metrics.Messages < 10 {
+		t.Fatalf("messages = %d", res.Metrics.Messages)
+	}
+}
+
+func TestArithGuardEquality(t *testing.T) {
+	// The sieve's guards: arithmetic ==/=\= over mod expressions.
+	src := `
+check(I, P, R) :- I mod P == 0 | R := divides.
+check(I, P, R) :- I mod P =\= 0 | R := coprime.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	for _, c := range []struct {
+		i, p int64
+		want string
+	}{{6, 3, "divides"}, {7, 3, "coprime"}} {
+		rt := New(prog, h, Options{Procs: 1, Seed: 1})
+		r := h.NewVar("R")
+		rt.Spawn(term.NewCompound("check", term.Int(c.i), term.Int(c.p), r), 0)
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := term.Sprint(term.Walk(r)); got != c.want {
+			t.Fatalf("check(%d,%d) = %s, want %s", c.i, c.p, got, c.want)
+		}
+	}
+}
+
+func TestStructuralGuardEquality(t *testing.T) {
+	src := `
+same(X, Y, R) :- X == Y | R := yes.
+same(X, Y, R) :- X =\= Y | R := no.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	cases := []struct {
+		x, y string
+		want string
+	}{
+		{"foo", "foo", "yes"},
+		{"foo", "bar", "no"},
+		{"f(1,a)", "f(1,a)", "yes"},
+		{"f(1,a)", "f(2,a)", "no"},
+		{"3", "3", "yes"},
+		{"3", "1 + 2", "yes"}, // arithmetic equality
+	}
+	for _, c := range cases {
+		rt := New(prog, h, Options{Procs: 1, Seed: 1})
+		r := h.NewVar("R")
+		x := parser.MustParseTerm(h, c.x)
+		y := parser.MustParseTerm(h, c.y)
+		rt.Spawn(term.NewCompound("same", x, y, r), 0)
+		if _, err := rt.Run(); err != nil {
+			t.Fatalf("same(%s,%s): %v", c.x, c.y, err)
+		}
+		if got := term.Sprint(term.Walk(r)); got != c.want {
+			t.Fatalf("same(%s,%s) = %s, want %s", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestGuardEqualitySameUnboundVar(t *testing.T) {
+	// X == X holds even while X is unbound (identity).
+	src := `
+refl(X, R) :- X == X | R := yes.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	r := h.NewVar("R")
+	x := h.NewVar("X")
+	rt.Spawn(term.NewCompound("refl", x, r), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Sprint(term.Walk(r)) != "yes" {
+		t.Fatalf("R = %s", term.Sprint(r))
+	}
+}
+
+func TestUnifyBuiltin(t *testing.T) {
+	src := `
+main(A, B, R) :- f(A, g(B)) = f(1, g(2)), R := ok.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	a, b, r := h.NewVar("A"), h.NewVar("B"), h.NewVar("R")
+	rt.Spawn(term.NewCompound("main", a, b, r), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Walk(a) != term.Term(term.Int(1)) || term.Walk(b) != term.Term(term.Int(2)) {
+		t.Fatalf("A=%s B=%s", term.Sprint(a), term.Sprint(b))
+	}
+}
+
+func TestUnifyMismatchFails(t *testing.T) {
+	_, _, err := tryRunSrc("main :- f(1) = g(1).", "main", Options{Procs: 1})
+	if err == nil || !strings.Contains(err.Error(), "unify") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGetArgPatternUnification(t *testing.T) {
+	src := `
+main(P, S) :- T := {node(op('+'), 3, l), node(leaf(9), 1, r)},
+              get_arg(1, T, node(_, P, _)),
+              get_arg(2, T, node(leaf(V), _, _)),
+              S := V.
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	p, s := h.NewVar("P"), h.NewVar("S")
+	rt.Spawn(term.NewCompound("main", p, s), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Walk(p) != term.Term(term.Int(3)) || term.Walk(s) != term.Term(term.Int(9)) {
+		t.Fatalf("P=%s S=%s", term.Sprint(p), term.Sprint(s))
+	}
+}
+
+func TestArithErrors(t *testing.T) {
+	cases := []string{
+		"main :- X is 1 / 0.",
+		"main :- X is 1 mod 0.",
+		"main :- X is foo + 1.",
+	}
+	for _, src := range cases {
+		if _, _, err := tryRunSrc(src, "main", Options{Procs: 1}); err == nil {
+			t.Errorf("%q should fail", src)
+		}
+	}
+}
+
+func TestArithFloatsAndOps(t *testing.T) {
+	src := `
+main(A, B, C, D, E) :-
+    A is 7 // 2,
+    B is 7 mod 2,
+    C is 1.5 * 2,
+    D is min(3, 8),
+    E is max(3.5, 1).
+`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	vars := make([]*term.Var, 5)
+	args := make([]term.Term, 5)
+	for i := range vars {
+		vars[i] = h.NewVar("V")
+		args[i] = vars[i]
+	}
+	rt.Spawn(term.NewCompound("main", args...), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []term.Term{term.Int(3), term.Int(1), term.Float(3), term.Int(3), term.Float(3.5)}
+	for i, w := range want {
+		if !term.Equal(vars[i], w) {
+			t.Fatalf("arg %d = %s, want %s", i, term.Sprint(vars[i]), term.Sprint(w))
+		}
+	}
+}
+
+func TestDivisionPromotesToFloat(t *testing.T) {
+	src := `main(A, B) :- A is 6 / 3, B is 7 / 2.`
+	h := term.NewHeap()
+	prog := parser.MustParse(h, src)
+	rt := New(prog, h, Options{Procs: 1, Seed: 1})
+	a, b := h.NewVar("A"), h.NewVar("B")
+	rt.Spawn(term.NewCompound("main", a, b), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if term.Walk(a) != term.Term(term.Int(2)) {
+		t.Fatalf("6/3 = %s", term.Sprint(a))
+	}
+	if term.Walk(b) != term.Term(term.Float(3.5)) {
+		t.Fatalf("7/2 = %s", term.Sprint(b))
+	}
+}
+
+func TestExampleQsort(t *testing.T) {
+	prog, h := loadExample(t, "qsort.str")
+	rt := New(prog, h, Options{Procs: 2, Seed: 1})
+	r := h.NewVar("R")
+	rt.Spawn(term.NewCompound("qsort",
+		parser.MustParseTerm(h, "[4,1,3,2]"), r), 0)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := term.Sprint(term.Resolve(r)); got != "[1,2,3,4]" {
+		t.Fatalf("sorted = %s", got)
+	}
+}
+
+func TestExampleQsortDuplicatesAndEmpty(t *testing.T) {
+	prog, h := loadExample(t, "qsort.str")
+	for _, c := range []struct{ in, want string }{
+		{"[]", "[]"},
+		{"[7]", "[7]"},
+		{"[2,2,1,2]", "[1,2,2,2]"},
+	} {
+		rt := New(prog, h, Options{Procs: 1, Seed: 1})
+		r := h.NewVar("R")
+		rt.Spawn(term.NewCompound("qsort", parser.MustParseTerm(h, c.in), r), 0)
+		if _, err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got := term.Sprint(term.Resolve(r)); got != c.want {
+			t.Fatalf("qsort(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,566 @@
+package strand
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// Process is one lightweight process in the pool: a goal plus its home
+// processor (0-based machine index).
+type Process struct {
+	Goal term.Term
+	Proc int
+	// watch is the indicator this process is gauged under ("" if unwatched).
+	watch string
+}
+
+func (p *Process) String() string {
+	return fmt.Sprintf("%s@p%d", term.Sprint(p.Goal), p.Proc)
+}
+
+// suspension is the record registered on each variable a suspended process
+// waits for. A process may wait on several variables; the first binding
+// wins and the woken flag keeps later bindings from re-enqueueing it.
+type suspension struct {
+	proc  *Process
+	woken bool
+}
+
+// NativeFn is a foreign predicate implemented in Go — the paper's
+// "multilingual approach", in which computationally intensive components are
+// written in a low-level language and composed by the high-level language.
+// It may bind variables via rt.Bind. It returns the reduction's cost in
+// machine cycles (0 means 1), the variables to suspend on (nil if it ran),
+// and an error for unrecoverable failures.
+type NativeFn func(rt *Runtime, p int, args []term.Term) (cost int64, susp []*term.Var, err error)
+
+// Options configures a Runtime.
+type Options struct {
+	// Machine configuration.
+	Procs       int
+	Seed        int64
+	MessageCost int64
+	// MaxCycles guards against livelock; 0 uses a large default.
+	MaxCycles int64
+	// Out receives the output of write/1, writeln/1 and nl/0. Nil discards.
+	Out io.Writer
+	// Trace, if non-nil, receives one line per reduction (very verbose).
+	Trace io.Writer
+	// CostFn, if non-nil, gives the cycle cost of committing a reduction of
+	// the given goal (indicator form "name/arity"); return 0 for default 1.
+	// It lets experiments model non-uniform node-evaluation times.
+	CostFn func(indicator string, goal term.Term) int64
+	// Natives maps "name/arity" to foreign predicates.
+	Natives map[string]NativeFn
+	// AllowSuspendedAtEnd suppresses the deadlock error when the machine
+	// goes idle with suspended processes remaining (e.g. server networks
+	// that are never sent halt).
+	AllowSuspendedAtEnd bool
+	// DisableIndexing turns off first-argument indexing of rule selection
+	// (for the indexing ablation benchmark); semantics are identical.
+	DisableIndexing bool
+	// Watch lists indicators ("name/arity") whose live process counts are
+	// gauged per processor: a watched process counts as live from the cycle
+	// it is spawned until the reduction that completes it (suspensions keep
+	// it live). The per-processor peaks are reported in Result.PeakLive —
+	// the paper's memory-pressure measure for Tree-Reduce-1 vs -2.
+	Watch []string
+}
+
+// Runtime executes a program on a simulated machine.
+type Runtime struct {
+	prog *parser.Program
+	mach *machine.Machine
+	heap *term.Heap
+	opts Options
+
+	defs      map[string][]*parser.Rule
+	indexes   map[string]*defIndex
+	natives   map[string]NativeFn
+	portOwner map[*term.Port]int
+
+	nSuspended int
+	suspSample map[*Process]bool // live suspended processes, for diagnostics
+	runErr     error
+	reductions int64
+
+	watchSet map[string]bool
+	live     map[string][]int64
+	peakLive map[string][]int64
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Metrics *machine.Metrics
+	// Reductions is the total number of process reductions performed
+	// (including builtins).
+	Reductions int64
+	// SuspendedAtEnd is the number of processes still suspended when the
+	// machine went idle (0 for a fully terminated computation).
+	SuspendedAtEnd int
+	// PeakLive maps each watched indicator to its per-processor peak live
+	// process count (see Options.Watch).
+	PeakLive map[string][]int64
+	// PortTraffic is the per-processor count of messages sent into that
+	// processor's server inbox (see Runtime.PortTraffic).
+	PortTraffic []int64
+}
+
+// DeadlockError reports a run that went idle with suspended processes.
+type DeadlockError struct {
+	Suspended []string
+	Total     int
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("deadlock: %d suspended processes at end, e.g. %s",
+		e.Total, strings.Join(e.Suspended, "; "))
+}
+
+// New creates a runtime for prog. The heap must be the one prog's variables
+// were allocated from (fresh renamings draw from it).
+func New(prog *parser.Program, h *term.Heap, opts Options) *Runtime {
+	if opts.Procs <= 0 {
+		opts.Procs = 1
+	}
+	maxCycles := opts.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 200_000_000
+	}
+	rt := &Runtime{
+		prog: prog,
+		mach: machine.New(machine.Config{
+			Procs:       opts.Procs,
+			Seed:        opts.Seed,
+			MessageCost: opts.MessageCost,
+			MaxCycles:   maxCycles,
+		}),
+		heap:       h,
+		opts:       opts,
+		defs:       map[string][]*parser.Rule{},
+		natives:    map[string]NativeFn{},
+		portOwner:  map[*term.Port]int{},
+		suspSample: map[*Process]bool{},
+	}
+	for _, r := range prog.Rules {
+		ind := r.HeadIndicator()
+		rt.defs[ind] = append(rt.defs[ind], r)
+	}
+	rt.indexes = map[string]*defIndex{}
+	if !opts.DisableIndexing {
+		for ind, rules := range rt.defs {
+			rt.indexes[ind] = newDefIndex(rules)
+		}
+	}
+	for name, fn := range opts.Natives {
+		rt.natives[name] = fn
+	}
+	rt.watchSet = map[string]bool{}
+	rt.live = map[string][]int64{}
+	rt.peakLive = map[string][]int64{}
+	for _, ind := range opts.Watch {
+		rt.watchSet[ind] = true
+		rt.live[ind] = make([]int64, rt.mach.Procs())
+		rt.peakLive[ind] = make([]int64, rt.mach.Procs())
+	}
+	return rt
+}
+
+// noteSpawn gauges a newly created process if its indicator is watched.
+func (rt *Runtime) noteSpawn(proc *Process) {
+	if len(rt.watchSet) == 0 {
+		return
+	}
+	ind, ok := goalIndicator(proc.Goal)
+	if !ok || !rt.watchSet[ind] {
+		return
+	}
+	proc.watch = ind
+	p := proc.Proc
+	rt.live[ind][p]++
+	if rt.live[ind][p] > rt.peakLive[ind][p] {
+		rt.peakLive[ind][p] = rt.live[ind][p]
+	}
+}
+
+// goalIndicator returns "name/arity" for a callable goal.
+func goalIndicator(g term.Term) (string, bool) {
+	switch x := term.Walk(g).(type) {
+	case term.Atom:
+		return string(x) + "/0", true
+	case *term.Compound:
+		return x.Indicator(), true
+	default:
+		return "", false
+	}
+}
+
+// Machine exposes the underlying simulated machine (read-mostly: metrics,
+// clock, processor count).
+func (rt *Runtime) Machine() *machine.Machine { return rt.mach }
+
+// PortTraffic returns, per processor, the number of messages sent into
+// channels owned by that processor (the server-inbox traffic, regardless of
+// sender) — a finer-grained view than machine message counts, which also
+// include variable-binding wake-ups.
+func (rt *Runtime) PortTraffic() []int64 {
+	out := make([]int64, rt.mach.Procs())
+	for port, owner := range rt.portOwner {
+		out[owner] += int64(port.Sent())
+	}
+	return out
+}
+
+// Heap exposes the variable allocator.
+func (rt *Runtime) Heap() *term.Heap { return rt.heap }
+
+// RegisterNative installs a foreign predicate under "name/arity".
+func (rt *Runtime) RegisterNative(indicator string, fn NativeFn) {
+	rt.natives[indicator] = fn
+}
+
+// Spawn places goal as a new process on processor p (0-based).
+func (rt *Runtime) Spawn(goal term.Term, p int) {
+	proc := &Process{Goal: goal, Proc: p}
+	rt.noteSpawn(proc)
+	rt.mach.Enqueue(p, proc)
+}
+
+// Run executes until quiescence and returns the result. A process failure
+// (no matching rule), single-assignment violation, or unknown predicate
+// aborts the run with an error. Going idle with suspended processes is a
+// deadlock error unless AllowSuspendedAtEnd is set.
+func (rt *Runtime) Run() (*Result, error) {
+	for {
+		more, err := rt.mach.Step(rt.exec)
+		if err != nil {
+			return rt.result(), err
+		}
+		if rt.runErr != nil {
+			return rt.result(), rt.runErr
+		}
+		if !more {
+			break
+		}
+	}
+	res := rt.result()
+	if rt.nSuspended > 0 && !rt.opts.AllowSuspendedAtEnd {
+		var sample []string
+		for p := range rt.suspSample {
+			sample = append(sample, p.String())
+			if len(sample) >= 5 {
+				break
+			}
+		}
+		return res, &DeadlockError{Suspended: sample, Total: rt.nSuspended}
+	}
+	return res, nil
+}
+
+func (rt *Runtime) result() *Result {
+	peaks := map[string][]int64{}
+	for ind, xs := range rt.peakLive {
+		peaks[ind] = append([]int64(nil), xs...)
+	}
+	return &Result{
+		Metrics:        rt.mach.MetricsSnapshot(),
+		Reductions:     rt.reductions,
+		SuspendedAtEnd: rt.nSuspended,
+		PeakLive:       peaks,
+		PortTraffic:    rt.PortTraffic(),
+	}
+}
+
+// exec reduces one process; it is the machine's work-execution callback.
+func (rt *Runtime) exec(p int, t machine.Task) int64 {
+	proc := t.(*Process)
+	cost, suspended, err := rt.reduce(p, proc)
+	if err != nil && rt.runErr == nil {
+		rt.runErr = fmt.Errorf("process %s: %w", proc.String(), err)
+	}
+	if !suspended && proc.watch != "" {
+		rt.live[proc.watch][proc.Proc]--
+	}
+	rt.reductions++
+	return cost
+}
+
+// suspend parks proc on the given variables (deduplicated).
+func (rt *Runtime) suspend(proc *Process, vars []*term.Var) {
+	s := &suspension{proc: proc}
+	seen := map[*term.Var]bool{}
+	registered := false
+	for _, v := range vars {
+		v = mustVar(term.Walk(v))
+		if v == nil || seen[v] {
+			continue
+		}
+		seen[v] = true
+		v.AddWaiter(s)
+		registered = true
+	}
+	if !registered {
+		// All the "needed" vars got bound in the meantime; retry promptly.
+		rt.mach.Enqueue(proc.Proc, proc)
+		return
+	}
+	rt.nSuspended++
+	rt.suspSample[proc] = true
+	if rt.opts.Trace != nil {
+		fmt.Fprintf(rt.opts.Trace, "[%6d] p%d SUSPEND %s\n", rt.mach.Now(), proc.Proc, term.Sprint(proc.Goal))
+	}
+}
+
+func mustVar(t term.Term) *term.Var {
+	if v, ok := t.(*term.Var); ok && !v.Bound() {
+		return v
+	}
+	return nil
+}
+
+// wakeAll re-enqueues the processes behind the given suspension records.
+// fromProc is the processor performing the binding; viaPort suppresses
+// message accounting (the port send was already counted as the message).
+func (rt *Runtime) wakeAll(woken []any, fromProc int, viaPort bool) {
+	for _, w := range woken {
+		s, ok := w.(*suspension)
+		if !ok || s.woken {
+			continue
+		}
+		s.woken = true
+		rt.nSuspended--
+		delete(rt.suspSample, s.proc)
+		switch {
+		case s.proc.Proc != fromProc && !viaPort:
+			// The consumer reads a value produced on another processor:
+			// an inter-processor communication (counted and delayed).
+			rt.mach.Send(fromProc, s.proc.Proc, s.proc)
+		case s.proc.Proc != fromProc:
+			// Port delivery: the message itself was already counted by
+			// distribute, but the woken consumer still pays the latency.
+			rt.mach.EnqueueAfter(s.proc.Proc, s.proc, rt.opts.MessageCost)
+		default:
+			rt.mach.Enqueue(s.proc.Proc, s.proc)
+		}
+		if rt.opts.Trace != nil {
+			fmt.Fprintf(rt.opts.Trace, "[%6d] p%d WAKE %s\n", rt.mach.Now(), s.proc.Proc, term.Sprint(s.proc.Goal))
+		}
+	}
+}
+
+// Bind binds v to val on behalf of processor p, waking suspended processes.
+func (rt *Runtime) Bind(p int, v *term.Var, val term.Term) error {
+	woken, err := v.Bind(val)
+	if err != nil {
+		return err
+	}
+	rt.wakeAll(woken, p, false)
+	return nil
+}
+
+// Unify unifies a with b on behalf of processor p, binding unbound
+// variables on either side and waking their waiters. It fails (returns an
+// error) on a structural mismatch. Unlike head matching, unification never
+// suspends.
+func (rt *Runtime) Unify(p int, a, b term.Term) error {
+	a, b = term.Walk(a), term.Walk(b)
+	if a == b {
+		return nil
+	}
+	if v, ok := a.(*term.Var); ok {
+		return rt.Bind(p, v, b)
+	}
+	if v, ok := b.(*term.Var); ok {
+		return rt.Bind(p, v, a)
+	}
+	ac, aIsC := a.(*term.Compound)
+	bc, bIsC := b.(*term.Compound)
+	if aIsC && bIsC {
+		if ac.Functor != bc.Functor || len(ac.Args) != len(bc.Args) {
+			return fmt.Errorf("cannot unify %s with %s", term.Sprint(a), term.Sprint(b))
+		}
+		for i := range ac.Args {
+			if err := rt.Unify(p, ac.Args[i], bc.Args[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if term.Equal(a, b) {
+		return nil
+	}
+	return fmt.Errorf("cannot unify %s with %s", term.Sprint(a), term.Sprint(b))
+}
+
+// reduce performs one reduction attempt of proc on processor p. The second
+// result reports whether the process suspended (it remains live) rather
+// than completing.
+func (rt *Runtime) reduce(p int, proc *Process) (int64, bool, error) {
+	goal := term.Walk(proc.Goal)
+
+	var name string
+	var args []term.Term
+	switch g := goal.(type) {
+	case term.Atom:
+		name = string(g)
+	case *term.Compound:
+		name, args = g.Functor, g.Args
+	case *term.Var:
+		// A goal that is itself an unbound variable: wait for it.
+		rt.suspend(proc, []*term.Var{g})
+		return 1, true, nil
+	default:
+		return 1, false, fmt.Errorf("cannot call non-goal term %s", term.Sprint(goal))
+	}
+	ind := fmt.Sprintf("%s/%d", name, len(args))
+
+	if rt.opts.Trace != nil {
+		fmt.Fprintf(rt.opts.Trace, "[%6d] p%d REDUCE %s\n", rt.mach.Now(), p, term.Sprint(goal))
+	}
+
+	// Builtins first, then natives, then defined predicates.
+	if fn, ok := builtins[ind]; ok {
+		cost, susp, err := fn(rt, p, args)
+		if err != nil {
+			return 1, false, err
+		}
+		if susp != nil {
+			rt.suspend(proc, susp)
+			return 1, true, nil
+		}
+		if cost < 1 {
+			cost = 1
+		}
+		return cost, false, nil
+	}
+	if fn, ok := rt.natives[ind]; ok {
+		cost, susp, err := fn(rt, p, args)
+		if err != nil {
+			return 1, false, err
+		}
+		if susp != nil {
+			rt.suspend(proc, susp)
+			return 1, true, nil
+		}
+		if cost < 1 {
+			cost = 1
+		}
+		return cost, false, nil
+	}
+
+	rules, ok := rt.defs[ind]
+	if !ok {
+		return 1, false, fmt.Errorf("unknown process %s", ind)
+	}
+	if ix, indexed := rt.indexes[ind]; indexed {
+		rules = ix.candidates(args)
+	}
+
+	var allSusp []*term.Var
+	anySuspend := false
+	for _, r := range rules {
+		fresh := r.Clone(rt.heap)
+		b := term.Bindings{}
+		res, susp := term.Match(fresh.Head, goal, b)
+		switch res {
+		case term.MatchNo:
+			continue
+		case term.MatchSuspend:
+			anySuspend = true
+			allSusp = append(allSusp, susp...)
+			continue
+		}
+		// Head matched; evaluate guards.
+		st, gsusp, err := rt.evalGuards(fresh.Guards, b)
+		if err != nil {
+			return 1, false, fmt.Errorf("guard of %s: %w", ind, err)
+		}
+		switch st {
+		case guardFalse:
+			continue
+		case guardSuspend:
+			anySuspend = true
+			allSusp = append(allSusp, gsusp...)
+			continue
+		}
+		// Commit: replace the process by the rule body.
+		cost, err := rt.commit(p, proc, fresh, b, ind, goal)
+		return cost, false, err
+	}
+	if anySuspend {
+		rt.suspend(proc, allSusp)
+		return 1, true, nil
+	}
+	return 1, false, fmt.Errorf("no rule matches (failure) for %s", term.Sprint(goal))
+}
+
+func (rt *Runtime) evalGuards(guards []term.Term, b term.Bindings) (guardStatus, []*term.Var, error) {
+	for _, g := range guards {
+		st, susp, err := evalGuard(term.Subst(g, b))
+		if err != nil {
+			return guardFalse, nil, err
+		}
+		if st == guardFalse {
+			return guardFalse, nil, nil
+		}
+		if st == guardSuspend {
+			return guardSuspend, susp, nil
+		}
+	}
+	return guardTrue, nil, nil
+}
+
+// commit spawns the rule body's goals.
+func (rt *Runtime) commit(p int, proc *Process, rule *parser.Rule, b term.Bindings, ind string, goal term.Term) (int64, error) {
+	for _, bodyGoal := range rule.Body {
+		g := term.Subst(bodyGoal, b)
+		if err := rt.spawnGoal(p, g); err != nil {
+			return 1, err
+		}
+	}
+	cost := int64(1)
+	if rt.opts.CostFn != nil {
+		if c := rt.opts.CostFn(ind, goal); c > 0 {
+			cost = c
+		}
+	}
+	return cost, nil
+}
+
+// spawnGoal places one body goal in the pool, honouring @ placement
+// annotations. Placement targets are 1-based language-level processor
+// numbers, per the paper's rand_num(N,R) convention R in (1,N).
+func (rt *Runtime) spawnGoal(p int, g term.Term) error {
+	w := term.Walk(g)
+	if c, ok := w.(*term.Compound); ok && c.Functor == "@" && len(c.Args) == 2 {
+		// Defer placement resolution to a builtin process so that an
+		// unbound placement expression suspends rather than errors.
+		rt.mach.Enqueue(p, &Process{Goal: term.NewCompound("$spawn_at", c.Args[0], c.Args[1]), Proc: p})
+		return nil
+	}
+	if a, ok := w.(term.Atom); ok && a == "true" {
+		return nil
+	}
+	proc := &Process{Goal: w, Proc: p}
+	rt.noteSpawn(proc)
+	rt.mach.Enqueue(p, proc)
+	return nil
+}
+
+// shipProcess sends goal to language-level processor target (1-based),
+// counting the inter-processor message.
+func (rt *Runtime) shipProcess(from int, target int64, goal term.Term) error {
+	if target < 1 || target > int64(rt.mach.Procs()) {
+		return fmt.Errorf("placement target %d out of range 1..%d", target, rt.mach.Procs())
+	}
+	to := int(target - 1)
+	proc := &Process{Goal: goal, Proc: to}
+	rt.noteSpawn(proc)
+	rt.mach.Send(from, to, proc)
+	return nil
+}

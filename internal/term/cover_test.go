@@ -1,0 +1,240 @@
+package term
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	kinds := []Kind{KAtom, KInt, KFloat, KString, KVar, KCompound, KPort, Kind(99)}
+	wants := []string{"atom", "int", "float", "string", "var", "compound", "port", "kind(99)"}
+	for i, k := range kinds {
+		if k.String() != wants[i] {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), wants[i])
+		}
+	}
+}
+
+func TestScalarStrings(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{Int(-4), "-4"},
+		{Float(2.5), "2.5"},
+		{String_("hi\"x"), `"hi\"x"`},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCompoundHelpers(t *testing.T) {
+	c := NewCompound("f", Int(1), Int(2)).(*Compound)
+	if c.Arity() != 2 {
+		t.Fatalf("arity = %d", c.Arity())
+	}
+	if c.Indicator() != "f/2" {
+		t.Fatalf("indicator = %s", c.Indicator())
+	}
+	if c.String() != "f(1,2)" {
+		t.Fatalf("string = %s", c.String())
+	}
+}
+
+func TestMatchResultString(t *testing.T) {
+	for _, c := range []struct {
+		m    MatchResult
+		want string
+	}{{MatchYes, "yes"}, {MatchNo, "no"}, {MatchSuspend, "suspend"}, {MatchResult(7), "match(?)"}} {
+		if c.m.String() != c.want {
+			t.Errorf("%d.String() = %q", int(c.m), c.m.String())
+		}
+	}
+}
+
+func TestVarStringAndValue(t *testing.T) {
+	h := NewHeap()
+	named := h.NewVar("Foo")
+	if !strings.HasPrefix(named.String(), "Foo_") {
+		t.Fatalf("named var prints %q", named.String())
+	}
+	anon := &Var{ID: 7}
+	if anon.String() != "_G7" {
+		t.Fatalf("anon var prints %q", anon.String())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Value on unbound var should panic")
+		}
+	}()
+	_ = named.Value()
+}
+
+func TestHeapCount(t *testing.T) {
+	h := NewHeap()
+	h.NewVar("A")
+	h.NewVar("B")
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestErrAlreadyBoundMessage(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVar("X")
+	if _, err := v.Bind(Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := v.Bind(Int(2))
+	if err == nil || !strings.Contains(err.Error(), "single-assignment") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPortString(t *testing.T) {
+	h := NewHeap()
+	if got := NewPort(h, "x").String(); got != "<port:x>" {
+		t.Fatalf("named port = %q", got)
+	}
+	if got := NewPort(h, "").String(); got != "<port>" {
+		t.Fatalf("anon port = %q", got)
+	}
+}
+
+func TestPortCloseIdempotentAndEqual(t *testing.T) {
+	h := NewHeap()
+	p := NewPort(h, "c")
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	// Ports are equal only by identity.
+	q := NewPort(h, "c")
+	if Equal(p, q) {
+		t.Fatal("distinct ports compare equal")
+	}
+	if !Equal(p, p) {
+		t.Fatal("port not equal to itself")
+	}
+}
+
+func TestWriteAndSprintWith(t *testing.T) {
+	h := NewHeap()
+	x := h.NewVar("X")
+	tm := NewCompound("f", x, Int(1))
+	var b strings.Builder
+	Write(&b, tm)
+	if !strings.HasPrefix(b.String(), "f(X_") {
+		t.Fatalf("Write = %q", b.String())
+	}
+	names := NameVars(tm)
+	if got := SprintWith(tm, names); got != "f(X,1)" {
+		t.Fatalf("SprintWith = %q", got)
+	}
+}
+
+func TestNameVarsDisambiguation(t *testing.T) {
+	h := NewHeap()
+	a := h.NewVar("X")
+	b := h.NewVar("X")
+	c := h.NewVar("X1") // collides with the suffix scheme
+	names := NameVars(NewCompound("f", a, b, c))
+	seen := map[string]bool{}
+	for _, n := range []string{names[a], names[b], names[c]} {
+		if seen[n] {
+			t.Fatalf("duplicate display name %q in %v", n, names)
+		}
+		seen[n] = true
+	}
+}
+
+func TestNameVarsAnonymous(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVar("_")
+	names := NameVars(v)
+	if names[v] == "" || names[v] == "_" {
+		t.Fatalf("anonymous name = %q", names[v])
+	}
+}
+
+func TestSprintSlice(t *testing.T) {
+	got := SprintSlice([]Term{Int(1), Atom("a")})
+	if got != "[1, a]" {
+		t.Fatalf("SprintSlice = %q", got)
+	}
+}
+
+func TestMatchPortPattern(t *testing.T) {
+	h := NewHeap()
+	p := NewPort(h, "p")
+	res, _ := Match(p, p, Bindings{})
+	if res != MatchYes {
+		t.Fatalf("port self-match = %v", res)
+	}
+	res, _ = Match(p, NewPort(h, "q"), Bindings{})
+	if res != MatchNo {
+		t.Fatalf("distinct port match = %v", res)
+	}
+}
+
+func TestMatchKindMismatch(t *testing.T) {
+	res, _ := Match(Int(1), Atom("a"), Bindings{})
+	if res != MatchNo {
+		t.Fatalf("int~atom = %v", res)
+	}
+	res, _ = Match(Float(1), Float(2), Bindings{})
+	if res != MatchNo {
+		t.Fatalf("float mismatch = %v", res)
+	}
+	res, _ = Match(String_("a"), String_("a"), Bindings{})
+	if res != MatchYes {
+		t.Fatalf("string match = %v", res)
+	}
+}
+
+func TestMatchEqualDeepCompound(t *testing.T) {
+	h := NewHeap()
+	x := h.NewVar("X")
+	pat := NewCompound("f", x, x)
+	// Both occurrences capture compounds that must compare structurally.
+	res, _ := Match(pat, NewCompound("f", NewCompound("g", Int(1)), NewCompound("g", Int(1))), Bindings{})
+	if res != MatchYes {
+		t.Fatalf("deep nonlinear match = %v", res)
+	}
+	res, _ = Match(pat, NewCompound("f", NewCompound("g", Int(1)), NewCompound("g", Int(2))), Bindings{})
+	if res != MatchNo {
+		t.Fatalf("deep nonlinear mismatch = %v", res)
+	}
+	g := h.NewVar("G")
+	res, susp := Match(pat, NewCompound("f", NewCompound("g", Int(1)), NewCompound("g", g)), Bindings{})
+	if res != MatchSuspend || len(susp) == 0 {
+		t.Fatalf("deep nonlinear suspend = %v %v", res, susp)
+	}
+}
+
+func TestSubstThroughBoundVar(t *testing.T) {
+	h := NewHeap()
+	x := h.NewVar("X")
+	y := h.NewVar("Y")
+	if _, err := x.Bind(NewCompound("f", y)); err != nil {
+		t.Fatal(err)
+	}
+	out := Subst(x, Bindings{y: Int(3)})
+	if Sprint(out) != "f(3)" {
+		t.Fatalf("Subst through binding = %s", Sprint(out))
+	}
+}
+
+func TestResolveSharesGroundSubterms(t *testing.T) {
+	// Resolve must not copy fully-ground compounds (important for large
+	// trees shipped in messages).
+	ground := NewCompound("big", MkList(Int(1), Int(2), Int(3)))
+	if Resolve(ground) != Term(ground) {
+		t.Fatal("Resolve copied a ground term")
+	}
+}

@@ -1,0 +1,220 @@
+package term
+
+// MatchResult classifies an attempt to match a process's arguments against a
+// rule head: the match may succeed, definitively fail, or suspend because an
+// argument is not yet sufficiently instantiated to decide.
+type MatchResult int
+
+// Match outcomes.
+const (
+	// MatchYes: the head matches; bindings (head var -> goal subterm) were
+	// recorded in the supplied bindings map.
+	MatchYes MatchResult = iota
+	// MatchNo: the head can never match this goal.
+	MatchNo
+	// MatchSuspend: the decision needs the value of one or more currently
+	// unbound goal variables (returned in the suspend set).
+	MatchSuspend
+)
+
+func (m MatchResult) String() string {
+	switch m {
+	case MatchYes:
+		return "yes"
+	case MatchNo:
+		return "no"
+	case MatchSuspend:
+		return "suspend"
+	default:
+		return "match(?)"
+	}
+}
+
+// Bindings maps rule-head variables to goal subterms during matching. Head
+// variables are always fresh per rule renaming, so plain map assignment
+// suffices; repeated head variables require the matched subterms to be
+// equal (or suspend if that cannot yet be decided).
+type Bindings map[*Var]Term
+
+// Match performs one-way (input) matching of goal against pattern, the
+// dataflow-constraint semantics of rule heads in the language: non-variable
+// pattern positions demand corresponding instantiation in the goal — they
+// never bind goal variables. Pattern variables capture goal subterms into b.
+//
+// susp collects the unbound goal variables whose values are needed; it is
+// only meaningful when the result is MatchSuspend.
+func Match(pattern, goal Term, b Bindings) (MatchResult, []*Var) {
+	var susp []*Var
+	res := match(pattern, goal, b, &susp)
+	return res, susp
+}
+
+func match(pattern, goal Term, b Bindings, susp *[]*Var) MatchResult {
+	pattern = Walk(pattern)
+	goal = Walk(goal)
+
+	if pv, ok := pattern.(*Var); ok {
+		if old, seen := b[pv]; seen {
+			// Non-linear head: both occurrences must match the same value.
+			return matchEqual(old, goal, susp)
+		}
+		b[pv] = goal
+		return MatchYes
+	}
+
+	if gv, ok := goal.(*Var); ok {
+		// Goal insufficiently instantiated for a non-var pattern position.
+		*susp = append(*susp, gv)
+		return MatchSuspend
+	}
+
+	if pattern.Kind() != goal.Kind() {
+		return MatchNo
+	}
+	switch p := pattern.(type) {
+	case Atom:
+		if p == goal.(Atom) {
+			return MatchYes
+		}
+		return MatchNo
+	case Int:
+		if p == goal.(Int) {
+			return MatchYes
+		}
+		return MatchNo
+	case Float:
+		if p == goal.(Float) {
+			return MatchYes
+		}
+		return MatchNo
+	case String_:
+		if p == goal.(String_) {
+			return MatchYes
+		}
+		return MatchNo
+	case *Port:
+		if Term(p) == goal {
+			return MatchYes
+		}
+		return MatchNo
+	case *Compound:
+		g := goal.(*Compound)
+		if p.Functor != g.Functor || len(p.Args) != len(g.Args) {
+			return MatchNo
+		}
+		result := MatchYes
+		for i := range p.Args {
+			switch match(p.Args[i], g.Args[i], b, susp) {
+			case MatchNo:
+				return MatchNo
+			case MatchSuspend:
+				result = MatchSuspend
+			}
+		}
+		return result
+	default:
+		return MatchNo
+	}
+}
+
+// matchEqual checks whether two already-captured terms are equal, suspending
+// if unbound variables prevent the decision.
+func matchEqual(a, b Term, susp *[]*Var) MatchResult {
+	a, b = Walk(a), Walk(b)
+	if a == b {
+		return MatchYes
+	}
+	av, aIsVar := a.(*Var)
+	bv, bIsVar := b.(*Var)
+	if aIsVar || bIsVar {
+		if aIsVar {
+			*susp = append(*susp, av)
+		}
+		if bIsVar {
+			*susp = append(*susp, bv)
+		}
+		return MatchSuspend
+	}
+	if a.Kind() != b.Kind() {
+		return MatchNo
+	}
+	switch x := a.(type) {
+	case *Compound:
+		y := b.(*Compound)
+		if x.Functor != y.Functor || len(x.Args) != len(y.Args) {
+			return MatchNo
+		}
+		result := MatchYes
+		for i := range x.Args {
+			switch matchEqual(x.Args[i], y.Args[i], susp) {
+			case MatchNo:
+				return MatchNo
+			case MatchSuspend:
+				result = MatchSuspend
+			}
+		}
+		return result
+	default:
+		if Equal(a, b) {
+			return MatchYes
+		}
+		return MatchNo
+	}
+}
+
+// Subst returns a copy of t with pattern variables replaced according to b.
+// Variables not in b are preserved (they must be renamed beforehand if
+// freshness is required).
+func Subst(t Term, b Bindings) Term {
+	switch x := t.(type) {
+	case *Var:
+		if x.bound {
+			return Subst(Walk(x), b)
+		}
+		if val, ok := b[x]; ok {
+			return val
+		}
+		return x
+	case *Compound:
+		args := make([]Term, len(x.Args))
+		changed := false
+		for i, a := range x.Args {
+			args[i] = Subst(a, b)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return x
+		}
+		return &Compound{Functor: x.Functor, Args: args}
+	default:
+		return t
+	}
+}
+
+// Rename returns a copy of t in which every distinct unbound variable is
+// replaced by a fresh variable from h; the mapping is accumulated in seen so
+// that several terms (e.g. all parts of one rule) share one renaming.
+func Rename(t Term, h *Heap, seen map[*Var]*Var) Term {
+	switch x := t.(type) {
+	case *Var:
+		if x.bound {
+			return Rename(Walk(x), h, seen)
+		}
+		if nv, ok := seen[x]; ok {
+			return nv
+		}
+		nv := h.NewVar(x.Name)
+		seen[x] = nv
+		return nv
+	case *Compound:
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Rename(a, h, seen)
+		}
+		return &Compound{Functor: x.Functor, Args: args}
+	default:
+		return t
+	}
+}

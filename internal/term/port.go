@@ -1,0 +1,88 @@
+package term
+
+import "fmt"
+
+// Port is a multi-writer stream builder. It exposes its contents as an
+// ordinary incrementally-instantiated list (the stream), while allowing any
+// number of producers to append messages without holding the current tail
+// variable themselves.
+//
+// Ports model the low-level "distribute"/"merge" machinery of the paper's
+// server library (Figure 3): the tuple of output streams held by each server
+// contains one port per destination server, and the merge of all streams
+// directed at a server is itself a port that every peer writes into. Real
+// Strand systems provided equivalent primitives (merger processes); a
+// mutable tail cell is the standard implementation technique.
+type Port struct {
+	// Name is used only for diagnostics.
+	Name string
+
+	heap   *Heap
+	stream Term // the head of the stream (a list term)
+	tail   *Var // current unbound tail
+	closed bool
+	sent   int
+
+	// OnSend, if non-nil, is invoked after each successful Send with the
+	// message; the runtime uses it for message accounting.
+	OnSend func(msg Term)
+}
+
+// Kind implements Term.
+func (*Port) Kind() Kind { return KPort }
+
+func (p *Port) String() string {
+	if p.Name != "" {
+		return fmt.Sprintf("<port:%s>", p.Name)
+	}
+	return "<port>"
+}
+
+// NewPort creates a port whose stream starts at a fresh variable allocated
+// from h.
+func NewPort(h *Heap, name string) *Port {
+	v := h.NewVar("Port" + name)
+	return &Port{Name: name, heap: h, stream: v, tail: v}
+}
+
+// Stream returns the list term representing everything sent (and yet to be
+// sent) through the port. Consumers read it like any stream.
+func (p *Port) Stream() Term { return p.stream }
+
+// Sent returns the number of messages sent so far.
+func (p *Port) Sent() int { return p.sent }
+
+// Closed reports whether the port has been closed.
+func (p *Port) Closed() bool { return p.closed }
+
+// Send appends msg to the port's stream. It returns the suspension records
+// woken by instantiating the old tail.
+func (p *Port) Send(msg Term) ([]any, error) {
+	if p.closed {
+		return nil, fmt.Errorf("send on closed port %s", p.String())
+	}
+	newTail := p.heap.NewVar("PortT")
+	woken, err := p.tail.Bind(Cons(msg, newTail))
+	if err != nil {
+		return nil, fmt.Errorf("port %s: %w", p.String(), err)
+	}
+	p.tail = newTail
+	p.sent++
+	if p.OnSend != nil {
+		p.OnSend(msg)
+	}
+	return woken, nil
+}
+
+// Close terminates the stream with []. Further sends fail.
+func (p *Port) Close() ([]any, error) {
+	if p.closed {
+		return nil, nil
+	}
+	p.closed = true
+	woken, err := p.tail.Bind(EmptyList)
+	if err != nil {
+		return nil, fmt.Errorf("close port %s: %w", p.String(), err)
+	}
+	return woken, nil
+}

@@ -1,0 +1,178 @@
+package term
+
+import (
+	"fmt"
+	"strings"
+)
+
+// infix operators rendered in infix form by the printer, with precedence
+// (higher binds tighter). Mirrors the subset of operators the parser accepts.
+var infixOps = map[string]int{
+	":=":   1,
+	"is":   1,
+	"=":    1,
+	"==":   2,
+	"=\\=": 2,
+	">":    2,
+	"<":    2,
+	">=":   2,
+	"=<":   2,
+	"@":    3,
+	"+":    4,
+	"-":    4,
+	"*":    5,
+	"/":    5,
+	"//":   5,
+	"mod":  5,
+}
+
+// Write renders t in source syntax to b.
+func Write(b *strings.Builder, t Term) { writeTermN(b, t, 0, nil) }
+
+// Sprint renders t in source syntax.
+func Sprint(t Term) string {
+	var b strings.Builder
+	writeTermN(&b, t, 0, nil)
+	return b.String()
+}
+
+// SprintWith renders t in source syntax, printing unbound variables using
+// the supplied name map (falling back to Var.String for unmapped vars).
+// Used by the program printer to give clause-scoped, re-parseable names.
+func SprintWith(t Term, names map[*Var]string) string {
+	var b strings.Builder
+	writeTermN(&b, t, 0, names)
+	return b.String()
+}
+
+// NameVars assigns display names to the unbound variables of the given
+// terms, reusing each variable's source name where that is unambiguous and
+// disambiguating duplicates with numeric suffixes. Anonymous variables get
+// fresh underscore-prefixed names. The result is suitable for SprintWith and
+// guarantees distinct variables get distinct names.
+func NameVars(terms ...Term) map[*Var]string {
+	names := map[*Var]string{}
+	taken := map[string]bool{}
+	for _, t := range terms {
+		for _, v := range Vars(t) {
+			if _, done := names[v]; done {
+				continue
+			}
+			base := v.Name
+			if base == "" || base == "_" {
+				base = "X"
+			}
+			name := base
+			for i := 1; taken[name]; i++ {
+				name = fmt.Sprintf("%s%d", base, i)
+			}
+			taken[name] = true
+			names[v] = name
+		}
+	}
+	return names
+}
+
+func writeTermN(b *strings.Builder, t Term, prec int, names map[*Var]string) {
+	t = Walk(t)
+	switch x := t.(type) {
+	case *Compound:
+		writeCompound(b, x, prec, names)
+	case *Var:
+		if n, ok := names[x]; ok {
+			b.WriteString(n)
+			return
+		}
+		b.WriteString(x.String())
+	default:
+		b.WriteString(t.String())
+	}
+}
+
+func writeCompound(b *strings.Builder, c *Compound, prec int, names map[*Var]string) {
+	// Lists.
+	if c.Functor == ConsFunctor && len(c.Args) == 2 {
+		b.WriteByte('[')
+		writeTermN(b, c.Args[0], 0, names)
+		t := Walk(c.Args[1])
+		for {
+			if IsEmptyList(t) {
+				break
+			}
+			if h, tl, ok := IsCons(t); ok {
+				b.WriteByte(',')
+				writeTermN(b, h, 0, names)
+				t = Walk(tl)
+				continue
+			}
+			b.WriteByte('|')
+			writeTermN(b, t, 0, names)
+			break
+		}
+		b.WriteByte(']')
+		return
+	}
+	// Tuples.
+	if c.Functor == TupleFunctor {
+		b.WriteByte('{')
+		for i, a := range c.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeTermN(b, a, 0, names)
+		}
+		b.WriteByte('}')
+		return
+	}
+	// Infix operators.
+	if p, ok := infixOps[c.Functor]; ok && len(c.Args) == 2 {
+		paren := p < prec
+		if paren {
+			b.WriteByte('(')
+		}
+		writeTermN(b, c.Args[0], p, names)
+		if c.Functor == "@" {
+			b.WriteString("@")
+		} else {
+			b.WriteByte(' ')
+			b.WriteString(c.Functor)
+			b.WriteByte(' ')
+		}
+		writeTermN(b, c.Args[1], p+1, names)
+		if paren {
+			b.WriteByte(')')
+		}
+		return
+	}
+	// Unary minus. Over a numeric literal the prefix form would re-read as
+	// a single negative literal ("-0" vs -(0)), so print canonically then.
+	if c.Functor == "-" && len(c.Args) == 1 {
+		switch Walk(c.Args[0]).(type) {
+		case Int, Float:
+		default:
+			b.WriteByte('-')
+			writeTermN(b, c.Args[0], 6, names)
+			return
+		}
+	}
+	// Canonical form.
+	b.WriteString(Atom(c.Functor).String())
+	b.WriteByte('(')
+	for i, a := range c.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeTermN(b, a, 0, names)
+	}
+	b.WriteByte(')')
+}
+
+// Format implements fmt.Formatter-ish convenience: Sprintf("%s", t) uses
+// String; this helper exists for building diagnostics on slices of terms.
+func SprintSlice(ts []Term) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = Sprint(t)
+	}
+	return fmt.Sprintf("[%s]", strings.Join(parts, ", "))
+}

@@ -1,0 +1,252 @@
+// Package term implements the term algebra underlying the motif system's
+// high-level concurrent language: atoms, numbers, strings, tuples, lists,
+// compound terms, and single-assignment logic variables.
+//
+// Terms play two roles in this reproduction of Foster & Stevens'
+// "Parallel Programming with Algorithmic Motifs" (ICPP 1990):
+//
+//  1. They are the run-time data of the Strand-like language interpreted by
+//     package strand (streams are incrementally instantiated lists of
+//     terms, synchronization is suspension on unbound variables).
+//  2. They are the representation of *programs* manipulated by the
+//     source-to-source transformations in package core — the paper's key
+//     observation is that "programs are represented as structured terms and
+//     transformations as programs that manipulate these terms".
+package term
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Term is the interface satisfied by every term kind. Terms are immutable
+// except for Var (single-assignment) and Port (mutable stream tail used by
+// the runtime's distribute/merge primitives).
+type Term interface {
+	// Kind reports the term's kind tag.
+	Kind() Kind
+	// String renders the term in source syntax (lists as [a,b|T], tuples
+	// as {a,b}, operators in canonical prefix form except a few infix
+	// conveniences handled by Write).
+	String() string
+}
+
+// Kind enumerates term kinds.
+type Kind int
+
+// Term kinds.
+const (
+	KAtom Kind = iota
+	KInt
+	KFloat
+	KString
+	KVar
+	KCompound
+	KPort
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KAtom:
+		return "atom"
+	case KInt:
+		return "int"
+	case KFloat:
+		return "float"
+	case KString:
+		return "string"
+	case KVar:
+		return "var"
+	case KCompound:
+		return "compound"
+	case KPort:
+		return "port"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Atom is a constant symbol, e.g. sync, halt, '+'.
+type Atom string
+
+// Kind implements Term.
+func (Atom) Kind() Kind { return KAtom }
+
+func (a Atom) String() string {
+	if needsQuote(string(a)) {
+		return "'" + strings.ReplaceAll(string(a), "'", "\\'") + "'"
+	}
+	return string(a)
+}
+
+// Int is an integer constant.
+type Int int64
+
+// Kind implements Term.
+func (Int) Kind() Kind { return KInt }
+
+func (i Int) String() string { return fmt.Sprintf("%d", int64(i)) }
+
+// Float is a floating-point constant.
+type Float float64
+
+// Kind implements Term.
+func (Float) Kind() Kind { return KFloat }
+
+func (f Float) String() string {
+	s := fmt.Sprintf("%g", float64(f))
+	// Guarantee the text re-reads as a float, not an integer.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// String_ is a string constant ("..." in source syntax). Named with a
+// trailing underscore to avoid colliding with the String method convention.
+type String_ string
+
+// Kind implements Term.
+func (String_) Kind() Kind { return KString }
+
+func (s String_) String() string { return fmt.Sprintf("%q", string(s)) }
+
+// Compound is a functor applied to one or more arguments: f(T1,...,Tn).
+// Lists use functor "." with two args and terminator EmptyList; tuples use
+// functor TupleFunctor.
+type Compound struct {
+	Functor string
+	Args    []Term
+}
+
+// Kind implements Term.
+func (*Compound) Kind() Kind { return KCompound }
+
+// Arity returns the number of arguments.
+func (c *Compound) Arity() int { return len(c.Args) }
+
+// Indicator returns the predicate indicator "name/arity" for the compound.
+func (c *Compound) Indicator() string {
+	return fmt.Sprintf("%s/%d", c.Functor, len(c.Args))
+}
+
+func (c *Compound) String() string {
+	var b strings.Builder
+	writeTermN(&b, c, 0, nil)
+	return b.String()
+}
+
+// Special functors.
+const (
+	// ConsFunctor is the list constructor functor: '.'(Head, Tail).
+	ConsFunctor = "."
+	// TupleFunctor marks tuple terms {T1,...,Tn}.
+	TupleFunctor = "{}"
+)
+
+// EmptyList is the empty-list atom [].
+var EmptyList = Atom("[]")
+
+// NewCompound builds a compound term. A compound with zero arguments is
+// returned as the corresponding Atom, matching the language's view that
+// p() ≡ p.
+func NewCompound(functor string, args ...Term) Term {
+	if len(args) == 0 {
+		return Atom(functor)
+	}
+	return &Compound{Functor: functor, Args: args}
+}
+
+// Cons builds a list cell [Head|Tail].
+func Cons(head, tail Term) *Compound {
+	return &Compound{Functor: ConsFunctor, Args: []Term{head, tail}}
+}
+
+// MkList builds a proper list of the given elements.
+func MkList(elems ...Term) Term {
+	var t Term = EmptyList
+	for i := len(elems) - 1; i >= 0; i-- {
+		t = Cons(elems[i], t)
+	}
+	return t
+}
+
+// MkTuple builds a tuple term {T1,...,Tn}. The empty tuple is permitted and
+// is represented as a compound with zero stored args via a dedicated atom.
+func MkTuple(elems ...Term) Term {
+	if len(elems) == 0 {
+		return Atom("{}")
+	}
+	return &Compound{Functor: TupleFunctor, Args: elems}
+}
+
+// IsCons reports whether t (already dereferenced) is a list cell, returning
+// head and tail if so.
+func IsCons(t Term) (head, tail Term, ok bool) {
+	c, isC := t.(*Compound)
+	if !isC || c.Functor != ConsFunctor || len(c.Args) != 2 {
+		return nil, nil, false
+	}
+	return c.Args[0], c.Args[1], true
+}
+
+// IsEmptyList reports whether t (already dereferenced) is the empty list.
+func IsEmptyList(t Term) bool {
+	a, ok := t.(Atom)
+	return ok && a == EmptyList
+}
+
+// IsTuple reports whether t (already dereferenced) is a tuple, returning its
+// elements if so.
+func IsTuple(t Term) ([]Term, bool) {
+	if a, ok := t.(Atom); ok && a == "{}" {
+		return nil, true
+	}
+	c, ok := t.(*Compound)
+	if !ok || c.Functor != TupleFunctor {
+		return nil, false
+	}
+	return c.Args, true
+}
+
+// ListSlice converts a proper list term into a Go slice. It dereferences
+// cells as it walks. It returns ok=false if the term is not a proper,
+// fully instantiated list spine.
+func ListSlice(t Term) ([]Term, bool) {
+	var out []Term
+	for {
+		t = Walk(t)
+		if IsEmptyList(t) {
+			return out, true
+		}
+		h, tl, ok := IsCons(t)
+		if !ok {
+			return nil, false
+		}
+		out = append(out, h)
+		t = tl
+	}
+}
+
+// needsQuote reports whether an atom requires quoting in source syntax.
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	if s == "[]" || s == "{}" {
+		return false
+	}
+	// Symbolic atoms (operators used as data, e.g. the '+' in eval('+',...))
+	// must be quoted to re-parse as atoms rather than operators.
+	c := s[0]
+	if !(c >= 'a' && c <= 'z') {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_') {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,532 @@
+package term
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomString(t *testing.T) {
+	cases := []struct {
+		atom Atom
+		want string
+	}{
+		{"sync", "sync"},
+		{"halt", "halt"},
+		{"[]", "[]"},
+		{"+", "'+'"},
+		{"Upper", "'Upper'"},
+		{"has space", "'has space'"},
+		{"", "''"},
+		{"a_b9", "a_b9"},
+	}
+	for _, c := range cases {
+		if got := c.atom.String(); got != c.want {
+			t.Errorf("Atom(%q).String() = %q, want %q", string(c.atom), got, c.want)
+		}
+	}
+}
+
+func TestKinds(t *testing.T) {
+	h := NewHeap()
+	cases := []struct {
+		t    Term
+		kind Kind
+	}{
+		{Atom("a"), KAtom},
+		{Int(3), KInt},
+		{Float(1.5), KFloat},
+		{String_("s"), KString},
+		{h.NewVar("X"), KVar},
+		{NewCompound("f", Int(1)), KCompound},
+		{NewPort(h, "p"), KPort},
+	}
+	for _, c := range cases {
+		if c.t.Kind() != c.kind {
+			t.Errorf("%s: kind = %v, want %v", c.t.String(), c.t.Kind(), c.kind)
+		}
+	}
+}
+
+func TestNewCompoundZeroArgsIsAtom(t *testing.T) {
+	got := NewCompound("p")
+	if a, ok := got.(Atom); !ok || a != "p" {
+		t.Fatalf("NewCompound(p) = %#v, want Atom(p)", got)
+	}
+}
+
+func TestMkListAndListSlice(t *testing.T) {
+	l := MkList(Int(1), Int(2), Int(3))
+	if got := Sprint(l); got != "[1,2,3]" {
+		t.Fatalf("Sprint list = %q", got)
+	}
+	elems, ok := ListSlice(l)
+	if !ok || len(elems) != 3 {
+		t.Fatalf("ListSlice failed: %v %d", ok, len(elems))
+	}
+	if elems[1] != Term(Int(2)) {
+		t.Errorf("elems[1] = %v", elems[1])
+	}
+}
+
+func TestListSliceImproper(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVar("T")
+	l := Cons(Int(1), v)
+	if _, ok := ListSlice(l); ok {
+		t.Fatal("ListSlice on open list should fail")
+	}
+}
+
+func TestListSliceDereferencesTail(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVar("T")
+	l := Cons(Int(1), v)
+	if _, err := v.Bind(MkList(Int(2))); err != nil {
+		t.Fatal(err)
+	}
+	elems, ok := ListSlice(l)
+	if !ok || len(elems) != 2 {
+		t.Fatalf("ListSlice = %v, ok=%v", elems, ok)
+	}
+}
+
+func TestTuples(t *testing.T) {
+	tt := MkTuple(Atom("a"), Int(2))
+	if got := Sprint(tt); got != "{a,2}" {
+		t.Fatalf("tuple prints as %q", got)
+	}
+	elems, ok := IsTuple(tt)
+	if !ok || len(elems) != 2 {
+		t.Fatalf("IsTuple: %v %d", ok, len(elems))
+	}
+	empty := MkTuple()
+	if elems, ok := IsTuple(empty); !ok || len(elems) != 0 {
+		t.Fatalf("empty tuple: %v %d", ok, len(elems))
+	}
+}
+
+func TestVarBindOnce(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVar("X")
+	if v.Bound() {
+		t.Fatal("fresh var bound")
+	}
+	if _, err := v.Bind(Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Bound() || v.Value() != Term(Int(1)) {
+		t.Fatal("bind did not stick")
+	}
+	// Same value: idempotent.
+	if _, err := v.Bind(Int(1)); err != nil {
+		t.Fatalf("rebinding same value should succeed: %v", err)
+	}
+	// Different value: single-assignment violation.
+	if _, err := v.Bind(Int(2)); err == nil {
+		t.Fatal("expected ErrAlreadyBound")
+	} else if _, ok := err.(*ErrAlreadyBound); !ok {
+		t.Fatalf("wrong error type %T", err)
+	}
+}
+
+func TestVarBindSelfNoop(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVar("X")
+	if _, err := v.Bind(v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Bound() {
+		t.Fatal("self-bind should be a no-op")
+	}
+}
+
+func TestVarWaiters(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVar("X")
+	v.AddWaiter("w1")
+	v.AddWaiter("w2")
+	woken, err := v.Bind(Atom("done"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 2 || woken[0] != "w1" || woken[1] != "w2" {
+		t.Fatalf("woken = %v", woken)
+	}
+	// Waiters are drained.
+	if len(v.waiters) != 0 {
+		t.Fatal("waiters not drained")
+	}
+}
+
+func TestWalkChains(t *testing.T) {
+	h := NewHeap()
+	a, b, c := h.NewVar("A"), h.NewVar("B"), h.NewVar("C")
+	if _, err := a.Bind(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Bind(c); err != nil {
+		t.Fatal(err)
+	}
+	if Walk(a) != Term(c) {
+		t.Fatalf("Walk(a) = %v, want C", Walk(a))
+	}
+	if _, err := c.Bind(Int(7)); err != nil {
+		t.Fatal(err)
+	}
+	if Walk(a) != Term(Int(7)) {
+		t.Fatalf("Walk(a) = %v, want 7", Walk(a))
+	}
+}
+
+func TestResolve(t *testing.T) {
+	h := NewHeap()
+	x := h.NewVar("X")
+	f := NewCompound("f", x, Int(2))
+	if _, err := x.Bind(Atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	r := Resolve(f)
+	if Sprint(r) != "f(a,2)" {
+		t.Fatalf("Resolve = %s", Sprint(r))
+	}
+}
+
+func TestEqual(t *testing.T) {
+	h := NewHeap()
+	x := h.NewVar("X")
+	y := h.NewVar("Y")
+	cases := []struct {
+		a, b Term
+		want bool
+	}{
+		{Int(1), Int(1), true},
+		{Int(1), Int(2), false},
+		{Atom("a"), Atom("a"), true},
+		{Atom("a"), String_("a"), false},
+		{NewCompound("f", Int(1)), NewCompound("f", Int(1)), true},
+		{NewCompound("f", Int(1)), NewCompound("g", Int(1)), false},
+		{NewCompound("f", Int(1)), NewCompound("f", Int(1), Int(2)), false},
+		{x, x, true},
+		{x, y, false},
+		{MkList(Int(1)), MkList(Int(1)), true},
+	}
+	for _, c := range cases {
+		if got := Equal(c.a, c.b); got != c.want {
+			t.Errorf("Equal(%s,%s) = %v, want %v", Sprint(c.a), Sprint(c.b), got, c.want)
+		}
+	}
+}
+
+func TestEqualThroughBinding(t *testing.T) {
+	h := NewHeap()
+	x := h.NewVar("X")
+	if _, err := x.Bind(Int(3)); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(NewCompound("f", x), NewCompound("f", Int(3))) {
+		t.Fatal("Equal should dereference")
+	}
+}
+
+func TestGroundAndVars(t *testing.T) {
+	h := NewHeap()
+	x, y := h.NewVar("X"), h.NewVar("Y")
+	tm := NewCompound("f", x, NewCompound("g", y, x), Int(1))
+	if Ground(tm) {
+		t.Fatal("term with vars reported ground")
+	}
+	vs := Vars(tm)
+	if len(vs) != 2 || vs[0] != x || vs[1] != y {
+		t.Fatalf("Vars = %v", vs)
+	}
+	if _, err := x.Bind(Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := y.Bind(Atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	if !Ground(tm) {
+		t.Fatal("fully bound term not ground")
+	}
+	if len(Vars(tm)) != 0 {
+		t.Fatal("Vars nonempty after binding")
+	}
+}
+
+func TestMatchAtom(t *testing.T) {
+	b := Bindings{}
+	res, _ := Match(Atom("a"), Atom("a"), b)
+	if res != MatchYes {
+		t.Fatalf("a~a: %v", res)
+	}
+	res, _ = Match(Atom("a"), Atom("b"), b)
+	if res != MatchNo {
+		t.Fatalf("a~b: %v", res)
+	}
+}
+
+func TestMatchCapturesVars(t *testing.T) {
+	h := NewHeap()
+	pv := h.NewVar("P")
+	b := Bindings{}
+	res, _ := Match(NewCompound("f", pv, Int(2)), NewCompound("f", Atom("x"), Int(2)), b)
+	if res != MatchYes {
+		t.Fatalf("res = %v", res)
+	}
+	if b[pv] != Term(Atom("x")) {
+		t.Fatalf("binding = %v", b[pv])
+	}
+}
+
+func TestMatchSuspendsOnUnboundGoalVar(t *testing.T) {
+	h := NewHeap()
+	gv := h.NewVar("G")
+	b := Bindings{}
+	res, susp := Match(Atom("a"), gv, b)
+	if res != MatchSuspend {
+		t.Fatalf("res = %v", res)
+	}
+	if len(susp) != 1 || susp[0] != gv {
+		t.Fatalf("susp = %v", susp)
+	}
+	// Crucially the goal var must NOT have been bound (input matching only).
+	if gv.Bound() {
+		t.Fatal("head matching bound a goal variable")
+	}
+}
+
+func TestMatchDeepSuspendVsNo(t *testing.T) {
+	h := NewHeap()
+	gv := h.NewVar("G")
+	// Pattern f(a, b) vs goal f(G, c): arg2 mismatch dominates -> MatchNo.
+	res, _ := Match(
+		NewCompound("f", Atom("a"), Atom("b")),
+		NewCompound("f", gv, Atom("c")),
+		Bindings{})
+	if res != MatchNo {
+		t.Fatalf("expected MatchNo, got %v", res)
+	}
+	// Pattern f(a, b) vs goal f(G, b): suspend on G.
+	res, susp := Match(
+		NewCompound("f", Atom("a"), Atom("b")),
+		NewCompound("f", gv, Atom("b")),
+		Bindings{})
+	if res != MatchSuspend || len(susp) != 1 {
+		t.Fatalf("expected suspend on G, got %v %v", res, susp)
+	}
+}
+
+func TestMatchNonLinearHead(t *testing.T) {
+	h := NewHeap()
+	pv := h.NewVar("X")
+	pat := NewCompound("f", pv, pv)
+	res, _ := Match(pat, NewCompound("f", Int(1), Int(1)), Bindings{})
+	if res != MatchYes {
+		t.Fatalf("f(X,X)~f(1,1): %v", res)
+	}
+	res, _ = Match(pat, NewCompound("f", Int(1), Int(2)), Bindings{})
+	if res != MatchNo {
+		t.Fatalf("f(X,X)~f(1,2): %v", res)
+	}
+	g := h.NewVar("G")
+	res, susp := Match(pat, NewCompound("f", Int(1), g), Bindings{})
+	if res != MatchSuspend || len(susp) == 0 {
+		t.Fatalf("f(X,X)~f(1,G): %v %v", res, susp)
+	}
+}
+
+func TestMatchListPattern(t *testing.T) {
+	h := NewHeap()
+	hd, tl := h.NewVar("H"), h.NewVar("T")
+	pat := Cons(hd, tl)
+	goal := MkList(Int(1), Int(2))
+	b := Bindings{}
+	res, _ := Match(pat, goal, b)
+	if res != MatchYes {
+		t.Fatalf("res = %v", res)
+	}
+	if b[hd] != Term(Int(1)) {
+		t.Fatalf("H = %v", b[hd])
+	}
+	if Sprint(b[tl]) != "[2]" {
+		t.Fatalf("T = %v", Sprint(b[tl]))
+	}
+}
+
+func TestSubst(t *testing.T) {
+	h := NewHeap()
+	x := h.NewVar("X")
+	y := h.NewVar("Y")
+	tm := NewCompound("f", x, y, x)
+	out := Subst(tm, Bindings{x: Int(1)})
+	if Sprint(out) != "f(1,"+y.String()+",1)" {
+		t.Fatalf("Subst = %s", Sprint(out))
+	}
+}
+
+func TestRenameSharing(t *testing.T) {
+	h := NewHeap()
+	x := h.NewVar("X")
+	t1 := NewCompound("f", x)
+	t2 := NewCompound("g", x)
+	seen := map[*Var]*Var{}
+	r1 := Rename(t1, h, seen)
+	r2 := Rename(t2, h, seen)
+	v1 := Vars(r1)
+	v2 := Vars(r2)
+	if len(v1) != 1 || len(v2) != 1 || v1[0] != v2[0] {
+		t.Fatal("renaming did not share variables across terms")
+	}
+	if v1[0] == x {
+		t.Fatal("renaming did not produce a fresh variable")
+	}
+}
+
+func TestPortSendAndStream(t *testing.T) {
+	h := NewHeap()
+	p := NewPort(h, "srv0")
+	if _, err := p.Send(Atom("m1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send(Atom("m2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	elems, ok := ListSlice(p.Stream())
+	if !ok || len(elems) != 2 {
+		t.Fatalf("stream = %v ok=%v", elems, ok)
+	}
+	if p.Sent() != 2 || !p.Closed() {
+		t.Fatalf("sent=%d closed=%v", p.Sent(), p.Closed())
+	}
+	if _, err := p.Send(Atom("m3")); err == nil {
+		t.Fatal("send after close should fail")
+	}
+}
+
+func TestPortWakesWaiters(t *testing.T) {
+	h := NewHeap()
+	p := NewPort(h, "w")
+	// Suspend a waiter on the current (unbound) stream head.
+	v := Walk(p.Stream()).(*Var)
+	v.AddWaiter("proc")
+	woken, err := p.Send(Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 1 || woken[0] != "proc" {
+		t.Fatalf("woken = %v", woken)
+	}
+}
+
+func TestPortOnSendHook(t *testing.T) {
+	h := NewHeap()
+	p := NewPort(h, "h")
+	var got []Term
+	p.OnSend = func(m Term) { got = append(got, m) }
+	if _, err := p.Send(Int(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Send(Int(2)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("hook calls = %d", len(got))
+	}
+}
+
+func TestPrintInfix(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{NewCompound("+", Int(1), Int(2)), "1 + 2"},
+		{NewCompound("*", NewCompound("+", Int(1), Int(2)), Int(3)), "(1 + 2) * 3"},
+		{NewCompound(":=", Atom("x"), Int(1)), "x := 1"},
+		{NewCompound("is", Atom("n1"), NewCompound("-", Atom("n"), Int(1))), "n1 is n - 1"},
+		{NewCompound("@", NewCompound("reduce", Atom("r"), Atom("rv")), Atom("random")), "reduce(r,rv)@random"},
+		{NewCompound("-", Int(4)), "'-'(4)"},
+		{NewCompound("-", Atom("x")), "-x"},
+	}
+	for _, c := range cases {
+		if got := Sprint(c.t); got != c.want {
+			t.Errorf("Sprint = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPrintOpenList(t *testing.T) {
+	h := NewHeap()
+	v := h.NewVar("Xs")
+	l := Cons(Int(1), Cons(Int(2), v))
+	got := Sprint(l)
+	want := "[1,2|" + v.String() + "]"
+	if got != want {
+		t.Fatalf("Sprint = %q want %q", got, want)
+	}
+}
+
+// Property: MkList then ListSlice is identity on lengths 0..n.
+func TestPropListRoundTrip(t *testing.T) {
+	f := func(xs []int64) bool {
+		terms := make([]Term, len(xs))
+		for i, x := range xs {
+			terms[i] = Int(x)
+		}
+		l := MkList(terms...)
+		back, ok := ListSlice(l)
+		if !ok || len(back) != len(terms) {
+			return false
+		}
+		for i := range back {
+			if back[i] != terms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Equal is reflexive for ground terms built from ints.
+func TestPropEqualReflexive(t *testing.T) {
+	f := func(xs []int64) bool {
+		terms := make([]Term, len(xs))
+		for i, x := range xs {
+			terms[i] = Int(x)
+		}
+		l := MkList(terms...)
+		return Equal(l, l) && Ground(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matching a renamed pattern against the original always succeeds.
+func TestPropRenameMatches(t *testing.T) {
+	h := NewHeap()
+	f := func(n uint8) bool {
+		k := int(n%5) + 1
+		args := make([]Term, k)
+		for i := range args {
+			if i%2 == 0 {
+				args[i] = h.NewVar("V")
+			} else {
+				args[i] = Int(int64(i))
+			}
+		}
+		orig := NewCompound("f", args...)
+		ren := Rename(orig, h, map[*Var]*Var{})
+		res, _ := Match(ren, Resolve(orig), Bindings{})
+		// orig has unbound vars, so matching may suspend but never fail.
+		return res != MatchNo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

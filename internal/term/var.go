@@ -1,0 +1,227 @@
+package term
+
+import "fmt"
+
+// Var is a single-assignment logic variable. Its value is initially
+// undefined; once assigned it cannot be modified (attempting to do so is a
+// run-time error, as in Strand). Processes that need the value of an unbound
+// variable suspend on it; the runtime stores the suspension hooks here so
+// that binding the variable wakes them.
+//
+// Var is not safe for concurrent mutation: the simulated multicomputer in
+// package machine interleaves processor steps deterministically on a single
+// goroutine, which both keeps the semantics faithful to the paper's
+// single-assignment dataflow model and makes experiments reproducible.
+type Var struct {
+	// Name is the source name, used only for printing; uniqueness is by
+	// identity, not name.
+	Name string
+	// ID is a runtime-unique identifier assigned by the allocating Heap.
+	ID int64
+
+	bound bool
+	val   Term
+
+	// waiters holds opaque suspension records registered by the runtime;
+	// they are drained and handed to the wake callback on binding.
+	waiters []any
+}
+
+// Kind implements Term.
+func (*Var) Kind() Kind { return KVar }
+
+func (v *Var) String() string {
+	if v.Name != "" {
+		return fmt.Sprintf("%s_%d", v.Name, v.ID)
+	}
+	return fmt.Sprintf("_G%d", v.ID)
+}
+
+// Bound reports whether the variable has been assigned.
+func (v *Var) Bound() bool { return v.bound }
+
+// Value returns the assigned value. It panics if the variable is unbound;
+// callers should use Walk.
+func (v *Var) Value() Term {
+	if !v.bound {
+		panic("term: Value on unbound variable " + v.String())
+	}
+	return v.val
+}
+
+// AddWaiter registers an opaque suspension record to be released when the
+// variable is bound. If the variable is already bound the record is returned
+// immediately in the wake slice of Bind, so callers must check Bound first.
+func (v *Var) AddWaiter(w any) {
+	v.waiters = append(v.waiters, w)
+}
+
+// ErrAlreadyBound is returned by Bind when a second assignment is attempted,
+// which the language defines as a run-time error.
+type ErrAlreadyBound struct {
+	Var *Var
+	Old Term
+	New Term
+}
+
+func (e *ErrAlreadyBound) Error() string {
+	return fmt.Sprintf("single-assignment violation: %s already bound to %s (new value %s)",
+		e.Var.String(), e.Old.String(), e.New.String())
+}
+
+// Bind assigns val to the variable and returns the suspension records that
+// were waiting on it. Binding a variable to itself is a no-op. Binding an
+// already-bound variable returns ErrAlreadyBound unless the new value is
+// structurally identical to the old one.
+func (v *Var) Bind(val Term) ([]any, error) {
+	val = Walk(val)
+	if val == Term(v) {
+		return nil, nil
+	}
+	if v.bound {
+		if Equal(v.val, val) {
+			return nil, nil
+		}
+		return nil, &ErrAlreadyBound{Var: v, Old: v.val, New: val}
+	}
+	// Occurs check is omitted (as in real Strand implementations); cyclic
+	// terms are the programmer's responsibility.
+	v.bound = true
+	v.val = val
+	ws := v.waiters
+	v.waiters = nil
+	return ws, nil
+}
+
+// Heap allocates variables with unique IDs.
+type Heap struct {
+	next int64
+}
+
+// NewHeap returns a fresh variable allocator.
+func NewHeap() *Heap { return &Heap{} }
+
+// NewVar allocates a fresh unbound variable with the given source name.
+func (h *Heap) NewVar(name string) *Var {
+	h.next++
+	return &Var{Name: name, ID: h.next}
+}
+
+// Count returns the number of variables allocated so far.
+func (h *Heap) Count() int64 { return h.next }
+
+// Walk dereferences chains of bound variables until it reaches a non-var
+// term or an unbound variable.
+func Walk(t Term) Term {
+	for {
+		v, ok := t.(*Var)
+		if !ok || !v.bound {
+			return t
+		}
+		t = v.val
+	}
+}
+
+// Resolve returns a copy of t with all bound variables replaced by their
+// values, recursively. Unbound variables are left in place. Ports are left
+// as-is.
+func Resolve(t Term) Term {
+	t = Walk(t)
+	c, ok := t.(*Compound)
+	if !ok {
+		return t
+	}
+	args := make([]Term, len(c.Args))
+	changed := false
+	for i, a := range c.Args {
+		args[i] = Resolve(a)
+		if args[i] != a {
+			changed = true
+		}
+	}
+	if !changed {
+		return c
+	}
+	return &Compound{Functor: c.Functor, Args: args}
+}
+
+// Equal reports structural equality of two terms after dereferencing.
+// Unbound variables are equal only to themselves.
+func Equal(a, b Term) bool {
+	a, b = Walk(a), Walk(b)
+	if a == b {
+		return true
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case Atom:
+		return x == b.(Atom)
+	case Int:
+		return x == b.(Int)
+	case Float:
+		return x == b.(Float)
+	case String_:
+		return x == b.(String_)
+	case *Var:
+		return false // distinct unbound vars
+	case *Port:
+		return false // ports equal only by identity, handled above
+	case *Compound:
+		y := b.(*Compound)
+		if x.Functor != y.Functor || len(x.Args) != len(y.Args) {
+			return false
+		}
+		for i := range x.Args {
+			if !Equal(x.Args[i], y.Args[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Ground reports whether t contains no unbound variables.
+func Ground(t Term) bool {
+	t = Walk(t)
+	switch x := t.(type) {
+	case *Var:
+		return false
+	case *Compound:
+		for _, a := range x.Args {
+			if !Ground(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// Vars returns the unbound variables occurring in t, in first-occurrence
+// order, without duplicates.
+func Vars(t Term) []*Var {
+	var out []*Var
+	seen := map[*Var]bool{}
+	var walk func(Term)
+	walk = func(t Term) {
+		t = Walk(t)
+		switch x := t.(type) {
+		case *Var:
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		case *Compound:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	walk(t)
+	return out
+}

@@ -1,0 +1,160 @@
+// Package workload generates the inputs the experiments sweep over: random,
+// balanced, and skewed reduction trees, and node-cost models with uniform or
+// heavy-tailed distributions (the paper's "time required at each node is
+// non-uniform and cannot easily be predicted").
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/motifs"
+	"repro/internal/skel"
+	"repro/internal/term"
+)
+
+// TreeShape selects a generated tree's shape.
+type TreeShape int
+
+// Tree shapes.
+const (
+	// ShapeRandom splits the leaves uniformly at random at every node.
+	ShapeRandom TreeShape = iota
+	// ShapeBalanced halves the leaves at every node.
+	ShapeBalanced
+	// ShapeCaterpillar is maximally left-deep (worst case for
+	// divide-and-conquer parallelism).
+	ShapeCaterpillar
+)
+
+func (s TreeShape) String() string {
+	switch s {
+	case ShapeRandom:
+		return "random"
+	case ShapeBalanced:
+		return "balanced"
+	case ShapeCaterpillar:
+		return "caterpillar"
+	default:
+		return "shape(?)"
+	}
+}
+
+// IntTree generates a reduction tree with the given number of leaves, leaf
+// values in 1..3 and operators + and * (small values keep products bounded).
+func IntTree(leaves int, shape TreeShape, seed int64) *motifs.BinTree {
+	rng := rand.New(rand.NewSource(seed))
+	var build func(n int) *motifs.BinTree
+	build = func(n int) *motifs.BinTree {
+		if n <= 1 {
+			return motifs.NewLeaf(term.Int(int64(rng.Intn(3) + 1)))
+		}
+		var k int
+		switch shape {
+		case ShapeBalanced:
+			k = n / 2
+		case ShapeCaterpillar:
+			k = n - 1
+		default:
+			k = 1 + rng.Intn(n-1)
+		}
+		op := "+"
+		if rng.Intn(2) == 0 {
+			op = "*"
+		}
+		return motifs.NewNode(op, build(k), build(n-k))
+	}
+	return build(leaves)
+}
+
+// SkelTree converts a motif-level BinTree with integer leaves into the
+// native skeleton representation.
+func SkelTree(t *motifs.BinTree) *skel.Tree[int64] {
+	if t.IsLeaf() {
+		return skel.NewLeaf(int64(t.Leaf.(term.Int)))
+	}
+	return skel.NewNode(t.Op, SkelTree(t.L), SkelTree(t.R))
+}
+
+// CostModel yields per-node evaluation costs (in simulator cycles or
+// spin-work units). Draws are deterministic given the seed.
+type CostModel struct {
+	name string
+	next func() int64
+}
+
+// Name identifies the model.
+func (c *CostModel) Name() string { return c.name }
+
+// Next draws the next cost.
+func (c *CostModel) Next() int64 { return c.next() }
+
+// UniformCost returns a model where every node costs exactly c cycles —
+// the regime where the paper expects a static partition to be ideal.
+func UniformCost(c int64) *CostModel {
+	if c < 1 {
+		c = 1
+	}
+	return &CostModel{name: "uniform", next: func() int64 { return c }}
+}
+
+// ExpCost returns exponentially distributed costs with the given mean —
+// mildly non-uniform work.
+func ExpCost(mean float64, seed int64) *CostModel {
+	rng := rand.New(rand.NewSource(seed))
+	return &CostModel{name: "exponential", next: func() int64 {
+		c := int64(rng.ExpFloat64() * mean)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}}
+}
+
+// ParetoCost returns heavy-tailed (Pareto) costs with shape alpha and the
+// given minimum — the "non-uniform and unpredictable" regime that motivates
+// dynamic allocation. Smaller alpha means heavier tails; alpha in (1, 2]
+// gives occasional nodes hundreds of times more expensive than the median.
+func ParetoCost(alpha float64, min int64, seed int64) *CostModel {
+	if alpha <= 0 {
+		alpha = 1.5
+	}
+	if min < 1 {
+		min = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return &CostModel{name: "pareto", next: func() int64 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		c := int64(float64(min) * math.Pow(u, -1/alpha))
+		if c < min {
+			c = min
+		}
+		// Clamp to keep a single pathological draw from dominating the
+		// whole run (a task longer than the per-processor share of the
+		// total hides every scheduling effect).
+		if c > min*200 {
+			c = min * 200
+		}
+		return c
+	}}
+}
+
+// GoalCostFn adapts a cost model into the strand runtime's per-goal cost
+// function, memoizing by goal identity printout so that retried reductions
+// of the same eval goal are charged once. (In practice each eval goal
+// reduces exactly once; the memo makes that robust.)
+func GoalCostFn(model *CostModel) func(goal term.Term) int64 {
+	memo := map[string]int64{}
+	return func(goal term.Term) int64 {
+		key := term.Sprint(term.Resolve(goal))
+		if c, ok := memo[key]; ok {
+			return c
+		}
+		c := model.Next()
+		memo[key] = c
+		return c
+	}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/motifs"
+	"repro/internal/skel"
+	"repro/internal/term"
+)
+
+func TestIntTreeShapes(t *testing.T) {
+	for _, shape := range []TreeShape{ShapeRandom, ShapeBalanced, ShapeCaterpillar} {
+		tr := IntTree(32, shape, 1)
+		if tr.Leaves() != 32 {
+			t.Fatalf("%s: leaves = %d", shape, tr.Leaves())
+		}
+		if tr.Nodes() != 63 {
+			t.Fatalf("%s: nodes = %d", shape, tr.Nodes())
+		}
+	}
+}
+
+func TestShapeExtremes(t *testing.T) {
+	n := 64
+	bal := IntTree(n, ShapeBalanced, 1)
+	cat := IntTree(n, ShapeCaterpillar, 1)
+	if bal.Height() != 7 { // log2(64)+1
+		t.Fatalf("balanced height = %d", bal.Height())
+	}
+	if cat.Height() != n {
+		t.Fatalf("caterpillar height = %d", cat.Height())
+	}
+}
+
+func TestIntTreeDeterminism(t *testing.T) {
+	a := IntTree(20, ShapeRandom, 7)
+	b := IntTree(20, ShapeRandom, 7)
+	if a.String() != b.String() {
+		t.Fatal("same seed, different trees")
+	}
+	c := IntTree(20, ShapeRandom, 8)
+	if a.String() == c.String() {
+		t.Fatal("different seeds, identical trees")
+	}
+}
+
+func TestSkelTreeConversion(t *testing.T) {
+	tr := IntTree(16, ShapeRandom, 3)
+	st := SkelTree(tr)
+	if st.Nodes() != tr.Nodes() || st.Leaves() != tr.Leaves() {
+		t.Fatal("conversion changed shape")
+	}
+	// Reduction agrees.
+	want := seqReduce(tr)
+	got := skel.SeqReduce(st, func(op string, l, r int64) int64 {
+		if op == "+" {
+			return l + r
+		}
+		return l * r
+	})
+	if got != want {
+		t.Fatalf("skel reduce %d != motif reduce %d", got, want)
+	}
+}
+
+func seqReduce(t *motifs.BinTree) int64 {
+	if t.IsLeaf() {
+		return int64(t.Leaf.(term.Int))
+	}
+	l, r := seqReduce(t.L), seqReduce(t.R)
+	if t.Op == "+" {
+		return l + r
+	}
+	return l * r
+}
+
+func TestUniformCost(t *testing.T) {
+	m := UniformCost(5)
+	for i := 0; i < 10; i++ {
+		if m.Next() != 5 {
+			t.Fatal("uniform cost varied")
+		}
+	}
+	if UniformCost(0).Next() != 1 {
+		t.Fatal("zero cost not clamped")
+	}
+}
+
+func TestExpCostPositiveAndVaried(t *testing.T) {
+	m := ExpCost(20, 1)
+	seen := map[int64]bool{}
+	for i := 0; i < 200; i++ {
+		c := m.Next()
+		if c < 1 {
+			t.Fatalf("cost %d < 1", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("exponential costs suspiciously uniform: %d distinct", len(seen))
+	}
+}
+
+func TestParetoCostHeavyTail(t *testing.T) {
+	m := ParetoCost(1.2, 10, 2)
+	var max, sum int64
+	n := int64(2000)
+	for i := int64(0); i < n; i++ {
+		c := m.Next()
+		if c < 10 {
+			t.Fatalf("cost %d below minimum", c)
+		}
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := sum / n
+	if max < 10*mean {
+		t.Fatalf("tail not heavy: max=%d mean=%d", max, mean)
+	}
+}
+
+func TestParetoCostDefaults(t *testing.T) {
+	m := ParetoCost(0, 0, 3)
+	if c := m.Next(); c < 1 {
+		t.Fatalf("cost %d", c)
+	}
+}
+
+func TestGoalCostFnMemoizes(t *testing.T) {
+	m := ExpCost(100, 4)
+	fn := GoalCostFn(m)
+	g := term.NewCompound("eval", term.Atom("+"), term.Int(1), term.Int(2), term.Int(3))
+	c1 := fn(g)
+	c2 := fn(g)
+	if c1 != c2 {
+		t.Fatalf("memoization failed: %d vs %d", c1, c2)
+	}
+}
