@@ -1,0 +1,32 @@
+# Local mirror of .github/workflows/ci.yml: `make ci` runs the exact CI
+# steps (format gate, build, vet, tests, race tests, bench smoke).
+
+GO ?= go
+
+.PHONY: ci fmt-check build vet test race bench-smoke
+
+ci: fmt-check build vet test race bench-smoke
+	@echo "ci: all steps passed"
+
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$unformatted" >&2; \
+		exit 1; \
+	fi
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/skel/... ./internal/motifs/...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	alignbench [-n seqs] [-len seqLen] [-seed N] [-mode native|sim|both]
+//	alignbench -trace out.json [-n seqs] [-len seqLen] [-seed N]
+//
+// With -trace, alignbench runs one simulated Tree-Reduce-2 family
+// alignment with structured tracing on and writes the event stream as a
+// Chrome trace_event file (open in chrome://tracing or Perfetto).
 package main
 
 import (
@@ -13,7 +18,11 @@ import (
 
 	"repro/internal/bio"
 	"repro/internal/exp"
+	"repro/internal/metrics"
+	"repro/internal/motifs"
 	"repro/internal/skel"
+	"repro/internal/strand"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -22,7 +31,15 @@ func main() {
 	seed := flag.Int64("seed", 7, "random seed")
 	mode := flag.String("mode", "both", "native (wall-clock skeleton), sim (motif simulator), quality, or both")
 	fasta := flag.String("fasta", "", "align the sequences in this FASTA file and print the alignment (overrides -mode)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of one simulated alignment run to this file (overrides -mode)")
 	flag.Parse()
+
+	if *traceFile != "" {
+		if err := runTraced(*traceFile, *n, *seqLen, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *fasta != "" {
 		f, err := os.Open(*fasta)
@@ -76,6 +93,62 @@ func main() {
 		}
 		fmt.Printf("== E11b: simulated motif comparison (%d sequences, len %d) ==\n%s\n", sn, sl, tab)
 	}
+}
+
+// runTraced aligns a small synthetic family under Tree-Reduce-2 on the
+// simulator with tracing enabled, writing the Chrome trace and printing the
+// run's structural summaries. The simulator interprets every reduction, so
+// the instance is capped to keep the traced run quick.
+func runTraced(file string, n, seqLen int, seed int64) error {
+	if n > 12 {
+		n = 12
+	}
+	if seqLen > 48 {
+		seqLen = 48
+	}
+	fam, err := bio.Evolve(n, seqLen, 0.08, 0.01, seed)
+	if err != nil {
+		return err
+	}
+	guide, err := bio.GuideTree(fam)
+	if err != nil {
+		return err
+	}
+	seqTree := bio.SeqTree(guide, fam)
+
+	ring := trace.NewRing(0)
+	chrome := trace.NewChrome()
+	procs := 4
+	cfg := motifs.RunConfig{
+		Procs:   procs,
+		Seed:    seed,
+		Natives: map[string]strand.NativeFn{"eval/4": bio.EvalNative()},
+		Tracer:  trace.Multi(ring, chrome),
+	}
+	_, res, err := motifs.RunTreeReduce2("", seqTree, motifs.SiblingLabels, cfg)
+	if err != nil {
+		return fmt.Errorf("traced TR2 alignment: %w", err)
+	}
+
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	if _, err := chrome.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	met := res.Metrics
+	fmt.Printf("traced tree-reduce-2 alignment of %d sequences (len %d) on %d procs\n%s\n\n", n, seqLen, procs, met)
+	fmt.Printf("busy/idle timeline (makespan %d cycles):\n%s\n",
+		met.Makespan, metrics.BusyTimeline(ring.Events(), procs, met.Makespan, 72))
+	fmt.Printf("wrote %s: %d trace events (reductions %d + messages %d)\n",
+		file, chrome.EventCount(), met.TotalReductions(), met.Messages)
+	return nil
 }
 
 func fatal(err error) {

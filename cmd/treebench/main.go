@@ -4,6 +4,14 @@
 // Usage:
 //
 //	treebench [-exp all|arith|balance|crossover|memory|locality|reuse|skeletons] [-seed N]
+//	treebench -trace out.json [-tracemotif tr1|tr2] [-procs P] [-leaves N] [-seed N]
+//
+// With -trace, treebench runs one traced tree reduction and writes its
+// structured event stream as a Chrome trace_event file: open it in
+// chrome://tracing or https://ui.perfetto.dev (one lane per simulated
+// processor). It also prints the busy/idle timeline and message-latency
+// histogram, and verifies that the exported event count equals
+// reductions + messages.
 package main
 
 import (
@@ -13,12 +21,30 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/metrics"
+	"repro/internal/motifs"
+	"repro/internal/strand"
+	"repro/internal/term"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
 	which := flag.String("exp", "all", "experiment: all, arith (E2), balance (E6), crossover (E7), memory (E9), locality (E5), reuse (E8), skeletons (E10)")
 	seed := flag.Int64("seed", 7, "random seed")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of one traced reduction to this file (overrides -exp)")
+	traceMotif := flag.String("tracemotif", "tr1", "motif for the traced run: tr1 (Tree-Reduce-1) or tr2 (Tree-Reduce-2)")
+	procs := flag.Int("procs", 8, "processors for the traced run")
+	leaves := flag.Int("leaves", 64, "tree leaves for the traced run")
+	msgCost := flag.Int64("msgcost", 4, "message latency in cycles for the traced run")
 	flag.Parse()
+
+	if *traceFile != "" {
+		if err := runTraced(*traceFile, *traceMotif, *procs, *leaves, *msgCost, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	type entry struct {
 		key, title string
@@ -68,4 +94,68 @@ func main() {
 		fmt.Fprintf(os.Stderr, "treebench: unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
+}
+
+// runTraced executes one tree reduction with tracing on and writes the
+// Chrome trace, then cross-checks the export against the run's metrics:
+// the file must contain exactly one slice per reduction and one instant
+// per message.
+func runTraced(file, motif string, procs, leaves int, msgCost, seed int64) error {
+	tree := workload.IntTree(leaves, workload.ShapeRandom, seed)
+	ring := trace.NewRing(0)
+	chrome := trace.NewChrome()
+	cfg := motifs.RunConfig{
+		Procs:       procs,
+		Seed:        seed,
+		MessageCost: msgCost,
+		Tracer:      trace.Multi(ring, chrome),
+		EvalCost:    func(term.Term) int64 { return 20 },
+	}
+
+	var (
+		val term.Term
+		res *strand.Result
+		err error
+	)
+	switch motif {
+	case "tr1":
+		val, res, err = motifs.RunTreeReduce1(motifs.ArithmeticEvalSrc, tree, cfg)
+	case "tr2":
+		val, res, err = motifs.RunTreeReduce2(motifs.ArithmeticEvalSrc, tree, motifs.SiblingLabels, cfg)
+	default:
+		return fmt.Errorf("unknown -tracemotif %q (want tr1 or tr2)", motif)
+	}
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(file)
+	if err != nil {
+		return err
+	}
+	if _, err := chrome.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	met := res.Metrics
+	fmt.Printf("traced %s over %d-leaf tree on %d procs (seed %d): value=%s\n",
+		motif, leaves, procs, seed, term.Sprint(val))
+	fmt.Printf("%s\n\n", met)
+	fmt.Printf("busy/idle timeline (makespan %d cycles):\n%s\n",
+		met.Makespan, metrics.BusyTimeline(ring.Events(), procs, met.Makespan, 72))
+	fmt.Printf("message-latency histogram (cycles):\n%s\n",
+		metrics.MessageLatencyHistogram(ring.Events()))
+
+	want := met.TotalReductions() + met.Messages
+	got := int64(chrome.EventCount())
+	fmt.Printf("wrote %s: %d trace events (reductions %d + messages %d = %d)\n",
+		file, got, met.TotalReductions(), met.Messages, want)
+	if got != want {
+		return fmt.Errorf("trace event count %d != reductions+messages %d", got, want)
+	}
+	return nil
 }

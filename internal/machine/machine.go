@@ -13,8 +13,12 @@
 package machine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
+
+	"repro/internal/trace"
 )
 
 // Task is an opaque unit of work placed on a processor's run queue.
@@ -32,9 +36,46 @@ type Config struct {
 	// MessageCost cycles after it is sent. Zero means instantaneous.
 	MessageCost int64
 	// MaxCycles aborts the run after this many cycles as a safety net
-	// against livelock; 0 means no limit.
+	// against livelock; 0 means no limit. Exceeding it surfaces a
+	// *MaxCyclesError (matchable with errors.Is(err, ErrMaxCycles)).
 	MaxCycles int64
+	// Tracer, if non-nil, receives a structured event for every observable
+	// occurrence: enqueues, execution start/finish, ships and deliveries,
+	// idle↔busy transitions, and queue high-water marks. The nil default
+	// adds no work and no allocations to the scheduling hot path.
+	Tracer trace.Tracer
 }
+
+// ErrMaxCycles is the sentinel matched by errors.Is for runs aborted by the
+// Config.MaxCycles safety net.
+var ErrMaxCycles = errors.New("machine: exceeded MaxCycles")
+
+// MaxCyclesError reports a run that exceeded Config.MaxCycles, with enough
+// state to diagnose the livelock: the cycle reached and where the
+// outstanding work sits.
+type MaxCyclesError struct {
+	// Limit is the configured MaxCycles bound.
+	Limit int64
+	// Cycle is the cycle count when the run was aborted.
+	Cycle int64
+	// QueueDepths is the per-processor run-queue length at abort.
+	QueueDepths []int
+	// InFlight is the number of delayed (in-transit) tasks at abort.
+	InFlight int
+}
+
+func (e *MaxCyclesError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine: exceeded MaxCycles=%d at cycle %d (%d in flight; queues", e.Limit, e.Cycle, e.InFlight)
+	for p, d := range e.QueueDepths {
+		fmt.Fprintf(&b, " p%d=%d", p, d)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Is makes errors.Is(err, ErrMaxCycles) match a *MaxCyclesError.
+func (e *MaxCyclesError) Is(target error) bool { return target == ErrMaxCycles }
 
 // Machine is a simulated multicomputer. It is not safe for concurrent use;
 // the whole point is deterministic single-threaded interleaving.
@@ -47,12 +88,17 @@ type Machine struct {
 	now     int64
 	// busyUntil[p] > now means processor p is executing a long task.
 	busyUntil []int64
+	// wasBusy[p] tracks the idle/busy state last observed for processor p,
+	// for emitting trace transition events.
+	wasBusy []bool
+	tracer  trace.Tracer
 
 	met Metrics
 }
 
 type delayedTask struct {
 	due  int64
+	sent int64
 	to   int
 	task Task
 }
@@ -92,6 +138,8 @@ func New(cfg Config) *Machine {
 		queues:    make([]fifo, cfg.Procs),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		busyUntil: make([]int64, cfg.Procs),
+		wasBusy:   make([]bool, cfg.Procs),
+		tracer:    cfg.Tracer,
 		met: Metrics{
 			Reductions:      make([]int64, cfg.Procs),
 			MessagesToProc:  make([]int64, cfg.Procs),
@@ -114,13 +162,27 @@ func (m *Machine) Rand(n int) int { return m.rng.Intn(n) }
 // RandProc returns a uniformly random processor index.
 func (m *Machine) RandProc() int { return m.rng.Intn(m.cfg.Procs) }
 
+// TraceEnabled reports whether a tracer is installed. Callers use it to
+// skip computing expensive event labels on untraced runs.
+func (m *Machine) TraceEnabled() bool { return m.tracer != nil }
+
+// emit forwards an event to the tracer. Callers must check m.tracer != nil
+// first so that untraced runs never construct the event.
+func (m *Machine) emit(e trace.Event) { m.tracer.Event(e) }
+
 // Enqueue places a task on processor p's run queue immediately, without
 // counting a message (used for initial work placement and local spawns).
 func (m *Machine) Enqueue(p int, t Task) {
 	m.checkProc(p)
 	m.queues[p].push(t)
+	if m.tracer != nil {
+		m.emit(trace.Event{Cycle: m.now, Kind: trace.KindEnqueue, Proc: p, From: -1, Label: trace.LabelOf(t)})
+	}
 	if l := m.queues[p].len(); l > m.met.PeakQueueLength[p] {
 		m.met.PeakQueueLength[p] = l
+		if m.tracer != nil {
+			m.emit(trace.Event{Cycle: m.now, Kind: trace.KindPeakQueue, Proc: p, From: -1, Arg: int64(l)})
+		}
 	}
 }
 
@@ -133,7 +195,7 @@ func (m *Machine) EnqueueAfter(p int, t Task, delay int64) {
 		m.Enqueue(p, t)
 		return
 	}
-	m.delayed = append(m.delayed, delayedTask{due: m.now + delay, to: p, task: t})
+	m.delayed = append(m.delayed, delayedTask{due: m.now + delay, sent: m.now, to: p, task: t})
 }
 
 // CountMessage records an inter-processor message for accounting without
@@ -141,12 +203,22 @@ func (m *Machine) EnqueueAfter(p int, t Task, delay int64) {
 // structure (e.g. a stream) rather than as a schedulable task. A self-send
 // is not a message.
 func (m *Machine) CountMessage(from, to int) {
+	m.CountMessageLabeled(from, to, "")
+}
+
+// CountMessageLabeled is CountMessage with a label naming the payload in
+// the emitted ship event (e.g. the stream message term). Compute the label
+// only when TraceEnabled reports true.
+func (m *Machine) CountMessageLabeled(from, to int, label string) {
 	m.checkProc(to)
 	if from == to {
 		return
 	}
 	m.met.Messages++
 	m.met.MessagesToProc[to]++
+	if m.tracer != nil {
+		m.emit(trace.Event{Cycle: m.now, Kind: trace.KindShip, Proc: to, From: from, Label: label})
+	}
 }
 
 // Send ships a task from processor `from` to processor `to`, counting an
@@ -160,11 +232,14 @@ func (m *Machine) Send(from, to int, t Task) {
 	}
 	m.met.Messages++
 	m.met.MessagesToProc[to]++
+	if m.tracer != nil {
+		m.emit(trace.Event{Cycle: m.now, Kind: trace.KindShip, Proc: to, From: from, Label: trace.LabelOf(t)})
+	}
 	if m.cfg.MessageCost <= 0 {
 		m.Enqueue(to, t)
 		return
 	}
-	m.delayed = append(m.delayed, delayedTask{due: m.now + m.cfg.MessageCost, to: to, task: t})
+	m.delayed = append(m.delayed, delayedTask{due: m.now + m.cfg.MessageCost, sent: m.now, to: to, task: t})
 }
 
 func (m *Machine) checkProc(p int) {
@@ -211,8 +286,16 @@ func (m *Machine) Step(exec Exec) (bool, error) {
 		return false, nil
 	}
 	if m.cfg.MaxCycles > 0 && m.now >= m.cfg.MaxCycles {
-		return false, fmt.Errorf("machine: exceeded MaxCycles=%d with %d tasks queued",
-			m.cfg.MaxCycles, m.QueuedTasks())
+		depths := make([]int, len(m.queues))
+		for p := range m.queues {
+			depths[p] = m.queues[p].len()
+		}
+		return false, &MaxCyclesError{
+			Limit:       m.cfg.MaxCycles,
+			Cycle:       m.now,
+			QueueDepths: depths,
+			InFlight:    len(m.delayed),
+		}
 	}
 
 	// Deliver arrived messages.
@@ -220,6 +303,10 @@ func (m *Machine) Step(exec Exec) (bool, error) {
 		kept := m.delayed[:0]
 		for _, d := range m.delayed {
 			if d.due <= m.now {
+				if m.tracer != nil {
+					m.emit(trace.Event{Cycle: m.now, Kind: trace.KindDeliver, Proc: d.to, From: -1,
+						Arg: m.now - d.sent, Label: trace.LabelOf(d.task)})
+				}
 				m.Enqueue(d.to, d.task)
 			} else {
 				kept = append(kept, d)
@@ -235,11 +322,27 @@ func (m *Machine) Step(exec Exec) (bool, error) {
 		}
 		t, ok := m.queues[p].pop()
 		if !ok {
+			if m.tracer != nil && m.wasBusy[p] {
+				m.wasBusy[p] = false
+				m.emit(trace.Event{Cycle: m.now, Kind: trace.KindIdle, Proc: p, From: -1})
+			}
 			continue
+		}
+		var label string
+		if m.tracer != nil {
+			if !m.wasBusy[p] {
+				m.wasBusy[p] = true
+				m.emit(trace.Event{Cycle: m.now, Kind: trace.KindBusy, Proc: p, From: -1})
+			}
+			label = trace.LabelOf(t)
+			m.emit(trace.Event{Cycle: m.now, Kind: trace.KindExecStart, Proc: p, From: -1, Label: label})
 		}
 		cost := exec(p, t)
 		if cost < 1 {
 			cost = 1
+		}
+		if m.tracer != nil {
+			m.emit(trace.Event{Cycle: m.now, Kind: trace.KindExecFinish, Proc: p, From: -1, Arg: cost, Label: label})
 		}
 		m.met.Reductions[p]++
 		m.met.BusyCycles[p] += 1 // this cycle; remaining busy cycles counted as they pass
@@ -261,6 +364,15 @@ func (m *Machine) Run(exec Exec) (*Metrics, error) {
 		}
 		if !more {
 			break
+		}
+	}
+	if m.tracer != nil {
+		// Close any open busy spans so timelines end at the makespan.
+		for p := range m.wasBusy {
+			if m.wasBusy[p] {
+				m.wasBusy[p] = false
+				m.emit(trace.Event{Cycle: m.now, Kind: trace.KindIdle, Proc: p, From: -1})
+			}
 		}
 	}
 	return m.MetricsSnapshot(), nil

@@ -1,0 +1,188 @@
+package machine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// labeledTask implements trace.Labeler so machine events carry names.
+type labeledTask string
+
+func (t labeledTask) TraceLabel() string { return string(t) }
+
+func TestMaxCyclesTypedError(t *testing.T) {
+	m := New(Config{Procs: 2, Seed: 1, MaxCycles: 10})
+	m.Enqueue(0, "tick")
+	_, err := m.Run(func(p int, task Task) int64 {
+		m.Enqueue(p, task) // livelock: always requeue
+		return 1
+	})
+	if err == nil {
+		t.Fatal("expected MaxCycles error")
+	}
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("errors.Is(err, ErrMaxCycles) = false for %v", err)
+	}
+	var mce *MaxCyclesError
+	if !errors.As(err, &mce) {
+		t.Fatalf("errors.As failed for %T: %v", err, err)
+	}
+	if mce.Limit != 10 || mce.Cycle != 10 {
+		t.Fatalf("limit=%d cycle=%d, want 10/10", mce.Limit, mce.Cycle)
+	}
+	if len(mce.QueueDepths) != 2 {
+		t.Fatalf("QueueDepths = %v, want one entry per processor", mce.QueueDepths)
+	}
+	if mce.QueueDepths[0]+mce.QueueDepths[1] < 1 {
+		t.Fatalf("QueueDepths = %v, expected the livelocked task", mce.QueueDepths)
+	}
+	if msg := mce.Error(); msg == "" || !errors.Is(mce, ErrMaxCycles) {
+		t.Fatalf("bad error rendering: %q", msg)
+	}
+}
+
+// TestTracerEventStream drives a small two-processor run and checks that
+// the machine narrates it faithfully: executions, the ship and its delayed
+// delivery, busy/idle transitions, and the queue high-water mark.
+func TestTracerEventStream(t *testing.T) {
+	ring := trace.NewRing(0)
+	m := New(Config{Procs: 2, Seed: 1, MessageCost: 3, Tracer: ring})
+	m.Enqueue(0, labeledTask("root"))
+	met, err := m.Run(func(p int, task Task) int64 {
+		if task == Task(labeledTask("root")) {
+			m.Send(0, 1, labeledTask("shipped"))
+			return 2
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := int64(ring.Count(trace.KindExecFinish)); got != met.TotalReductions() {
+		t.Fatalf("exec-finish events = %d, reductions = %d", got, met.TotalReductions())
+	}
+	if got := int64(ring.Count(trace.KindShip)); got != met.Messages {
+		t.Fatalf("ship events = %d, messages = %d", got, met.Messages)
+	}
+	if ring.Count(trace.KindExecStart) != ring.Count(trace.KindExecFinish) {
+		t.Fatal("unbalanced exec-start/exec-finish")
+	}
+	if ring.Count(trace.KindBusy) != ring.Count(trace.KindIdle) {
+		t.Fatalf("unbalanced busy/idle: %d vs %d",
+			ring.Count(trace.KindBusy), ring.Count(trace.KindIdle))
+	}
+
+	ships := ring.Filter(trace.KindShip)
+	if len(ships) != 1 || ships[0].From != 0 || ships[0].Proc != 1 || ships[0].Label != "shipped" {
+		t.Fatalf("ship event = %+v", ships)
+	}
+	delivers := ring.Filter(trace.KindDeliver)
+	if len(delivers) != 1 || delivers[0].Arg != 3 {
+		t.Fatalf("deliver events = %+v, want one with latency 3", delivers)
+	}
+	if ring.Count(trace.KindPeakQueue) == 0 {
+		t.Fatal("no peak-queue events recorded")
+	}
+	execs := ring.Filter(trace.KindExecFinish)
+	if execs[0].Label != "root" || execs[0].Arg != 2 {
+		t.Fatalf("first exec = %+v", execs[0])
+	}
+	if execs[1].Label != "shipped" {
+		t.Fatalf("second exec = %+v", execs[1])
+	}
+	// The shipped task executes only after the 3-cycle latency.
+	if execs[1].Cycle < 3 {
+		t.Fatalf("shipped task executed at cycle %d, before its delivery", execs[1].Cycle)
+	}
+}
+
+func TestTracerBusyIdleSpansCoverBusyCycles(t *testing.T) {
+	ring := trace.NewRing(0)
+	m := New(Config{Procs: 1, Seed: 1, Tracer: ring})
+	m.Enqueue(0, labeledTask("slow"))
+	met, err := m.Run(func(p int, task Task) int64 { return 5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := ring.Filter(trace.KindBusy)
+	idle := ring.Filter(trace.KindIdle)
+	if len(busy) != 1 || len(idle) != 1 {
+		t.Fatalf("busy=%v idle=%v", busy, idle)
+	}
+	if span := idle[0].Cycle - busy[0].Cycle; span != met.BusyCycles[0] {
+		t.Fatalf("busy span %d != busy cycles %d", span, met.BusyCycles[0])
+	}
+}
+
+// TestStepNoTracerAllocs asserts the tentpole's zero-overhead guarantee:
+// with the default nil tracer the machine's scheduling hot path performs no
+// allocations in steady state.
+func TestStepNoTracerAllocs(t *testing.T) {
+	m := New(Config{Procs: 4, Seed: 1})
+	exec := func(p int, task Task) int64 {
+		m.Enqueue(p, task) // perpetual work, no growth
+		return 1
+	}
+	for p := 0; p < 4; p++ {
+		m.Enqueue(p, p)
+	}
+	// Warm up past the fifo's compaction threshold so the backing arrays
+	// reach steady state.
+	for i := 0; i < 500; i++ {
+		if _, err := m.Step(exec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := m.Step(exec); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Step allocates %.1f times per cycle with nil tracer, want 0", allocs)
+	}
+}
+
+// BenchmarkStepNilTracer measures the untraced hot path (the CI bench
+// smoke job keeps it compiling and running).
+func BenchmarkStepNilTracer(b *testing.B) {
+	m := New(Config{Procs: 4, Seed: 1})
+	exec := func(p int, task Task) int64 {
+		m.Enqueue(p, task)
+		return 1
+	}
+	for p := 0; p < 4; p++ {
+		m.Enqueue(p, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Step(exec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStepRingTracer is the traced counterpart, for eyeballing the
+// tracing overhead next to BenchmarkStepNilTracer.
+func BenchmarkStepRingTracer(b *testing.B) {
+	ring := trace.NewRing(1 << 12)
+	m := New(Config{Procs: 4, Seed: 1, Tracer: ring})
+	exec := func(p int, task Task) int64 {
+		m.Enqueue(p, task)
+		return 1
+	}
+	for p := 0; p < 4; p++ {
+		m.Enqueue(p, p)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Step(exec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

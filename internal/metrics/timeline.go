@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Histogram is a fixed-bucket histogram of non-negative int64 observations
+// (cycle latencies, queue depths). Bucket i counts observations v with
+// v <= bounds[i] (and above the previous bound); an extra overflow bucket
+// catches the rest.
+type Histogram struct {
+	bounds   []int64
+	counts   []int64
+	n        int64
+	sum      int64
+	max      int64
+	overflow int64
+}
+
+// NewHistogram creates a histogram with the given ascending upper bounds.
+func NewHistogram(bounds ...int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]int64, len(b))}
+}
+
+// DefaultLatencyBounds covers the message latencies seen across the
+// experiment configurations (MessageCost 0..100 plus queueing delay).
+var DefaultLatencyBounds = []int64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.overflow++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() int64 { return h.max }
+
+// String renders one line per non-empty bucket with a proportional bar.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "(no observations)\n"
+	}
+	var peak int64
+	for _, c := range h.counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	if h.overflow > peak {
+		peak = h.overflow
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f max=%d\n", h.n, h.Mean(), h.max)
+	row := func(label string, count int64) {
+		if count == 0 {
+			return
+		}
+		bar := int(count * 40 / peak)
+		if bar < 1 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%8s %7d %s\n", label, count, strings.Repeat("█", bar))
+	}
+	lo := int64(0)
+	for i, bound := range h.bounds {
+		label := fmt.Sprintf("≤%d", bound)
+		if bound == lo && i == 0 {
+			label = "0"
+		}
+		row(label, h.counts[i])
+		lo = bound
+	}
+	row(fmt.Sprintf(">%d", lo), h.overflow)
+	return b.String()
+}
+
+// MessageLatencyHistogram summarizes the send→delivery latency of every
+// delayed message in the event stream (trace.KindDeliver events).
+func MessageLatencyHistogram(events []trace.Event) *Histogram {
+	h := NewHistogram(DefaultLatencyBounds...)
+	for _, e := range events {
+		if e.Kind == trace.KindDeliver {
+			h.Observe(e.Arg)
+		}
+	}
+	return h
+}
+
+// Span is a half-open busy interval [From, To) on one processor.
+type Span struct {
+	Proc     int
+	From, To int64
+}
+
+// BusySpans reconstructs each processor's busy intervals from the
+// idle↔busy transition events. Spans still open at the end of the stream
+// are closed at makespan.
+func BusySpans(events []trace.Event, procs int, makespan int64) [][]Span {
+	out := make([][]Span, procs)
+	open := make([]int64, procs)
+	busy := make([]bool, procs)
+	for _, e := range events {
+		if e.Proc < 0 || e.Proc >= procs {
+			continue
+		}
+		switch e.Kind {
+		case trace.KindBusy:
+			if !busy[e.Proc] {
+				busy[e.Proc] = true
+				open[e.Proc] = e.Cycle
+			}
+		case trace.KindIdle:
+			if busy[e.Proc] {
+				busy[e.Proc] = false
+				out[e.Proc] = append(out[e.Proc], Span{Proc: e.Proc, From: open[e.Proc], To: e.Cycle})
+			}
+		}
+	}
+	for p := 0; p < procs; p++ {
+		if busy[p] && makespan > open[p] {
+			out[p] = append(out[p], Span{Proc: p, From: open[p], To: makespan})
+		}
+	}
+	return out
+}
+
+// BusyTimeline renders a per-processor busy/idle timeline of the run, one
+// row per processor and width columns spanning [0, makespan): '█' for a
+// fully busy slice, '▓' mostly busy, '░' partly busy, '·' idle. It is the
+// at-a-glance structural view of a traced run (cmd/treebench -trace
+// prints it next to the exported Chrome trace).
+func BusyTimeline(events []trace.Event, procs int, makespan int64, width int) string {
+	if width < 1 {
+		width = 60
+	}
+	if makespan < 1 {
+		return "(empty run)\n"
+	}
+	spans := BusySpans(events, procs, makespan)
+	var b strings.Builder
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&b, "p%-3d |", p+1)
+		var busyTotal int64
+		for _, s := range spans[p] {
+			busyTotal += s.To - s.From
+		}
+		for col := 0; col < width; col++ {
+			lo := makespan * int64(col) / int64(width)
+			hi := makespan * int64(col+1) / int64(width)
+			if hi == lo {
+				hi = lo + 1
+			}
+			var busy int64
+			for _, s := range spans[p] {
+				if s.To <= lo || s.From >= hi {
+					continue
+				}
+				from, to := s.From, s.To
+				if from < lo {
+					from = lo
+				}
+				if to > hi {
+					to = hi
+				}
+				busy += to - from
+			}
+			switch frac := float64(busy) / float64(hi-lo); {
+			case frac == 0:
+				b.WriteRune('·')
+			case frac < 0.4:
+				b.WriteRune('░')
+			case frac < 1:
+				b.WriteRune('▓')
+			default:
+				b.WriteRune('█')
+			}
+		}
+		fmt.Fprintf(&b, "| %5.1f%% busy\n", 100*float64(busyTotal)/float64(makespan))
+	}
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	h := NewHistogram(1, 4, 16)
+	for _, v := range []int64{0, 1, 2, 4, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Max() != 100 {
+		t.Fatalf("max = %d", h.Max())
+	}
+	if got, want := h.Mean(), float64(112)/6; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	s := h.String()
+	for _, want := range []string{"≤1", "≤4", "≤16", ">16", "n=6"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("histogram rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 2)
+	if h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	if !strings.Contains(h.String(), "no observations") {
+		t.Fatalf("empty rendering = %q", h.String())
+	}
+}
+
+func TestMessageLatencyHistogramReadsDeliverEvents(t *testing.T) {
+	events := []trace.Event{
+		{Kind: trace.KindDeliver, Arg: 3},
+		{Kind: trace.KindDeliver, Arg: 7},
+		{Kind: trace.KindShip, Arg: 99},  // not a delivery
+		{Kind: trace.KindBind, Arg: 100}, // not a delivery
+	}
+	h := MessageLatencyHistogram(events)
+	if h.Count() != 2 || h.Max() != 7 {
+		t.Fatalf("count=%d max=%d, want 2/7", h.Count(), h.Max())
+	}
+}
+
+func TestBusySpansReconstruction(t *testing.T) {
+	events := []trace.Event{
+		{Cycle: 0, Kind: trace.KindBusy, Proc: 0},
+		{Cycle: 4, Kind: trace.KindIdle, Proc: 0},
+		{Cycle: 6, Kind: trace.KindBusy, Proc: 0},
+		{Cycle: 2, Kind: trace.KindBusy, Proc: 1},
+		// proc 0's second span and proc 1's span stay open until makespan.
+	}
+	spans := BusySpans(events, 2, 10)
+	if len(spans[0]) != 2 || spans[0][0] != (Span{Proc: 0, From: 0, To: 4}) || spans[0][1] != (Span{Proc: 0, From: 6, To: 10}) {
+		t.Fatalf("proc 0 spans = %+v", spans[0])
+	}
+	if len(spans[1]) != 1 || spans[1][0] != (Span{Proc: 1, From: 2, To: 10}) {
+		t.Fatalf("proc 1 spans = %+v", spans[1])
+	}
+}
+
+func TestBusyTimelineRendering(t *testing.T) {
+	events := []trace.Event{
+		{Cycle: 0, Kind: trace.KindBusy, Proc: 0},
+		{Cycle: 100, Kind: trace.KindIdle, Proc: 0},
+	}
+	out := BusyTimeline(events, 2, 100, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "100.0% busy") || !strings.Contains(lines[0], "████") {
+		t.Fatalf("fully busy processor rendered as %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "0.0% busy") || strings.Contains(lines[1], "█") {
+		t.Fatalf("idle processor rendered as %q", lines[1])
+	}
+	if BusyTimeline(nil, 1, 0, 10) != "(empty run)\n" {
+		t.Fatal("empty run rendering")
+	}
+}

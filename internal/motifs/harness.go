@@ -9,6 +9,7 @@ import (
 	"repro/internal/parser"
 	"repro/internal/strand"
 	"repro/internal/term"
+	"repro/internal/trace"
 )
 
 // ArithmeticEvalSrc is the example application of Section 3.1: a node
@@ -40,6 +41,9 @@ type RunConfig struct {
 	Watch []string
 	// Trace, if non-nil, receives the reduction trace.
 	Trace io.Writer
+	// Tracer, if non-nil, receives the structured event stream of the run
+	// (machine and runtime levels; see package trace).
+	Tracer trace.Tracer
 	// MaxCycles caps the simulation (0 = default).
 	MaxCycles int64
 }
@@ -52,6 +56,7 @@ func (cfg RunConfig) options() strand.Options {
 		Natives:     cfg.Natives,
 		Watch:       cfg.Watch,
 		Trace:       cfg.Trace,
+		Tracer:      cfg.Tracer,
 		MaxCycles:   cfg.MaxCycles,
 	}
 	if cfg.EvalCost != nil {

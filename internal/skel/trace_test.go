@@ -1,0 +1,83 @@
+package skel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func traceTestTree(leaves int, seed int64) *Tree[int64] {
+	rng := rand.New(rand.NewSource(seed))
+	var build func(n int) *Tree[int64]
+	build = func(n int) *Tree[int64] {
+		if n <= 1 {
+			return NewLeaf(int64(rng.Intn(3) + 1))
+		}
+		k := 1 + rng.Intn(n-1)
+		return NewNode("+", build(k), build(n-k))
+	}
+	return build(leaves)
+}
+
+// TestTreeReduceTracesEvals checks the native runtime's instrumentation:
+// one exec-start/exec-finish pair per internal node, and ship events
+// agreeing with the skeleton's own cross-message count. The tracer is hit
+// from many worker goroutines at once, so this test doubles as the -race
+// exercise for trace.Ring.
+func TestTreeReduceTracesEvals(t *testing.T) {
+	tree := traceTestTree(64, 3)
+	ring := trace.NewRing(0)
+	sum, stats, err := TreeReduce(tree, func(op string, l, r int64) int64 { return l + r },
+		ReduceOptions{Workers: 4, Mapper: MapRandom, Seed: 9, Tracer: ring})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := SeqReduce(tree, func(op string, l, r int64) int64 { return l + r }); sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+
+	internal := tree.Nodes() - tree.Leaves()
+	if got := ring.Count(trace.KindExecFinish); got != internal {
+		t.Fatalf("exec-finish events = %d, want one per internal node (%d)", got, internal)
+	}
+	if got := ring.Count(trace.KindExecStart); got != internal {
+		t.Fatalf("exec-start events = %d, want %d", got, internal)
+	}
+	if got := int64(ring.Count(trace.KindShip)); got != stats.CrossMessages {
+		t.Fatalf("ship events = %d, stats.CrossMessages = %d", got, stats.CrossMessages)
+	}
+	for _, e := range ring.Filter(trace.KindShip) {
+		if e.From == e.Proc {
+			t.Fatalf("self-ship traced: %+v", e)
+		}
+		if e.From < 0 || e.From >= 4 || e.Proc < 0 || e.Proc >= 4 {
+			t.Fatalf("ship outside worker range: %+v", e)
+		}
+	}
+	for _, e := range ring.Filter(trace.KindExecFinish) {
+		if e.Label != "+" {
+			t.Fatalf("exec event not labeled with the node op: %+v", e)
+		}
+		if e.Cycle < 0 || e.Arg < 0 {
+			t.Fatalf("negative wall-clock stamp: %+v", e)
+		}
+	}
+}
+
+// TestTreeReduceNilTracerUnchanged guards the default path: no tracer, no
+// behavioural difference.
+func TestTreeReduceNilTracerUnchanged(t *testing.T) {
+	tree := traceTestTree(32, 5)
+	eval := func(op string, l, r int64) int64 { return l + r }
+	got, stats, err := TreeReduce(tree, eval, ReduceOptions{Workers: 3, Mapper: MapStatic, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := SeqReduce(tree, eval); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if stats.TotalUnits() != int64(tree.Nodes()-tree.Leaves()) {
+		t.Fatalf("units = %d", stats.TotalUnits())
+	}
+}

@@ -3,6 +3,9 @@ package skel
 import (
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // Tree is a binary reduction tree with leaf payloads of type V; internal
@@ -80,6 +83,13 @@ type ReduceOptions struct {
 	Mapper Mapper
 	// Seed drives the random mapper.
 	Seed int64
+	// Tracer, if non-nil, receives structured events for the run: one
+	// exec-start/exec-finish pair per node evaluation (Proc = worker) and
+	// one ship per value that crossed workers. Because the skeletons run on
+	// the wall clock rather than simulated cycles, Event.Cycle holds
+	// microseconds since the reduction started. The tracer must be safe
+	// for concurrent use (trace.Ring and trace.Chrome both are).
+	Tracer trace.Tracer
 }
 
 // combineTask is one ready internal-node evaluation.
@@ -156,6 +166,8 @@ func TreeReduce[V any](t *Tree[V], eval func(op string, l, r V) V, opts ReduceOp
 	var cross int64
 	var crossMu sync.Mutex
 	var conc gauge
+	start := time.Now()
+	elapsed := func() int64 { return time.Since(start).Microseconds() }
 
 	// deliver records a child value and enqueues the parent when ready.
 	var deliver func(id int, v V, fromWorker int)
@@ -169,6 +181,10 @@ func TreeReduce[V any](t *Tree[V], eval func(op string, l, r V) V, opts ReduceOp
 			crossMu.Lock()
 			cross++
 			crossMu.Unlock()
+			if opts.Tracer != nil {
+				opts.Tracer.Event(trace.Event{Cycle: elapsed(), Kind: trace.KindShip,
+					Proc: worker[par], From: fromWorker, Label: nodes[par].Op})
+			}
 		}
 		pending[par].Done()
 	}
@@ -201,9 +217,19 @@ func TreeReduce[V any](t *Tree[V], eval func(op string, l, r V) V, opts ReduceOp
 				case task := <-queues[w]:
 					id := task.node
 					conc.inc()
+					var t0 int64
+					if opts.Tracer != nil {
+						t0 = elapsed()
+						opts.Tracer.Event(trace.Event{Cycle: t0, Kind: trace.KindExecStart,
+							Proc: w, From: -1, Label: nodes[id].Op})
+					}
 					l := vals[id+1]                     // left child is next in preorder
 					r := vals[id+1+nodes[id].L.Nodes()] // right child follows left subtree
 					v := eval(nodes[id].Op, l, r)
+					if opts.Tracer != nil {
+						opts.Tracer.Event(trace.Event{Cycle: elapsed(), Kind: trace.KindExecFinish,
+							Proc: w, From: -1, Arg: elapsed() - t0, Label: nodes[id].Op})
+					}
 					conc.dec()
 					stats.UnitsPerWorker[w]++
 					if parent[id] < 0 {

@@ -311,7 +311,14 @@ func biDistribute(rt *Runtime, p int, args []term.Term) (int64, []*term.Var, err
 		return 1, nil, fmt.Errorf("distribute/3: element %d is not a channel", i)
 	}
 	if owner, known := rt.portOwner[port]; known {
-		rt.mach.CountMessage(p, owner)
+		if rt.mach.TraceEnabled() {
+			// Label the ship event with the message term itself so trace
+			// consumers can attribute traffic (e.g. which node's value
+			// crossed processors); resolved only on traced runs.
+			rt.mach.CountMessageLabeled(p, owner, term.Sprint(term.Resolve(args[2])))
+		} else {
+			rt.mach.CountMessage(p, owner)
+		}
 	}
 	woken, err := port.Send(term.Resolve(args[2]))
 	if err != nil {

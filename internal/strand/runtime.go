@@ -8,6 +8,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/parser"
 	"repro/internal/term"
+	"repro/internal/trace"
 )
 
 // Process is one lightweight process in the pool: a goal plus its home
@@ -21,6 +22,13 @@ type Process struct {
 
 func (p *Process) String() string {
 	return fmt.Sprintf("%s@p%d", term.Sprint(p.Goal), p.Proc)
+}
+
+// TraceLabel names the process in machine-level trace events by its goal's
+// predicate indicator ("name/arity").
+func (p *Process) TraceLabel() string {
+	ind, _ := goalIndicator(p.Goal)
+	return ind
 }
 
 // suspension is the record registered on each variable a suspended process
@@ -51,6 +59,11 @@ type Options struct {
 	Out io.Writer
 	// Trace, if non-nil, receives one line per reduction (very verbose).
 	Trace io.Writer
+	// Tracer, if non-nil, receives structured events: the machine-level
+	// stream (enqueue/exec/ship/deliver/busy/idle) plus runtime-level
+	// reductions, suspensions, wakeups, and variable bindings, each tagged
+	// with the goal's predicate indicator. Nil adds no overhead.
+	Tracer trace.Tracer
 	// CostFn, if non-nil, gives the cycle cost of committing a reduction of
 	// the given goal (indicator form "name/arity"); return 0 for default 1.
 	// It lets experiments model non-uniform node-evaluation times.
@@ -139,6 +152,7 @@ func New(prog *parser.Program, h *term.Heap, opts Options) *Runtime {
 			Seed:        opts.Seed,
 			MessageCost: opts.MessageCost,
 			MaxCycles:   maxCycles,
+			Tracer:      opts.Tracer,
 		}),
 		heap:       h,
 		opts:       opts,
@@ -314,6 +328,10 @@ func (rt *Runtime) suspend(proc *Process, vars []*term.Var) {
 	if rt.opts.Trace != nil {
 		fmt.Fprintf(rt.opts.Trace, "[%6d] p%d SUSPEND %s\n", rt.mach.Now(), proc.Proc, term.Sprint(proc.Goal))
 	}
+	if rt.opts.Tracer != nil {
+		rt.opts.Tracer.Event(trace.Event{Cycle: rt.mach.Now(), Kind: trace.KindSuspend,
+			Proc: proc.Proc, From: -1, Label: proc.TraceLabel()})
+	}
 }
 
 func mustVar(t term.Term) *term.Var {
@@ -350,11 +368,19 @@ func (rt *Runtime) wakeAll(woken []any, fromProc int, viaPort bool) {
 		if rt.opts.Trace != nil {
 			fmt.Fprintf(rt.opts.Trace, "[%6d] p%d WAKE %s\n", rt.mach.Now(), s.proc.Proc, term.Sprint(s.proc.Goal))
 		}
+		if rt.opts.Tracer != nil {
+			rt.opts.Tracer.Event(trace.Event{Cycle: rt.mach.Now(), Kind: trace.KindWake,
+				Proc: s.proc.Proc, From: fromProc, Label: s.proc.TraceLabel()})
+		}
 	}
 }
 
 // Bind binds v to val on behalf of processor p, waking suspended processes.
 func (rt *Runtime) Bind(p int, v *term.Var, val term.Term) error {
+	if rt.opts.Tracer != nil {
+		rt.opts.Tracer.Event(trace.Event{Cycle: rt.mach.Now(), Kind: trace.KindBind,
+			Proc: p, From: -1, Label: v.String()})
+	}
 	woken, err := v.Bind(val)
 	if err != nil {
 		return err
@@ -421,6 +447,10 @@ func (rt *Runtime) reduce(p int, proc *Process) (int64, bool, error) {
 
 	if rt.opts.Trace != nil {
 		fmt.Fprintf(rt.opts.Trace, "[%6d] p%d REDUCE %s\n", rt.mach.Now(), p, term.Sprint(goal))
+	}
+	if rt.opts.Tracer != nil {
+		rt.opts.Tracer.Event(trace.Event{Cycle: rt.mach.Now(), Kind: trace.KindReduce,
+			Proc: p, From: -1, Label: ind})
 	}
 
 	// Builtins first, then natives, then defined predicates.

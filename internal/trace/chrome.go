@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Chrome converts an event stream into the Chrome trace_event JSON format,
+// viewable directly in chrome://tracing or https://ui.perfetto.dev. Each
+// simulated processor becomes one timeline lane (tid); one simulated cycle
+// maps to one microsecond of trace time.
+//
+// The export contains exactly one complete ("X") slice per task execution
+// and one instant ("i") event per inter-processor message — so for a
+// machine run the exported event count equals
+// Metrics.TotalReductions() + Metrics.Messages, which cmd/treebench
+// verifies after writing a trace.
+type Chrome struct {
+	mu     sync.Mutex
+	events []chromeEvent
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewChrome creates an empty exporter.
+func NewChrome() *Chrome {
+	return &Chrome{}
+}
+
+// Event renders executions and ships; other kinds carry no pixels in the
+// processor-lane view and are ignored.
+func (c *Chrome) Event(e Event) {
+	switch e.Kind {
+	case KindExecFinish:
+		name := e.Label
+		if name == "" {
+			name = "task"
+		}
+		dur := e.Arg
+		if dur < 1 {
+			dur = 1
+		}
+		c.add(chromeEvent{
+			Name: name, Cat: "exec", Ph: "X",
+			Ts: e.Cycle, Dur: &dur, Pid: 0, Tid: e.Proc,
+		})
+	case KindShip:
+		name := e.Label
+		if name == "" {
+			name = "message"
+		}
+		c.add(chromeEvent{
+			Name: name, Cat: "ship", Ph: "i",
+			Ts: e.Cycle, Pid: 0, Tid: e.Proc, S: "t",
+			Args: map[string]any{"from": e.From, "to": e.Proc},
+		})
+	}
+}
+
+func (c *Chrome) add(e chromeEvent) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// EventCount returns the number of trace events that WriteTo will emit.
+func (c *Chrome) EventCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// WriteTo writes the JSON trace. The output is a complete trace_event
+// "JSON object format" document: {"traceEvents": [...]}.
+func (c *Chrome) WriteTo(w io.Writer) (int64, error) {
+	c.mu.Lock()
+	events := c.events
+	c.mu.Unlock()
+	if events == nil {
+		events = []chromeEvent{}
+	}
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	buf, err := json.MarshalIndent(doc, "", " ")
+	if err != nil {
+		return 0, fmt.Errorf("trace: marshal chrome trace: %w", err)
+	}
+	buf = append(buf, '\n')
+	n, err := w.Write(buf)
+	return int64(n), err
+}

@@ -1,0 +1,115 @@
+package trace
+
+import "sync"
+
+// Ring is an in-memory recorder keeping the most recent events in a
+// fixed-capacity ring buffer. It is the tracer tests use to make
+// assertions about run structure (orderings, per-node message bounds,
+// determinism) without writing files.
+//
+// Ring is safe for concurrent use so it can also record the goroutine-based
+// skeletons; the mutex is uncontended in the single-threaded simulator.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int   // index of the oldest event
+	n       int   // events currently buffered
+	total   int64 // events ever recorded
+	dropped int64 // events overwritten by newer ones
+}
+
+// DefaultRingCapacity bounds a Ring built with NewRing(0). Large enough for
+// every experiment in EXPERIMENTS.md to record in full.
+const DefaultRingCapacity = 1 << 20
+
+// NewRing creates a recorder keeping up to capacity events (capacity <= 0
+// selects DefaultRingCapacity).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]Event, 0, capacity)}
+}
+
+// Event records e, overwriting the oldest event when full.
+func (r *Ring) Event(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+		r.n++
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+	r.dropped++
+}
+
+// Events returns the buffered events in recording order (oldest first).
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.n)
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Len returns the number of buffered events.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Total returns the number of events ever recorded, including any that
+// have been overwritten.
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events were overwritten by newer ones.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Filter returns the buffered events of the given kinds, oldest first.
+func (r *Ring) Filter(kinds ...Kind) []Event {
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, e := range r.Events() {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many buffered events have the given kind.
+func (r *Ring) Count(kind Kind) int {
+	n := 0
+	for _, e := range r.Events() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset discards all buffered events and counters.
+func (r *Ring) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = r.buf[:0]
+	r.start, r.n = 0, 0
+	r.total, r.dropped = 0, 0
+}

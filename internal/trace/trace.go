@@ -1,0 +1,180 @@
+// Package trace defines the structured event stream emitted by the simulated
+// machine, the Strand runtime, and the native skeletons.
+//
+// The paper's claims are about *run structure* — when work executed where,
+// which values crossed processors, how deep the queues got — not just
+// end-of-run totals. A Tracer receives one Event per observable occurrence,
+// turning every experiment into an inspectable timeline: the Ring recorder
+// makes event streams queryable from tests, and the Chrome exporter renders
+// them in chrome://tracing / Perfetto.
+//
+// Tracing is strictly opt-in: every emission site is guarded by a nil check,
+// so the default nil tracer adds no allocations to the machine's hot path
+// (asserted by TestStepNoTracerAllocs in package machine).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds. Machine-level kinds describe the simulated hardware; the
+// runtime-level kinds describe the language execution mapped onto it.
+const (
+	// KindEnqueue: a task was placed on a processor's run queue.
+	KindEnqueue Kind = iota
+	// KindExecStart: a processor began executing a task.
+	KindExecStart
+	// KindExecFinish: the task completed; Arg holds its cost in cycles.
+	KindExecFinish
+	// KindShip: an inter-processor message was sent (a shipped task or a
+	// stream/port payload); From is the sender, Proc the destination.
+	KindShip
+	// KindDeliver: a delayed (in-flight) task arrived; Arg holds the
+	// latency in cycles between send and delivery.
+	KindDeliver
+	// KindBusy: the processor transitioned idle → busy.
+	KindBusy
+	// KindIdle: the processor transitioned busy → idle.
+	KindIdle
+	// KindPeakQueue: the processor's run queue reached a new high-water
+	// mark; Arg holds the new peak length.
+	KindPeakQueue
+	// KindReduce: the Strand runtime attempted a reduction of the goal
+	// named by Label ("name/arity").
+	KindReduce
+	// KindSuspend: a Strand process suspended on unbound variables.
+	KindSuspend
+	// KindWake: a suspended Strand process was re-enabled by a binding.
+	KindWake
+	// KindBind: a single-assignment variable was bound; Label names it.
+	KindBind
+)
+
+var kindNames = [...]string{
+	KindEnqueue:    "enqueue",
+	KindExecStart:  "exec-start",
+	KindExecFinish: "exec-finish",
+	KindShip:       "ship",
+	KindDeliver:    "deliver",
+	KindBusy:       "busy",
+	KindIdle:       "idle",
+	KindPeakQueue:  "peak-queue",
+	KindReduce:     "reduce",
+	KindSuspend:    "suspend",
+	KindWake:       "wake",
+	KindBind:       "bind",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one observable occurrence in a run. Events are plain values so
+// that recording one never allocates.
+type Event struct {
+	// Cycle is the simulated machine cycle (native skeletons use elapsed
+	// microseconds instead, since they run on the wall clock).
+	Cycle int64
+	// Kind classifies the event.
+	Kind Kind
+	// Proc is the processor the event happened on (the destination, for
+	// KindShip/KindDeliver).
+	Proc int
+	// From is the source processor for KindShip/KindDeliver; -1 otherwise.
+	From int
+	// Arg carries the kind-specific quantity: cost for KindExecFinish,
+	// latency for KindDeliver, queue length for KindPeakQueue.
+	Arg int64
+	// Label names the subject: a task or goal indicator, a shipped
+	// message, or a bound variable. May be empty.
+	Label string
+}
+
+// String renders the event in a stable one-line textual form. The
+// determinism regression test compares whole formatted traces byte for
+// byte, so this format must be a pure function of the event.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%d] p%d %s", e.Cycle, e.Proc, e.Kind)
+	if e.From >= 0 {
+		fmt.Fprintf(&b, " from=p%d", e.From)
+	}
+	switch e.Kind {
+	case KindExecFinish:
+		fmt.Fprintf(&b, " cost=%d", e.Arg)
+	case KindDeliver:
+		fmt.Fprintf(&b, " latency=%d", e.Arg)
+	case KindPeakQueue:
+		fmt.Fprintf(&b, " depth=%d", e.Arg)
+	}
+	if e.Label != "" {
+		fmt.Fprintf(&b, " %s", e.Label)
+	}
+	return b.String()
+}
+
+// Tracer receives events as they happen. Implementations used with the
+// native skeletons must be safe for concurrent use; the simulated machine
+// is single-threaded and emits sequentially.
+type Tracer interface {
+	Event(Event)
+}
+
+// Labeler is implemented by tasks that can name themselves in events (e.g.
+// a Strand process reports its goal's predicate indicator). The machine
+// consults it only when a tracer is installed.
+type Labeler interface {
+	TraceLabel() string
+}
+
+// LabelOf returns the task's trace label, or "" if it has none.
+func LabelOf(task any) string {
+	if l, ok := task.(Labeler); ok {
+		return l.TraceLabel()
+	}
+	return ""
+}
+
+// Format renders events one per line — the canonical byte representation
+// compared by the determinism regression test.
+func Format(events []Event) string {
+	var b strings.Builder
+	for _, e := range events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Multi fans one event stream out to several tracers. Nil elements are
+// skipped, so callers can compose optional tracers without special cases.
+func Multi(tracers ...Tracer) Tracer {
+	kept := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return multiTracer(kept)
+}
+
+type multiTracer []Tracer
+
+func (m multiTracer) Event(e Event) {
+	for _, t := range m {
+		t.Event(e)
+	}
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := KindEnqueue; k <= KindBind; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if got := Kind(200).String(); got != "kind(200)" {
+		t.Fatalf("unknown kind = %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Cycle: 42, Kind: KindShip, Proc: 3, From: 1, Label: "eval/4"}
+	got := e.String()
+	for _, want := range []string{"[42]", "p3", "ship", "from=p1", "eval/4"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("event string %q missing %q", got, want)
+		}
+	}
+	d := Event{Cycle: 7, Kind: KindDeliver, Proc: 0, From: -1, Arg: 5}
+	if got := d.String(); !strings.Contains(got, "latency=5") || strings.Contains(got, "from=") {
+		t.Fatalf("deliver string = %q", got)
+	}
+	f := Event{Cycle: 1, Kind: KindExecFinish, Proc: 0, From: -1, Arg: 9}
+	if got := f.String(); !strings.Contains(got, "cost=9") {
+		t.Fatalf("finish string = %q", got)
+	}
+}
+
+func TestRingRecordsInOrder(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 5; i++ {
+		r.Event(Event{Cycle: int64(i), Kind: KindEnqueue, Proc: i, From: -1})
+	}
+	evs := r.Events()
+	if len(evs) != 5 || r.Len() != 5 || r.Total() != 5 || r.Dropped() != 0 {
+		t.Fatalf("len=%d total=%d dropped=%d", r.Len(), r.Total(), r.Dropped())
+	}
+	for i, e := range evs {
+		if e.Cycle != int64(i) {
+			t.Fatalf("event %d out of order: %v", i, e)
+		}
+	}
+}
+
+func TestRingWrapsKeepingNewest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Event(Event{Cycle: int64(i), Kind: KindEnqueue, Proc: 0, From: -1})
+	}
+	evs := r.Events()
+	if len(evs) != 4 || r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("len=%d total=%d dropped=%d", len(evs), r.Total(), r.Dropped())
+	}
+	for i, e := range evs {
+		if want := int64(6 + i); e.Cycle != want {
+			t.Fatalf("event %d = cycle %d, want %d", i, e.Cycle, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatal("reset did not clear the ring")
+	}
+}
+
+func TestRingFilterAndCount(t *testing.T) {
+	r := NewRing(0)
+	r.Event(Event{Kind: KindShip, From: 0, Proc: 1})
+	r.Event(Event{Kind: KindExecFinish, Proc: 0, From: -1})
+	r.Event(Event{Kind: KindShip, From: 1, Proc: 0})
+	if got := r.Count(KindShip); got != 2 {
+		t.Fatalf("Count(ship) = %d", got)
+	}
+	if got := r.Filter(KindShip, KindExecFinish); len(got) != 3 {
+		t.Fatalf("Filter = %d events", len(got))
+	}
+	if got := r.Filter(KindBind); got != nil {
+		t.Fatalf("Filter(bind) = %v", got)
+	}
+}
+
+func TestRingConcurrentUse(t *testing.T) {
+	r := NewRing(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Event(Event{Cycle: int64(i), Kind: KindExecFinish, Proc: g, From: -1})
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Fatalf("total = %d, want 800", r.Total())
+	}
+}
+
+func TestFormatStable(t *testing.T) {
+	evs := []Event{
+		{Cycle: 0, Kind: KindEnqueue, Proc: 0, From: -1, Label: "go/1"},
+		{Cycle: 1, Kind: KindExecFinish, Proc: 0, From: -1, Arg: 2, Label: "go/1"},
+	}
+	a, b := Format(evs), Format(evs)
+	if a != b {
+		t.Fatal("Format is not deterministic")
+	}
+	if lines := strings.Count(a, "\n"); lines != 2 {
+		t.Fatalf("formatted %d lines, want 2", lines)
+	}
+}
+
+func TestLabelOf(t *testing.T) {
+	if got := LabelOf(42); got != "" {
+		t.Fatalf("LabelOf(int) = %q", got)
+	}
+	if got := LabelOf(labeled{}); got != "x/2" {
+		t.Fatalf("LabelOf = %q", got)
+	}
+}
+
+type labeled struct{}
+
+func (labeled) TraceLabel() string { return "x/2" }
+
+func TestMultiFansOutAndSkipsNil(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	m := Multi(nil, a, nil, b)
+	m.Event(Event{Kind: KindShip, From: 0, Proc: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatalf("fan-out missed: a=%d b=%d", a.Len(), b.Len())
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils should be nil")
+	}
+	if Multi(a) != Tracer(a) {
+		t.Fatal("Multi of one tracer should return it unwrapped")
+	}
+}
+
+func TestChromeExportsExecsAndShips(t *testing.T) {
+	c := NewChrome()
+	c.Event(Event{Cycle: 3, Kind: KindExecFinish, Proc: 1, From: -1, Arg: 4, Label: "eval/4"})
+	c.Event(Event{Cycle: 5, Kind: KindShip, Proc: 2, From: 0, Label: "value(7,24)"})
+	// Non-exported kinds must not change the count.
+	c.Event(Event{Cycle: 5, Kind: KindEnqueue, Proc: 2, From: -1})
+	c.Event(Event{Cycle: 6, Kind: KindBusy, Proc: 2, From: -1})
+	if c.EventCount() != 2 {
+		t.Fatalf("EventCount = %d, want 2", c.EventCount())
+	}
+
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2 {
+		t.Fatalf("wrote %d events, want 2", len(doc.TraceEvents))
+	}
+	exec, ship := doc.TraceEvents[0], doc.TraceEvents[1]
+	if exec.Ph != "X" || exec.Name != "eval/4" || exec.Dur != 4 || exec.Ts != 3 || exec.Tid != 1 {
+		t.Fatalf("exec slice = %+v", exec)
+	}
+	if ship.Ph != "i" || ship.Name != "value(7,24)" || ship.Tid != 2 {
+		t.Fatalf("ship instant = %+v", ship)
+	}
+}
+
+func TestChromeEmptyTraceIsValid(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewChrome().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("traceEvents missing or not an array: %v", doc)
+	}
+}
+
+func TestChromeMinimumDuration(t *testing.T) {
+	c := NewChrome()
+	c.Event(Event{Cycle: 0, Kind: KindExecFinish, Proc: 0, From: -1, Arg: 0})
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dur": 1`) {
+		t.Fatalf("zero-cost exec should render with dur 1:\n%s", buf.String())
+	}
+}
+
+func ExampleFormat() {
+	fmt.Print(Format([]Event{
+		{Cycle: 0, Kind: KindEnqueue, Proc: 0, From: -1, Label: "go/1"},
+		{Cycle: 0, Kind: KindExecStart, Proc: 0, From: -1, Label: "go/1"},
+		{Cycle: 0, Kind: KindExecFinish, Proc: 0, From: -1, Arg: 1, Label: "go/1"},
+	}))
+	// Output:
+	// [0] p0 enqueue go/1
+	// [0] p0 exec-start go/1
+	// [0] p0 exec-finish cost=1 go/1
+}
