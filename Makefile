@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check build vet test race bench-smoke
+.PHONY: ci fmt-check build vet test race bench-smoke bench motifd-smoke
 
-ci: fmt-check build vet test race bench-smoke
+ci: fmt-check build vet test race bench-smoke motifd-smoke
 	@echo "ci: all steps passed"
 
 fmt-check:
@@ -26,7 +26,17 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/skel/... ./internal/motifs/...
+	$(GO) test -race ./internal/skel/... ./internal/motifs/... ./internal/serve/...
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# bench load-tests the serving layer at 1/4/16 concurrent clients against an
+# in-process motifd and writes the throughput/latency report.
+bench:
+	$(GO) run ./cmd/alignbench -serve self -clients 1,4,16 -jobs 48 -out BENCH_serve.json
+
+# motifd-smoke mirrors the CI smoke step: start the daemon, submit a job,
+# assert it completes, drain.
+motifd-smoke:
+	./scripts/motifd_smoke.sh

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -204,7 +205,7 @@ func BenchmarkFarm(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := skel.Farm(tasks, spin, skel.FarmOptions{Workers: 4, Static: static}); err != nil {
+				if _, _, err := skel.Farm(context.Background(), tasks, spin, skel.FarmOptions{Workers: 4, Static: static}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -252,7 +253,7 @@ func BenchmarkSkeletonTreeReduce(b *testing.B) {
 	for _, m := range []skel.Mapper{skel.MapRandom, skel.MapRoundRobin, skel.MapStatic} {
 		b.Run(m.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := skel.TreeReduce(tree, eval, skel.ReduceOptions{Workers: 4, Mapper: m, Seed: 7}); err != nil {
+				if _, _, err := skel.TreeReduce(context.Background(), tree, eval, skel.ReduceOptions{Workers: 4, Mapper: m, Seed: 7}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -350,7 +351,7 @@ func BenchmarkAlignmentNative(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := bio.AlignFamily(fam, skel.ReduceOptions{
+				if _, _, err := bio.AlignFamily(context.Background(), fam, skel.ReduceOptions{
 					Workers: workers, Mapper: skel.MapRandom, Seed: 7}); err != nil {
 					b.Fatal(err)
 				}
@@ -578,7 +579,7 @@ func BenchmarkWorkStealingVsFarm(b *testing.B) {
 
 	b.Run("farm", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := skel.Farm(chunks, leafWork, skel.FarmOptions{Workers: 4}); err != nil {
+			if _, _, err := skel.Farm(context.Background(), chunks, leafWork, skel.FarmOptions{Workers: 4}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// loadLevel is the measured outcome of one client-concurrency level.
+type loadLevel struct {
+	Clients       int     `json:"clients"`
+	Jobs          int     `json:"jobs"`
+	Shed          int64   `json:"shed"`
+	Failed        int64   `json:"failed"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+	ThroughputJPS float64 `json:"throughput_jps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+}
+
+// loadReport is the BENCH_serve.json document.
+type loadReport struct {
+	Benchmark string      `json:"benchmark"`
+	Target    string      `json:"target"`
+	Seqs      int         `json:"n"`
+	SeqLen    int         `json:"len"`
+	Seed      int64       `json:"seed"`
+	Levels    []loadLevel `json:"levels"`
+}
+
+// runLoad drives a motifd instance with alignment jobs at each requested
+// client-concurrency level, measuring client-perceived submit→done latency
+// and completed-job throughput. target "self" hosts an in-process server on
+// a loopback port, so `make bench` needs no separately started daemon.
+func runLoad(target string, clients []int, jobs, n, seqLen int, seed int64, outFile string) error {
+	base := target
+	if target == "self" {
+		s := serve.New(serve.Config{Seed: seed})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: s.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		defer func() {
+			httpSrv.Close()
+			sctx, cancel := shutdownCtx()
+			defer cancel()
+			_ = s.Shutdown(sctx)
+		}()
+		base = "http://" + ln.Addr().String()
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	report := loadReport{Benchmark: "serve", Target: target, Seqs: n, SeqLen: seqLen, Seed: seed}
+	tab := metrics.NewTable("clients", "jobs", "shed", "failed", "elapsed ms", "jobs/s", "p50 ms", "p95 ms")
+	for _, c := range clients {
+		lvl, err := runLoadLevel(client, base, c, jobs, n, seqLen, seed)
+		if err != nil {
+			return fmt.Errorf("level %d clients: %w", c, err)
+		}
+		report.Levels = append(report.Levels, lvl)
+		tab.AddRow(lvl.Clients, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.ElapsedMS,
+			lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS)
+	}
+	fmt.Printf("== serve load: %d alignment jobs (%d seqs, len %d) per level against %s ==\n%s\n",
+		jobs, n, seqLen, base, tab)
+
+	if outFile != "" {
+		blob, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outFile, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", outFile)
+	}
+	return nil
+}
+
+func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen int, seed int64) (loadLevel, error) {
+	var (
+		next      atomic.Int64
+		shed      atomic.Int64
+		failed    atomic.Int64
+		mu        sync.Mutex
+		latencies []float64
+		firstErr  error
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if i > int64(jobs) {
+					return
+				}
+				lat, retried, err := driveJob(client, base, n, seqLen, seed+i)
+				shed.Add(retried)
+				if err != nil {
+					failed.Add(1)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				latencies = append(latencies, float64(lat.Microseconds())/1000)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if len(latencies) == 0 {
+		return loadLevel{}, fmt.Errorf("no job completed (first error: %v)", firstErr)
+	}
+	qs := metrics.Quantiles(latencies, 0.5, 0.95)
+	return loadLevel{
+		Clients:       nClients,
+		Jobs:          jobs,
+		Shed:          shed.Load(),
+		Failed:        failed.Load(),
+		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
+		ThroughputJPS: float64(len(latencies)) / elapsed.Seconds(),
+		P50MS:         qs[0],
+		P95MS:         qs[1],
+	}, nil
+}
+
+// driveJob submits one alignment job and polls it to completion, returning
+// the client-perceived latency and how many times the submission was shed
+// (429) and retried.
+func driveJob(client *http.Client, base string, n, seqLen int, seed int64) (time.Duration, int64, error) {
+	body, err := json.Marshal(serve.JobRequest{
+		Type:  serve.JobAlign,
+		Align: &bio.AlignJob{N: n, Len: seqLen, Seed: seed},
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	start := time.Now()
+	var id string
+	var retried int64
+	for {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, retried, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Shed: the daemon is protecting its queue bound. Back off
+			// briefly and retry — the load generator measures the shedding
+			// rather than failing on it.
+			resp.Body.Close()
+			retried++
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			resp.Body.Close()
+			return 0, retried, fmt.Errorf("submit: status %d", resp.StatusCode)
+		}
+		var st serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, retried, err
+		}
+		id = st.ID
+		break
+	}
+
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			return 0, retried, err
+		}
+		var st serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			return 0, retried, err
+		}
+		switch st.State {
+		case serve.StateDone:
+			return time.Since(start), retried, nil
+		case serve.StateError:
+			return 0, retried, fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func shutdownCtx() (ctx context.Context, cancel context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}

@@ -5,18 +5,26 @@
 //
 //	alignbench [-n seqs] [-len seqLen] [-seed N] [-mode native|sim|both]
 //	alignbench -trace out.json [-n seqs] [-len seqLen] [-seed N]
+//	alignbench -serve URL|self [-clients 1,4,16] [-jobs 48] [-out BENCH_serve.json]
 //
 // With -trace, alignbench runs one simulated Tree-Reduce-2 family
 // alignment with structured tracing on and writes the event stream as a
 // Chrome trace_event file (open in chrome://tracing or Perfetto).
+//
+// With -serve, alignbench is a load generator for motifd: it drives the
+// daemon at the given URL ("self" hosts an in-process server) with
+// alignment jobs at each client-concurrency level and reports throughput
+// and client-perceived p50/p95 latency, optionally as JSON via -out.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/bio"
+	"repro/internal/cmdutil"
 	"repro/internal/exp"
 	"repro/internal/metrics"
 	"repro/internal/motifs"
@@ -28,11 +36,36 @@ import (
 func main() {
 	n := flag.Int("n", 24, "number of sequences in the synthetic family")
 	seqLen := flag.Int("len", 120, "ancestral sequence length")
-	seed := flag.Int64("seed", 7, "random seed")
+	seed := cmdutil.Seed(7)
 	mode := flag.String("mode", "both", "native (wall-clock skeleton), sim (motif simulator), quality, or both")
 	fasta := flag.String("fasta", "", "align the sequences in this FASTA file and print the alignment (overrides -mode)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of one simulated alignment run to this file (overrides -mode)")
+	serveURL := flag.String("serve", "", "load-generate against the motifd at this URL (\"self\" hosts one in-process); overrides -mode")
+	clients := flag.String("clients", "1,4,16", "client-concurrency levels for -serve, comma-separated")
+	jobs := flag.Int("jobs", 48, "alignment jobs per concurrency level for -serve")
+	out := flag.String("out", "", "write the -serve load report as JSON to this file")
 	flag.Parse()
+
+	if *serveURL != "" {
+		levels, err := cmdutil.IntList(*clients)
+		if err != nil {
+			fatal(fmt.Errorf("-clients: %w", err))
+		}
+		// The load jobs are small on purpose: the interesting quantity is
+		// serving behavior (queueing, batching, shedding), not one job's
+		// alignment runtime.
+		ln, ll := *n, *seqLen
+		if ln > 8 {
+			ln = 8
+		}
+		if ll > 48 {
+			ll = 48
+		}
+		if err := runLoad(*serveURL, levels, *jobs, ln, ll, *seed, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *traceFile != "" {
 		if err := runTraced(*traceFile, *n, *seqLen, *seed); err != nil {
@@ -51,7 +84,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		aln, _, err := bio.AlignFamily(fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: *seed})
+		aln, _, err := bio.AlignFamily(context.Background(), fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: *seed})
 		if err != nil {
 			fatal(err)
 		}

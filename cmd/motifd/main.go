@@ -1,0 +1,96 @@
+// Command motifd is the network serving layer over the native skeletons:
+// an HTTP/JSON daemon that accepts alignment jobs, generic tree reductions,
+// and Strand program runs, and executes them on a shared worker pool with a
+// bounded admission queue (load shedding via 429), request batching of
+// small alignment jobs, per-request deadlines, and graceful drain on
+// SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	motifd [-addr :8077] [-procs 4] [-inner 4] [-queue 64] [-batch 8]
+//	       [-timeout 30s] [-seed N]
+//
+// API:
+//
+//	POST /v1/jobs        submit a job (202 with id; 429 + Retry-After when
+//	                     the admission queue is full)
+//	GET  /v1/jobs/{id}   poll a job
+//	GET  /v1/jobs        list recent jobs
+//	GET  /metrics        serving metrics (?format=text for humans)
+//	GET  /debug/trace    structured event stream (?format=chrome)
+//	GET  /healthz        liveness + drain state
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cmdutil"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address")
+	procs := cmdutil.Procs(4, "pool workers")
+	inner := flag.Int("inner", 4, "parallelism inside one job's reduction")
+	queueCap := flag.Int("queue", 64, "admission queue bound (beyond it, shed with 429)")
+	batchMax := flag.Int("batch", 8, "max small alignment jobs coalesced into one farm dispatch")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-job deadline")
+	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
+	seed := cmdutil.Seed(7)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:        *procs,
+		InnerWorkers:   *inner,
+		QueueCap:       *queueCap,
+		BatchMax:       *batchMax,
+		DefaultTimeout: *timeout,
+		Seed:           *seed,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "motifd: listening on %s (%d workers, queue %d)\n",
+			*addr, *procs, *queueCap)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "motifd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then let queued and
+	// in-flight jobs finish within the drain budget.
+	fmt.Fprintln(os.Stderr, "motifd: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "motifd: http shutdown: %v\n", err)
+	}
+	if err := s.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "motifd: pool drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	m := s.Metrics()
+	fmt.Fprintf(os.Stderr, "motifd: drained (admitted=%d done=%d failed=%d shed=%d)\n",
+		m.Admitted, m.Done, m.Failed, m.Shed)
+}

@@ -14,14 +14,15 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cmdutil"
 	"repro/internal/parser"
 	"repro/internal/strand"
 	"repro/internal/term"
 )
 
 func main() {
-	procs := flag.Int("procs", 4, "number of simulated processors")
-	seed := flag.Int64("seed", 1, "random seed (mapping decisions)")
+	procs := cmdutil.Procs(4, "simulated processors")
+	seed := cmdutil.Seed(1)
 	goal := flag.String("goal", "main", "initial goal term")
 	trace := flag.Bool("trace", false, "print the reduction trace")
 	allowSuspended := flag.Bool("allow-suspended", false, "do not treat suspended processes at quiescence as deadlock")

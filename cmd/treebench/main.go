@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cmdutil"
 	"repro/internal/exp"
 	"repro/internal/metrics"
 	"repro/internal/motifs"
@@ -30,10 +31,10 @@ import (
 
 func main() {
 	which := flag.String("exp", "all", "experiment: all, arith (E2), balance (E6), crossover (E7), memory (E9), locality (E5), reuse (E8), skeletons (E10)")
-	seed := flag.Int64("seed", 7, "random seed")
+	seed := cmdutil.Seed(7)
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of one traced reduction to this file (overrides -exp)")
 	traceMotif := flag.String("tracemotif", "tr1", "motif for the traced run: tr1 (Tree-Reduce-1) or tr2 (Tree-Reduce-2)")
-	procs := flag.Int("procs", 8, "processors for the traced run")
+	procs := cmdutil.Procs(8, "simulated processors for the traced run")
 	leaves := flag.Int("leaves", 64, "tree leaves for the traced run")
 	msgCost := flag.Int64("msgcost", 4, "message latency in cycles for the traced run")
 	flag.Parse()

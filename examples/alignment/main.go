@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -40,7 +41,7 @@ func main() {
 
 	// Native reduction (wall clock).
 	start := time.Now()
-	aln, stats, err := bio.AlignFamily(fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: 1})
+	aln, stats, err := bio.AlignFamily(context.Background(), fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: 1})
 	if err != nil {
 		log.Fatal(err)
 	}

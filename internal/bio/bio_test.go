@@ -1,6 +1,7 @@
 package bio
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -229,7 +230,7 @@ func TestAlignFamilyEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aln, stats, err := AlignFamily(fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: 13})
+	aln, stats, err := AlignFamily(context.Background(), fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,11 +260,11 @@ func TestAlignFamilyWorkerInvariance(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a1, _, err := AlignFamily(fam, skel.ReduceOptions{Workers: 1, Mapper: skel.MapStatic, Seed: 1})
+	a1, _, err := AlignFamily(context.Background(), fam, skel.ReduceOptions{Workers: 1, Mapper: skel.MapStatic, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	a4, _, err := AlignFamily(fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: 2})
+	a4, _, err := AlignFamily(context.Background(), fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

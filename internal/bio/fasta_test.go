@@ -2,6 +2,7 @@ package bio
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -94,7 +95,7 @@ func TestAlignedFastaRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aln, _, err := AlignFamily(fam, skelOpts())
+	aln, _, err := AlignFamily(context.Background(), fam, skelOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestAlignFamilyRowsMatchInputOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aln, _, err := AlignFamily(fam, skelOpts())
+	aln, _, err := AlignFamily(context.Background(), fam, skelOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

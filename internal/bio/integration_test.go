@@ -1,6 +1,7 @@
 package bio
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/motifs"
@@ -22,7 +23,7 @@ func TestAlignmentViaMotifSimulator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _, err := alignTree(SkelAlignTree(guide, fam), skel.ReduceOptions{Workers: 1})
+	want, _, err := alignTree(context.Background(), SkelAlignTree(guide, fam), skel.ReduceOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,158 @@
+package bio
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/skel"
+)
+
+// AlignJob is the job-shaped entry point of the alignment application: a
+// self-contained request that a serving layer can queue, batch, and execute
+// on a worker pool. Either Seqs (with optional Names) or a synthetic family
+// spec (N, Len, Seed) must be given.
+type AlignJob struct {
+	// Names labels the sequences; defaults to org1..orgN when empty.
+	Names []string `json:"names,omitempty"`
+	// Seqs are the sequences to align (DNA accepted, transcribed to RNA).
+	Seqs []string `json:"seqs,omitempty"`
+	// N, Len, Seed describe a synthetic family evolved from a random
+	// ancestor, used when Seqs is empty (benchmarks and smoke tests).
+	N    int   `json:"n,omitempty"`
+	Len  int   `json:"len,omitempty"`
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// AlignJobResult is the serialized outcome of one alignment job.
+type AlignJobResult struct {
+	Names []string `json:"names"`
+	Rows  []string `json:"rows"`
+	// Columns is the alignment width.
+	Columns int `json:"columns"`
+	// SPIdentity is the average pairwise identity over all row pairs.
+	SPIdentity float64 `json:"sp_identity"`
+	Consensus  string  `json:"consensus"`
+	// Units is the number of node evaluations the reduction performed;
+	// CrossMessages counts alignments that moved between workers.
+	Units         int64 `json:"units"`
+	CrossMessages int64 `json:"cross_messages"`
+}
+
+// Validate checks the job without materializing it: explicit sequences
+// must normalize against the RNA alphabet, synthetic specs must be in
+// range. Serving layers call it at admission so malformed jobs are
+// rejected before they are queued.
+func (j *AlignJob) Validate() error {
+	if len(j.Seqs) > 0 {
+		if len(j.Seqs) < 2 {
+			return fmt.Errorf("bio: align job needs at least 2 sequences, got %d", len(j.Seqs))
+		}
+		if len(j.Names) != 0 && len(j.Names) != len(j.Seqs) {
+			return fmt.Errorf("bio: align job has %d names for %d sequences",
+				len(j.Names), len(j.Seqs))
+		}
+		for i, raw := range j.Seqs {
+			if _, err := normalizeSeq(raw); err != nil {
+				return fmt.Errorf("bio: align job sequence %d: %w", i, err)
+			}
+		}
+		return nil
+	}
+	n, l := j.N, j.Len
+	if n == 0 {
+		n = 8
+	}
+	if l == 0 {
+		l = 60
+	}
+	if n < 2 || n > 512 || l < 1 || l > 10_000 {
+		return fmt.Errorf("bio: align job synthetic spec out of range: n=%d len=%d", n, l)
+	}
+	return nil
+}
+
+// Family materializes the job's input family, validating explicit
+// sequences and generating the synthetic family otherwise.
+func (j *AlignJob) Family() (*Family, error) {
+	if len(j.Seqs) > 0 {
+		if len(j.Seqs) < 2 {
+			return nil, fmt.Errorf("bio: align job needs at least 2 sequences, got %d", len(j.Seqs))
+		}
+		if len(j.Names) != 0 && len(j.Names) != len(j.Seqs) {
+			return nil, fmt.Errorf("bio: align job has %d names for %d sequences",
+				len(j.Names), len(j.Seqs))
+		}
+		f := &Family{Names: j.Names, Seqs: make([]Seq, len(j.Seqs))}
+		for i, raw := range j.Seqs {
+			s, err := normalizeSeq(raw)
+			if err != nil {
+				return nil, fmt.Errorf("bio: align job sequence %d: %w", i, err)
+			}
+			f.Seqs[i] = s
+		}
+		if len(f.Names) == 0 {
+			f.Names = make([]string, len(f.Seqs))
+			for i := range f.Names {
+				f.Names[i] = fmt.Sprintf("org%d", i+1)
+			}
+		}
+		return f, nil
+	}
+	n, l := j.N, j.Len
+	if n == 0 {
+		n = 8
+	}
+	if l == 0 {
+		l = 60
+	}
+	if n < 2 || n > 512 || l < 1 || l > 10_000 {
+		return nil, fmt.Errorf("bio: align job synthetic spec out of range: n=%d len=%d", n, l)
+	}
+	return Evolve(n, l, 0.08, 0.01, j.Seed)
+}
+
+// Cost estimates the job's total alignment work (sum of leaf-pair DP areas,
+// dominated by sequences × length²). Serving layers use it to decide which
+// jobs are small enough to batch.
+func (j *AlignJob) Cost() int64 {
+	n, l := j.N, j.Len
+	if len(j.Seqs) > 0 {
+		n = len(j.Seqs)
+		l = 0
+		for _, s := range j.Seqs {
+			if len(s) > l {
+				l = len(s)
+			}
+		}
+	}
+	if n == 0 {
+		n = 8
+	}
+	if l == 0 {
+		l = 60
+	}
+	return int64(n) * int64(l) * int64(l)
+}
+
+// Run executes the job: build the family, align it under the given
+// skeleton options, and package the result. Cancelling ctx aborts the
+// reduction between node evaluations and returns ctx.Err().
+func (j *AlignJob) Run(ctx context.Context, opts skel.ReduceOptions) (*AlignJobResult, error) {
+	f, err := j.Family()
+	if err != nil {
+		return nil, err
+	}
+	aln, stats, err := AlignFamily(ctx, f, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &AlignJobResult{
+		Names:         f.Names,
+		Rows:          []string(aln),
+		Columns:       aln.Width(),
+		SPIdentity:    aln.SPIdentity(),
+		Consensus:     aln.Consensus(),
+		Units:         stats.TotalUnits(),
+		CrossMessages: stats.CrossMessages,
+	}, nil
+}

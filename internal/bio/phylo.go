@@ -1,6 +1,7 @@
 package bio
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/motifs"
@@ -135,14 +136,15 @@ func AlignEval(op string, l, r Alignment) Alignment {
 // AlignFamily is the end-to-end application: build the guide tree, then
 // reduce it with align-node using the given skeleton options. Rows are
 // returned in the family's input order (row i aligns f.Seqs[i]), so they
-// pair directly with f.Names.
-func AlignFamily(f *Family, opts skel.ReduceOptions) (Alignment, *skel.Stats, error) {
+// pair directly with f.Names. Cancelling ctx aborts the reduction between
+// node evaluations and returns ctx.Err().
+func AlignFamily(ctx context.Context, f *Family, opts skel.ReduceOptions) (Alignment, *skel.Stats, error) {
 	guide, err := GuideTree(f)
 	if err != nil {
 		return nil, nil, err
 	}
 	tree := SkelAlignTree(guide, f)
-	aln, stats, err := alignTree(tree, opts)
+	aln, stats, err := alignTree(ctx, tree, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -172,8 +174,8 @@ func guideLeafOrder(t *motifs.BinTree) []int {
 	return append(guideLeafOrder(t.L), guideLeafOrder(t.R)...)
 }
 
-func alignTree(tree *skel.Tree[Alignment], opts skel.ReduceOptions) (Alignment, *skel.Stats, error) {
-	out, stats, err := skel.TreeReduce(tree, AlignEval, opts)
+func alignTree(ctx context.Context, tree *skel.Tree[Alignment], opts skel.ReduceOptions) (Alignment, *skel.Stats, error) {
+	out, stats, err := skel.TreeReduce(ctx, tree, AlignEval, opts)
 	if err != nil {
 		return nil, nil, err
 	}

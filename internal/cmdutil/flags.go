@@ -1,0 +1,43 @@
+// Package cmdutil centralizes the flag setup shared by the command-line
+// tools (treebench, alignbench, strand, motifd), so the common knobs keep
+// one spelling and one usage string across binaries.
+package cmdutil
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Seed registers the shared -seed flag with the given default.
+func Seed(def int64) *int64 {
+	return flag.Int64("seed", def, "random seed (workload generation and mapping)")
+}
+
+// Procs registers the shared -procs flag; what names the resource the tool
+// parallelizes over (e.g. "simulated processors", "pool workers").
+func Procs(def int, what string) *int {
+	return flag.Int("procs", def, "number of "+what)
+}
+
+// IntList parses a comma-separated list of positive integers, e.g. a
+// "1,4,16" client-concurrency sweep.
+func IntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad list element %q (want positive integers)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}

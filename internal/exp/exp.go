@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -283,7 +284,7 @@ func E11AlignmentSpeedup(families, seqLen int, seed int64) (*metrics.Table, erro
 	tab := metrics.NewTable("workers", "time", "speedup", "cross msgs", "imbalance")
 	for _, w := range []int{1, 2, 4, 8} {
 		start := time.Now()
-		aln, stats, err := skel.TreeReduce(tree, bio.AlignEval,
+		aln, stats, err := skel.TreeReduce(context.Background(), tree, bio.AlignEval,
 			skel.ReduceOptions{Workers: w, Mapper: skel.MapRandom, Seed: seed})
 		if err != nil {
 			return nil, err
@@ -560,7 +561,7 @@ func E15AlignmentQuality(seed int64) (*metrics.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		aln, _, err := bio.AlignFamily(fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: seed})
+		aln, _, err := bio.AlignFamily(context.Background(), fam, skel.ReduceOptions{Workers: 4, Mapper: skel.MapRandom, Seed: seed})
 		if err != nil {
 			return nil, err
 		}
@@ -602,12 +603,15 @@ func E10Skeletons(seed int64) (*metrics.Table, error) {
 	tab.AddRow("grid", "jacobi sweeps to 1e-8", sweeps)
 
 	// Divide and conquer: fib(25).
-	fib := skel.DivideConquer(25,
+	fib, err := skel.DivideConquer(context.Background(), 25,
 		func(n int) bool { return n < 2 },
 		func(n int) int { return n },
 		func(n int) []int { return []int{n - 1, n - 2} },
 		func(_ int, rs []int) int { return rs[0] + rs[1] },
 		skel.DCOptions{Parallel: 4, Depth: 3})
+	if err != nil {
+		return nil, err
+	}
 	tab.AddRow("divide-and-conquer", "fib(25)", fib)
 
 	// Graph/reduction: parallel reduce of 1e6 ints.

@@ -62,6 +62,65 @@ func (h *Histogram) Mean() float64 {
 // Max returns the largest observation.
 func (h *Histogram) Max() int64 { return h.max }
 
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket that contains it. Observations in the overflow bucket
+// are attributed to the max observation. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.n)
+	var cum float64
+	lo := 0.0
+	for i, b := range h.bounds {
+		c := float64(h.counts[i])
+		if cum+c >= rank && c > 0 {
+			frac := (rank - cum) / c
+			return lo + frac*(float64(b)-lo)
+		}
+		cum += c
+		lo = float64(b)
+	}
+	return float64(h.max)
+}
+
+// Quantiles returns exact sample quantiles of xs (by linear interpolation
+// between order statistics) for each q in qs. It sorts a copy; use for
+// modest sample counts such as per-request latencies in a load test.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		if q <= 0 {
+			out[i] = s[0]
+			continue
+		}
+		if q >= 1 {
+			out[i] = s[len(s)-1]
+			continue
+		}
+		pos := q * float64(len(s)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 < len(s) {
+			out[i] = s[lo]*(1-frac) + s[lo+1]*frac
+		} else {
+			out[i] = s[lo]
+		}
+	}
+	return out
+}
+
 // String renders one line per non-empty bucket with a proportional bar.
 func (h *Histogram) String() string {
 	if h.n == 0 {

@@ -1,0 +1,381 @@
+// Package serve is the network serving layer that makes the paper's Server
+// motif real: a worker pool behind a bounded admission queue executes
+// alignment jobs, generic tree reductions, and Strand program runs, with
+// request batching for small jobs, per-request deadlines propagated as
+// context.Context through the skeleton entry points, load shedding when the
+// queue bound is hit, and graceful drain on shutdown. The pool emits the
+// same structured trace events as the simulated machine, so /metrics and
+// /debug/trace reuse internal/trace and internal/metrics unchanged.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/parser"
+	"repro/internal/skel"
+	"repro/internal/strand"
+	"repro/internal/term"
+	"repro/internal/workload"
+)
+
+// JobType selects what a job executes.
+type JobType string
+
+// Job types.
+const (
+	// JobAlign runs a multiple-sequence-alignment over a phylogeny via the
+	// native tree-reduction skeleton (the paper's Section 3 application).
+	JobAlign JobType = "align"
+	// JobTree runs a generic arithmetic tree reduction.
+	JobTree JobType = "tree"
+	// JobStrand runs a Strand program on the simulated multicomputer.
+	JobStrand JobType = "strand"
+)
+
+// JobRequest is the JSON body of POST /v1/jobs. Exactly one of the spec
+// fields matching Type must be set (a missing spec selects defaults for
+// align and tree jobs).
+type JobRequest struct {
+	Type JobType `json:"type"`
+	// DeadlineMillis bounds queue wait + execution; 0 uses the server
+	// default. The deadline is propagated as a context.Context into the
+	// skeleton entry points, so an expired job aborts mid-reduction.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+
+	Align  *bio.AlignJob `json:"align,omitempty"`
+	Tree   *TreeSpec     `json:"tree,omitempty"`
+	Strand *StrandSpec   `json:"strand,omitempty"`
+}
+
+// TreeSpec describes a generic tree-reduction job over a random arithmetic
+// tree (ops + and *, leaf values 1..3).
+type TreeSpec struct {
+	// Leaves sizes the tree (default 64, max 1<<16).
+	Leaves int `json:"leaves,omitempty"`
+	// Shape is random (default), balanced, or caterpillar.
+	Shape string `json:"shape,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+}
+
+// TreeResult is the outcome of a tree job.
+type TreeResult struct {
+	Value         int64   `json:"value"`
+	Leaves        int     `json:"leaves"`
+	Units         int64   `json:"units"`
+	CrossMessages int64   `json:"cross_messages"`
+	Imbalance     float64 `json:"imbalance"`
+}
+
+// StrandSpec describes a Strand program run. Deadlines apply before the
+// run starts; once running, the simulation is bounded by MaxCycles rather
+// than wall time (the simulator is single-threaded and fast).
+type StrandSpec struct {
+	// Source is the program text in the rule notation.
+	Source string `json:"source"`
+	// Goal is the initial goal term (default "main").
+	Goal string `json:"goal,omitempty"`
+	// Procs is the simulated processor count (default 4, max 64).
+	Procs int   `json:"procs,omitempty"`
+	Seed  int64 `json:"seed,omitempty"`
+	// MaxCycles caps the simulation (default 1e6, max 1e8).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+}
+
+// StrandResult is the outcome of a strand job.
+type StrandResult struct {
+	Reductions int64  `json:"reductions"`
+	Makespan   int64  `json:"makespan"`
+	Messages   int64  `json:"messages"`
+	Output     string `json:"output,omitempty"`
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Terminal states are StateDone and StateError.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateError   State = "error"
+)
+
+// Job is one admitted request moving through the pool.
+type Job struct {
+	id  string
+	req JobRequest
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	submitted time.Time
+
+	mu        sync.Mutex
+	state     State
+	started   time.Time
+	finished  time.Time
+	worker    int
+	batchSize int
+	align     *bio.AlignJobResult
+	tree      *TreeResult
+	strand    *StrandResult
+	err       error
+
+	// testBody, when non-nil, replaces the job body. Tests use it to hold
+	// a worker busy deterministically.
+	testBody func(ctx context.Context) error
+}
+
+// JobStatus is the JSON view of a job returned by GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID    string  `json:"id"`
+	Type  JobType `json:"type"`
+	State State   `json:"state"`
+	Error string  `json:"error,omitempty"`
+	// QueueMillis is submission→start (or →now while queued); RunMillis is
+	// start→finish (or →now while running).
+	QueueMillis float64 `json:"queue_ms"`
+	RunMillis   float64 `json:"run_ms"`
+	// Worker is the pool worker that executed the job (-1 before start).
+	Worker int `json:"worker"`
+	// BatchSize is the size of the farm dispatch this job rode in (1 for
+	// an unbatched run).
+	BatchSize int `json:"batch_size,omitempty"`
+
+	Align  *bio.AlignJobResult `json:"align,omitempty"`
+	Tree   *TreeResult         `json:"tree,omitempty"`
+	Strand *StrandResult       `json:"strand,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		Type:      j.req.Type,
+		State:     j.state,
+		Worker:    j.worker,
+		BatchSize: j.batchSize,
+		Align:     j.align,
+		Tree:      j.tree,
+		Strand:    j.strand,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	now := time.Now()
+	switch j.state {
+	case StateQueued:
+		st.QueueMillis = ms(now.Sub(j.submitted))
+	case StateRunning:
+		st.QueueMillis = ms(j.started.Sub(j.submitted))
+		st.RunMillis = ms(now.Sub(j.started))
+	default:
+		if !j.started.IsZero() {
+			st.QueueMillis = ms(j.started.Sub(j.submitted))
+			st.RunMillis = ms(j.finished.Sub(j.started))
+		} else {
+			st.QueueMillis = ms(j.finished.Sub(j.submitted))
+		}
+	}
+	return st
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// validate normalizes the request and rejects malformed specs up front, so
+// admission failures are 400s rather than queued errors.
+func (r *JobRequest) validate() error {
+	switch r.Type {
+	case JobAlign:
+		if r.Tree != nil || r.Strand != nil {
+			return fmt.Errorf("align job with non-align spec")
+		}
+		if r.Align == nil {
+			r.Align = &bio.AlignJob{}
+		}
+		if err := r.Align.Validate(); err != nil {
+			return err
+		}
+	case JobTree:
+		if r.Align != nil || r.Strand != nil {
+			return fmt.Errorf("tree job with non-tree spec")
+		}
+		if r.Tree == nil {
+			r.Tree = &TreeSpec{}
+		}
+		if r.Tree.Leaves == 0 {
+			r.Tree.Leaves = 64
+		}
+		if r.Tree.Leaves < 1 || r.Tree.Leaves > 1<<16 {
+			return fmt.Errorf("tree job leaves out of range: %d", r.Tree.Leaves)
+		}
+		if _, err := treeShape(r.Tree.Shape); err != nil {
+			return err
+		}
+	case JobStrand:
+		if r.Align != nil || r.Tree != nil {
+			return fmt.Errorf("strand job with non-strand spec")
+		}
+		if r.Strand == nil || strings.TrimSpace(r.Strand.Source) == "" {
+			return fmt.Errorf("strand job needs source")
+		}
+		if r.Strand.Procs == 0 {
+			r.Strand.Procs = 4
+		}
+		if r.Strand.Procs < 1 || r.Strand.Procs > 64 {
+			return fmt.Errorf("strand job procs out of range: %d", r.Strand.Procs)
+		}
+		if r.Strand.MaxCycles == 0 {
+			r.Strand.MaxCycles = 1_000_000
+		}
+		if r.Strand.MaxCycles < 1 || r.Strand.MaxCycles > 100_000_000 {
+			return fmt.Errorf("strand job max_cycles out of range: %d", r.Strand.MaxCycles)
+		}
+		if r.Strand.Goal == "" {
+			r.Strand.Goal = "main"
+		}
+	default:
+		return fmt.Errorf("unknown job type %q (want align, tree, or strand)", r.Type)
+	}
+	return nil
+}
+
+func treeShape(s string) (workload.TreeShape, error) {
+	switch s {
+	case "", "random":
+		return workload.ShapeRandom, nil
+	case "balanced":
+		return workload.ShapeBalanced, nil
+	case "caterpillar":
+		return workload.ShapeCaterpillar, nil
+	default:
+		return 0, fmt.Errorf("unknown tree shape %q", s)
+	}
+}
+
+// execute runs the job body under its context and the given skeleton
+// options; it is called on a pool worker.
+func (j *Job) execute(opts skel.ReduceOptions) (err error) {
+	defer func() {
+		// A panic in an eval function (e.g. on a corrupt intermediate
+		// alignment) must fail the job, not the daemon.
+		if r := recover(); r != nil {
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	if j.testBody != nil {
+		return j.testBody(j.ctx)
+	}
+	switch j.req.Type {
+	case JobAlign:
+		res, err := j.req.Align.Run(j.ctx, opts)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.align = res
+		j.mu.Unlock()
+		return nil
+	case JobTree:
+		spec := j.req.Tree
+		shape, err := treeShape(spec.Shape)
+		if err != nil {
+			return err
+		}
+		tree := workload.SkelTree(workload.IntTree(spec.Leaves, shape, spec.Seed))
+		val, stats, err := skel.TreeReduce(j.ctx, tree, intEval, opts)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.tree = &TreeResult{
+			Value:         val,
+			Leaves:        spec.Leaves,
+			Units:         stats.TotalUnits(),
+			CrossMessages: stats.CrossMessages,
+			Imbalance:     stats.Imbalance(),
+		}
+		j.mu.Unlock()
+		return nil
+	case JobStrand:
+		return j.executeStrand()
+	default:
+		return fmt.Errorf("unknown job type %q", j.req.Type)
+	}
+}
+
+func intEval(op string, l, r int64) int64 {
+	switch op {
+	case "+":
+		return l + r
+	case "*":
+		return l * r
+	default:
+		panic(fmt.Sprintf("serve: bad tree op %q", op))
+	}
+}
+
+// maxStrandOutput bounds the buffered write/1 output of a strand job.
+const maxStrandOutput = 1 << 16
+
+func (j *Job) executeStrand() error {
+	if err := j.ctx.Err(); err != nil {
+		return err
+	}
+	spec := j.req.Strand
+	h := term.NewHeap()
+	prog, err := parser.Parse(h, spec.Source)
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	goal, err := parser.ParseTerm(h, spec.Goal)
+	if err != nil {
+		return fmt.Errorf("bad goal: %w", err)
+	}
+	var out bytes.Buffer
+	rt := strand.New(prog, h, strand.Options{
+		Procs:     spec.Procs,
+		Seed:      spec.Seed,
+		MaxCycles: spec.MaxCycles,
+		Out:       &limitWriter{w: &out, n: maxStrandOutput},
+	})
+	rt.Spawn(goal, 0)
+	res, err := rt.Run()
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	j.strand = &StrandResult{
+		Reductions: res.Reductions,
+		Makespan:   res.Metrics.Makespan,
+		Messages:   res.Metrics.Messages,
+		Output:     out.String(),
+	}
+	j.mu.Unlock()
+	return nil
+}
+
+// limitWriter silently discards bytes beyond n.
+type limitWriter struct {
+	w *bytes.Buffer
+	n int
+}
+
+func (l *limitWriter) Write(p []byte) (int, error) {
+	if rem := l.n - l.w.Len(); rem > 0 {
+		if len(p) > rem {
+			l.w.Write(p[:rem])
+		} else {
+			l.w.Write(p)
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latencyBoundsMicros buckets end-to-end job latencies (admission →
+// completion) from 100µs to 10s.
+var latencyBoundsMicros = []int64{
+	100, 250, 500,
+	1_000, 2_500, 5_000,
+	10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000,
+}
+
+// poolMetrics aggregates the serving layer's counters: admission outcomes,
+// end-to-end latency, batching, and per-worker busy/idle accounting.
+type poolMetrics struct {
+	start time.Time
+
+	admitted atomic.Int64
+	shed     atomic.Int64
+	rejected atomic.Int64 // malformed requests (400s)
+	done     atomic.Int64
+	failed   atomic.Int64
+	inflight atomic.Int64
+
+	batchDispatches atomic.Int64
+	batchedJobs     atomic.Int64
+	maxBatch        atomic.Int64
+
+	mu      sync.Mutex
+	latency *metrics.Histogram
+
+	workers []workerStat
+}
+
+// workerStat tracks one pool worker's busy/idle accounting.
+type workerStat struct {
+	jobs       atomic.Int64
+	busyMicros atomic.Int64
+	// busySince is the wall time (µs since pool start) the worker went
+	// busy, 0 while idle.
+	busySince atomic.Int64
+}
+
+func newPoolMetrics(workers int) *poolMetrics {
+	return &poolMetrics{
+		start:   time.Now(),
+		latency: metrics.NewHistogram(latencyBoundsMicros...),
+		workers: make([]workerStat, workers),
+	}
+}
+
+// sinceMicros is the wall clock of the pool, in microseconds since start —
+// the Cycle domain of every trace event the pool emits.
+func (m *poolMetrics) sinceMicros() int64 { return time.Since(m.start).Microseconds() }
+
+func (m *poolMetrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latency.Observe(d.Microseconds())
+	m.mu.Unlock()
+}
+
+func (m *poolMetrics) workerBusy(w int) {
+	now := m.sinceMicros()
+	if now == 0 {
+		now = 1 // 0 means idle; never record a zero busy-start
+	}
+	m.workers[w].busySince.Store(now)
+}
+
+func (m *poolMetrics) workerIdle(w int) {
+	since := m.workers[w].busySince.Swap(0)
+	if since > 0 {
+		m.workers[w].busyMicros.Add(m.sinceMicros() - since)
+	}
+}
+
+func (m *poolMetrics) recordBatch(size int) {
+	m.batchDispatches.Add(1)
+	m.batchedJobs.Add(int64(size))
+	for {
+		cur := m.maxBatch.Load()
+		if int64(size) <= cur || m.maxBatch.CompareAndSwap(cur, int64(size)) {
+			return
+		}
+	}
+}
+
+// LatencySummary is the latency block of the /metrics JSON document.
+type LatencySummary struct {
+	Count    int64   `json:"count"`
+	MeanMS   float64 `json:"mean_ms"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	Overflow bool    `json:"-"`
+}
+
+// WorkerSummary is one row of the per-worker block of /metrics.
+type WorkerSummary struct {
+	Worker      int     `json:"worker"`
+	Jobs        int64   `json:"jobs"`
+	BusyMS      float64 `json:"busy_ms"`
+	Busy        bool    `json:"busy"`
+	Utilization float64 `json:"utilization"`
+}
+
+// MetricsSnapshot is the /metrics JSON document.
+type MetricsSnapshot struct {
+	UptimeMS      float64         `json:"uptime_ms"`
+	Workers       int             `json:"workers"`
+	QueueDepth    int             `json:"queue_depth"`
+	QueueCapacity int             `json:"queue_capacity"`
+	Admitted      int64           `json:"admitted"`
+	Shed          int64           `json:"shed"`
+	Rejected      int64           `json:"rejected"`
+	Done          int64           `json:"done"`
+	Failed        int64           `json:"failed"`
+	Inflight      int64           `json:"inflight"`
+	Latency       LatencySummary  `json:"latency"`
+	PerWorker     []WorkerSummary `json:"per_worker"`
+	Batch         BatchSummary    `json:"batch"`
+	TraceEvents   int64           `json:"trace_events"`
+}
+
+// BatchSummary is the batching block of /metrics.
+type BatchSummary struct {
+	Dispatches  int64 `json:"dispatches"`
+	BatchedJobs int64 `json:"batched_jobs"`
+	MaxBatch    int64 `json:"max_batch"`
+}
+
+func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64) MetricsSnapshot {
+	uptime := m.sinceMicros()
+	m.mu.Lock()
+	lat := LatencySummary{
+		Count:  m.latency.Count(),
+		MeanMS: m.latency.Mean() / 1000,
+		P50MS:  m.latency.Quantile(0.50) / 1000,
+		P95MS:  m.latency.Quantile(0.95) / 1000,
+		P99MS:  m.latency.Quantile(0.99) / 1000,
+		MaxMS:  float64(m.latency.Max()) / 1000,
+	}
+	m.mu.Unlock()
+
+	per := make([]WorkerSummary, len(m.workers))
+	for w := range m.workers {
+		busy := m.workers[w].busyMicros.Load()
+		since := m.workers[w].busySince.Load()
+		if since > 0 {
+			busy += uptime - since
+		}
+		util := 0.0
+		if uptime > 0 {
+			util = float64(busy) / float64(uptime)
+		}
+		per[w] = WorkerSummary{
+			Worker:      w,
+			Jobs:        m.workers[w].jobs.Load(),
+			BusyMS:      float64(busy) / 1000,
+			Busy:        since > 0,
+			Utilization: util,
+		}
+	}
+	return MetricsSnapshot{
+		UptimeMS:      float64(uptime) / 1000,
+		Workers:       len(m.workers),
+		QueueDepth:    queueDepth,
+		QueueCapacity: queueCap,
+		Admitted:      m.admitted.Load(),
+		Shed:          m.shed.Load(),
+		Rejected:      m.rejected.Load(),
+		Done:          m.done.Load(),
+		Failed:        m.failed.Load(),
+		Inflight:      m.inflight.Load(),
+		Latency:       lat,
+		PerWorker:     per,
+		Batch: BatchSummary{
+			Dispatches:  m.batchDispatches.Load(),
+			BatchedJobs: m.batchedJobs.Load(),
+			MaxBatch:    m.maxBatch.Load(),
+		},
+		TraceEvents: traceEvents,
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/skel"
+	"repro/internal/trace"
+)
+
+// worker is one pool worker's main loop: pull a job, opportunistically
+// drain more queued work, execute, repeat until the queue is closed and
+// drained. Every transition is narrated into the trace ring with the same
+// event vocabulary as the simulated machine (Cycle = µs since pool start).
+func (s *Server) worker(w int) {
+	defer s.workerWG.Done()
+	for j := range s.q.ch {
+		batch := s.gather(j)
+		s.met.workerBusy(w)
+		s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindBusy, Proc: w, From: -1})
+		s.runBatch(w, batch)
+		s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindIdle, Proc: w, From: -1})
+		s.met.workerIdle(w)
+	}
+}
+
+// gather collects the dispatch for one worker wake-up: the job it pulled
+// plus, when that job is a batchable small alignment, up to BatchMax-1
+// more jobs drained from the queue without blocking. The drain only finds
+// work when every worker is busy (an idle worker would have been handed
+// the job directly), which is exactly when amortizing dispatches matters.
+func (s *Server) gather(first *Job) []*Job {
+	batch := []*Job{first}
+	if !s.batchable(first) {
+		return batch
+	}
+	for len(batch) < s.cfg.BatchMax {
+		select {
+		case j, ok := <-s.q.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, j)
+			if !s.batchable(j) {
+				// Keep draining only while the tail stays batchable; a big
+				// job ends the batch (it still runs, after the small ones).
+				return batch
+			}
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// batchable reports whether j is a small alignment job — the class the
+// serving layer coalesces into one farm dispatch.
+func (s *Server) batchable(j *Job) bool {
+	return j.req.Type == JobAlign && j.req.Align.Cost() <= s.cfg.BatchCostMax
+}
+
+// runBatch executes a dispatch on worker w. The batchable alignment jobs
+// run as one farm dispatch (skel.Farm over the jobs); anything else in the
+// dispatch runs individually after.
+func (s *Server) runBatch(w int, batch []*Job) {
+	var aligns, rest []*Job
+	for _, j := range batch {
+		if s.batchable(j) {
+			aligns = append(aligns, j)
+		} else {
+			rest = append(rest, j)
+		}
+	}
+	if len(aligns) == 1 {
+		rest = append(aligns, rest...)
+		aligns = nil
+	}
+	if len(aligns) > 1 {
+		s.met.recordBatch(len(aligns))
+		inner := len(aligns)
+		if inner > s.cfg.BatchMax {
+			inner = s.cfg.BatchMax
+		}
+		// One farm dispatch over the batch: the jobs are the tasks. Each
+		// job still runs under its own deadline context.
+		_, _, _ = skel.Farm(context.Background(), aligns, func(j *Job) struct{} {
+			s.runJob(w, j, len(aligns))
+			return struct{}{}
+		}, skel.FarmOptions{Workers: inner})
+	}
+	for _, j := range rest {
+		s.runJob(w, j, 1)
+	}
+}
+
+// runJob moves one job through running → done/error on worker w.
+func (s *Server) runJob(w int, j *Job, batchSize int) {
+	defer j.cancel()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	j.mu.Lock()
+	j.worker = w
+	j.batchSize = batchSize
+	if err := j.ctx.Err(); err != nil {
+		// Deadline spent entirely in the queue: fail without running.
+		j.state = StateError
+		j.err = errors.New("deadline exceeded while queued")
+		j.finished = time.Now()
+		j.mu.Unlock()
+		s.finish(j, false)
+		return
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindExecStart,
+		Proc: w, From: -1, Label: string(j.req.Type) + ":" + j.id})
+
+	err := j.execute(s.reduceOpts())
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = StateError
+		j.err = err
+	} else {
+		j.state = StateDone
+	}
+	dur := j.finished.Sub(j.started)
+	j.mu.Unlock()
+
+	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindExecFinish,
+		Proc: w, From: -1, Arg: dur.Microseconds(), Label: string(j.req.Type) + ":" + j.id})
+	s.met.workers[w].jobs.Add(1)
+	s.finish(j, err == nil)
+}
+
+// finish records terminal accounting for j.
+func (s *Server) finish(j *Job, ok bool) {
+	if ok {
+		s.met.done.Add(1)
+	} else {
+		s.met.failed.Add(1)
+	}
+	s.met.observeLatency(time.Since(j.submitted))
+}
+
+// reduceOpts are the skeleton options every job body runs with: the inner
+// parallelism of one job's reduction. Workers-per-job times pool workers
+// can exceed GOMAXPROCS; the Go scheduler time-slices, and the farm/tree
+// skeletons are allocation-light, so modest oversubscription is fine.
+func (s *Server) reduceOpts() skel.ReduceOptions {
+	return skel.ReduceOptions{
+		Workers: s.cfg.InnerWorkers,
+		Mapper:  skel.MapRandom,
+		Seed:    s.cfg.Seed,
+	}
+}
+
+// emit writes one event to the trace ring.
+func (s *Server) emit(e trace.Event) {
+	if s.ring != nil {
+		s.ring.Event(e)
+	}
+}
+
+// batchCostDefault is the default threshold below which an alignment job
+// counts as "small": a synthetic family of 12 sequences of length 100
+// (12*100*100) sits just under it.
+const batchCostDefault = 12*100*100 + 1

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by tryPush when the admission queue is at its
+// bound; the HTTP layer maps it to 429 + Retry-After (load shedding).
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// ErrDraining is returned once the server has begun graceful shutdown; the
+// HTTP layer maps it to 503.
+var ErrDraining = errors.New("serve: server draining")
+
+// queue is the bounded admission queue between the HTTP front end and the
+// worker pool. Its capacity is the system's only buffer: when it is full,
+// new work is shed instead of growing memory without bound.
+type queue struct {
+	mu     sync.Mutex
+	ch     chan *Job
+	closed bool
+}
+
+func newQueue(capacity int) *queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &queue{ch: make(chan *Job, capacity)}
+}
+
+// tryPush admits j without blocking: ErrQueueFull when at capacity,
+// ErrDraining after close.
+func (q *queue) tryPush(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrDraining
+	}
+	select {
+	case q.ch <- j:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// close stops admission; workers drain what was already accepted.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// depth is the number of admitted jobs not yet picked up by a worker.
+func (q *queue) depth() int { return len(q.ch) }
+
+// capacity is the queue bound.
+func (q *queue) capacity() int { return cap(q.ch) }

@@ -1,0 +1,383 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Config sizes the serving layer. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// Workers is the pool size (default 4).
+	Workers int
+	// InnerWorkers is the parallelism of one job's reduction (default 4).
+	InnerWorkers int
+	// QueueCap bounds the admission queue (default 64); beyond it requests
+	// are shed with 429.
+	QueueCap int
+	// BatchMax caps how many small alignment jobs one farm dispatch
+	// coalesces (default 8).
+	BatchMax int
+	// BatchCostMax is the AlignJob.Cost threshold for batching (default
+	// ~12 sequences of length 100).
+	BatchCostMax int64
+	// DefaultTimeout applies when a request carries no deadline_ms
+	// (default 30s); MaxTimeout caps requested deadlines (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxJobs bounds the finished-job history kept for polling (default
+	// 1024; oldest evicted first).
+	MaxJobs int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// Seed drives the skeleton mappers.
+	Seed int64
+	// TraceCap sizes the trace ring (default trace.DefaultRingCapacity).
+	TraceCap int
+}
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.InnerWorkers <= 0 {
+		c.InnerWorkers = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
+	}
+	if c.BatchCostMax <= 0 {
+		c.BatchCostMax = batchCostDefault
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+}
+
+// Server is the serving layer: an admission queue, a worker pool, a job
+// store for polling, and the observability endpoints. Create with New,
+// serve via Handler, stop with Shutdown.
+type Server struct {
+	cfg  Config
+	q    *queue
+	met  *poolMetrics
+	ring *trace.Ring
+
+	workerWG sync.WaitGroup
+	draining atomic.Bool
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // insertion order, for history eviction
+	nextID int64
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:  cfg,
+		q:    newQueue(cfg.QueueCap),
+		met:  newPoolMetrics(cfg.Workers),
+		ring: trace.NewRing(cfg.TraceCap),
+		jobs: make(map[string]*Job),
+	}
+	s.workerWG.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker(w)
+	}
+	return s
+}
+
+// Shutdown drains gracefully: admission stops (new submissions get 503),
+// queued and in-flight jobs run to completion, workers exit. It returns
+// ctx.Err() if the drain outlives ctx; the pool keeps draining in the
+// background in that case.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.close()
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Submit validates, deadline-wraps, and enqueues a request, returning the
+// job. It is the transport-independent core of POST /v1/jobs.
+func (s *Server) Submit(req JobRequest) (*Job, error) {
+	if err := req.validate(); err != nil {
+		s.met.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	timeout := s.cfg.DefaultTimeout
+	if req.DeadlineMillis > 0 {
+		timeout = time.Duration(req.DeadlineMillis) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	j := &Job{
+		req:       req,
+		ctx:       ctx,
+		cancel:    cancel,
+		submitted: time.Now(),
+		state:     StateQueued,
+		worker:    -1,
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	j.id = fmt.Sprintf("j%06d", s.nextID)
+	s.mu.Unlock()
+
+	if err := s.q.tryPush(j); err != nil {
+		cancel()
+		if errors.Is(err, ErrQueueFull) {
+			s.met.shed.Add(1)
+		}
+		return nil, err
+	}
+	s.store(j)
+	s.met.admitted.Add(1)
+	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindEnqueue,
+		Proc: -1, From: -1, Arg: int64(s.q.depth()), Label: string(req.Type) + ":" + j.id})
+	return j, nil
+}
+
+// Job returns the job with the given id, if still in the history window.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Metrics snapshots the serving metrics.
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total())
+}
+
+func (s *Server) store(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	for len(s.order) > s.cfg.MaxJobs {
+		// Evict the oldest finished job; stop at the first live one (live
+		// jobs are bounded by QueueCap + Workers*BatchMax).
+		old := s.jobs[s.order[0]]
+		if old != nil {
+			old.mu.Lock()
+			live := old.state == StateQueued || old.state == StateRunning
+			old.mu.Unlock()
+			if live {
+				break
+			}
+			delete(s.jobs, s.order[0])
+		}
+		s.order = s.order[1:]
+	}
+}
+
+// errBadRequest marks validation failures for the HTTP layer.
+var errBadRequest = errors.New("bad request")
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs        submit a job; 202 with the job id, 429 when shed
+//	GET  /v1/jobs/{id}   poll a job
+//	GET  /v1/jobs        list recent jobs (newest first)
+//	GET  /metrics        serving metrics (JSON; ?format=text for humans)
+//	GET  /debug/trace    the structured event stream (?format=chrome for
+//	                     a Chrome trace_event file)
+//	GET  /healthz        liveness + drain state
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server draining"})
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.rejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, j.Status())
+	case errors.Is(err, errBadRequest):
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrQueueFull):
+		// Load shedding: tell the client when to come back instead of
+		// buffering without bound. One second is the order of a queue
+		// drain at typical job sizes.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "admission queue full"})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server draining"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	}
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	s.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.StringSlice(ids)))
+	const maxList = 100
+	if len(ids) > maxList {
+		ids = ids[:maxList]
+	}
+	out := make([]JobStatus, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := s.Job(id); ok {
+			st := j.Status()
+			// The list view is a summary; drop result payloads.
+			st.Align, st.Tree, st.Strand = nil, nil, nil
+			out = append(out, st)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.Metrics()
+	if r.URL.Query().Get("format") != "text" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "motifd up %.0fms  workers=%d  queue %d/%d  admitted=%d shed=%d done=%d failed=%d inflight=%d\n",
+		snap.UptimeMS, snap.Workers, snap.QueueDepth, snap.QueueCapacity,
+		snap.Admitted, snap.Shed, snap.Done, snap.Failed, snap.Inflight)
+	fmt.Fprintf(w, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f (n=%d)\n",
+		snap.Latency.P50MS, snap.Latency.P95MS, snap.Latency.P99MS,
+		snap.Latency.MeanMS, snap.Latency.MaxMS, snap.Latency.Count)
+	fmt.Fprintf(w, "batching: %d dispatches, %d jobs batched, max batch %d\n\n",
+		snap.Batch.Dispatches, snap.Batch.BatchedJobs, snap.Batch.MaxBatch)
+	tab := metrics.NewTable("worker", "jobs", "busy ms", "utilization", "state")
+	for _, ws := range snap.PerWorker {
+		state := "idle"
+		if ws.Busy {
+			state = "busy"
+		}
+		tab.AddRow(ws.Worker, ws.Jobs, ws.BusyMS, ws.Utilization, state)
+	}
+	fmt.Fprint(w, tab.String())
+	makespan := s.met.sinceMicros()
+	fmt.Fprintf(w, "\nbusy/idle timeline (%.0fms):\n%s", float64(makespan)/1000,
+		metrics.BusyTimeline(s.ring.Events(), snap.Workers, makespan, 72))
+}
+
+// traceEventJSON is the wire form of one event on /debug/trace.
+type traceEventJSON struct {
+	TMicros int64  `json:"t_us"`
+	Kind    string `json:"kind"`
+	Proc    int    `json:"proc"`
+	From    int    `json:"from,omitempty"`
+	Arg     int64  `json:"arg,omitempty"`
+	Label   string `json:"label,omitempty"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	events := s.ring.Events()
+	if r.URL.Query().Get("format") == "chrome" {
+		// Replay the ring into the Chrome exporter so the stream opens
+		// directly in chrome://tracing / Perfetto.
+		chrome := trace.NewChrome()
+		for _, e := range events {
+			chrome.Event(e)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="motifd-trace.json"`)
+		if _, err := chrome.WriteTo(w); err != nil {
+			// Too late for a status change; the connection is gone.
+			return
+		}
+		return
+	}
+	out := make([]traceEventJSON, len(events))
+	for i, e := range events {
+		out[i] = traceEventJSON{
+			TMicros: e.Cycle, Kind: e.Kind.String(), Proc: e.Proc,
+			From: e.From, Arg: e.Arg, Label: e.Label,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   s.ring.Total(),
+		"dropped": s.ring.Dropped(),
+		"events":  out,
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		state = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": state})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,143 @@
+package skel
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// settleGoroutines waits for the goroutine count to drop back to at most
+// base, tolerating the runtime's own background goroutines.
+func settleGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		runtime.Gosched()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d > %d at start\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFarmCancelStopsEarly(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	tasks := make([]int, 10_000)
+	var ran atomic.Int64
+	_, _, err := Farm(ctx, tasks, func(int) int {
+		if ran.Add(1) == 100 {
+			cancel()
+		}
+		return 0
+	}, FarmOptions{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10_000 {
+		t.Fatalf("cancellation did not stop the farm: ran all %d tasks", n)
+	}
+	settleGoroutines(t, base)
+}
+
+func TestFarmStaticCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, _, err := Farm(ctx, make([]int, 64), func(int) int { ran.Add(1); return 0 },
+		FarmOptions{Workers: 2, Static: true})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled farm ran %d tasks", ran.Load())
+	}
+}
+
+func TestTreeReduceCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(11))
+	tr := randomTree(400, rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	var evals atomic.Int64
+	_, _, err := TreeReduce(ctx, tr, func(op string, l, r int64) int64 {
+		if evals.Add(1) == 5 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return l + r
+	}, ReduceOptions{Workers: 4, Mapper: MapRandom, Seed: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	settleGoroutines(t, base)
+}
+
+func TestTreeReduceDeadline(t *testing.T) {
+	base := runtime.NumGoroutine()
+	rng := rand.New(rand.NewSource(12))
+	tr := randomTree(256, rng)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	_, _, err := TreeReduce(ctx, tr, func(op string, l, r int64) int64 {
+		time.Sleep(500 * time.Microsecond)
+		return l + r
+	}, ReduceOptions{Workers: 2, Mapper: MapStatic})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	settleGoroutines(t, base)
+}
+
+func TestTreeReduceUncancelledStillCorrect(t *testing.T) {
+	// A background context must not change results or accounting.
+	rng := rand.New(rand.NewSource(13))
+	tr := randomTree(200, rng)
+	want, _, err := TreeReduce(context.Background(), tr, intEval, ReduceOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	got, stats, err := TreeReduce(ctx, tr, intEval, ReduceOptions{Workers: 8, Mapper: MapRandom, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("value = %d, want %d", got, want)
+	}
+	if stats.TotalUnits() != int64(tr.Nodes()-tr.Leaves()) {
+		t.Fatalf("units = %d, want %d", stats.TotalUnits(), tr.Nodes()-tr.Leaves())
+	}
+}
+
+func TestDivideConquerCancel(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	_, err := DivideConquer(ctx, 30,
+		func(n int) bool { return n < 2 },
+		func(n int) int {
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+			return n
+		},
+		func(n int) []int { return []int{n - 1, n - 2} },
+		func(_ int, rs []int) int { return rs[0] + rs[1] },
+		DCOptions{Parallel: 4, Depth: 3})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	settleGoroutines(t, base)
+}

@@ -1,6 +1,9 @@
 package skel
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // DCOptions configures a divide-and-conquer skeleton.
 type DCOptions struct {
@@ -17,20 +20,30 @@ type DCOptions struct {
 // a future-work area: base decides and solves trivial problems, divide
 // splits a problem, and combine merges sub-results. Subproblems run in
 // parallel up to the configured width and depth.
+//
+// Cancellation is observed at every subproblem: when ctx is done the
+// recursion unwinds without calling base, divide, or combine again, all
+// spawned goroutines exit, and DivideConquer returns the zero result and
+// ctx.Err().
 func DivideConquer[P, R any](
+	ctx context.Context,
 	problem P,
 	isBase func(P) bool,
 	base func(P) R,
 	divide func(P) []P,
 	combine func(P, []R) R,
 	opts DCOptions,
-) R {
+) (R, error) {
 	var sem chan struct{}
 	if opts.Parallel > 0 {
 		sem = make(chan struct{}, opts.Parallel)
 	}
 	var solve func(p P, depth int) R
 	solve = func(p P, depth int) R {
+		var zero R
+		if ctx.Err() != nil {
+			return zero
+		}
 		if isBase(p) {
 			return base(p)
 		}
@@ -39,6 +52,9 @@ func DivideConquer[P, R any](
 		parallelHere := sem != nil && (opts.Depth == 0 || depth < opts.Depth)
 		if !parallelHere {
 			for i, s := range subs {
+				if ctx.Err() != nil {
+					return zero
+				}
 				results[i] = solve(s, depth+1)
 			}
 			return combine(p, results)
@@ -59,9 +75,17 @@ func DivideConquer[P, R any](
 			}
 		}
 		wg.Wait()
+		if ctx.Err() != nil {
+			return zero
+		}
 		return combine(p, results)
 	}
-	return solve(problem, 0)
+	out := solve(problem, 0)
+	if err := ctx.Err(); err != nil {
+		var zero R
+		return zero, err
+	}
+	return out, nil
 }
 
 // MergeSort sorts using the divide-and-conquer skeleton — the paper's
@@ -71,7 +95,8 @@ func MergeSort[T any](xs []T, less func(a, b T) bool, parallel int) []T {
 	type span struct{ lo, hi int }
 	buf := make([]T, len(xs))
 	copy(buf, xs)
-	out := DivideConquer(
+	out, _ := DivideConquer(
+		context.Background(),
 		span{0, len(xs)},
 		func(s span) bool { return s.hi-s.lo <= 1 },
 		func(s span) []T {

@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -21,7 +22,11 @@ type FarmOptions struct {
 // order — the native form of the scheduler motif: a manager hands tasks to
 // idle workers. Dynamic mode (default) is self-balancing; static mode fixes
 // the assignment up front.
-func Farm[T, R any](tasks []T, f func(T) R, opts FarmOptions) ([]R, *Stats, error) {
+//
+// Cancellation is observed between tasks: when ctx is done, workers stop
+// pulling work and Farm returns ctx.Err() with the partial results
+// computed so far. A task already executing runs to completion.
+func Farm[T, R any](ctx context.Context, tasks []T, f func(T) R, opts FarmOptions) ([]R, *Stats, error) {
 	p := opts.Workers
 	if p < 1 {
 		p = 1
@@ -30,7 +35,7 @@ func Farm[T, R any](tasks []T, f func(T) R, opts FarmOptions) ([]R, *Stats, erro
 	results := make([]R, n)
 	stats := &Stats{UnitsPerWorker: make([]int64, p)}
 	if n == 0 {
-		return results, stats, nil
+		return results, stats, ctx.Err()
 	}
 	var conc gauge
 	var wg sync.WaitGroup
@@ -41,6 +46,9 @@ func Farm[T, R any](tasks []T, f func(T) R, opts FarmOptions) ([]R, *Stats, erro
 			lo, hi := w*n/p, (w+1)*n/p
 			waitGroupGo(&wg, func() {
 				for i := lo; i < hi; i++ {
+					if ctx.Err() != nil {
+						return
+					}
 					conc.inc()
 					results[i] = f(tasks[i])
 					conc.dec()
@@ -58,6 +66,9 @@ func Farm[T, R any](tasks []T, f func(T) R, opts FarmOptions) ([]R, *Stats, erro
 			w := w
 			waitGroupGo(&wg, func() {
 				for i := range idx {
+					if ctx.Err() != nil {
+						return
+					}
 					conc.inc()
 					results[i] = f(tasks[i])
 					conc.dec()
@@ -68,7 +79,7 @@ func Farm[T, R any](tasks []T, f func(T) R, opts FarmOptions) ([]R, *Stats, erro
 	}
 	wg.Wait()
 	stats.PeakConcurrent = conc.peak.Load()
-	return results, stats, nil
+	return results, stats, ctx.Err()
 }
 
 // HierarchicalFarm runs a two-level manager/worker farm: tasks are first
@@ -79,7 +90,7 @@ func Farm[T, R any](tasks []T, f func(T) R, opts FarmOptions) ([]R, *Stats, erro
 // manager/worker hierarchy". Within a group allocation is dynamic; across
 // groups it is static, so the hierarchy trades balance for reduced
 // contention on a single manager.
-func HierarchicalFarm[T, R any](tasks []T, f func(T) R, groups, workersPerGroup int) ([]R, *Stats, error) {
+func HierarchicalFarm[T, R any](ctx context.Context, tasks []T, f func(T) R, groups, workersPerGroup int) ([]R, *Stats, error) {
 	if groups < 1 || workersPerGroup < 1 {
 		return nil, nil, fmt.Errorf("skel: HierarchicalFarm needs positive groups and workers, got %d×%d",
 			groups, workersPerGroup)
@@ -92,7 +103,7 @@ func HierarchicalFarm[T, R any](tasks []T, f func(T) R, groups, workersPerGroup 
 		g := g
 		lo, hi := g*n/groups, (g+1)*n/groups
 		waitGroupGo(&wg, func() {
-			sub, subStats, err := Farm(tasks[lo:hi], f, FarmOptions{Workers: workersPerGroup})
+			sub, subStats, err := Farm(ctx, tasks[lo:hi], f, FarmOptions{Workers: workersPerGroup})
 			if err != nil {
 				return
 			}
@@ -103,5 +114,5 @@ func HierarchicalFarm[T, R any](tasks []T, f func(T) R, groups, workersPerGroup 
 		})
 	}
 	wg.Wait()
-	return results, stats, nil
+	return results, stats, ctx.Err()
 }

@@ -1,11 +1,14 @@
 package skel
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // ParMap applies f to each element in parallel with the given worker count,
 // preserving order.
 func ParMap[T, R any](xs []T, f func(T) R, workers int) []R {
-	out, _, _ := Farm(xs, f, FarmOptions{Workers: workers})
+	out, _, _ := Farm(context.Background(), xs, f, FarmOptions{Workers: workers})
 	return out
 }
 

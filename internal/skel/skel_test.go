@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -54,7 +55,7 @@ func TestTreeReduceMatchesSequential(t *testing.T) {
 		want := SeqReduce(tr, intEval)
 		for _, m := range []Mapper{MapRandom, MapRoundRobin, MapStatic} {
 			for _, w := range []int{1, 2, 4, 7} {
-				got, _, err := TreeReduce(tr, intEval, ReduceOptions{Workers: w, Mapper: m, Seed: int64(trial)})
+				got, _, err := TreeReduce(context.Background(), tr, intEval, ReduceOptions{Workers: w, Mapper: m, Seed: int64(trial)})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -67,7 +68,7 @@ func TestTreeReduceMatchesSequential(t *testing.T) {
 }
 
 func TestTreeReduceLeafOnly(t *testing.T) {
-	got, stats, err := TreeReduce(NewLeaf[int64](9), intEval, ReduceOptions{Workers: 4})
+	got, stats, err := TreeReduce(context.Background(), NewLeaf[int64](9), intEval, ReduceOptions{Workers: 4})
 	if err != nil || got != 9 {
 		t.Fatalf("got %d, %v", got, err)
 	}
@@ -77,7 +78,7 @@ func TestTreeReduceLeafOnly(t *testing.T) {
 }
 
 func TestTreeReduceNilTree(t *testing.T) {
-	if _, _, err := TreeReduce[int64](nil, intEval, ReduceOptions{Workers: 1}); err == nil {
+	if _, _, err := TreeReduce[int64](context.Background(), nil, intEval, ReduceOptions{Workers: 1}); err == nil {
 		t.Fatal("expected error on nil tree")
 	}
 }
@@ -85,7 +86,7 @@ func TestTreeReduceNilTree(t *testing.T) {
 func TestTreeReduceUnitAccounting(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	tr := randomTree(100, rng)
-	_, stats, err := TreeReduce(tr, intEval, ReduceOptions{Workers: 4, Mapper: MapRandom, Seed: 5})
+	_, stats, err := TreeReduce(context.Background(), tr, intEval, ReduceOptions{Workers: 4, Mapper: MapRandom, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,11 +101,11 @@ func TestTreeReduceStaticFewerCrossings(t *testing.T) {
 	// values across workers than random mapping on a large tree.
 	rng := rand.New(rand.NewSource(4))
 	tr := randomTree(2000, rng)
-	_, stRand, err := TreeReduce(tr, intEval, ReduceOptions{Workers: 8, Mapper: MapRandom, Seed: 6})
+	_, stRand, err := TreeReduce(context.Background(), tr, intEval, ReduceOptions{Workers: 8, Mapper: MapRandom, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, stStatic, err := TreeReduce(tr, intEval, ReduceOptions{Workers: 8, Mapper: MapStatic, Seed: 6})
+	_, stStatic, err := TreeReduce(context.Background(), tr, intEval, ReduceOptions{Workers: 8, Mapper: MapStatic, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestFarmDynamicAndStatic(t *testing.T) {
 	}
 	sq := func(x int) int { return x * x }
 	for _, static := range []bool{false, true} {
-		got, stats, err := Farm(tasks, sq, FarmOptions{Workers: 4, Static: static})
+		got, stats, err := Farm(context.Background(), tasks, sq, FarmOptions{Workers: 4, Static: static})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,14 +141,14 @@ func TestFarmDynamicAndStatic(t *testing.T) {
 }
 
 func TestFarmEmpty(t *testing.T) {
-	got, _, err := Farm(nil, func(x int) int { return x }, FarmOptions{Workers: 3})
+	got, _, err := Farm(context.Background(), nil, func(x int) int { return x }, FarmOptions{Workers: 3})
 	if err != nil || len(got) != 0 {
 		t.Fatalf("got %v, %v", got, err)
 	}
 }
 
 func TestFarmZeroWorkersClamped(t *testing.T) {
-	got, _, err := Farm([]int{1, 2}, func(x int) int { return x + 1 }, FarmOptions{})
+	got, _, err := Farm(context.Background(), []int{1, 2}, func(x int) int { return x + 1 }, FarmOptions{})
 	if err != nil || got[0] != 2 || got[1] != 3 {
 		t.Fatalf("got %v, %v", got, err)
 	}
@@ -158,7 +159,7 @@ func TestHierarchicalFarm(t *testing.T) {
 	for i := range tasks {
 		tasks[i] = i
 	}
-	got, stats, err := HierarchicalFarm(tasks, func(x int) int { return 2 * x }, 2, 3)
+	got, stats, err := HierarchicalFarm(context.Background(), tasks, func(x int) int { return 2 * x }, 2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +177,7 @@ func TestHierarchicalFarm(t *testing.T) {
 }
 
 func TestHierarchicalFarmBadShape(t *testing.T) {
-	if _, _, err := HierarchicalFarm([]int{1}, func(x int) int { return x }, 0, 3); err == nil {
+	if _, _, err := HierarchicalFarm(context.Background(), []int{1}, func(x int) int { return x }, 0, 3); err == nil {
 		t.Fatal("expected error")
 	}
 }
@@ -224,12 +225,16 @@ func TestProducerConsumerFigure1(t *testing.T) {
 func TestDivideConquerFibonacci(t *testing.T) {
 	fib := func(parallel int) func(n int) int {
 		return func(n int) int {
-			return DivideConquer(n,
+			v, err := DivideConquer(context.Background(), n,
 				func(n int) bool { return n < 2 },
 				func(n int) int { return n },
 				func(n int) []int { return []int{n - 1, n - 2} },
 				func(_ int, rs []int) int { return rs[0] + rs[1] },
 				DCOptions{Parallel: parallel, Depth: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
 		}
 	}
 	seq, par := fib(0), fib(4)
@@ -446,7 +451,7 @@ func TestPropTreeReduceMax(t *testing.T) {
 			n := NewNode("max", leaves[i], leaves[i+1])
 			leaves = append(leaves[:i], append([]*Tree[int64]{n}, leaves[i+2:]...)...)
 		}
-		got, _, err := TreeReduce(leaves[0], func(op string, l, r int64) int64 {
+		got, _, err := TreeReduce(context.Background(), leaves[0], func(op string, l, r int64) int64 {
 			if l > r {
 				return l
 			}

@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -28,7 +29,7 @@ func traceTestTree(leaves int, seed int64) *Tree[int64] {
 func TestTreeReduceTracesEvals(t *testing.T) {
 	tree := traceTestTree(64, 3)
 	ring := trace.NewRing(0)
-	sum, stats, err := TreeReduce(tree, func(op string, l, r int64) int64 { return l + r },
+	sum, stats, err := TreeReduce(context.Background(), tree, func(op string, l, r int64) int64 { return l + r },
 		ReduceOptions{Workers: 4, Mapper: MapRandom, Seed: 9, Tracer: ring})
 	if err != nil {
 		t.Fatal(err)
@@ -70,7 +71,7 @@ func TestTreeReduceTracesEvals(t *testing.T) {
 func TestTreeReduceNilTracerUnchanged(t *testing.T) {
 	tree := traceTestTree(32, 5)
 	eval := func(op string, l, r int64) int64 { return l + r }
-	got, stats, err := TreeReduce(tree, eval, ReduceOptions{Workers: 3, Mapper: MapStatic, Seed: 1})
+	got, stats, err := TreeReduce(context.Background(), tree, eval, ReduceOptions{Workers: 3, Mapper: MapStatic, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

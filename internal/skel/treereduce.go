@@ -1,8 +1,10 @@
 package skel
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/trace"
@@ -103,7 +105,11 @@ type combineTask struct {
 // executes its queue sequentially — the execution model shared by the
 // paper's two tree-reduction motifs, parameterized by the mapping strategy
 // that distinguishes them. It returns the root value and run statistics.
-func TreeReduce[V any](t *Tree[V], eval func(op string, l, r V) V, opts ReduceOptions) (V, *Stats, error) {
+//
+// Cancellation is observed between node evaluations: when ctx is done,
+// every worker stops, all goroutines exit, and TreeReduce returns
+// ctx.Err(). A node evaluation already in flight runs to completion.
+func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, r V) V, opts ReduceOptions) (V, *Stats, error) {
 	var zero V
 	if t == nil {
 		return zero, nil, fmt.Errorf("skel: TreeReduce on nil tree")
@@ -113,7 +119,7 @@ func TreeReduce[V any](t *Tree[V], eval func(op string, l, r V) V, opts ReduceOp
 		p = 1
 	}
 	if t.IsLeaf() {
-		return t.Leaf, &Stats{UnitsPerWorker: make([]int64, p)}, nil
+		return t.Leaf, &Stats{UnitsPerWorker: make([]int64, p)}, ctx.Err()
 	}
 
 	// Index the tree: nodes in preorder, 0-based. For MapStatic we assign
@@ -147,61 +153,51 @@ func TreeReduce[V any](t *Tree[V], eval func(op string, l, r V) V, opts ReduceOp
 		worker[i] = assign(postPos[i])
 	}
 
-	// Per-node synchronization: values and arrival counts.
+	// Per-node synchronization: values and atomic arrival counts. A node's
+	// combine is enqueued on its worker by whichever child arrives second
+	// (the counter reaching zero orders the children's value writes before
+	// the enqueue, and the channel receive orders them before the combine).
+	// Delivering through counters instead of per-node waiter goroutines
+	// means cancellation leaves nothing blocked: once the workers return,
+	// no goroutine of this reduction remains.
 	vals := make([]V, n)
-	var pending []sync.WaitGroup // one per node, counts missing children
-	pending = make([]sync.WaitGroup, n)
+	pending := make([]atomic.Int32, n)
 	for i := 0; i < n; i++ {
 		if !nodes[i].IsLeaf() {
-			pending[i].Add(2)
+			pending[i].Store(2)
 		}
 	}
 
+	// Each queue is buffered to hold every node, so deliveries never block
+	// even after a cancelled worker has stopped receiving.
 	queues := make([]chan combineTask, p)
 	for w := range queues {
 		queues[w] = make(chan combineTask, n+1)
 	}
 
 	stats := &Stats{UnitsPerWorker: make([]int64, p)}
-	var cross int64
-	var crossMu sync.Mutex
+	var cross atomic.Int64
 	var conc gauge
 	start := time.Now()
 	elapsed := func() int64 { return time.Since(start).Microseconds() }
 
 	// deliver records a child value and enqueues the parent when ready.
-	var deliver func(id int, v V, fromWorker int)
-	deliver = func(id int, v V, fromWorker int) {
+	deliver := func(id int, v V, fromWorker int) {
 		vals[id] = v
 		par := parent[id]
 		if par < 0 {
 			return
 		}
 		if fromWorker >= 0 && worker[par] != fromWorker {
-			crossMu.Lock()
-			cross++
-			crossMu.Unlock()
+			cross.Add(1)
 			if opts.Tracer != nil {
 				opts.Tracer.Event(trace.Event{Cycle: elapsed(), Kind: trace.KindShip,
 					Proc: worker[par], From: fromWorker, Label: nodes[par].Op})
 			}
 		}
-		pending[par].Done()
-	}
-
-	// Waiter goroutines: one per internal node, enqueue the combine when
-	// both children have arrived. (A waitgroup per node keeps the dataflow
-	// logic simple; the per-worker queues still serialize evaluation.)
-	var waiters sync.WaitGroup
-	for i := 0; i < n; i++ {
-		if nodes[i].IsLeaf() {
-			continue
+		if pending[par].Add(-1) == 0 {
+			queues[worker[par]] <- combineTask{node: par}
 		}
-		i := i
-		waitGroupGo(&waiters, func() {
-			pending[i].Wait()
-			queues[worker[i]] <- combineTask{node: i}
-		})
 	}
 
 	// Workers.
@@ -242,6 +238,8 @@ func TreeReduce[V any](t *Tree[V], eval func(op string, l, r V) V, opts ReduceOp
 					deliver(id, v, w)
 				case <-done:
 					return
+				case <-ctx.Done():
+					return
 				}
 			}
 		})
@@ -255,9 +253,11 @@ func TreeReduce[V any](t *Tree[V], eval func(op string, l, r V) V, opts ReduceOp
 		}
 	}
 
-	waiters.Wait()
 	wg.Wait()
-	stats.CrossMessages = cross
+	stats.CrossMessages = cross.Load()
 	stats.PeakConcurrent = conc.peak.Load()
+	if err := ctx.Err(); err != nil {
+		return zero, stats, err
+	}
 	return rootVal, stats, nil
 }

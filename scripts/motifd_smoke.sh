@@ -1,0 +1,73 @@
+#!/bin/sh
+# Smoke test for the motifd daemon, run by CI and `make motifd-smoke`:
+# start the daemon, wait for /healthz, submit an alignment job, poll it to
+# completion asserting HTTP 200 + valid JSON at each step, check /metrics,
+# then drain with SIGTERM and require a clean exit.
+set -eu
+
+ADDR=127.0.0.1:18077
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/motifd" ./cmd/motifd
+"$TMP/motifd" -addr "$ADDR" -procs 2 -queue 16 2>"$TMP/motifd.log" &
+PID=$!
+
+# Wait for the daemon to come up.
+i=0
+until curl -sf "$BASE/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 100 ]; then
+        echo "motifd did not come up; log:" >&2
+        cat "$TMP/motifd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+json_field() { # json_field FILE FIELD -> value (and asserts valid JSON)
+    python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))[sys.argv[2]])' "$1" "$2"
+}
+
+# Submit: must be 202 with a JSON body carrying the job id.
+CODE="$(curl -s -o "$TMP/submit.json" -w '%{http_code}' -X POST "$BASE/v1/jobs" \
+    -H 'Content-Type: application/json' \
+    -d '{"type":"align","align":{"n":6,"len":40,"seed":3}}')"
+[ "$CODE" = 202 ] || { echo "submit returned $CODE" >&2; cat "$TMP/submit.json" >&2; exit 1; }
+ID="$(json_field "$TMP/submit.json" id)"
+echo "submitted job $ID"
+
+# Poll: must reach state "done" with a 200 and valid JSON.
+i=0
+while :; do
+    CODE="$(curl -s -o "$TMP/job.json" -w '%{http_code}' "$BASE/v1/jobs/$ID")"
+    [ "$CODE" = 200 ] || { echo "poll returned $CODE" >&2; exit 1; }
+    STATE="$(json_field "$TMP/job.json" state)"
+    case "$STATE" in
+    done) break ;;
+    error) echo "job failed:" >&2; cat "$TMP/job.json" >&2; exit 1 ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -lt 200 ] || { echo "job stuck in $STATE" >&2; exit 1; }
+    sleep 0.05
+done
+echo "job $ID done"
+
+# Metrics must serve valid JSON with the run accounted for.
+CODE="$(curl -s -o "$TMP/metrics.json" -w '%{http_code}' "$BASE/metrics")"
+[ "$CODE" = 200 ] || { echo "metrics returned $CODE" >&2; exit 1; }
+DONE="$(json_field "$TMP/metrics.json" done)"
+[ "$DONE" -ge 1 ] || { echo "metrics report done=$DONE" >&2; exit 1; }
+python3 -c 'import json,sys; m=json.load(open(sys.argv[1])); assert len(m["per_worker"]) == 2, m' "$TMP/metrics.json"
+
+# Graceful drain.
+kill -TERM "$PID"
+i=0
+while kill -0 "$PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "motifd did not drain" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "drained" "$TMP/motifd.log" || { echo "no drain line in log:" >&2; cat "$TMP/motifd.log" >&2; exit 1; }
+echo "motifd smoke: OK"
