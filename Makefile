@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check build vet test race bench-smoke bench motifd-smoke
+.PHONY: ci fmt-check build vet test race bench-smoke bench motifd-smoke cluster-smoke bench-cluster
 
-ci: fmt-check build vet test race bench-smoke motifd-smoke
+ci: fmt-check build vet test race bench-smoke motifd-smoke cluster-smoke
 	@echo "ci: all steps passed"
 
 fmt-check:
@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/skel/... ./internal/motifs/... ./internal/serve/...
+	$(GO) test -race ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/...
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -40,3 +40,13 @@ bench:
 # assert it completes, drain.
 motifd-smoke:
 	./scripts/motifd_smoke.sh
+
+# cluster-smoke mirrors the CI cluster step: coordinator + 2 workers,
+# submit a batch, SIGKILL one worker mid-run, assert zero lost jobs.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
+# bench-cluster measures cluster scheduling at 1/2/4 workers and writes
+# the per-scale throughput/latency report.
+bench-cluster:
+	./scripts/bench_cluster.sh BENCH_cluster.json

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/bio"
+	"repro/internal/cluster"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
@@ -39,11 +40,13 @@ type loadReport struct {
 	Levels    []loadLevel `json:"levels"`
 }
 
-// runLoad drives a motifd instance with alignment jobs at each requested
+// runLoad drives a motifd instance (benchmark "serve") or a motifctl
+// coordinator (benchmark "cluster") with alignment jobs at each requested
 // client-concurrency level, measuring client-perceived submit→done latency
-// and completed-job throughput. target "self" hosts an in-process server on
-// a loopback port, so `make bench` needs no separately started daemon.
-func runLoad(target string, clients []int, jobs, n, seqLen int, seed int64, outFile string) error {
+// and completed-job throughput — the two speak the same job API. target
+// "self" hosts an in-process server on a loopback port, so `make bench`
+// needs no separately started daemon.
+func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed int64, outFile string) error {
 	base := target
 	if target == "self" {
 		s := serve.New(serve.Config{Seed: seed})
@@ -63,7 +66,7 @@ func runLoad(target string, clients []int, jobs, n, seqLen int, seed int64, outF
 	}
 
 	client := &http.Client{Timeout: 2 * time.Minute}
-	report := loadReport{Benchmark: "serve", Target: target, Seqs: n, SeqLen: seqLen, Seed: seed}
+	report := loadReport{Benchmark: benchmark, Target: target, Seqs: n, SeqLen: seqLen, Seed: seed}
 	tab := metrics.NewTable("clients", "jobs", "shed", "failed", "elapsed ms", "jobs/s", "p50 ms", "p95 ms")
 	for _, c := range clients {
 		lvl, err := runLoadLevel(client, base, c, jobs, n, seqLen, seed)
@@ -74,8 +77,8 @@ func runLoad(target string, clients []int, jobs, n, seqLen int, seed int64, outF
 		tab.AddRow(lvl.Clients, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.ElapsedMS,
 			lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS)
 	}
-	fmt.Printf("== serve load: %d alignment jobs (%d seqs, len %d) per level against %s ==\n%s\n",
-		jobs, n, seqLen, base, tab)
+	fmt.Printf("== %s load: %d alignment jobs (%d seqs, len %d) per level against %s ==\n%s\n",
+		benchmark, jobs, n, seqLen, base, tab)
 
 	if outFile != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -103,14 +106,17 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 	var wg sync.WaitGroup
 	for c := 0; c < nClients; c++ {
 		wg.Add(1)
-		go func() {
+		go func(clientIdx int) {
 			defer wg.Done()
+			// One backoff per client: consecutive sheds of the same client
+			// grow its delay, a completed submission rewinds it.
+			bo := cluster.NewBackoff(10*time.Millisecond, 2*time.Second, seed+int64(clientIdx))
 			for {
 				i := next.Add(1)
 				if i > int64(jobs) {
 					return
 				}
-				lat, retried, err := driveJob(client, base, n, seqLen, seed+i)
+				lat, retried, err := driveJob(client, base, n, seqLen, seed+i, bo)
 				shed.Add(retried)
 				if err != nil {
 					failed.Add(1)
@@ -125,7 +131,7 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 				latencies = append(latencies, float64(lat.Microseconds())/1000)
 				mu.Unlock()
 			}
-		}()
+		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -149,7 +155,7 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 // driveJob submits one alignment job and polls it to completion, returning
 // the client-perceived latency and how many times the submission was shed
 // (429) and retried.
-func driveJob(client *http.Client, base string, n, seqLen int, seed int64) (time.Duration, int64, error) {
+func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *cluster.Backoff) (time.Duration, int64, error) {
 	body, err := json.Marshal(serve.JobRequest{
 		Type:  serve.JobAlign,
 		Align: &bio.AlignJob{N: n, Len: seqLen, Seed: seed},
@@ -167,18 +173,21 @@ func driveJob(client *http.Client, base string, n, seqLen int, seed int64) (time
 			return 0, retried, err
 		}
 		if resp.StatusCode == http.StatusTooManyRequests {
-			// Shed: the daemon is protecting its queue bound. Back off
-			// briefly and retry — the load generator measures the shedding
-			// rather than failing on it.
+			// Shed: the daemon is protecting its queue bound. Honor its
+			// Retry-After as the backoff floor, jittered so concurrent
+			// clients don't return in lockstep — the load generator
+			// measures the shedding rather than hammering through it.
+			floor := cluster.RetryAfterFloor(resp.Header.Get("Retry-After"))
 			resp.Body.Close()
 			retried++
-			time.Sleep(20 * time.Millisecond)
+			time.Sleep(bo.Next(floor))
 			continue
 		}
 		if resp.StatusCode != http.StatusAccepted {
 			resp.Body.Close()
 			return 0, retried, fmt.Errorf("submit: status %d", resp.StatusCode)
 		}
+		bo.Reset()
 		var st serve.JobStatus
 		err = json.NewDecoder(resp.Body).Decode(&st)
 		resp.Body.Close()

@@ -6,6 +6,7 @@
 //	alignbench [-n seqs] [-len seqLen] [-seed N] [-mode native|sim|both]
 //	alignbench -trace out.json [-n seqs] [-len seqLen] [-seed N]
 //	alignbench -serve URL|self [-clients 1,4,16] [-jobs 48] [-out BENCH_serve.json]
+//	alignbench -cluster URL [-clients 1,4,16] [-jobs 48] [-out BENCH_cluster.json]
 //
 // With -trace, alignbench runs one simulated Tree-Reduce-2 family
 // alignment with structured tracing on and writes the event stream as a
@@ -14,7 +15,13 @@
 // With -serve, alignbench is a load generator for motifd: it drives the
 // daemon at the given URL ("self" hosts an in-process server) with
 // alignment jobs at each client-concurrency level and reports throughput
-// and client-perceived p50/p95 latency, optionally as JSON via -out.
+// and client-perceived p50/p95 latency, optionally as JSON via -out. A 429
+// response is honored: the generator backs off for at least the daemon's
+// Retry-After, jittered, rather than hammering a shedding queue.
+//
+// With -cluster, the same load generator drives a motifctl coordinator —
+// the job API is identical, so this measures cluster scheduling (placement,
+// shipping, retry) end to end.
 package main
 
 import (
@@ -41,12 +48,23 @@ func main() {
 	fasta := flag.String("fasta", "", "align the sequences in this FASTA file and print the alignment (overrides -mode)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of one simulated alignment run to this file (overrides -mode)")
 	serveURL := flag.String("serve", "", "load-generate against the motifd at this URL (\"self\" hosts one in-process); overrides -mode")
+	clusterURL := flag.String("cluster", "", "load-generate against the motifctl coordinator at this URL; overrides -mode")
 	clients := flag.String("clients", "1,4,16", "client-concurrency levels for -serve, comma-separated")
 	jobs := flag.Int("jobs", 48, "alignment jobs per concurrency level for -serve")
 	out := flag.String("out", "", "write the -serve load report as JSON to this file")
 	flag.Parse()
 
-	if *serveURL != "" {
+	if *serveURL != "" || *clusterURL != "" {
+		benchmark, target := "serve", *serveURL
+		if *clusterURL != "" {
+			if *serveURL != "" {
+				fatal(fmt.Errorf("-serve and -cluster are mutually exclusive"))
+			}
+			benchmark, target = "cluster", *clusterURL
+			if target == "self" {
+				fatal(fmt.Errorf("-cluster needs a running motifctl URL (a coordinator without workers is inert)"))
+			}
+		}
 		levels, err := cmdutil.IntList(*clients)
 		if err != nil {
 			fatal(fmt.Errorf("-clients: %w", err))
@@ -61,7 +79,7 @@ func main() {
 		if ll > 48 {
 			ll = 48
 		}
-		if err := runLoad(*serveURL, levels, *jobs, ln, ll, *seed, *out); err != nil {
+		if err := runLoad(benchmark, target, levels, *jobs, ln, ll, *seed, *out); err != nil {
 			fatal(err)
 		}
 		return

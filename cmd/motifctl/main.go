@@ -1,0 +1,112 @@
+// Command motifctl is the cluster coordinator: the server front end that
+// shards motif jobs across registered motifd worker daemons — the paper's
+// Server ∘ Rand composition across real processes. Workers join with
+// motifd -coordinator; clients submit to the coordinator exactly as they
+// would to a single motifd, and the coordinator places each job on a
+// worker via the selected policy, retries it elsewhere if the worker dies,
+// and backs off workers that shed with 429.
+//
+// Usage:
+//
+//	motifctl [-addr :8070] [-policy rand|label|least] [-seed N]
+//	         [-pending 256] [-attempts 4] [-heartbeat 500ms] [-drain 1m]
+//
+// Policies mirror the paper's placement strategies: rand is Tree-Reduce-1's
+// uniform random shipping, label is Tree-Reduce-2's sticky pre-assignment
+// (jobs sharing a label co-locate), least is the Scheduler motif fed by
+// heartbeat queue-depth reports.
+//
+// API:
+//
+//	POST /cluster/v1/register   worker joins (motifd -coordinator does this)
+//	POST /cluster/v1/heartbeat  worker load report
+//	POST /v1/jobs               submit a job (202 with id; 429 + Retry-After
+//	                            when the pending bound is hit)
+//	GET  /v1/jobs/{id}          poll a job
+//	GET  /v1/jobs               list recent jobs
+//	GET  /metrics               coordinator + per-worker metrics (?format=text)
+//	GET  /debug/trace           event stream (?format=chrome merges all live
+//	                            workers into one Perfetto timeline)
+//	GET  /healthz               liveness + drain state
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cmdutil"
+)
+
+func main() {
+	addr := flag.String("addr", ":8070", "listen address")
+	policyName := flag.String("policy", "rand", "placement policy: rand, label, or least")
+	pending := flag.Int("pending", 256, "pending-job bound (beyond it, shed with 429)")
+	attempts := flag.Int("attempts", 4, "max placements per job before it fails")
+	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeatInterval, "worker heartbeat interval")
+	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
+	seed := cmdutil.Seed(7)
+	flag.Parse()
+
+	policy, err := cluster.NewPolicy(*policyName, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motifctl: %v\n", err)
+		os.Exit(2)
+	}
+	c, err := cluster.NewCoordinator(cluster.Config{
+		Policy:            policy,
+		Seed:              *seed,
+		PendingCap:        *pending,
+		MaxAttempts:       *attempts,
+		HeartbeatInterval: *heartbeat,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motifctl: %v\n", err)
+		os.Exit(2)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           c.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "motifctl: coordinating on %s (policy %s, pending %d, %d attempts)\n",
+			*addr, policy.Name(), *pending, *attempts)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "motifctl: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting submissions, let in-flight jobs
+	// finish on their workers within the drain budget.
+	fmt.Fprintln(os.Stderr, "motifctl: draining...")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "motifctl: http shutdown: %v\n", err)
+	}
+	if err := c.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "motifctl: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	m := c.Metrics()
+	fmt.Fprintf(os.Stderr, "motifctl: drained (accepted=%d done=%d failed=%d retries=%d deaths=%d)\n",
+		m.Accepted, m.Done, m.Failed, m.Retries, m.WorkerDeaths)
+}

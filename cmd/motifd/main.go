@@ -9,6 +9,13 @@
 //
 //	motifd [-addr :8077] [-procs 4] [-inner 4] [-queue 64] [-batch 8]
 //	       [-timeout 30s] [-seed N]
+//	       [-coordinator http://host:8070 [-advertise URL] [-id NAME]]
+//
+// With -coordinator the daemon additionally runs as a cluster worker: it
+// registers with the motifctl coordinator at that URL, heartbeats load
+// reports, and re-registers if the coordinator restarts. The job API is
+// unchanged — the coordinator ships jobs to the same POST /v1/jobs every
+// local client uses.
 //
 // API:
 //
@@ -29,9 +36,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/cmdutil"
 	"repro/internal/serve"
 )
@@ -45,6 +54,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-job deadline")
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 	seed := cmdutil.Seed(7)
+	coordinator := flag.String("coordinator", "", "coordinator URL; set to join a cluster as a worker")
+	advertise := flag.String("advertise", "", "base URL the coordinator ships jobs to (default http://127.0.0.1<addr>)")
+	workerID := flag.String("id", "", "cluster worker id (default host-pid)")
 	flag.Parse()
 
 	s := serve.New(serve.Config{
@@ -71,6 +83,34 @@ func main() {
 		errc <- httpSrv.ListenAndServe()
 	}()
 
+	var agent *cluster.Agent
+	if *coordinator != "" {
+		adv := *advertise
+		if adv == "" {
+			if !strings.HasPrefix(*addr, ":") {
+				fmt.Fprintln(os.Stderr, "motifd: -advertise is required when -addr is not of the form :port")
+				os.Exit(2)
+			}
+			adv = "http://127.0.0.1" + *addr
+		}
+		var err error
+		agent, err = cluster.StartAgent(cluster.AgentConfig{
+			CoordinatorURL: strings.TrimRight(*coordinator, "/"),
+			ID:             *workerID,
+			Addr:           adv,
+			Server:         s,
+			PoolWorkers:    *procs,
+			QueueCap:       *queueCap,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "motifd: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motifd: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	select {
 	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "motifd: %v\n", err)
@@ -78,9 +118,14 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting connections, then let queued and
-	// in-flight jobs finish within the drain budget.
+	// Graceful drain: stop heartbeating (the coordinator declares us dead
+	// via expiry and re-places anything still in flight), stop accepting
+	// connections, then let queued and in-flight jobs finish within the
+	// drain budget.
 	fmt.Fprintln(os.Stderr, "motifd: draining...")
+	if agent != nil {
+		agent.Stop()
+	}
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// AgentConfig configures a worker's cluster membership.
+type AgentConfig struct {
+	// CoordinatorURL is the coordinator's base URL.
+	CoordinatorURL string
+	// ID names this worker (default "host-pid").
+	ID string
+	// Addr is the base URL under which the coordinator can reach this
+	// worker's serving API. Required.
+	Addr string
+	// Server is the local serving layer whose metrics feed the heartbeat
+	// load reports. Required.
+	Server *serve.Server
+	// PoolWorkers/QueueCap describe the local pool for registration.
+	PoolWorkers int
+	QueueCap    int
+	// Interval is the heartbeat cadence (default DefaultHeartbeatInterval).
+	Interval time.Duration
+	// Client talks to the coordinator (default: 5s-timeout http.Client).
+	Client *http.Client
+	// Logf, if non-nil, receives membership events (registered, lost
+	// coordinator, re-registered).
+	Logf func(format string, args ...any)
+}
+
+// Agent maintains a worker's cluster membership: it registers with the
+// coordinator, then heartbeats load reports at the agreed interval,
+// re-registering whenever the coordinator forgets it (restart) and
+// retrying with jittered backoff whenever it is unreachable. The job flow
+// itself needs no agent involvement — the coordinator ships jobs straight
+// to the worker's ordinary serving API.
+type Agent struct {
+	cfg  AgentConfig
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// StartAgent validates the config and starts the membership loop.
+func StartAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.CoordinatorURL == "" {
+		return nil, fmt.Errorf("cluster: agent needs a coordinator URL")
+	}
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("cluster: agent needs an advertised address")
+	}
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("cluster: agent needs the local serve.Server")
+	}
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		cfg.ID = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultHeartbeatInterval
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	a := &Agent{cfg: cfg, done: make(chan struct{})}
+	a.wg.Add(1)
+	go a.loop()
+	return a, nil
+}
+
+// ID returns the worker id the agent registered under.
+func (a *Agent) ID() string { return a.cfg.ID }
+
+// Stop ends the membership loop. The coordinator notices the silence via
+// heartbeat expiry; there is deliberately no unregister call — a worker
+// that can say goodbye is indistinguishable from one that cannot, so the
+// cluster only trusts the expiry path.
+func (a *Agent) Stop() {
+	select {
+	case <-a.done:
+	default:
+		close(a.done)
+	}
+	a.wg.Wait()
+}
+
+func (a *Agent) loop() {
+	defer a.wg.Done()
+	bo := NewBackoff(200*time.Millisecond, 5*time.Second, int64(os.Getpid()))
+	for {
+		if !a.register(bo) {
+			return // stopped before registration succeeded
+		}
+		bo.Reset()
+		if !a.heartbeats() {
+			return // stopped
+		}
+		// heartbeats returned because the coordinator forgot us; loop to
+		// re-register.
+		a.cfg.Logf("cluster: coordinator forgot %s; re-registering", a.cfg.ID)
+	}
+}
+
+// register POSTs the registration until it succeeds; false means the agent
+// was stopped first.
+func (a *Agent) register(bo *Backoff) bool {
+	info := WorkerInfo{
+		ID:       a.cfg.ID,
+		Addr:     a.cfg.Addr,
+		Workers:  a.cfg.PoolWorkers,
+		QueueCap: a.cfg.QueueCap,
+	}
+	body, _ := json.Marshal(info)
+	for {
+		resp, err := a.cfg.Client.Post(a.cfg.CoordinatorURL+"/cluster/v1/register",
+			"application/json", bytes.NewReader(body))
+		if err == nil {
+			var reg RegisterResponse
+			decErr := json.NewDecoder(resp.Body).Decode(&reg)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK && decErr == nil {
+				if ms := reg.HeartbeatMillis; ms > 0 {
+					// The coordinator's interval wins: liveness windows are
+					// its contract to enforce.
+					a.cfg.Interval = time.Duration(ms) * time.Millisecond
+				}
+				a.cfg.Logf("cluster: registered %s (lane %d) with %s, heartbeat %s",
+					a.cfg.ID, reg.Index, a.cfg.CoordinatorURL, a.cfg.Interval)
+				return true
+			}
+		} else {
+			a.cfg.Logf("cluster: register: %v", err)
+		}
+		select {
+		case <-time.After(bo.Next(0)):
+		case <-a.done:
+			return false
+		}
+	}
+}
+
+// heartbeats reports load until stopped (false) or until the coordinator
+// answers 404 (true: re-register).
+func (a *Agent) heartbeats() bool {
+	tick := time.NewTicker(a.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-a.done:
+			return false
+		}
+		m := a.cfg.Server.Metrics()
+		hb := Heartbeat{
+			ID:           a.cfg.ID,
+			QueueDepth:   m.QueueDepth,
+			Inflight:     m.Inflight,
+			Done:         m.Done,
+			Failed:       m.Failed,
+			UptimeMicros: int64(m.UptimeMS * 1000),
+		}
+		body, _ := json.Marshal(hb)
+		resp, err := a.cfg.Client.Post(a.cfg.CoordinatorURL+"/cluster/v1/heartbeat",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			// Unreachable coordinator: keep beating at the usual cadence;
+			// it will pick us back up when it returns (our registration
+			// survives a network blip, only its restart loses it).
+			continue
+		}
+		code := resp.StatusCode
+		_ = resp.Body.Close()
+		if code == http.StatusNotFound {
+			return true
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package cluster distributes motif jobs across real processes: a
+// coordinator shards incoming jobs over registered motifd worker daemons,
+// turning the paper's Server ∘ Rand composition into actual message passing
+// between machines instead of goroutines inside one.
+//
+// The shape mirrors the motifs. Each worker is a "processor" running the
+// in-process serving layer (internal/serve); the coordinator is the server
+// front end that ships a node of work to a processor chosen by a placement
+// policy: Rand (uniform random — Tree-Reduce-1's random shipping), Label
+// (sticky hash pre-assignment — Tree-Reduce-2's labels, siblings
+// co-located), or LeastLoaded (the Scheduler motif, fed by heartbeat
+// queue-depth reports).
+//
+// Real shipping introduces failure modes the in-process pool never sees,
+// and this package owns them: worker death is detected by missed
+// heartbeats; an in-flight job whose worker died is retried on a different
+// worker with bounded attempts and jittered backoff; a saturated worker's
+// 429 + Retry-After propagates back into re-placement rather than
+// hammering the same queue. Jobs are pure computations, so re-running one
+// elsewhere is always safe.
+//
+// Observability reuses internal/trace and internal/metrics: the
+// coordinator emits ship/deliver events for every placement and completion
+// and can merge the live workers' own event streams into one Chrome trace,
+// so a single Perfetto timeline shows the whole cluster.
+package cluster
+
+import "time"
+
+// WorkerInfo is the registration body a worker POSTs to
+// /cluster/v1/register when it joins the cluster.
+type WorkerInfo struct {
+	// ID names the worker; re-registering under the same ID replaces the
+	// previous registration (a restarted worker resumes its identity).
+	ID string `json:"id"`
+	// Addr is the base URL of the worker's serving API, e.g.
+	// "http://10.0.0.7:8077"; the coordinator ships jobs to Addr+"/v1/jobs".
+	Addr string `json:"addr"`
+	// Workers is the worker's local pool size; QueueCap its admission
+	// bound. Both are informational (metrics, trace lane layout).
+	Workers  int `json:"workers"`
+	QueueCap int `json:"queue_cap"`
+}
+
+// RegisterResponse tells a newly registered worker the cluster's timing
+// contract.
+type RegisterResponse struct {
+	// Index is the worker's small dense index, used as its trace lane.
+	Index int `json:"index"`
+	// HeartbeatMillis is the interval the coordinator expects heartbeats
+	// at; ExpiryMillis is how long it waits before declaring the worker
+	// dead.
+	HeartbeatMillis int64 `json:"heartbeat_ms"`
+	ExpiryMillis    int64 `json:"expiry_ms"`
+}
+
+// Heartbeat is the periodic load report a worker POSTs to
+// /cluster/v1/heartbeat. Queue depth and in-flight count feed the
+// LeastLoaded placement policy; uptime lets the coordinator align the
+// worker's trace clock with its own when merging timelines.
+type Heartbeat struct {
+	ID         string `json:"id"`
+	QueueDepth int    `json:"queue_depth"`
+	Inflight   int64  `json:"inflight"`
+	Done       int64  `json:"done"`
+	Failed     int64  `json:"failed"`
+	// UptimeMicros is the worker pool's age in microseconds — the Cycle
+	// domain of its trace events.
+	UptimeMicros int64 `json:"uptime_us"`
+}
+
+// WorkerView is a placement policy's read-only view of one live worker.
+type WorkerView struct {
+	ID    string
+	Index int
+	Addr  string
+	// Load is the worker's last-reported queue depth plus in-flight jobs.
+	Load int
+	// Saturated reports that a 429 backoff window from this worker is
+	// still open; placement prefers unsaturated workers.
+	Saturated bool
+}
+
+// Cluster timing defaults, shared by the coordinator and the worker agent.
+const (
+	// DefaultHeartbeatInterval is how often workers report in.
+	DefaultHeartbeatInterval = 500 * time.Millisecond
+	// DefaultExpiryFactor times the heartbeat interval gives the default
+	// liveness window: a worker missing this many beats is dead.
+	DefaultExpiryFactor = 4
+)

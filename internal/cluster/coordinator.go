@@ -1,0 +1,544 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// Config sizes the coordinator. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// Policy places jobs on workers (default the Rand policy).
+	Policy Policy
+	// Seed drives the default policy and retry jitter.
+	Seed int64
+	// PendingCap bounds accepted-but-unfinished jobs (default 256); beyond
+	// it submissions are shed with 429 + Retry-After, mirroring the
+	// worker-local queue bound one level up.
+	PendingCap int
+	// MaxAttempts bounds how many workers one job may be shipped to
+	// (default 4). Saturation re-placements do not consume attempts —
+	// only placements that reached a worker and then lost it do.
+	MaxAttempts int
+	// HeartbeatInterval is the cadence workers are told to report at
+	// (default DefaultHeartbeatInterval); HeartbeatExpiry the liveness
+	// window (default DefaultExpiryFactor × interval).
+	HeartbeatInterval time.Duration
+	HeartbeatExpiry   time.Duration
+	// PollInterval is how often the coordinator polls a worker for an
+	// in-flight job's completion (default 15ms).
+	PollInterval time.Duration
+	// RetryBase/RetryMax shape the jittered exponential backoff between
+	// re-placements (defaults 50ms / 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// DefaultTimeout bounds a job's whole cluster lifetime — placement,
+	// retries, execution — when the request carries no deadline_ms
+	// (default 60s); MaxTimeout caps requested deadlines (default 5m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// MaxJobs bounds the finished-job history kept for polling (default
+	// 1024; oldest evicted first).
+	MaxJobs int
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// TraceCap sizes the trace ring (default trace.DefaultRingCapacity).
+	TraceCap int
+	// Client ships and polls jobs (default: 30s-timeout http.Client).
+	Client *http.Client
+}
+
+func (c *Config) fill() error {
+	if c.Policy == nil {
+		p, err := NewPolicy("rand", c.Seed)
+		if err != nil {
+			return err
+		}
+		c.Policy = p
+	}
+	if c.PendingCap <= 0 {
+		c.PendingCap = 256
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if c.HeartbeatExpiry <= 0 {
+		c.HeartbeatExpiry = DefaultExpiryFactor * c.HeartbeatInterval
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 15 * time.Millisecond
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = time.Minute
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return nil
+}
+
+// Coordinator shards jobs across registered workers: the cluster's server
+// front end. Create with NewCoordinator, serve via Handler, stop with
+// Shutdown.
+type Coordinator struct {
+	cfg  Config
+	reg  *registry
+	met  *coordMetrics
+	ring *trace.Ring
+
+	ctx      context.Context // coordinator lifetime; cancelled by Shutdown
+	stop     context.CancelFunc
+	sweepWG  sync.WaitGroup
+	jobsWG   sync.WaitGroup
+	draining atomic.Bool
+	pending  atomic.Int64
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int64
+}
+
+// Shed and drain sentinels for the transport-independent Submit.
+var (
+	// ErrBusy is returned when the pending bound is hit; the HTTP layer
+	// maps it to 429 + Retry-After.
+	ErrBusy = errors.New("cluster: pending jobs at capacity")
+	// ErrDraining is returned once graceful shutdown has begun (503).
+	ErrDraining = errors.New("cluster: coordinator draining")
+	// errBadRequest marks validation failures (400).
+	errBadRequest = errors.New("bad request")
+)
+
+// NewCoordinator builds the coordinator and starts its heartbeat-expiry
+// sweeper.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	c := &Coordinator{
+		cfg:  cfg,
+		met:  newCoordMetrics(),
+		ring: trace.NewRing(cfg.TraceCap),
+		ctx:  ctx,
+		stop: stop,
+		jobs: make(map[string]*Job),
+	}
+	c.reg = newRegistry(cfg.HeartbeatExpiry, c.met.start)
+	c.sweepWG.Add(1)
+	go c.sweeper()
+	return c, nil
+}
+
+// sweeper periodically expires workers whose heartbeats stopped. In-flight
+// jobs on a dead worker notice independently (their polls fail) — the
+// sweep exists so placement stops choosing the corpse and metrics report
+// the death.
+func (c *Coordinator) sweeper() {
+	defer c.sweepWG.Done()
+	tick := time.NewTicker(c.cfg.HeartbeatExpiry / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			for range c.reg.sweep(time.Now()) {
+				c.met.workerDeaths.Add(1)
+			}
+		case <-c.ctx.Done():
+			return
+		}
+	}
+}
+
+// Shutdown drains gracefully: admission stops (new submissions get 503)
+// and in-flight jobs run to completion on their workers. It returns
+// ctx.Err() if the drain outlives ctx; lingering job loops are cancelled
+// either way before return.
+func (c *Coordinator) Shutdown(ctx context.Context) error {
+	c.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		c.jobsWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	c.stop()
+	c.sweepWG.Wait()
+	return err
+}
+
+// Job is one accepted request moving through the cluster.
+type Job struct {
+	id        string
+	req       serve.JobRequest
+	body      []byte // pre-marshaled request, shipped verbatim on each attempt
+	submitted time.Time
+	deadline  time.Time
+
+	mu          sync.Mutex
+	state       serve.State
+	workerID    string
+	workerIndex int
+	attempts    int
+	excluded    map[string]bool
+	shipped     time.Time // most recent successful placement
+	finished    time.Time
+	result      *serve.JobStatus // terminal status fetched from the worker
+	errMsg      string
+}
+
+// JobView is the JSON view of a cluster job: the local serving layer's
+// status shape (so existing pollers work unchanged) plus the cluster
+// placement fields.
+type JobView struct {
+	ID    string        `json:"id"`
+	Type  serve.JobType `json:"type"`
+	State serve.State   `json:"state"`
+	Error string        `json:"error,omitempty"`
+	// WorkerID is the worker currently (or finally) holding the job;
+	// Attempts counts placements, >1 meaning the job was retried.
+	WorkerID string `json:"worker_id,omitempty"`
+	Attempts int    `json:"attempts"`
+	// QueueMillis is accept→first ship; RunMillis is ship→finish.
+	QueueMillis float64 `json:"queue_ms"`
+	RunMillis   float64 `json:"run_ms"`
+
+	Align  *bio.AlignJobResult `json:"align,omitempty"`
+	Tree   *serve.TreeResult   `json:"tree,omitempty"`
+	Strand *serve.StrandResult `json:"strand,omitempty"`
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.id,
+		Type:     j.req.Type,
+		State:    j.state,
+		Error:    j.errMsg,
+		WorkerID: j.workerID,
+		Attempts: j.attempts,
+	}
+	now := time.Now()
+	switch {
+	case j.state == serve.StateQueued:
+		v.QueueMillis = msOf(now.Sub(j.submitted))
+	case j.state == serve.StateRunning:
+		v.QueueMillis = msOf(j.shipped.Sub(j.submitted))
+		v.RunMillis = msOf(now.Sub(j.shipped))
+	default:
+		if !j.shipped.IsZero() {
+			v.QueueMillis = msOf(j.shipped.Sub(j.submitted))
+			v.RunMillis = msOf(j.finished.Sub(j.shipped))
+		} else {
+			v.QueueMillis = msOf(j.finished.Sub(j.submitted))
+		}
+	}
+	if j.result != nil {
+		v.Align = j.result.Align
+		v.Tree = j.result.Tree
+		v.Strand = j.result.Strand
+	}
+	return v
+}
+
+func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// Submit validates and accepts a request, returning the job; a goroutine
+// then places, ships, and tracks it. It is the transport-independent core
+// of POST /v1/jobs.
+func (c *Coordinator) Submit(req serve.JobRequest) (*Job, error) {
+	if c.draining.Load() {
+		return nil, ErrDraining
+	}
+	if err := req.Validate(); err != nil {
+		c.met.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	// Reserve a pending slot with a CAS loop so concurrent submissions
+	// cannot overshoot the bound.
+	for {
+		cur := c.pending.Load()
+		if cur >= int64(c.cfg.PendingCap) {
+			c.met.shed.Add(1)
+			return nil, ErrBusy
+		}
+		if c.pending.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
+	timeout := c.cfg.DefaultTimeout
+	if req.DeadlineMillis > 0 {
+		timeout = time.Duration(req.DeadlineMillis) * time.Millisecond
+		if timeout > c.cfg.MaxTimeout {
+			timeout = c.cfg.MaxTimeout
+		}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		c.pending.Add(-1)
+		return nil, err
+	}
+	now := time.Now()
+	j := &Job{
+		req:       req,
+		body:      body,
+		submitted: now,
+		deadline:  now.Add(timeout),
+		state:     serve.StateQueued,
+		excluded:  make(map[string]bool),
+	}
+	c.mu.Lock()
+	c.nextID++
+	j.id = fmt.Sprintf("c%06d", c.nextID)
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.evictLocked()
+	c.mu.Unlock()
+
+	c.met.accepted.Add(1)
+	c.emit(trace.Event{Cycle: c.met.sinceMicros(), Kind: trace.KindEnqueue,
+		Proc: -1, From: -1, Arg: c.pending.Load(), Label: string(req.Type) + ":" + j.id})
+	c.jobsWG.Add(1)
+	go c.run(j)
+	return j, nil
+}
+
+// evictLocked trims finished jobs beyond the history bound; c.mu held.
+func (c *Coordinator) evictLocked() {
+	for len(c.order) > c.cfg.MaxJobs {
+		old := c.jobs[c.order[0]]
+		if old != nil {
+			old.mu.Lock()
+			live := old.state == serve.StateQueued || old.state == serve.StateRunning
+			old.mu.Unlock()
+			if live {
+				break
+			}
+			delete(c.jobs, c.order[0])
+		}
+		c.order = c.order[1:]
+	}
+}
+
+// Job returns the job with the given id, if still in the history window.
+func (c *Coordinator) Job(id string) (*Job, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	return j, ok
+}
+
+// Metrics snapshots the coordinator metrics.
+func (c *Coordinator) Metrics() MetricsSnapshot {
+	return c.met.snapshot(c.cfg.Policy.Name(), int(c.pending.Load()), c.cfg.PendingCap,
+		c.reg.snapshot(time.Now()), c.ring.Total())
+}
+
+// emit writes one event to the trace ring.
+func (c *Coordinator) emit(e trace.Event) {
+	if c.ring != nil {
+		c.ring.Event(e)
+	}
+}
+
+// Handler returns the cluster HTTP API:
+//
+//	POST /cluster/v1/register   worker joins (or rejoins) the cluster
+//	POST /cluster/v1/heartbeat  worker load report; 404 asks it to re-register
+//	POST /v1/jobs               submit a job; 202 with the job id, 429 when shed
+//	GET  /v1/jobs/{id}          poll a job
+//	GET  /v1/jobs               list recent jobs (newest first)
+//	GET  /metrics               coordinator + per-worker metrics (?format=text)
+//	GET  /debug/trace           coordinator event stream (?format=chrome
+//	                            merges the live workers' streams into one
+//	                            cluster-wide Perfetto timeline)
+//	GET  /healthz               liveness + drain state
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
+	mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /v1/jobs", c.handleList)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", c.handleTrace)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	return mux
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var info WorkerInfo
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&info); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if info.ID == "" || info.Addr == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "register needs id and addr"})
+		return
+	}
+	index := c.reg.register(info, time.Now())
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		Index:           index,
+		HeartbeatMillis: c.cfg.HeartbeatInterval.Milliseconds(),
+		ExpiryMillis:    c.cfg.HeartbeatExpiry.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&hb); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if !c.reg.heartbeat(hb, time.Now()) {
+		// Unknown worker — likely a coordinator restart; the agent
+		// re-registers on 404.
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown worker; re-register"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req serve.JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		c.met.rejected.Add(1)
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	j, err := c.Submit(req)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, j.View())
+	case errors.Is(err, errBadRequest):
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	case errors.Is(err, ErrBusy):
+		// Shed exactly like a saturated worker does, one level up: the
+		// pending bound is the cluster's admission queue.
+		w.Header().Set("Retry-After", strconv.Itoa(serve.RetryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "cluster pending jobs at capacity"})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "coordinator draining"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+	}
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := c.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	ids := append([]string(nil), c.order...)
+	c.mu.Unlock()
+	sort.Sort(sort.Reverse(sort.StringSlice(ids)))
+	const maxList = 100
+	if len(ids) > maxList {
+		ids = ids[:maxList]
+	}
+	out := make([]JobView, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := c.Job(id); ok {
+			v := j.View()
+			// The list view is a summary; drop result payloads.
+			v.Align, v.Tree, v.Strand = nil, nil, nil
+			out = append(out, v)
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := c.Metrics()
+	if r.URL.Query().Get("format") != "text" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "coordinator up %.0fms  policy=%s  workers=%d live  pending %d/%d\n",
+		snap.UptimeMS, snap.Policy, snap.LiveWorkers, snap.Pending, snap.PendingCap)
+	fmt.Fprintf(w, "accepted=%d shed=%d done=%d failed=%d  retries=%d saturated=%d deaths=%d\n",
+		snap.Accepted, snap.Shed, snap.Done, snap.Failed,
+		snap.Retries, snap.Saturated, snap.WorkerDeaths)
+	fmt.Fprintf(w, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f (n=%d)\n\n",
+		snap.Latency.P50MS, snap.Latency.P95MS, snap.Latency.P99MS,
+		snap.Latency.MeanMS, snap.Latency.MaxMS, snap.Latency.Count)
+	tab := metrics.NewTable("worker", "addr", "state", "beat ms", "queue", "inflight", "shipped", "completed", "retried")
+	for _, ws := range snap.Workers {
+		state := "live"
+		switch {
+		case !ws.Live:
+			state = "dead"
+		case ws.Saturated:
+			state = "saturated"
+		}
+		tab.AddRow(ws.ID, ws.Addr, state, ws.LastBeatAgeMS, ws.QueueDepth,
+			ws.Inflight, ws.Shipped, ws.Completed, ws.Retried)
+	}
+	fmt.Fprint(w, tab.String())
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	code := http.StatusOK
+	if c.draining.Load() {
+		state = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"status": state})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// latencyBoundsMicros buckets end-to-end cluster job latencies (accept →
+// completion). Shipping adds network round trips and possible retries, so
+// the range extends past the local serving layer's, up to 30s.
+var latencyBoundsMicros = []int64{
+	500, 1_000, 2_500, 5_000,
+	10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000,
+}
+
+// coordMetrics aggregates the coordinator's counters.
+type coordMetrics struct {
+	start time.Time
+
+	accepted atomic.Int64
+	shed     atomic.Int64 // 429s the coordinator returned (pending bound)
+	rejected atomic.Int64 // malformed submissions (400s)
+	done     atomic.Int64
+	failed   atomic.Int64
+
+	retries      atomic.Int64 // re-placements after a worker failure
+	saturated    atomic.Int64 // re-placements after a worker 429
+	workerDeaths atomic.Int64 // heartbeat expiries
+
+	mu      sync.Mutex
+	latency *metrics.Histogram
+}
+
+func newCoordMetrics() *coordMetrics {
+	return &coordMetrics{start: time.Now(), latency: metrics.NewHistogram(latencyBoundsMicros...)}
+}
+
+// sinceMicros is the coordinator's wall clock in microseconds since start
+// — the Cycle domain of its trace events.
+func (m *coordMetrics) sinceMicros() int64 { return time.Since(m.start).Microseconds() }
+
+func (m *coordMetrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latency.Observe(d.Microseconds())
+	m.mu.Unlock()
+}
+
+// WorkerMetrics is one worker's row in the coordinator's /metrics.
+type WorkerMetrics struct {
+	ID          string `json:"id"`
+	Index       int    `json:"index"`
+	Addr        string `json:"addr"`
+	PoolWorkers int    `json:"pool_workers"`
+	Live        bool   `json:"live"`
+	// LastBeatAgeMS is how stale the last heartbeat is.
+	LastBeatAgeMS float64 `json:"last_beat_age_ms"`
+	// QueueDepth/Inflight/Done/Failed are worker-reported (last heartbeat).
+	QueueDepth int   `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+	Done       int64 `json:"done"`
+	Failed     int64 `json:"failed"`
+	// Shipped/Completed/Retried are coordinator-side: jobs placed on this
+	// worker, completed by it, and re-placed off it after it failed.
+	Shipped   int64 `json:"shipped"`
+	Completed int64 `json:"completed"`
+	Retried   int64 `json:"retried"`
+	Saturated bool  `json:"saturated"`
+}
+
+// MetricsSnapshot is the coordinator's /metrics JSON document.
+type MetricsSnapshot struct {
+	UptimeMS float64 `json:"uptime_ms"`
+	Policy   string  `json:"policy"`
+	// LiveWorkers counts workers currently accepting placements; Pending
+	// counts accepted jobs not yet terminal (bounded by PendingCap).
+	LiveWorkers int `json:"live_workers"`
+	Pending     int `json:"pending"`
+	PendingCap  int `json:"pending_cap"`
+
+	Accepted int64 `json:"accepted"`
+	Shed     int64 `json:"shed"`
+	Rejected int64 `json:"rejected"`
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+
+	// Retries counts re-placements after worker failures; Saturated counts
+	// re-placements after worker 429s; WorkerDeaths counts heartbeat
+	// expiries.
+	Retries      int64 `json:"retries"`
+	Saturated    int64 `json:"saturated_replacements"`
+	WorkerDeaths int64 `json:"worker_deaths"`
+
+	Latency serve.LatencySummary `json:"latency"`
+	Workers []WorkerMetrics      `json:"workers"`
+
+	TraceEvents int64 `json:"trace_events"`
+}
+
+func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers []WorkerMetrics, traceEvents int64) MetricsSnapshot {
+	m.mu.Lock()
+	lat := serve.LatencySummary{
+		Count:  m.latency.Count(),
+		MeanMS: m.latency.Mean() / 1000,
+		P50MS:  m.latency.Quantile(0.50) / 1000,
+		P95MS:  m.latency.Quantile(0.95) / 1000,
+		P99MS:  m.latency.Quantile(0.99) / 1000,
+		MaxMS:  float64(m.latency.Max()) / 1000,
+	}
+	m.mu.Unlock()
+	live := 0
+	for _, w := range workers {
+		if w.Live {
+			live++
+		}
+	}
+	return MetricsSnapshot{
+		UptimeMS:     float64(m.sinceMicros()) / 1000,
+		Policy:       policy,
+		LiveWorkers:  live,
+		Pending:      pending,
+		PendingCap:   pendingCap,
+		Accepted:     m.accepted.Load(),
+		Shed:         m.shed.Load(),
+		Rejected:     m.rejected.Load(),
+		Done:         m.done.Load(),
+		Failed:       m.failed.Load(),
+		Retries:      m.retries.Load(),
+		Saturated:    m.saturated.Load(),
+		WorkerDeaths: m.workerDeaths.Load(),
+		Latency:      lat,
+		Workers:      workers,
+		TraceEvents:  traceEvents,
+	}
+}

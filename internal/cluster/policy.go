@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+)
+
+// Policy selects the worker a job ships to — the cluster-level analogue of
+// the paper's mapping strategies. Pick is called with at least one
+// candidate and must be safe for concurrent use.
+type Policy interface {
+	// Name is the flag spelling ("rand", "label", "least").
+	Name() string
+	// Pick chooses among candidates. label is the job's placement label
+	// (may be empty); jobID is the coordinator's job id, available as a
+	// fallback discriminator.
+	Pick(jobID, label string, candidates []WorkerView) WorkerView
+}
+
+// NewPolicy resolves a policy by flag name.
+func NewPolicy(name string, seed int64) (Policy, error) {
+	switch name {
+	case "rand", "random", "":
+		return &randPolicy{rng: rand.New(rand.NewSource(seed))}, nil
+	case "label":
+		return labelPolicy{}, nil
+	case "least", "least-loaded", "leastloaded":
+		return leastPolicy{}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown placement policy %q (want rand, label, or least)", name)
+	}
+}
+
+// randPolicy ships each job to a uniformly random worker — Tree-Reduce-1's
+// "ship to a randomly selected processor", now across processes. Random
+// placement is reasonably balanced when jobs greatly outnumber workers,
+// exactly the paper's |Nodes| >> |Procs| argument.
+type randPolicy struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (p *randPolicy) Name() string { return "rand" }
+
+func (p *randPolicy) Pick(jobID, label string, candidates []WorkerView) WorkerView {
+	p.mu.Lock()
+	i := p.rng.Intn(len(candidates))
+	p.mu.Unlock()
+	return candidates[i]
+}
+
+// labelPolicy pre-assigns jobs to workers by hashing their placement label
+// — Tree-Reduce-2's labels: sibling jobs carrying the same label always
+// land on the same worker, co-locating the values they exchange. The hash
+// is rendezvous (highest-random-weight), so when a worker leaves only the
+// labels that lived on it move; all other assignments are undisturbed.
+type labelPolicy struct{}
+
+func (labelPolicy) Name() string { return "label" }
+
+func (labelPolicy) Pick(jobID, label string, candidates []WorkerView) WorkerView {
+	if label == "" {
+		// Unlabeled jobs hash by id: effectively random, still sticky
+		// under retries of the same job.
+		label = jobID
+	}
+	best, bestScore := 0, uint64(0)
+	for i, c := range candidates {
+		h := fnv.New64a()
+		h.Write([]byte(label))
+		h.Write([]byte{0})
+		h.Write([]byte(c.ID))
+		if s := h.Sum64(); i == 0 || s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return candidates[best]
+}
+
+// leastPolicy ships to the worker with the smallest reported load — the
+// Scheduler motif's "manager hands work to an idle worker", driven by the
+// queue-depth and in-flight counts carried on heartbeats. Ties go to the
+// lowest worker index, so an all-idle cluster fills deterministically.
+type leastPolicy struct{}
+
+func (leastPolicy) Name() string { return "least" }
+
+func (leastPolicy) Pick(jobID, label string, candidates []WorkerView) WorkerView {
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.Load < best.Load || (c.Load == best.Load && c.Index < best.Index) {
+			best = c
+		}
+	}
+	return best
+}

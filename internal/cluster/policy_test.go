@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func views(n int) []WorkerView {
+	out := make([]WorkerView, n)
+	for i := range out {
+		out[i] = WorkerView{ID: fmt.Sprintf("w%d", i), Index: i, Addr: fmt.Sprintf("http://w%d", i)}
+	}
+	return out
+}
+
+// TestRandPlacementUniform is the statistical contract of the Rand policy
+// (Tree-Reduce-1's random shipping): a chi-square goodness-of-fit test
+// over 2000 placements across 8 workers. With df=7 the critical value at
+// p=0.001 is 24.32; the fixed seed makes the run reproducible, so this is
+// a regression test, not a flaky coin flip.
+func TestRandPlacementUniform(t *testing.T) {
+	p, err := NewPolicy("rand", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers    = 8
+		placements = 2000
+	)
+	cand := views(workers)
+	counts := make([]int, workers)
+	for i := 0; i < placements; i++ {
+		w := p.Pick(fmt.Sprintf("j%d", i), "", cand)
+		counts[w.Index]++
+	}
+	expected := float64(placements) / workers
+	chi2 := 0.0
+	for w, obs := range counts {
+		if obs == 0 {
+			t.Fatalf("worker %d received no placements in %d", w, placements)
+		}
+		d := float64(obs) - expected
+		chi2 += d * d / expected
+	}
+	const critical = 24.32 // chi-square, df=7, p=0.001
+	if chi2 > critical {
+		t.Fatalf("rand placement not uniform: chi²=%.2f > %.2f (counts %v)", chi2, critical, counts)
+	}
+	t.Logf("chi²=%.2f over %d placements across %d workers: %v", chi2, placements, workers, counts)
+}
+
+// TestLabelSiblingsCoLocate is the TR2 contract: sibling jobs carrying the
+// same label land on the same worker, and distinct labels spread over the
+// cluster rather than piling on one worker.
+func TestLabelSiblingsCoLocate(t *testing.T) {
+	p, err := NewPolicy("label", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := views(8)
+	used := make(map[int]bool)
+	for label := 0; label < 64; label++ {
+		l := fmt.Sprintf("node-%d", label)
+		first := p.Pick("jobL", l, cand)
+		used[first.Index] = true
+		// Siblings: many different jobs, same label, arbitrary order.
+		for sib := 0; sib < 8; sib++ {
+			got := p.Pick(fmt.Sprintf("jobR-%d", sib), l, cand)
+			if got.ID != first.ID {
+				t.Fatalf("label %q: sibling landed on %s, first sibling on %s", l, got.ID, first.ID)
+			}
+		}
+	}
+	if len(used) < 4 {
+		t.Fatalf("64 labels used only %d of 8 workers; labels are not spreading", len(used))
+	}
+}
+
+// TestLabelRendezvousStability: removing one worker moves only the labels
+// that lived on it; every other label keeps its worker. This is what makes
+// Label placement survive churn without a global reshuffle.
+func TestLabelRendezvousStability(t *testing.T) {
+	p, _ := NewPolicy("label", 0)
+	all := views(6)
+	before := make(map[string]string)
+	for label := 0; label < 200; label++ {
+		l := fmt.Sprintf("n%d", label)
+		before[l] = p.Pick("j", l, all).ID
+	}
+	// Drop worker w2.
+	var rest []WorkerView
+	for _, w := range all {
+		if w.ID != "w2" {
+			rest = append(rest, w)
+		}
+	}
+	moved, stayed := 0, 0
+	for l, prev := range before {
+		now := p.Pick("j", l, rest).ID
+		switch {
+		case prev == "w2":
+			moved++ // had to move
+			if now == "w2" {
+				t.Fatalf("label %s still assigned to removed worker", l)
+			}
+		case now != prev:
+			t.Fatalf("label %s moved %s→%s though its worker survived", l, prev, now)
+		default:
+			stayed++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no label lived on w2; test lost its bite")
+	}
+	t.Logf("%d labels moved off the removed worker, %d stayed put", moved, stayed)
+}
+
+func TestLeastLoadedPicksIdlest(t *testing.T) {
+	p, err := NewPolicy("least", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := views(4)
+	cand[0].Load = 5
+	cand[1].Load = 2
+	cand[2].Load = 9
+	cand[3].Load = 2
+	// Ties go to the lowest index.
+	if got := p.Pick("j", "", cand); got.ID != "w1" {
+		t.Fatalf("least-loaded picked %s (load %d), want w1", got.ID, got.Load)
+	}
+	cand[1].Load = 10
+	if got := p.Pick("j", "", cand); got.ID != "w3" {
+		t.Fatalf("least-loaded picked %s, want w3", got.ID)
+	}
+}
+
+func TestNewPolicyRejectsUnknown(t *testing.T) {
+	if _, err := NewPolicy("fancy", 0); err == nil {
+		t.Fatal("NewPolicy(fancy) succeeded, want error")
+	}
+}
+
+func TestBackoffGrowsJittersAndFloors(t *testing.T) {
+	b := NewBackoff(10*time.Millisecond, 160*time.Millisecond, 7)
+	prevMax := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		d := b.Next(0)
+		if d <= 0 {
+			t.Fatalf("attempt %d: non-positive delay %v", i, d)
+		}
+		if d > 160*time.Millisecond+160*time.Millisecond/2 {
+			t.Fatalf("attempt %d: delay %v exceeds 1.5×cap", i, d)
+		}
+		if d > prevMax {
+			prevMax = d
+		}
+	}
+	if prevMax < 20*time.Millisecond {
+		t.Fatalf("backoff never grew past %v; exponential schedule broken", prevMax)
+	}
+	// A Retry-After floor is always honored.
+	for i := 0; i < 4; i++ {
+		if d := b.Next(time.Second); d < time.Second {
+			t.Fatalf("floor violated: %v < 1s", d)
+		}
+	}
+	b.Reset()
+	if d := b.Next(0); d > 15*time.Millisecond {
+		t.Fatalf("after Reset, first delay %v should be near Base (≤1.5×10ms)", d)
+	}
+}

@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// workerState is the coordinator's record of one registered worker.
+type workerState struct {
+	info  WorkerInfo
+	index int
+
+	// lastBeat is the most recent registration or heartbeat; dead is set
+	// by the expiry sweep and cleared by re-registration.
+	lastBeat time.Time
+	dead     bool
+
+	// Last heartbeat payload.
+	queueDepth int
+	inflight   int64
+	done       int64
+	failed     int64
+	// startOffset is the worker pool's t=0 expressed in coordinator
+	// microseconds (from heartbeat uptime), used to align merged traces.
+	startOffset int64
+
+	// saturatedUntil is the end of the backoff window opened by a 429
+	// from this worker.
+	saturatedUntil time.Time
+
+	// Coordinator-side shipping counters.
+	shipped   int64
+	completed int64
+	retried   int64 // jobs re-placed off this worker after it failed
+}
+
+// registry tracks registered workers and their liveness. All methods are
+// safe for concurrent use.
+type registry struct {
+	mu        sync.Mutex
+	expiry    time.Duration
+	start     time.Time
+	workers   map[string]*workerState
+	nextIndex int
+}
+
+func newRegistry(expiry time.Duration, start time.Time) *registry {
+	return &registry{expiry: expiry, start: start, workers: make(map[string]*workerState)}
+}
+
+// register adds or refreshes a worker, preserving the index (and so the
+// trace lane) of a worker that re-registers under its old ID.
+func (r *registry) register(info WorkerInfo, now time.Time) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ws, ok := r.workers[info.ID]
+	if !ok {
+		ws = &workerState{index: r.nextIndex}
+		r.nextIndex++
+		r.workers[info.ID] = ws
+	}
+	ws.info = info
+	ws.lastBeat = now
+	ws.dead = false
+	ws.saturatedUntil = time.Time{}
+	return ws.index
+}
+
+// heartbeat records a load report; false means the worker is unknown (the
+// coordinator restarted) and must re-register.
+func (r *registry) heartbeat(hb Heartbeat, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ws, ok := r.workers[hb.ID]
+	if !ok {
+		return false
+	}
+	ws.lastBeat = now
+	ws.dead = false
+	ws.queueDepth = hb.QueueDepth
+	ws.inflight = hb.Inflight
+	ws.done = hb.Done
+	ws.failed = hb.Failed
+	ws.startOffset = now.Sub(r.start).Microseconds() - hb.UptimeMicros
+	return true
+}
+
+// sweep marks workers whose last beat is older than the expiry window as
+// dead and returns the IDs that died in this sweep.
+func (r *registry) sweep(now time.Time) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var died []string
+	for id, ws := range r.workers {
+		if !ws.dead && now.Sub(ws.lastBeat) > r.expiry {
+			ws.dead = true
+			died = append(died, id)
+		}
+	}
+	sort.Strings(died)
+	return died
+}
+
+// live snapshots the placement view of every live worker, ordered by
+// index.
+func (r *registry) live(now time.Time) []WorkerView {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []WorkerView
+	for id, ws := range r.workers {
+		if ws.dead {
+			continue
+		}
+		out = append(out, WorkerView{
+			ID:        id,
+			Index:     ws.index,
+			Addr:      ws.info.Addr,
+			Load:      ws.queueDepth + int(ws.inflight),
+			Saturated: now.Before(ws.saturatedUntil),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// isDead reports whether the worker is currently marked dead (or unknown).
+func (r *registry) isDead(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ws, ok := r.workers[id]
+	return !ok || ws.dead
+}
+
+// markSaturated opens a 429 backoff window for the worker.
+func (r *registry) markSaturated(id string, until time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ws, ok := r.workers[id]; ok && until.After(ws.saturatedUntil) {
+		ws.saturatedUntil = until
+	}
+}
+
+// note* bump the coordinator-side shipping counters.
+func (r *registry) noteShipped(id string)   { r.bump(id, func(ws *workerState) { ws.shipped++ }) }
+func (r *registry) noteCompleted(id string) { r.bump(id, func(ws *workerState) { ws.completed++ }) }
+func (r *registry) noteRetried(id string)   { r.bump(id, func(ws *workerState) { ws.retried++ }) }
+
+func (r *registry) bump(id string, f func(*workerState)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ws, ok := r.workers[id]; ok {
+		f(ws)
+	}
+}
+
+// snapshot returns the metrics view of every worker, ordered by index.
+func (r *registry) snapshot(now time.Time) []WorkerMetrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]WorkerMetrics, 0, len(r.workers))
+	for id, ws := range r.workers {
+		out = append(out, WorkerMetrics{
+			ID:            id,
+			Index:         ws.index,
+			Addr:          ws.info.Addr,
+			PoolWorkers:   ws.info.Workers,
+			Live:          !ws.dead,
+			LastBeatAgeMS: float64(now.Sub(ws.lastBeat).Microseconds()) / 1000,
+			QueueDepth:    ws.queueDepth,
+			Inflight:      ws.inflight,
+			Done:          ws.done,
+			Failed:        ws.failed,
+			Shipped:       ws.shipped,
+			Completed:     ws.completed,
+			Retried:       ws.retried,
+			Saturated:     now.Before(ws.saturatedUntil),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// traceSources returns, for every live worker, what the trace merger needs:
+// address, lane base offset input (pool size), and clock offset.
+func (r *registry) traceSources() []traceSource {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []traceSource
+	for id, ws := range r.workers {
+		if ws.dead {
+			continue
+		}
+		out = append(out, traceSource{
+			id:          id,
+			index:       ws.index,
+			addr:        ws.info.Addr,
+			poolWorkers: ws.info.Workers,
+			clockOffset: ws.startOffset,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].index < out[j].index })
+	return out
+}
+
+type traceSource struct {
+	id          string
+	index       int
+	addr        string
+	poolWorkers int
+	clockOffset int64
+}

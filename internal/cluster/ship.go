@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// outcomeKind classifies one placement attempt's result.
+type outcomeKind int
+
+const (
+	// outcomeDone: the worker completed the job.
+	outcomeDone outcomeKind = iota
+	// outcomeTerminal: the job itself failed (or its deadline passed);
+	// retrying elsewhere cannot help.
+	outcomeTerminal
+	// outcomeWorkerLost: the worker died or lost the job; retry on a
+	// different worker (attempt consumed, worker excluded).
+	outcomeWorkerLost
+	// outcomeSaturated: the worker shed the job with 429; re-place after
+	// its Retry-After window (no attempt consumed, worker not excluded).
+	outcomeSaturated
+)
+
+type shipOutcome struct {
+	kind   outcomeKind
+	msg    string
+	floor  time.Duration    // saturation backoff floor (Retry-After)
+	result *serve.JobStatus // terminal worker status on outcomeDone
+}
+
+// pollFailLimit is how many consecutive poll failures declare the worker
+// lost even before its heartbeats expire — a killed process refuses
+// connections immediately, so in-flight jobs re-place faster than the
+// liveness window.
+const pollFailLimit = 3
+
+// run owns one accepted job end to end: place, ship, track, and re-place
+// on failure until the job completes, its attempts are exhausted, or its
+// deadline passes. One goroutine per pending job; the pending bound caps
+// them.
+func (c *Coordinator) run(j *Job) {
+	defer c.jobsWG.Done()
+	defer c.pending.Add(-1)
+	bo := NewBackoff(c.cfg.RetryBase, c.cfg.RetryMax, c.cfg.Seed^idSeed(j.id))
+	for {
+		if c.ctx.Err() != nil {
+			c.fail(j, "coordinator shut down")
+			return
+		}
+		if time.Now().After(j.deadline) {
+			c.fail(j, "deadline exceeded before completion")
+			return
+		}
+		w, ok := c.pickWorker(j)
+		if !ok {
+			// No live, unexcluded, unsaturated worker right now: wait for
+			// a heartbeat, a registration, or a 429 window to pass.
+			c.sleep(bo.Next(0), j)
+			continue
+		}
+		out := c.shipAndTrack(j, w)
+		switch out.kind {
+		case outcomeDone:
+			c.finish(j, out.result)
+			return
+		case outcomeTerminal:
+			c.fail(j, out.msg)
+			return
+		case outcomeWorkerLost:
+			c.met.retries.Add(1)
+			c.reg.noteRetried(w.ID)
+			j.mu.Lock()
+			j.excluded[w.ID] = true
+			attempts := j.attempts
+			j.mu.Unlock()
+			if attempts >= c.cfg.MaxAttempts {
+				c.fail(j, fmt.Sprintf("gave up after %d placements (last worker %s: %s)",
+					attempts, w.ID, out.msg))
+				return
+			}
+			c.sleep(bo.Next(0), j)
+		case outcomeSaturated:
+			// The Retry-After window belongs to the worker, not the job: mark
+			// the worker saturated for that long and re-place immediately —
+			// an idle worker can take the job now. Only when every live
+			// worker is inside a window does the job wait (pickWorker comes
+			// up empty and the loop backs off).
+			c.met.saturated.Add(1)
+			c.reg.markSaturated(w.ID, time.Now().Add(out.floor))
+		}
+	}
+}
+
+// pickWorker selects the next placement target: live workers the job has
+// not been lost on, preferring ones outside a 429 backoff window. False
+// means nothing is eligible right now and the caller should wait.
+func (c *Coordinator) pickWorker(j *Job) (WorkerView, bool) {
+	live := c.reg.live(time.Now())
+	if len(live) == 0 {
+		return WorkerView{}, false
+	}
+	j.mu.Lock()
+	eligible := make([]WorkerView, 0, len(live))
+	for _, w := range live {
+		if !j.excluded[w.ID] {
+			eligible = append(eligible, w)
+		}
+	}
+	if len(eligible) == 0 {
+		// Every live worker has already lost this job once. A revived
+		// worker beats a deadlocked job, so the exclusions reset; the
+		// attempt bound still applies.
+		for id := range j.excluded {
+			delete(j.excluded, id)
+		}
+		eligible = live
+	}
+	j.mu.Unlock()
+	unsaturated := make([]WorkerView, 0, len(eligible))
+	for _, w := range eligible {
+		if !w.Saturated {
+			unsaturated = append(unsaturated, w)
+		}
+	}
+	if len(unsaturated) == 0 {
+		return WorkerView{}, false
+	}
+	return c.cfg.Policy.Pick(j.id, j.req.Label, unsaturated), true
+}
+
+// shipAndTrack performs one placement: POST the job to the worker, then
+// poll it to a terminal state, re-classifying every failure into one of
+// the outcome kinds above.
+func (c *Coordinator) shipAndTrack(j *Job, w WorkerView) shipOutcome {
+	c.reg.noteShipped(w.ID)
+	c.emit(trace.Event{Cycle: c.met.sinceMicros(), Kind: trace.KindShip,
+		Proc: w.Index, From: -1, Label: j.id + "→" + w.ID})
+
+	resp, err := c.cfg.Client.Post(w.Addr+"/v1/jobs", "application/json", bytes.NewReader(j.body))
+	if err != nil {
+		c.consumeAttempt(j, w)
+		return shipOutcome{kind: outcomeWorkerLost, msg: "submit: " + err.Error()}
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		// Fall through to tracking.
+	case http.StatusTooManyRequests:
+		floor := retryAfterOf(resp)
+		drainBody(resp)
+		return shipOutcome{kind: outcomeSaturated, floor: floor}
+	case http.StatusBadRequest:
+		// The worker rejected a request the coordinator validated —
+		// version skew. No other worker will accept it either.
+		msg := errorBody(resp)
+		return shipOutcome{kind: outcomeTerminal, msg: "worker rejected job: " + msg}
+	default:
+		msg := fmt.Sprintf("submit: worker returned %d", resp.StatusCode)
+		drainBody(resp)
+		c.consumeAttempt(j, w)
+		return shipOutcome{kind: outcomeWorkerLost, msg: msg}
+	}
+
+	var remote serve.JobStatus
+	err = json.NewDecoder(resp.Body).Decode(&remote)
+	resp.Body.Close()
+	if err != nil || remote.ID == "" {
+		c.consumeAttempt(j, w)
+		return shipOutcome{kind: outcomeWorkerLost, msg: fmt.Sprintf("submit: bad accept body (%v)", err)}
+	}
+	c.consumeAttempt(j, w)
+	shippedAt := time.Now()
+	j.mu.Lock()
+	j.state = serve.StateRunning
+	j.shipped = shippedAt
+	j.mu.Unlock()
+
+	fails := 0
+	for {
+		select {
+		case <-time.After(c.cfg.PollInterval):
+		case <-c.ctx.Done():
+			return shipOutcome{kind: outcomeTerminal, msg: "coordinator shut down"}
+		}
+		if time.Now().After(j.deadline) {
+			return shipOutcome{kind: outcomeTerminal, msg: "deadline exceeded before completion"}
+		}
+		resp, err := c.cfg.Client.Get(w.Addr + "/v1/jobs/" + remote.ID)
+		if err != nil {
+			fails++
+			if fails >= pollFailLimit || c.reg.isDead(w.ID) {
+				return shipOutcome{kind: outcomeWorkerLost, msg: "poll: " + err.Error()}
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			drainBody(resp)
+			// The worker restarted and lost its job history; the work is
+			// gone with it.
+			return shipOutcome{kind: outcomeWorkerLost, msg: "worker lost the job (restarted?)"}
+		}
+		if resp.StatusCode != http.StatusOK {
+			drainBody(resp)
+			fails++
+			if fails >= pollFailLimit {
+				return shipOutcome{kind: outcomeWorkerLost,
+					msg: fmt.Sprintf("poll: worker returned %d", resp.StatusCode)}
+			}
+			continue
+		}
+		var st serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			fails++
+			if fails >= pollFailLimit {
+				return shipOutcome{kind: outcomeWorkerLost, msg: "poll: bad status body: " + err.Error()}
+			}
+			continue
+		}
+		fails = 0
+		switch st.State {
+		case serve.StateDone:
+			c.reg.noteCompleted(w.ID)
+			c.emit(trace.Event{Cycle: c.met.sinceMicros(), Kind: trace.KindDeliver,
+				Proc: w.Index, From: -1,
+				Arg: time.Since(shippedAt).Microseconds(), Label: j.id})
+			return shipOutcome{kind: outcomeDone, result: &st}
+		case serve.StateError:
+			// A live worker reporting failure is deterministic — the job
+			// itself is bad, and re-running it elsewhere would fail too.
+			return shipOutcome{kind: outcomeTerminal, msg: "worker " + w.ID + ": " + st.Error}
+		}
+	}
+}
+
+// consumeAttempt charges one placement against the job's attempt bound and
+// records the target, so JobView shows where the job is (or last was).
+func (c *Coordinator) consumeAttempt(j *Job, w WorkerView) {
+	j.mu.Lock()
+	j.attempts++
+	j.workerID = w.ID
+	j.workerIndex = w.Index
+	j.mu.Unlock()
+}
+
+// finish records terminal success.
+func (c *Coordinator) finish(j *Job, st *serve.JobStatus) {
+	j.mu.Lock()
+	j.state = serve.StateDone
+	j.finished = time.Now()
+	j.result = st
+	j.mu.Unlock()
+	c.met.done.Add(1)
+	c.met.observeLatency(time.Since(j.submitted))
+}
+
+// fail records terminal failure.
+func (c *Coordinator) fail(j *Job, msg string) {
+	j.mu.Lock()
+	j.state = serve.StateError
+	j.errMsg = msg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	c.met.failed.Add(1)
+}
+
+// sleep waits for d, cut short by coordinator shutdown and never past the
+// job's deadline (the loop re-checks both on wake).
+func (c *Coordinator) sleep(d time.Duration, j *Job) {
+	if rem := time.Until(j.deadline); d > rem {
+		d = rem
+	}
+	if d <= 0 {
+		return
+	}
+	select {
+	case <-time.After(d):
+	case <-c.ctx.Done():
+	}
+}
+
+// retryAfterOf extracts a 429's Retry-After backoff floor.
+func retryAfterOf(resp *http.Response) time.Duration {
+	return RetryAfterFloor(resp.Header.Get("Retry-After"))
+}
+
+func drainBody(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+}
+
+// errorBody extracts {"error": ...} from a response, falling back to the
+// status code.
+func errorBody(resp *http.Response) string {
+	defer resp.Body.Close()
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&e); err == nil && e.Error != "" {
+		return e.Error
+	}
+	return resp.Status
+}
+
+// idSeed folds a job id into backoff-jitter seed material.
+func idSeed(id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int64(h.Sum64())
+}

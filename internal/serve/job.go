@@ -47,6 +47,12 @@ type JobRequest struct {
 	// default. The deadline is propagated as a context.Context into the
 	// skeleton entry points, so an expired job aborts mid-reduction.
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// Label optionally tags the job for cluster placement: the
+	// coordinator's Label policy ships jobs carrying equal labels to the
+	// same worker (the paper's Tree-Reduce-2 pre-assignment — siblings
+	// share a label, so they co-locate). The local serving layer ignores
+	// it.
+	Label string `json:"label,omitempty"`
 
 	Align  *bio.AlignJob `json:"align,omitempty"`
 	Tree   *TreeSpec     `json:"tree,omitempty"`
@@ -190,9 +196,19 @@ func (j *Job) Status() JobStatus {
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
+// Validate normalizes the request in place and rejects malformed specs up
+// front, so admission failures are 400s rather than queued errors. It is
+// exported for other serving front ends — the cluster coordinator validates
+// at admission with the same rules, so a job never ships only to be
+// rejected by the worker.
+func (r *JobRequest) Validate() error { return r.validate() }
+
 // validate normalizes the request and rejects malformed specs up front, so
 // admission failures are 400s rather than queued errors.
 func (r *JobRequest) validate() error {
+	if len(r.Label) > 256 {
+		return fmt.Errorf("label too long (%d bytes, max 256)", len(r.Label))
+	}
 	switch r.Type {
 	case JobAlign:
 		if r.Tree != nil || r.Strand != nil {

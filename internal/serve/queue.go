@@ -9,6 +9,14 @@ import (
 // bound; the HTTP layer maps it to 429 + Retry-After (load shedding).
 var ErrQueueFull = errors.New("serve: admission queue full")
 
+// RetryAfterSeconds is the Retry-After hint attached to every 429 this
+// system sheds: one second is the order of an admission-queue drain at
+// typical job sizes. It is the single spelling shared by the serving
+// layer's queue bound, the cluster coordinator's pending bound, and the
+// cluster re-placement path's default backoff when a saturated worker
+// omits or mangles the header.
+const RetryAfterSeconds = 1
+
 // ErrDraining is returned once the server has begun graceful shutdown; the
 // HTTP layer maps it to 503.
 var ErrDraining = errors.New("serve: server draining")

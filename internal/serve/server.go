@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -253,9 +254,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrQueueFull):
 		// Load shedding: tell the client when to come back instead of
-		// buffering without bound. One second is the order of a queue
-		// drain at typical job sizes.
-		w.Header().Set("Retry-After", "1")
+		// buffering without bound.
+		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "admission queue full"})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server draining"})

@@ -1,0 +1,91 @@
+package skel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// buildSumTree makes a balanced tree of "+" nodes over leaves 1..n.
+func buildSumTree(n int) *Tree[int64] {
+	var build func(lo, hi int) *Tree[int64]
+	build = func(lo, hi int) *Tree[int64] {
+		if lo == hi {
+			return NewLeaf(int64(lo))
+		}
+		mid := (lo + hi) / 2
+		return NewNode("+", build(lo, mid), build(mid+1, hi))
+	}
+	return build(1, n)
+}
+
+func sumEval(op string, l, r int64) int64 {
+	if op != "+" {
+		panic("unexpected op " + op)
+	}
+	return l + r
+}
+
+func TestDispatchHookShipsEvaluations(t *testing.T) {
+	tree := buildSumTree(64)
+	want := SeqReduce(tree, sumEval)
+
+	var shipped atomic.Int64
+	opts := ReduceOptions{
+		Workers: 4,
+		Dispatch: func(ctx context.Context, worker int, op string, l, r any) (any, bool, error) {
+			// Ship every other evaluation "remotely"; decline the rest so
+			// both paths run in one reduction.
+			if shipped.Add(1)%2 == 0 {
+				return nil, false, nil
+			}
+			return l.(int64) + r.(int64), true, nil
+		},
+	}
+	got, stats, err := TreeReduce(context.Background(), tree, sumEval, opts)
+	if err != nil {
+		t.Fatalf("TreeReduce with dispatch: %v", err)
+	}
+	if got != want {
+		t.Fatalf("dispatched reduction = %d, want %d", got, want)
+	}
+	if stats.Dispatched == 0 {
+		t.Fatal("Stats.Dispatched = 0, want > 0")
+	}
+	if stats.Dispatched >= stats.TotalUnits() {
+		t.Fatalf("every node dispatched (%d of %d); the declining path never ran",
+			stats.Dispatched, stats.TotalUnits())
+	}
+}
+
+func TestDispatchErrorAbortsReduction(t *testing.T) {
+	tree := buildSumTree(128)
+	boom := errors.New("remote worker died")
+	opts := ReduceOptions{
+		Workers: 4,
+		Dispatch: func(ctx context.Context, worker int, op string, l, r any) (any, bool, error) {
+			return nil, false, boom
+		},
+	}
+	_, _, err := TreeReduce(context.Background(), tree, sumEval, opts)
+	if !errors.Is(err, boom) {
+		t.Fatalf("TreeReduce error = %v, want wrapped %v", err, boom)
+	}
+}
+
+func TestDispatchWrongTypeFailsCleanly(t *testing.T) {
+	tree := buildSumTree(16)
+	opts := ReduceOptions{
+		Workers: 2,
+		Dispatch: func(ctx context.Context, worker int, op string, l, r any) (any, bool, error) {
+			return fmt.Sprintf("%v+%v", l, r), true, nil // string, not int64
+		},
+	}
+	_, _, err := TreeReduce(context.Background(), tree, sumEval, opts)
+	if err == nil || !strings.Contains(err.Error(), "returned") {
+		t.Fatalf("TreeReduce error = %v, want type-mismatch error", err)
+	}
+}

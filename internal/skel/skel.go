@@ -82,6 +82,10 @@ type Stats struct {
 	// PeakConcurrent is the peak number of simultaneously executing units
 	// across all workers (bounded by the worker count by construction).
 	PeakConcurrent int64
+	// Dispatched counts node evaluations shipped through the
+	// remote-dispatch hook (ReduceOptions.Dispatch) instead of being
+	// evaluated locally.
+	Dispatched int64
 }
 
 // Imbalance returns max/mean of UnitsPerWorker (1.0 = perfect balance).

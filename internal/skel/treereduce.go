@@ -92,6 +92,15 @@ type ReduceOptions struct {
 	// microseconds since the reduction started. The tracer must be safe
 	// for concurrent use (trace.Ring and trace.Chrome both are).
 	Tracer trace.Tracer
+	// Dispatch is the remote-dispatch hook — the seam where an in-process
+	// reduction turns into Tree-Reduce-1's "ship this node evaluation to
+	// another processor". When non-nil, a worker offers every ready node
+	// evaluation to Dispatch before evaluating locally: returning
+	// handled=true means the evaluation ran elsewhere (another process, a
+	// cluster worker) and v holds the node's value; handled=false falls
+	// back to the local eval; a non-nil error aborts the whole reduction,
+	// which returns it. Dispatch must be safe for concurrent use.
+	Dispatch func(ctx context.Context, worker int, op string, left, right any) (v any, handled bool, err error)
 }
 
 // combineTask is one ready internal-node evaluation.
@@ -204,7 +213,19 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 	var wg sync.WaitGroup
 	var rootVal V
 	var rootOnce sync.Once
+	var dispatched atomic.Int64
 	done := make(chan struct{})
+	// abort stops every worker on the first Dispatch failure; failErr is
+	// written once before the close and read after the join.
+	abort := make(chan struct{})
+	var failErr error
+	var failOnce sync.Once
+	fail := func(err error) {
+		failOnce.Do(func() {
+			failErr = err
+			close(abort)
+		})
+	}
 	for w := 0; w < p; w++ {
 		w := w
 		waitGroupGo(&wg, func() {
@@ -221,7 +242,29 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 					}
 					l := vals[id+1]                     // left child is next in preorder
 					r := vals[id+1+nodes[id].L.Nodes()] // right child follows left subtree
-					v := eval(nodes[id].Op, l, r)
+					var v V
+					handled := false
+					if opts.Dispatch != nil {
+						rv, ok, derr := opts.Dispatch(ctx, w, nodes[id].Op, l, r)
+						if derr != nil {
+							conc.dec()
+							fail(fmt.Errorf("skel: dispatch of %q: %w", nodes[id].Op, derr))
+							return
+						}
+						if ok {
+							tv, okType := rv.(V)
+							if !okType {
+								conc.dec()
+								fail(fmt.Errorf("skel: dispatch of %q returned %T, want %T", nodes[id].Op, rv, zero))
+								return
+							}
+							v, handled = tv, true
+							dispatched.Add(1)
+						}
+					}
+					if !handled {
+						v = eval(nodes[id].Op, l, r)
+					}
 					if opts.Tracer != nil {
 						opts.Tracer.Event(trace.Event{Cycle: elapsed(), Kind: trace.KindExecFinish,
 							Proc: w, From: -1, Arg: elapsed() - t0, Label: nodes[id].Op})
@@ -237,6 +280,8 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 					}
 					deliver(id, v, w)
 				case <-done:
+					return
+				case <-abort:
 					return
 				case <-ctx.Done():
 					return
@@ -256,6 +301,10 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 	wg.Wait()
 	stats.CrossMessages = cross.Load()
 	stats.PeakConcurrent = conc.peak.Load()
+	stats.Dispatched = dispatched.Load()
+	if failErr != nil {
+		return zero, stats, failErr
+	}
 	if err := ctx.Err(); err != nil {
 		return zero, stats, err
 	}

@@ -1,0 +1,73 @@
+#!/bin/sh
+# Cluster scaling bench, run by `make bench-cluster`: for 1, 2, and 4
+# workers, start a motifctl coordinator plus that many motifd workers,
+# drive the cluster with alignbench -cluster, and collect the per-scale
+# throughput/latency reports into BENCH_cluster.json.
+set -eu
+
+OUT="${1:-BENCH_cluster.json}"
+COORD_ADDR=127.0.0.1:18170
+COORD="http://$COORD_ADDR"
+TMP="$(mktemp -d)"
+PIDS=""
+trap 'kill $PIDS 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/motifctl" ./cmd/motifctl
+go build -o "$TMP/motifd" ./cmd/motifd
+go build -o "$TMP/alignbench" ./cmd/alignbench
+
+wait_up() {
+    i=0
+    until curl -sf "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || { echo "$1 did not come up" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+for WORKERS in 1 2 4; do
+    "$TMP/motifctl" -addr "$COORD_ADDR" 2>"$TMP/motifctl.log" &
+    CPID=$!
+    PIDS="$CPID"
+    wait_up "$COORD"
+
+    w=0
+    while [ "$w" -lt "$WORKERS" ]; do
+        ADDR="127.0.0.1:$((18180 + w))"
+        "$TMP/motifd" -addr "$ADDR" -procs 2 -id "bench-w$w" \
+            -coordinator "$COORD" -advertise "http://$ADDR" 2>"$TMP/w$w.log" &
+        PIDS="$PIDS $!"
+        wait_up "http://$ADDR"
+        w=$((w + 1))
+    done
+
+    # Wait until every worker registered before measuring.
+    i=0
+    while :; do
+        LIVE="$(curl -sf "$COORD/metrics" | python3 -c 'import json,sys; print(json.load(sys.stdin)["live_workers"])')"
+        [ "$LIVE" = "$WORKERS" ] && break
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || { echo "only $LIVE/$WORKERS workers registered" >&2; exit 1; }
+        sleep 0.1
+    done
+
+    echo "== bench: $WORKERS worker(s) =="
+    "$TMP/alignbench" -cluster "$COORD" -clients 1,4,16 -jobs 48 -out "$TMP/run_$WORKERS.json"
+
+    kill $PIDS 2>/dev/null || true
+    for P in $PIDS; do wait "$P" 2>/dev/null || true; done
+    PIDS=""
+done
+
+python3 - "$OUT" "$TMP" <<'EOF'
+import json, sys
+out, tmp = sys.argv[1], sys.argv[2]
+runs = []
+for workers in (1, 2, 4):
+    with open(f"{tmp}/run_{workers}.json") as f:
+        runs.append({"workers": workers, "report": json.load(f)})
+with open(out, "w") as f:
+    json.dump({"benchmark": "cluster-scaling", "runs": runs}, f, indent=2)
+    f.write("\n")
+print(f"wrote {out}")
+EOF

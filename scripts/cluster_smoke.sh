@@ -1,0 +1,148 @@
+#!/bin/sh
+# Smoke test for the cluster layer, run by CI and `make cluster-smoke`:
+# start a motifctl coordinator and two motifd workers, submit a batch of
+# alignment jobs, kill one worker mid-run with SIGKILL, and assert that
+# every accepted job still completes (re-placed onto the survivor), that
+# the coordinator noticed the death, and that coordinator + survivor drain
+# cleanly on SIGTERM.
+set -eu
+
+COORD_ADDR=127.0.0.1:18070
+W1_ADDR=127.0.0.1:18081
+W2_ADDR=127.0.0.1:18082
+COORD="http://$COORD_ADDR"
+JOBS=24
+TMP="$(mktemp -d)"
+trap 'kill "$CPID" "$W1PID" "$W2PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/motifctl" ./cmd/motifctl
+go build -o "$TMP/motifd" ./cmd/motifd
+
+"$TMP/motifctl" -addr "$COORD_ADDR" -heartbeat 100ms 2>"$TMP/motifctl.log" &
+CPID=$!
+# Single-proc workers so the batch genuinely queues: the kill below must
+# land while jobs are still waiting on (or running on) the doomed worker.
+"$TMP/motifd" -addr "$W1_ADDR" -procs 1 -inner 2 -id w1 \
+    -coordinator "$COORD" -advertise "http://$W1_ADDR" 2>"$TMP/w1.log" &
+W1PID=$!
+"$TMP/motifd" -addr "$W2_ADDR" -procs 1 -inner 2 -id w2 \
+    -coordinator "$COORD" -advertise "http://$W2_ADDR" 2>"$TMP/w2.log" &
+W2PID=$!
+
+json_field() { # json_field FILE FIELD -> value (and asserts valid JSON)
+    python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))[sys.argv[2]])' "$1" "$2"
+}
+
+wait_up() { # wait_up URL NAME LOG
+    i=0
+    until curl -sf "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "$2 did not come up; log:" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+wait_up "$COORD" motifctl "$TMP/motifctl.log"
+wait_up "http://$W1_ADDR" w1 "$TMP/w1.log"
+wait_up "http://$W2_ADDR" w2 "$TMP/w2.log"
+
+# Both workers must register before load starts.
+i=0
+while :; do
+    curl -sf "$COORD/metrics" >"$TMP/metrics.json"
+    LIVE="$(json_field "$TMP/metrics.json" live_workers)"
+    [ "$LIVE" = 2 ] && break
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "workers never registered (live=$LIVE)" >&2; cat "$TMP/motifctl.log" >&2; exit 1; }
+    sleep 0.1
+done
+echo "cluster up: 2 workers registered"
+
+# Submit the batch; every submission must be accepted (202).
+: >"$TMP/ids"
+j=0
+while [ "$j" -lt "$JOBS" ]; do
+    CODE="$(curl -s -o "$TMP/submit.json" -w '%{http_code}' -X POST "$COORD/v1/jobs" \
+        -H 'Content-Type: application/json' \
+        -d "{\"type\":\"align\",\"align\":{\"n\":16,\"len\":300,\"seed\":$j}}")"
+    [ "$CODE" = 202 ] || { echo "submit $j returned $CODE" >&2; cat "$TMP/submit.json" >&2; exit 1; }
+    json_field "$TMP/submit.json" id >>"$TMP/ids"
+    j=$((j + 1))
+done
+echo "submitted $JOBS jobs"
+
+# Kill one worker mid-run — SIGKILL, no drain. The coordinator must
+# re-place whatever was queued or in flight there onto the survivor.
+kill -9 "$W1PID"
+echo "killed w1 (SIGKILL)"
+
+# Every accepted job must still complete.
+while read -r ID; do
+    i=0
+    while :; do
+        CODE="$(curl -s -o "$TMP/job.json" -w '%{http_code}' "$COORD/v1/jobs/$ID")"
+        [ "$CODE" = 200 ] || { echo "poll $ID returned $CODE" >&2; exit 1; }
+        STATE="$(json_field "$TMP/job.json" state)"
+        case "$STATE" in
+        done) break ;;
+        error) echo "job $ID lost to the worker death:" >&2; cat "$TMP/job.json" >&2; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -lt 600 ] || { echo "job $ID stuck in $STATE" >&2; exit 1; }
+        sleep 0.05
+    done
+done <"$TMP/ids"
+echo "all $JOBS jobs completed after the kill"
+
+# The coordinator must account for the whole batch, the re-placements, and
+# the death (the expiry sweep may need a beat to fire).
+i=0
+while :; do
+    curl -sf "$COORD/metrics" >"$TMP/metrics.json"
+    DONE="$(json_field "$TMP/metrics.json" done)"
+    FAILED="$(json_field "$TMP/metrics.json" failed)"
+    RETRIES="$(json_field "$TMP/metrics.json" retries)"
+    DEATHS="$(json_field "$TMP/metrics.json" worker_deaths)"
+    [ "$FAILED" = 0 ] || { echo "failed=$FAILED, want 0" >&2; cat "$TMP/metrics.json" >&2; exit 1; }
+    if [ "$DONE" = "$JOBS" ] && [ "$RETRIES" -ge 1 ] && [ "$DEATHS" -ge 1 ]; then
+        break
+    fi
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "metrics never settled: done=$DONE retries=$RETRIES deaths=$DEATHS" >&2; exit 1; }
+    sleep 0.1
+done
+echo "metrics: done=$DONE failed=0 retries=$RETRIES worker_deaths=$DEATHS"
+
+# The merged Chrome trace must export and contain events from coordinator
+# and survivor.
+curl -sf "$COORD/debug/trace?format=chrome" >"$TMP/trace.json"
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"] if isinstance(doc, dict) else doc
+assert len(evs) > 0, "empty merged trace"
+' "$TMP/trace.json"
+echo "merged chrome trace exported"
+
+# Graceful drain of coordinator and survivor.
+kill -TERM "$CPID"
+i=0
+while kill -0 "$CPID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "motifctl did not drain" >&2; cat "$TMP/motifctl.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "drained" "$TMP/motifctl.log" || { echo "no drain line in motifctl log:" >&2; cat "$TMP/motifctl.log" >&2; exit 1; }
+
+kill -TERM "$W2PID"
+i=0
+while kill -0 "$W2PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "w2 did not drain" >&2; cat "$TMP/w2.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "drained" "$TMP/w2.log" || { echo "no drain line in w2 log:" >&2; cat "$TMP/w2.log" >&2; exit 1; }
+echo "cluster smoke: OK"
