@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check build vet test race bench-smoke bench motifd-smoke cluster-smoke bench-cluster
+.PHONY: ci fmt-check build vet test race bench-smoke bench motifd-smoke cluster-smoke recovery-smoke bench-cluster
 
-ci: fmt-check build vet test race bench-smoke motifd-smoke cluster-smoke
+ci: fmt-check build vet test race bench-smoke motifd-smoke cluster-smoke recovery-smoke
 	@echo "ci: all steps passed"
 
 fmt-check:
@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/...
+	$(GO) test -race ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/...
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -45,6 +45,12 @@ motifd-smoke:
 # submit a batch, SIGKILL one worker mid-run, assert zero lost jobs.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# recovery-smoke mirrors the CI durability step: SIGKILL the coordinator
+# mid-batch and a motifd mid-reduction, restart both against their WAL
+# directories, assert zero lost / duplicated jobs and a checkpointed resume.
+recovery-smoke:
+	./scripts/recovery_smoke.sh
 
 # bench-cluster measures cluster scheduling at 1/2/4 workers and writes
 # the per-scale throughput/latency report.

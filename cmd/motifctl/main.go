@@ -10,6 +10,13 @@
 //
 //	motifctl [-addr :8070] [-policy rand|label|least] [-seed N]
 //	         [-pending 256] [-attempts 4] [-heartbeat 500ms] [-drain 1m]
+//	         [-store DIR]
+//
+// With -store the coordinator journals every job's lifecycle to a
+// write-ahead log in DIR. On restart against the same directory it replays
+// the log: finished jobs stay pollable, jobs orphaned by a crash are
+// re-placed onto workers under their original IDs, and client-supplied
+// request ids answer resubmissions idempotently across the restart.
 //
 // Policies mirror the paper's placement strategies: rand is Tree-Reduce-1's
 // uniform random shipping, label is Tree-Reduce-2's sticky pre-assignment
@@ -43,6 +50,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/cmdutil"
+	"repro/internal/store"
 )
 
 func main() {
@@ -53,6 +61,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", cluster.DefaultHeartbeatInterval, "worker heartbeat interval")
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 	seed := cmdutil.Seed(7)
+	storeDir := flag.String("store", "", "durable job store directory; empty disables persistence")
 	flag.Parse()
 
 	policy, err := cluster.NewPolicy(*policyName, *seed)
@@ -60,12 +69,24 @@ func main() {
 		fmt.Fprintf(os.Stderr, "motifctl: %v\n", err)
 		os.Exit(2)
 	}
+	var js *store.JobStore
+	if *storeDir != "" {
+		js, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motifctl: store: %v\n", err)
+			os.Exit(2)
+		}
+		m := js.Metrics()
+		fmt.Fprintf(os.Stderr, "motifctl: store %s: replayed %d records (%d jobs, %d incomplete)\n",
+			*storeDir, m.ReplayedRecords, m.TrackedJobs, m.IncompleteJobs)
+	}
 	c, err := cluster.NewCoordinator(cluster.Config{
 		Policy:            policy,
 		Seed:              *seed,
 		PendingCap:        *pending,
 		MaxAttempts:       *attempts,
 		HeartbeatInterval: *heartbeat,
+		Store:             js,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "motifctl: %v\n", err)
@@ -105,6 +126,11 @@ func main() {
 	if err := c.Shutdown(dctx); err != nil {
 		fmt.Fprintf(os.Stderr, "motifctl: drain incomplete: %v\n", err)
 		os.Exit(1)
+	}
+	if js != nil {
+		if err := js.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "motifctl: store close: %v\n", err)
+		}
 	}
 	m := c.Metrics()
 	fmt.Fprintf(os.Stderr, "motifctl: drained (accepted=%d done=%d failed=%d retries=%d deaths=%d)\n",

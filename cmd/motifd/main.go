@@ -8,8 +8,14 @@
 // Usage:
 //
 //	motifd [-addr :8077] [-procs 4] [-inner 4] [-queue 64] [-batch 8]
-//	       [-timeout 30s] [-seed N]
+//	       [-timeout 30s] [-seed N] [-store DIR]
 //	       [-coordinator http://host:8070 [-advertise URL] [-id NAME]]
+//
+// With -store the daemon journals every job's lifecycle to a write-ahead
+// log in DIR and, on restart against the same directory, replays it:
+// finished jobs stay pollable, incomplete jobs are re-admitted under their
+// original IDs, tree reductions resume from their deepest journaled
+// checkpoints, and client-supplied request ids dedup across the restart.
 //
 // With -coordinator the daemon additionally runs as a cluster worker: it
 // registers with the motifctl coordinator at that URL, heartbeats load
@@ -43,6 +49,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/cmdutil"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -57,7 +64,21 @@ func main() {
 	coordinator := flag.String("coordinator", "", "coordinator URL; set to join a cluster as a worker")
 	advertise := flag.String("advertise", "", "base URL the coordinator ships jobs to (default http://127.0.0.1<addr>)")
 	workerID := flag.String("id", "", "cluster worker id (default host-pid)")
+	storeDir := flag.String("store", "", "durable job store directory; empty disables persistence")
 	flag.Parse()
+
+	var js *store.JobStore
+	if *storeDir != "" {
+		var err error
+		js, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "motifd: store: %v\n", err)
+			os.Exit(2)
+		}
+		m := js.Metrics()
+		fmt.Fprintf(os.Stderr, "motifd: store %s: replayed %d records (%d jobs, %d incomplete)\n",
+			*storeDir, m.ReplayedRecords, m.TrackedJobs, m.IncompleteJobs)
+	}
 
 	s := serve.New(serve.Config{
 		Workers:        *procs,
@@ -66,6 +87,7 @@ func main() {
 		BatchMax:       *batchMax,
 		DefaultTimeout: *timeout,
 		Seed:           *seed,
+		Store:          js,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -101,6 +123,7 @@ func main() {
 			Server:         s,
 			PoolWorkers:    *procs,
 			QueueCap:       *queueCap,
+			Seed:           *seed,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "motifd: "+format+"\n", args...)
 			},
@@ -134,6 +157,11 @@ func main() {
 	if err := s.Shutdown(dctx); err != nil {
 		fmt.Fprintf(os.Stderr, "motifd: pool drain incomplete: %v\n", err)
 		os.Exit(1)
+	}
+	if js != nil {
+		if err := js.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "motifd: store close: %v\n", err)
+		}
 	}
 	m := s.Metrics()
 	fmt.Fprintf(os.Stderr, "motifd: drained (admitted=%d done=%d failed=%d shed=%d)\n",

@@ -31,6 +31,10 @@ type AgentConfig struct {
 	Interval time.Duration
 	// Client talks to the coordinator (default: 5s-timeout http.Client).
 	Client *http.Client
+	// Seed drives the registration/heartbeat retry jitter; 0 falls back to
+	// the process id. The worker id is mixed in so co-seeded workers still
+	// jitter apart.
+	Seed int64
 	// Logf, if non-nil, receives membership events (registered, lost
 	// coordinator, re-registered).
 	Logf func(format string, args ...any)
@@ -99,7 +103,11 @@ func (a *Agent) Stop() {
 
 func (a *Agent) loop() {
 	defer a.wg.Done()
-	bo := NewBackoff(200*time.Millisecond, 5*time.Second, int64(os.Getpid()))
+	seed := a.cfg.Seed
+	if seed == 0 {
+		seed = int64(os.Getpid())
+	}
+	bo := NewBackoff(200*time.Millisecond, 5*time.Second, seed^idSeed(a.cfg.ID))
 	for {
 		if !a.register(bo) {
 			return // stopped before registration succeeded

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffJitterWithinBounds(t *testing.T) {
+	base, max := 50*time.Millisecond, 2*time.Second
+	bo := NewBackoff(base, max, 42)
+	expected := base
+	for attempt := 0; attempt < 20; attempt++ {
+		d := bo.Next(0)
+		// Attempt n jitters uniformly over [d/2, 3d/2) of the un-jittered
+		// delay, which itself never exceeds max.
+		lo, hi := expected/2, expected+expected/2
+		if d < lo || d >= hi {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, lo, hi)
+		}
+		if expected < max {
+			expected *= 2
+			if expected > max {
+				expected = max
+			}
+		}
+	}
+}
+
+func TestBackoffCapRespected(t *testing.T) {
+	base, max := 10*time.Millisecond, 160*time.Millisecond
+	bo := NewBackoff(base, max, 7)
+	var last time.Duration
+	for attempt := 0; attempt < 100; attempt++ {
+		last = bo.Next(0)
+		if last >= max+max/2 {
+			t.Fatalf("attempt %d: delay %v breached the jittered cap %v", attempt, last, max+max/2)
+		}
+	}
+	// Deep into the sequence the delay sits in the cap's jitter band, not
+	// back at base.
+	if last < max/2 {
+		t.Fatalf("attempt 99: delay %v below half the cap %v", last, max)
+	}
+}
+
+func TestBackoffFloorHonored(t *testing.T) {
+	bo := NewBackoff(time.Millisecond, 10*time.Millisecond, 1)
+	floor := time.Second
+	for i := 0; i < 10; i++ {
+		if d := bo.Next(floor); d < floor {
+			t.Fatalf("delay %v below the Retry-After floor %v", d, floor)
+		}
+	}
+}
+
+func TestBackoffResetRewinds(t *testing.T) {
+	bo := NewBackoff(50*time.Millisecond, 5*time.Second, 3)
+	for i := 0; i < 6; i++ {
+		bo.Next(0)
+	}
+	bo.Reset()
+	if d := bo.Next(0); d >= 75*time.Millisecond {
+		t.Fatalf("first delay after Reset = %v, want the base band again", d)
+	}
+}
+
+func TestBackoffDeterministicFromSeed(t *testing.T) {
+	a := NewBackoff(50*time.Millisecond, 2*time.Second, 99)
+	b := NewBackoff(50*time.Millisecond, 2*time.Second, 99)
+	for i := 0; i < 12; i++ {
+		if da, db := a.Next(0), b.Next(0); da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, da, db)
+		}
+	}
+	c := NewBackoff(50*time.Millisecond, 2*time.Second, 100)
+	same := true
+	a.Reset()
+	for i := 0; i < 12; i++ {
+		if a.Next(0) != c.Next(0) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	bo := NewBackoff(0, 0, 1)
+	if bo.Base != 50*time.Millisecond || bo.Max != 2*time.Second {
+		t.Fatalf("defaults = base %v max %v", bo.Base, bo.Max)
+	}
+	if d := bo.Next(0); d <= 0 {
+		t.Fatalf("attempt 0 delay %v, want positive", d)
+	}
+}

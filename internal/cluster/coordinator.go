@@ -15,6 +15,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -59,6 +60,10 @@ type Config struct {
 	TraceCap int
 	// Client ships and polls jobs (default: 30s-timeout http.Client).
 	Client *http.Client
+	// Store, when non-nil, journals the job lifecycle to a durable WAL:
+	// accepted jobs survive a coordinator crash and are re-placed on
+	// restart, and client-supplied request IDs dedup across it.
+	Store *store.JobStore
 }
 
 func (c *Config) fill() error {
@@ -124,10 +129,11 @@ type Coordinator struct {
 	draining atomic.Bool
 	pending  atomic.Int64
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	nextID int64
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	byClient map[string]string // client request ID → job id (idempotent resubmission)
+	nextID   int64
 }
 
 // Shed and drain sentinels for the transport-independent Submit.
@@ -149,14 +155,19 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:  cfg,
-		met:  newCoordMetrics(),
-		ring: trace.NewRing(cfg.TraceCap),
-		ctx:  ctx,
-		stop: stop,
-		jobs: make(map[string]*Job),
+		cfg:      cfg,
+		met:      newCoordMetrics(),
+		ring:     trace.NewRing(cfg.TraceCap),
+		ctx:      ctx,
+		stop:     stop,
+		jobs:     make(map[string]*Job),
+		byClient: make(map[string]string),
 	}
 	c.reg = newRegistry(cfg.HeartbeatExpiry, c.met.start)
+	if cfg.Store != nil {
+		cfg.Store.SetTracer(c.ring)
+		c.recoverFromStore()
+	}
 	c.sweepWG.Add(1)
 	go c.sweeper()
 	return c, nil
@@ -305,13 +316,6 @@ func (c *Coordinator) Submit(req serve.JobRequest) (*Job, error) {
 			break
 		}
 	}
-	timeout := c.cfg.DefaultTimeout
-	if req.DeadlineMillis > 0 {
-		timeout = time.Duration(req.DeadlineMillis) * time.Millisecond
-		if timeout > c.cfg.MaxTimeout {
-			timeout = c.cfg.MaxTimeout
-		}
-	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		c.pending.Add(-1)
@@ -322,18 +326,35 @@ func (c *Coordinator) Submit(req serve.JobRequest) (*Job, error) {
 		req:       req,
 		body:      body,
 		submitted: now,
-		deadline:  now.Add(timeout),
+		deadline:  now.Add(c.timeoutFor(req)),
 		state:     serve.StateQueued,
 		excluded:  make(map[string]bool),
 	}
 	c.mu.Lock()
+	if req.ID != "" {
+		if id, ok := c.byClient[req.ID]; ok {
+			if prev, ok := c.jobs[id]; ok {
+				// Idempotent resubmission: same client request ID, same job.
+				c.mu.Unlock()
+				c.pending.Add(-1)
+				c.met.deduped.Add(1)
+				return prev, nil
+			}
+		}
+	}
 	c.nextID++
 	j.id = fmt.Sprintf("c%06d", c.nextID)
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
+	if req.ID != "" {
+		c.byClient[req.ID] = j.id
+	}
 	c.evictLocked()
 	c.mu.Unlock()
 
+	// Durable before acknowledged: the accept record (carrying the verbatim
+	// request body) is what restart recovery re-places.
+	_ = c.cfg.Store.Accepted(j.id, req.ID, body)
 	c.met.accepted.Add(1)
 	c.emit(trace.Event{Cycle: c.met.sinceMicros(), Kind: trace.KindEnqueue,
 		Proc: -1, From: -1, Arg: c.pending.Load(), Label: string(req.Type) + ":" + j.id})
@@ -353,6 +374,9 @@ func (c *Coordinator) evictLocked() {
 			if live {
 				break
 			}
+			if old.req.ID != "" && c.byClient[old.req.ID] == c.order[0] {
+				delete(c.byClient, old.req.ID)
+			}
 			delete(c.jobs, c.order[0])
 		}
 		c.order = c.order[1:]
@@ -370,7 +394,20 @@ func (c *Coordinator) Job(id string) (*Job, bool) {
 // Metrics snapshots the coordinator metrics.
 func (c *Coordinator) Metrics() MetricsSnapshot {
 	return c.met.snapshot(c.cfg.Policy.Name(), int(c.pending.Load()), c.cfg.PendingCap,
-		c.reg.snapshot(time.Now()), c.ring.Total())
+		c.reg.snapshot(time.Now()), c.ring.Total(), c.cfg.Store.Metrics())
+}
+
+// timeoutFor is the cluster lifetime granted to one request: its deadline
+// if it carries one (capped by MaxTimeout), the default otherwise.
+func (c *Coordinator) timeoutFor(req serve.JobRequest) time.Duration {
+	timeout := c.cfg.DefaultTimeout
+	if req.DeadlineMillis > 0 {
+		timeout = time.Duration(req.DeadlineMillis) * time.Millisecond
+		if timeout > c.cfg.MaxTimeout {
+			timeout = c.cfg.MaxTimeout
+		}
+	}
+	return timeout
 }
 
 // emit writes one event to the trace ring.

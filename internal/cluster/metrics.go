@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 // latencyBoundsMicros buckets end-to-end cluster job latencies (accept →
@@ -26,6 +27,7 @@ type coordMetrics struct {
 	accepted atomic.Int64
 	shed     atomic.Int64 // 429s the coordinator returned (pending bound)
 	rejected atomic.Int64 // malformed submissions (400s)
+	deduped  atomic.Int64 // resubmissions answered from the dedup table
 	done     atomic.Int64
 	failed   atomic.Int64
 
@@ -86,6 +88,7 @@ type MetricsSnapshot struct {
 	Accepted int64 `json:"accepted"`
 	Shed     int64 `json:"shed"`
 	Rejected int64 `json:"rejected"`
+	Deduped  int64 `json:"deduped"`
 	Done     int64 `json:"done"`
 	Failed   int64 `json:"failed"`
 
@@ -100,9 +103,11 @@ type MetricsSnapshot struct {
 	Workers []WorkerMetrics      `json:"workers"`
 
 	TraceEvents int64 `json:"trace_events"`
+	// Store is the durability block; absent when no store is configured.
+	Store *store.MetricsSnapshot `json:"store,omitempty"`
 }
 
-func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers []WorkerMetrics, traceEvents int64) MetricsSnapshot {
+func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers []WorkerMetrics, traceEvents int64, storeSnap *store.MetricsSnapshot) MetricsSnapshot {
 	m.mu.Lock()
 	lat := serve.LatencySummary{
 		Count:  m.latency.Count(),
@@ -128,6 +133,7 @@ func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers 
 		Accepted:     m.accepted.Load(),
 		Shed:         m.shed.Load(),
 		Rejected:     m.rejected.Load(),
+		Deduped:      m.deduped.Load(),
 		Done:         m.done.Load(),
 		Failed:       m.failed.Load(),
 		Retries:      m.retries.Load(),
@@ -136,5 +142,6 @@ func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers 
 		Latency:      lat,
 		Workers:      workers,
 		TraceEvents:  traceEvents,
+		Store:        storeSnap,
 	}
 }

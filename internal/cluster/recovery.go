@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"encoding/json"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// recoverFromStore rebuilds the coordinator's job table from the durable
+// store's replayed state. Terminal jobs are materialized so polling and
+// idempotent resubmission work across the restart; incomplete jobs — the
+// orphans of the crash — are re-placed under their original IDs. Called
+// from NewCoordinator before any handler runs, so no locking is needed.
+func (c *Coordinator) recoverFromStore() {
+	now := time.Now()
+	for _, js := range c.cfg.Store.Jobs() {
+		var n int64
+		if parseClusterID(js.ID, &n) && n > c.nextID {
+			c.nextID = n
+		}
+		var req serve.JobRequest
+		if err := json.Unmarshal(js.Request, &req); err != nil || req.Validate() != nil {
+			// The journaled request no longer decodes (e.g. written by a
+			// newer build); mark it failed rather than replaying it forever.
+			if !js.Status.Terminal() {
+				_ = c.cfg.Store.Failed(js.ID, "unrecoverable journaled request")
+			}
+			continue
+		}
+		j := &Job{
+			id:        js.ID,
+			req:       req,
+			body:      js.Request,
+			submitted: now,
+			workerID:  js.Worker,
+			excluded:  make(map[string]bool),
+		}
+		switch js.Status {
+		case store.StatusDone:
+			j.state = serve.StateDone
+			j.finished = now
+			var st serve.JobStatus
+			if json.Unmarshal(js.Result, &st) == nil {
+				j.result = &st
+			}
+		case store.StatusFailed:
+			j.state = serve.StateError
+			j.errMsg = js.Error
+			j.finished = now
+		default:
+			// Orphaned by the crash: re-place with a fresh deadline and a
+			// clean attempt budget — whatever the old process had in flight
+			// died with it.
+			j.state = serve.StateQueued
+			j.deadline = now.Add(c.timeoutFor(req))
+		}
+		c.jobs[j.id] = j
+		c.order = append(c.order, j.id)
+		if js.Client != "" {
+			c.byClient[js.Client] = j.id
+		}
+		if !js.Status.Terminal() {
+			c.pending.Add(1)
+			c.jobsWG.Add(1)
+			go c.run(j)
+		}
+	}
+}
+
+// parseClusterID extracts the numeric part of a coordinator job id like
+// "c000042".
+func parseClusterID(id string, n *int64) bool {
+	if len(id) < 2 || id[0] != 'c' {
+		return false
+	}
+	var v int64
+	for _, r := range id[1:] {
+		if r < '0' || r > '9' {
+			return false
+		}
+		v = v*10 + int64(r-'0')
+	}
+	*n = v
+	return true
+}

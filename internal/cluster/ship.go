@@ -182,6 +182,7 @@ func (c *Coordinator) shipAndTrack(j *Job, w WorkerView) shipOutcome {
 	j.state = serve.StateRunning
 	j.shipped = shippedAt
 	j.mu.Unlock()
+	_ = c.cfg.Store.Placed(j.id, w.ID)
 
 	fails := 0
 	for {
@@ -252,24 +253,34 @@ func (c *Coordinator) consumeAttempt(j *Job, w WorkerView) {
 	j.mu.Unlock()
 }
 
-// finish records terminal success.
+// finish records terminal success and journals it.
 func (c *Coordinator) finish(j *Job, st *serve.JobStatus) {
 	j.mu.Lock()
 	j.state = serve.StateDone
 	j.finished = time.Now()
 	j.result = st
 	j.mu.Unlock()
+	if c.cfg.Store != nil {
+		if data, err := json.Marshal(st); err == nil {
+			_ = c.cfg.Store.Done(j.id, data)
+		}
+	}
 	c.met.done.Add(1)
 	c.met.observeLatency(time.Since(j.submitted))
 }
 
-// fail records terminal failure.
+// fail records terminal failure and journals it — unless the coordinator
+// itself is going down, in which case the job stays incomplete in the log
+// so the next start re-places it like any other crash orphan.
 func (c *Coordinator) fail(j *Job, msg string) {
 	j.mu.Lock()
 	j.state = serve.StateError
 	j.errMsg = msg
 	j.finished = time.Now()
 	j.mu.Unlock()
+	if c.ctx.Err() == nil {
+		_ = c.cfg.Store.Failed(j.id, msg)
+	}
 	c.met.failed.Add(1)
 }
 

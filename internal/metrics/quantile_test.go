@@ -1,0 +1,65 @@
+package metrics
+
+import "testing"
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBounds...)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	h := NewHistogram(10, 100, 1000)
+	h.Observe(42)
+	// One observation in the (10,100] bucket: every quantile interpolates
+	// inside it, never outside.
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 10 || got > 100 {
+			t.Errorf("Quantile(%v) = %v, outside the observation's bucket (10,100]", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	h := NewHistogram(1, 2, 4)
+	for _, v := range []int64{100, 200, 300} {
+		h.Observe(v)
+	}
+	// Every observation is past the last bound: quantiles fall back to the
+	// max observation.
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 300 {
+			t.Errorf("Quantile(%v) = %v, want max 300", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileClamps(t *testing.T) {
+	h := NewHistogram(10, 20, 30)
+	for v := int64(1); v <= 30; v++ {
+		h.Observe(v)
+	}
+	lo, hi := h.Quantile(-0.5), h.Quantile(1.5)
+	if lo != h.Quantile(0) {
+		t.Errorf("Quantile(-0.5) = %v, want the q=0 clamp %v", lo, h.Quantile(0))
+	}
+	if hi != h.Quantile(1) {
+		t.Errorf("Quantile(1.5) = %v, want the q=1 clamp %v", hi, h.Quantile(1))
+	}
+	if hi > 30 || lo < 0 {
+		t.Errorf("clamped quantiles out of range: q0=%v q1=%v", lo, hi)
+	}
+	// Monotone in q.
+	prev := -1.0
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile not monotone: q=%v gives %v after %v", q, v, prev)
+		}
+		prev = v
+	}
+}

@@ -43,6 +43,11 @@ const (
 // align and tree jobs).
 type JobRequest struct {
 	Type JobType `json:"type"`
+	// ID is an optional client-supplied idempotency key: a resubmission
+	// carrying the ID of an already-accepted job returns that job instead
+	// of running it again. With a durable store the dedup table survives
+	// restarts, so retrying a submission across a server crash is safe.
+	ID string `json:"id,omitempty"`
 	// DeadlineMillis bounds queue wait + execution; 0 uses the server
 	// default. The deadline is propagated as a context.Context into the
 	// skeleton entry points, so an expired job aborts mid-reduction.
@@ -67,6 +72,10 @@ type TreeSpec struct {
 	// Shape is random (default), balanced, or caterpillar.
 	Shape string `json:"shape,omitempty"`
 	Seed  int64  `json:"seed,omitempty"`
+	// NodeCostMicros sleeps this long in every internal-node evaluation
+	// (max 100ms), making the reduction's cost controllable — recovery
+	// tests use it to land a crash mid-reduction.
+	NodeCostMicros int64 `json:"node_cost_us,omitempty"`
 }
 
 // TreeResult is the outcome of a tree job.
@@ -76,6 +85,10 @@ type TreeResult struct {
 	Units         int64   `json:"units"`
 	CrossMessages int64   `json:"cross_messages"`
 	Imbalance     float64 `json:"imbalance"`
+	// ResumedNodes counts internal-node evaluations skipped because their
+	// subtree values were restored from journaled checkpoints; a cold run
+	// reports 0.
+	ResumedNodes int64 `json:"resumed_nodes,omitempty"`
 }
 
 // StrandSpec describes a Strand program run. Deadlines apply before the
@@ -209,6 +222,9 @@ func (r *JobRequest) validate() error {
 	if len(r.Label) > 256 {
 		return fmt.Errorf("label too long (%d bytes, max 256)", len(r.Label))
 	}
+	if len(r.ID) > 128 {
+		return fmt.Errorf("id too long (%d bytes, max 128)", len(r.ID))
+	}
 	switch r.Type {
 	case JobAlign:
 		if r.Tree != nil || r.Strand != nil {
@@ -235,6 +251,9 @@ func (r *JobRequest) validate() error {
 		}
 		if _, err := treeShape(r.Tree.Shape); err != nil {
 			return err
+		}
+		if r.Tree.NodeCostMicros < 0 || r.Tree.NodeCostMicros > 100_000 {
+			return fmt.Errorf("tree job node_cost_us out of range: %d", r.Tree.NodeCostMicros)
 		}
 	case JobStrand:
 		if r.Align != nil || r.Tree != nil {
@@ -307,7 +326,15 @@ func (j *Job) execute(opts skel.ReduceOptions) (err error) {
 			return err
 		}
 		tree := workload.SkelTree(workload.IntTree(spec.Leaves, shape, spec.Seed))
-		val, stats, err := skel.TreeReduce(j.ctx, tree, intEval, opts)
+		eval := intEval
+		if spec.NodeCostMicros > 0 {
+			cost := time.Duration(spec.NodeCostMicros) * time.Microsecond
+			eval = func(op string, l, r int64) int64 {
+				time.Sleep(cost)
+				return intEval(op, l, r)
+			}
+		}
+		val, stats, err := skel.TreeReduce(j.ctx, tree, eval, opts)
 		if err != nil {
 			return err
 		}
@@ -318,6 +345,7 @@ func (j *Job) execute(opts skel.ReduceOptions) (err error) {
 			Units:         stats.TotalUnits(),
 			CrossMessages: stats.CrossMessages,
 			Imbalance:     stats.Imbalance(),
+			ResumedNodes:  stats.CheckpointHits,
 		}
 		j.mu.Unlock()
 		return nil

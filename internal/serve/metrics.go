@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/store"
 )
 
 // latencyBoundsMicros buckets end-to-end job latencies (admission →
@@ -26,6 +27,7 @@ type poolMetrics struct {
 	admitted atomic.Int64
 	shed     atomic.Int64
 	rejected atomic.Int64 // malformed requests (400s)
+	deduped  atomic.Int64 // resubmissions answered from the dedup table
 	done     atomic.Int64
 	failed   atomic.Int64
 	inflight atomic.Int64
@@ -122,6 +124,7 @@ type MetricsSnapshot struct {
 	Admitted      int64           `json:"admitted"`
 	Shed          int64           `json:"shed"`
 	Rejected      int64           `json:"rejected"`
+	Deduped       int64           `json:"deduped"`
 	Done          int64           `json:"done"`
 	Failed        int64           `json:"failed"`
 	Inflight      int64           `json:"inflight"`
@@ -129,6 +132,8 @@ type MetricsSnapshot struct {
 	PerWorker     []WorkerSummary `json:"per_worker"`
 	Batch         BatchSummary    `json:"batch"`
 	TraceEvents   int64           `json:"trace_events"`
+	// Store is the durability block; absent when no store is configured.
+	Store *store.MetricsSnapshot `json:"store,omitempty"`
 }
 
 // BatchSummary is the batching block of /metrics.
@@ -138,7 +143,7 @@ type BatchSummary struct {
 	MaxBatch    int64 `json:"max_batch"`
 }
 
-func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64) MetricsSnapshot {
+func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, storeSnap *store.MetricsSnapshot) MetricsSnapshot {
 	uptime := m.sinceMicros()
 	m.mu.Lock()
 	lat := LatencySummary{
@@ -178,6 +183,7 @@ func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64) Metr
 		Admitted:      m.admitted.Load(),
 		Shed:          m.shed.Load(),
 		Rejected:      m.rejected.Load(),
+		Deduped:       m.deduped.Load(),
 		Done:          m.done.Load(),
 		Failed:        m.failed.Load(),
 		Inflight:      m.inflight.Load(),
@@ -189,5 +195,6 @@ func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64) Metr
 			MaxBatch:    m.maxBatch.Load(),
 		},
 		TraceEvents: traceEvents,
+		Store:       storeSnap,
 	}
 }

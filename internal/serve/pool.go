@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"time"
 
@@ -119,7 +120,7 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindExecStart,
 		Proc: w, From: -1, Label: string(j.req.Type) + ":" + j.id})
 
-	err := j.execute(s.reduceOpts())
+	err := j.execute(s.reduceOpts(j))
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -130,7 +131,12 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 		j.state = StateDone
 	}
 	dur := j.finished.Sub(j.started)
+	var resumed int64
+	if j.tree != nil {
+		resumed = j.tree.ResumedNodes
+	}
 	j.mu.Unlock()
+	s.cfg.Store.NoteCheckpointHits(resumed)
 
 	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindExecFinish,
 		Proc: w, From: -1, Arg: dur.Microseconds(), Label: string(j.req.Type) + ":" + j.id})
@@ -138,7 +144,7 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 	s.finish(j, err == nil)
 }
 
-// finish records terminal accounting for j.
+// finish records terminal accounting for j and journals the outcome.
 func (s *Server) finish(j *Job, ok bool) {
 	if ok {
 		s.met.done.Add(1)
@@ -146,18 +152,61 @@ func (s *Server) finish(j *Job, ok bool) {
 		s.met.failed.Add(1)
 	}
 	s.met.observeLatency(time.Since(j.submitted))
+	if s.cfg.Store == nil {
+		return
+	}
+	st := j.Status()
+	if ok {
+		if data, err := json.Marshal(st); err == nil {
+			_ = s.cfg.Store.Done(j.id, data)
+		}
+	} else {
+		_ = s.cfg.Store.Failed(j.id, st.Error)
+	}
 }
 
 // reduceOpts are the skeleton options every job body runs with: the inner
 // parallelism of one job's reduction. Workers-per-job times pool workers
 // can exceed GOMAXPROCS; the Go scheduler time-slices, and the farm/tree
 // skeletons are allocation-light, so modest oversubscription is fine.
-func (s *Server) reduceOpts() skel.ReduceOptions {
-	return skel.ReduceOptions{
+//
+// With a durable store, tree jobs additionally journal every materialized
+// subtree value and restore whatever the log already holds: the tree is
+// deterministic from its spec, so a preorder node index identifies the
+// same subtree across restarts.
+func (s *Server) reduceOpts(j *Job) skel.ReduceOptions {
+	opts := skel.ReduceOptions{
 		Workers: s.cfg.InnerWorkers,
 		Mapper:  skel.MapRandom,
 		Seed:    s.cfg.Seed,
 	}
+	if s.cfg.Store == nil || j.req.Type != JobTree {
+		return opts
+	}
+	st, id := s.cfg.Store, j.id
+	opts.Checkpoint = func(node int, v any) {
+		val, ok := v.(int64)
+		if !ok {
+			return
+		}
+		if data, err := json.Marshal(val); err == nil {
+			_ = st.Checkpoint(id, node, data)
+		}
+	}
+	if ckpts := st.Checkpoints(id); len(ckpts) > 0 {
+		opts.Resume = func(node int) (any, bool) {
+			raw, ok := ckpts[node]
+			if !ok {
+				return nil, false
+			}
+			var val int64
+			if err := json.Unmarshal(raw, &val); err != nil {
+				return nil, false
+			}
+			return val, true
+		}
+	}
+	return opts
 }
 
 // emit writes one event to the trace ring.

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"repro/internal/store"
+)
+
+// recoverFromStore rebuilds the job table from the durable store's replayed
+// state. Terminal jobs are materialized so polling and idempotent
+// resubmission keep working across the restart; incomplete jobs are rebuilt
+// under their original IDs and returned for re-admission. Called from New
+// before the worker pool starts, so no locking is needed.
+func (s *Server) recoverFromStore() []*Job {
+	var resume []*Job
+	for _, js := range s.cfg.Store.Jobs() {
+		var n int64
+		if parseJobID(js.ID, "j", &n) && n > s.nextID {
+			s.nextID = n
+		}
+		var j *Job
+		if js.Status.Terminal() {
+			if j = terminalJobFromStore(js); j == nil {
+				continue
+			}
+		} else {
+			var req JobRequest
+			if err := json.Unmarshal(js.Request, &req); err != nil || req.validate() != nil {
+				// The journaled request no longer decodes (e.g. written by
+				// a newer build); mark it failed rather than replaying it
+				// forever.
+				_ = s.cfg.Store.Failed(js.ID, "unrecoverable journaled request")
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), s.timeoutFor(req))
+			j = &Job{
+				id:        js.ID,
+				req:       req,
+				ctx:       ctx,
+				cancel:    cancel,
+				submitted: time.Now(),
+				state:     StateQueued,
+				worker:    -1,
+			}
+			resume = append(resume, j)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+		if js.Client != "" {
+			s.byClient[js.Client] = j.id
+		}
+	}
+	return resume
+}
+
+// terminalJobFromStore materializes a finished job from its journaled
+// result, good for polling and dedup but carrying no live context.
+func terminalJobFromStore(js store.JobState) *Job {
+	now := time.Now()
+	j := &Job{
+		id:        js.ID,
+		req:       JobRequest{ID: js.Client},
+		submitted: now,
+		finished:  now,
+		worker:    -1,
+	}
+	var req JobRequest
+	if json.Unmarshal(js.Request, &req) == nil {
+		j.req.Type = req.Type
+	}
+	if js.Status == store.StatusDone {
+		var st JobStatus
+		if err := json.Unmarshal(js.Result, &st); err != nil {
+			return nil
+		}
+		j.state = StateDone
+		if st.Type != "" {
+			j.req.Type = st.Type
+		}
+		j.align, j.tree, j.strand = st.Align, st.Tree, st.Strand
+	} else {
+		j.state = StateError
+		j.err = errors.New(js.Error)
+	}
+	return j
+}
+
+// parseJobID extracts the numeric part of an id like "j000042" or
+// "c000042" given its prefix.
+func parseJobID(id, prefix string, n *int64) bool {
+	if len(id) <= len(prefix) || id[:len(prefix)] != prefix {
+		return false
+	}
+	var v int64
+	for _, c := range id[len(prefix):] {
+		if c < '0' || c > '9' {
+			return false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	*n = v
+	return true
+}

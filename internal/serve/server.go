@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,12 @@ type Config struct {
 	Seed int64
 	// TraceCap sizes the trace ring (default trace.DefaultRingCapacity).
 	TraceCap int
+	// Store, when non-nil, journals the job lifecycle to a write-ahead
+	// log: accepted jobs survive a crash (incomplete ones are re-run on
+	// the next New with the same store), tree reductions checkpoint
+	// completed subtrees and resume from them, and the JobRequest.ID
+	// dedup table is rebuilt from the log.
+	Store *store.JobStore
 }
 
 func (c *Config) fill() {
@@ -89,21 +96,36 @@ type Server struct {
 	workerWG sync.WaitGroup
 	draining atomic.Bool
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string // insertion order, for history eviction
-	nextID int64
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // insertion order, for history eviction
+	byClient map[string]string
+	nextID   int64
 }
 
-// New builds the server and starts its worker pool.
+// New builds the server and starts its worker pool. With a configured
+// store it first replays the log: terminal jobs become pollable history
+// (and answer duplicate submissions), incomplete jobs are re-enqueued
+// under their original IDs.
 func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
-		cfg:  cfg,
-		q:    newQueue(cfg.QueueCap),
-		met:  newPoolMetrics(cfg.Workers),
-		ring: trace.NewRing(cfg.TraceCap),
-		jobs: make(map[string]*Job),
+		cfg:      cfg,
+		met:      newPoolMetrics(cfg.Workers),
+		ring:     trace.NewRing(cfg.TraceCap),
+		jobs:     make(map[string]*Job),
+		byClient: make(map[string]string),
+	}
+	var resume []*Job
+	if cfg.Store != nil {
+		cfg.Store.SetTracer(s.ring)
+		resume = s.recoverFromStore()
+	}
+	// Recovered jobs ride above the admission bound, so a restart can
+	// never shed its own backlog.
+	s.q = newQueue(cfg.QueueCap + len(resume))
+	for _, j := range resume {
+		_ = s.q.tryPush(j)
 	}
 	s.workerWG.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -139,14 +161,7 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		s.met.rejected.Add(1)
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
-	timeout := s.cfg.DefaultTimeout
-	if req.DeadlineMillis > 0 {
-		timeout = time.Duration(req.DeadlineMillis) * time.Millisecond
-		if timeout > s.cfg.MaxTimeout {
-			timeout = s.cfg.MaxTimeout
-		}
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), s.timeoutFor(req))
 	j := &Job{
 		req:       req,
 		ctx:       ctx,
@@ -156,13 +171,33 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		worker:    -1,
 	}
 
+	// Allocate the ID and claim the idempotency key in one critical
+	// section, so concurrent duplicates agree on a single job.
 	s.mu.Lock()
+	if req.ID != "" {
+		if id, ok := s.byClient[req.ID]; ok {
+			if prev := s.jobs[id]; prev != nil {
+				s.mu.Unlock()
+				cancel()
+				s.met.deduped.Add(1)
+				return prev, nil
+			}
+		}
+	}
 	s.nextID++
 	j.id = fmt.Sprintf("j%06d", s.nextID)
+	if req.ID != "" {
+		s.byClient[req.ID] = j.id
+	}
 	s.mu.Unlock()
 
 	if err := s.q.tryPush(j); err != nil {
 		cancel()
+		s.mu.Lock()
+		if req.ID != "" && s.byClient[req.ID] == j.id {
+			delete(s.byClient, req.ID)
+		}
+		s.mu.Unlock()
 		if errors.Is(err, ErrQueueFull) {
 			s.met.shed.Add(1)
 		}
@@ -170,9 +205,28 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	}
 	s.store(j)
 	s.met.admitted.Add(1)
+	// Journal after the job is admitted and before the caller is told, so
+	// an accepted response always refers to a durable job.
+	if s.cfg.Store != nil {
+		if body, err := json.Marshal(req); err == nil {
+			_ = s.cfg.Store.Accepted(j.id, req.ID, body)
+		}
+	}
 	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindEnqueue,
 		Proc: -1, From: -1, Arg: int64(s.q.depth()), Label: string(req.Type) + ":" + j.id})
 	return j, nil
+}
+
+// timeoutFor resolves a request's execution budget.
+func (s *Server) timeoutFor(req JobRequest) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if req.DeadlineMillis > 0 {
+		timeout = time.Duration(req.DeadlineMillis) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	return timeout
 }
 
 // Job returns the job with the given id, if still in the history window.
@@ -185,7 +239,7 @@ func (s *Server) Job(id string) (*Job, bool) {
 
 // Metrics snapshots the serving metrics.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total())
+	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total(), s.cfg.Store.Metrics())
 }
 
 func (s *Server) store(j *Job) {
@@ -203,6 +257,9 @@ func (s *Server) store(j *Job) {
 			old.mu.Unlock()
 			if live {
 				break
+			}
+			if cid := old.req.ID; cid != "" && s.byClient[cid] == old.id {
+				delete(s.byClient, cid)
 			}
 			delete(s.jobs, s.order[0])
 		}

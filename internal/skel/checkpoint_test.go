@@ -1,0 +1,175 @@
+package skel
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// ckptLog is a concurrency-safe map of journaled (node, value) pairs — a
+// stand-in for the durable store's checkpoint table.
+type ckptLog struct {
+	mu sync.Mutex
+	m  map[int]any
+}
+
+func newCkptLog() *ckptLog { return &ckptLog{m: make(map[int]any)} }
+
+func (c *ckptLog) checkpoint(node int, v any) {
+	c.mu.Lock()
+	c.m[node] = v
+	c.mu.Unlock()
+}
+
+func (c *ckptLog) resume(node int) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[node]
+	return v, ok
+}
+
+func (c *ckptLog) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func TestTreeReduceCheckpointStreamsEveryInternalNode(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randomTree(50, rng)
+	log := newCkptLog()
+	want := SeqReduce(tr, intEval)
+	got, _, err := TreeReduce(context.Background(), tr, intEval,
+		ReduceOptions{Workers: 4, Checkpoint: log.checkpoint})
+	if err != nil || got != want {
+		t.Fatalf("got %d (%v), want %d", got, err, want)
+	}
+	internal := tr.Nodes() - tr.Leaves()
+	if log.len() != internal {
+		t.Fatalf("checkpointed %d nodes, want every internal node (%d)", log.len(), internal)
+	}
+	// The root's checkpoint carries the final value.
+	if v, ok := log.resume(0); !ok || v.(int64) != want {
+		t.Fatalf("root checkpoint = %v (%v), want %d", v, ok, want)
+	}
+}
+
+func TestTreeReduceResumeSkipsCheckpointedSubtrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		tr := randomTree(20+rng.Intn(120), rng)
+		want := SeqReduce(tr, intEval)
+
+		// Cold run journals everything; drop the root's entry to simulate a
+		// crash after some subtrees persisted but before the run finished.
+		log := newCkptLog()
+		if _, _, err := TreeReduce(context.Background(), tr, intEval,
+			ReduceOptions{Workers: 4, Checkpoint: log.checkpoint}); err != nil {
+			t.Fatal(err)
+		}
+		log.mu.Lock()
+		delete(log.m, 0)
+		kept := len(log.m)
+		log.mu.Unlock()
+		if kept == 0 {
+			continue // two-node trees have only the root to checkpoint
+		}
+
+		got, stats, err := TreeReduce(context.Background(), tr, intEval,
+			ReduceOptions{Workers: 3, Resume: log.resume})
+		if err != nil || got != want {
+			t.Fatalf("trial %d: resumed run got %d (%v), want %d", trial, got, err, want)
+		}
+		if stats.CheckpointHits == 0 {
+			t.Fatalf("trial %d: no checkpoint hits despite %d journaled nodes", trial, kept)
+		}
+		cold := int64(tr.Nodes() - tr.Leaves())
+		if stats.TotalUnits()+stats.CheckpointHits != cold {
+			t.Fatalf("trial %d: units %d + hits %d != internal nodes %d",
+				trial, stats.TotalUnits(), stats.CheckpointHits, cold)
+		}
+		if stats.TotalUnits() >= cold {
+			t.Fatalf("trial %d: resumed run evaluated %d nodes, no fewer than cold %d",
+				trial, stats.TotalUnits(), cold)
+		}
+	}
+}
+
+func TestTreeReduceResumeFromRoot(t *testing.T) {
+	tr := NewNode("+", NewLeaf[int64](2), NewLeaf[int64](3))
+	log := newCkptLog()
+	log.checkpoint(0, int64(5))
+	got, stats, err := TreeReduce(context.Background(), tr, intEval,
+		ReduceOptions{Workers: 2, Resume: log.resume})
+	if err != nil || got != 5 {
+		t.Fatalf("got %d (%v), want 5", got, err)
+	}
+	if stats.TotalUnits() != 0 || stats.CheckpointHits != 1 {
+		t.Fatalf("units=%d hits=%d, want 0 evaluated and 1 hit", stats.TotalUnits(), stats.CheckpointHits)
+	}
+}
+
+func TestTreeReduceResumeIgnoresWrongType(t *testing.T) {
+	tr := NewNode("+", NewLeaf[int64](2), NewLeaf[int64](3))
+	got, stats, err := TreeReduce(context.Background(), tr, intEval,
+		ReduceOptions{Workers: 2, Resume: func(int) (any, bool) { return "not-an-int64", true }})
+	if err != nil || got != 5 {
+		t.Fatalf("got %d (%v), want 5 from a clean evaluation", got, err)
+	}
+	if stats.CheckpointHits != 0 {
+		t.Fatalf("hits = %d, want 0 when every checkpoint has the wrong type", stats.CheckpointHits)
+	}
+}
+
+func TestDivideConquerCheckpointResume(t *testing.T) {
+	sumSpec := func(n int) (isBase func(int) bool, base func(int) int, divide func(int) []int, combine func(int, []int) int) {
+		return func(p int) bool { return p <= 1 },
+			func(p int) int { return p },
+			func(p int) []int { return []int{p / 2, p - p/2} },
+			func(_ int, rs []int) int { return rs[0] + rs[1] }
+	}
+	isBase, base, divide, combine := sumSpec(64)
+
+	saved := make(map[string]any)
+	var mu sync.Mutex
+	out, err := DivideConquer(context.Background(), 64, isBase, base, divide, combine,
+		DCOptions{Parallel: 4, Checkpoint: func(path string, v any) {
+			mu.Lock()
+			saved[path] = v
+			mu.Unlock()
+		}})
+	if err != nil || out != 64 {
+		t.Fatalf("cold run = %d (%v), want 64", out, err)
+	}
+	if len(saved) == 0 {
+		t.Fatal("no divide-and-conquer checkpoints recorded")
+	}
+	if v, ok := saved[""]; !ok || v.(int) != 64 {
+		t.Fatalf("root checkpoint = %v (%v)", v, ok)
+	}
+
+	// Resume with the root entry dropped: only the two top-level children
+	// should be consulted successfully, and no base case below them runs.
+	delete(saved, "")
+	var bases int
+	out, err = DivideConquer(context.Background(), 64,
+		func(p int) bool { bases++; return isBase(p) }, base, divide, combine,
+		DCOptions{Parallel: 0, Resume: func(path string) (any, bool) {
+			v, ok := saved[path]
+			return v, ok
+		}})
+	if err != nil || out != 64 {
+		t.Fatalf("resumed run = %d (%v), want 64", out, err)
+	}
+	if bases != 1 {
+		t.Fatalf("resumed run hit %d base decisions, want 1 (the root only)", bases)
+	}
+
+	// Wrong-typed checkpoints are ignored and the run completes cold.
+	out, err = DivideConquer(context.Background(), 64, isBase, base, divide, combine,
+		DCOptions{Resume: func(string) (any, bool) { return "bogus", true }})
+	if err != nil || out != 64 {
+		t.Fatalf("wrong-type resume = %d (%v), want 64", out, err)
+	}
+}

@@ -2,6 +2,7 @@ package skel
 
 import (
 	"context"
+	"strconv"
 	"sync"
 )
 
@@ -14,6 +15,16 @@ type DCOptions struct {
 	// runs sequentially to avoid goroutine-per-leaf overhead. 0 means
 	// unlimited.
 	Depth int
+	// Checkpoint is the durability hook: when non-nil it receives every
+	// combined (non-base) result as it materializes, keyed by the
+	// problem's division path — "" for the root, then child indices
+	// joined by '.' ("0", "1", "0.1", ...), stable across runs for a
+	// deterministic divide. Must be safe for concurrent use.
+	Checkpoint func(path string, v any)
+	// Resume is consulted before dividing a problem: returning (v, true)
+	// short-circuits the whole subproblem with the checkpointed value.
+	// Values of the wrong dynamic type are ignored.
+	Resume func(path string) (v any, ok bool)
 }
 
 // DivideConquer is the generic divide-and-conquer motif the paper lists as
@@ -38,11 +49,31 @@ func DivideConquer[P, R any](
 	if opts.Parallel > 0 {
 		sem = make(chan struct{}, opts.Parallel)
 	}
-	var solve func(p P, depth int) R
-	solve = func(p P, depth int) R {
+	childPath := func(path string, i int) string {
+		if path == "" {
+			return strconv.Itoa(i)
+		}
+		return path + "." + strconv.Itoa(i)
+	}
+	combined := func(p P, path string, results []R) R {
+		out := combine(p, results)
+		if opts.Checkpoint != nil {
+			opts.Checkpoint(path, out)
+		}
+		return out
+	}
+	var solve func(p P, depth int, path string) R
+	solve = func(p P, depth int, path string) R {
 		var zero R
 		if ctx.Err() != nil {
 			return zero
+		}
+		if opts.Resume != nil {
+			if rv, ok := opts.Resume(path); ok {
+				if v, okType := rv.(R); okType {
+					return v
+				}
+			}
 		}
 		if isBase(p) {
 			return base(p)
@@ -55,9 +86,9 @@ func DivideConquer[P, R any](
 				if ctx.Err() != nil {
 					return zero
 				}
-				results[i] = solve(s, depth+1)
+				results[i] = solve(s, depth+1, childPath(path, i))
 			}
-			return combine(p, results)
+			return combined(p, path, results)
 		}
 		var wg sync.WaitGroup
 		for i, s := range subs {
@@ -66,21 +97,21 @@ func DivideConquer[P, R any](
 			case sem <- struct{}{}:
 				waitGroupGo(&wg, func() {
 					defer func() { <-sem }()
-					results[i] = solve(s, depth+1)
+					results[i] = solve(s, depth+1, childPath(path, i))
 				})
 			default:
 				// No slot free: compute inline rather than blocking, which
 				// both bounds goroutines and avoids deadlock.
-				results[i] = solve(s, depth+1)
+				results[i] = solve(s, depth+1, childPath(path, i))
 			}
 		}
 		wg.Wait()
 		if ctx.Err() != nil {
 			return zero
 		}
-		return combine(p, results)
+		return combined(p, path, results)
 	}
-	out := solve(problem, 0)
+	out := solve(problem, 0, "")
 	if err := ctx.Err(); err != nil {
 		var zero R
 		return zero, err

@@ -86,6 +86,10 @@ type Stats struct {
 	// remote-dispatch hook (ReduceOptions.Dispatch) instead of being
 	// evaluated locally.
 	Dispatched int64
+	// CheckpointHits counts internal-node evaluations avoided by
+	// ReduceOptions.Resume: every restored subtree root plus every
+	// internal node underneath it.
+	CheckpointHits int64
 }
 
 // Imbalance returns max/mean of UnitsPerWorker (1.0 = perfect balance).

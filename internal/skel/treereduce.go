@@ -101,6 +101,18 @@ type ReduceOptions struct {
 	// back to the local eval; a non-nil error aborts the whole reduction,
 	// which returns it. Dispatch must be safe for concurrent use.
 	Dispatch func(ctx context.Context, worker int, op string, left, right any) (v any, handled bool, err error)
+	// Checkpoint is the durability hook: when non-nil it receives every
+	// internal-node value the moment it materializes, keyed by the node's
+	// preorder index — stable across runs for the same tree, so a journaled
+	// (index, value) pair identifies the subtree it summarizes. Called from
+	// worker goroutines; must be safe for concurrent use.
+	Checkpoint func(node int, v any)
+	// Resume is consulted once per internal node before the run starts:
+	// returning (v, true) restores the node's value from a checkpoint, so
+	// its entire subtree is skipped and counted in Stats.CheckpointHits.
+	// Values of the wrong dynamic type are ignored (the node is evaluated
+	// normally), so stale or foreign checkpoints degrade to a cold start.
+	Resume func(node int) (v any, ok bool)
 }
 
 // combineTask is one ready internal-node evaluation.
@@ -162,6 +174,44 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 		worker[i] = assign(postPos[i])
 	}
 
+	// Restore checkpointed subtrees: a resumed internal node becomes a
+	// pseudo-leaf whose value is injected directly, and nothing inside its
+	// subtree is evaluated. The preorder index makes the skip a contiguous
+	// range: subtree of node i is [i, i+nodes[i].Nodes()).
+	var restored map[int]V
+	var skip []bool
+	var hits int64
+	if opts.Resume != nil {
+		restored = make(map[int]V)
+		skip = make([]bool, n)
+		for i := 0; i < n; i++ {
+			if skip[i] || nodes[i].IsLeaf() {
+				continue
+			}
+			rv, ok := opts.Resume(i)
+			if !ok {
+				continue
+			}
+			v, okType := rv.(V)
+			if !okType {
+				continue
+			}
+			restored[i] = v
+			hits++
+			for d := i + 1; d < i+nodes[i].Nodes(); d++ {
+				skip[d] = true
+				if !nodes[d].IsLeaf() {
+					hits++
+				}
+			}
+		}
+		if v, ok := restored[0]; ok {
+			// The root itself was checkpointed: the whole reduction is
+			// already done.
+			return v, &Stats{UnitsPerWorker: make([]int64, p), CheckpointHits: hits}, ctx.Err()
+		}
+	}
+
 	// Per-node synchronization: values and atomic arrival counts. A node's
 	// combine is enqueued on its worker by whichever child arrives second
 	// (the counter reaching zero orders the children's value writes before
@@ -184,7 +234,7 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 		queues[w] = make(chan combineTask, n+1)
 	}
 
-	stats := &Stats{UnitsPerWorker: make([]int64, p)}
+	stats := &Stats{UnitsPerWorker: make([]int64, p), CheckpointHits: hits}
 	var cross atomic.Int64
 	var conc gauge
 	start := time.Now()
@@ -265,6 +315,9 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 					if !handled {
 						v = eval(nodes[id].Op, l, r)
 					}
+					if opts.Checkpoint != nil {
+						opts.Checkpoint(id, v)
+					}
 					if opts.Tracer != nil {
 						opts.Tracer.Event(trace.Event{Cycle: elapsed(), Kind: trace.KindExecFinish,
 							Proc: w, From: -1, Arg: elapsed() - t0, Label: nodes[id].Op})
@@ -291,9 +344,16 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 	}
 
 	// Inject leaf values (counted as cross messages when the leaf's worker
-	// differs from its parent's, mirroring the simulator's accounting).
+	// differs from its parent's, mirroring the simulator's accounting) and
+	// restored subtree values (fromWorker -1: nothing was shipped — the
+	// value came from the log).
 	for i := 0; i < n; i++ {
-		if nodes[i].IsLeaf() {
+		if skip != nil && skip[i] {
+			continue
+		}
+		if v, ok := restored[i]; ok {
+			deliver(i, v, -1)
+		} else if nodes[i].IsLeaf() {
 			deliver(i, nodes[i].Leaf, worker[i])
 		}
 	}

@@ -52,6 +52,16 @@ const (
 	KindWake
 	// KindBind: a single-assignment variable was bound; Label names it.
 	KindBind
+	// KindJournal: a durability record was appended to the write-ahead
+	// log; Label holds the record kind ("accepted", "ckpt", ...) and Arg
+	// the encoded payload size in bytes.
+	KindJournal
+	// KindReplay: a store finished replaying its log on open; Arg holds
+	// the number of records applied.
+	KindReplay
+	// KindCompact: the log was compacted down to its live records; Arg
+	// holds the number of records surviving.
+	KindCompact
 )
 
 var kindNames = [...]string{
@@ -67,6 +77,9 @@ var kindNames = [...]string{
 	KindSuspend:    "suspend",
 	KindWake:       "wake",
 	KindBind:       "bind",
+	KindJournal:    "journal",
+	KindReplay:     "replay",
+	KindCompact:    "compact",
 }
 
 func (k Kind) String() string {

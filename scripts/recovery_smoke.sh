@@ -1,0 +1,244 @@
+#!/bin/sh
+# Crash-recovery smoke test for the durable job store, run by CI and
+# `make recovery-smoke`. Two phases:
+#
+#   A. Cluster: start motifctl with -store and two workers, submit a batch
+#      with client request ids, SIGKILL the coordinator mid-batch, restart
+#      it against the same store directory, and assert zero lost jobs
+#      (every accepted id completes) and zero duplicated jobs (resubmitting
+#      every request id answers with the original job).
+#
+#   B. Checkpoint resume: start a standalone motifd with -store, submit a
+#      slow tree reduction, SIGKILL the daemon once checkpoints have been
+#      journaled, restart it, and assert the resumed run re-evaluates
+#      strictly fewer nodes than a cold run with a positive checkpoint
+#      hit-rate in /metrics.
+set -eu
+
+COORD_ADDR=127.0.0.1:18170
+W1_ADDR=127.0.0.1:18181
+W2_ADDR=127.0.0.1:18182
+D_ADDR=127.0.0.1:18178
+COORD="http://$COORD_ADDR"
+JOBS=16
+TMP="$(mktemp -d)"
+CPID= W1PID= W2PID= DPID=
+trap 'kill -9 "$CPID" "$W1PID" "$W2PID" "$DPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/motifctl" ./cmd/motifctl
+go build -o "$TMP/motifd" ./cmd/motifd
+
+json_path() { # json_path FILE DOTTED.PATH -> value (asserts valid JSON)
+    python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for part in sys.argv[2].split("."):
+    doc = doc[part]
+print(doc)' "$1" "$2"
+}
+
+wait_up() { # wait_up URL NAME LOG
+    i=0
+    until curl -sf "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "$2 did not come up; log:" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+wait_workers() { # wait_workers N — poll the coordinator until N workers are live
+    i=0
+    while :; do
+        curl -sf "$COORD/metrics" >"$TMP/metrics.json"
+        LIVE="$(json_path "$TMP/metrics.json" live_workers)"
+        [ "$LIVE" = "$1" ] && break
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || { echo "workers never registered (live=$LIVE, want $1)" >&2; cat "$TMP/motifctl.log" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+# ---------- Phase A: coordinator crash + restart, zero lost / duplicated ----------
+
+"$TMP/motifctl" -addr "$COORD_ADDR" -heartbeat 100ms -store "$TMP/coord-store" 2>"$TMP/motifctl.log" &
+CPID=$!
+"$TMP/motifd" -addr "$W1_ADDR" -procs 1 -inner 1 -id w1 \
+    -coordinator "$COORD" -advertise "http://$W1_ADDR" 2>"$TMP/w1.log" &
+W1PID=$!
+"$TMP/motifd" -addr "$W2_ADDR" -procs 1 -inner 1 -id w2 \
+    -coordinator "$COORD" -advertise "http://$W2_ADDR" 2>"$TMP/w2.log" &
+W2PID=$!
+
+wait_up "$COORD" motifctl "$TMP/motifctl.log"
+wait_up "http://$W1_ADDR" w1 "$TMP/w1.log"
+wait_up "http://$W2_ADDR" w2 "$TMP/w2.log"
+wait_workers 2
+echo "cluster up: 2 workers registered"
+
+# Submit the batch with client request ids; every submission must be
+# accepted and journaled (202 only after the WAL fsync).
+: >"$TMP/ids"
+j=0
+while [ "$j" -lt "$JOBS" ]; do
+    CODE="$(curl -s -o "$TMP/submit.json" -w '%{http_code}' -X POST "$COORD/v1/jobs" \
+        -H 'Content-Type: application/json' \
+        -d "{\"type\":\"tree\",\"id\":\"batch-$j\",\"tree\":{\"leaves\":64,\"node_cost_us\":3000,\"seed\":$j}}")"
+    [ "$CODE" = 202 ] || { echo "submit $j returned $CODE" >&2; cat "$TMP/submit.json" >&2; exit 1; }
+    json_path "$TMP/submit.json" id >>"$TMP/ids"
+    j=$((j + 1))
+done
+echo "submitted $JOBS jobs with request ids"
+
+# Let a little of the batch finish so the kill lands mid-run: some jobs
+# done, some placed, some still queued.
+i=0
+while :; do
+    curl -sf "$COORD/metrics" >"$TMP/metrics.json"
+    DONE="$(json_path "$TMP/metrics.json" done)"
+    [ "$DONE" -ge 2 ] && break
+    i=$((i + 1))
+    [ "$i" -lt 200 ] || { echo "no jobs finished before the kill (done=$DONE)" >&2; exit 1; }
+    sleep 0.05
+done
+
+# Crash the coordinator: SIGKILL, no drain, no store close.
+kill -9 "$CPID"
+echo "killed motifctl (SIGKILL) with done=$DONE of $JOBS"
+
+# Restart against the same store directory. The log replays: finished jobs
+# stay pollable, orphans are re-placed once the workers re-register.
+"$TMP/motifctl" -addr "$COORD_ADDR" -heartbeat 100ms -store "$TMP/coord-store" 2>"$TMP/motifctl2.log" &
+CPID=$!
+wait_up "$COORD" motifctl-restarted "$TMP/motifctl2.log"
+curl -sf "$COORD/metrics" >"$TMP/metrics.json"
+REPLAYED="$(json_path "$TMP/metrics.json" store.replayed_records)"
+[ "$REPLAYED" -gt 0 ] || { echo "restarted coordinator replayed nothing" >&2; exit 1; }
+echo "coordinator restarted: replayed $REPLAYED records"
+wait_workers 2
+
+# Zero lost: every accepted id must reach done under its original id.
+while read -r ID; do
+    i=0
+    while :; do
+        CODE="$(curl -s -o "$TMP/job.json" -w '%{http_code}' "$COORD/v1/jobs/$ID")"
+        [ "$CODE" = 200 ] || { echo "poll $ID returned $CODE after restart" >&2; exit 1; }
+        STATE="$(json_path "$TMP/job.json" state)"
+        case "$STATE" in
+        done) break ;;
+        error) echo "job $ID lost to the crash:" >&2; cat "$TMP/job.json" >&2; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -lt 600 ] || { echo "job $ID stuck in $STATE after restart" >&2; exit 1; }
+        sleep 0.05
+    done
+done <"$TMP/ids"
+echo "all $JOBS journaled jobs completed after the crash"
+
+# Zero duplicated: resubmitting every request id must answer with the
+# original job, not start a fresh execution.
+j=0
+while [ "$j" -lt "$JOBS" ]; do
+    WANT="$(sed -n "$((j + 1))p" "$TMP/ids")"
+    CODE="$(curl -s -o "$TMP/submit.json" -w '%{http_code}' -X POST "$COORD/v1/jobs" \
+        -H 'Content-Type: application/json' \
+        -d "{\"type\":\"tree\",\"id\":\"batch-$j\",\"tree\":{\"leaves\":64,\"node_cost_us\":3000,\"seed\":$j}}")"
+    [ "$CODE" = 202 ] || { echo "resubmit $j returned $CODE" >&2; cat "$TMP/submit.json" >&2; exit 1; }
+    GOT="$(json_path "$TMP/submit.json" id)"
+    [ "$GOT" = "$WANT" ] || { echo "resubmit batch-$j got $GOT, want $WANT (duplicated job)" >&2; exit 1; }
+    j=$((j + 1))
+done
+curl -sf "$COORD/metrics" >"$TMP/metrics.json"
+FAILED="$(json_path "$TMP/metrics.json" failed)"
+DEDUPED="$(json_path "$TMP/metrics.json" deduped)"
+[ "$FAILED" = 0 ] || { echo "failed=$FAILED after recovery, want 0" >&2; cat "$TMP/metrics.json" >&2; exit 1; }
+[ "$DEDUPED" -ge "$JOBS" ] || { echo "deduped=$DEDUPED, want >= $JOBS" >&2; exit 1; }
+echo "idempotent resubmission: all $JOBS request ids answered by their original jobs (deduped=$DEDUPED, failed=0)"
+
+# Drain the restarted coordinator and the workers.
+kill -TERM "$CPID"
+i=0
+while kill -0 "$CPID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "restarted motifctl did not drain" >&2; cat "$TMP/motifctl2.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "drained" "$TMP/motifctl2.log" || { echo "no drain line in motifctl2 log:" >&2; cat "$TMP/motifctl2.log" >&2; exit 1; }
+kill -TERM "$W1PID" "$W2PID"
+i=0
+while kill -0 "$W1PID" 2>/dev/null || kill -0 "$W2PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "workers did not drain" >&2; exit 1; }
+    sleep 0.1
+done
+echo "phase A (cluster crash recovery): OK"
+
+# ---------- Phase B: checkpointed reduction resumes past the crash ----------
+
+"$TMP/motifd" -addr "$D_ADDR" -procs 1 -inner 1 -store "$TMP/d-store" 2>"$TMP/d1.log" &
+DPID=$!
+wait_up "http://$D_ADDR" motifd "$TMP/d1.log"
+
+# One slow reduction: 64 leaves at 20ms per node keeps the run alive long
+# enough for checkpoints to reach the WAL before the kill.
+CODE="$(curl -s -o "$TMP/submit.json" -w '%{http_code}' -X POST "http://$D_ADDR/v1/jobs" \
+    -H 'Content-Type: application/json' \
+    -d '{"type":"tree","id":"resume-1","tree":{"leaves":64,"node_cost_us":20000,"seed":1}}')"
+[ "$CODE" = 202 ] || { echo "phase B submit returned $CODE" >&2; cat "$TMP/submit.json" >&2; exit 1; }
+JID="$(json_path "$TMP/submit.json" id)"
+
+# Wait until a meaningful number of checkpoints are durably journaled,
+# then SIGKILL the daemon mid-reduction.
+i=0
+while :; do
+    curl -sf "http://$D_ADDR/metrics" >"$TMP/metrics.json"
+    CKPTS="$(json_path "$TMP/metrics.json" store.checkpoint_writes)"
+    [ "$CKPTS" -ge 5 ] && break
+    i=$((i + 1))
+    [ "$i" -lt 200 ] || { echo "no checkpoints journaled before the kill (writes=$CKPTS)" >&2; exit 1; }
+    sleep 0.05
+done
+kill -9 "$DPID"
+echo "killed motifd (SIGKILL) with $CKPTS checkpoints journaled"
+
+"$TMP/motifd" -addr "$D_ADDR" -procs 1 -inner 1 -store "$TMP/d-store" 2>"$TMP/d2.log" &
+DPID=$!
+wait_up "http://$D_ADDR" motifd-restarted "$TMP/d2.log"
+
+# The recovered job must finish from its checkpoints: right state, fewer
+# node evaluations than the 63-internal-node cold run.
+i=0
+while :; do
+    CODE="$(curl -s -o "$TMP/job.json" -w '%{http_code}' "http://$D_ADDR/v1/jobs/$JID")"
+    [ "$CODE" = 200 ] || { echo "poll $JID returned $CODE after restart" >&2; exit 1; }
+    STATE="$(json_path "$TMP/job.json" state)"
+    case "$STATE" in
+    done) break ;;
+    error) echo "resumed job failed:" >&2; cat "$TMP/job.json" >&2; exit 1 ;;
+    esac
+    i=$((i + 1))
+    [ "$i" -lt 600 ] || { echo "resumed job stuck in $STATE" >&2; exit 1; }
+    sleep 0.05
+done
+RESUMED="$(json_path "$TMP/job.json" tree.resumed_nodes)"
+UNITS="$(json_path "$TMP/job.json" tree.units)"
+[ "$RESUMED" -gt 0 ] || { echo "resumed_nodes=$RESUMED: the reduction ignored its checkpoints" >&2; cat "$TMP/job.json" >&2; exit 1; }
+[ "$UNITS" -lt 63 ] || { echo "resumed run evaluated $UNITS nodes, no fewer than a cold run (63)" >&2; exit 1; }
+curl -sf "http://$D_ADDR/metrics" >"$TMP/metrics.json"
+HITS="$(json_path "$TMP/metrics.json" store.checkpoint_hits)"
+[ "$HITS" -gt 0 ] || { echo "store.checkpoint_hits=$HITS, want > 0" >&2; exit 1; }
+echo "resumed reduction: units=$UNITS of 63, resumed_nodes=$RESUMED, checkpoint_hits=$HITS"
+
+kill -TERM "$DPID"
+i=0
+while kill -0 "$DPID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "restarted motifd did not drain" >&2; cat "$TMP/d2.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "drained" "$TMP/d2.log" || { echo "no drain line in d2 log:" >&2; cat "$TMP/d2.log" >&2; exit 1; }
+echo "phase B (checkpoint resume): OK"
+echo "recovery smoke: OK"
