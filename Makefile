@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check build vet test race bench-smoke bench motifd-smoke cluster-smoke recovery-smoke bench-cluster
+.PHONY: ci fmt-check build vet test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke bench-cluster bench-memo
 
-ci: fmt-check build vet test race bench-smoke motifd-smoke cluster-smoke recovery-smoke
+ci: fmt-check build vet test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke
 	@echo "ci: all steps passed"
 
 fmt-check:
@@ -26,7 +26,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/...
+	$(GO) test -race ./internal/memo/... ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/...
+
+# fuzz-smoke runs each WAL fuzz target briefly: long enough to exercise the
+# mutator on the torn/corrupt seed corpus, short enough for every change.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzFrameAppendReplay -fuzztime=10s -run=NONE ./internal/store/
+	$(GO) test -fuzz=FuzzSegmentReplay -fuzztime=10s -run=NONE ./internal/store/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -56,3 +62,10 @@ recovery-smoke:
 # the per-scale throughput/latency report.
 bench-cluster:
 	./scripts/bench_cluster.sh BENCH_cluster.json
+
+# bench-memo measures the content-addressed cache end to end: each client
+# level runs cold (computing every alignment) then warm (answered from the
+# daemon's cache over the same job seeds), reporting the warm-over-cold
+# speedup and warm-pass hit-rate.
+bench-memo:
+	$(GO) run ./cmd/alignbench -serve self -memo 67108864 -clients 1,4,16 -jobs 48 -out BENCH_memo.json

@@ -14,11 +14,15 @@ import (
 
 	"repro/internal/bio"
 	"repro/internal/cluster"
+	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
 
-// loadLevel is the measured outcome of one client-concurrency level.
+// loadLevel is the measured outcome of one client-concurrency level. Pass
+// and Speedup are set only in -memo mode, where every level runs twice over
+// the same job seeds: "cold" computes, "warm" answers from the daemon's
+// content-addressed cache.
 type loadLevel struct {
 	Clients       int     `json:"clients"`
 	Jobs          int     `json:"jobs"`
@@ -28,16 +32,26 @@ type loadLevel struct {
 	ThroughputJPS float64 `json:"throughput_jps"`
 	P50MS         float64 `json:"p50_ms"`
 	P95MS         float64 `json:"p95_ms"`
+	Pass          string  `json:"pass,omitempty"`
+	Speedup       float64 `json:"speedup_vs_cold,omitempty"`
 }
 
-// loadReport is the BENCH_serve.json document.
+// loadReport is the BENCH_serve.json / BENCH_memo.json document.
 type loadReport struct {
 	Benchmark string      `json:"benchmark"`
 	Target    string      `json:"target"`
 	Seqs      int         `json:"n"`
 	SeqLen    int         `json:"len"`
 	Seed      int64       `json:"seed"`
+	MemoBytes int64       `json:"memo_bytes,omitempty"`
 	Levels    []loadLevel `json:"levels"`
+	// Memo is the daemon's cache block after the run (hits, misses,
+	// hit_rate), fetched from its /metrics; only in -memo mode. Its
+	// cumulative hit_rate is diluted by the cold passes' fills, so
+	// WarmHitRate reports the warm passes alone: the fraction of their
+	// lookups answered from the cache.
+	Memo        *memo.StatsSnapshot `json:"memo,omitempty"`
+	WarmHitRate float64             `json:"warm_hit_rate,omitempty"`
 }
 
 // runLoad drives a motifd instance (benchmark "serve") or a motifctl
@@ -46,10 +60,10 @@ type loadReport struct {
 // and completed-job throughput — the two speak the same job API. target
 // "self" hosts an in-process server on a loopback port, so `make bench`
 // needs no separately started daemon.
-func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed int64, outFile string) error {
+func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed int64, outFile string, memoBytes int64) error {
 	base := target
 	if target == "self" {
-		s := serve.New(serve.Config{Seed: seed})
+		s := serve.New(serve.Config{Seed: seed, MemoBytes: memoBytes})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return err
@@ -66,19 +80,69 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 	}
 
 	client := &http.Client{Timeout: 2 * time.Minute}
-	report := loadReport{Benchmark: benchmark, Target: target, Seqs: n, SeqLen: seqLen, Seed: seed}
-	tab := metrics.NewTable("clients", "jobs", "shed", "failed", "elapsed ms", "jobs/s", "p50 ms", "p95 ms")
-	for _, c := range clients {
-		lvl, err := runLoadLevel(client, base, c, jobs, n, seqLen, seed)
-		if err != nil {
-			return fmt.Errorf("level %d clients: %w", c, err)
+	report := loadReport{Benchmark: benchmark, Target: target, Seqs: n, SeqLen: seqLen, Seed: seed, MemoBytes: memoBytes}
+	var tab *metrics.Table
+	if memoBytes > 0 {
+		tab = metrics.NewTable("clients", "pass", "jobs", "shed", "failed", "elapsed ms", "jobs/s", "p50 ms", "p95 ms", "speedup")
+	} else {
+		tab = metrics.NewTable("clients", "jobs", "shed", "failed", "elapsed ms", "jobs/s", "p50 ms", "p95 ms")
+	}
+	var warmHits, warmLookups int64
+	for li, c := range clients {
+		if memoBytes == 0 {
+			lvl, err := runLoadLevel(client, base, c, jobs, n, seqLen, seed)
+			if err != nil {
+				return fmt.Errorf("level %d clients: %w", c, err)
+			}
+			report.Levels = append(report.Levels, lvl)
+			tab.AddRow(lvl.Clients, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.ElapsedMS,
+				lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS)
+			continue
 		}
-		report.Levels = append(report.Levels, lvl)
-		tab.AddRow(lvl.Clients, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.ElapsedMS,
-			lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS)
+		// Each level gets its own seed block so its cold pass computes from
+		// scratch; the warm pass repeats the block and hits the cache.
+		seedBase := seed + int64(li*jobs)
+		var cold loadLevel
+		for _, pass := range []string{"cold", "warm"} {
+			var before *memo.StatsSnapshot
+			if pass == "warm" {
+				before, _ = fetchMemoBlock(client, base)
+			}
+			lvl, err := runLoadLevel(client, base, c, jobs, n, seqLen, seedBase)
+			if err != nil {
+				return fmt.Errorf("level %d clients (%s): %w", c, pass, err)
+			}
+			lvl.Pass = pass
+			if pass == "cold" {
+				cold = lvl
+			} else {
+				if lvl.ElapsedMS > 0 {
+					lvl.Speedup = cold.ElapsedMS / lvl.ElapsedMS
+				}
+				if after, err := fetchMemoBlock(client, base); err == nil && before != nil && after != nil {
+					warmHits += after.Hits - before.Hits
+					warmLookups += (after.Hits + after.Misses) - (before.Hits + before.Misses)
+				}
+			}
+			report.Levels = append(report.Levels, lvl)
+			tab.AddRow(lvl.Clients, lvl.Pass, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.ElapsedMS,
+				lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS, lvl.Speedup)
+		}
 	}
 	fmt.Printf("== %s load: %d alignment jobs (%d seqs, len %d) per level against %s ==\n%s\n",
 		benchmark, jobs, n, seqLen, base, tab)
+	if memoBytes > 0 {
+		if blk, err := fetchMemoBlock(client, base); err == nil && blk != nil {
+			report.Memo = blk
+			fmt.Printf("daemon cache: %d entries, %d bytes, cumulative hit-rate %.3f (%d hits / %d misses)\n",
+				blk.Entries, blk.Bytes, blk.HitRate, blk.Hits, blk.Misses)
+		}
+		if warmLookups > 0 {
+			report.WarmHitRate = float64(warmHits) / float64(warmLookups)
+			fmt.Printf("warm-pass hit-rate: %.3f (%d / %d lookups)\n",
+				report.WarmHitRate, warmHits, warmLookups)
+		}
+	}
 
 	if outFile != "" {
 		blob, err := json.MarshalIndent(report, "", "  ")
@@ -217,6 +281,27 @@ func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *c
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+}
+
+// fetchMemoBlock reads the daemon's content-addressed cache counters from
+// its /metrics document; motifd's cache block and motifctl's cluster
+// aggregate share the relevant field names (hits, misses, hit_rate).
+func fetchMemoBlock(client *http.Client, base string) (*memo.StatsSnapshot, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		Memo *memo.StatsSnapshot `json:"memo"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Memo, nil
 }
 
 func shutdownCtx() (ctx context.Context, cancel context.CancelFunc) {

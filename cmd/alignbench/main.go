@@ -6,6 +6,7 @@
 //	alignbench [-n seqs] [-len seqLen] [-seed N] [-mode native|sim|both]
 //	alignbench -trace out.json [-n seqs] [-len seqLen] [-seed N]
 //	alignbench -serve URL|self [-clients 1,4,16] [-jobs 48] [-out BENCH_serve.json]
+//	alignbench -serve self -memo BYTES [-clients 1,4,16] [-jobs 48] [-out BENCH_memo.json]
 //	alignbench -cluster URL [-clients 1,4,16] [-jobs 48] [-out BENCH_cluster.json]
 //
 // With -trace, alignbench runs one simulated Tree-Reduce-2 family
@@ -22,6 +23,13 @@
 // With -cluster, the same load generator drives a motifctl coordinator —
 // the job API is identical, so this measures cluster scheduling (placement,
 // shipping, retry) end to end.
+//
+// With -memo, each concurrency level runs twice over the same job seeds: a
+// cold pass that computes every alignment and a warm pass answered from the
+// daemon's content-addressed cache. The report carries both passes plus the
+// warm-over-cold speedup and the daemon's cache hit-rate. For -serve self
+// the value is also the in-process daemon's cache budget; a remote target
+// must itself run with -memo for the warm pass to hit.
 package main
 
 import (
@@ -52,6 +60,7 @@ func main() {
 	clients := flag.String("clients", "1,4,16", "client-concurrency levels for -serve, comma-separated")
 	jobs := flag.Int("jobs", 48, "alignment jobs per concurrency level for -serve")
 	out := flag.String("out", "", "write the -serve load report as JSON to this file")
+	memoBytes := cmdutil.MemoBytes(0)
 	flag.Parse()
 
 	if *serveURL != "" || *clusterURL != "" {
@@ -79,7 +88,7 @@ func main() {
 		if ll > 48 {
 			ll = 48
 		}
-		if err := runLoad(benchmark, target, levels, *jobs, ln, ll, *seed, *out); err != nil {
+		if err := runLoad(benchmark, target, levels, *jobs, ln, ll, *seed, *out, *memoBytes); err != nil {
 			fatal(err)
 		}
 		return

@@ -10,7 +10,7 @@
 //
 //	motifctl [-addr :8070] [-policy rand|label|least] [-seed N]
 //	         [-pending 256] [-attempts 4] [-heartbeat 500ms] [-drain 1m]
-//	         [-store DIR]
+//	         [-store DIR] [-collapse]
 //
 // With -store the coordinator journals every job's lifecycle to a
 // write-ahead log in DIR. On restart against the same directory it replays
@@ -21,7 +21,14 @@
 // Policies mirror the paper's placement strategies: rand is Tree-Reduce-1's
 // uniform random shipping, label is Tree-Reduce-2's sticky pre-assignment
 // (jobs sharing a label co-locate), least is the Scheduler motif fed by
-// heartbeat queue-depth reports.
+// heartbeat queue-depth reports. Under the label policy, unlabeled jobs are
+// labeled with their content digest, so identical content co-locates on the
+// worker whose memo cache is already warm for it.
+//
+// With -collapse, identical in-flight submissions collapse onto one
+// placement instead of being shipped twice; the worker-side memo caches
+// (motifd -memo) then answer later repeats. Heartbeats report each worker's
+// cache counters and /metrics aggregates them into a cluster hit-rate.
 //
 // API:
 //
@@ -62,6 +69,7 @@ func main() {
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 	seed := cmdutil.Seed(7)
 	storeDir := flag.String("store", "", "durable job store directory; empty disables persistence")
+	collapse := flag.Bool("collapse", false, "collapse identical in-flight submissions onto one placement")
 	flag.Parse()
 
 	policy, err := cluster.NewPolicy(*policyName, *seed)
@@ -87,6 +95,7 @@ func main() {
 		MaxAttempts:       *attempts,
 		HeartbeatInterval: *heartbeat,
 		Store:             js,
+		MemoCollapse:      *collapse,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "motifctl: %v\n", err)

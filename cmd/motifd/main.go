@@ -8,7 +8,7 @@
 // Usage:
 //
 //	motifd [-addr :8077] [-procs 4] [-inner 4] [-queue 64] [-batch 8]
-//	       [-timeout 30s] [-seed N] [-store DIR]
+//	       [-timeout 30s] [-seed N] [-store DIR] [-memo BYTES]
 //	       [-coordinator http://host:8070 [-advertise URL] [-id NAME]]
 //
 // With -store the daemon journals every job's lifecycle to a write-ahead
@@ -16,6 +16,12 @@
 // finished jobs stay pollable, incomplete jobs are re-admitted under their
 // original IDs, tree reductions resume from their deepest journaled
 // checkpoints, and client-supplied request ids dedup across the restart.
+//
+// With -memo the daemon keeps a content-addressed result cache of that many
+// bytes: finished jobs answer identical later submissions instantly,
+// identical in-flight submissions collapse onto one execution, and tree
+// reductions reuse subtree results across jobs. /metrics grows a "memo"
+// block with the cache's hit-rate.
 //
 // With -coordinator the daemon additionally runs as a cluster worker: it
 // registers with the motifctl coordinator at that URL, heartbeats load
@@ -65,6 +71,7 @@ func main() {
 	advertise := flag.String("advertise", "", "base URL the coordinator ships jobs to (default http://127.0.0.1<addr>)")
 	workerID := flag.String("id", "", "cluster worker id (default host-pid)")
 	storeDir := flag.String("store", "", "durable job store directory; empty disables persistence")
+	memoBytes := cmdutil.MemoBytes(0)
 	flag.Parse()
 
 	var js *store.JobStore
@@ -88,6 +95,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		Seed:           *seed,
 		Store:          js,
+		MemoBytes:      *memoBytes,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -5,6 +5,7 @@
 //
 //	treebench [-exp all|arith|balance|crossover|memory|locality|reuse|skeletons] [-seed N]
 //	treebench -trace out.json [-tracemotif tr1|tr2] [-procs P] [-leaves N] [-seed N]
+//	treebench -memo BYTES [-procs P] [-leaves N] [-seed N]
 //
 // With -trace, treebench runs one traced tree reduction and writes its
 // structured event stream as a Chrome trace_event file: open it in
@@ -12,17 +13,28 @@
 // processor). It also prints the busy/idle timeline and message-latency
 // histogram, and verifies that the exported event count equals
 // reductions + messages.
+//
+// With -memo, treebench demonstrates the content-addressed subtree cache on
+// the native skeleton: it reduces one random tree cold (filling the cache)
+// and again warm (restoring the root without evaluating a node), checking
+// the two results agree and printing per-pass wall time, evaluated units,
+// and memo hits.
 package main
 
 import (
+	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/cmdutil"
 	"repro/internal/exp"
+	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/motifs"
+	"repro/internal/skel"
 	"repro/internal/strand"
 	"repro/internal/term"
 	"repro/internal/trace"
@@ -37,7 +49,16 @@ func main() {
 	procs := cmdutil.Procs(8, "simulated processors for the traced run")
 	leaves := flag.Int("leaves", 64, "tree leaves for the traced run")
 	msgCost := flag.Int64("msgcost", 4, "message latency in cycles for the traced run")
+	memoBytes := cmdutil.MemoBytes(0)
 	flag.Parse()
+
+	if *memoBytes > 0 {
+		if err := runMemoDemo(*memoBytes, *procs, *leaves, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *traceFile != "" {
 		if err := runTraced(*traceFile, *traceMotif, *procs, *leaves, *msgCost, *seed); err != nil {
@@ -95,6 +116,55 @@ func main() {
 		fmt.Fprintf(os.Stderr, "treebench: unknown experiment %q\n", *which)
 		os.Exit(2)
 	}
+}
+
+// runMemoDemo reduces one random tree twice through a shared
+// content-addressed cache: the cold pass evaluates and fills, the warm pass
+// restores the root without evaluating a node. Each evaluation spins ~20µs
+// so the warm pass's zero units show up in wall time, not just counters.
+func runMemoDemo(budget int64, procs, leaves int, seed int64) error {
+	tree := workload.SkelTree(workload.IntTree(leaves, workload.ShapeRandom, seed))
+	internal := int64(tree.Nodes() - tree.Leaves())
+	const nodeCost = 20 * time.Microsecond
+	eval := func(op string, l, r int64) int64 {
+		time.Sleep(nodeCost)
+		if op == "*" {
+			return l * r
+		}
+		return l + r
+	}
+	leafKey := func(v int64) memo.Key {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(v))
+		return memo.Leaf("treebench.int", b[:])
+	}
+	cache := memo.New(budget)
+	digests := skel.TreeDigests(tree, leafKey)
+
+	tab := metrics.NewTable("pass", "wall ms", "units", "memo hits", "value")
+	var cold int64
+	for pass, name := range []string{"cold", "warm"} {
+		opts := skel.ReduceOptions{Workers: procs, Seed: seed}
+		skel.Memoize[int64](&opts, cache, digests, func(int64) int64 { return 8 })
+		start := time.Now()
+		val, stats, err := skel.TreeReduce(context.Background(), tree, eval, opts)
+		if err != nil {
+			return err
+		}
+		wall := float64(time.Since(start).Microseconds()) / 1000
+		tab.AddRow(name, wall, stats.TotalUnits(), stats.MemoHits, val)
+		if pass == 0 {
+			cold = val
+		} else if val != cold {
+			return fmt.Errorf("warm value %d != cold value %d", val, cold)
+		}
+	}
+	st := cache.Stats()
+	fmt.Printf("== memo: %d-leaf tree (%d internal nodes) on %d workers, cache budget %d bytes ==\n%s\n",
+		leaves, internal, procs, budget, tab)
+	fmt.Printf("cache: %d entries, %d bytes, hit-rate %.3f (%d hits / %d misses, %d evictions)\n",
+		st.Entries, st.Bytes, st.HitRate, st.Hits, st.Misses, st.Evictions)
+	return nil
 }
 
 // runTraced executes one tree reduction with tracing on and writes the

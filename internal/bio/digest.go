@@ -1,0 +1,64 @@
+package bio
+
+import (
+	"encoding/binary"
+
+	"repro/internal/memo"
+	"repro/internal/skel"
+)
+
+// Digest returns the sequence's content digest — the leaf key of the memo
+// layer. Sequences are normalized to RNA before they reach an alignment
+// tree, so equal biological content digests equally regardless of the
+// input alphabet casing.
+func (s Seq) Digest() memo.Key { return memo.Leaf("bio.seq", []byte(s)) }
+
+// Size estimates the alignment's resident bytes for the memo cache's
+// budget accounting: row payloads plus slice/header overhead.
+func (a Alignment) Size() int64 {
+	size := int64(24) // slice header
+	for _, row := range a {
+		size += int64(len(row)) + 16
+	}
+	return size
+}
+
+// Digest returns the job's content digest: a canonical hash of everything
+// that determines its result (explicit names and sequences, or the
+// synthetic family spec). Two jobs share a digest exactly when they are
+// guaranteed to produce byte-identical results, which is what lets the
+// serving layer answer one from the other's cached outcome and the
+// cluster layer co-locate them on a warm worker.
+func (j *AlignJob) Digest() memo.Key {
+	var nums [24]byte
+	binary.BigEndian.PutUint64(nums[0:], uint64(int64(j.N)))
+	binary.BigEndian.PutUint64(nums[8:], uint64(int64(j.Len)))
+	binary.BigEndian.PutUint64(nums[16:], uint64(j.Seed))
+	// List lengths are framed explicitly so (names, seqs) splits can never
+	// alias each other.
+	var counts [16]byte
+	binary.BigEndian.PutUint64(counts[0:], uint64(len(j.Names)))
+	binary.BigEndian.PutUint64(counts[8:], uint64(len(j.Seqs)))
+	fields := make([][]byte, 0, 2+len(j.Names)+len(j.Seqs))
+	fields = append(fields, nums[:], counts[:])
+	for _, n := range j.Names {
+		fields = append(fields, []byte(n))
+	}
+	for _, s := range j.Seqs {
+		fields = append(fields, []byte(s))
+	}
+	return memo.Sum("bio.alignjob", fields...)
+}
+
+// alignTreeDigests computes the content digest of every subtree of the
+// skeleton alignment tree, in the preorder indexing TreeReduce uses for
+// its memo hooks. Leaves are single-row ungapped alignments, so the leaf
+// digest is just the sequence digest.
+func alignTreeDigests(tree *skel.Tree[Alignment]) []memo.Key {
+	return skel.TreeDigests(tree, func(a Alignment) memo.Key {
+		if len(a) != 1 {
+			return memo.Leaf("bio.alignment", []byte(a.Consensus()))
+		}
+		return Seq(a[0]).Digest()
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/memo"
 	"repro/internal/skel"
 )
 
@@ -36,6 +37,9 @@ type AlignJobResult struct {
 	// CrossMessages counts alignments that moved between workers.
 	Units         int64 `json:"units"`
 	CrossMessages int64 `json:"cross_messages"`
+	// MemoHits counts node evaluations skipped because their subtree
+	// alignments were found in the content-addressed memo cache.
+	MemoHits int64 `json:"memo_hits,omitempty"`
 }
 
 // Validate checks the job without materializing it: explicit sequences
@@ -138,11 +142,17 @@ func (j *AlignJob) Cost() int64 {
 // skeleton options, and package the result. Cancelling ctx aborts the
 // reduction between node evaluations and returns ctx.Err().
 func (j *AlignJob) Run(ctx context.Context, opts skel.ReduceOptions) (*AlignJobResult, error) {
+	return j.RunMemo(ctx, opts, nil)
+}
+
+// RunMemo is Run with a content-addressed subtree cache (see
+// AlignFamilyMemo). A nil cache makes it identical to Run.
+func (j *AlignJob) RunMemo(ctx context.Context, opts skel.ReduceOptions, cache *memo.Cache) (*AlignJobResult, error) {
 	f, err := j.Family()
 	if err != nil {
 		return nil, err
 	}
-	aln, stats, err := AlignFamily(ctx, f, opts)
+	aln, stats, err := AlignFamilyMemo(ctx, f, opts, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -154,5 +164,6 @@ func (j *AlignJob) Run(ctx context.Context, opts skel.ReduceOptions) (*AlignJobR
 		Consensus:     aln.Consensus(),
 		Units:         stats.TotalUnits(),
 		CrossMessages: stats.CrossMessages,
+		MemoHits:      stats.MemoHits,
 	}, nil
 }

@@ -1,0 +1,96 @@
+package bio
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/memo"
+	"repro/internal/skel"
+)
+
+// TestAlignJobDigestStability: the job digest is a pure function of the
+// alignment-relevant spec.
+func TestAlignJobDigestStability(t *testing.T) {
+	a := &AlignJob{N: 8, Len: 40, Seed: 3}
+	b := &AlignJob{N: 8, Len: 40, Seed: 3}
+	if a.Digest() != b.Digest() {
+		t.Fatal("equal specs digest differently")
+	}
+	c := &AlignJob{N: 8, Len: 40, Seed: 4}
+	if a.Digest() == c.Digest() {
+		t.Fatal("different seeds share a digest")
+	}
+	d := &AlignJob{Seqs: []string{"ACGU", "ACGA"}}
+	e := &AlignJob{Seqs: []string{"ACGUACGA"}}
+	if d.Digest() == e.Digest() {
+		t.Fatal("sequence framing collision")
+	}
+}
+
+// TestAlignJobMemoByteIdentical: the memoized alignment — cold and warm —
+// is byte-for-byte the unmemoized one, and the warm rerun evaluates
+// nothing: every internal guide-tree node restores from the cache.
+func TestAlignJobMemoByteIdentical(t *testing.T) {
+	job := &AlignJob{N: 12, Len: 60, Seed: 5}
+	opts := skel.ReduceOptions{Workers: 4, Seed: 1}
+
+	plain, err := job.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := memo.New(1 << 22)
+	cold, err := job.RunMemo(context.Background(), opts, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := job.RunMemo(context.Background(), opts, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, got := range map[string]*AlignJobResult{"cold": cold, "warm": warm} {
+		if !reflect.DeepEqual(got.Rows, plain.Rows) {
+			t.Fatalf("%s memoized rows differ from plain run", name)
+		}
+		if !reflect.DeepEqual(got.Names, plain.Names) {
+			t.Fatalf("%s memoized names differ", name)
+		}
+		if got.Consensus != plain.Consensus || got.Columns != plain.Columns {
+			t.Fatalf("%s memoized consensus/width differ", name)
+		}
+	}
+	if cold.MemoHits != 0 {
+		t.Fatalf("cold run MemoHits = %d, want 0", cold.MemoHits)
+	}
+	// The guide tree over N sequences has N-1 internal nodes; the warm run
+	// restores them all and evaluates none.
+	internal := int64(job.N - 1)
+	if warm.MemoHits != internal {
+		t.Fatalf("warm run MemoHits = %d, want %d", warm.MemoHits, internal)
+	}
+	if warm.Units != 0 {
+		t.Fatalf("warm run evaluated %d units, want 0", warm.Units)
+	}
+	if cache.HitRate() == 0 {
+		t.Fatal("cache reports no hits after a warm rerun")
+	}
+}
+
+// TestAlignFamilyMemoNilCache: a nil cache degrades RunMemo to Run.
+func TestAlignFamilyMemoNilCache(t *testing.T) {
+	job := &AlignJob{N: 6, Len: 30, Seed: 9}
+	opts := skel.ReduceOptions{Workers: 2}
+	plain, err := job.Run(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nocache, err := job.RunMemo(context.Background(), opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nocache.Rows, plain.Rows) || nocache.MemoHits != 0 {
+		t.Fatalf("nil-cache run diverged: hits=%d", nocache.MemoHits)
+	}
+}

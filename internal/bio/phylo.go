@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/memo"
 	"repro/internal/motifs"
 	"repro/internal/skel"
 	"repro/internal/term"
@@ -139,11 +140,25 @@ func AlignEval(op string, l, r Alignment) Alignment {
 // pair directly with f.Names. Cancelling ctx aborts the reduction between
 // node evaluations and returns ctx.Err().
 func AlignFamily(ctx context.Context, f *Family, opts skel.ReduceOptions) (Alignment, *skel.Stats, error) {
+	return AlignFamilyMemo(ctx, f, opts, nil)
+}
+
+// AlignFamilyMemo is AlignFamily with a content-addressed subtree cache:
+// every guide-subtree alignment is keyed by its bottom-up content digest,
+// looked up before the reduction starts (hits skip the whole subtree,
+// counted in Stats.MemoHits) and stored as it materializes. Because keys
+// depend only on subtree content, hits cross job boundaries — a family
+// sharing a phylogeny prefix with an earlier one reuses its partial
+// alignments. A nil cache makes this identical to AlignFamily.
+func AlignFamilyMemo(ctx context.Context, f *Family, opts skel.ReduceOptions, cache *memo.Cache) (Alignment, *skel.Stats, error) {
 	guide, err := GuideTree(f)
 	if err != nil {
 		return nil, nil, err
 	}
 	tree := SkelAlignTree(guide, f)
+	if cache != nil {
+		skel.Memoize[Alignment](&opts, cache, alignTreeDigests(tree), Alignment.Size)
+	}
 	aln, stats, err := alignTree(ctx, tree, opts)
 	if err != nil {
 		return nil, nil, err

@@ -180,6 +180,10 @@ func (a *Agent) heartbeats() bool {
 			Failed:       m.Failed,
 			UptimeMicros: int64(m.UptimeMS * 1000),
 		}
+		if m.Memo != nil {
+			hb.MemoHits = m.Memo.Hits
+			hb.MemoMisses = m.Memo.Misses
+		}
 		body, _ := json.Marshal(hb)
 		resp, err := a.cfg.Client.Post(a.cfg.CoordinatorURL+"/cluster/v1/heartbeat",
 			"application/json", bytes.NewReader(body))

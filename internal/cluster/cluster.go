@@ -67,6 +67,12 @@ type Heartbeat struct {
 	// UptimeMicros is the worker pool's age in microseconds — the Cycle
 	// domain of its trace events.
 	UptimeMicros int64 `json:"uptime_us"`
+	// MemoHits/MemoMisses are the worker's content-addressed memo cache
+	// counters, zero when memoization is disabled there. The coordinator
+	// keeps the latest values per worker and aggregates them into a
+	// cluster-wide hit-rate on /metrics.
+	MemoHits   int64 `json:"memo_hits,omitempty"`
+	MemoMisses int64 `json:"memo_misses,omitempty"`
 }
 
 // WorkerView is a placement policy's read-only view of one live worker.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/bio"
+	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -56,6 +57,12 @@ type Config struct {
 	MaxJobs int
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
+	// MemoCollapse, when true, collapses concurrent submissions of
+	// identical content (equal serve.ContentKey) onto one in-flight job
+	// instead of placing the work twice; the later submitters poll the
+	// same job id. Off by default: benchmark streams legitimately submit
+	// identical synthetic jobs and expect independent placements.
+	MemoCollapse bool
 	// TraceCap sizes the trace ring (default trace.DefaultRingCapacity).
 	TraceCap int
 	// Client ships and polls jobs (default: 30s-timeout http.Client).
@@ -133,7 +140,12 @@ type Coordinator struct {
 	jobs     map[string]*Job
 	order    []string
 	byClient map[string]string // client request ID → job id (idempotent resubmission)
-	nextID   int64
+	// byContent maps a job's content digest to its id while the job is
+	// live: concurrent submissions of identical work collapse onto one
+	// placement instead of shipping twice. Entries retire when the job
+	// reaches a terminal state.
+	byContent map[memo.Key]string
+	nextID    int64
 }
 
 // Shed and drain sentinels for the transport-independent Submit.
@@ -155,13 +167,14 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	ctx, stop := context.WithCancel(context.Background())
 	c := &Coordinator{
-		cfg:      cfg,
-		met:      newCoordMetrics(),
-		ring:     trace.NewRing(cfg.TraceCap),
-		ctx:      ctx,
-		stop:     stop,
-		jobs:     make(map[string]*Job),
-		byClient: make(map[string]string),
+		cfg:       cfg,
+		met:       newCoordMetrics(),
+		ring:      trace.NewRing(cfg.TraceCap),
+		ctx:       ctx,
+		stop:      stop,
+		jobs:      make(map[string]*Job),
+		byClient:  make(map[string]string),
+		byContent: make(map[memo.Key]string),
 	}
 	c.reg = newRegistry(cfg.HeartbeatExpiry, c.met.start)
 	if cfg.Store != nil {
@@ -222,6 +235,11 @@ type Job struct {
 	body      []byte // pre-marshaled request, shipped verbatim on each attempt
 	submitted time.Time
 	deadline  time.Time
+
+	// key is the job's content digest (identity-excluded); hasKey is false
+	// for request shapes with no canonical encoding.
+	key    memo.Key
+	hasKey bool
 
 	mu          sync.Mutex
 	state       serve.State
@@ -293,6 +311,28 @@ func (j *Job) View() JobView {
 
 func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
 
+// liveLocked reports whether the job is still queued or running. It takes
+// j.mu; callers holding c.mu may call it (c.mu → j.mu is the established
+// lock order, as in evictLocked).
+func (j *Job) liveLocked() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state == serve.StateQueued || j.state == serve.StateRunning
+}
+
+// retireContent drops the job's in-flight content-digest entry; called on
+// every terminal transition so byContent only ever names live jobs.
+func (c *Coordinator) retireContent(j *Job) {
+	if !j.hasKey {
+		return
+	}
+	c.mu.Lock()
+	if c.byContent[j.key] == j.id {
+		delete(c.byContent, j.key)
+	}
+	c.mu.Unlock()
+}
+
 // Submit validates and accepts a request, returning the job; a goroutine
 // then places, ships, and tracks it. It is the transport-independent core
 // of POST /v1/jobs.
@@ -304,6 +344,15 @@ func (c *Coordinator) Submit(req serve.JobRequest) (*Job, error) {
 		c.met.rejected.Add(1)
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
 	}
+	key, hasKey := serve.ContentKey(&req)
+	if hasKey && req.Label == "" && c.cfg.Policy.Name() == "label" {
+		// Label placement with no explicit label: derive one from the
+		// content digest, so identical jobs land on the same worker and
+		// warm its memo cache. Set before marshaling — the shipped body
+		// carries the label too (workers ignore it).
+		req.Label = key.Short()
+	}
+	hasKey = hasKey && c.cfg.MemoCollapse
 	// Reserve a pending slot with a CAS loop so concurrent submissions
 	// cannot overshoot the bound.
 	for {
@@ -327,6 +376,8 @@ func (c *Coordinator) Submit(req serve.JobRequest) (*Job, error) {
 		body:      body,
 		submitted: now,
 		deadline:  now.Add(c.timeoutFor(req)),
+		key:       key,
+		hasKey:    hasKey,
 		state:     serve.StateQueued,
 		excluded:  make(map[string]bool),
 	}
@@ -342,12 +393,34 @@ func (c *Coordinator) Submit(req serve.JobRequest) (*Job, error) {
 			}
 		}
 	}
+	if hasKey {
+		if id, ok := c.byContent[key]; ok {
+			if prev, ok := c.jobs[id]; ok && prev.liveLocked() {
+				// Identical work already in flight: collapse onto it rather
+				// than shipping the same computation twice. The second
+				// client polls the same job id.
+				if req.ID != "" {
+					c.byClient[req.ID] = prev.id
+				}
+				c.mu.Unlock()
+				c.pending.Add(-1)
+				c.met.collapsed.Add(1)
+				c.emit(trace.Event{Cycle: c.met.sinceMicros(), Kind: trace.KindMemoCollapse,
+					Proc: -1, From: -1, Label: key.Short()})
+				return prev, nil
+			}
+			delete(c.byContent, key)
+		}
+	}
 	c.nextID++
 	j.id = fmt.Sprintf("c%06d", c.nextID)
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
 	if req.ID != "" {
 		c.byClient[req.ID] = j.id
+	}
+	if hasKey {
+		c.byContent[key] = j.id
 	}
 	c.evictLocked()
 	c.mu.Unlock()
@@ -541,13 +614,18 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "coordinator up %.0fms  policy=%s  workers=%d live  pending %d/%d\n",
 		snap.UptimeMS, snap.Policy, snap.LiveWorkers, snap.Pending, snap.PendingCap)
-	fmt.Fprintf(w, "accepted=%d shed=%d done=%d failed=%d  retries=%d saturated=%d deaths=%d\n",
+	fmt.Fprintf(w, "accepted=%d shed=%d done=%d failed=%d  deduped=%d collapsed=%d  retries=%d saturated=%d deaths=%d\n",
 		snap.Accepted, snap.Shed, snap.Done, snap.Failed,
+		snap.Deduped, snap.Collapsed,
 		snap.Retries, snap.Saturated, snap.WorkerDeaths)
+	if snap.Memo != nil {
+		fmt.Fprintf(w, "memo: cluster hit-rate %.3f (%d hits / %d misses)\n",
+			snap.Memo.HitRate, snap.Memo.Hits, snap.Memo.Misses)
+	}
 	fmt.Fprintf(w, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f (n=%d)\n\n",
 		snap.Latency.P50MS, snap.Latency.P95MS, snap.Latency.P99MS,
 		snap.Latency.MeanMS, snap.Latency.MaxMS, snap.Latency.Count)
-	tab := metrics.NewTable("worker", "addr", "state", "beat ms", "queue", "inflight", "shipped", "completed", "retried")
+	tab := metrics.NewTable("worker", "addr", "state", "beat ms", "queue", "inflight", "shipped", "completed", "retried", "memo hits")
 	for _, ws := range snap.Workers {
 		state := "live"
 		switch {
@@ -557,7 +635,7 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			state = "saturated"
 		}
 		tab.AddRow(ws.ID, ws.Addr, state, ws.LastBeatAgeMS, ws.QueueDepth,
-			ws.Inflight, ws.Shipped, ws.Completed, ws.Retried)
+			ws.Inflight, ws.Shipped, ws.Completed, ws.Retried, ws.MemoHits)
 	}
 	fmt.Fprint(w, tab.String())
 }

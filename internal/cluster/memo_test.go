@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestCoordinatorCollapsesIdenticalInflight: with MemoCollapse on, an
+// identical submission attaches to the live job instead of being placed
+// twice; once the job is terminal, the next identical submission is a
+// fresh placement.
+func TestCoordinatorCollapsesIdenticalInflight(t *testing.T) {
+	_, ws := newRealWorker(t)
+	cfg := fastConfig()
+	cfg.MemoCollapse = true
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownCoordinator(t, c)
+
+	// No worker yet: the first job stays queued, so the second submission
+	// deterministically finds it in flight.
+	a, err := c.Submit(treeReq(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Submit(treeReq(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("identical in-flight submission got %s, want collapse onto %s", b.id, a.id)
+	}
+	if got := c.Metrics().Collapsed; got != 1 {
+		t.Fatalf("collapsed = %d, want 1", got)
+	}
+
+	c.reg.register(WorkerInfo{ID: "w1", Addr: ws.URL, Workers: 2}, time.Now())
+	if v := waitTerminal(t, a, 30*time.Second); v.State != serve.StateDone {
+		t.Fatalf("collapsed job: %s (%s)", v.State, v.Error)
+	}
+	waitFor(t, 5*time.Second, func() bool { return c.Metrics().Pending == 0 })
+
+	// The flight is retired: identical content places again.
+	fresh, err := c.Submit(treeReq(48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == a {
+		t.Fatal("submission after completion still collapsed onto the dead flight")
+	}
+	if v := waitTerminal(t, fresh, 30*time.Second); v.State != serve.StateDone {
+		t.Fatalf("fresh job: %s (%s)", v.State, v.Error)
+	}
+}
+
+// TestCoordinatorDuplicateIDConcurrent is the cluster-level regression
+// test for duplicate JobRequest.ID under concurrency: every racing
+// duplicate must agree on one job and one placement.
+func TestCoordinatorDuplicateIDConcurrent(t *testing.T) {
+	_, ws := newRealWorker(t)
+	c, err := NewCoordinator(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownCoordinator(t, c)
+	c.reg.register(WorkerInfo{ID: "w1", Addr: ws.URL, Workers: 2}, time.Now())
+
+	const dups = 16
+	req := treeReq(64)
+	req.ID = "cluster-same-key"
+	jobs := make([]*Job, dups)
+	var wg sync.WaitGroup
+	for i := 0; i < dups; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := c.Submit(req)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	for i, j := range jobs {
+		if j != jobs[0] {
+			t.Fatalf("submission %d got %s, others got %s", i, j.id, jobs[0].id)
+		}
+	}
+	m := c.Metrics()
+	if m.Accepted != 1 {
+		t.Fatalf("accepted = %d, want exactly 1 placement", m.Accepted)
+	}
+	if m.Deduped != dups-1 {
+		t.Fatalf("deduped = %d, want %d", m.Deduped, dups-1)
+	}
+	if v := waitTerminal(t, jobs[0], 30*time.Second); v.State != serve.StateDone {
+		t.Fatalf("job: %s (%s)", v.State, v.Error)
+	}
+}
+
+// TestLabelPolicyDerivesContentLabels: under the label policy, an
+// unlabeled job gets a placement label derived from its content digest —
+// identical jobs share it, distinct jobs do not.
+func TestLabelPolicyDerivesContentLabels(t *testing.T) {
+	cfg := fastConfig()
+	cfg.DefaultTimeout = 200 * time.Millisecond // no workers: jobs fail fast
+	p, err := NewPolicy("label", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Policy = p
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownCoordinator(t, c)
+
+	a, err := c.Submit(treeReq(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := treeReq(16)
+	other.Tree.Seed = 99
+	b, err := c.Submit(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.req.Label == "" || b.req.Label == "" {
+		t.Fatal("label policy left jobs unlabeled")
+	}
+	if a.req.Label == b.req.Label {
+		t.Fatal("distinct content derived the same label")
+	}
+	key, ok := serve.ContentKey(&serve.JobRequest{Type: serve.JobTree,
+		Tree: &serve.TreeSpec{Leaves: 16, Seed: 7}})
+	if !ok || a.req.Label != key.Short() {
+		t.Fatalf("label %q, want content digest %q", a.req.Label, key.Short())
+	}
+
+	// An explicit label is never overridden.
+	labeled := treeReq(16)
+	labeled.Label = "pinned"
+	d, err := c.Submit(labeled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.req.Label != "pinned" {
+		t.Fatalf("explicit label rewritten to %q", d.req.Label)
+	}
+	waitFor(t, 5*time.Second, func() bool { return c.Metrics().Pending == 0 })
+}
+
+// TestClusterMemoAggregation: heartbeat-reported cache counters surface
+// per worker and aggregate into the cluster-wide hit-rate.
+func TestClusterMemoAggregation(t *testing.T) {
+	c, err := NewCoordinator(fastConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownCoordinator(t, c)
+	now := time.Now()
+	c.reg.register(WorkerInfo{ID: "w1", Addr: "http://w1"}, now)
+	c.reg.register(WorkerInfo{ID: "w2", Addr: "http://w2"}, now)
+
+	snap := c.Metrics()
+	if snap.Memo != nil {
+		t.Fatalf("memo block present before any report: %+v", snap.Memo)
+	}
+
+	c.reg.heartbeat(Heartbeat{ID: "w1", MemoHits: 90, MemoMisses: 10}, now)
+	c.reg.heartbeat(Heartbeat{ID: "w2", MemoHits: 30, MemoMisses: 10}, now)
+	snap = c.Metrics()
+	if snap.Memo == nil {
+		t.Fatal("memo block absent after heartbeats reported cache activity")
+	}
+	if snap.Memo.Hits != 120 || snap.Memo.Misses != 20 {
+		t.Fatalf("aggregate = %d/%d, want 120/20", snap.Memo.Hits, snap.Memo.Misses)
+	}
+	if want := 120.0 / 140.0; snap.Memo.HitRate != want {
+		t.Fatalf("hit rate = %v, want %v", snap.Memo.HitRate, want)
+	}
+	for _, w := range snap.Workers {
+		switch w.ID {
+		case "w1":
+			if w.MemoHits != 90 || w.MemoMisses != 10 {
+				t.Fatalf("w1 memo = %d/%d", w.MemoHits, w.MemoMisses)
+			}
+		case "w2":
+			if w.MemoHits != 30 || w.MemoMisses != 10 {
+				t.Fatalf("w2 memo = %d/%d", w.MemoHits, w.MemoMisses)
+			}
+		}
+	}
+}

@@ -24,12 +24,13 @@ var latencyBoundsMicros = []int64{
 type coordMetrics struct {
 	start time.Time
 
-	accepted atomic.Int64
-	shed     atomic.Int64 // 429s the coordinator returned (pending bound)
-	rejected atomic.Int64 // malformed submissions (400s)
-	deduped  atomic.Int64 // resubmissions answered from the dedup table
-	done     atomic.Int64
-	failed   atomic.Int64
+	accepted  atomic.Int64
+	shed      atomic.Int64 // 429s the coordinator returned (pending bound)
+	rejected  atomic.Int64 // malformed submissions (400s)
+	deduped   atomic.Int64 // resubmissions answered from the dedup table
+	collapsed atomic.Int64 // submissions attached to an identical in-flight job
+	done      atomic.Int64
+	failed    atomic.Int64
 
 	retries      atomic.Int64 // re-placements after a worker failure
 	saturated    atomic.Int64 // re-placements after a worker 429
@@ -67,6 +68,10 @@ type WorkerMetrics struct {
 	Inflight   int64 `json:"inflight"`
 	Done       int64 `json:"done"`
 	Failed     int64 `json:"failed"`
+	// MemoHits/MemoMisses are the worker's memo cache counters as of its
+	// last heartbeat (zero when memoization is disabled on the worker).
+	MemoHits   int64 `json:"memo_hits,omitempty"`
+	MemoMisses int64 `json:"memo_misses,omitempty"`
 	// Shipped/Completed/Retried are coordinator-side: jobs placed on this
 	// worker, completed by it, and re-placed off it after it failed.
 	Shipped   int64 `json:"shipped"`
@@ -85,12 +90,13 @@ type MetricsSnapshot struct {
 	Pending     int `json:"pending"`
 	PendingCap  int `json:"pending_cap"`
 
-	Accepted int64 `json:"accepted"`
-	Shed     int64 `json:"shed"`
-	Rejected int64 `json:"rejected"`
-	Deduped  int64 `json:"deduped"`
-	Done     int64 `json:"done"`
-	Failed   int64 `json:"failed"`
+	Accepted  int64 `json:"accepted"`
+	Shed      int64 `json:"shed"`
+	Rejected  int64 `json:"rejected"`
+	Deduped   int64 `json:"deduped"`
+	Collapsed int64 `json:"collapsed"`
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
 
 	// Retries counts re-placements after worker failures; Saturated counts
 	// re-placements after worker 429s; WorkerDeaths counts heartbeat
@@ -101,10 +107,36 @@ type MetricsSnapshot struct {
 
 	Latency serve.LatencySummary `json:"latency"`
 	Workers []WorkerMetrics      `json:"workers"`
+	// Memo aggregates the workers' last-reported memo cache counters into a
+	// cluster-wide view; absent when no worker has memoization enabled.
+	Memo *ClusterMemoSummary `json:"memo,omitempty"`
 
 	TraceEvents int64 `json:"trace_events"`
 	// Store is the durability block; absent when no store is configured.
 	Store *store.MetricsSnapshot `json:"store,omitempty"`
+}
+
+// ClusterMemoSummary is the cluster-wide aggregate of the workers'
+// content-addressed memo caches, summed over their last heartbeats.
+type ClusterMemoSummary struct {
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// memoSummary sums the workers' last-reported cache counters; nil when no
+// worker has reported any memo activity (memoization disabled everywhere).
+func memoSummary(workers []WorkerMetrics) *ClusterMemoSummary {
+	var s ClusterMemoSummary
+	for _, w := range workers {
+		s.Hits += w.MemoHits
+		s.Misses += w.MemoMisses
+	}
+	if s.Hits+s.Misses == 0 {
+		return nil
+	}
+	s.HitRate = float64(s.Hits) / float64(s.Hits+s.Misses)
+	return &s
 }
 
 func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers []WorkerMetrics, traceEvents int64, storeSnap *store.MetricsSnapshot) MetricsSnapshot {
@@ -134,6 +166,7 @@ func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers 
 		Shed:         m.shed.Load(),
 		Rejected:     m.rejected.Load(),
 		Deduped:      m.deduped.Load(),
+		Collapsed:    m.collapsed.Load(),
 		Done:         m.done.Load(),
 		Failed:       m.failed.Load(),
 		Retries:      m.retries.Load(),
@@ -141,6 +174,7 @@ func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers 
 		WorkerDeaths: m.workerDeaths.Load(),
 		Latency:      lat,
 		Workers:      workers,
+		Memo:         memoSummary(workers),
 		TraceEvents:  traceEvents,
 		Store:        storeSnap,
 	}

@@ -21,6 +21,8 @@ type workerState struct {
 	inflight   int64
 	done       int64
 	failed     int64
+	memoHits   int64
+	memoMisses int64
 	// startOffset is the worker pool's t=0 expressed in coordinator
 	// microseconds (from heartbeat uptime), used to align merged traces.
 	startOffset int64
@@ -82,6 +84,8 @@ func (r *registry) heartbeat(hb Heartbeat, now time.Time) bool {
 	ws.inflight = hb.Inflight
 	ws.done = hb.Done
 	ws.failed = hb.Failed
+	ws.memoHits = hb.MemoHits
+	ws.memoMisses = hb.MemoMisses
 	ws.startOffset = now.Sub(r.start).Microseconds() - hb.UptimeMicros
 	return true
 }
@@ -171,6 +175,8 @@ func (r *registry) snapshot(now time.Time) []WorkerMetrics {
 			Inflight:      ws.inflight,
 			Done:          ws.done,
 			Failed:        ws.failed,
+			MemoHits:      ws.memoHits,
+			MemoMisses:    ws.memoMisses,
 			Shipped:       ws.shipped,
 			Completed:     ws.completed,
 			Retried:       ws.retried,

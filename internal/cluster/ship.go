@@ -260,6 +260,7 @@ func (c *Coordinator) finish(j *Job, st *serve.JobStatus) {
 	j.finished = time.Now()
 	j.result = st
 	j.mu.Unlock()
+	c.retireContent(j)
 	if c.cfg.Store != nil {
 		if data, err := json.Marshal(st); err == nil {
 			_ = c.cfg.Store.Done(j.id, data)
@@ -278,6 +279,7 @@ func (c *Coordinator) fail(j *Job, msg string) {
 	j.errMsg = msg
 	j.finished = time.Now()
 	j.mu.Unlock()
+	c.retireContent(j)
 	if c.ctx.Err() == nil {
 		_ = c.cfg.Store.Failed(j.id, msg)
 	}

@@ -21,6 +21,12 @@ func Procs(def int, what string) *int {
 	return flag.Int("procs", def, "number of "+what)
 }
 
+// MemoBytes registers the shared -memo flag: the byte budget of the
+// content-addressed result cache. Zero keeps memoization off.
+func MemoBytes(def int64) *int64 {
+	return flag.Int64("memo", def, "content-addressed result cache budget in bytes (0 disables memoization)")
+}
+
 // IntList parses a comma-separated list of positive integers, e.g. a
 // "1,4,16" client-concurrency sweep.
 func IntList(s string) ([]int, error) {

@@ -1,0 +1,275 @@
+package memo
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Value is what the cache stores. Size reports the value's resident byte
+// estimate; the cache charges it against its byte budget and evicts
+// least-recently-used entries when the budget is exceeded.
+type Value interface {
+	Size() int64
+}
+
+// Bytes is a ready-made Value for raw byte payloads (serialized results).
+type Bytes []byte
+
+// Size implements Value.
+func (b Bytes) Size() int64 { return int64(len(b)) }
+
+// shardCount spreads the key space over independently locked LRU lists so
+// concurrent reductions don't serialize on one mutex. Power of two; shard
+// selection uses the digest's first byte.
+const shardCount = 16
+
+type entry struct {
+	key  Key
+	val  Value
+	size int64
+}
+
+type shard struct {
+	mu    sync.Mutex
+	items map[Key]*list.Element
+	lru   *list.List // front = most recent
+	bytes int64      // sum of resident entry sizes
+}
+
+// call is one in-flight computation shared by every concurrent Do of the
+// same key.
+type call struct {
+	done chan struct{}
+	val  Value
+	err  error
+}
+
+// Cache is a sharded in-process LRU bounded by total byte size, with
+// singleflight collapsing of concurrent identical computations. All methods
+// are safe for concurrent use and safe on a nil *Cache (lookups miss,
+// stores are dropped, Do just computes) so callers can thread an optional
+// cache without special cases.
+type Cache struct {
+	maxBytes int64 // total budget across shards
+	perShard int64
+	start    time.Time
+	shards   [shardCount]shard
+
+	tracer atomic.Pointer[tracerBox]
+
+	flightMu sync.Mutex
+	flight   map[Key]*call
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	fills     atomic.Int64
+	evictions atomic.Int64
+	collapses atomic.Int64
+	bytes     atomic.Int64
+	entries   atomic.Int64
+}
+
+// tracerBox wraps the interface so it can sit behind an atomic.Pointer.
+type tracerBox struct{ t trace.Tracer }
+
+// New builds a cache with the given total byte budget. A non-positive
+// budget returns nil — the disabled cache — which every method accepts.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		return nil
+	}
+	per := maxBytes / shardCount
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{maxBytes: maxBytes, perShard: per, start: time.Now()}
+	for i := range c.shards {
+		c.shards[i].items = make(map[Key]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	c.flight = make(map[Key]*call)
+	return c
+}
+
+// SetTracer installs (or clears) the tracer receiving memo.hit / memo.miss /
+// memo.fill / memo.collapse events. Safe to call concurrently with lookups.
+func (c *Cache) SetTracer(t trace.Tracer) {
+	if c == nil {
+		return
+	}
+	if t == nil {
+		c.tracer.Store(nil)
+		return
+	}
+	c.tracer.Store(&tracerBox{t: t})
+}
+
+func (c *Cache) emit(kind trace.Kind, arg int64, k Key) {
+	box := c.tracer.Load()
+	if box == nil {
+		return
+	}
+	box.t.Event(trace.Event{
+		Cycle: time.Since(c.start).Microseconds(),
+		Kind:  kind,
+		Proc:  0,
+		From:  -1,
+		Arg:   arg,
+		Label: k.Short(),
+	})
+}
+
+func (c *Cache) shard(k Key) *shard { return &c.shards[int(k[0])%shardCount] }
+
+// Get looks the key up, refreshing its recency on a hit.
+func (c *Cache) Get(k Key) (Value, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	if ok {
+		s.lru.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		c.emit(trace.KindMemoMiss, 0, k)
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	c.hits.Add(1)
+	c.emit(trace.KindMemoHit, e.size, k)
+	return e.val, true
+}
+
+// Put inserts or refreshes the value under the key, then evicts LRU entries
+// until the shard fits its share of the byte budget. Values larger than a
+// whole shard are dropped rather than thrashing the cache.
+func (c *Cache) Put(k Key, v Value) {
+	if c == nil || v == nil {
+		return
+	}
+	size := v.Size()
+	if size < 1 {
+		size = 1
+	}
+	if size > c.perShard {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		c.bytes.Add(size - e.size)
+		e.val, e.size = v, size
+		s.lru.MoveToFront(el)
+	} else {
+		s.items[k] = s.lru.PushFront(&entry{key: k, val: v, size: size})
+		s.bytes += size
+		c.bytes.Add(size)
+		c.entries.Add(1)
+	}
+	for s.bytes > c.perShard {
+		el := s.lru.Back()
+		if el == nil {
+			break
+		}
+		e := el.Value.(*entry)
+		s.lru.Remove(el)
+		delete(s.items, e.key)
+		s.bytes -= e.size
+		c.bytes.Add(-e.size)
+		c.entries.Add(-1)
+		c.evictions.Add(1)
+	}
+	s.mu.Unlock()
+	c.fills.Add(1)
+	c.emit(trace.KindMemoFill, size, k)
+}
+
+// Do returns the cached value for the key, computing and caching it on a
+// miss. Concurrent Do calls for the same key collapse onto one computation:
+// exactly one caller runs compute, the rest wait and share its result
+// (counted in Stats.Collapses, traced as memo.collapse). A compute error is
+// returned to every collapsed caller and nothing is cached. On a nil cache,
+// Do degenerates to calling compute.
+func (c *Cache) Do(k Key, compute func() (Value, error)) (Value, error) {
+	if c == nil {
+		return compute()
+	}
+	if v, ok := c.Get(k); ok {
+		return v, nil
+	}
+	c.flightMu.Lock()
+	if cl, ok := c.flight[k]; ok {
+		c.flightMu.Unlock()
+		c.collapses.Add(1)
+		c.emit(trace.KindMemoCollapse, 0, k)
+		<-cl.done
+		return cl.val, cl.err
+	}
+	cl := &call{done: make(chan struct{})}
+	c.flight[k] = cl
+	c.flightMu.Unlock()
+
+	// Re-check under flight ownership: a fill may have landed between the
+	// miss above and our registration.
+	if v, ok := c.Get(k); ok {
+		cl.val = v
+	} else {
+		cl.val, cl.err = compute()
+		if cl.err == nil {
+			c.Put(k, cl.val)
+		}
+	}
+	c.flightMu.Lock()
+	delete(c.flight, k)
+	c.flightMu.Unlock()
+	close(cl.done)
+	return cl.val, cl.err
+}
+
+// StatsSnapshot is a point-in-time view of the cache counters, shaped for
+// JSON nesting under the serving and cluster /metrics documents.
+type StatsSnapshot struct {
+	MaxBytes  int64   `json:"max_bytes"`
+	Bytes     int64   `json:"bytes"`
+	Entries   int64   `json:"entries"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Fills     int64   `json:"fills"`
+	Evictions int64   `json:"evictions"`
+	Collapses int64   `json:"collapses"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+// Stats snapshots the counters. On a nil cache it returns the zero value.
+func (c *Cache) Stats() StatsSnapshot {
+	if c == nil {
+		return StatsSnapshot{}
+	}
+	s := StatsSnapshot{
+		MaxBytes:  c.maxBytes,
+		Bytes:     c.bytes.Load(),
+		Entries:   c.entries.Load(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Fills:     c.fills.Load(),
+		Evictions: c.evictions.Load(),
+		Collapses: c.collapses.Load(),
+	}
+	if total := s.Hits + s.Misses; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}
+
+// HitRate returns hits/(hits+misses), 0 before any lookup.
+func (c *Cache) HitRate() float64 { return c.Stats().HitRate }

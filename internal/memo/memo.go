@@ -1,0 +1,71 @@
+// Package memo is the content-addressed memoization layer (S15): canonical
+// digests for tree nodes and whole jobs, plus a sharded byte-bounded result
+// cache with singleflight request collapsing.
+//
+// The paper's motifs reduce fixed trees with pure combiners, so the same
+// subtrees recur constantly — across retries, resubmissions, overlapping
+// batches, and shared phylogeny prefixes. A subtree's digest is built
+// bottom-up from its leaf payloads and operator tags, which makes the key
+// independent of the subtree's position and of the enclosing job: any two
+// structurally identical subtrees collide on purpose, and a warm cache
+// collapses their re-evaluation to a lookup. The serving and cluster layers
+// reuse the same keys at job granularity and for cache-affine placement.
+//
+// Digests are SHA-256 over a canonical length-framed encoding, so keys are
+// stable across processes and runs — a requirement for the cluster layer,
+// where placement labels derived from digests must agree between
+// coordinator restarts and across worker lifetimes.
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Key is a content digest — the cache key. Two values share a Key exactly
+// when their canonical encodings agree.
+type Key [32]byte
+
+// String renders the full digest in hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Short renders the first 12 hex digits — compact enough for trace labels
+// and placement labels while keeping collisions vanishingly unlikely at
+// cache scale.
+func (k Key) Short() string { return hex.EncodeToString(k[:6]) }
+
+// Sum digests a domain tag plus a sequence of byte fields. Every field is
+// length-framed, so no concatenation of distinct field lists can encode
+// identically; the domain tag keeps digests of different shapes (leaves,
+// nodes, jobs) from ever colliding with each other.
+func Sum(domain string, fields ...[]byte) Key {
+	h := sha256.New()
+	var frame [8]byte
+	binary.BigEndian.PutUint64(frame[:], uint64(len(domain)))
+	h.Write(frame[:])
+	h.Write([]byte(domain))
+	for _, f := range fields {
+		binary.BigEndian.PutUint64(frame[:], uint64(len(f)))
+		h.Write(frame[:])
+		h.Write(f)
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Leaf digests a leaf payload. The domain distinguishes payload kinds
+// (e.g. "bio.seq" for RNA sequences) so equal byte strings of different
+// meaning never alias.
+func Leaf(domain string, payload []byte) Key {
+	return Sum("leaf:"+domain, payload)
+}
+
+// Node combines child digests bottom-up under an operator tag: an internal
+// node's digest is a pure function of its operator and subtree contents,
+// which is what makes a subtree's key independent of its position or the
+// enclosing job.
+func Node(op string, l, r Key) Key {
+	return Sum("node:"+op, l[:], r[:])
+}

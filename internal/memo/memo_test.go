@@ -1,0 +1,252 @@
+package memo
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// testKeys returns n distinct keys that all land on the same shard, so
+// eviction tests exercise one LRU list deterministically.
+func testKeys(t *testing.T, n int) []Key {
+	t.Helper()
+	target := -1
+	out := make([]Key, 0, n)
+	for i := 0; len(out) < n; i++ {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(i))
+		k := Sum("test.key", b[:])
+		if target == -1 {
+			target = int(k[0]) % shardCount
+		}
+		if int(k[0])%shardCount == target {
+			out = append(out, k)
+		}
+		if i > 1<<20 {
+			t.Fatal("could not find enough same-shard keys")
+		}
+	}
+	return out
+}
+
+// TestSumFraming: length framing means distinct field splits of the same
+// concatenated bytes never collide, and the domain tag separates shapes.
+func TestSumFraming(t *testing.T) {
+	if Sum("d", []byte("ab"), []byte("c")) == Sum("d", []byte("a"), []byte("bc")) {
+		t.Fatal("field framing collision: ab|c == a|bc")
+	}
+	if Sum("d", []byte("abc")) == Sum("e", []byte("abc")) {
+		t.Fatal("domain tags do not separate digests")
+	}
+	if Sum("d", []byte("abc")) != Sum("d", []byte("abc")) {
+		t.Fatal("Sum is not deterministic")
+	}
+	if Leaf("bio.seq", []byte("ACGU")) == Leaf("bio.alignment", []byte("ACGU")) {
+		t.Fatal("leaf domains do not separate digests")
+	}
+	l, r := Leaf("x", []byte("l")), Leaf("x", []byte("r"))
+	if Node("concat", l, r) == Node("concat", r, l) {
+		t.Fatal("node digest ignores child order")
+	}
+	if Node("concat", l, r) == Node("merge", l, r) {
+		t.Fatal("node digest ignores operator")
+	}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(1 << 20)
+	k := Leaf("test", []byte("v"))
+	if _, ok := c.Get(k); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(k, Bytes("hello"))
+	v, ok := c.Get(k)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if string(v.(Bytes)) != "hello" {
+		t.Fatalf("got %q", v)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Fills != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 fill / 1 entry", st)
+	}
+	if st.Bytes != 5 {
+		t.Fatalf("bytes = %d, want 5", st.Bytes)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate)
+	}
+}
+
+// TestLRUEviction: a shard over budget evicts from the cold end, and a Get
+// refreshes recency so the hot entry survives.
+func TestLRUEviction(t *testing.T) {
+	// perShard = 64: two 30-byte entries fit, a third forces one eviction.
+	c := New(64 * shardCount)
+	ks := testKeys(t, 3)
+	v := Bytes(make([]byte, 30))
+	c.Put(ks[0], v)
+	c.Put(ks[1], v)
+	if _, ok := c.Get(ks[0]); !ok { // refresh ks[0]: ks[1] is now coldest
+		t.Fatal("ks[0] missing before eviction")
+	}
+	c.Put(ks[2], v)
+	if _, ok := c.Get(ks[1]); ok {
+		t.Fatal("coldest entry survived eviction")
+	}
+	if _, ok := c.Get(ks[0]); !ok {
+		t.Fatal("refreshed entry was evicted")
+	}
+	if _, ok := c.Get(ks[2]); !ok {
+		t.Fatal("newest entry was evicted")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes != 60 || st.Entries != 2 {
+		t.Fatalf("bytes=%d entries=%d, want 60/2", st.Bytes, st.Entries)
+	}
+}
+
+// TestOversizedValueDropped: a value larger than a whole shard would evict
+// everything and still not fit, so Put drops it.
+func TestOversizedValueDropped(t *testing.T) {
+	c := New(64 * shardCount)
+	k := Leaf("test", []byte("big"))
+	c.Put(k, Bytes(make([]byte, 65)))
+	if _, ok := c.Get(k); ok {
+		t.Fatal("oversized value was cached")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after oversized put: %+v", st)
+	}
+}
+
+// TestDoSingleflight: concurrent Do calls of one key run compute exactly
+// once; the rest collapse onto the in-flight call and share its result.
+func TestDoSingleflight(t *testing.T) {
+	c := New(1 << 20)
+	k := Leaf("test", []byte("sf"))
+	const waiters = 8
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	results := make([]Value, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Do(k, func() (Value, error) {
+				computes.Add(1)
+				once.Do(func() { close(started) })
+				<-gate
+				return Bytes("computed"), nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	<-started // the leader is inside compute; the rest must collapse
+	// Every non-leader records its collapse before blocking on the leader,
+	// so waiting for the counter makes the test deterministic.
+	for deadline := time.Now().Add(5 * time.Second); c.Stats().Collapses < waiters-1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("collapses = %d, want %d", c.Stats().Collapses, waiters-1)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if string(v.(Bytes)) != "computed" {
+			t.Fatalf("result %d = %q", i, v)
+		}
+	}
+	if st := c.Stats(); st.Collapses == 0 {
+		t.Fatal("no collapses recorded")
+	}
+	// The result was cached: a later Do answers without computing.
+	if _, err := c.Do(k, func() (Value, error) {
+		t.Error("compute ran on a warm key")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoError: a failed compute caches nothing and returns the error; the
+// next Do computes again.
+func TestDoError(t *testing.T) {
+	c := New(1 << 20)
+	k := Leaf("test", []byte("err"))
+	boom := errors.New("boom")
+	if _, err := c.Do(k, func() (Value, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := c.Do(k, func() (Value, error) { return Bytes("ok"), nil })
+	if err != nil || string(v.(Bytes)) != "ok" {
+		t.Fatalf("retry after error: v=%v err=%v", v, err)
+	}
+}
+
+// TestNilCache: the disabled cache accepts every operation.
+func TestNilCache(t *testing.T) {
+	var c *Cache = New(0)
+	if c != nil {
+		t.Fatal("New(0) should return the nil (disabled) cache")
+	}
+	k := Leaf("test", []byte("nil"))
+	if _, ok := c.Get(k); ok {
+		t.Fatal("nil cache hit")
+	}
+	c.Put(k, Bytes("x"))
+	c.SetTracer(nil)
+	if st := c.Stats(); st != (StatsSnapshot{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+	v, err := c.Do(k, func() (Value, error) { return Bytes("direct"), nil })
+	if err != nil || string(v.(Bytes)) != "direct" {
+		t.Fatalf("nil cache Do: v=%v err=%v", v, err)
+	}
+}
+
+// TestTraceEvents: hits, misses, fills, and collapses narrate into the
+// tracer with the digest as the label.
+func TestTraceEvents(t *testing.T) {
+	c := New(1 << 20)
+	ring := trace.NewRing(64)
+	c.SetTracer(ring)
+	k := Leaf("test", []byte("traced"))
+	c.Get(k)
+	c.Put(k, Bytes("v"))
+	c.Get(k)
+	if n := ring.Count(trace.KindMemoMiss); n != 1 {
+		t.Fatalf("memo.miss events = %d, want 1", n)
+	}
+	if n := ring.Count(trace.KindMemoFill); n != 1 {
+		t.Fatalf("memo.fill events = %d, want 1", n)
+	}
+	if n := ring.Count(trace.KindMemoHit); n != 1 {
+		t.Fatalf("memo.hit events = %d, want 1", n)
+	}
+	evs := ring.Filter(trace.KindMemoHit)
+	if len(evs) != 1 || evs[0].Label != k.Short() {
+		t.Fatalf("hit event label = %+v, want %s", evs, k.Short())
+	}
+}

@@ -11,12 +11,14 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/bio"
+	"repro/internal/memo"
 	"repro/internal/parser"
 	"repro/internal/skel"
 	"repro/internal/strand"
@@ -89,6 +91,9 @@ type TreeResult struct {
 	// subtree values were restored from journaled checkpoints; a cold run
 	// reports 0.
 	ResumedNodes int64 `json:"resumed_nodes,omitempty"`
+	// MemoNodes counts internal-node evaluations skipped because their
+	// subtree values were found in the content-addressed memo cache.
+	MemoNodes int64 `json:"memo_nodes,omitempty"`
 }
 
 // StrandSpec describes a Strand program run. Deadlines apply before the
@@ -129,6 +134,11 @@ const (
 type Job struct {
 	id  string
 	req JobRequest
+
+	// key is the request's content digest (valid when hasKey): the
+	// singleflight identity at submission and the fill key on completion.
+	key    memo.Key
+	hasKey bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -297,8 +307,10 @@ func treeShape(s string) (workload.TreeShape, error) {
 }
 
 // execute runs the job body under its context and the given skeleton
-// options; it is called on a pool worker.
-func (j *Job) execute(opts skel.ReduceOptions) (err error) {
+// options; it is called on a pool worker. A non-nil cache memoizes
+// subtree values inside align and tree reductions, so warm runs skip
+// already-computed subtrees even across different jobs.
+func (j *Job) execute(opts skel.ReduceOptions, cache *memo.Cache) (err error) {
 	defer func() {
 		// A panic in an eval function (e.g. on a corrupt intermediate
 		// alignment) must fail the job, not the daemon.
@@ -311,7 +323,7 @@ func (j *Job) execute(opts skel.ReduceOptions) (err error) {
 	}
 	switch j.req.Type {
 	case JobAlign:
-		res, err := j.req.Align.Run(j.ctx, opts)
+		res, err := j.req.Align.RunMemo(j.ctx, opts, cache)
 		if err != nil {
 			return err
 		}
@@ -334,6 +346,10 @@ func (j *Job) execute(opts skel.ReduceOptions) (err error) {
 				return intEval(op, l, r)
 			}
 		}
+		if cache != nil {
+			skel.Memoize[int64](&opts, cache, skel.TreeDigests(tree, intLeafDigest),
+				func(int64) int64 { return 8 })
+		}
 		val, stats, err := skel.TreeReduce(j.ctx, tree, eval, opts)
 		if err != nil {
 			return err
@@ -346,6 +362,7 @@ func (j *Job) execute(opts skel.ReduceOptions) (err error) {
 			CrossMessages: stats.CrossMessages,
 			Imbalance:     stats.Imbalance(),
 			ResumedNodes:  stats.CheckpointHits,
+			MemoNodes:     stats.MemoHits,
 		}
 		j.mu.Unlock()
 		return nil
@@ -354,6 +371,13 @@ func (j *Job) execute(opts skel.ReduceOptions) (err error) {
 	default:
 		return fmt.Errorf("unknown job type %q", j.req.Type)
 	}
+}
+
+// intLeafDigest digests one arithmetic-tree leaf value.
+func intLeafDigest(v int64) memo.Key {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return memo.Leaf("serve.int", b[:])
 }
 
 func intEval(op string, l, r int64) int64 {

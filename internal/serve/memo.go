@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+
+	"repro/internal/bio"
+	"repro/internal/memo"
+)
+
+// ContentKey returns the request's job-level content digest: a canonical
+// hash of everything that determines the result, excluding identity-only
+// fields (client ID, deadline, placement label). Two requests share a key
+// exactly when running either produces the same result payload, so the
+// serving layer can answer one from the other's cached outcome and
+// collapse their concurrent executions. The cluster coordinator reuses it
+// to derive placement labels (equal content → same worker → warm cache)
+// and to collapse identical in-flight submissions. The request must
+// already be validated (validation normalizes the specs the digest
+// covers).
+func ContentKey(req *JobRequest) (memo.Key, bool) {
+	switch req.Type {
+	case JobAlign:
+		d := req.Align.Digest()
+		return memo.Sum("serve.job", []byte(req.Type), d[:]), true
+	case JobTree:
+		t := req.Tree
+		shape, err := treeShape(t.Shape)
+		if err != nil {
+			return memo.Key{}, false
+		}
+		var nums [24]byte
+		binary.BigEndian.PutUint64(nums[0:], uint64(int64(t.Leaves)))
+		binary.BigEndian.PutUint64(nums[8:], uint64(int64(shape)))
+		binary.BigEndian.PutUint64(nums[16:], uint64(t.Seed))
+		// NodeCostMicros shapes timing, not the value, so it is excluded:
+		// a warm resubmission of a deliberately slow tree answers from the
+		// fast run's result.
+		return memo.Sum("serve.job", []byte(req.Type), nums[:]), true
+	case JobStrand:
+		st := req.Strand
+		var nums [24]byte
+		binary.BigEndian.PutUint64(nums[0:], uint64(int64(st.Procs)))
+		binary.BigEndian.PutUint64(nums[8:], uint64(st.Seed))
+		binary.BigEndian.PutUint64(nums[16:], uint64(st.MaxCycles))
+		return memo.Sum("serve.job", []byte(req.Type),
+			[]byte(st.Source), []byte(st.Goal), nums[:]), true
+	default:
+		return memo.Key{}, false
+	}
+}
+
+// cachedResult is the serialized payload stored in the job-level cache:
+// exactly the result block of a successful job, without its identity.
+type cachedResult struct {
+	Align  *bio.AlignJobResult `json:"align,omitempty"`
+	Tree   *TreeResult         `json:"tree,omitempty"`
+	Strand *StrandResult       `json:"strand,omitempty"`
+}
+
+// marshalCached serializes a finished job's result payload, or nil when
+// there is nothing cacheable (test bodies, failed jobs).
+func marshalCached(j *Job) []byte {
+	j.mu.Lock()
+	c := cachedResult{Align: j.align, Tree: j.tree, Strand: j.strand}
+	j.mu.Unlock()
+	if c.Align == nil && c.Tree == nil && c.Strand == nil {
+		return nil
+	}
+	blob, err := json.Marshal(c)
+	if err != nil {
+		return nil
+	}
+	return blob
+}
+
+// applyCached populates the job from a cached result payload, reporting
+// whether the payload decoded and matched the job's type.
+func applyCached(j *Job, blob []byte) bool {
+	var c cachedResult
+	if err := json.Unmarshal(blob, &c); err != nil {
+		return false
+	}
+	switch j.req.Type {
+	case JobAlign:
+		if c.Align == nil {
+			return false
+		}
+	case JobTree:
+		if c.Tree == nil {
+			return false
+		}
+	case JobStrand:
+		if c.Strand == nil {
+			return false
+		}
+	default:
+		return false
+	}
+	j.align, j.tree, j.strand = c.Align, c.Tree, c.Strand
+	return true
+}

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/store"
 )
@@ -24,13 +25,15 @@ var latencyBoundsMicros = []int64{
 type poolMetrics struct {
 	start time.Time
 
-	admitted atomic.Int64
-	shed     atomic.Int64
-	rejected atomic.Int64 // malformed requests (400s)
-	deduped  atomic.Int64 // resubmissions answered from the dedup table
-	done     atomic.Int64
-	failed   atomic.Int64
-	inflight atomic.Int64
+	admitted  atomic.Int64
+	shed      atomic.Int64
+	rejected  atomic.Int64 // malformed requests (400s)
+	deduped   atomic.Int64 // resubmissions answered from the dedup table
+	collapsed atomic.Int64 // submissions attached to an identical in-flight job
+	memoHits  atomic.Int64 // submissions answered from the job-level memo cache
+	done      atomic.Int64
+	failed    atomic.Int64
+	inflight  atomic.Int64
 
 	batchDispatches atomic.Int64
 	batchedJobs     atomic.Int64
@@ -125,6 +128,8 @@ type MetricsSnapshot struct {
 	Shed          int64           `json:"shed"`
 	Rejected      int64           `json:"rejected"`
 	Deduped       int64           `json:"deduped"`
+	Collapsed     int64           `json:"collapsed"`
+	MemoJobHits   int64           `json:"memo_job_hits"`
 	Done          int64           `json:"done"`
 	Failed        int64           `json:"failed"`
 	Inflight      int64           `json:"inflight"`
@@ -134,6 +139,9 @@ type MetricsSnapshot struct {
 	TraceEvents   int64           `json:"trace_events"`
 	// Store is the durability block; absent when no store is configured.
 	Store *store.MetricsSnapshot `json:"store,omitempty"`
+	// Memo is the content-addressed cache block; absent when memoization
+	// is disabled.
+	Memo *memo.StatsSnapshot `json:"memo,omitempty"`
 }
 
 // BatchSummary is the batching block of /metrics.
@@ -143,7 +151,7 @@ type BatchSummary struct {
 	MaxBatch    int64 `json:"max_batch"`
 }
 
-func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, storeSnap *store.MetricsSnapshot) MetricsSnapshot {
+func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, storeSnap *store.MetricsSnapshot, memoSnap *memo.StatsSnapshot) MetricsSnapshot {
 	uptime := m.sinceMicros()
 	m.mu.Lock()
 	lat := LatencySummary{
@@ -184,6 +192,8 @@ func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, stor
 		Shed:          m.shed.Load(),
 		Rejected:      m.rejected.Load(),
 		Deduped:       m.deduped.Load(),
+		Collapsed:     m.collapsed.Load(),
+		MemoJobHits:   m.memoHits.Load(),
 		Done:          m.done.Load(),
 		Failed:        m.failed.Load(),
 		Inflight:      m.inflight.Load(),
@@ -196,5 +206,6 @@ func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, stor
 		},
 		TraceEvents: traceEvents,
 		Store:       storeSnap,
+		Memo:        memoSnap,
 	}
 }

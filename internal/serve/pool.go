@@ -6,6 +6,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/memo"
 	"repro/internal/skel"
 	"repro/internal/trace"
 )
@@ -120,7 +121,7 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindExecStart,
 		Proc: w, From: -1, Label: string(j.req.Type) + ":" + j.id})
 
-	err := j.execute(s.reduceOpts(j))
+	err := j.execute(s.reduceOpts(j), s.memo)
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -144,7 +145,8 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 	s.finish(j, err == nil)
 }
 
-// finish records terminal accounting for j and journals the outcome.
+// finish records terminal accounting for j, fills the memo cache, and
+// journals the outcome.
 func (s *Server) finish(j *Job, ok bool) {
 	if ok {
 		s.met.done.Add(1)
@@ -152,6 +154,21 @@ func (s *Server) finish(j *Job, ok bool) {
 		s.met.failed.Add(1)
 	}
 	s.met.observeLatency(time.Since(j.submitted))
+	if s.memo != nil && j.hasKey {
+		// The job is terminal: retire its singleflight entry and, on
+		// success, publish the result under its content digest so future
+		// identical submissions answer without queueing.
+		s.mu.Lock()
+		if s.byContent[j.key] == j.id {
+			delete(s.byContent, j.key)
+		}
+		s.mu.Unlock()
+		if ok {
+			if blob := marshalCached(j); blob != nil {
+				s.memo.Put(j.key, memo.Bytes(blob))
+			}
+		}
+	}
 	if s.cfg.Store == nil {
 		return
 	}

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -52,6 +53,13 @@ type Config struct {
 	// completed subtrees and resume from them, and the JobRequest.ID
 	// dedup table is rebuilt from the log.
 	Store *store.JobStore
+	// MemoBytes, when positive, enables the content-addressed memo layer
+	// (internal/memo) with that total byte budget: finished results are
+	// cached under the job's content digest and answer identical
+	// resubmissions without queueing, and align/tree reductions memoize
+	// subtree values so warm runs skip already-computed subtrees even
+	// across different jobs. Zero disables memoization.
+	MemoBytes int64
 }
 
 func (c *Config) fill() {
@@ -92,6 +100,7 @@ type Server struct {
 	q    *queue
 	met  *poolMetrics
 	ring *trace.Ring
+	memo *memo.Cache // nil when Config.MemoBytes == 0
 
 	workerWG sync.WaitGroup
 	draining atomic.Bool
@@ -100,7 +109,13 @@ type Server struct {
 	jobs     map[string]*Job
 	order    []string // insertion order, for history eviction
 	byClient map[string]string
-	nextID   int64
+	// byContent indexes live (queued/running) jobs by content digest, so a
+	// concurrent identical submission attaches to the in-flight execution
+	// instead of starting its own — the singleflight collapse. Entries are
+	// removed when their job finishes; finished results are answered from
+	// the memo cache instead.
+	byContent map[memo.Key]string
+	nextID    int64
 }
 
 // New builds the server and starts its worker pool. With a configured
@@ -110,12 +125,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fill()
 	s := &Server{
-		cfg:      cfg,
-		met:      newPoolMetrics(cfg.Workers),
-		ring:     trace.NewRing(cfg.TraceCap),
-		jobs:     make(map[string]*Job),
-		byClient: make(map[string]string),
+		cfg:       cfg,
+		met:       newPoolMetrics(cfg.Workers),
+		ring:      trace.NewRing(cfg.TraceCap),
+		memo:      memo.New(cfg.MemoBytes),
+		jobs:      make(map[string]*Job),
+		byClient:  make(map[string]string),
+		byContent: make(map[memo.Key]string),
 	}
+	s.memo.SetTracer(s.ring)
 	var resume []*Job
 	if cfg.Store != nil {
 		cfg.Store.SetTracer(s.ring)
@@ -156,10 +174,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Submit validates, deadline-wraps, and enqueues a request, returning the
 // job. It is the transport-independent core of POST /v1/jobs.
+//
+// With the memo layer enabled, a submission whose content digest matches a
+// live job attaches to it (singleflight collapse), and one matching a
+// cached finished result is answered as an immediately-done job without
+// queueing. Independently of memoization, a duplicate JobRequest.ID always
+// returns the original job even while it is still queued or running: the
+// job is published in the history inside the same critical section that
+// claims the idempotency key, so no duplicate can race past the dedup
+// check into a second execution.
 func (s *Server) Submit(req JobRequest) (*Job, error) {
 	if err := req.validate(); err != nil {
 		s.met.rejected.Add(1)
 		return nil, fmt.Errorf("%w: %v", errBadRequest, err)
+	}
+	var key memo.Key
+	haveKey := false
+	if s.memo != nil {
+		key, haveKey = ContentKey(&req)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), s.timeoutFor(req))
 	j := &Job{
@@ -169,10 +201,12 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		submitted: time.Now(),
 		state:     StateQueued,
 		worker:    -1,
+		key:       key,
+		hasKey:    haveKey,
 	}
 
-	// Allocate the ID and claim the idempotency key in one critical
-	// section, so concurrent duplicates agree on a single job.
+	// Allocate the ID, claim the idempotency key, and publish the job in
+	// one critical section, so concurrent duplicates agree on a single job.
 	s.mu.Lock()
 	if req.ID != "" {
 		if id, ok := s.byClient[req.ID]; ok {
@@ -184,26 +218,65 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 			}
 		}
 	}
+	if haveKey {
+		// Singleflight collapse: an identical job is already in flight;
+		// attach to its execution instead of queueing another.
+		if id, ok := s.byContent[key]; ok {
+			if prev := s.jobs[id]; prev != nil {
+				if req.ID != "" {
+					s.byClient[req.ID] = id
+				}
+				s.mu.Unlock()
+				cancel()
+				s.met.collapsed.Add(1)
+				s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindMemoCollapse,
+					Proc: -1, From: -1, Label: key.Short()})
+				return prev, nil
+			}
+			delete(s.byContent, key) // stale: the job was evicted from history
+		}
+		// Job-level cache: a finished identical job left its result here;
+		// answer without queueing.
+		if v, ok := s.memo.Get(key); ok {
+			if blob, okType := v.(memo.Bytes); okType && applyCached(j, []byte(blob)) {
+				s.nextID++
+				j.id = fmt.Sprintf("j%06d", s.nextID)
+				if req.ID != "" {
+					s.byClient[req.ID] = j.id
+				}
+				j.state = StateDone
+				j.finished = time.Now()
+				s.storeLocked(j)
+				s.mu.Unlock()
+				cancel()
+				s.met.admitted.Add(1)
+				s.met.memoHits.Add(1)
+				s.met.done.Add(1)
+				s.met.observeLatency(time.Since(j.submitted))
+				s.journalCached(j)
+				return j, nil
+			}
+		}
+	}
 	s.nextID++
 	j.id = fmt.Sprintf("j%06d", s.nextID)
 	if req.ID != "" {
 		s.byClient[req.ID] = j.id
 	}
+	if haveKey {
+		s.byContent[key] = j.id
+	}
+	s.storeLocked(j)
 	s.mu.Unlock()
 
 	if err := s.q.tryPush(j); err != nil {
 		cancel()
-		s.mu.Lock()
-		if req.ID != "" && s.byClient[req.ID] == j.id {
-			delete(s.byClient, req.ID)
-		}
-		s.mu.Unlock()
+		s.unpublish(j)
 		if errors.Is(err, ErrQueueFull) {
 			s.met.shed.Add(1)
 		}
 		return nil, err
 	}
-	s.store(j)
 	s.met.admitted.Add(1)
 	// Journal after the job is admitted and before the caller is told, so
 	// an accepted response always refers to a durable job.
@@ -215,6 +288,39 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindEnqueue,
 		Proc: -1, From: -1, Arg: int64(s.q.depth()), Label: string(req.Type) + ":" + j.id})
 	return j, nil
+}
+
+// unpublish rolls a job back out of the history after a failed enqueue.
+func (s *Server) unpublish(j *Job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cid := j.req.ID; cid != "" && s.byClient[cid] == j.id {
+		delete(s.byClient, cid)
+	}
+	if j.hasKey && s.byContent[j.key] == j.id {
+		delete(s.byContent, j.key)
+	}
+	delete(s.jobs, j.id)
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if s.order[i] == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// journalCached journals a cache-answered job so it stays pollable across
+// a restart, like any other accepted-and-finished job.
+func (s *Server) journalCached(j *Job) {
+	if s.cfg.Store == nil {
+		return
+	}
+	if body, err := json.Marshal(j.req); err == nil {
+		_ = s.cfg.Store.Accepted(j.id, j.req.ID, body)
+	}
+	if data, err := json.Marshal(j.Status()); err == nil {
+		_ = s.cfg.Store.Done(j.id, data)
+	}
 }
 
 // timeoutFor resolves a request's execution budget.
@@ -239,12 +345,27 @@ func (s *Server) Job(id string) (*Job, bool) {
 
 // Metrics snapshots the serving metrics.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total(), s.cfg.Store.Metrics())
+	var memoSnap *memo.StatsSnapshot
+	if s.memo != nil {
+		snap := s.memo.Stats()
+		memoSnap = &snap
+	}
+	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total(), s.cfg.Store.Metrics(), memoSnap)
 }
+
+// MemoCache exposes the content-addressed cache (nil when memoization is
+// disabled); bench drivers and tests inspect its counters directly.
+func (s *Server) MemoCache() *memo.Cache { return s.memo }
 
 func (s *Server) store(j *Job) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.storeLocked(j)
+}
+
+// storeLocked publishes the job in the history and evicts the oldest
+// finished jobs beyond the window. Callers hold s.mu.
+func (s *Server) storeLocked(j *Job) {
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
 	for len(s.order) > s.cfg.MaxJobs {
@@ -260,6 +381,9 @@ func (s *Server) store(j *Job) {
 			}
 			if cid := old.req.ID; cid != "" && s.byClient[cid] == old.id {
 				delete(s.byClient, cid)
+			}
+			if old.hasKey && s.byContent[old.key] == old.id {
+				delete(s.byContent, old.key)
 			}
 			delete(s.jobs, s.order[0])
 		}
@@ -364,8 +488,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f (n=%d)\n",
 		snap.Latency.P50MS, snap.Latency.P95MS, snap.Latency.P99MS,
 		snap.Latency.MeanMS, snap.Latency.MaxMS, snap.Latency.Count)
-	fmt.Fprintf(w, "batching: %d dispatches, %d jobs batched, max batch %d\n\n",
+	fmt.Fprintf(w, "batching: %d dispatches, %d jobs batched, max batch %d\n",
 		snap.Batch.Dispatches, snap.Batch.BatchedJobs, snap.Batch.MaxBatch)
+	if snap.Memo != nil {
+		fmt.Fprintf(w, "memo: hit-rate %.3f (%d hits / %d misses), %d/%d bytes in %d entries, %d evictions, %d collapsed, %d job hits\n",
+			snap.Memo.HitRate, snap.Memo.Hits, snap.Memo.Misses,
+			snap.Memo.Bytes, snap.Memo.MaxBytes, snap.Memo.Entries,
+			snap.Memo.Evictions, snap.Collapsed, snap.MemoJobHits)
+	}
+	fmt.Fprintln(w)
 	tab := metrics.NewTable("worker", "jobs", "busy ms", "utilization", "state")
 	for _, ws := range snap.PerWorker {
 		state := "idle"

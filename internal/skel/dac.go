@@ -25,6 +25,17 @@ type DCOptions struct {
 	// short-circuits the whole subproblem with the checkpointed value.
 	// Values of the wrong dynamic type are ignored.
 	Resume func(path string) (v any, ok bool)
+	// MemoLookup is the division-path analog of ReduceOptions.MemoLookup:
+	// consulted after Resume (so checkpoint restoration wins) and before
+	// isBase, returning (v, true) short-circuits the whole subproblem.
+	// When the divide is deterministic the caller can map paths to content
+	// digests and share results across runs. Wrong dynamic types are
+	// ignored.
+	MemoLookup func(path string) (v any, ok bool)
+	// MemoStore receives every combined (non-base) result as it
+	// materializes, keyed by division path like Checkpoint — the fill side
+	// of MemoLookup. Must be safe for concurrent use.
+	MemoStore func(path string, v any)
 }
 
 // DivideConquer is the generic divide-and-conquer motif the paper lists as
@@ -60,6 +71,9 @@ func DivideConquer[P, R any](
 		if opts.Checkpoint != nil {
 			opts.Checkpoint(path, out)
 		}
+		if opts.MemoStore != nil {
+			opts.MemoStore(path, out)
+		}
 		return out
 	}
 	var solve func(p P, depth int, path string) R
@@ -70,6 +84,13 @@ func DivideConquer[P, R any](
 		}
 		if opts.Resume != nil {
 			if rv, ok := opts.Resume(path); ok {
+				if v, okType := rv.(R); okType {
+					return v
+				}
+			}
+		}
+		if opts.MemoLookup != nil {
+			if rv, ok := opts.MemoLookup(path); ok {
 				if v, okType := rv.(R); okType {
 					return v
 				}

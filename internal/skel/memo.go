@@ -1,0 +1,71 @@
+package skel
+
+import "repro/internal/memo"
+
+// TreeDigests computes a content digest for every subtree, indexed by the
+// node's preorder position — the same indexing TreeReduce uses for its
+// Checkpoint/Resume and Memo hooks. leaf digests a leaf payload; internal
+// digests combine bottom-up via memo.Node, so a subtree's digest is a pure
+// function of its operator tags and leaf payloads, independent of where in
+// the tree (or in which job) the subtree appears.
+func TreeDigests[V any](t *Tree[V], leaf func(V) memo.Key) []memo.Key {
+	if t == nil {
+		return nil
+	}
+	keys := make([]memo.Key, t.Nodes())
+	next := 0
+	var walk func(node *Tree[V]) memo.Key
+	walk = func(node *Tree[V]) memo.Key {
+		id := next
+		next++
+		if node.IsLeaf() {
+			keys[id] = leaf(node.Leaf)
+		} else {
+			l := walk(node.L)
+			r := walk(node.R)
+			keys[id] = memo.Node(node.Op, l, r)
+		}
+		return keys[id]
+	}
+	walk(t)
+	return keys
+}
+
+// sized lifts an arbitrary node value into a cache Value carrying an
+// explicit byte estimate.
+type sized[V any] struct {
+	v     V
+	bytes int64
+}
+
+// Size implements memo.Value.
+func (s sized[V]) Size() int64 { return s.bytes }
+
+// Memoize installs content-addressed MemoLookup/MemoStore hooks on opts,
+// backed by cache and keyed by digests (as produced by TreeDigests for the
+// same tree). size estimates a value's resident bytes for the cache's
+// budget accounting. A nil cache installs nothing, so callers can thread
+// an optional cache straight through.
+func Memoize[V any](opts *ReduceOptions, cache *memo.Cache, digests []memo.Key, size func(V) int64) {
+	if cache == nil {
+		return
+	}
+	opts.MemoLookup = func(node int) (any, bool) {
+		cv, ok := cache.Get(digests[node])
+		if !ok {
+			return nil, false
+		}
+		sv, okType := cv.(sized[V])
+		if !okType {
+			return nil, false
+		}
+		return sv.v, true
+	}
+	opts.MemoStore = func(node int, v any) {
+		tv, ok := v.(V)
+		if !ok {
+			return
+		}
+		cache.Put(digests[node], sized[V]{v: tv, bytes: size(tv)})
+	}
+}

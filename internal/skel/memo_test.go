@@ -1,0 +1,274 @@
+package skel
+
+import (
+	"context"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/memo"
+)
+
+func intLeafKey(v int64) memo.Key {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(v))
+	return memo.Leaf("test.int", b[:])
+}
+
+func intSize(int64) int64 { return 8 }
+
+func internalNodes[V any](t *Tree[V]) int64 { return int64(t.Nodes() - t.Leaves()) }
+
+// TestTreeDigestsPositionIndependent: a subtree's digest depends only on
+// its own contents, so the same subtree embedded in two different trees
+// (at different positions) produces the same key — the property that lets
+// one job's cache fills answer another job's lookups.
+func TestTreeDigestsPositionIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shared := randomTree(20, rng)
+	a := NewNode("+", shared, randomTree(10, rng))
+	b := NewNode("*", randomTree(5, rng), shared)
+
+	da := TreeDigests(a, intLeafKey)
+	db := TreeDigests(b, intLeafKey)
+	// In a, shared is the left child: preorder index 1. In b it is the
+	// right child: index 1 + |left subtree|.
+	sharedInB := 1 + b.L.Nodes()
+	if da[1] != db[sharedInB] {
+		t.Fatal("same subtree digests differently at different positions")
+	}
+	if da[0] == db[0] {
+		t.Fatal("different trees share a root digest")
+	}
+}
+
+// TestTreeReduceMemoWarmRerun: a cold memoized run fills the cache; the
+// warm rerun restores the root and evaluates nothing — MemoHits accounts
+// for every internal node.
+func TestTreeReduceMemoWarmRerun(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tr := randomTree(64, rng)
+	want := SeqReduce(tr, intEval)
+	internal := internalNodes(tr)
+	cache := memo.New(1 << 20)
+	digests := TreeDigests(tr, intLeafKey)
+
+	cold := ReduceOptions{Workers: 4}
+	Memoize[int64](&cold, cache, digests, intSize)
+	got, stats, err := TreeReduce(context.Background(), tr, intEval, cold)
+	if err != nil || got != want {
+		t.Fatalf("cold run got %d (%v), want %d", got, err, want)
+	}
+	if stats.MemoHits != 0 {
+		t.Fatalf("cold run MemoHits = %d, want 0", stats.MemoHits)
+	}
+	if stats.TotalUnits() != internal {
+		t.Fatalf("cold run units = %d, want %d", stats.TotalUnits(), internal)
+	}
+
+	warm := ReduceOptions{Workers: 4}
+	Memoize[int64](&warm, cache, digests, intSize)
+	got, stats, err = TreeReduce(context.Background(), tr, intEval, warm)
+	if err != nil || got != want {
+		t.Fatalf("warm run got %d (%v), want %d", got, err, want)
+	}
+	if stats.TotalUnits() != 0 {
+		t.Fatalf("warm run evaluated %d nodes, want 0", stats.TotalUnits())
+	}
+	if stats.MemoHits != internal {
+		t.Fatalf("warm run MemoHits = %d, want every internal node (%d)", stats.MemoHits, internal)
+	}
+}
+
+// TestTreeReduceMemoMatchesUnmemoized: for the same tree, memoized runs
+// (cold and warm) return exactly what the plain run returns.
+func TestTreeReduceMemoMatchesUnmemoized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		tr := randomTree(10+rng.Intn(100), rng)
+		plain, _, err := TreeReduce(context.Background(), tr, intEval, ReduceOptions{Workers: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := memo.New(1 << 20)
+		digests := TreeDigests(tr, intLeafKey)
+		for pass := 0; pass < 2; pass++ { // cold, then warm
+			opts := ReduceOptions{Workers: 3}
+			Memoize[int64](&opts, cache, digests, intSize)
+			got, _, err := TreeReduce(context.Background(), tr, intEval, opts)
+			if err != nil || got != plain {
+				t.Fatalf("trial %d pass %d: memoized got %d (%v), plain %d",
+					trial, pass, got, err, plain)
+			}
+		}
+	}
+}
+
+// TestTreeReduceMemoSharedSubtree: warming the cache with one tree
+// accelerates a different tree that embeds the same subtree — the
+// cross-job reuse the content addressing exists for.
+func TestTreeReduceMemoSharedSubtree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	shared := randomTree(32, rng)
+	a := NewNode("+", shared, randomTree(16, rng))
+	b := NewNode("*", randomTree(8, rng), shared)
+	cache := memo.New(1 << 20)
+
+	optsA := ReduceOptions{Workers: 4}
+	Memoize[int64](&optsA, cache, TreeDigests(a, intLeafKey), intSize)
+	if _, _, err := TreeReduce(context.Background(), a, intEval, optsA); err != nil {
+		t.Fatal(err)
+	}
+
+	want := SeqReduce(b, intEval)
+	optsB := ReduceOptions{Workers: 4}
+	Memoize[int64](&optsB, cache, TreeDigests(b, intLeafKey), intSize)
+	got, stats, err := TreeReduce(context.Background(), b, intEval, optsB)
+	if err != nil || got != want {
+		t.Fatalf("got %d (%v), want %d", got, err, want)
+	}
+	if stats.MemoHits < internalNodes(shared) {
+		t.Fatalf("MemoHits = %d, want at least the shared subtree's %d internal nodes",
+			stats.MemoHits, internalNodes(shared))
+	}
+	if stats.TotalUnits()+stats.MemoHits != internalNodes(b) {
+		t.Fatalf("units %d + memo hits %d != internal nodes %d",
+			stats.TotalUnits(), stats.MemoHits, internalNodes(b))
+	}
+}
+
+// TestTreeReduceMemoAndResumeCompose: with a partial checkpoint journal
+// and a partially warm memo cache, every internal node is either
+// evaluated, checkpoint-restored, or memo-restored — exactly once.
+func TestTreeReduceMemoAndResumeCompose(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	tr := randomTree(80, rng)
+	want := SeqReduce(tr, intEval)
+	internal := internalNodes(tr)
+	digests := TreeDigests(tr, intLeafKey)
+
+	// Cold run capturing every internal value by node index.
+	vals := make(map[int]int64)
+	var mu sync.Mutex
+	if _, _, err := TreeReduce(context.Background(), tr, intEval,
+		ReduceOptions{Workers: 4, Checkpoint: func(node int, v any) {
+			mu.Lock()
+			vals[node] = v.(int64)
+			mu.Unlock()
+		}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Split the nodes (root excluded, so the run has work left): one third
+	// into the resume journal, a different third into the memo cache.
+	journal := make(map[int]int64)
+	cache := memo.New(1 << 20)
+	for node, v := range vals {
+		if node == 0 {
+			continue
+		}
+		switch node % 3 {
+		case 0:
+			journal[node] = v
+		case 1:
+			cache.Put(digests[node], sized[int64]{v: v, bytes: 8})
+		}
+	}
+
+	opts := ReduceOptions{Workers: 4, Resume: func(node int) (any, bool) {
+		v, ok := journal[node]
+		return v, ok
+	}}
+	Memoize[int64](&opts, cache, digests, intSize)
+	got, stats, err := TreeReduce(context.Background(), tr, intEval, opts)
+	if err != nil || got != want {
+		t.Fatalf("got %d (%v), want %d", got, err, want)
+	}
+	if stats.CheckpointHits == 0 || stats.MemoHits == 0 {
+		t.Fatalf("hits: ckpt=%d memo=%d, want both paths exercised",
+			stats.CheckpointHits, stats.MemoHits)
+	}
+	// The exact partition: no node is double-counted or double-skipped.
+	if stats.TotalUnits()+stats.CheckpointHits+stats.MemoHits != internal {
+		t.Fatalf("units %d + ckpt %d + memo %d != internal nodes %d",
+			stats.TotalUnits(), stats.CheckpointHits, stats.MemoHits, internal)
+	}
+}
+
+// TestTreeReduceResumeWinsOverMemo: when both the journal and the cache
+// cover the tree, checkpoint restoration is tried first and the memo
+// counter stays zero.
+func TestTreeReduceResumeWinsOverMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	tr := randomTree(40, rng)
+	want := SeqReduce(tr, intEval)
+	digests := TreeDigests(tr, intLeafKey)
+
+	vals := make(map[int]int64)
+	var mu sync.Mutex
+	cache := memo.New(1 << 20)
+	cold := ReduceOptions{Workers: 4, Checkpoint: func(node int, v any) {
+		mu.Lock()
+		vals[node] = v.(int64)
+		mu.Unlock()
+	}}
+	Memoize[int64](&cold, cache, digests, intSize)
+	if _, _, err := TreeReduce(context.Background(), tr, intEval, cold); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := ReduceOptions{Workers: 4, Resume: func(node int) (any, bool) {
+		v, ok := vals[node]
+		return v, ok
+	}}
+	Memoize[int64](&warm, cache, digests, intSize)
+	got, stats, err := TreeReduce(context.Background(), tr, intEval, warm)
+	if err != nil || got != want {
+		t.Fatalf("got %d (%v), want %d", got, err, want)
+	}
+	if stats.MemoHits != 0 {
+		t.Fatalf("MemoHits = %d, want 0 when the journal covers everything", stats.MemoHits)
+	}
+	if stats.CheckpointHits != internalNodes(tr) {
+		t.Fatalf("CheckpointHits = %d, want %d", stats.CheckpointHits, internalNodes(tr))
+	}
+}
+
+// TestDivideConquerMemo: the division-path memo hooks answer a warm rerun
+// without recombining anything.
+func TestDivideConquerMemo(t *testing.T) {
+	isBase := func(p int) bool { return p <= 1 }
+	base := func(p int) int { return p }
+	divide := func(p int) []int { return []int{p / 2, p - p/2} }
+	combine := func(_ int, rs []int) int { return rs[0] + rs[1] }
+
+	saved := make(map[string]any)
+	var mu sync.Mutex
+	want, err := DivideConquer(context.Background(), 64, isBase, base, divide, combine,
+		DCOptions{Parallel: 4, MemoStore: func(path string, v any) {
+			mu.Lock()
+			saved[path] = v
+			mu.Unlock()
+		}})
+	if err != nil || want != 64 {
+		t.Fatalf("cold run: %d (%v), want 64", want, err)
+	}
+	if len(saved) == 0 {
+		t.Fatal("MemoStore never called")
+	}
+
+	var combines int
+	got, err := DivideConquer(context.Background(), 64, isBase, base, divide,
+		func(p int, rs []int) int { combines++; return combine(p, rs) },
+		DCOptions{Parallel: 1, MemoLookup: func(path string) (any, bool) {
+			v, ok := saved[path]
+			return v, ok
+		}})
+	if err != nil || got != want {
+		t.Fatalf("warm run: %d (%v), want %d", got, err, want)
+	}
+	if combines != 0 {
+		t.Fatalf("warm run combined %d times, want 0 (root answered from memo)", combines)
+	}
+}

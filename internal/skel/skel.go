@@ -90,6 +90,12 @@ type Stats struct {
 	// ReduceOptions.Resume: every restored subtree root plus every
 	// internal node underneath it.
 	CheckpointHits int64
+	// MemoHits counts internal-node evaluations avoided by
+	// ReduceOptions.MemoLookup, with the same accounting as
+	// CheckpointHits. A node restored by Resume is never also counted
+	// here: checkpoint restoration wins and memo is not consulted for
+	// anything inside a restored subtree.
+	MemoHits int64
 }
 
 // Imbalance returns max/mean of UnitsPerWorker (1.0 = perfect balance).

@@ -113,6 +113,20 @@ type ReduceOptions struct {
 	// Values of the wrong dynamic type are ignored (the node is evaluated
 	// normally), so stale or foreign checkpoints degrade to a cold start.
 	Resume func(node int) (v any, ok bool)
+	// MemoLookup is the content-addressed analog of Resume: consulted once
+	// per internal node before the run starts, returning (v, true) injects
+	// the node's value and skips its whole subtree, counted in
+	// Stats.MemoHits. Resume is tried first and memo is never consulted
+	// inside an already-restored subtree, so checkpoint and memo hits
+	// cannot double-count a node. The caller maps the preorder node index
+	// to a content digest (TreeDigests computes them in the same order).
+	// Values of the wrong dynamic type are ignored.
+	MemoLookup func(node int) (v any, ok bool)
+	// MemoStore receives every internal-node value the moment it
+	// materializes, keyed by preorder index like Checkpoint — the fill
+	// side of MemoLookup. Called from worker goroutines; must be safe for
+	// concurrent use.
+	MemoStore func(node int, v any)
 }
 
 // combineTask is one ready internal-node evaluation.
@@ -174,41 +188,54 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 		worker[i] = assign(postPos[i])
 	}
 
-	// Restore checkpointed subtrees: a resumed internal node becomes a
-	// pseudo-leaf whose value is injected directly, and nothing inside its
-	// subtree is evaluated. The preorder index makes the skip a contiguous
-	// range: subtree of node i is [i, i+nodes[i].Nodes()).
+	// Restore checkpointed and memoized subtrees: a restored internal node
+	// becomes a pseudo-leaf whose value is injected directly, and nothing
+	// inside its subtree is evaluated. The preorder index makes the skip a
+	// contiguous range: subtree of node i is [i, i+nodes[i].Nodes()).
+	// Resume (this run's journal) is consulted before MemoLookup (the
+	// shared content cache), and neither is consulted inside a subtree the
+	// other already restored, so the two hit counters never overlap.
 	var restored map[int]V
 	var skip []bool
-	var hits int64
-	if opts.Resume != nil {
+	var ckptHits, memoHits int64
+	if opts.Resume != nil || opts.MemoLookup != nil {
 		restored = make(map[int]V)
 		skip = make([]bool, n)
+		restore := func(i int, v V, hits *int64) {
+			restored[i] = v
+			*hits++
+			for d := i + 1; d < i+nodes[i].Nodes(); d++ {
+				skip[d] = true
+				if !nodes[d].IsLeaf() {
+					*hits++
+				}
+			}
+		}
 		for i := 0; i < n; i++ {
 			if skip[i] || nodes[i].IsLeaf() {
 				continue
 			}
-			rv, ok := opts.Resume(i)
-			if !ok {
-				continue
+			if opts.Resume != nil {
+				if rv, ok := opts.Resume(i); ok {
+					if v, okType := rv.(V); okType {
+						restore(i, v, &ckptHits)
+						continue
+					}
+				}
 			}
-			v, okType := rv.(V)
-			if !okType {
-				continue
-			}
-			restored[i] = v
-			hits++
-			for d := i + 1; d < i+nodes[i].Nodes(); d++ {
-				skip[d] = true
-				if !nodes[d].IsLeaf() {
-					hits++
+			if opts.MemoLookup != nil {
+				if rv, ok := opts.MemoLookup(i); ok {
+					if v, okType := rv.(V); okType {
+						restore(i, v, &memoHits)
+					}
 				}
 			}
 		}
 		if v, ok := restored[0]; ok {
-			// The root itself was checkpointed: the whole reduction is
+			// The root itself was restored: the whole reduction is
 			// already done.
-			return v, &Stats{UnitsPerWorker: make([]int64, p), CheckpointHits: hits}, ctx.Err()
+			return v, &Stats{UnitsPerWorker: make([]int64, p),
+				CheckpointHits: ckptHits, MemoHits: memoHits}, ctx.Err()
 		}
 	}
 
@@ -234,7 +261,7 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 		queues[w] = make(chan combineTask, n+1)
 	}
 
-	stats := &Stats{UnitsPerWorker: make([]int64, p), CheckpointHits: hits}
+	stats := &Stats{UnitsPerWorker: make([]int64, p), CheckpointHits: ckptHits, MemoHits: memoHits}
 	var cross atomic.Int64
 	var conc gauge
 	start := time.Now()
@@ -317,6 +344,9 @@ func TreeReduce[V any](ctx context.Context, t *Tree[V], eval func(op string, l, 
 					}
 					if opts.Checkpoint != nil {
 						opts.Checkpoint(id, v)
+					}
+					if opts.MemoStore != nil {
+						opts.MemoStore(id, v)
 					}
 					if opts.Tracer != nil {
 						opts.Tracer.Event(trace.Event{Cycle: elapsed(), Kind: trace.KindExecFinish,

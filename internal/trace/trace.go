@@ -62,24 +62,39 @@ const (
 	// KindCompact: the log was compacted down to its live records; Arg
 	// holds the number of records surviving.
 	KindCompact
+	// KindMemoHit: a content-addressed cache lookup found the value; Arg
+	// holds its size in bytes and Label its digest.
+	KindMemoHit
+	// KindMemoMiss: a cache lookup came up empty; Label holds the digest.
+	KindMemoMiss
+	// KindMemoFill: a computed value was inserted into the cache; Arg
+	// holds its size in bytes and Label its digest.
+	KindMemoFill
+	// KindMemoCollapse: a concurrent lookup of an in-flight key attached
+	// to the computation already running instead of starting its own.
+	KindMemoCollapse
 )
 
 var kindNames = [...]string{
-	KindEnqueue:    "enqueue",
-	KindExecStart:  "exec-start",
-	KindExecFinish: "exec-finish",
-	KindShip:       "ship",
-	KindDeliver:    "deliver",
-	KindBusy:       "busy",
-	KindIdle:       "idle",
-	KindPeakQueue:  "peak-queue",
-	KindReduce:     "reduce",
-	KindSuspend:    "suspend",
-	KindWake:       "wake",
-	KindBind:       "bind",
-	KindJournal:    "journal",
-	KindReplay:     "replay",
-	KindCompact:    "compact",
+	KindEnqueue:      "enqueue",
+	KindExecStart:    "exec-start",
+	KindExecFinish:   "exec-finish",
+	KindShip:         "ship",
+	KindDeliver:      "deliver",
+	KindBusy:         "busy",
+	KindIdle:         "idle",
+	KindPeakQueue:    "peak-queue",
+	KindReduce:       "reduce",
+	KindSuspend:      "suspend",
+	KindWake:         "wake",
+	KindBind:         "bind",
+	KindJournal:      "journal",
+	KindReplay:       "replay",
+	KindCompact:      "compact",
+	KindMemoHit:      "memo.hit",
+	KindMemoMiss:     "memo.miss",
+	KindMemoFill:     "memo.fill",
+	KindMemoCollapse: "memo.collapse",
 }
 
 func (k Kind) String() string {
