@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check build vet test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke bench-cluster bench-memo
+.PHONY: ci fmt-check build vet staticcheck test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke bench-cluster bench-memo bench-kernel bench-gate
 
-ci: fmt-check build vet test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke
+ci: fmt-check build vet staticcheck test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke bench-gate
 	@echo "ci: all steps passed"
 
 fmt-check:
@@ -22,17 +22,29 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs when the binary is on PATH (CI installs it via
+# dominikh/staticcheck-action); locally it degrades to a notice so `make ci`
+# works on machines without the tool.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck: not installed, skipping (CI runs it)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/memo/... ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/...
+	$(GO) test -race ./internal/memo/... ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/... ./internal/bio/...
 
-# fuzz-smoke runs each WAL fuzz target briefly: long enough to exercise the
-# mutator on the torn/corrupt seed corpus, short enough for every change.
+# fuzz-smoke runs each fuzz target briefly: the WAL targets exercise the
+# mutator on the torn/corrupt seed corpus, the kernel target cross-checks
+# the optimized Gotoh kernel against the full-matrix reference.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzFrameAppendReplay -fuzztime=10s -run=NONE ./internal/store/
 	$(GO) test -fuzz=FuzzSegmentReplay -fuzztime=10s -run=NONE ./internal/store/
+	$(GO) test -fuzz=FuzzGotohKernel -fuzztime=10s -run=NONE ./internal/bio/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
@@ -69,3 +81,15 @@ bench-cluster:
 # speedup and warm-pass hit-rate.
 bench-memo:
 	$(GO) run ./cmd/alignbench -serve self -memo 67108864 -clients 1,4,16 -jobs 48 -out BENCH_memo.json
+
+# bench-kernel re-measures the Gotoh kernel optimization phases (reference,
+# rolling rows, pooled, banded — see internal/bio/OPTIMIZATION_PLAN.md) and
+# rewrites the committed baseline BENCH_kernel.json.
+bench-kernel:
+	$(GO) run ./cmd/kernelbench -out BENCH_kernel.json
+
+# bench-gate is the CI perf/alloc regression gate: re-measure the kernel
+# phases and fail if any phase loses >15% of its committed speedup over the
+# in-process reference kernel, or if allocs/op increase at all.
+bench-gate:
+	$(GO) run ./cmd/kernelbench -gate BENCH_kernel.json -runs 5

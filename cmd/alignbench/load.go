@@ -36,6 +36,12 @@ type loadLevel struct {
 	Speedup       float64 `json:"speedup_vs_cold,omitempty"`
 }
 
+// loadBand is the band half-width stamped on every generated job
+// (0 = exact alignment); set once from the -band flag before any load
+// runs. Banded jobs exercise the S16 banded kernel through the full
+// serve/cluster path.
+var loadBand int
+
 // loadReport is the BENCH_serve.json / BENCH_memo.json document.
 type loadReport struct {
 	Benchmark string      `json:"benchmark"`
@@ -43,6 +49,7 @@ type loadReport struct {
 	Seqs      int         `json:"n"`
 	SeqLen    int         `json:"len"`
 	Seed      int64       `json:"seed"`
+	Band      int         `json:"band,omitempty"`
 	MemoBytes int64       `json:"memo_bytes,omitempty"`
 	Levels    []loadLevel `json:"levels"`
 	// Memo is the daemon's cache block after the run (hits, misses,
@@ -80,7 +87,7 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 	}
 
 	client := &http.Client{Timeout: 2 * time.Minute}
-	report := loadReport{Benchmark: benchmark, Target: target, Seqs: n, SeqLen: seqLen, Seed: seed, MemoBytes: memoBytes}
+	report := loadReport{Benchmark: benchmark, Target: target, Seqs: n, SeqLen: seqLen, Seed: seed, Band: loadBand, MemoBytes: memoBytes}
 	var tab *metrics.Table
 	if memoBytes > 0 {
 		tab = metrics.NewTable("clients", "pass", "jobs", "shed", "failed", "elapsed ms", "jobs/s", "p50 ms", "p95 ms", "speedup")
@@ -222,7 +229,7 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *cluster.Backoff) (time.Duration, int64, error) {
 	body, err := json.Marshal(serve.JobRequest{
 		Type:  serve.JobAlign,
-		Align: &bio.AlignJob{N: n, Len: seqLen, Seed: seed},
+		Align: &bio.AlignJob{N: n, Len: seqLen, Seed: seed, Band: loadBand},
 	})
 	if err != nil {
 		return 0, 0, err

@@ -60,8 +60,10 @@ func main() {
 	clients := flag.String("clients", "1,4,16", "client-concurrency levels for -serve, comma-separated")
 	jobs := flag.Int("jobs", 48, "alignment jobs per concurrency level for -serve")
 	out := flag.String("out", "", "write the -serve load report as JSON to this file")
+	band := flag.Int("band", 0, "band half-width for -serve/-cluster jobs (0 = exact alignment)")
 	memoBytes := cmdutil.MemoBytes(0)
 	flag.Parse()
+	loadBand = *band
 
 	if *serveURL != "" || *clusterURL != "" {
 		benchmark, target := "serve", *serveURL

@@ -1,0 +1,98 @@
+// Command kernelbench measures the Gotoh alignment kernel phase by phase
+// (reference full-matrix, rolling rows, pooled, banded — see
+// internal/bio/OPTIMIZATION_PLAN.md) and maintains the committed baseline
+// BENCH_kernel.json that CI's bench-gate job enforces.
+//
+// Usage:
+//
+//	kernelbench [-len N] [-band N] [-runs N] [-out BENCH_kernel.json]
+//	kernelbench -gate BENCH_kernel.json [-runs N]
+//
+// Without -gate it measures and prints a phase table, writing JSON to
+// -out if given. With -gate it re-measures the same workload and fails
+// (exit 1) if any phase's speedup over the in-process reference kernel
+// drops below 85% of the committed ratio, or if any phase's allocs/op
+// increased. Comparing speedup ratios rather than raw cells/sec makes the
+// gate portable across machines of different absolute speed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bio"
+)
+
+func main() {
+	seqLen := flag.Int("len", 400, "benchmark sequence length (workload is len x ~len cells)")
+	band := flag.Int("band", 32, "band half-width for the banded phase")
+	runs := flag.Int("runs", 3, "timing trials per phase (best-of)")
+	out := flag.String("out", "", "write the measurement as JSON to this file")
+	gate := flag.String("gate", "", "compare a fresh measurement against this committed baseline and exit 1 on regression")
+	flag.Parse()
+
+	if *gate != "" {
+		if err := runGate(*gate, *runs); err != nil {
+			fmt.Fprintf(os.Stderr, "kernelbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep := bio.KernelBench(*seqLen, *band, *runs)
+	printReport(rep)
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func runGate(path string, runs int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline: %w", err)
+	}
+	var committed bio.KernelBenchReport
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if len(committed.Phases) == 0 {
+		return fmt.Errorf("baseline %s has no phases", path)
+	}
+	if runs < 5 {
+		runs = 5 // the gate takes extra trials: false alarms are expensive
+	}
+	fresh := bio.KernelBench(committed.SeqLen, committed.Band, runs)
+	fmt.Printf("bench-gate: committed baseline %s (len=%d band=%d)\n", path, committed.SeqLen, committed.Band)
+	printReport(fresh)
+	violations := bio.KernelGate(committed, fresh)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "REGRESSION: %s\n", v)
+		}
+		return fmt.Errorf("%d violation(s)", len(violations))
+	}
+	fmt.Println("bench-gate: PASS (no phase lost >15% normalized throughput, no allocs/op increase)")
+	return nil
+}
+
+func printReport(rep bio.KernelBenchReport) {
+	fmt.Printf("%-18s %12s %14s %12s %10s\n", "phase", "ns/op", "cells/sec", "speedup", "allocs/op")
+	for _, p := range rep.Phases {
+		fmt.Printf("%-18s %12.0f %14.3e %11.2fx %10.1f\n",
+			p.Name, p.NsPerOp, p.CellsPerSec, p.SpeedupVsRef, p.AllocsPerOp)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kernelbench: %v\n", err)
+	os.Exit(1)
+}

@@ -72,6 +72,30 @@ func charScore(x, y byte) int {
 	}
 }
 
+// Column-class machinery for the profile merge: every legal alignment
+// character maps to one of five classes (A C G U gap), and pairScoreTab
+// tabulates charScore over class pairs. Profile-against-profile column
+// scores then become 5-element dot products of per-column score vectors
+// and per-column class counts instead of an O(rows²) loop per DP cell.
+const gapClass = 4
+
+var (
+	classOf      [256]uint8
+	pairScoreTab [5][5]int32
+)
+
+func init() {
+	for i, c := range []byte("ACGU-") {
+		classOf[c] = uint8(i)
+	}
+	chars := []byte("ACGU-")
+	for i, x := range chars {
+		for j, y := range chars {
+			pairScoreTab[i][j] = int32(charScore(x, y))
+		}
+	}
+}
+
 // PairAlign globally aligns two sequences with Needleman–Wunsch and returns
 // the two gapped rows and the optimal score.
 func PairAlign(a, b Seq) (string, string, int) {
@@ -105,51 +129,97 @@ func AlignCost(l, r Alignment) int64 {
 	return int64(l.Width()+1) * int64(r.Width()+1) * int64(len(l)+len(r)) / 8
 }
 
+// colScores returns, for each column of p, the summed charScore of that
+// column against each of the five character classes: a flat []int32 of
+// 5·width entries. Entry [col·5+c] replaces an O(rows) loop per DP cell
+// with one table lookup.
+func colScores(p Alignment) []int32 {
+	w := p.Width()
+	sc := make([]int32, 5*w)
+	for _, row := range p {
+		for col := 0; col < w; col++ {
+			t := &pairScoreTab[classOf[row[col]]]
+			off := col * 5
+			sc[off+0] += t[0]
+			sc[off+1] += t[1]
+			sc[off+2] += t[2]
+			sc[off+3] += t[3]
+			sc[off+4] += t[4]
+		}
+	}
+	return sc
+}
+
+// colCounts returns the per-column class histogram of p, flat 5·width.
+func colCounts(p Alignment) []int32 {
+	w := p.Width()
+	cnt := make([]int32, 5*w)
+	for _, row := range p {
+		for col := 0; col < w; col++ {
+			cnt[col*5+int(classOf[row[col]])]++
+		}
+	}
+	return cnt
+}
+
 // profileAlign aligns two profiles column-against-column with
 // Needleman–Wunsch, using the average pairwise character score between
 // columns, and returns the merged alignment (l's rows first) and the score.
+//
+// Rows must be over ACGU plus '-' (AlignNode validates; sequences are
+// normalized at ingestion). Column scores are computed from precomputed
+// per-column class score vectors and counts — sum over row pairs equals
+// the dot product of l's score vector with r's class counts — so each DP
+// cell costs O(1) instead of O(|l|·|r|). The DP keeps two rolling score
+// rows plus a flat move matrix, and the traceback writes every merged
+// row right-to-left into one shared buffer. Output is byte-identical to
+// the pre-optimization row-pair implementation (same sums, same
+// truncating division, same tie order: diagonal, up, left).
 func profileAlign(l, r Alignment) (Alignment, int) {
 	m, n := l.Width(), r.Width()
-	// colScore[i][j] is cached lazily per cell; with small alphabets a
-	// direct computation is fine.
-	colPairScore := func(i, j int) int {
-		s := 0
-		for _, lr := range l {
-			for _, rr := range r {
-				s += charScore(lr[i], rr[j])
-			}
-		}
-		return s / (len(l) * len(r))
+	lsc := colScores(l)  // l column vs class: dot with r's counts
+	rcnt := colCounts(r) // r column class histogram
+	nl, nr := int32(len(l)), int32(len(r))
+
+	// gapL[i] / gapR[j]: score of column i of l (j of r) against an
+	// all-gap column, averaged over rows.
+	gapL := make([]int32, m)
+	for i := 0; i < m; i++ {
+		gapL[i] = lsc[i*5+gapClass] / nl
 	}
-	gapAgainst := func(p Alignment, col int) int {
-		// Score of aligning column col of p against an all-gap column.
-		s := 0
-		for _, row := range p {
-			s += charScore(row[col], '-')
-		}
-		return s / len(p)
+	gapR := make([]int32, n)
+	for j := 0; j < n; j++ {
+		var s int32
+		t := &pairScoreTab[gapClass]
+		off := j * 5
+		s = rcnt[off+0]*t[0] + rcnt[off+1]*t[1] + rcnt[off+2]*t[2] +
+			rcnt[off+3]*t[3] + rcnt[off+4]*t[4]
+		gapR[j] = s / nr
 	}
 
-	// DP over (m+1) x (n+1).
-	dp := make([][]int, m+1)
-	move := make([][]byte, m+1) // 'd' diag, 'u' up (l consumes), 'l' left (r consumes)
-	for i := range dp {
-		dp[i] = make([]int, n+1)
-		move[i] = make([]byte, n+1)
-	}
-	for i := 1; i <= m; i++ {
-		dp[i][0] = dp[i-1][0] + gapAgainst(l, i-1)
-		move[i][0] = 'u'
-	}
+	// DP over (m+1) x (n+1) with two rolling score rows and a flat move
+	// matrix: 'd' diag, 'u' up (l consumes), 'l' left (r consumes).
+	prev := make([]int32, n+1)
+	cur := make([]int32, n+1)
+	move := make([]byte, (m+1)*(n+1))
 	for j := 1; j <= n; j++ {
-		dp[0][j] = dp[0][j-1] + gapAgainst(r, j-1)
-		move[0][j] = 'l'
+		prev[j] = prev[j-1] + gapR[j-1]
+		move[j] = 'l'
 	}
+	pairDiv := nl * nr
 	for i := 1; i <= m; i++ {
+		cur[0] = prev[0] + gapL[i-1]
+		mvRow := move[i*(n+1) : (i+1)*(n+1)]
+		mvRow[0] = 'u'
+		lrow := lsc[(i-1)*5 : i*5 : i*5]
+		gl := gapL[i-1]
 		for j := 1; j <= n; j++ {
-			d := dp[i-1][j-1] + colPairScore(i-1, j-1)
-			u := dp[i-1][j] + gapAgainst(l, i-1)
-			lft := dp[i][j-1] + gapAgainst(r, j-1)
+			off := (j - 1) * 5
+			dot := lrow[0]*rcnt[off+0] + lrow[1]*rcnt[off+1] +
+				lrow[2]*rcnt[off+2] + lrow[3]*rcnt[off+3] + lrow[4]*rcnt[off+4]
+			d := prev[j-1] + dot/pairDiv
+			u := prev[j] + gl
+			lft := cur[j-1] + gapR[j-1]
 			best, mv := d, byte('d')
 			if u > best {
 				best, mv = u, 'u'
@@ -157,54 +227,57 @@ func profileAlign(l, r Alignment) (Alignment, int) {
 			if lft > best {
 				best, mv = lft, 'l'
 			}
-			dp[i][j], move[i][j] = best, mv
+			cur[j], mvRow[j] = best, mv
 		}
+		prev, cur = cur, prev
 	}
+	score := int(prev[n])
 
-	// Traceback: build the merged rows right to left.
+	// Traceback: every step emits one column across all merged rows, so
+	// all rows share one right-to-left write position in a single
+	// backing buffer of k rows × (m+n) capacity.
 	k := len(l) + len(r)
-	bufs := make([][]byte, k)
+	width := m + n
+	backing := make([]byte, k*width)
+	pos := width
 	i, j := m, n
 	for i > 0 || j > 0 {
-		switch move[i][j] {
+		pos--
+		switch move[i*(n+1)+j] {
 		case 'd':
 			i--
 			j--
 			for x, row := range l {
-				bufs[x] = append(bufs[x], row[i])
+				backing[x*width+pos] = row[i]
 			}
 			for x, row := range r {
-				bufs[len(l)+x] = append(bufs[len(l)+x], row[j])
+				backing[(len(l)+x)*width+pos] = row[j]
 			}
 		case 'u':
 			i--
 			for x, row := range l {
-				bufs[x] = append(bufs[x], row[i])
+				backing[x*width+pos] = row[i]
 			}
 			for x := range r {
-				bufs[len(l)+x] = append(bufs[len(l)+x], '-')
+				backing[(len(l)+x)*width+pos] = '-'
 			}
 		case 'l':
 			j--
 			for x := range l {
-				bufs[x] = append(bufs[x], '-')
+				backing[x*width+pos] = '-'
 			}
 			for x, row := range r {
-				bufs[len(l)+x] = append(bufs[len(l)+x], row[j])
+				backing[(len(l)+x)*width+pos] = row[j]
 			}
 		default:
 			panic("bio: corrupt traceback")
 		}
 	}
 	out := make(Alignment, k)
-	for x, buf := range bufs {
-		// Reverse.
-		for a, b := 0, len(buf)-1; a < b; a, b = a+1, b-1 {
-			buf[a], buf[b] = buf[b], buf[a]
-		}
-		out[x] = string(buf)
+	for x := 0; x < k; x++ {
+		out[x] = string(backing[x*width+pos : (x+1)*width])
 	}
-	return out, dp[m][n]
+	return out, score
 }
 
 // Identity returns the fraction of aligned (non-gap/non-gap) positions that

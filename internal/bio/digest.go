@@ -25,10 +25,18 @@ func (a Alignment) Size() int64 {
 
 // Digest returns the job's content digest: a canonical hash of everything
 // that determines its result (explicit names and sequences, or the
-// synthetic family spec). Two jobs share a digest exactly when they are
-// guaranteed to produce byte-identical results, which is what lets the
-// serving layer answer one from the other's cached outcome and the
-// cluster layer co-locate them on a warm worker.
+// synthetic family spec, plus the band when banded estimation is on).
+// Two jobs share a digest exactly when they are guaranteed to produce
+// byte-identical results, which is what lets the serving layer answer
+// one from the other's cached outcome and the cluster layer co-locate
+// them on a warm worker.
+//
+// Compatibility invariant, enforced by TestAlignJobDigestGolden: jobs
+// with Band == 0 hash exactly as they did before the banded option and
+// the []byte sequence representation existed, so memo caches and
+// cluster placement labels stay valid across the kernel upgrade. A
+// nonzero band appends one extra framed field, which can never collide
+// with a band-0 digest of the same job.
 func (j *AlignJob) Digest() memo.Key {
 	var nums [24]byte
 	binary.BigEndian.PutUint64(nums[0:], uint64(int64(j.N)))
@@ -39,13 +47,18 @@ func (j *AlignJob) Digest() memo.Key {
 	var counts [16]byte
 	binary.BigEndian.PutUint64(counts[0:], uint64(len(j.Names)))
 	binary.BigEndian.PutUint64(counts[8:], uint64(len(j.Seqs)))
-	fields := make([][]byte, 0, 2+len(j.Names)+len(j.Seqs))
+	fields := make([][]byte, 0, 3+len(j.Names)+len(j.Seqs))
 	fields = append(fields, nums[:], counts[:])
 	for _, n := range j.Names {
 		fields = append(fields, []byte(n))
 	}
 	for _, s := range j.Seqs {
 		fields = append(fields, []byte(s))
+	}
+	if j.Band != 0 {
+		var band [8]byte
+		binary.BigEndian.PutUint64(band[:], uint64(int64(j.Band)))
+		fields = append(fields, band[:])
 	}
 	return memo.Sum("bio.alignjob", fields...)
 }

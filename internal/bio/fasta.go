@@ -148,19 +148,19 @@ func readFastaRaw(r io.Reader) ([]string, []string, error) {
 }
 
 func normalizeSeq(raw string) (Seq, error) {
-	var b strings.Builder
+	b := make([]byte, 0, len(raw))
 	for _, c := range strings.ToUpper(raw) {
 		switch c {
 		case 'A', 'C', 'G', 'U':
-			b.WriteRune(c)
+			b = append(b, byte(c))
 		case 'T':
-			b.WriteRune('U')
+			b = append(b, 'U')
 		default:
-			return "", fmt.Errorf("illegal character %q", string(c))
+			return nil, fmt.Errorf("illegal character %q", string(c))
 		}
 	}
-	if b.Len() == 0 {
-		return "", fmt.Errorf("empty sequence")
+	if len(b) == 0 {
+		return nil, fmt.Errorf("empty sequence")
 	}
-	return Seq(b.String()), nil
+	return b, nil
 }

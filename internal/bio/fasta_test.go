@@ -26,7 +26,7 @@ func TestFastaRoundTrip(t *testing.T) {
 		t.Fatalf("seqs = %d", len(back.Seqs))
 	}
 	for i := range fam.Seqs {
-		if back.Seqs[i] != fam.Seqs[i] {
+		if !back.Seqs[i].Equal(fam.Seqs[i]) {
 			t.Fatalf("seq %d mismatch", i)
 		}
 		if back.Names[i] != fam.Names[i] {
@@ -60,7 +60,7 @@ func TestReadFastaDNAAndLowercase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fam.Seqs[0] != "ACGU" || fam.Seqs[1] != "UUAA" {
+	if string(fam.Seqs[0]) != "ACGU" || string(fam.Seqs[1]) != "UUAA" {
 		t.Fatalf("seqs = %v", fam.Seqs)
 	}
 }
@@ -85,7 +85,7 @@ func TestReadFastaCommentsAndBlankLines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if fam.Seqs[0] != "ACGU" || fam.Names[1] != "b desc here" {
+	if string(fam.Seqs[0]) != "ACGU" || fam.Names[1] != "b desc here" {
 		t.Fatalf("fam = %v %v", fam.Names, fam.Seqs)
 	}
 }
@@ -138,7 +138,7 @@ func TestAlignFamilyRowsMatchInputOrder(t *testing.T) {
 	}
 	// Row i must degap to input sequence i exactly.
 	for i := range fam.Seqs {
-		if aln.Degap(i) != fam.Seqs[i] {
+		if !aln.Degap(i).Equal(fam.Seqs[i]) {
 			t.Fatalf("row %d does not align sequence %d:\n got %s\nwant %s",
 				i, i, aln.Degap(i), fam.Seqs[i])
 		}

@@ -1,5 +1,7 @@
 package bio
 
+import "sync"
+
 // Affine gap parameters for GotohAlign (gap of length k costs
 // open + k*extend).
 const (
@@ -7,143 +9,206 @@ const (
 	gapExtend = -1
 )
 
+// DP states of the three-matrix Gotoh recurrence.
+const (
+	stM = 0 // match/mismatch state
+	stX = 1 // gap in b (consumes a[i])
+	stY = 2 // gap in a (consumes b[j])
+)
+
+// negInf32 is the kernel's "unreachable" score. It leaves enough headroom
+// below zero that drifting it by a whole sequence of gap extends
+// (≤ ~50k for the 10k max job length) can never wrap or climb past a
+// reachable score.
+const negInf32 = int32(-1) << 28
+
+// gotohScratch is the reusable per-call working set of the kernel: two
+// rolling DP rows (3 states × (n+1) columns, int32) and one byte-packed
+// traceback matrix (2 bits per state per cell, so one byte holds all
+// three predecessor states of a cell). Pooling it makes steady-state
+// kernel calls allocate only the result rows.
+type gotohScratch struct {
+	prev, cur []int32
+	tb        []byte
+}
+
+var gotohPool = sync.Pool{New: func() any { return new(gotohScratch) }}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n)
+}
+
+func growBytes(s []byte, n int) []byte {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]byte, n)
+}
+
+// packFrom packs the predecessor states of one cell's three DP states
+// into a single traceback byte: bits 0-1 hold M's predecessor, 2-3 X's,
+// 4-5 Y's.
+func packFrom(fm, fx, fy int32) byte {
+	return byte(fm) | byte(fx)<<2 | byte(fy)<<4
+}
+
 // GotohAlign globally aligns two sequences under an affine gap model
 // (Gotoh's three-matrix algorithm): a gap of length k costs
 // open + k·extend, so long indels — common in RNA evolution — are
 // penalized less than the same number of scattered gaps. It returns the
 // two gapped rows and the optimal score.
-func GotohAlign(a, b Seq) (string, string, int) {
+//
+// The kernel keeps only two rolling score rows (packed [3]int32 cells)
+// plus a byte-packed traceback matrix, reuses both via a sync.Pool, and
+// emits the result rows into a single backing buffer — steady-state
+// calls perform one allocation (see OPTIMIZATION_PLAN.md). Output is
+// byte-identical to the reference implementation gotohAlignRef.
+func GotohAlign(a, b Seq) (Seq, Seq, int) {
+	sc := gotohPool.Get().(*gotohScratch)
+	defer gotohPool.Put(sc)
+	return gotohAlignScratch(a, b, sc)
+}
+
+// gotohAlignScratch is the kernel body against an explicit scratch
+// buffer; kernelbench uses it with fresh scratch to measure the
+// pool-less phase.
+func gotohAlignScratch(a, b Seq, sc *gotohScratch) (Seq, Seq, int) {
 	m, n := len(a), len(b)
-	const negInf = -1 << 29
-	const (
-		stM = 0 // match/mismatch state
-		stX = 1 // gap in b (consumes a[i])
-		stY = 2 // gap in a (consumes b[j])
-	)
+	rowLen := 3 * (n + 1)
+	sc.prev = grow32(sc.prev, rowLen)
+	sc.cur = grow32(sc.cur, rowLen)
+	sc.tb = growBytes(sc.tb, (m+1)*(n+1))
+	prev, cur, tb := sc.prev, sc.cur, sc.tb
 
-	score := make([][][3]int, m+1) // score[i][j][state]
-	from := make([][][3]int8, m+1) // predecessor state, -1 at origin
-	for i := range score {
-		score[i] = make([][3]int, n+1)
-		from[i] = make([][3]int8, n+1)
-	}
-	for i := 0; i <= m; i++ {
-		for j := 0; j <= n; j++ {
-			for s := 0; s < 3; s++ {
-				score[i][j][s] = negInf
-				from[i][j][s] = -1
-			}
-		}
-	}
-	score[0][0][stM] = 0
-	for i := 1; i <= m; i++ {
-		score[i][0][stX] = gapOpen + i*gapExtend
-		if i == 1 {
-			from[i][0][stX] = stM
-		} else {
-			from[i][0][stX] = stX
-		}
-	}
+	// Row 0: only (0,0,M) and the Y edge (gap consuming b) are reachable.
+	prev[stM], prev[stX], prev[stY] = 0, negInf32, negInf32
+	tb[0] = 0
 	for j := 1; j <= n; j++ {
-		score[0][j][stY] = gapOpen + j*gapExtend
+		fy := int32(stY)
 		if j == 1 {
-			from[0][j][stY] = stM
-		} else {
-			from[0][j][stY] = stY
+			fy = stM
 		}
-	}
-
-	best3 := func(i, j int) (int, int8) {
-		v, s := score[i][j][stM], int8(stM)
-		if score[i][j][stX] > v {
-			v, s = score[i][j][stX], stX
-		}
-		if score[i][j][stY] > v {
-			v, s = score[i][j][stY], stY
-		}
-		return v, s
+		prev[j*3+stM] = negInf32
+		prev[j*3+stX] = negInf32
+		prev[j*3+stY] = int32(gapOpen + j*gapExtend)
+		tb[j] = packFrom(0, 0, fy)
 	}
 
 	for i := 1; i <= m; i++ {
+		// Column 0: only the X edge (gap consuming a) is reachable.
+		fx := int32(stX)
+		if i == 1 {
+			fx = stM
+		}
+		cur[stM], cur[stY] = negInf32, negInf32
+		cur[stX] = int32(gapOpen + i*gapExtend)
+		tbRow := tb[i*(n+1) : i*(n+1)+n+1]
+		tbRow[0] = packFrom(0, fx, 0)
+		ai := a[i-1]
+		// The left cell (this row, j-1) and the diagonal cell (previous
+		// row, j-1) ride in registers across iterations: the diagonal is
+		// last iteration's "up" read, the left is last iteration's
+		// result, so each cell costs 3 slice reads and 3 writes.
+		lM, lX, lY := cur[stM], cur[stX], cur[stY]
+		dM, dX, dY := prev[stM], prev[stX], prev[stY]
 		for j := 1; j <= n; j++ {
-			sub := mismatchScore
-			if a[i-1] == b[j-1] {
+			off := j * 3
+			uM, uX, uY := prev[off+stM], prev[off+stX], prev[off+stY]
+			var sub int32 = mismatchScore
+			if ai == b[j-1] {
 				sub = matchScore
 			}
-			// M: diagonal from the best predecessor state.
-			v, s := best3(i-1, j-1)
-			if v > negInf {
-				score[i][j][stM] = v + sub
-				from[i][j][stM] = s
+			// M: diagonal from the best predecessor state (ties prefer
+			// M, then X, then Y — the reference order).
+			v, fm := dM, int32(stM)
+			if dX > v {
+				v, fm = dX, stX
 			}
-			// X: from above — open (from M or Y) or extend (from X).
-			openV := score[i-1][j][stM]
-			openS := int8(stM)
-			if score[i-1][j][stY] > openV {
-				openV, openS = score[i-1][j][stY], stY
+			if dY > v {
+				v, fm = dY, stY
 			}
-			extV := score[i-1][j][stX]
-			if openV+gapOpen+gapExtend >= extV+gapExtend {
-				if openV > negInf {
-					score[i][j][stX] = openV + gapOpen + gapExtend
-					from[i][j][stX] = openS
+			cM := negInf32
+			if v > negInf32 {
+				cM = v + sub
+			}
+			// X: from above — open (from M or Y) or extend (from X);
+			// ties prefer opening, and prefer M over Y as the opener.
+			openV, openS := uM, int32(stM)
+			if uY > openV {
+				openV, openS = uY, stY
+			}
+			cX, fxx := negInf32, int32(0)
+			if openV+gapOpen+gapExtend >= uX+gapExtend {
+				if openV > negInf32 {
+					cX, fxx = openV+gapOpen+gapExtend, openS
 				}
 			} else {
-				score[i][j][stX] = extV + gapExtend
-				from[i][j][stX] = stX
+				cX, fxx = uX+gapExtend, stX
 			}
 			// Y: from the left — open (from M or X) or extend (from Y).
-			openV = score[i][j-1][stM]
-			openS = stM
-			if score[i][j-1][stX] > openV {
-				openV, openS = score[i][j-1][stX], stX
+			openV, openS = lM, stM
+			if lX > openV {
+				openV, openS = lX, stX
 			}
-			extV = score[i][j-1][stY]
-			if openV+gapOpen+gapExtend >= extV+gapExtend {
-				if openV > negInf {
-					score[i][j][stY] = openV + gapOpen + gapExtend
-					from[i][j][stY] = openS
+			cY, fyy := negInf32, int32(0)
+			if openV+gapOpen+gapExtend >= lY+gapExtend {
+				if openV > negInf32 {
+					cY, fyy = openV+gapOpen+gapExtend, openS
 				}
 			} else {
-				score[i][j][stY] = extV + gapExtend
-				from[i][j][stY] = stY
+				cY, fyy = lY+gapExtend, stY
 			}
+			cur[off+stM], cur[off+stX], cur[off+stY] = cM, cX, cY
+			tbRow[j] = packFrom(fm, fxx, fyy)
+			dM, dX, dY = uM, uX, uY
+			lM, lX, lY = cM, cX, cY
 		}
+		prev, cur = cur, prev
 	}
 
-	// Traceback.
-	var ra, rb []byte
-	i, j := m, n
-	bestScore, state8 := best3(m, n)
-	state := int(state8)
+	// Final cell: best of the three states, ties prefer M, then X.
+	off := n * 3
+	bestScore, state := prev[off+stM], stM
+	if prev[off+stX] > bestScore {
+		bestScore, state = prev[off+stX], stX
+	}
+	if prev[off+stY] > bestScore {
+		bestScore, state = prev[off+stY], stY
+	}
+
+	ra, rb := gotohTraceback(a, b, tb, n+1, m, n, state)
+	return ra, rb, int(bestScore)
+}
+
+// gotohTraceback walks the packed traceback matrix from (i,j) backwards,
+// writing both gapped rows right-to-left into one shared backing buffer
+// (the call's only steady-state allocation — no reverse pass needed).
+func gotohTraceback(a, b Seq, tb []byte, stride, i, j, state int) (Seq, Seq) {
+	maxLen := len(a) + len(b)
+	buf := make([]byte, 2*maxLen)
+	pa, pb := maxLen, 2*maxLen
 	for i > 0 || j > 0 {
-		prev := from[i][j][state]
+		next := int(tb[i*stride+j]>>(2*state)) & 3
+		pa--
+		pb--
 		switch state {
 		case stM:
-			ra = append(ra, a[i-1])
-			rb = append(rb, b[j-1])
+			buf[pa], buf[pb] = a[i-1], b[j-1]
 			i--
 			j--
 		case stX:
-			ra = append(ra, a[i-1])
-			rb = append(rb, '-')
+			buf[pa], buf[pb] = a[i-1], '-'
 			i--
-		case stY:
-			ra = append(ra, '-')
-			rb = append(rb, b[j-1])
+		default: // stY
+			buf[pa], buf[pb] = '-', b[j-1]
 			j--
 		}
-		state = int(prev)
+		state = next
 	}
-	reverse(ra)
-	reverse(rb)
-	return string(ra), string(rb), bestScore
-}
-
-func reverse(b []byte) {
-	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
-		b[i], b[j] = b[j], b[i]
-	}
+	return Seq(buf[pa:maxLen]), Seq(buf[maxLen+pa : 2*maxLen])
 }
 
 // SPIdentity is the sum-of-pairs identity of an alignment: the mean

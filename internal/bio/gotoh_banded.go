@@ -1,0 +1,162 @@
+package bio
+
+// GotohAlignBanded is GotohAlign restricted to a diagonal band: only
+// cells with |i-j| ≤ band are computed, cutting work from O(m·n) to
+// O(max(m,n)·band) cells. The result is the optimal alignment among
+// paths that stay inside the band, which equals the global optimum
+// whenever the true alignment's drift off the main diagonal never
+// exceeds the band — the common case for the closely related sequences
+// the guide-tree distance pass compares. When the band is infeasible
+// (band ≤ 0, or band < |len(a)-len(b)| so the final cell is outside the
+// band), it falls back to the exact full-matrix kernel, so callers
+// always get a valid global alignment.
+func GotohAlignBanded(a, b Seq, band int) (Seq, Seq, int) {
+	m, n := len(a), len(b)
+	d := m - n
+	if d < 0 {
+		d = -d
+	}
+	if band <= 0 || band < d {
+		return GotohAlign(a, b)
+	}
+
+	sc := gotohPool.Get().(*gotohScratch)
+	defer gotohPool.Put(sc)
+	rowLen := 3 * (n + 1)
+	sc.prev = grow32(sc.prev, rowLen)
+	sc.cur = grow32(sc.cur, rowLen)
+	// The traceback stores only the band: row i's cells live at
+	// offsets (j - i + band) ∈ [0, 2·band].
+	w := 2*band + 1
+	sc.tb = growBytes(sc.tb, (m+1)*w)
+	prev, cur, tb := sc.prev, sc.cur, sc.tb
+
+	// Row 0 inside the band: origin plus the Y edge.
+	hiPrev := min(n, band)
+	prev[stM], prev[stX], prev[stY] = 0, negInf32, negInf32
+	tb[band] = 0
+	for j := 1; j <= hiPrev; j++ {
+		fy := int32(stY)
+		if j == 1 {
+			fy = stM
+		}
+		prev[j*3+stM] = negInf32
+		prev[j*3+stX] = negInf32
+		prev[j*3+stY] = int32(gapOpen + j*gapExtend)
+		tb[band+j] = packFrom(0, 0, fy)
+	}
+
+	for i := 1; i <= m; i++ {
+		lo, hi := max(0, i-band), min(n, i+band)
+		// The previous row's buffer may hold stale values one column past
+		// its own band; neutralize them before they are read as the "up"
+		// predecessor of this row's rightmost cell.
+		if hi > hiPrev {
+			off := hi * 3
+			prev[off+stM], prev[off+stX], prev[off+stY] = negInf32, negInf32, negInf32
+		}
+		tbRow := tb[i*w : (i+1)*w]
+		jStart := lo
+		if lo == 0 {
+			// Column 0 is inside the band: the X edge.
+			fx := int32(stX)
+			if i == 1 {
+				fx = stM
+			}
+			cur[stM], cur[stY] = negInf32, negInf32
+			cur[stX] = int32(gapOpen + i*gapExtend)
+			tbRow[band-i] = packFrom(0, fx, 0)
+			jStart = 1
+		} else {
+			// Left boundary: the cell just outside the band must read as
+			// unreachable for this row's leftmost Y transition.
+			off := (lo - 1) * 3
+			cur[off+stM], cur[off+stX], cur[off+stY] = negInf32, negInf32, negInf32
+		}
+		ai := a[i-1]
+		for j := jStart; j <= hi; j++ {
+			off := j * 3
+			var sub int32 = mismatchScore
+			if ai == b[j-1] {
+				sub = matchScore
+			}
+			dM, dX, dY := prev[off-3+stM], prev[off-3+stX], prev[off-3+stY]
+			v, fm := dM, int32(stM)
+			if dX > v {
+				v, fm = dX, stX
+			}
+			if dY > v {
+				v, fm = dY, stY
+			}
+			cM := negInf32
+			if v > negInf32 {
+				cM = v + sub
+			}
+			openV, openS := prev[off+stM], int32(stM)
+			if prev[off+stY] > openV {
+				openV, openS = prev[off+stY], stY
+			}
+			extV := prev[off+stX]
+			cX, fxx := negInf32, int32(0)
+			if openV+gapOpen+gapExtend >= extV+gapExtend {
+				if openV > negInf32 {
+					cX, fxx = openV+gapOpen+gapExtend, openS
+				}
+			} else {
+				cX, fxx = extV+gapExtend, stX
+			}
+			openV, openS = cur[off-3+stM], stM
+			if cur[off-3+stX] > openV {
+				openV, openS = cur[off-3+stX], stX
+			}
+			extV = cur[off-3+stY]
+			cY, fyy := negInf32, int32(0)
+			if openV+gapOpen+gapExtend >= extV+gapExtend {
+				if openV > negInf32 {
+					cY, fyy = openV+gapOpen+gapExtend, openS
+				}
+			} else {
+				cY, fyy = extV+gapExtend, stY
+			}
+			cur[off+stM], cur[off+stX], cur[off+stY] = cM, cX, cY
+			tbRow[j-i+band] = packFrom(fm, fxx, fyy)
+		}
+		prev, cur = cur, prev
+		hiPrev = hi
+	}
+
+	off := n * 3
+	bestScore, state := prev[off+stM], stM
+	if prev[off+stX] > bestScore {
+		bestScore, state = prev[off+stX], stX
+	}
+	if prev[off+stY] > bestScore {
+		bestScore, state = prev[off+stY], stY
+	}
+
+	// Banded traceback: identical walk to the exact kernel, with the
+	// band-relative column indexing.
+	maxLen := m + n
+	buf := make([]byte, 2*maxLen)
+	pa, pb := maxLen, 2*maxLen
+	i, j := m, n
+	for i > 0 || j > 0 {
+		next := int(tb[i*w+j-i+band]>>(2*state)) & 3
+		pa--
+		pb--
+		switch state {
+		case stM:
+			buf[pa], buf[pb] = a[i-1], b[j-1]
+			i--
+			j--
+		case stX:
+			buf[pa], buf[pb] = a[i-1], '-'
+			i--
+		default: // stY
+			buf[pa], buf[pb] = '-', b[j-1]
+			j--
+		}
+		state = next
+	}
+	return Seq(buf[pa:maxLen]), Seq(buf[maxLen+pa : 2*maxLen]), int(bestScore)
+}

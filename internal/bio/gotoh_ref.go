@@ -1,0 +1,137 @@
+package bio
+
+// gotohAlignRef is the original, unoptimized Gotoh kernel: full
+// [m+1][n+1] score and predecessor matrices of [3]int cells, allocated
+// per call, with an append-and-reverse traceback. It is kept verbatim as
+// the behavioral reference for the optimized GotohAlign — the
+// differential tests in kernel_test.go and FuzzGotohKernel assert
+// byte-identical rows and equal scores on arbitrary inputs — and as the
+// baseline that cmd/kernelbench measures optimized phases against.
+func gotohAlignRef(a, b Seq) (string, string, int) {
+	m, n := len(a), len(b)
+	const negInf = -1 << 29
+
+	score := make([][][3]int, m+1) // score[i][j][state]
+	from := make([][][3]int8, m+1) // predecessor state, -1 at origin
+	for i := range score {
+		score[i] = make([][3]int, n+1)
+		from[i] = make([][3]int8, n+1)
+	}
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= n; j++ {
+			for s := 0; s < 3; s++ {
+				score[i][j][s] = negInf
+				from[i][j][s] = -1
+			}
+		}
+	}
+	score[0][0][stM] = 0
+	for i := 1; i <= m; i++ {
+		score[i][0][stX] = gapOpen + i*gapExtend
+		if i == 1 {
+			from[i][0][stX] = stM
+		} else {
+			from[i][0][stX] = stX
+		}
+	}
+	for j := 1; j <= n; j++ {
+		score[0][j][stY] = gapOpen + j*gapExtend
+		if j == 1 {
+			from[0][j][stY] = stM
+		} else {
+			from[0][j][stY] = stY
+		}
+	}
+
+	best3 := func(i, j int) (int, int8) {
+		v, s := score[i][j][stM], int8(stM)
+		if score[i][j][stX] > v {
+			v, s = score[i][j][stX], stX
+		}
+		if score[i][j][stY] > v {
+			v, s = score[i][j][stY], stY
+		}
+		return v, s
+	}
+
+	for i := 1; i <= m; i++ {
+		for j := 1; j <= n; j++ {
+			sub := mismatchScore
+			if a[i-1] == b[j-1] {
+				sub = matchScore
+			}
+			// M: diagonal from the best predecessor state.
+			v, s := best3(i-1, j-1)
+			if v > negInf {
+				score[i][j][stM] = v + sub
+				from[i][j][stM] = s
+			}
+			// X: from above — open (from M or Y) or extend (from X).
+			openV := score[i-1][j][stM]
+			openS := int8(stM)
+			if score[i-1][j][stY] > openV {
+				openV, openS = score[i-1][j][stY], stY
+			}
+			extV := score[i-1][j][stX]
+			if openV+gapOpen+gapExtend >= extV+gapExtend {
+				if openV > negInf {
+					score[i][j][stX] = openV + gapOpen + gapExtend
+					from[i][j][stX] = openS
+				}
+			} else {
+				score[i][j][stX] = extV + gapExtend
+				from[i][j][stX] = stX
+			}
+			// Y: from the left — open (from M or X) or extend (from Y).
+			openV = score[i][j-1][stM]
+			openS = stM
+			if score[i][j-1][stX] > openV {
+				openV, openS = score[i][j-1][stX], stX
+			}
+			extV = score[i][j-1][stY]
+			if openV+gapOpen+gapExtend >= extV+gapExtend {
+				if openV > negInf {
+					score[i][j][stY] = openV + gapOpen + gapExtend
+					from[i][j][stY] = openS
+				}
+			} else {
+				score[i][j][stY] = extV + gapExtend
+				from[i][j][stY] = stY
+			}
+		}
+	}
+
+	// Traceback.
+	var ra, rb []byte
+	i, j := m, n
+	bestScore, state8 := best3(m, n)
+	state := int(state8)
+	for i > 0 || j > 0 {
+		prev := from[i][j][state]
+		switch state {
+		case stM:
+			ra = append(ra, a[i-1])
+			rb = append(rb, b[j-1])
+			i--
+			j--
+		case stX:
+			ra = append(ra, a[i-1])
+			rb = append(rb, '-')
+			i--
+		case stY:
+			ra = append(ra, '-')
+			rb = append(rb, b[j-1])
+			j--
+		}
+		state = int(prev)
+	}
+	reverse(ra)
+	reverse(rb)
+	return string(ra), string(rb), bestScore
+}
+
+func reverse(b []byte) {
+	for i, j := 0, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+}

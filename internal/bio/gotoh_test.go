@@ -8,8 +8,8 @@ import (
 )
 
 func TestGotohIdentical(t *testing.T) {
-	a, b, score := GotohAlign("ACGU", "ACGU")
-	if a != "ACGU" || b != "ACGU" {
+	a, b, score := GotohAlign(Seq("ACGU"), Seq("ACGU"))
+	if string(a) != "ACGU" || string(b) != "ACGU" {
 		t.Fatalf("aligned %q %q", a, b)
 	}
 	if score != 4*matchScore {
@@ -24,11 +24,11 @@ func TestGotohSingleLongGapPreferred(t *testing.T) {
 	a := Seq("AACCCGGUU")
 	b := Seq("AACGGUU") // CC deleted
 	ra, rb, _ := GotohAlign(a, b)
-	if strings.ReplaceAll(ra, "-", "") != string(a) || strings.ReplaceAll(rb, "-", "") != string(b) {
+	if strings.ReplaceAll(string(ra), "-", "") != string(a) || strings.ReplaceAll(string(rb), "-", "") != string(b) {
 		t.Fatalf("degap mismatch: %q %q", ra, rb)
 	}
 	// The gap in rb must be contiguous.
-	trimmed := strings.Trim(rb, "-")
+	trimmed := strings.Trim(string(rb), "-")
 	inner := strings.Count(trimmed, "-")
 	if inner != 2 {
 		t.Fatalf("gap not contiguous: %q (inner dashes %d)", rb, inner)
@@ -36,15 +36,15 @@ func TestGotohSingleLongGapPreferred(t *testing.T) {
 }
 
 func TestGotohEmptySequences(t *testing.T) {
-	ra, rb, score := GotohAlign("", "ACG")
-	if ra != "---" || rb != "ACG" {
+	ra, rb, score := GotohAlign(Seq(""), Seq("ACG"))
+	if string(ra) != "---" || string(rb) != "ACG" {
 		t.Fatalf("aligned %q %q", ra, rb)
 	}
 	if score != gapOpen+3*gapExtend {
 		t.Fatalf("score = %d, want %d", score, gapOpen+3*gapExtend)
 	}
-	ra, rb, _ = GotohAlign("AC", "")
-	if ra != "AC" || rb != "--" {
+	ra, rb, _ = GotohAlign(Seq("AC"), Seq(""))
+	if string(ra) != "AC" || string(rb) != "--" {
 		t.Fatalf("aligned %q %q", ra, rb)
 	}
 }
@@ -56,7 +56,7 @@ func TestGotohScoreMatchesRecomputation(t *testing.T) {
 		a := RandomSeq(5+rng.Intn(40), rng)
 		b := Mutate(a, 0.2, 0.05, rng)
 		ra, rb, score := GotohAlign(a, b)
-		if got := affineScore(ra, rb); got != score {
+		if got := affineScore(string(ra), string(rb)); got != score {
 			t.Fatalf("trial %d: reported %d, recomputed %d\n%s\n%s", trial, score, got, ra, rb)
 		}
 	}
@@ -107,7 +107,8 @@ func TestPropGotohInvariantsAndDominance(t *testing.T) {
 		if len(ra) != len(rb) {
 			return false
 		}
-		if strings.ReplaceAll(ra, "-", "") != string(a) || strings.ReplaceAll(rb, "-", "") != string(b) {
+		if strings.ReplaceAll(string(ra), "-", "") != string(a) ||
+			strings.ReplaceAll(string(rb), "-", "") != string(b) {
 			return false
 		}
 		// Optimality relative to the linear-gap alignment under the

@@ -22,6 +22,14 @@ type AlignJob struct {
 	N    int   `json:"n,omitempty"`
 	Len  int   `json:"len,omitempty"`
 	Seed int64 `json:"seed,omitempty"`
+	// Band, when positive, switches guide-tree distance estimation to the
+	// banded affine-gap kernel with this half-width (see
+	// GotohAlignBanded): cheaper for long, closely related sequences, at
+	// the cost of possibly different tree topology when alignments drift
+	// outside the band. Zero keeps the exact distance pass. The field
+	// rides the job JSON through the serving and cluster layers and, when
+	// nonzero, is part of the job's content digest.
+	Band int `json:"band,omitempty"`
 }
 
 // AlignJobResult is the serialized outcome of one alignment job.
@@ -47,6 +55,9 @@ type AlignJobResult struct {
 // range. Serving layers call it at admission so malformed jobs are
 // rejected before they are queued.
 func (j *AlignJob) Validate() error {
+	if j.Band < 0 || j.Band > 10_000 {
+		return fmt.Errorf("bio: align job band out of range: %d", j.Band)
+	}
 	if len(j.Seqs) > 0 {
 		if len(j.Seqs) < 2 {
 			return fmt.Errorf("bio: align job needs at least 2 sequences, got %d", len(j.Seqs))
@@ -152,7 +163,7 @@ func (j *AlignJob) RunMemo(ctx context.Context, opts skel.ReduceOptions, cache *
 	if err != nil {
 		return nil, err
 	}
-	aln, stats, err := AlignFamilyMemo(ctx, f, opts, cache)
+	aln, stats, err := AlignFamilyBanded(ctx, f, opts, cache, j.Band)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,165 @@
+package bio
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+)
+
+// This file is the measurement harness behind cmd/kernelbench and the CI
+// bench-gate job. It measures the phases of the Gotoh kernel optimization
+// campaign (see OPTIMIZATION_PLAN.md) on a fixed synthetic workload and
+// compares a fresh measurement against a committed baseline.
+//
+// Throughput is reported as DP cells per second (m·n cells per call), the
+// machine-independent unit of alignment work. Because absolute cells/sec
+// varies across machines, the regression gate compares each phase's
+// speedup over the reference kernel measured in the same process — a
+// ratio of two numbers from the same machine — rather than raw
+// throughput. Allocations per op are deterministic and compared
+// absolutely.
+
+// KernelPhase is one measured phase of the optimization campaign.
+type KernelPhase struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	CellsPerSec  float64 `json:"cells_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+	SpeedupVsRef float64 `json:"speedup_vs_ref"`
+}
+
+// KernelBenchReport is the JSON shape of BENCH_kernel.json.
+type KernelBenchReport struct {
+	SeqLen int           `json:"seq_len"`
+	Band   int           `json:"band"`
+	Runs   int           `json:"runs"`
+	Phases []KernelPhase `json:"phases"`
+}
+
+// kernelWorkload builds the fixed benchmark pair: an ancestral sequence of
+// length seqLen and a mutated relative, from a pinned seed so every run
+// (and every machine) measures identical work.
+func kernelWorkload(seqLen int) (Seq, Seq) {
+	rng := rand.New(rand.NewSource(99))
+	a := RandomSeq(seqLen, rng)
+	b := Mutate(a, 0.15, 0.03, rng)
+	return a, b
+}
+
+// KernelBench measures every phase of the kernel campaign: the reference
+// full-matrix kernel, the rolling-row kernel with fresh scratch (phase 1),
+// the pooled kernel (phase 2+3, the production GotohAlign), and the banded
+// kernel (phase 4). Each phase takes the best of `runs` timing trials so
+// committed numbers are stable against scheduler noise.
+func KernelBench(seqLen, band, runs int) KernelBenchReport {
+	a, b := kernelWorkload(seqLen)
+	cells := float64(len(a)) * float64(len(b))
+	phases := []struct {
+		name string
+		fn   func()
+	}{
+		{"ref-full-matrix", func() { gotohAlignRef(a, b) }},
+		{"rolling-rows", func() { gotohAlignScratch(a, b, new(gotohScratch)) }},
+		{"pooled", func() { GotohAlign(a, b) }},
+		{fmt.Sprintf("banded-%d", band), func() { GotohAlignBanded(a, b, band) }},
+	}
+	rep := KernelBenchReport{SeqLen: seqLen, Band: band, Runs: runs}
+	var refCells float64
+	for _, p := range phases {
+		ns := bestNsPerOp(p.fn, runs)
+		ph := KernelPhase{
+			Name:        p.name,
+			NsPerOp:     ns,
+			CellsPerSec: cells / (ns / 1e9),
+			AllocsPerOp: allocsPerOp(p.fn),
+		}
+		if p.name == "ref-full-matrix" {
+			refCells = ph.CellsPerSec
+		}
+		ph.SpeedupVsRef = ph.CellsPerSec / refCells
+		rep.Phases = append(rep.Phases, ph)
+	}
+	return rep
+}
+
+// bestNsPerOp times fn in trials of at least minTrialTime each and returns
+// the fastest trial's ns/op. Best-of-N suppresses one-sided noise (GC,
+// preemption, frequency scaling) — a trial can only be slowed down, never
+// sped up, so the minimum is the most repeatable estimate.
+func bestNsPerOp(fn func(), runs int) float64 {
+	const minTrialTime = 100 * time.Millisecond
+	fn() // warm caches and the scratch pool before timing
+	best := 0.0
+	for r := 0; r < runs; r++ {
+		iters := 0
+		start := time.Now()
+		var elapsed time.Duration
+		for elapsed < minTrialTime {
+			fn()
+			iters++
+			elapsed = time.Since(start)
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(iters)
+		if best == 0 || ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// allocsPerOp counts heap allocations per call, like testing.AllocsPerRun
+// but without importing the testing package into library code.
+func allocsPerOp(fn func()) float64 {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	fn() // warm the pool so steady state is measured
+	var before, after runtime.MemStats
+	const n = 20
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / n
+}
+
+// KernelGateTolerance is the fraction of the committed speedup-vs-ref a
+// fresh measurement may lose before the gate fails (i.e. >15% normalized
+// throughput regression fails).
+const KernelGateTolerance = 0.85
+
+// KernelGate compares a fresh measurement against the committed baseline
+// and returns one violation string per regression: a phase whose
+// speedup-vs-ref fell below KernelGateTolerance of the committed ratio, a
+// phase whose allocs/op increased, or a phase missing from the fresh
+// report. An empty slice means the gate passes.
+func KernelGate(committed, fresh KernelBenchReport) []string {
+	var violations []string
+	byName := make(map[string]KernelPhase, len(fresh.Phases))
+	for _, p := range fresh.Phases {
+		byName[p.Name] = p
+	}
+	for _, want := range committed.Phases {
+		got, ok := byName[want.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("phase %q missing from fresh measurement", want.Name))
+			continue
+		}
+		if want.Name != "ref-full-matrix" {
+			floor := want.SpeedupVsRef * KernelGateTolerance
+			if got.SpeedupVsRef < floor {
+				violations = append(violations, fmt.Sprintf(
+					"phase %q speedup-vs-ref regressed: %.2fx measured < %.2fx floor (committed %.2fx, tolerance %.0f%%)",
+					want.Name, got.SpeedupVsRef, floor, want.SpeedupVsRef, (1-KernelGateTolerance)*100))
+			}
+		}
+		// Allocations are deterministic; allow a half-alloc of jitter for
+		// one-off runtime book-keeping during the counting window.
+		if got.AllocsPerOp > want.AllocsPerOp+0.5 {
+			violations = append(violations, fmt.Sprintf(
+				"phase %q allocs/op increased: %.2f measured > %.2f committed",
+				want.Name, got.AllocsPerOp, want.AllocsPerOp))
+		}
+	}
+	return violations
+}

@@ -18,8 +18,44 @@ func Distance(a, b Seq) float64 {
 	return 1 - aln.Identity(0, 1)
 }
 
+// DistanceBanded estimates the dissimilarity of two sequences from their
+// banded affine-gap alignment (GotohAlignBanded): it trades the exact
+// O(m·n) distance pass for O(max(m,n)·band) work per pair, which is what
+// makes guide-tree construction over long, closely related sequences
+// cheap. Infeasible bands fall back to the exact kernel.
+func DistanceBanded(a, b Seq, band int) float64 {
+	ra, rb, _ := GotohAlignBanded(a, b, band)
+	return 1 - identityBytes(ra, rb)
+}
+
+// identityBytes is Alignment.Identity over two raw gapped rows, without
+// materializing an Alignment.
+func identityBytes(ra, rb Seq) float64 {
+	match, total := 0, 0
+	for k := 0; k < len(ra); k++ {
+		if ra[k] == '-' || rb[k] == '-' {
+			continue
+		}
+		total++
+		if ra[k] == rb[k] {
+			match++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(match) / float64(total)
+}
+
 // DistanceMatrix computes all pairwise distances of the family.
 func DistanceMatrix(f *Family) [][]float64 {
+	return distanceMatrixBanded(f, 0)
+}
+
+// distanceMatrixBanded computes all pairwise distances, using the banded
+// affine kernel when band > 0 and the exact linear-gap alignment
+// otherwise.
+func distanceMatrixBanded(f *Family, band int) [][]float64 {
 	n := len(f.Seqs)
 	d := make([][]float64, n)
 	for i := range d {
@@ -27,7 +63,12 @@ func DistanceMatrix(f *Family) [][]float64 {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			dist := Distance(f.Seqs[i], f.Seqs[j])
+			var dist float64
+			if band > 0 {
+				dist = DistanceBanded(f.Seqs[i], f.Seqs[j], band)
+			} else {
+				dist = Distance(f.Seqs[i], f.Seqs[j])
+			}
 			d[i][j], d[j][i] = dist, dist
 		}
 	}
@@ -39,11 +80,21 @@ func DistanceMatrix(f *Family) [][]float64 {
 // average linkage. Leaf payloads are the sequence indices (0-based); every
 // internal node carries the align operator tag.
 func GuideTree(f *Family) (*motifs.BinTree, error) {
+	return GuideTreeBanded(f, 0)
+}
+
+// GuideTreeBanded is GuideTree with banded distance estimation: band > 0
+// replaces each exact pairwise distance with the banded affine-gap
+// distance (see DistanceBanded). The tree may differ from the exact one
+// when true alignments drift outside the band; jobs opting in carry the
+// band in their content digest, so cached results never alias across
+// band settings.
+func GuideTreeBanded(f *Family, band int) (*motifs.BinTree, error) {
 	n := len(f.Seqs)
 	if n < 2 {
 		return nil, fmt.Errorf("bio: GuideTree needs at least 2 sequences")
 	}
-	d := DistanceMatrix(f)
+	d := distanceMatrixBanded(f, band)
 
 	type cluster struct {
 		tree *motifs.BinTree
@@ -151,7 +202,13 @@ func AlignFamily(ctx context.Context, f *Family, opts skel.ReduceOptions) (Align
 // sharing a phylogeny prefix with an earlier one reuses its partial
 // alignments. A nil cache makes this identical to AlignFamily.
 func AlignFamilyMemo(ctx context.Context, f *Family, opts skel.ReduceOptions, cache *memo.Cache) (Alignment, *skel.Stats, error) {
-	guide, err := GuideTree(f)
+	return AlignFamilyBanded(ctx, f, opts, cache, 0)
+}
+
+// AlignFamilyBanded is AlignFamilyMemo with banded guide-tree distance
+// estimation (band > 0, see GuideTreeBanded); band 0 is the exact path.
+func AlignFamilyBanded(ctx context.Context, f *Family, opts skel.ReduceOptions, cache *memo.Cache, band int) (Alignment, *skel.Stats, error) {
+	guide, err := GuideTreeBanded(f, band)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -11,33 +11,41 @@
 package bio
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
-	"strings"
 )
 
 // Bases is the RNA alphabet.
 const Bases = "ACGU"
 
-// Seq is an RNA sequence over ACGU.
-type Seq string
+// Seq is an RNA sequence over ACGU. It is a byte slice rather than a
+// string so the alignment kernels can index, slice, and build sequences
+// without per-call string conversions (see
+// internal/bio/OPTIMIZATION_PLAN.md phase 3); the content digest of a
+// sequence is unchanged by the representation.
+type Seq []byte
+
+// String renders the sequence for %s/%v formatting and logs.
+func (s Seq) String() string { return string(s) }
+
+// Equal reports whether two sequences have identical content.
+func (s Seq) Equal(t Seq) bool { return bytes.Equal(s, t) }
 
 // RandomSeq generates a uniform random RNA sequence of length n.
 func RandomSeq(n int, rng *rand.Rand) Seq {
-	var b strings.Builder
-	b.Grow(n)
-	for i := 0; i < n; i++ {
-		b.WriteByte(Bases[rng.Intn(4)])
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = Bases[rng.Intn(4)]
 	}
-	return Seq(b.String())
+	return b
 }
 
 // Mutate returns a mutated copy of s: each position substitutes with
 // probability subRate; insertions and deletions each occur per position
 // with probability indelRate.
 func Mutate(s Seq, subRate, indelRate float64, rng *rand.Rand) Seq {
-	var b strings.Builder
-	b.Grow(len(s) + 4)
+	b := make([]byte, 0, len(s)+4)
 	for i := 0; i < len(s); i++ {
 		if rng.Float64() < indelRate {
 			// Deletion: skip this base.
@@ -45,19 +53,19 @@ func Mutate(s Seq, subRate, indelRate float64, rng *rand.Rand) Seq {
 		}
 		if rng.Float64() < indelRate {
 			// Insertion before this base.
-			b.WriteByte(Bases[rng.Intn(4)])
+			b = append(b, Bases[rng.Intn(4)])
 		}
 		if rng.Float64() < subRate {
-			b.WriteByte(Bases[rng.Intn(4)])
+			b = append(b, Bases[rng.Intn(4)])
 		} else {
-			b.WriteByte(s[i])
+			b = append(b, s[i])
 		}
 	}
-	if b.Len() == 0 {
+	if len(b) == 0 {
 		// Never return an empty sequence; keep one base.
-		b.WriteByte(Bases[rng.Intn(4)])
+		b = append(b, Bases[rng.Intn(4)])
 	}
-	return Seq(b.String())
+	return b
 }
 
 // Family is a set of related sequences evolved from a common ancestor along
