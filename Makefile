@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check build vet staticcheck test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke bench-cluster bench-memo bench-kernel bench-gate
+.PHONY: ci fmt-check build vet staticcheck test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke pipeline-smoke bench-cluster bench-memo bench-kernel bench-gate
 
-ci: fmt-check build vet staticcheck test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke bench-gate
+ci: fmt-check build vet staticcheck test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke pipeline-smoke bench-gate
 	@echo "ci: all steps passed"
 
 fmt-check:
@@ -69,6 +69,12 @@ cluster-smoke:
 # directories, assert zero lost / duplicated jobs and a checkpointed resume.
 recovery-smoke:
 	./scripts/recovery_smoke.sh
+
+# pipeline-smoke mirrors the CI streaming-pipeline step: SIGKILL motifd
+# mid-NDJSON-stream, restart on the same WAL, assert the job resumes from
+# the deepest completed stage and replays a byte-identical stream.
+pipeline-smoke:
+	./scripts/pipeline_smoke.sh
 
 # bench-cluster measures cluster scheduling at 1/2/4 workers and writes
 # the per-scale throughput/latency report.

@@ -8,6 +8,7 @@
 //	alignbench -serve URL|self [-clients 1,4,16] [-jobs 48] [-out BENCH_serve.json]
 //	alignbench -serve self -memo BYTES [-clients 1,4,16] [-jobs 48] [-out BENCH_memo.json]
 //	alignbench -cluster URL [-clients 1,4,16] [-jobs 48] [-out BENCH_cluster.json]
+//	alignbench -pipeline URL|self [-n seqs] [-len seqLen] [-group N] [-stage-delay-us N]
 //
 // With -trace, alignbench runs one simulated Tree-Reduce-2 family
 // alignment with structured tracing on and writes the event stream as a
@@ -23,6 +24,11 @@
 // With -cluster, the same load generator drives a motifctl coordinator —
 // the job API is identical, so this measures cluster scheduling (placement,
 // shipping, retry) end to end.
+//
+// With -pipeline, alignbench submits one streaming pipeline job (filter →
+// align → reduce → report) and follows its NDJSON stream, reporting
+// time-to-first-record against total elapsed — the streaming pipeline's
+// defining advantage over a batch job.
 //
 // With -memo, each concurrency level runs twice over the same job seeds: a
 // cold pass that computes every alignment and a warm pass answered from the
@@ -57,6 +63,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON of one simulated alignment run to this file (overrides -mode)")
 	serveURL := flag.String("serve", "", "load-generate against the motifd at this URL (\"self\" hosts one in-process); overrides -mode")
 	clusterURL := flag.String("cluster", "", "load-generate against the motifctl coordinator at this URL; overrides -mode")
+	pipelineURL := flag.String("pipeline", "", "run one streaming pipeline job against the motifd at this URL (\"self\" hosts one in-process); overrides -mode")
+	group := flag.Int("group", 8, "reduce-stage window for -pipeline jobs")
+	stageDelay := flag.Int64("stage-delay-us", 0, "per-record report-stage delay for -pipeline (µs; makes streaming visible)")
 	clients := flag.String("clients", "1,4,16", "client-concurrency levels for -serve, comma-separated")
 	jobs := flag.Int("jobs", 48, "alignment jobs per concurrency level for -serve")
 	out := flag.String("out", "", "write the -serve load report as JSON to this file")
@@ -64,6 +73,13 @@ func main() {
 	memoBytes := cmdutil.MemoBytes(0)
 	flag.Parse()
 	loadBand = *band
+
+	if *pipelineURL != "" {
+		if err := runPipeline(*pipelineURL, *n, *seqLen, *seed, *band, *group, *stageDelay, *memoBytes); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *serveURL != "" || *clusterURL != "" {
 		benchmark, target := "serve", *serveURL

@@ -57,6 +57,112 @@ func writeWrapped(w io.Writer, s string) error {
 	return nil
 }
 
+// FastaRecord is one record of a FASTA stream as ScanFASTA yields it: the
+// header name and the raw concatenated sequence lines, unnormalized (may be
+// DNA, lowercase, or — for alignment files — gapped).
+type FastaRecord struct {
+	Name string
+	Raw  string
+}
+
+// FastaScanner reads FASTA records one at a time from a stream, holding
+// only the current record in memory — the ingestion path for pipeline jobs,
+// where a large input must not be materialized before stage 1 can start.
+// Use it like bufio.Scanner:
+//
+//	sc := ScanFASTA(r)
+//	for sc.Scan() {
+//	    rec := sc.Record()
+//	    ...
+//	}
+//	if err := sc.Err(); err != nil { ... }
+type FastaScanner struct {
+	sc     *bufio.Scanner
+	lineNo int
+	count  int // records yielded so far, for default names
+
+	started bool // a '>' header has been seen
+	name    string
+	cur     strings.Builder
+
+	rec  FastaRecord
+	err  error
+	done bool
+}
+
+// ScanFASTA returns an incremental reader over FASTA input. Records are
+// parsed as their terminating header (or EOF) arrives; blank lines and ';'
+// comments are skipped, and a missing header name defaults to seqN. The
+// scanner validates stream structure only (sequence data before any header
+// is an error, with its line number); content normalization is the caller's
+// concern — ReadFasta layers the RNA-alphabet check on top.
+func ScanFASTA(r io.Reader) *FastaScanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &FastaScanner{sc: sc}
+}
+
+// Scan advances to the next record, reporting whether one is available.
+// After Scan returns false, Err distinguishes end-of-stream from a
+// malformed stream or reader failure.
+func (f *FastaScanner) Scan() bool {
+	if f.err != nil || f.done {
+		return false
+	}
+	for f.sc.Scan() {
+		f.lineNo++
+		line := strings.TrimSpace(f.sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, ";"):
+		case strings.HasPrefix(line, ">"):
+			name := strings.TrimSpace(strings.TrimPrefix(line, ">"))
+			if f.started {
+				f.rec = f.flush()
+				f.name = name
+				return true
+			}
+			f.started = true
+			f.name = name
+		default:
+			if !f.started {
+				f.err = fmt.Errorf("bio: line %d: sequence data before any > header", f.lineNo)
+				return false
+			}
+			f.cur.WriteString(line)
+		}
+	}
+	if err := f.sc.Err(); err != nil {
+		f.err = err
+		return false
+	}
+	f.done = true
+	if f.started {
+		f.rec = f.flush()
+		f.started = false
+		return true
+	}
+	return false
+}
+
+// flush packages the pending record and resets the accumulator.
+func (f *FastaScanner) flush() FastaRecord {
+	f.count++
+	name := f.name
+	if name == "" {
+		name = fmt.Sprintf("seq%d", f.count)
+	}
+	rec := FastaRecord{Name: name, Raw: f.cur.String()}
+	f.cur.Reset()
+	f.name = ""
+	return rec
+}
+
+// Record returns the record the last successful Scan produced.
+func (f *FastaScanner) Record() FastaRecord { return f.rec }
+
+// Err returns the first error the scanner hit, nil at clean end-of-stream.
+func (f *FastaScanner) Err() error { return f.err }
+
 // ReadFasta parses FASTA input into a family. Sequences are validated
 // against the RNA alphabet, with T accepted and transcribed to U (so DNA
 // input works too); lowercase is accepted and upcased. Gap characters are
@@ -109,43 +215,27 @@ func ReadAlignedFasta(r io.Reader) (Alignment, []string, error) {
 	return aln, names, nil
 }
 
+// readFastaRaw materializes a whole FASTA stream — the non-streaming entry
+// points (ReadFasta, ReadAlignedFasta) layer on the incremental scanner.
 func readFastaRaw(r io.Reader) ([]string, []string, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	sc := ScanFASTA(r)
 	var names, rows []string
-	var cur strings.Builder
-	flush := func() {
-		if len(names) > 0 {
-			rows = append(rows, cur.String())
-			cur.Reset()
-		}
-	}
-	lineNo := 0
 	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "" || strings.HasPrefix(line, ";"):
-		case strings.HasPrefix(line, ">"):
-			flush()
-			name := strings.TrimSpace(strings.TrimPrefix(line, ">"))
-			if name == "" {
-				name = fmt.Sprintf("seq%d", len(names)+1)
-			}
-			names = append(names, name)
-		default:
-			if len(names) == 0 {
-				return nil, nil, fmt.Errorf("bio: line %d: sequence data before any > header", lineNo)
-			}
-			cur.WriteString(line)
-		}
+		rec := sc.Record()
+		names = append(names, rec.Name)
+		rows = append(rows, rec.Raw)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, nil, err
 	}
-	flush()
 	return names, rows, nil
 }
+
+// NormalizeSeq validates raw sequence text against the RNA alphabet with
+// the ingestion rules every reader applies: DNA T transcribes to U,
+// lowercase upcases, anything else (including gaps) is rejected. It is the
+// per-record validation step of streaming pipeline ingestion.
+func NormalizeSeq(raw string) (Seq, error) { return normalizeSeq(raw) }
 
 func normalizeSeq(raw string) (Seq, error) {
 	b := make([]byte, 0, len(raw))

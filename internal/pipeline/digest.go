@@ -1,0 +1,39 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/memo"
+)
+
+// sourceDigest is the content address of the record source: the FASTA text
+// itself, or the synthetic-family parameters (which determine the family
+// exactly — Evolve is seeded).
+func sourceDigest(s *Spec) memo.Key {
+	if s.Fasta != "" {
+		return memo.Sum("pipeline.src", []byte(s.Fasta))
+	}
+	return memo.Sum("pipeline.src", []byte(fmt.Sprintf("synthetic|%d|%d|%d", s.N, s.Len, s.Seed)))
+}
+
+// stageDigestFields returns the canonical encoding of one stage for prefix
+// digests. DelayMicros is deliberately excluded: it shapes timing, never
+// output, so a delayed run and an undelayed run share their prefixes.
+func stageDigestFields(st *StageSpec) []byte {
+	return []byte(fmt.Sprintf("%s|%d|%d|%d|%d", st.Name, st.MinLen, st.MaxLen, st.Band, st.Group))
+}
+
+// prefixDigest is the content address of stage i's output: the source plus
+// every stage up to and including i. Two jobs that share an upstream prefix
+// — same source, same leading stages — share these keys, so one job's
+// stage output answers the other's. Buffer depth is excluded for the same
+// reason as DelayMicros: it bounds in-flight records without changing them.
+func prefixDigest(s *Spec, i int) memo.Key {
+	src := sourceDigest(s)
+	fields := make([][]byte, 0, i+2)
+	fields = append(fields, src[:])
+	for j := 0; j <= i; j++ {
+		fields = append(fields, stageDigestFields(&s.Stages[j]))
+	}
+	return memo.Sum("pipeline.prefix", fields...)
+}

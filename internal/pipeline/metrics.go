@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// stageLatencyBounds are the per-record stage-latency histogram buckets in
+// microseconds (50µs .. ~3s).
+var stageLatencyBounds = []int64{
+	50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000, 1_000_000, 3_000_000,
+}
+
+// stageMetrics aggregates one stage name across every pipeline job the
+// server has run.
+type stageMetrics struct {
+	in      atomic.Int64
+	out     atomic.Int64
+	dropped atomic.Int64
+	queue   atomic.Int64 // records currently buffered in this stage's inbox
+	busy    atomic.Int64 // µs of stage-goroutine wall time
+
+	mu  sync.Mutex
+	lat *metrics.Histogram // per-record µs from receive to emit
+}
+
+func (sm *stageMetrics) observeLatency(micros int64) {
+	sm.mu.Lock()
+	sm.lat.Observe(micros)
+	sm.mu.Unlock()
+}
+
+// Metrics is the server-wide pipeline metrics registry, aggregated by
+// stage name. All methods are safe for concurrent use; a nil *Metrics is
+// inert, so callers never guard.
+type Metrics struct {
+	jobs    atomic.Int64
+	records atomic.Int64 // final records streamed across all jobs
+	resumed atomic.Int64 // stages skipped via checkpoint/memo resume
+
+	mu     sync.Mutex
+	stages map[string]*stageMetrics
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{stages: make(map[string]*stageMetrics)}
+}
+
+func (m *Metrics) stage(name string) *stageMetrics {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sm := m.stages[name]
+	if sm == nil {
+		sm = &stageMetrics{lat: metrics.NewHistogram(stageLatencyBounds...)}
+		m.stages[name] = sm
+	}
+	return sm
+}
+
+func (m *Metrics) noteJob() {
+	if m != nil {
+		m.jobs.Add(1)
+	}
+}
+
+func (m *Metrics) noteRecords(n int) {
+	if m != nil {
+		m.records.Add(int64(n))
+	}
+}
+
+func (m *Metrics) noteResumed(n int) {
+	if m != nil {
+		m.resumed.Add(int64(n))
+	}
+}
+
+// StageSnapshot is one stage's block in the /metrics document.
+type StageSnapshot struct {
+	Name          string  `json:"name"`
+	In            int64   `json:"in"`
+	Out           int64   `json:"out"`
+	Dropped       int64   `json:"dropped"`
+	QueueDepth    int64   `json:"queue_depth"`
+	BusyMS        float64 `json:"busy_ms"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// MetricsSnapshot is the `pipeline` block of the daemon's /metrics
+// document.
+type MetricsSnapshot struct {
+	Jobs          int64           `json:"jobs"`
+	Records       int64           `json:"records"`
+	ResumedStages int64           `json:"resumed_stages"`
+	Stages        []StageSnapshot `json:"stages"`
+}
+
+// Snapshot captures the registry. Stages are sorted by name so the
+// document is deterministic.
+func (m *Metrics) Snapshot() *MetricsSnapshot {
+	if m == nil {
+		return nil
+	}
+	snap := &MetricsSnapshot{
+		Jobs:          m.jobs.Load(),
+		Records:       m.records.Load(),
+		ResumedStages: m.resumed.Load(),
+	}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.stages))
+	for name := range m.stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sm := m.stages[name]
+		out := sm.out.Load()
+		busyMicros := sm.busy.Load()
+		ss := StageSnapshot{
+			Name:       name,
+			In:         sm.in.Load(),
+			Out:        out,
+			Dropped:    sm.dropped.Load(),
+			QueueDepth: sm.queue.Load(),
+			BusyMS:     float64(busyMicros) / 1000,
+		}
+		sm.mu.Lock()
+		if sm.lat.Count() > 0 {
+			ss.P50MS = sm.lat.Quantile(0.50) / 1000
+			ss.P95MS = sm.lat.Quantile(0.95) / 1000
+		}
+		sm.mu.Unlock()
+		if busyMicros > 0 {
+			ss.ThroughputRPS = float64(out) / (float64(busyMicros) / 1e6)
+		}
+		snap.Stages = append(snap.Stages, ss)
+	}
+	m.mu.Unlock()
+	return snap
+}

@@ -1,0 +1,489 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/memo"
+	"repro/internal/store"
+)
+
+func fourStageSpec() *Spec {
+	return &Spec{
+		N: 12, Len: 40, Seed: 7,
+		Stages: []StageSpec{
+			{Name: StageFilter, MinLen: 4},
+			{Name: StageAlign, Band: 8},
+			{Name: StageReduce, Group: 4, Band: 8},
+			{Name: StageReport},
+		},
+	}
+}
+
+func mustValidate(t *testing.T, s *Spec) *Spec {
+	t.Helper()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := fourStageSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.Buffer != DefaultBuffer {
+		t.Fatalf("Buffer default = %d", good.Buffer)
+	}
+	bad := []*Spec{
+		{},     // no source
+		{N: 4}, // no len
+		{Fasta: ">a\nAC\n", N: 4, Len: 8, Stages: []StageSpec{{Name: StageFilter}}}, // both sources
+		{N: 4, Len: 8}, // no stages
+		{N: 4, Len: 8, Stages: []StageSpec{{Name: "mystery"}}},
+		{N: 4, Len: 8, Stages: []StageSpec{{Name: StageReport}, {Name: StageFilter}}},  // report not last
+		{N: 4, Len: 8, Stages: []StageSpec{{Name: StageReduce}, {Name: StageAlign}}},   // align after reduce
+		{N: 4, Len: 8, Stages: []StageSpec{{Name: StageReduce}, {Name: StageReduce}}},  // reduce after reduce
+		{N: 4, Len: 8, Stages: []StageSpec{{Name: StageFilter, MinLen: 9, MaxLen: 3}}}, // inverted bounds
+		{N: 4, Len: 8, Stages: []StageSpec{{Name: StageFilter, DelayMicros: MaxDelayMicros + 1}}},
+		{N: MaxSynthetic + 1, Len: 8, Stages: []StageSpec{{Name: StageFilter}}},
+		{N: 4, Len: 8, Buffer: MaxBuffer + 1, Stages: []StageSpec{{Name: StageFilter}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+}
+
+func TestRunFourStageChain(t *testing.T) {
+	spec := mustValidate(t, fourStageSpec())
+	var got []Record
+	res, err := Run(context.Background(), spec, &Env{Emit: func(r Record) { got = append(got, r) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 records in groups of 4 → 3 group records + 1 summary.
+	if res.Records != 4 || len(got) != 4 {
+		t.Fatalf("records = %d / %d emitted", res.Records, len(got))
+	}
+	for i, r := range got[:3] {
+		if r.Kind != "group" || len(r.Members) != 4 || r.Columns == 0 || r.Consensus == "" {
+			t.Fatalf("group %d = %+v", i, r)
+		}
+		if len(r.Rows) != 0 {
+			t.Fatalf("report stage leaked alignment rows: %+v", r)
+		}
+	}
+	last := got[3]
+	if last.Kind != "summary" || last.Groups != 3 || last.MeanIdentity <= 0 {
+		t.Fatalf("summary = %+v", last)
+	}
+	// Stage accounting: source out 12 → filter 12/12 → align 12/12 →
+	// reduce 12/3 → report 3/4 (summary appended).
+	wantStages := []StageResult{
+		{Name: "source", Out: 12},
+		{Name: "filter", In: 12, Out: 12},
+		{Name: "align", In: 12, Out: 12},
+		{Name: "reduce", In: 12, Out: 3},
+		{Name: "report", In: 3, Out: 4},
+	}
+	if len(res.Stages) != len(wantStages) {
+		t.Fatalf("stages = %+v", res.Stages)
+	}
+	for i, w := range wantStages {
+		if res.Stages[i] != w {
+			t.Fatalf("stage %d = %+v, want %+v", i, res.Stages[i], w)
+		}
+	}
+}
+
+func TestRunFastaSourceFilterDrops(t *testing.T) {
+	fasta := ">a\nACGUACGU\n>bad\nACGX\n>short\nAC\n>b\nacgtacgt\n"
+	spec := mustValidate(t, &Spec{
+		Fasta:  fasta,
+		Stages: []StageSpec{{Name: StageFilter, MinLen: 4}, {Name: StageReport}},
+	})
+	var got []Record
+	res, err := Run(context.Background(), spec, &Env{Emit: func(r Record) { got = append(got, r) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages[1].Dropped != 2 || res.Stages[1].Out != 2 {
+		t.Fatalf("filter accounting = %+v", res.Stages[1])
+	}
+	if len(got) != 3 || got[0].Name != "a" || got[1].Name != "b" || got[2].Kind != "summary" {
+		t.Fatalf("records = %+v", got)
+	}
+	if got[1].Len != 8 {
+		t.Fatalf("lowercase DNA record not normalized: %+v", got[1])
+	}
+}
+
+func TestRunMalformedRecordFailsComputeStage(t *testing.T) {
+	// Without a filter stage, garbage reaches align and must fail the job
+	// rather than silently vanish.
+	spec := mustValidate(t, &Spec{
+		Fasta:  ">a\nACGU\n>bad\nAC-GU\n",
+		Stages: []StageSpec{{Name: StageAlign}},
+	})
+	if _, err := Run(context.Background(), spec, &Env{}); err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Fatalf("err = %v, want align failure naming the record", err)
+	}
+}
+
+func TestRunStreamsBeforeCompletion(t *testing.T) {
+	// The acceptance property at the engine level: with a slow final
+	// stage, the first record must reach the sink while the run is still
+	// in flight.
+	spec := fourStageSpec()
+	spec.Stages[3].DelayMicros = 30_000 // 30ms per record in report
+	mustValidate(t, spec)
+
+	first := make(chan Record, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Run(context.Background(), spec, &Env{Emit: func(r Record) {
+			select {
+			case first <- r:
+			default:
+			}
+		}})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-first:
+		select {
+		case <-done:
+			t.Fatal("run already complete when the first record arrived")
+		default: // streaming: record seen, later stage still working
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("no record streamed")
+	}
+	<-done
+}
+
+func TestRunBackpressureBoundsInFlight(t *testing.T) {
+	// A slow report stage must hold the source back: records in flight
+	// (source emissions minus sink arrivals) stay O(stages × buffer).
+	spec := &Spec{
+		N: 64, Len: 16, Seed: 3, Buffer: 2,
+		Stages: []StageSpec{
+			{Name: StageFilter},
+			{Name: StageReport, DelayMicros: 2_000},
+		},
+	}
+	mustValidate(t, spec)
+	m := NewMetrics()
+	var sunk atomic.Int64
+	var maxInFlight int64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		src := m.stage("source")
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+				if d := src.out.Load() - sunk.Load(); d > maxInFlight {
+					maxInFlight = d
+				}
+			}
+		}
+	}()
+	_, err := Run(context.Background(), spec, &Env{
+		Metrics: m,
+		Emit:    func(Record) { sunk.Add(1) },
+	})
+	close(stop)
+	<-sampled
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chain is source→filter→report→sink: 3 bounded hops of depth 2 plus
+	// one record in each of the 4 stages' hands.
+	limit := int64(3*(spec.Buffer+1) + 2)
+	if maxInFlight > limit {
+		t.Fatalf("%d records in flight past a slow stage (bound %d): hand-off is not backpressured", maxInFlight, limit)
+	}
+	// And the gauges must all be back to zero after a clean run.
+	for _, ss := range m.Snapshot().Stages {
+		if ss.QueueDepth != 0 {
+			t.Fatalf("stage %s queue depth %d after completion", ss.Name, ss.QueueDepth)
+		}
+	}
+}
+
+func TestRunCancelMidStreamNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	spec := fourStageSpec()
+	spec.Stages[3].DelayMicros = 20_000
+	mustValidate(t, spec)
+	m := NewMetrics()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once atomic.Bool
+	errc := make(chan error, 1)
+	go func() {
+		_, err := Run(ctx, spec, &Env{Metrics: m, Emit: func(Record) {
+			if once.CompareAndSwap(false, true) {
+				close(started)
+			}
+		}})
+		errc <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipeline never streamed a record")
+	}
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not unwind after cancel")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base {
+		t.Fatalf("goroutines %d > base %d after cancelled run", g, base)
+	}
+	// Stranded in-channel records must not read as permanent queue depth.
+	for _, ss := range m.Snapshot().Stages {
+		if ss.QueueDepth != 0 {
+			t.Fatalf("stage %s queue depth %d after cancelled run", ss.Name, ss.QueueDepth)
+		}
+	}
+}
+
+func openStore(t *testing.T) *store.JobStore {
+	t.Helper()
+	js, err := store.Open(filepath.Join(t.TempDir(), "wal"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { js.Close() })
+	return js
+}
+
+func outputJSON(t *testing.T, recs []Record) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range recs {
+		blob, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(blob)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestRunResumesFromWALCheckpoints(t *testing.T) {
+	js := openStore(t)
+	const jobID = "job-ckpt"
+	js.Accepted(jobID, "", nil)
+
+	// Reference: the full chain, no durability, records the expected
+	// byte-exact output.
+	full := mustValidate(t, fourStageSpec())
+	want, err := Run(context.Background(), full, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a daemon that died after the first two stages completed:
+	// run only filter+align under the job ID, leaving their stage-boundary
+	// checkpoints in the WAL.
+	head := mustValidate(t, &Spec{N: 12, Len: 40, Seed: 7,
+		Stages: []StageSpec{{Name: StageFilter, MinLen: 4}, {Name: StageAlign, Band: 8}}})
+	if _, err := Run(context.Background(), head, &Env{Store: js, JobID: jobID}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the full chain under the same job ID must resume below
+	// align — not re-filter, not re-align — and still produce the same
+	// bytes.
+	resumed := mustValidate(t, fourStageSpec())
+	got, err := Run(context.Background(), resumed, &Env{Store: js, JobID: jobID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ResumedStages != 2 {
+		t.Fatalf("resumed_stages = %d, want 2 (filter+align)", got.ResumedStages)
+	}
+	if !got.Stages[1].Resumed || !got.Stages[2].Resumed || got.Stages[3].Resumed {
+		t.Fatalf("stage resume flags = %+v", got.Stages)
+	}
+	if outputJSON(t, got.Output) != outputJSON(t, want.Output) {
+		t.Fatalf("resumed output differs from uninterrupted output:\n%s\nvs\n%s",
+			outputJSON(t, got.Output), outputJSON(t, want.Output))
+	}
+}
+
+func TestRunReplaysCompletedJobFromWAL(t *testing.T) {
+	js := openStore(t)
+	const jobID = "job-done"
+	js.Accepted(jobID, "", nil)
+	spec := mustValidate(t, fourStageSpec())
+	want, err := Run(context.Background(), spec, &Env{Store: js, JobID: jobID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same job, same WAL: every boundary is sealed, so nothing re-runs and
+	// the stream replays byte-identically.
+	again := mustValidate(t, fourStageSpec())
+	got, err := Run(context.Background(), again, &Env{Store: js, JobID: jobID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ResumedStages != len(spec.Stages) {
+		t.Fatalf("resumed_stages = %d, want %d", got.ResumedStages, len(spec.Stages))
+	}
+	if outputJSON(t, got.Output) != outputJSON(t, want.Output) {
+		t.Fatal("replayed output differs")
+	}
+}
+
+func TestRunReusesMemoPrefixAcrossJobs(t *testing.T) {
+	cache := memo.New(1 << 20)
+	spec := mustValidate(t, fourStageSpec())
+	want, err := Run(context.Background(), spec, &Env{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.MemoStages != len(spec.Stages) {
+		t.Fatalf("memo_stages = %d, want %d", want.MemoStages, len(spec.Stages))
+	}
+
+	// A different job with an identical upstream prefix: answered from the
+	// cache, no stage re-runs.
+	again := mustValidate(t, fourStageSpec())
+	got, err := Run(context.Background(), again, &Env{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ResumedStages != len(spec.Stages) {
+		t.Fatalf("resumed_stages = %d, want %d", got.ResumedStages, len(spec.Stages))
+	}
+	if outputJSON(t, got.Output) != outputJSON(t, want.Output) {
+		t.Fatal("memo-replayed output differs")
+	}
+
+	// A job that shares only the first two stages resumes below them and
+	// computes the rest.
+	partial := mustValidate(t, &Spec{N: 12, Len: 40, Seed: 7,
+		Stages: []StageSpec{
+			{Name: StageFilter, MinLen: 4},
+			{Name: StageAlign, Band: 8},
+			{Name: StageReduce, Group: 6, Band: 8}, // different window ⇒ new suffix
+			{Name: StageReport},
+		}})
+	pres, err := Run(context.Background(), partial, &Env{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.ResumedStages != 2 {
+		t.Fatalf("resumed_stages = %d, want 2 (shared filter+align prefix)", pres.ResumedStages)
+	}
+	if pres.Records != 3 { // 12 records / window 6 → 2 groups + summary
+		t.Fatalf("records = %d", pres.Records)
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	a, err := Run(context.Background(), mustValidate(t, fourStageSpec()), &Env{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), mustValidate(t, fourStageSpec()), &Env{Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outputJSON(t, a.Output) != outputJSON(t, b.Output) {
+		t.Fatal("output depends on worker count: resume cannot be byte-identical")
+	}
+}
+
+func TestMetricsSnapshotShape(t *testing.T) {
+	m := NewMetrics()
+	spec := mustValidate(t, fourStageSpec())
+	if _, err := Run(context.Background(), spec, &Env{Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.Jobs != 1 || snap.Records != 4 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	want := []string{"align", "filter", "reduce", "report", "source"} // sorted
+	if len(snap.Stages) != len(want) {
+		t.Fatalf("stages = %+v", snap.Stages)
+	}
+	for i, name := range want {
+		ss := snap.Stages[i]
+		if ss.Name != name {
+			t.Fatalf("stage %d = %q, want %q", i, ss.Name, name)
+		}
+		if ss.Out == 0 || ss.ThroughputRPS <= 0 {
+			t.Fatalf("stage %s missing throughput: %+v", name, ss)
+		}
+		if name != "source" && ss.In == 0 {
+			t.Fatalf("stage %s missing in-count: %+v", name, ss)
+		}
+	}
+	// A second job aggregates into the same registry.
+	if _, err := Run(context.Background(), spec, &Env{Metrics: m}); err != nil {
+		t.Fatal(err)
+	}
+	if snap = m.Snapshot(); snap.Jobs != 2 {
+		t.Fatalf("jobs = %d", snap.Jobs)
+	}
+}
+
+func TestPrefixDigestSensitivity(t *testing.T) {
+	a := mustValidate(t, fourStageSpec())
+	b := mustValidate(t, fourStageSpec())
+	if prefixDigest(a, 3) != prefixDigest(b, 3) {
+		t.Fatal("identical specs disagree on prefix digest")
+	}
+	b.Stages[1].Band = 99
+	if prefixDigest(a, 1) == prefixDigest(b, 1) {
+		t.Fatal("band change did not change prefix digest")
+	}
+	if prefixDigest(a, 0) != prefixDigest(b, 0) {
+		t.Fatal("downstream change altered upstream prefix")
+	}
+	// Timing and capacity knobs must not fragment the cache.
+	c := mustValidate(t, fourStageSpec())
+	c.Stages[1].DelayMicros = 1000
+	c.Buffer = 64
+	if prefixDigest(a, 3) != prefixDigest(c, 3) {
+		t.Fatal("delay/buffer changed prefix digest")
+	}
+	d := mustValidate(t, fourStageSpec())
+	d.Seed = 8
+	if prefixDigest(a, 0) == prefixDigest(d, 0) {
+		t.Fatal("source change did not change prefix digest")
+	}
+}

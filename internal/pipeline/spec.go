@@ -1,0 +1,204 @@
+// Package pipeline defines streaming pipeline jobs: a DAG-lite chain of
+// named motif stages (filter → align → guide-tree reduce → report) over a
+// record stream, executed on the skel.StreamPipeline substrate with
+// bounded, backpressured channel hand-off, per-stage cancellation,
+// trace/metric spans, stage-boundary WAL checkpoints, and per-stage memo
+// digests. It is the workload that turns motifd from a one-shot RPC daemon
+// into a workflow engine: clients submit a Spec and watch records stream
+// out as NDJSON while later stages are still running.
+package pipeline
+
+import (
+	"fmt"
+)
+
+// Stage names a Spec may chain. Each consumes and produces a record kind:
+// filter and align map seq→seq, reduce windows seq→group, report compacts
+// either kind and must come last.
+const (
+	StageFilter = "filter"
+	StageAlign  = "align"
+	StageReduce = "reduce"
+	StageReport = "report"
+)
+
+// Limits on a Spec, enforced by Validate: they bound the work a single
+// HTTP-submitted job can demand.
+const (
+	MaxStages      = 8
+	MaxBuffer      = 1024
+	MaxSynthetic   = 4096    // synthetic family size
+	MaxSeqLen      = 1 << 14 // synthetic ancestor length
+	MaxDelayMicros = 100_000 // per-record artificial delay (tests/smoke)
+	maxGroup       = 64
+	defaultGroup   = 8
+	// DefaultBuffer is the per-hop channel depth when the Spec leaves
+	// Buffer zero: deep enough to decouple stage jitter, shallow enough
+	// that in-flight memory stays trivially bounded.
+	DefaultBuffer = 4
+)
+
+// StageSpec configures one named stage.
+type StageSpec struct {
+	Name string `json:"name"`
+
+	// MinLen/MaxLen bound sequence length in a filter stage (0 = no bound).
+	MinLen int `json:"min_len,omitempty"`
+	MaxLen int `json:"max_len,omitempty"`
+
+	// Band is the banded-alignment half-width for align and reduce stages
+	// (0 = exact).
+	Band int `json:"band,omitempty"`
+
+	// Group is the reduce stage's window: how many records fold into one
+	// guide-tree alignment (default 8).
+	Group int `json:"group,omitempty"`
+
+	// DelayMicros sleeps this long per record before processing it — a
+	// test/smoke knob for making a stage observably slow (backpressure
+	// assertions, kill-mid-stream windows). Capped at MaxDelayMicros and
+	// excluded from memo digests: it changes timing, never output.
+	DelayMicros int64 `json:"delay_us,omitempty"`
+}
+
+// Spec is a pipeline job specification as submitted over the job API. The
+// source is either inline FASTA text or a synthetic family (N sequences of
+// ancestral length Len evolved from Seed).
+type Spec struct {
+	Fasta string `json:"fasta,omitempty"`
+	N     int    `json:"n,omitempty"`
+	Len   int    `json:"len,omitempty"`
+	Seed  int64  `json:"seed,omitempty"`
+
+	// Buffer is the bounded channel depth between stages — the
+	// backpressure bound (default DefaultBuffer).
+	Buffer int `json:"buffer,omitempty"`
+
+	Stages []StageSpec `json:"stages"`
+}
+
+// Validate checks the spec and applies defaults in place.
+func (s *Spec) Validate() error {
+	if s.Fasta == "" {
+		if s.N <= 0 || s.Len <= 0 {
+			return fmt.Errorf("pipeline: need fasta text or a synthetic source (n and len)")
+		}
+		if s.N > MaxSynthetic {
+			return fmt.Errorf("pipeline: n %d exceeds %d", s.N, MaxSynthetic)
+		}
+		if s.Len > MaxSeqLen {
+			return fmt.Errorf("pipeline: len %d exceeds %d", s.Len, MaxSeqLen)
+		}
+	} else if s.N != 0 || s.Len != 0 {
+		return fmt.Errorf("pipeline: fasta and synthetic source are mutually exclusive")
+	}
+	if s.Buffer < 0 || s.Buffer > MaxBuffer {
+		return fmt.Errorf("pipeline: buffer %d out of range [0,%d]", s.Buffer, MaxBuffer)
+	}
+	if s.Buffer == 0 {
+		s.Buffer = DefaultBuffer
+	}
+	if len(s.Stages) == 0 {
+		return fmt.Errorf("pipeline: no stages")
+	}
+	if len(s.Stages) > MaxStages {
+		return fmt.Errorf("pipeline: %d stages exceeds %d", len(s.Stages), MaxStages)
+	}
+	kind := "seq" // what the source feeds stage 0
+	for i := range s.Stages {
+		st := &s.Stages[i]
+		if st.DelayMicros < 0 || st.DelayMicros > MaxDelayMicros {
+			return fmt.Errorf("pipeline: stage %d: delay_us %d out of range [0,%d]", i, st.DelayMicros, MaxDelayMicros)
+		}
+		if st.Band < 0 {
+			return fmt.Errorf("pipeline: stage %d: negative band", i)
+		}
+		switch st.Name {
+		case StageFilter:
+			if kind != "seq" {
+				return fmt.Errorf("pipeline: stage %d: filter consumes seq records, gets %s", i, kind)
+			}
+			if st.MinLen < 0 || st.MaxLen < 0 || (st.MaxLen > 0 && st.MinLen > st.MaxLen) {
+				return fmt.Errorf("pipeline: stage %d: bad length bounds [%d,%d]", i, st.MinLen, st.MaxLen)
+			}
+		case StageAlign:
+			if kind != "seq" {
+				return fmt.Errorf("pipeline: stage %d: align consumes seq records, gets %s", i, kind)
+			}
+		case StageReduce:
+			if kind != "seq" {
+				return fmt.Errorf("pipeline: stage %d: reduce consumes seq records, gets %s", i, kind)
+			}
+			if st.Group == 0 {
+				st.Group = defaultGroup
+			}
+			if st.Group < 2 || st.Group > maxGroup {
+				return fmt.Errorf("pipeline: stage %d: group %d out of range [2,%d]", i, st.Group, maxGroup)
+			}
+			kind = "group"
+		case StageReport:
+			if i != len(s.Stages)-1 {
+				return fmt.Errorf("pipeline: stage %d: report must be the final stage", i)
+			}
+			kind = "report"
+		default:
+			return fmt.Errorf("pipeline: stage %d: unknown stage %q", i, st.Name)
+		}
+	}
+	return nil
+}
+
+// Record is one item flowing between stages and, for the final stage, one
+// NDJSON line streamed to the client. A single flat struct keeps the wire
+// format and the checkpoint format identical; Kind says which fields are
+// live. Records carry no timestamps so a resumed run reproduces the
+// original stream byte for byte.
+type Record struct {
+	Kind  string `json:"kind"` // "seq", "group", or "summary"
+	Index int    `json:"index"`
+
+	// seq records
+	Name        string  `json:"name,omitempty"`
+	Seq         string  `json:"seq,omitempty"`
+	Len         int     `json:"len,omitempty"`
+	RefIdentity float64 `json:"ref_identity,omitempty"` // vs the stream's first record (align stage)
+	Score       int     `json:"score,omitempty"`
+
+	// group records (reduce stage)
+	Members    []string `json:"members,omitempty"`
+	Rows       []string `json:"rows,omitempty"`
+	Columns    int      `json:"columns,omitempty"`
+	SPIdentity float64  `json:"sp_identity,omitempty"`
+	Consensus  string   `json:"consensus,omitempty"`
+
+	// summary record (trailing record of a report stage)
+	Records      int     `json:"records,omitempty"`
+	Groups       int     `json:"groups,omitempty"`
+	MeanIdentity float64 `json:"mean_identity,omitempty"`
+}
+
+// StageResult is one stage's accounting in a finished job.
+type StageResult struct {
+	Name    string `json:"name"`
+	In      int    `json:"in"`
+	Out     int    `json:"out"`
+	Dropped int    `json:"dropped,omitempty"`
+	// Resumed marks a stage whose output was restored from a WAL
+	// checkpoint or memo prefix instead of being re-run.
+	Resumed bool `json:"resumed,omitempty"`
+}
+
+// Result is what a completed pipeline job reports.
+type Result struct {
+	Records int           `json:"records"` // final records streamed
+	Stages  []StageResult `json:"stages"`
+	// ResumedStages counts stages skipped on this run because a WAL
+	// checkpoint or memo'd prefix already held their output.
+	ResumedStages int `json:"resumed_stages,omitempty"`
+	// MemoStages counts stage outputs that were additionally published to
+	// the content-addressed cache for reuse by identical upstream prefixes.
+	MemoStages int `json:"memo_stages,omitempty"`
+	// Output retains the final records so a recovered daemon can replay
+	// the stream of a job that finished before a crash.
+	Output []Record `json:"output,omitempty"`
+}

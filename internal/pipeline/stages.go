@@ -1,0 +1,318 @@
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/skel"
+)
+
+// stageIO is what a stage body runs against: receive from upstream, emit
+// downstream, both cancellation-aware. recv reports false at end-of-input
+// or cancellation; emit reports false only on cancellation — a body that
+// sees it should return io.ctx.Err(). drop counts a record consumed but
+// deliberately not forwarded (filter).
+type stageIO struct {
+	ctx  context.Context
+	recv func() (Record, bool)
+	emit func(Record) bool
+	drop func()
+}
+
+// delay sleeps the stage's per-record artificial delay, cancellation-aware.
+func (io *stageIO) delay(micros int64) {
+	if micros <= 0 {
+		return
+	}
+	t := time.NewTimer(time.Duration(micros) * time.Microsecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-io.ctx.Done():
+	}
+}
+
+// sourceSynthetic evolves a seeded family and streams it record by record.
+func sourceSynthetic(spec *Spec) func(io *stageIO) error {
+	return func(io *stageIO) error {
+		fam, err := bio.Evolve(spec.N, spec.Len, 0.08, 0.01, spec.Seed)
+		if err != nil {
+			return fmt.Errorf("pipeline source: %w", err)
+		}
+		for i, s := range fam.Seqs {
+			rec := Record{Kind: "seq", Index: i, Name: fam.Names[i], Seq: string(s), Len: len(s)}
+			if !io.emit(rec) {
+				return io.ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// sourceFasta streams the spec's inline FASTA text through the incremental
+// scanner — records reach stage 1 as they are parsed, never as a
+// materialized family. Raw (unnormalized) sequence text flows downstream;
+// validation is the filter stage's job, and stages that need clean
+// sequences fail loudly on garbage.
+func sourceFasta(spec *Spec) func(io *stageIO) error {
+	return func(io *stageIO) error {
+		sc := bio.ScanFASTA(strings.NewReader(spec.Fasta))
+		i := 0
+		for sc.Scan() {
+			rec := sc.Record()
+			if !io.emit(Record{Kind: "seq", Index: i, Name: rec.Name, Seq: rec.Raw, Len: len(rec.Raw)}) {
+				return io.ctx.Err()
+			}
+			i++
+		}
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("pipeline source: %w", err)
+		}
+		return nil
+	}
+}
+
+// playback replays checkpointed records as the stream source when a run
+// resumes below a completed stage boundary.
+func playback(records []Record) func(io *stageIO) error {
+	return func(io *stageIO) error {
+		for _, rec := range records {
+			if !io.emit(rec) {
+				return io.ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// stageFilter normalizes each sequence (DNA→RNA, case) and drops records
+// that are malformed or outside the configured length bounds. It
+// re-indexes survivors so downstream indices stay dense.
+func stageFilter(st *StageSpec) func(io *stageIO) error {
+	return func(io *stageIO) error {
+		out := 0
+		for {
+			rec, ok := io.recv()
+			if !ok {
+				return nil
+			}
+			io.delay(st.DelayMicros)
+			seq, err := bio.NormalizeSeq(rec.Seq)
+			if err != nil {
+				io.drop()
+				continue
+			}
+			if len(seq) < st.MinLen || (st.MaxLen > 0 && len(seq) > st.MaxLen) {
+				io.drop()
+				continue
+			}
+			rec.Seq = string(seq)
+			rec.Len = len(seq)
+			rec.Index = out
+			out++
+			if !io.emit(rec) {
+				return io.ctx.Err()
+			}
+		}
+	}
+}
+
+// normRecord is the strict counterpart of the filter stage's tolerance:
+// compute stages fail the pipeline on malformed input instead of silently
+// skipping it.
+func normRecord(rec Record) (bio.Seq, error) {
+	seq, err := bio.NormalizeSeq(rec.Seq)
+	if err != nil {
+		return nil, fmt.Errorf("record %q: %w", rec.Name, err)
+	}
+	return seq, nil
+}
+
+// stageAlign aligns every record pairwise against the stream's first
+// record (the reference) and annotates it with identity and score — O(1)
+// state regardless of stream length.
+func stageAlign(st *StageSpec) func(io *stageIO) error {
+	return func(io *stageIO) error {
+		var ref bio.Seq
+		out := 0
+		for {
+			rec, ok := io.recv()
+			if !ok {
+				return nil
+			}
+			io.delay(st.DelayMicros)
+			seq, err := normRecord(rec)
+			if err != nil {
+				return fmt.Errorf("align: %w", err)
+			}
+			if ref == nil {
+				ref = seq
+			}
+			var rowA, rowB string
+			var score int
+			if st.Band > 0 {
+				a, b, sc := bio.GotohAlignBanded(ref, seq, st.Band)
+				rowA, rowB, score = string(a), string(b), sc
+			} else {
+				rowA, rowB, score = bio.PairAlign(ref, seq)
+			}
+			rec.Seq = string(seq)
+			rec.Len = len(seq)
+			rec.RefIdentity = pairIdentity(rowA, rowB)
+			rec.Score = score
+			rec.Index = out
+			out++
+			if !io.emit(rec) {
+				return io.ctx.Err()
+			}
+		}
+	}
+}
+
+// pairIdentity is the fraction of alignment columns where both rows carry
+// the same residue (gaps never match).
+func pairIdentity(a, b string) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	match := 0
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] == b[i] && a[i] != '-' {
+			match++
+		}
+	}
+	return float64(match) / float64(len(a))
+}
+
+// stageReduce windows the stream into groups of st.Group records and folds
+// each window through the guide-tree multiple alignment — the Tree-Reduce
+// motif embedded as one stage of the Pipe motif. A trailing partial window
+// is aligned too; a single leftover record becomes a trivial group.
+func stageReduce(st *StageSpec, spec *Spec, env *Env) func(io *stageIO) error {
+	return func(io *stageIO) error {
+		var names []string
+		var seqs []bio.Seq
+		group := 0
+		flush := func() (Record, error) {
+			defer func() { names, seqs = nil, nil }()
+			rec := Record{Kind: "group", Index: group, Name: fmt.Sprintf("group%d", group+1), Members: names}
+			group++
+			if len(seqs) == 1 {
+				rec.Rows = []string{string(seqs[0])}
+				rec.Columns = len(seqs[0])
+				rec.SPIdentity = 1
+				rec.Consensus = string(seqs[0])
+				return rec, nil
+			}
+			workers := env.Workers
+			if workers <= 0 {
+				workers = 4
+			}
+			fam := &bio.Family{Names: names, Seqs: seqs}
+			opts := skel.ReduceOptions{Workers: workers, Mapper: skel.MapRandom, Seed: spec.Seed}
+			aln, _, err := bio.AlignFamilyBanded(io.ctx, fam, opts, env.Cache, st.Band)
+			if err != nil {
+				return rec, fmt.Errorf("reduce group %s: %w", rec.Name, err)
+			}
+			rec.Rows = []string(aln)
+			rec.Columns = aln.Width()
+			rec.SPIdentity = aln.SPIdentity()
+			rec.Consensus = aln.Consensus()
+			return rec, nil
+		}
+		for {
+			in, ok := io.recv()
+			if !ok {
+				break
+			}
+			io.delay(st.DelayMicros)
+			seq, err := normRecord(in)
+			if err != nil {
+				return fmt.Errorf("reduce: %w", err)
+			}
+			names = append(names, in.Name)
+			seqs = append(seqs, seq)
+			if len(seqs) == st.Group {
+				rec, err := flush()
+				if err != nil {
+					return err
+				}
+				if !io.emit(rec) {
+					return io.ctx.Err()
+				}
+			}
+		}
+		if len(seqs) > 0 {
+			rec, err := flush()
+			if err != nil {
+				return err
+			}
+			if !io.emit(rec) {
+				return io.ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// stageReport compacts records for the wire — sequence/row payloads
+// dropped, identities kept — and appends a trailing summary record with
+// the stream's aggregate shape.
+func stageReport(st *StageSpec) func(io *stageIO) error {
+	return func(io *stageIO) error {
+		out := 0
+		nSeq, nGroup := 0, 0
+		var identitySum float64
+		for {
+			rec, ok := io.recv()
+			if !ok {
+				break
+			}
+			io.delay(st.DelayMicros)
+			switch rec.Kind {
+			case "seq":
+				nSeq++
+				identitySum += rec.RefIdentity
+				if rec.Len == 0 {
+					rec.Len = len(rec.Seq)
+				}
+				rec.Seq = ""
+			case "group":
+				nGroup++
+				identitySum += rec.SPIdentity
+				rec.Rows = nil
+			}
+			rec.Index = out
+			out++
+			if !io.emit(rec) {
+				return io.ctx.Err()
+			}
+		}
+		sum := Record{Kind: "summary", Index: out, Records: nSeq, Groups: nGroup}
+		if n := nSeq + nGroup; n > 0 {
+			sum.MeanIdentity = identitySum / float64(n)
+		}
+		if !io.emit(sum) {
+			return io.ctx.Err()
+		}
+		return nil
+	}
+}
+
+// buildBody maps a validated StageSpec to its body.
+func buildBody(st *StageSpec, spec *Spec, env *Env) func(io *stageIO) error {
+	switch st.Name {
+	case StageFilter:
+		return stageFilter(st)
+	case StageAlign:
+		return stageAlign(st)
+	case StageReduce:
+		return stageReduce(st, spec, env)
+	case StageReport:
+		return stageReport(st)
+	}
+	panic("pipeline: unvalidated stage " + st.Name)
+}

@@ -1,6 +1,8 @@
 // Package serve is the network serving layer that makes the paper's Server
 // motif real: a worker pool behind a bounded admission queue executes
-// alignment jobs, generic tree reductions, and Strand program runs, with
+// alignment jobs, generic tree reductions, Strand program runs, and
+// streaming pipeline jobs (chains of motif stages whose records are
+// delivered over HTTP as NDJSON while later stages are still running), with
 // request batching for small jobs, per-request deadlines propagated as
 // context.Context through the skeleton entry points, load shedding when the
 // queue bound is hit, and graceful drain on shutdown. The pool emits the
@@ -20,6 +22,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/memo"
 	"repro/internal/parser"
+	"repro/internal/pipeline"
 	"repro/internal/skel"
 	"repro/internal/strand"
 	"repro/internal/term"
@@ -38,6 +41,10 @@ const (
 	JobTree JobType = "tree"
 	// JobStrand runs a Strand program on the simulated multicomputer.
 	JobStrand JobType = "strand"
+	// JobPipeline runs a chain of named motif stages over a sequence stream
+	// (internal/pipeline), with records streamed to the client as NDJSON via
+	// GET /v1/jobs/{id}/stream while later stages are still executing.
+	JobPipeline JobType = "pipeline"
 )
 
 // JobRequest is the JSON body of POST /v1/jobs. Exactly one of the spec
@@ -61,9 +68,10 @@ type JobRequest struct {
 	// it.
 	Label string `json:"label,omitempty"`
 
-	Align  *bio.AlignJob `json:"align,omitempty"`
-	Tree   *TreeSpec     `json:"tree,omitempty"`
-	Strand *StrandSpec   `json:"strand,omitempty"`
+	Align    *bio.AlignJob  `json:"align,omitempty"`
+	Tree     *TreeSpec      `json:"tree,omitempty"`
+	Strand   *StrandSpec    `json:"strand,omitempty"`
+	Pipeline *pipeline.Spec `json:"pipeline,omitempty"`
 }
 
 // TreeSpec describes a generic tree-reduction job over a random arithmetic
@@ -154,7 +162,12 @@ type Job struct {
 	align     *bio.AlignJobResult
 	tree      *TreeResult
 	strand    *StrandResult
+	pipe      *pipeline.Result
 	err       error
+
+	// stream carries a pipeline job's records to GET /v1/jobs/{id}/stream
+	// readers as they are produced; nil for non-pipeline jobs.
+	stream *recordStream
 
 	// testBody, when non-nil, replaces the job body. Tests use it to hold
 	// a worker busy deterministically.
@@ -177,9 +190,10 @@ type JobStatus struct {
 	// an unbatched run).
 	BatchSize int `json:"batch_size,omitempty"`
 
-	Align  *bio.AlignJobResult `json:"align,omitempty"`
-	Tree   *TreeResult         `json:"tree,omitempty"`
-	Strand *StrandResult       `json:"strand,omitempty"`
+	Align    *bio.AlignJobResult `json:"align,omitempty"`
+	Tree     *TreeResult         `json:"tree,omitempty"`
+	Strand   *StrandResult       `json:"strand,omitempty"`
+	Pipeline *pipeline.Result    `json:"pipeline,omitempty"`
 }
 
 // Status snapshots the job.
@@ -195,6 +209,7 @@ func (j *Job) Status() JobStatus {
 		Align:     j.align,
 		Tree:      j.tree,
 		Strand:    j.strand,
+		Pipeline:  j.pipe,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -237,7 +252,7 @@ func (r *JobRequest) validate() error {
 	}
 	switch r.Type {
 	case JobAlign:
-		if r.Tree != nil || r.Strand != nil {
+		if r.Tree != nil || r.Strand != nil || r.Pipeline != nil {
 			return fmt.Errorf("align job with non-align spec")
 		}
 		if r.Align == nil {
@@ -247,7 +262,7 @@ func (r *JobRequest) validate() error {
 			return err
 		}
 	case JobTree:
-		if r.Align != nil || r.Strand != nil {
+		if r.Align != nil || r.Strand != nil || r.Pipeline != nil {
 			return fmt.Errorf("tree job with non-tree spec")
 		}
 		if r.Tree == nil {
@@ -266,7 +281,7 @@ func (r *JobRequest) validate() error {
 			return fmt.Errorf("tree job node_cost_us out of range: %d", r.Tree.NodeCostMicros)
 		}
 	case JobStrand:
-		if r.Align != nil || r.Tree != nil {
+		if r.Align != nil || r.Tree != nil || r.Pipeline != nil {
 			return fmt.Errorf("strand job with non-strand spec")
 		}
 		if r.Strand == nil || strings.TrimSpace(r.Strand.Source) == "" {
@@ -287,8 +302,18 @@ func (r *JobRequest) validate() error {
 		if r.Strand.Goal == "" {
 			r.Strand.Goal = "main"
 		}
+	case JobPipeline:
+		if r.Align != nil || r.Tree != nil || r.Strand != nil {
+			return fmt.Errorf("pipeline job with non-pipeline spec")
+		}
+		if r.Pipeline == nil {
+			return fmt.Errorf("pipeline job needs a pipeline spec")
+		}
+		if err := r.Pipeline.Validate(); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown job type %q (want align, tree, or strand)", r.Type)
+		return fmt.Errorf("unknown job type %q (want align, tree, strand, or pipeline)", r.Type)
 	}
 	return nil
 }
@@ -309,8 +334,9 @@ func treeShape(s string) (workload.TreeShape, error) {
 // execute runs the job body under its context and the given skeleton
 // options; it is called on a pool worker. A non-nil cache memoizes
 // subtree values inside align and tree reductions, so warm runs skip
-// already-computed subtrees even across different jobs.
-func (j *Job) execute(opts skel.ReduceOptions, cache *memo.Cache) (err error) {
+// already-computed subtrees even across different jobs. penv is the host
+// environment for pipeline jobs (nil otherwise).
+func (j *Job) execute(opts skel.ReduceOptions, cache *memo.Cache, penv *pipeline.Env) (err error) {
 	defer func() {
 		// A panic in an eval function (e.g. on a corrupt intermediate
 		// alignment) must fail the job, not the daemon.
@@ -368,6 +394,15 @@ func (j *Job) execute(opts skel.ReduceOptions, cache *memo.Cache) (err error) {
 		return nil
 	case JobStrand:
 		return j.executeStrand()
+	case JobPipeline:
+		res, err := pipeline.Run(j.ctx, j.req.Pipeline, penv)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.pipe = res
+		j.mu.Unlock()
+		return nil
 	default:
 		return fmt.Errorf("unknown job type %q", j.req.Type)
 	}

@@ -45,6 +45,12 @@ func ContentKey(req *JobRequest) (memo.Key, bool) {
 		binary.BigEndian.PutUint64(nums[16:], uint64(st.MaxCycles))
 		return memo.Sum("serve.job", []byte(req.Type),
 			[]byte(st.Source), []byte(st.Goal), nums[:]), true
+	case JobPipeline:
+		// Deliberately uncacheable at the job level: pipeline value lives in
+		// the stream, and the engine's per-stage prefix digests already reuse
+		// identical upstream work across jobs, including partial overlaps the
+		// whole-job digest could never express.
+		return memo.Key{}, false
 	default:
 		return memo.Key{}, false
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/memo"
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
 	"repro/internal/store"
 )
 
@@ -142,6 +143,9 @@ type MetricsSnapshot struct {
 	// Memo is the content-addressed cache block; absent when memoization
 	// is disabled.
 	Memo *memo.StatsSnapshot `json:"memo,omitempty"`
+	// Pipeline is the per-stage streaming-pipeline block; absent until a
+	// pipeline job has run.
+	Pipeline *pipeline.MetricsSnapshot `json:"pipeline,omitempty"`
 }
 
 // BatchSummary is the batching block of /metrics.
@@ -151,7 +155,7 @@ type BatchSummary struct {
 	MaxBatch    int64 `json:"max_batch"`
 }
 
-func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, storeSnap *store.MetricsSnapshot, memoSnap *memo.StatsSnapshot) MetricsSnapshot {
+func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, storeSnap *store.MetricsSnapshot, memoSnap *memo.StatsSnapshot, pipeSnap *pipeline.MetricsSnapshot) MetricsSnapshot {
 	uptime := m.sinceMicros()
 	m.mu.Lock()
 	lat := LatencySummary{
@@ -207,5 +211,6 @@ func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, stor
 		TraceEvents: traceEvents,
 		Store:       storeSnap,
 		Memo:        memoSnap,
+		Pipeline:    pipeSnap,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/memo"
+	"repro/internal/pipeline"
 	"repro/internal/skel"
 	"repro/internal/trace"
 )
@@ -121,7 +122,7 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindExecStart,
 		Proc: w, From: -1, Label: string(j.req.Type) + ":" + j.id})
 
-	err := j.execute(s.reduceOpts(j), s.memo)
+	err := j.execute(s.reduceOpts(j), s.memo, s.pipelineEnv(j))
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -143,6 +144,34 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 		Proc: w, From: -1, Arg: dur.Microseconds(), Label: string(j.req.Type) + ":" + j.id})
 	s.met.workers[w].jobs.Add(1)
 	s.finish(j, err == nil)
+}
+
+// pipelineEnv is the host environment a pipeline job runs against: the
+// pool's inner-worker budget, the shared memo cache (stage-prefix reuse),
+// the WAL and job identity (stage-boundary checkpoints), the server-wide
+// pipeline metrics registry, the trace ring on the pool's clock, and the
+// job's NDJSON stream as the record sink. Nil for other job types.
+func (s *Server) pipelineEnv(j *Job) *pipeline.Env {
+	if j.req.Type != JobPipeline {
+		return nil
+	}
+	env := &pipeline.Env{
+		Workers:     s.cfg.InnerWorkers,
+		Cache:       s.memo,
+		Store:       s.cfg.Store,
+		JobID:       j.id,
+		Metrics:     s.pipe,
+		Tracer:      s.ring,
+		TraceMicros: s.met.sinceMicros,
+	}
+	if stream := j.stream; stream != nil {
+		env.Emit = func(rec pipeline.Record) {
+			if blob, err := json.Marshal(rec); err == nil {
+				stream.append(blob)
+			}
+		}
+	}
+	return env
 }
 
 // finish records terminal accounting for j, fills the memo cache, and
@@ -169,16 +198,20 @@ func (s *Server) finish(j *Job, ok bool) {
 			}
 		}
 	}
-	if s.cfg.Store == nil {
-		return
-	}
-	st := j.Status()
-	if ok {
-		if data, err := json.Marshal(st); err == nil {
-			_ = s.cfg.Store.Done(j.id, data)
+	if s.cfg.Store != nil {
+		st := j.Status()
+		if ok {
+			if data, err := json.Marshal(st); err == nil {
+				_ = s.cfg.Store.Done(j.id, data)
+			}
+		} else {
+			_ = s.cfg.Store.Failed(j.id, st.Error)
 		}
-	} else {
-		_ = s.cfg.Store.Failed(j.id, st.Error)
+	}
+	// End the NDJSON stream last, after the terminal outcome is durable, so
+	// a client that sees EOF can immediately poll the final status.
+	if j.stream != nil {
+		j.stream.close()
 	}
 }
 

@@ -45,6 +45,11 @@ func (s *Server) recoverFromStore() []*Job {
 				state:     StateQueued,
 				worker:    -1,
 			}
+			if req.Type == JobPipeline {
+				// The re-run resumes from its WAL checkpoints; its stream
+				// replays the completed prefix and continues live.
+				j.stream = newRecordStream()
+			}
 			resume = append(resume, j)
 		}
 		s.jobs[j.id] = j
@@ -80,7 +85,7 @@ func terminalJobFromStore(js store.JobState) *Job {
 		if st.Type != "" {
 			j.req.Type = st.Type
 		}
-		j.align, j.tree, j.strand = st.Align, st.Tree, st.Strand
+		j.align, j.tree, j.strand, j.pipe = st.Align, st.Tree, st.Strand, st.Pipeline
 	} else {
 		j.state = StateError
 		j.err = errors.New(js.Error)

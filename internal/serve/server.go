@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/memo"
 	"repro/internal/metrics"
+	"repro/internal/pipeline"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -100,7 +101,8 @@ type Server struct {
 	q    *queue
 	met  *poolMetrics
 	ring *trace.Ring
-	memo *memo.Cache // nil when Config.MemoBytes == 0
+	memo *memo.Cache       // nil when Config.MemoBytes == 0
+	pipe *pipeline.Metrics // per-stage pipeline metrics, aggregated across jobs
 
 	workerWG sync.WaitGroup
 	draining atomic.Bool
@@ -129,6 +131,7 @@ func New(cfg Config) *Server {
 		met:       newPoolMetrics(cfg.Workers),
 		ring:      trace.NewRing(cfg.TraceCap),
 		memo:      memo.New(cfg.MemoBytes),
+		pipe:      pipeline.NewMetrics(),
 		jobs:      make(map[string]*Job),
 		byClient:  make(map[string]string),
 		byContent: make(map[memo.Key]string),
@@ -203,6 +206,11 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 		worker:    -1,
 		key:       key,
 		hasKey:    haveKey,
+	}
+	if req.Type == JobPipeline {
+		// The stream must exist before the job is published: a client may
+		// open GET /v1/jobs/{id}/stream the moment the 202 lands.
+		j.stream = newRecordStream()
 	}
 
 	// Allocate the ID, claim the idempotency key, and publish the job in
@@ -350,7 +358,11 @@ func (s *Server) Metrics() MetricsSnapshot {
 		snap := s.memo.Stats()
 		memoSnap = &snap
 	}
-	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total(), s.cfg.Store.Metrics(), memoSnap)
+	var pipeSnap *pipeline.MetricsSnapshot
+	if ps := s.pipe.Snapshot(); ps != nil && (ps.Jobs > 0 || len(ps.Stages) > 0) {
+		pipeSnap = ps
+	}
+	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total(), s.cfg.Store.Metrics(), memoSnap, pipeSnap)
 }
 
 // MemoCache exposes the content-addressed cache (nil when memoization is
@@ -396,17 +408,20 @@ var errBadRequest = errors.New("bad request")
 
 // Handler returns the HTTP API:
 //
-//	POST /v1/jobs        submit a job; 202 with the job id, 429 when shed
-//	GET  /v1/jobs/{id}   poll a job
-//	GET  /v1/jobs        list recent jobs (newest first)
-//	GET  /metrics        serving metrics (JSON; ?format=text for humans)
-//	GET  /debug/trace    the structured event stream (?format=chrome for
-//	                     a Chrome trace_event file)
-//	GET  /healthz        liveness + drain state
+//	POST /v1/jobs               submit a job; 202 with the job id, 429 when shed
+//	GET  /v1/jobs/{id}          poll a job
+//	GET  /v1/jobs/{id}/stream   a pipeline job's records as NDJSON, streamed
+//	                            as stages produce them
+//	GET  /v1/jobs               list recent jobs (newest first)
+//	GET  /metrics               serving metrics (JSON; ?format=text for humans)
+//	GET  /debug/trace           the structured event stream (?format=chrome
+//	                            for a Chrome trace_event file)
+//	GET  /healthz               liveness + drain state
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
@@ -468,7 +483,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		if j, ok := s.Job(id); ok {
 			st := j.Status()
 			// The list view is a summary; drop result payloads.
-			st.Align, st.Tree, st.Strand = nil, nil, nil
+			st.Align, st.Tree, st.Strand, st.Pipeline = nil, nil, nil, nil
 			out = append(out, st)
 		}
 	}
@@ -495,6 +510,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			snap.Memo.HitRate, snap.Memo.Hits, snap.Memo.Misses,
 			snap.Memo.Bytes, snap.Memo.MaxBytes, snap.Memo.Entries,
 			snap.Memo.Evictions, snap.Collapsed, snap.MemoJobHits)
+	}
+	if snap.Pipeline != nil {
+		fmt.Fprintf(w, "pipeline: %d jobs, %d records streamed, %d stages resumed\n",
+			snap.Pipeline.Jobs, snap.Pipeline.Records, snap.Pipeline.ResumedStages)
+		for _, ss := range snap.Pipeline.Stages {
+			fmt.Fprintf(w, "  stage %-8s in=%d out=%d dropped=%d queue=%d busy=%.1fms p95=%.2fms %.0f rec/s\n",
+				ss.Name, ss.In, ss.Out, ss.Dropped, ss.QueueDepth, ss.BusyMS, ss.P95MS, ss.ThroughputRPS)
+		}
 	}
 	fmt.Fprintln(w)
 	tab := metrics.NewTable("worker", "jobs", "busy ms", "utilization", "state")

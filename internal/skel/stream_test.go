@@ -1,0 +1,214 @@
+package skel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// send is the sending discipline StreamStage implementations owe the
+// pipeline: never block on a full channel past cancellation.
+func send[T any](ctx context.Context, out chan<- T, v T) bool {
+	select {
+	case out <- v:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func TestStreamPipelineOrderAndCompleteness(t *testing.T) {
+	const n = 500
+	var got []int
+	err := StreamPipeline(context.Background(), 4,
+		func(ctx context.Context, in <-chan int, out chan<- int) error {
+			for i := 0; i < n; i++ {
+				if !send(ctx, out, i) {
+					return ctx.Err()
+				}
+			}
+			return nil
+		},
+		func(ctx context.Context, in <-chan int, out chan<- int) error {
+			for v := range in {
+				if !send(ctx, out, v*2) {
+					return ctx.Err()
+				}
+			}
+			return nil
+		},
+		func(ctx context.Context, in <-chan int, out chan<- int) error {
+			for v := range in {
+				got = append(got, v)
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("delivered %d records, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*2 {
+			t.Fatalf("record %d = %d, want %d (order not preserved)", i, v, i*2)
+		}
+	}
+}
+
+func TestStreamPipelineBackpressure(t *testing.T) {
+	// A slow sink must bound how far ahead the source can run: with depth d
+	// and s stages, at most d records per channel plus one in each stage's
+	// hands can be in flight.
+	const depth = 2
+	var produced, consumed atomic.Int64
+	var maxAhead int64
+	err := StreamPipeline(context.Background(), depth,
+		func(ctx context.Context, in <-chan int, out chan<- int) error {
+			for i := 0; i < 200; i++ {
+				if !send(ctx, out, i) {
+					return ctx.Err()
+				}
+				if ahead := produced.Add(1) - consumed.Load(); ahead > maxAhead {
+					maxAhead = ahead
+				}
+			}
+			return nil
+		},
+		func(ctx context.Context, in <-chan int, out chan<- int) error {
+			for v := range in {
+				if !send(ctx, out, v) {
+					return ctx.Err()
+				}
+			}
+			return nil
+		},
+		func(ctx context.Context, in <-chan int, out chan<- int) error {
+			for range in {
+				time.Sleep(200 * time.Microsecond)
+				consumed.Add(1)
+			}
+			return nil
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 stages, 3 channels (incl. tail) of depth 2, plus one record in each
+	// stage's hands: 9 in flight is the ceiling; allow one of slack for the
+	// race between the Add and the Load.
+	if limit := int64(3*(depth+1) + 1); maxAhead > limit {
+		t.Fatalf("source ran %d records ahead of the sink (bound %d): channel hand-off is not backpressured", maxAhead, limit)
+	}
+}
+
+func TestStreamPipelineCancelReleasesBlockedStages(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	started := make(chan struct{})
+	go func() {
+		done <- StreamPipeline(ctx, 1,
+			func(ctx context.Context, in <-chan int, out chan<- int) error {
+				for i := 0; ; i++ {
+					if !send(ctx, out, i) {
+						return ctx.Err()
+					}
+				}
+			},
+			func(ctx context.Context, in <-chan int, out chan<- int) error {
+				<-started // never reads until cancelled: upstream fills and blocks
+				<-ctx.Done()
+				return ctx.Err()
+			},
+		)
+	}()
+	time.Sleep(10 * time.Millisecond) // let the source fill the bounded channel
+	cancel()
+	close(started)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not unwind after cancel")
+	}
+	settleGoroutines(t, base)
+}
+
+func TestStreamPipelineStageErrorAborts(t *testing.T) {
+	boom := errors.New("stage failure")
+	var produced atomic.Int64
+	err := StreamPipeline(context.Background(), 2,
+		func(ctx context.Context, in <-chan int, out chan<- int) error {
+			for i := 0; ; i++ {
+				if !send(ctx, out, i) {
+					return ctx.Err()
+				}
+				produced.Add(1)
+			}
+		},
+		func(ctx context.Context, in <-chan int, out chan<- int) error {
+			for v := range in {
+				if v == 5 {
+					return boom
+				}
+			}
+			return nil
+		},
+	)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if p := produced.Load(); p > 20 {
+		t.Fatalf("source produced %d records after downstream failure", p)
+	}
+}
+
+func TestStreamPipelineHundredConcurrentCancels(t *testing.T) {
+	// Mirror of serve's 100-concurrent-leak test at the substrate level:
+	// many pipelines cancelled mid-flight must all unwind completely.
+	base := runtime.NumGoroutine()
+	const pipes = 100
+	errs := make(chan error, pipes)
+	for p := 0; p < pipes; p++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(time.Duration(p%10) * time.Millisecond)
+			cancel()
+		}()
+		go func() {
+			errs <- StreamPipeline(ctx, 2,
+				func(ctx context.Context, in <-chan int, out chan<- int) error {
+					for i := 0; ; i++ {
+						if !send(ctx, out, i) {
+							return ctx.Err()
+						}
+					}
+				},
+				func(ctx context.Context, in <-chan int, out chan<- int) error {
+					for range in {
+						time.Sleep(100 * time.Microsecond)
+					}
+					return nil
+				},
+			)
+		}()
+	}
+	for p := 0; p < pipes; p++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("pipeline err = %v, want context.Canceled", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("pipeline %d never finished", p)
+		}
+	}
+	settleGoroutines(t, base)
+}

@@ -1,0 +1,153 @@
+#!/bin/sh
+# Streaming-pipeline smoke test, run by CI and `make pipeline-smoke`.
+# Three phases against the motifd binary:
+#
+#   1. Golden run: submit a 4-stage pipeline job (filter → align → reduce →
+#      report, report slowed per record) to a storeless daemon and capture
+#      its full NDJSON stream as the expected output.
+#   2. Crash run: same job on a daemon with -store, SIGKILL the daemon the
+#      moment the first NDJSON record reaches the client — mid-report, with
+#      the early stage boundaries already checkpointed in the WAL.
+#   3. Restart on the same store directory: the recovered job must resume
+#      from the deepest completed stage (resumed_stages > 0, never
+#      recomputing the whole chain) and its replayed stream must be
+#      byte-identical to the golden run.
+set -eu
+
+D_ADDR=127.0.0.1:18190
+BASE="http://$D_ADDR"
+TMP="$(mktemp -d)"
+DPID= CURLPID=
+trap 'kill -9 "$DPID" "$CURLPID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/motifd" ./cmd/motifd
+
+json_path() { # json_path FILE DOTTED.PATH -> value (asserts valid JSON)
+    python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for part in sys.argv[2].split("."):
+    doc = doc[part]
+print(doc)' "$1" "$2"
+}
+
+wait_up() { # wait_up URL NAME LOG
+    i=0
+    until curl -sf "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "$2 did not come up; log:" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+wait_gone() { # wait_gone PID NAME LOG — TERM already sent
+    i=0
+    while kill -0 "$1" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -lt 100 ] || { echo "$2 did not drain" >&2; cat "$3" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+submit() { # submit OUTFILE -> job id on stdout
+    CODE="$(curl -s -o "$1" -w '%{http_code}' -X POST "$BASE/v1/jobs" \
+        -H 'Content-Type: application/json' -d "$SPEC")"
+    [ "$CODE" = 202 ] || { echo "submit returned $CODE" >&2; cat "$1" >&2; exit 1; }
+    json_path "$1" id
+}
+
+wait_done() { # wait_done JOBID — poll until done, fail on error
+    i=0
+    while :; do
+        CODE="$(curl -s -o "$TMP/job.json" -w '%{http_code}' "$BASE/v1/jobs/$1")"
+        [ "$CODE" = 200 ] || { echo "poll $1 returned $CODE" >&2; exit 1; }
+        STATE="$(json_path "$TMP/job.json" state)"
+        case "$STATE" in
+        done) break ;;
+        error) echo "job $1 failed:" >&2; cat "$TMP/job.json" >&2; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -lt 600 ] || { echo "job $1 stuck in $STATE" >&2; exit 1; }
+        sleep 0.05
+    done
+}
+
+# 24 synthetic sequences, reduce windows of 6 → 4 group records + 1 summary
+# = 5 NDJSON lines; the report stage sleeps 60ms per record, so the stream
+# stays open ~300ms — a wide window for the mid-stream kill.
+SPEC='{"type":"pipeline","id":"pipe-1","pipeline":{"n":24,"len":40,"seed":7,"stages":[{"name":"filter","min_len":4},{"name":"align","band":8},{"name":"reduce","group":6,"band":8},{"name":"report","delay_us":60000}]}}'
+
+# ---------- Phase 1: golden run, uninterrupted ----------
+
+"$TMP/motifd" -addr "$D_ADDR" 2>"$TMP/g.log" &
+DPID=$!
+wait_up "$BASE" motifd-golden "$TMP/g.log"
+GID="$(submit "$TMP/submit.json")"
+curl -sN "$BASE/v1/jobs/$GID/stream" >"$TMP/golden.ndjson"
+LINES="$(wc -l <"$TMP/golden.ndjson")"
+[ "$LINES" = 5 ] || { echo "golden stream has $LINES lines, want 5" >&2; cat "$TMP/golden.ndjson" >&2; exit 1; }
+wait_done "$GID"
+kill -TERM "$DPID"
+wait_gone "$DPID" motifd-golden "$TMP/g.log"
+echo "golden run: $LINES NDJSON records captured"
+
+# ---------- Phase 2: SIGKILL mid-stream ----------
+
+"$TMP/motifd" -addr "$D_ADDR" -store "$TMP/wal" 2>"$TMP/d1.log" &
+DPID=$!
+wait_up "$BASE" motifd "$TMP/d1.log"
+JID="$(submit "$TMP/submit.json")"
+curl -sN "$BASE/v1/jobs/$JID/stream" >"$TMP/crash.ndjson" &
+CURLPID=$!
+
+# Kill the daemon as soon as the first complete record reaches the client:
+# the report stage still owes 4 more (delayed) records, so the job dies
+# mid-stream with its early stage boundaries already in the WAL.
+i=0
+while [ "$(wc -l <"$TMP/crash.ndjson")" -lt 1 ]; do
+    i=$((i + 1))
+    [ "$i" -lt 200 ] || { echo "no streamed record before the kill" >&2; cat "$TMP/d1.log" >&2; exit 1; }
+    sleep 0.05
+done
+kill -9 "$DPID"
+wait "$CURLPID" 2>/dev/null || true
+CURLPID=
+PARTIAL="$(wc -l <"$TMP/crash.ndjson")"
+[ "$PARTIAL" -lt 5 ] || { echo "stream finished ($PARTIAL lines) before the kill landed" >&2; exit 1; }
+head -n "$PARTIAL" "$TMP/golden.ndjson" >"$TMP/golden.prefix"
+head -n "$PARTIAL" "$TMP/crash.ndjson" >"$TMP/crash.prefix"
+cmp -s "$TMP/golden.prefix" "$TMP/crash.prefix" || {
+    echo "pre-crash stream diverges from golden" >&2
+    exit 1
+}
+echo "killed motifd (SIGKILL) after $PARTIAL of 5 streamed records"
+
+# ---------- Phase 3: restart, resume, byte-identical replay ----------
+
+"$TMP/motifd" -addr "$D_ADDR" -store "$TMP/wal" 2>"$TMP/d2.log" &
+DPID=$!
+wait_up "$BASE" motifd-restarted "$TMP/d2.log"
+wait_done "$JID"
+
+RESUMED="$(json_path "$TMP/job.json" pipeline.resumed_stages)"
+[ "$RESUMED" -gt 0 ] || { echo "resumed_stages=$RESUMED: the pipeline re-ran from scratch" >&2; cat "$TMP/job.json" >&2; exit 1; }
+curl -sN "$BASE/v1/jobs/$JID/stream" >"$TMP/final.ndjson"
+cmp -s "$TMP/golden.ndjson" "$TMP/final.ndjson" || {
+    echo "resumed stream is not byte-identical to the golden run:" >&2
+    diff "$TMP/golden.ndjson" "$TMP/final.ndjson" >&2 || true
+    exit 1
+}
+curl -sf "$BASE/metrics" >"$TMP/metrics.json"
+PJOBS="$(json_path "$TMP/metrics.json" pipeline.jobs)"
+HITS="$(json_path "$TMP/metrics.json" store.checkpoint_hits)"
+[ "$PJOBS" -ge 1 ] || { echo "metrics pipeline.jobs=$PJOBS, want >= 1" >&2; exit 1; }
+[ "$HITS" -gt 0 ] || { echo "store.checkpoint_hits=$HITS, want > 0 (WAL resume)" >&2; exit 1; }
+echo "resumed from $RESUMED completed stages, replay byte-identical (checkpoint_hits=$HITS)"
+
+kill -TERM "$DPID"
+wait_gone "$DPID" motifd-restarted "$TMP/d2.log"
+echo "pipeline smoke: OK"
