@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check build vet staticcheck test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke pipeline-smoke bench-cluster bench-memo bench-kernel bench-gate
+.PHONY: ci fmt-check build vet staticcheck test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke bench-cluster bench-memo bench-kernel bench-gate bench-slo
 
-ci: fmt-check build vet staticcheck test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke pipeline-smoke bench-gate
+ci: fmt-check build vet staticcheck test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke bench-gate
 	@echo "ci: all steps passed"
 
 fmt-check:
@@ -36,7 +36,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/memo/... ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/... ./internal/bio/...
+	$(GO) test -race ./internal/memo/... ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/... ./internal/bio/... ./internal/qos/...
 
 # fuzz-smoke runs each fuzz target briefly: the WAL targets exercise the
 # mutator on the torn/corrupt seed corpus, the kernel target cross-checks
@@ -76,6 +76,13 @@ recovery-smoke:
 pipeline-smoke:
 	./scripts/pipeline_smoke.sh
 
+# qos-smoke mirrors the CI multi-tenant QoS step: motifd -qos threads the
+# X-Motif-Tenant/X-Motif-Class identity through to the job view and the
+# /metrics qos block, then slobench -smoke saturates a qos-enabled server
+# and asserts tenant isolation (gold p99 within SLO, hostile tenant shed).
+qos-smoke:
+	./scripts/qos_smoke.sh
+
 # bench-cluster measures cluster scheduling at 1/2/4 workers and writes
 # the per-scale throughput/latency report.
 bench-cluster:
@@ -99,3 +106,11 @@ bench-kernel:
 # in-process reference kernel, or if allocs/op increase at all.
 bench-gate:
 	$(GO) run ./cmd/kernelbench -gate BENCH_kernel.json -runs 5
+
+# bench-slo sweeps an open-loop Poisson load (thousands of Zipf-distributed
+# tenants + one hostile flooder) across hostile rates with and without the
+# qos scheduler, finds each mode's collapse point, and rewrites the
+# committed BENCH_slo.json (goodput vs offered load, per-class p99 vs SLO,
+# Jain fairness).
+bench-slo:
+	$(GO) run ./cmd/slobench -out BENCH_slo.json

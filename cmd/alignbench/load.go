@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -24,10 +25,16 @@ import (
 // the same job seeds: "cold" computes, "warm" answers from the daemon's
 // content-addressed cache.
 type loadLevel struct {
-	Clients       int     `json:"clients"`
-	Jobs          int     `json:"jobs"`
-	Shed          int64   `json:"shed"`
-	Failed        int64   `json:"failed"`
+	Clients   int   `json:"clients"`
+	Jobs      int   `json:"jobs"`
+	Shed      int64 `json:"shed"`
+	Preempted int64 `json:"preempted,omitempty"`
+	Failed    int64 `json:"failed"`
+	// TransportErrs counts network-level failures (dial, timeout, broken
+	// connection) separately from Failed: a 429 is the server shedding by
+	// policy and a failed job is the server answering "error", but a
+	// transport error means the exchange itself was lost.
+	TransportErrs int64   `json:"transport_errs,omitempty"`
 	ElapsedMS     float64 `json:"elapsed_ms"`
 	ThroughputJPS float64 `json:"throughput_jps"`
 	P50MS         float64 `json:"p50_ms"`
@@ -86,13 +93,13 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 		base = "http://" + ln.Addr().String()
 	}
 
-	client := &http.Client{Timeout: 2 * time.Minute}
+	client := newLoadClient()
 	report := loadReport{Benchmark: benchmark, Target: target, Seqs: n, SeqLen: seqLen, Seed: seed, Band: loadBand, MemoBytes: memoBytes}
 	var tab *metrics.Table
 	if memoBytes > 0 {
-		tab = metrics.NewTable("clients", "pass", "jobs", "shed", "failed", "elapsed ms", "jobs/s", "p50 ms", "p95 ms", "speedup")
+		tab = metrics.NewTable("clients", "pass", "jobs", "shed", "failed", "xport", "elapsed ms", "jobs/s", "p50 ms", "p95 ms", "speedup")
 	} else {
-		tab = metrics.NewTable("clients", "jobs", "shed", "failed", "elapsed ms", "jobs/s", "p50 ms", "p95 ms")
+		tab = metrics.NewTable("clients", "jobs", "shed", "failed", "xport", "elapsed ms", "jobs/s", "p50 ms", "p95 ms")
 	}
 	var warmHits, warmLookups int64
 	for li, c := range clients {
@@ -102,8 +109,8 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 				return fmt.Errorf("level %d clients: %w", c, err)
 			}
 			report.Levels = append(report.Levels, lvl)
-			tab.AddRow(lvl.Clients, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.ElapsedMS,
-				lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS)
+			tab.AddRow(lvl.Clients, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.TransportErrs,
+				lvl.ElapsedMS, lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS)
 			continue
 		}
 		// Each level gets its own seed block so its cold pass computes from
@@ -132,8 +139,8 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 				}
 			}
 			report.Levels = append(report.Levels, lvl)
-			tab.AddRow(lvl.Clients, lvl.Pass, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.ElapsedMS,
-				lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS, lvl.Speedup)
+			tab.AddRow(lvl.Clients, lvl.Pass, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.TransportErrs,
+				lvl.ElapsedMS, lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS, lvl.Speedup)
 		}
 	}
 	fmt.Printf("== %s load: %d alignment jobs (%d seqs, len %d) per level against %s ==\n%s\n",
@@ -168,7 +175,9 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 	var (
 		next      atomic.Int64
 		shed      atomic.Int64
+		preempted atomic.Int64
 		failed    atomic.Int64
+		xport     atomic.Int64
 		mu        sync.Mutex
 		latencies []float64
 		firstErr  error
@@ -187,9 +196,14 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 				if i > int64(jobs) {
 					return
 				}
-				lat, retried, err := driveJob(client, base, n, seqLen, seed+i, bo)
+				lat, retried, evicted, err := driveJob(client, base, n, seqLen, seed+i, bo)
 				shed.Add(retried)
+				preempted.Add(evicted)
 				if err != nil {
+					var te *transportError
+					if errors.As(err, &te) {
+						xport.Add(1)
+					}
 					failed.Add(1)
 					mu.Lock()
 					if firstErr == nil {
@@ -215,7 +229,9 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 		Clients:       nClients,
 		Jobs:          jobs,
 		Shed:          shed.Load(),
+		Preempted:     preempted.Load(),
 		Failed:        failed.Load(),
+		TransportErrs: xport.Load(),
 		ElapsedMS:     float64(elapsed.Microseconds()) / 1000,
 		ThroughputJPS: float64(len(latencies)) / elapsed.Seconds(),
 		P50MS:         qs[0],
@@ -223,70 +239,109 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 	}, nil
 }
 
+// newLoadClient builds the benchmark's HTTP client. Every exchange on the
+// job API is a short request/response — submission answers 202 immediately
+// and polls return the current state — so the per-exchange budget is
+// seconds, not the job's runtime. A hung dial or header wait fails fast and
+// is reported as a transport error instead of stalling a client goroutine
+// for the old two-minute default.
+func newLoadClient() *http.Client {
+	return &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			DialContext:           (&net.Dialer{Timeout: 5 * time.Second}).DialContext,
+			ResponseHeaderTimeout: 15 * time.Second,
+			MaxIdleConnsPerHost:   256,
+			IdleConnTimeout:       90 * time.Second,
+		},
+	}
+}
+
+// transportError marks a network-level failure (dial, timeout, broken
+// connection) so the caller can count it apart from HTTP-level outcomes: a
+// 429 is the server shedding by policy, a job error is the server answering,
+// but a transport error means the exchange itself was lost.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "transport: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
 // driveJob submits one alignment job and polls it to completion, returning
-// the client-perceived latency and how many times the submission was shed
-// (429) and retried.
-func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *cluster.Backoff) (time.Duration, int64, error) {
+// the client-perceived latency, how many times the submission was shed
+// (429) and retried, and how many times the queued job was preempted by a
+// higher class and resubmitted.
+func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *cluster.Backoff) (time.Duration, int64, int64, error) {
 	body, err := json.Marshal(serve.JobRequest{
 		Type:  serve.JobAlign,
 		Align: &bio.AlignJob{N: n, Len: seqLen, Seed: seed, Band: loadBand},
 	})
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 
 	start := time.Now()
-	var id string
-	var retried int64
+	var retried, preempted int64
 	for {
-		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return 0, retried, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			// Shed: the daemon is protecting its queue bound. Honor its
-			// Retry-After as the backoff floor, jittered so concurrent
-			// clients don't return in lockstep — the load generator
-			// measures the shedding rather than hammering through it.
-			floor := cluster.RetryAfterFloor(resp.Header.Get("Retry-After"))
+		var id string
+		for {
+			resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return 0, retried, preempted, &transportError{err}
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				// Shed: the daemon is protecting its queue bound. Honor its
+				// Retry-After as the backoff floor, jittered so concurrent
+				// clients don't return in lockstep — the load generator
+				// measures the shedding rather than hammering through it.
+				floor := cluster.RetryAfterFloor(resp.Header.Get("Retry-After"))
+				resp.Body.Close()
+				retried++
+				time.Sleep(bo.Next(floor))
+				continue
+			}
+			if resp.StatusCode != http.StatusAccepted {
+				resp.Body.Close()
+				return 0, retried, preempted, fmt.Errorf("submit: status %d", resp.StatusCode)
+			}
+			bo.Reset()
+			var st serve.JobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
 			resp.Body.Close()
-			retried++
-			time.Sleep(bo.Next(floor))
-			continue
+			if err != nil {
+				return 0, retried, preempted, &transportError{err}
+			}
+			id = st.ID
+			break
 		}
-		if resp.StatusCode != http.StatusAccepted {
-			resp.Body.Close()
-			return 0, retried, fmt.Errorf("submit: status %d", resp.StatusCode)
-		}
-		bo.Reset()
-		var st serve.JobStatus
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			return 0, retried, err
-		}
-		id = st.ID
-		break
-	}
 
-	for {
-		resp, err := client.Get(base + "/v1/jobs/" + id)
-		if err != nil {
-			return 0, retried, err
+		resubmit := false
+		for !resubmit {
+			resp, err := client.Get(base + "/v1/jobs/" + id)
+			if err != nil {
+				return 0, retried, preempted, &transportError{err}
+			}
+			var st serve.JobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err != nil {
+				return 0, retried, preempted, &transportError{err}
+			}
+			switch st.State {
+			case serve.StateDone:
+				return time.Since(start), retried, preempted, nil
+			case serve.StateError:
+				return 0, retried, preempted, fmt.Errorf("job %s failed: %s", id, st.Error)
+			case serve.StatePreempted:
+				// A higher class evicted the job from the queue; the state
+				// is retriable, so back off and submit it again.
+				preempted++
+				time.Sleep(bo.Next(0))
+				resubmit = true
+			}
+			if !resubmit {
+				time.Sleep(2 * time.Millisecond)
+			}
 		}
-		var st serve.JobStatus
-		err = json.NewDecoder(resp.Body).Decode(&st)
-		resp.Body.Close()
-		if err != nil {
-			return 0, retried, err
-		}
-		switch st.State {
-		case serve.StateDone:
-			return time.Since(start), retried, nil
-		case serve.StateError:
-			return 0, retried, fmt.Errorf("job %s failed: %s", id, st.Error)
-		}
-		time.Sleep(2 * time.Millisecond)
 	}
 }
 

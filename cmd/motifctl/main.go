@@ -10,7 +10,17 @@
 //
 //	motifctl [-addr :8070] [-policy rand|label|least] [-seed N]
 //	         [-pending 256] [-attempts 4] [-heartbeat 500ms] [-drain 1m]
-//	         [-store DIR] [-collapse]
+//	         [-store DIR] [-collapse] [-place 32]
+//	         [-qos [-tenant-depth N] [-weights gold=4,free=1]]
+//
+// With -qos the coordinator's admission becomes tenant-aware, mirroring a
+// single motifd one level up: accepted jobs queue in a weighted-fair
+// scheduler (tenant from X-Motif-Tenant or the "tenant" body field),
+// -place placement loops drain it in DRR order, per-tenant depth is
+// bounded, and high-class arrivals preempt the same tenant's queued
+// lower-class jobs back to their clients as retriable "preempted" states.
+// Heartbeats additionally aggregate per-tenant queue depth across workers
+// into /metrics.
 //
 // With -store the coordinator journals every job's lifecycle to a
 // write-ahead log in DIR. On restart against the same directory it replays
@@ -70,11 +80,18 @@ func main() {
 	seed := cmdutil.Seed(7)
 	storeDir := flag.String("store", "", "durable job store directory; empty disables persistence")
 	collapse := flag.Bool("collapse", false, "collapse identical in-flight submissions onto one placement")
+	place := flag.Int("place", 32, "concurrent placement loops (queued jobs beyond them drain in QoS order)")
+	fairQoS, tenantDepth, weightSpec := cmdutil.QoSFlags()
 	flag.Parse()
 
 	policy, err := cluster.NewPolicy(*policyName, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "motifctl: %v\n", err)
+		os.Exit(2)
+	}
+	weights, err := cmdutil.TenantWeights(*weightSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motifctl: -weights: %v\n", err)
 		os.Exit(2)
 	}
 	var js *store.JobStore
@@ -92,10 +109,14 @@ func main() {
 		Policy:            policy,
 		Seed:              *seed,
 		PendingCap:        *pending,
+		PlaceWorkers:      *place,
 		MaxAttempts:       *attempts,
 		HeartbeatInterval: *heartbeat,
 		Store:             js,
 		MemoCollapse:      *collapse,
+		FairQoS:           *fairQoS,
+		TenantDepth:       *tenantDepth,
+		TenantWeights:     weights,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "motifctl: %v\n", err)

@@ -9,7 +9,15 @@
 //
 //	motifd [-addr :8077] [-procs 4] [-inner 4] [-queue 64] [-batch 8]
 //	       [-timeout 30s] [-seed N] [-store DIR] [-memo BYTES]
+//	       [-qos [-tenant-depth N] [-weights gold=4,free=1]]
 //	       [-coordinator http://host:8070 [-advertise URL] [-id NAME]]
+//
+// With -qos the admission queue becomes tenant-aware: requests carry a
+// tenant (X-Motif-Tenant header or "tenant" body field) and a class
+// (X-Motif-Class: low|normal|high), tenants drain in weighted-fair order
+// with bounded per-tenant depth, high-class arrivals may preempt a
+// tenant's own queued lower-class work, and /metrics grows a "qos" block
+// with per-tenant admitted/shed/preempted counts and wait percentiles.
 //
 // With -store the daemon journals every job's lifecycle to a write-ahead
 // log in DIR and, on restart against the same directory, replays it:
@@ -72,7 +80,14 @@ func main() {
 	workerID := flag.String("id", "", "cluster worker id (default host-pid)")
 	storeDir := flag.String("store", "", "durable job store directory; empty disables persistence")
 	memoBytes := cmdutil.MemoBytes(0)
+	fairQoS, tenantDepth, weightSpec := cmdutil.QoSFlags()
 	flag.Parse()
+
+	weights, err := cmdutil.TenantWeights(*weightSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "motifd: -weights: %v\n", err)
+		os.Exit(2)
+	}
 
 	var js *store.JobStore
 	if *storeDir != "" {
@@ -96,6 +111,9 @@ func main() {
 		Seed:           *seed,
 		Store:          js,
 		MemoBytes:      *memoBytes,
+		FairQoS:        *fairQoS,
+		TenantDepth:    *tenantDepth,
+		TenantWeights:  weights,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

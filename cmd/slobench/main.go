@@ -1,0 +1,645 @@
+// Command slobench is an open-loop SLO load harness for the tenant-QoS
+// admission layer: it drives a fresh in-process serving pool with Poisson
+// arrivals from thousands of Zipf-distributed tenants plus one hostile
+// flooder, sweeps the hostile rate in multiples of measured pool capacity,
+// and reports goodput (completions within per-class latency SLOs), tail
+// latency, shed/preemption counts, and Jain fairness — once with the flat
+// FIFO baseline and once with weighted-fair QoS — so the knee where each
+// mode collapses is measured, not asserted.
+//
+// Open loop means arrivals never wait for completions: a saturated system
+// keeps receiving offered load, which is exactly the regime where
+// closed-loop harnesses flatter the server (coordinated omission).
+//
+// Usage:
+//
+//	slobench [-procs 2] [-queue 512] [-tenants 2000] [-zipf 1.2]
+//	         [-dur 2s] [-rates 0.25,0.5,1,2,4] [-wb 0.5] [-gold-weight 64]
+//	         [-svc 2ms] [-seed 7] [-out BENCH_slo.json] [-smoke]
+//
+// The sweep axis is the hostile tenant's offered rate as a multiple of
+// calibrated capacity; well-behaved aggregate load stays fixed at -wb ×
+// capacity. With -smoke it runs one short QoS phase at 2× capacity and
+// exits nonzero unless the well-behaved population's goodput holds and the
+// weight-majority gold tenant's p99 stays within its SLO — the CI gate.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/serve"
+)
+
+func main() {
+	procs := flag.Int("procs", 2, "pool workers in the server under test")
+	queueCap := flag.Int("queue", 512, "admission queue bound")
+	tenants := flag.Int("tenants", 2000, "well-behaved tenant population (Zipf-distributed load)")
+	zipfS := flag.Float64("zipf", 1.2, "Zipf skew of the tenant load distribution (>1)")
+	dur := flag.Duration("dur", 2*time.Second, "offered-load duration per phase")
+	ratesStr := flag.String("rates", "0.25,0.5,1,2,4", "hostile offered rates, in multiples of capacity")
+	wbFrac := flag.Float64("wb", 0.5, "well-behaved aggregate load as a fraction of capacity")
+	goldWeight := flag.Int("gold-weight", 64, "scheduling weight of the gold tenant (others weigh 1)")
+	targetSvc := flag.Duration("svc", 2*time.Millisecond, "calibration target for one job's service time")
+	seed := flag.Int64("seed", 7, "random seed (arrivals, tenant draw, workload)")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	smoke := flag.Bool("smoke", false, "single short QoS phase; exit 1 unless SLOs hold under flood")
+	flag.Parse()
+
+	rates, err := parseRates(*ratesStr)
+	if err != nil {
+		fatalf("slobench: -rates: %v", err)
+	}
+
+	cal := calibrate(*procs, *targetSvc, *seed)
+	fmt.Fprintf(os.Stderr, "slobench: calibrated align len=%d service=%.2fms capacity=%.0f jobs/s\n",
+		cal.AlignLen, cal.ServiceMS, cal.CapacityPerSec)
+	slo := sloFor(cal)
+
+	cfg := benchConfig{
+		Procs: *procs, QueueCap: *queueCap, Tenants: *tenants, ZipfS: *zipfS,
+		DurMS: float64(dur.Milliseconds()), WBFrac: *wbFrac, GoldWeight: *goldWeight,
+		Seed: *seed, HostileRates: rates,
+	}
+	if *smoke {
+		os.Exit(runSmoke(cfg, cal, slo))
+	}
+
+	report := benchReport{
+		Bench:       "slobench",
+		Config:      cfg,
+		Calibration: cal,
+		SLOMillis:   slo,
+	}
+	for _, fair := range []bool{false, true} {
+		for _, rate := range rates {
+			ph := runPhase(cfg, cal, slo, fair, rate, *dur)
+			mode := "noqos"
+			if fair {
+				mode = "qos"
+			}
+			fmt.Fprintf(os.Stderr,
+				"slobench: %-5s hostile %.2fx: wb goodput %.2f (shed %d, preempted %d) wb-p99 %.0fms gold-p99 %.0fms jain %.3f\n",
+				mode, rate, ph.WB.GoodputFrac, ph.WB.Shed, ph.WB.Preempted,
+				ph.WB.P99Millis, ph.Gold.P99Millis, ph.JainEqualWeight)
+			report.Phases = append(report.Phases, ph)
+		}
+	}
+	report.Collapse = findCollapse(report.Phases, rates)
+	report.Acceptance = accept(report)
+
+	blob, _ := json.MarshalIndent(&report, "", "  ")
+	blob = append(blob, '\n')
+	if *out == "" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatalf("slobench: write %s: %v", *out, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad rate %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sweep")
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// --- calibration -----------------------------------------------------------
+
+type calibration struct {
+	AlignLen       int     `json:"align_len"`
+	ServiceMS      float64 `json:"service_ms"`
+	CapacityPerSec float64 `json:"capacity_jobs_per_sec"`
+}
+
+// calibrate sizes one synthetic alignment job so its service time lands
+// near the target on this machine, then derives pool capacity. Cost scales
+// with length², so one corrective step converges well enough.
+func calibrate(procs int, target time.Duration, seed int64) calibration {
+	length := 300
+	for step := 0; step < 2; step++ {
+		svc := measureService(procs, length, seed)
+		if step == 1 {
+			perSec := float64(procs) / svc.Seconds()
+			return calibration{
+				AlignLen:       length,
+				ServiceMS:      float64(svc.Microseconds()) / 1000,
+				CapacityPerSec: perSec,
+			}
+		}
+		scale := math.Sqrt(target.Seconds() / svc.Seconds())
+		length = int(float64(length) * scale)
+		if length < 40 {
+			length = 40
+		}
+		if length > 2000 {
+			length = 2000
+		}
+	}
+	panic("unreachable")
+}
+
+// measureService runs a few jobs sequentially on an idle pool and returns
+// the mean wall time per job (queue wait ≈ 0, so wall ≈ service).
+func measureService(procs, length int, seed int64) time.Duration {
+	s := serve.New(serve.Config{Workers: procs, QueueCap: 64})
+	defer shutdown(s)
+	const n = 24
+	req := alignReq("cal", "", length, seed)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		j, err := s.Submit(req)
+		if err != nil {
+			fatalf("slobench: calibration submit: %v", err)
+		}
+		waitJob(j)
+	}
+	return time.Since(start) / n
+}
+
+func shutdown(s *serve.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = s.Shutdown(ctx)
+}
+
+func alignReq(tenant, class string, length int, seed int64) serve.JobRequest {
+	return serve.JobRequest{
+		Type:   serve.JobAlign,
+		Align:  &bio.AlignJob{N: 4, Len: length, Seed: seed},
+		Tenant: tenant,
+		Class:  class,
+	}
+}
+
+// waitJob polls the job to a terminal state with a short adaptive backoff.
+func waitJob(j *serve.Job) serve.JobStatus {
+	sleep := 200 * time.Microsecond
+	for {
+		st := j.Status()
+		switch st.State {
+		case serve.StateDone, serve.StateError, serve.StatePreempted:
+			return st
+		}
+		time.Sleep(sleep)
+		if sleep < 2*time.Millisecond {
+			sleep *= 2
+		}
+	}
+}
+
+// --- SLOs ------------------------------------------------------------------
+
+type sloMillis struct {
+	High   float64 `json:"high"`
+	Normal float64 `json:"normal"`
+	Low    float64 `json:"low"`
+}
+
+// sloFor derives per-class latency targets from the calibrated service
+// time: a high-class job may queue behind ~20 service times, normal 2×,
+// low 4× that — tight enough that an unbounded FIFO backlog breaks them,
+// loose enough that weighted-fair drains meet them.
+func sloFor(cal calibration) sloMillis {
+	high := 20 * cal.ServiceMS
+	if high < 50 {
+		high = 50
+	}
+	if high > 500 {
+		high = 500
+	}
+	return sloMillis{High: high, Normal: 2 * high, Low: 4 * high}
+}
+
+func (s sloMillis) forClass(class string) float64 {
+	switch class {
+	case "high":
+		return s.High
+	case "low":
+		return s.Low
+	default:
+		return s.Normal
+	}
+}
+
+// --- one phase -------------------------------------------------------------
+
+type benchConfig struct {
+	Procs        int       `json:"procs"`
+	QueueCap     int       `json:"queue_cap"`
+	Tenants      int       `json:"tenants"`
+	ZipfS        float64   `json:"zipf_s"`
+	DurMS        float64   `json:"phase_duration_ms"`
+	WBFrac       float64   `json:"wb_load_x_capacity"`
+	GoldWeight   int       `json:"gold_weight"`
+	Seed         int64     `json:"seed"`
+	HostileRates []float64 `json:"hostile_rates_x_capacity"`
+}
+
+// arrival is one scheduled open-loop submission.
+type arrival struct {
+	at     time.Duration
+	tenant string
+	class  string
+	kind   int // 0 wb, 1 gold, 2 hostile
+}
+
+const (
+	kindWB = iota
+	kindGold
+	kindHostile
+)
+
+// sample is one arrival's outcome.
+type sample struct {
+	tenant    string
+	class     string
+	kind      int
+	outcome   string // done, shed, preempted, error
+	latencyMS float64
+	good      bool // done within its class SLO
+}
+
+type popStats struct {
+	Offered     int     `json:"offered"`
+	Done        int64   `json:"done"`
+	Good        int64   `json:"good"`
+	Shed        int64   `json:"shed"`
+	Preempted   int64   `json:"preempted"`
+	Errors      int64   `json:"errors"`
+	GoodputFrac float64 `json:"goodput_frac"`
+	P50Millis   float64 `json:"p50_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+}
+
+type phaseResult struct {
+	Mode            string    `json:"mode"`
+	HostileXCap     float64   `json:"hostile_x_capacity"`
+	WB              popStats  `json:"wb"`
+	Gold            popStats  `json:"gold"`
+	Hostile         popStats  `json:"hostile"`
+	JainEqualWeight float64   `json:"jain_equal_weight"`
+	ShedHostileFrac float64   `json:"shed_hostile_frac"`
+	QoS             *qosBrief `json:"qos,omitempty"`
+}
+
+type qosBrief struct {
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Preempted int64 `json:"preempted"`
+}
+
+// runPhase offers one open-loop mixture against a fresh server and scores
+// every arrival: well-behaved Zipf tenants at a fixed fraction of
+// capacity, a weight-majority gold tenant submitting high-class work, and
+// a hostile tenant flooding at the swept rate.
+func runPhase(cfg benchConfig, cal calibration, slo sloMillis, fair bool, hostileX float64, dur time.Duration) phaseResult {
+	weights := map[string]int{"gold": cfg.GoldWeight}
+	s := serve.New(serve.Config{
+		Workers:       cfg.Procs,
+		QueueCap:      cfg.QueueCap,
+		FairQoS:       fair,
+		TenantWeights: weights,
+	})
+	defer shutdown(s)
+
+	rng := rand.New(rand.NewSource(cfg.Seed ^ int64(hostileX*1000)))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Tenants-1))
+	cap := cal.CapacityPerSec
+	arrivals := poisson(rng, cfg.WBFrac*cap, dur, func() arrival {
+		class := "normal"
+		switch p := rng.Float64(); {
+		case p < 0.2:
+			class = "high"
+		case p > 0.8:
+			class = "low"
+		}
+		return arrival{tenant: fmt.Sprintf("t%04d", zipf.Uint64()), class: class, kind: kindWB}
+	})
+	arrivals = append(arrivals, poisson(rng, 0.05*cap, dur, func() arrival {
+		return arrival{tenant: "gold", class: "high", kind: kindGold}
+	})...)
+	arrivals = append(arrivals, poisson(rng, hostileX*cap, dur, func() arrival {
+		return arrival{tenant: "hostile", class: "normal", kind: kindHostile}
+	})...)
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].at < arrivals[j].at })
+
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	record := func(sm sample) {
+		mu.Lock()
+		samples = append(samples, sm)
+		mu.Unlock()
+	}
+	start := time.Now()
+	for _, a := range arrivals {
+		if wait := a.at - time.Since(start); wait > 200*time.Microsecond {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(a arrival) {
+			defer wg.Done()
+			t0 := time.Now()
+			j, err := s.Submit(alignReq(a.tenant, a.class, cal.AlignLen, cfg.Seed))
+			if err != nil {
+				outcome := "error"
+				if errors.Is(err, serve.ErrQueueFull) {
+					outcome = "shed"
+				}
+				record(sample{tenant: a.tenant, class: a.class, kind: a.kind, outcome: outcome})
+				return
+			}
+			st := waitJob(j)
+			lat := float64(time.Since(t0).Microseconds()) / 1000
+			sm := sample{tenant: a.tenant, class: a.class, kind: a.kind, latencyMS: lat}
+			switch st.State {
+			case serve.StateDone:
+				sm.outcome = "done"
+				sm.good = lat <= slo.forClass(a.class)
+			case serve.StatePreempted:
+				sm.outcome = "preempted"
+			default:
+				sm.outcome = "error"
+			}
+			record(sm)
+		}(a)
+	}
+	wg.Wait()
+
+	res := phaseResult{Mode: "noqos", HostileXCap: hostileX}
+	if fair {
+		res.Mode = "qos"
+	}
+	res.WB = summarize(samples, kindWB)
+	res.Gold = summarize(samples, kindGold)
+	res.Hostile = summarize(samples, kindHostile)
+	res.JainEqualWeight = jain(samples)
+	if total := res.WB.Shed + res.Gold.Shed + res.Hostile.Shed; total > 0 {
+		res.ShedHostileFrac = float64(res.Hostile.Shed) / float64(total)
+	}
+	if snap := s.Metrics().QoS; snap != nil {
+		res.QoS = &qosBrief{Admitted: snap.Admitted, Shed: snap.Shed, Preempted: snap.Preempted}
+	}
+	return res
+}
+
+// poisson schedules open-loop arrivals at the given rate for the duration.
+func poisson(rng *rand.Rand, perSec float64, dur time.Duration, mk func() arrival) []arrival {
+	if perSec <= 0 {
+		return nil
+	}
+	var out []arrival
+	t := time.Duration(0)
+	for {
+		t += time.Duration(rng.ExpFloat64() / perSec * float64(time.Second))
+		if t >= dur {
+			return out
+		}
+		a := mk()
+		a.at = t
+		out = append(out, a)
+	}
+}
+
+func summarize(samples []sample, kind int) popStats {
+	var st popStats
+	var lats []float64
+	for _, sm := range samples {
+		if sm.kind != kind {
+			continue
+		}
+		st.Offered++
+		switch sm.outcome {
+		case "done":
+			st.Done++
+			lats = append(lats, sm.latencyMS)
+			if sm.good {
+				st.Good++
+			}
+		case "shed":
+			st.Shed++
+		case "preempted":
+			st.Preempted++
+		default:
+			st.Errors++
+		}
+	}
+	if st.Offered > 0 {
+		st.GoodputFrac = float64(st.Good) / float64(st.Offered)
+	}
+	sort.Float64s(lats)
+	st.P50Millis = quantile(lats, 0.50)
+	st.P99Millis = quantile(lats, 0.99)
+	return st
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// jain computes Jain's fairness index over the per-tenant service ratios
+// (done/offered) of equal-weight well-behaved tenants that offered enough
+// load to measure. 1.0 is perfectly even service; 1/n is one tenant
+// hoarding everything.
+func jain(samples []sample) float64 {
+	offered := map[string]float64{}
+	done := map[string]float64{}
+	for _, sm := range samples {
+		if sm.kind != kindWB {
+			continue
+		}
+		offered[sm.tenant]++
+		if sm.outcome == "done" {
+			done[sm.tenant]++
+		}
+	}
+	var xs []float64
+	for tenant, off := range offered {
+		if off >= 5 {
+			xs = append(xs, done[tenant]/off)
+		}
+	}
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// --- report ----------------------------------------------------------------
+
+type collapseResult struct {
+	// Sustained rates are the highest swept hostile rate (× capacity) at
+	// which well-behaved goodput still covered ≥ 80% of its offered load.
+	NoQoSSustainedX  float64 `json:"noqos_sustained_x_capacity"`
+	QoSSustainedX    float64 `json:"qos_sustained_x_capacity"`
+	Ratio            float64 `json:"ratio"`
+	QoSNeverCollapse bool    `json:"qos_never_collapsed_in_sweep"`
+}
+
+type acceptance struct {
+	QoSGe2xCollapse bool `json:"qos_sustains_2x_noqos_collapse"`
+	// GoldP99WithinSLO is judged at the QoS phase running at (or just
+	// above) twice the rate where the no-qos baseline first collapsed —
+	// the regime the baseline demonstrably cannot serve.
+	GoldP99WithinSLO bool    `json:"gold_p99_within_slo_at_2x_collapse"`
+	GoldJudgedAtX    float64 `json:"gold_judged_at_x_capacity"`
+	JainGe09         bool    `json:"jain_ge_0.9_under_saturation"`
+	GracefulShed     bool    `json:"sheds_target_hostile_tenant"`
+}
+
+type benchReport struct {
+	Bench       string         `json:"bench"`
+	Config      benchConfig    `json:"config"`
+	Calibration calibration    `json:"calibration"`
+	SLOMillis   sloMillis      `json:"slo_ms"`
+	Phases      []phaseResult  `json:"phases"`
+	Collapse    collapseResult `json:"collapse"`
+	Acceptance  acceptance     `json:"acceptance"`
+}
+
+const sustainFrac = 0.8
+
+func sustained(phases []phaseResult, mode string, rates []float64) (float64, bool) {
+	best, all := 0.0, true
+	for _, ph := range phases {
+		if ph.Mode != mode {
+			continue
+		}
+		if ph.WB.GoodputFrac >= sustainFrac {
+			if ph.HostileXCap > best {
+				best = ph.HostileXCap
+			}
+		} else {
+			all = false
+		}
+	}
+	return best, all
+}
+
+func findCollapse(phases []phaseResult, rates []float64) collapseResult {
+	noqos, _ := sustained(phases, "noqos", rates)
+	qos, qosAll := sustained(phases, "qos", rates)
+	res := collapseResult{NoQoSSustainedX: noqos, QoSSustainedX: qos, QoSNeverCollapse: qosAll}
+	if noqos > 0 {
+		res.Ratio = qos / noqos
+	} else if qos > 0 {
+		res.Ratio = math.Inf(1)
+	}
+	return res
+}
+
+func accept(r benchReport) acceptance {
+	var acc acceptance
+	acc.QoSGe2xCollapse = r.Collapse.Ratio >= 2 || (r.Collapse.NoQoSSustainedX == 0 && r.Collapse.QoSSustainedX > 0)
+
+	// The no-qos collapse rate is the lowest swept rate the baseline
+	// failed at; gold's SLO is judged on the qos phase at ≥ 2× that.
+	collapseX := math.Inf(1)
+	for i := range r.Phases {
+		ph := &r.Phases[i]
+		if ph.Mode == "noqos" && ph.WB.GoodputFrac < sustainFrac && ph.HostileXCap < collapseX {
+			collapseX = ph.HostileXCap
+		}
+	}
+	var goldPhase, maxQoS *phaseResult
+	for i := range r.Phases {
+		ph := &r.Phases[i]
+		if ph.Mode != "qos" {
+			continue
+		}
+		if maxQoS == nil || ph.HostileXCap > maxQoS.HostileXCap {
+			maxQoS = ph
+		}
+		if ph.HostileXCap >= 2*collapseX && (goldPhase == nil || ph.HostileXCap < goldPhase.HostileXCap) {
+			goldPhase = ph
+		}
+	}
+	if goldPhase == nil {
+		goldPhase = maxQoS // baseline never collapsed in-sweep: judge at max
+	}
+	if goldPhase != nil {
+		acc.GoldP99WithinSLO = goldPhase.Gold.Done > 0 && goldPhase.Gold.P99Millis <= r.SLOMillis.High
+		acc.GoldJudgedAtX = goldPhase.HostileXCap
+	}
+	if maxQoS != nil {
+		acc.JainGe09 = maxQoS.JainEqualWeight >= 0.9
+		acc.GracefulShed = maxQoS.ShedHostileFrac >= 0.9 || maxQoS.WB.Shed+maxQoS.Gold.Shed == 0
+	}
+	return acc
+}
+
+// --- smoke -----------------------------------------------------------------
+
+// runSmoke is the CI gate: one short fair-QoS phase with the hostile
+// tenant at 2× capacity. Pass requires the well-behaved population to keep
+// ≥ 70% goodput and the gold tenant's p99 within its class SLO.
+func runSmoke(cfg benchConfig, cal calibration, slo sloMillis) int {
+	dur := time.Duration(cfg.DurMS) * time.Millisecond
+	ph := runPhase(cfg, cal, slo, true, 2, dur)
+	fmt.Fprintf(os.Stderr,
+		"slobench smoke: wb goodput %.2f (offered %d, shed %d) gold p99 %.0fms (slo %.0fms) hostile shed %d\n",
+		ph.WB.GoodputFrac, ph.WB.Offered, ph.WB.Shed, ph.Gold.P99Millis, slo.High, ph.Hostile.Shed)
+	ok := true
+	if ph.WB.GoodputFrac < 0.7 {
+		fmt.Fprintln(os.Stderr, "slobench smoke: FAIL well-behaved goodput under flood < 0.7")
+		ok = false
+	}
+	if ph.Gold.Done == 0 || ph.Gold.P99Millis > slo.High {
+		fmt.Fprintln(os.Stderr, "slobench smoke: FAIL gold tenant p99 over SLO under flood")
+		ok = false
+	}
+	if ph.Hostile.Shed == 0 {
+		fmt.Fprintln(os.Stderr, "slobench smoke: FAIL hostile tenant never saturated (raise -dur or rate)")
+		ok = false
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "slobench smoke: PASS")
+	return 0
+}

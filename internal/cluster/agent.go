@@ -184,6 +184,11 @@ func (a *Agent) heartbeats() bool {
 			hb.MemoHits = m.Memo.Hits
 			hb.MemoMisses = m.Memo.Misses
 		}
+		// Per-tenant queue depths let the coordinator aggregate
+		// cluster-wide tenant load across heartbeats.
+		if td := a.cfg.Server.TenantQueueDepths(); len(td) > 0 {
+			hb.Tenants = td
+		}
 		body, _ := json.Marshal(hb)
 		resp, err := a.cfg.Client.Post(a.cfg.CoordinatorURL+"/cluster/v1/heartbeat",
 			"application/json", bytes.NewReader(body))

@@ -73,6 +73,10 @@ type Heartbeat struct {
 	// cluster-wide hit-rate on /metrics.
 	MemoHits   int64 `json:"memo_hits,omitempty"`
 	MemoMisses int64 `json:"memo_misses,omitempty"`
+	// Tenants is the worker's per-tenant admission-queue depth (non-empty
+	// queues only). The coordinator aggregates the latest reports into the
+	// cluster-wide per-tenant load view on /metrics.
+	Tenants map[string]int `json:"tenants,omitempty"`
 }
 
 // WorkerView is a placement policy's read-only view of one live worker.

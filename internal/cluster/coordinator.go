@@ -15,6 +15,7 @@ import (
 	"repro/internal/bio"
 	"repro/internal/memo"
 	"repro/internal/metrics"
+	"repro/internal/qos"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -31,6 +32,20 @@ type Config struct {
 	// it submissions are shed with 429 + Retry-After, mirroring the
 	// worker-local queue bound one level up.
 	PendingCap int
+	// PlaceWorkers bounds concurrent placement loops (default 32). Jobs
+	// beyond it wait in the admission scheduler, which is where QoS
+	// ordering applies: under saturation the queue builds and tenants
+	// drain in weighted-fair order.
+	PlaceWorkers int
+	// FairQoS enables tenant-aware admission (internal/qos) at the
+	// coordinator: per-tenant bounded queues drained by weighted deficit
+	// round robin, with class preemption of queued (never placed) work.
+	FairQoS bool
+	// TenantDepth bounds one tenant's queued jobs under FairQoS (default
+	// max(8, PendingCap/8)); TenantWeights maps tenant → scheduling
+	// weight (absent tenants weigh 1).
+	TenantDepth   int
+	TenantWeights map[string]int
 	// MaxAttempts bounds how many workers one job may be shipped to
 	// (default 4). Saturation re-placements do not consume attempts —
 	// only placements that reached a worker and then lost it do.
@@ -84,6 +99,9 @@ func (c *Config) fill() error {
 	if c.PendingCap <= 0 {
 		c.PendingCap = 256
 	}
+	if c.PlaceWorkers <= 0 {
+		c.PlaceWorkers = 32
+	}
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 4
 	}
@@ -128,13 +146,17 @@ type Coordinator struct {
 	reg  *registry
 	met  *coordMetrics
 	ring *trace.Ring
+	// sched orders accepted jobs between admission and placement: the
+	// same tenant-aware scheduler the serving layer uses, one level up.
+	sched *qos.Scheduler
 
-	ctx      context.Context // coordinator lifetime; cancelled by Shutdown
-	stop     context.CancelFunc
-	sweepWG  sync.WaitGroup
-	jobsWG   sync.WaitGroup
-	draining atomic.Bool
-	pending  atomic.Int64
+	ctx        context.Context // coordinator lifetime; cancelled by Shutdown
+	stop       context.CancelFunc
+	sweepWG    sync.WaitGroup
+	jobsWG     sync.WaitGroup
+	dispatchWG sync.WaitGroup
+	draining   atomic.Bool
+	pending    atomic.Int64
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -159,6 +181,26 @@ var (
 	errBadRequest = errors.New("bad request")
 )
 
+// busyError carries the scheduler's drain-derived Retry-After under the
+// ErrBusy identity, so errors.Is(err, ErrBusy) callers keep working while
+// the HTTP layer advises the refused tenant's actual drain time.
+type busyError struct {
+	shed *qos.ShedError
+}
+
+func (e *busyError) Error() string { return e.shed.Error() }
+func (e *busyError) Unwrap() error { return ErrBusy }
+
+// busyRetryAfterSeconds extracts the drain-derived Retry-After from a shed
+// error, falling back to the legacy constant.
+func busyRetryAfterSeconds(err error) int {
+	var be *busyError
+	if errors.As(err, &be) {
+		return be.shed.RetryAfterSeconds()
+	}
+	return serve.RetryAfterSeconds
+}
+
 // NewCoordinator builds the coordinator and starts its heartbeat-expiry
 // sweeper.
 func NewCoordinator(cfg Config) (*Coordinator, error) {
@@ -176,14 +218,48 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		byClient:  make(map[string]string),
 		byContent: make(map[memo.Key]string),
 	}
+	c.sched = qos.New(qos.Options{
+		Capacity:    cfg.PendingCap,
+		TenantDepth: cfg.TenantDepth,
+		Weights:     cfg.TenantWeights,
+		Fair:        cfg.FairQoS,
+		Workers:     cfg.PlaceWorkers,
+		Tracer:      c.ring,
+		NowMicros:   c.met.sinceMicros,
+	})
 	c.reg = newRegistry(cfg.HeartbeatExpiry, c.met.start)
 	if cfg.Store != nil {
 		cfg.Store.SetTracer(c.ring)
 		c.recoverFromStore()
 	}
+	c.dispatchWG.Add(cfg.PlaceWorkers)
+	for i := 0; i < cfg.PlaceWorkers; i++ {
+		go c.dispatcher()
+	}
 	c.sweepWG.Add(1)
 	go c.sweeper()
 	return c, nil
+}
+
+// dispatcher pops accepted jobs in scheduling order and owns each one end
+// to end. Bounding the loops (PlaceWorkers) is what makes QoS real at the
+// coordinator: beyond that many concurrent placements the admission queue
+// builds, and tenants drain from it in weighted-fair order instead of
+// first-come-first-served goroutine scheduling.
+func (c *Coordinator) dispatcher() {
+	defer c.dispatchWG.Done()
+	for {
+		v, ok := c.sched.Pop(true)
+		if !ok {
+			return
+		}
+		j := v.(*Job)
+		start := time.Now()
+		c.run(j)
+		// Placement + execution time feeds the drain-rate estimate behind
+		// shed Retry-After advice.
+		c.sched.ObserveDone(j.req.Tenant, time.Since(start))
+	}
 }
 
 // sweeper periodically expires workers whose heartbeats stopped. In-flight
@@ -223,7 +299,12 @@ func (c *Coordinator) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 	}
+	// Close the scheduler so dispatchers exit once drained, then cancel
+	// the coordinator context so any jobs still queued past the deadline
+	// fail fast instead of placing against a dying cluster.
+	c.sched.Close()
 	c.stop()
+	c.dispatchWG.Wait()
 	c.sweepWG.Wait()
 	return err
 }
@@ -261,6 +342,9 @@ type JobView struct {
 	Type  serve.JobType `json:"type"`
 	State serve.State   `json:"state"`
 	Error string        `json:"error,omitempty"`
+	// Tenant and Class echo the request's QoS identity.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
 	// WorkerID is the worker currently (or finally) holding the job;
 	// Attempts counts placements, >1 meaning the job was retried.
 	WorkerID string `json:"worker_id,omitempty"`
@@ -283,6 +367,8 @@ func (j *Job) View() JobView {
 		Type:     j.req.Type,
 		State:    j.state,
 		Error:    j.errMsg,
+		Tenant:   j.req.Tenant,
+		Class:    j.req.Class,
 		WorkerID: j.workerID,
 		Attempts: j.attempts,
 	}
@@ -359,7 +445,15 @@ func (c *Coordinator) Submit(req serve.JobRequest) (*Job, error) {
 		cur := c.pending.Load()
 		if cur >= int64(c.cfg.PendingCap) {
 			c.met.shed.Add(1)
-			return nil, ErrBusy
+			tenant := req.Tenant
+			if tenant == "" {
+				tenant = qos.DefaultTenant
+			}
+			return nil, &busyError{shed: &qos.ShedError{
+				Tenant:     tenant,
+				Scope:      "global",
+				RetryAfter: c.sched.RetryAfter(req.Tenant),
+			}}
 		}
 		if c.pending.CompareAndSwap(cur, cur+1) {
 			break
@@ -428,12 +522,59 @@ func (c *Coordinator) Submit(req serve.JobRequest) (*Job, error) {
 	// Durable before acknowledged: the accept record (carrying the verbatim
 	// request body) is what restart recovery re-places.
 	_ = c.cfg.Store.Accepted(j.id, req.ID, body)
+	cls, _ := qos.ParseClass(req.Class) // validated above
+	c.jobsWG.Add(1)
+	victim, err := c.sched.Push(j, req.Tenant, cls)
+	if err != nil {
+		// The scheduler refused the job after it was journaled (the
+		// submitting tenant's bound under fair QoS, or shutdown racing
+		// admission): retire it terminally so the WAL stays consistent,
+		// and hand the client a 429 naming the tenant's drain time.
+		c.jobsWG.Done()
+		c.retire(j, serve.StateError, err.Error())
+		var shed *qos.ShedError
+		if errors.As(err, &shed) {
+			c.met.shed.Add(1)
+			return nil, &busyError{shed: shed}
+		}
+		return nil, ErrDraining
+	}
+	if victim != nil {
+		c.preempt(victim.(*Job))
+	}
 	c.met.accepted.Add(1)
 	c.emit(trace.Event{Cycle: c.met.sinceMicros(), Kind: trace.KindEnqueue,
 		Proc: -1, From: -1, Arg: c.pending.Load(), Label: string(req.Type) + ":" + j.id})
-	c.jobsWG.Add(1)
-	go c.run(j)
 	return j, nil
+}
+
+// retire marks j terminal without it ever running, releases its identity
+// bindings (so a client retry is not deduped onto the corpse), journals
+// the outcome, and frees its pending slot.
+func (c *Coordinator) retire(j *Job, state serve.State, msg string) {
+	j.mu.Lock()
+	j.state = state
+	j.errMsg = msg
+	j.finished = time.Now()
+	j.mu.Unlock()
+	c.retireContent(j)
+	c.mu.Lock()
+	if j.req.ID != "" && c.byClient[j.req.ID] == j.id {
+		delete(c.byClient, j.req.ID)
+	}
+	c.mu.Unlock()
+	_ = c.cfg.Store.Failed(j.id, msg)
+	c.pending.Add(-1)
+}
+
+// preempt fails a queued lower-class job the scheduler evicted to admit a
+// higher-class arrival: terminal StatePreempted, retriable by the client.
+// Only queued jobs can reach here — a dispatched job left the scheduler
+// under its lock and can never be chosen as a victim.
+func (c *Coordinator) preempt(j *Job) {
+	c.retire(j, serve.StatePreempted, qos.ErrPreempted.Error())
+	c.met.preempted.Add(1)
+	c.jobsWG.Done()
 }
 
 // evictLocked trims finished jobs beyond the history bound; c.mu held.
@@ -466,8 +607,9 @@ func (c *Coordinator) Job(id string) (*Job, bool) {
 
 // Metrics snapshots the coordinator metrics.
 func (c *Coordinator) Metrics() MetricsSnapshot {
+	qosSnap := c.sched.Snapshot()
 	return c.met.snapshot(c.cfg.Policy.Name(), int(c.pending.Load()), c.cfg.PendingCap,
-		c.reg.snapshot(time.Now()), c.ring.Total(), c.cfg.Store.Metrics())
+		c.reg.snapshot(time.Now()), c.ring.Total(), c.cfg.Store.Metrics(), &qosSnap)
 }
 
 // timeoutFor is the cluster lifetime granted to one request: its deadline
@@ -557,6 +699,14 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
 		return
 	}
+	// Header fallback for QoS identity, mirroring the worker API: the JSON
+	// body wins when both are present.
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-Motif-Tenant")
+	}
+	if req.Class == "" {
+		req.Class = r.Header.Get("X-Motif-Class")
+	}
 	j, err := c.Submit(req)
 	switch {
 	case err == nil:
@@ -565,9 +715,10 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrBusy):
 		// Shed exactly like a saturated worker does, one level up: the
-		// pending bound is the cluster's admission queue.
-		w.Header().Set("Retry-After", strconv.Itoa(serve.RetryAfterSeconds))
-		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "cluster pending jobs at capacity"})
+		// pending bound is the cluster's admission queue, and the header
+		// advises the refused tenant's estimated drain time.
+		w.Header().Set("Retry-After", strconv.Itoa(busyRetryAfterSeconds(err)))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "coordinator draining"})
 	default:
@@ -614,13 +765,33 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "coordinator up %.0fms  policy=%s  workers=%d live  pending %d/%d\n",
 		snap.UptimeMS, snap.Policy, snap.LiveWorkers, snap.Pending, snap.PendingCap)
-	fmt.Fprintf(w, "accepted=%d shed=%d done=%d failed=%d  deduped=%d collapsed=%d  retries=%d saturated=%d deaths=%d\n",
-		snap.Accepted, snap.Shed, snap.Done, snap.Failed,
+	fmt.Fprintf(w, "accepted=%d shed=%d preempted=%d done=%d failed=%d  deduped=%d collapsed=%d  retries=%d saturated=%d deaths=%d\n",
+		snap.Accepted, snap.Shed, snap.Preempted, snap.Done, snap.Failed,
 		snap.Deduped, snap.Collapsed,
 		snap.Retries, snap.Saturated, snap.WorkerDeaths)
 	if snap.Memo != nil {
 		fmt.Fprintf(w, "memo: cluster hit-rate %.3f (%d hits / %d misses)\n",
 			snap.Memo.HitRate, snap.Memo.Hits, snap.Memo.Misses)
+	}
+	if q := snap.QoS; q != nil {
+		mode := "fifo"
+		if q.Fair {
+			mode = "fair"
+		}
+		fmt.Fprintf(w, "qos: mode=%s tenants=%d depth=%d/%d admitted=%d shed=%d preempted=%d service-ewma=%.2fms\n",
+			mode, q.Tenants, q.Depth, q.Capacity, q.Admitted, q.Shed, q.Preempted, q.ServiceEWMAMS)
+	}
+	if len(snap.TenantDepths) > 0 {
+		tenants := make([]string, 0, len(snap.TenantDepths))
+		for tenant := range snap.TenantDepths {
+			tenants = append(tenants, tenant)
+		}
+		sort.Strings(tenants)
+		fmt.Fprint(w, "tenant queue depth (workers):")
+		for _, tenant := range tenants {
+			fmt.Fprintf(w, "  %s=%d", tenant, snap.TenantDepths[tenant])
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f (n=%d)\n\n",
 		snap.Latency.P50MS, snap.Latency.P95MS, snap.Latency.P99MS,

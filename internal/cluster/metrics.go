@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/qos"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -31,6 +32,8 @@ type coordMetrics struct {
 	collapsed atomic.Int64 // submissions attached to an identical in-flight job
 	done      atomic.Int64
 	failed    atomic.Int64
+
+	preempted atomic.Int64 // queued jobs evicted for higher-class arrivals
 
 	retries      atomic.Int64 // re-placements after a worker failure
 	saturated    atomic.Int64 // re-placements after a worker 429
@@ -72,6 +75,8 @@ type WorkerMetrics struct {
 	// last heartbeat (zero when memoization is disabled on the worker).
 	MemoHits   int64 `json:"memo_hits,omitempty"`
 	MemoMisses int64 `json:"memo_misses,omitempty"`
+	// Tenants is the worker's last-reported per-tenant queue depth.
+	Tenants map[string]int `json:"tenants,omitempty"`
 	// Shipped/Completed/Retried are coordinator-side: jobs placed on this
 	// worker, completed by it, and re-placed off it after it failed.
 	Shipped   int64 `json:"shipped"`
@@ -97,6 +102,9 @@ type MetricsSnapshot struct {
 	Collapsed int64 `json:"collapsed"`
 	Done      int64 `json:"done"`
 	Failed    int64 `json:"failed"`
+	// Preempted counts queued jobs evicted by higher-class arrivals under
+	// fair QoS (they finish StatePreempted, retriable by the client).
+	Preempted int64 `json:"preempted"`
 
 	// Retries counts re-placements after worker failures; Saturated counts
 	// re-placements after worker 429s; WorkerDeaths counts heartbeat
@@ -110,6 +118,12 @@ type MetricsSnapshot struct {
 	// Memo aggregates the workers' last-reported memo cache counters into a
 	// cluster-wide view; absent when no worker has memoization enabled.
 	Memo *ClusterMemoSummary `json:"memo,omitempty"`
+	// QoS is the coordinator admission scheduler's per-tenant accounting.
+	QoS *qos.Snapshot `json:"qos,omitempty"`
+	// TenantDepths sums the workers' last-reported per-tenant queue depths
+	// into the cluster-wide per-tenant load; absent when no worker reports
+	// tenant queues.
+	TenantDepths map[string]int `json:"tenant_depths,omitempty"`
 
 	TraceEvents int64 `json:"trace_events"`
 	// Store is the durability block; absent when no store is configured.
@@ -122,6 +136,21 @@ type ClusterMemoSummary struct {
 	Hits    int64   `json:"hits"`
 	Misses  int64   `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
+}
+
+// tenantDepths sums the workers' last-reported per-tenant queue depths;
+// nil when no worker reports any tenant queue.
+func tenantDepths(workers []WorkerMetrics) map[string]int {
+	var sum map[string]int
+	for _, w := range workers {
+		for tenant, depth := range w.Tenants {
+			if sum == nil {
+				sum = make(map[string]int)
+			}
+			sum[tenant] += depth
+		}
+	}
+	return sum
 }
 
 // memoSummary sums the workers' last-reported cache counters; nil when no
@@ -139,7 +168,7 @@ func memoSummary(workers []WorkerMetrics) *ClusterMemoSummary {
 	return &s
 }
 
-func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers []WorkerMetrics, traceEvents int64, storeSnap *store.MetricsSnapshot) MetricsSnapshot {
+func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers []WorkerMetrics, traceEvents int64, storeSnap *store.MetricsSnapshot, qosSnap *qos.Snapshot) MetricsSnapshot {
 	m.mu.Lock()
 	lat := serve.LatencySummary{
 		Count:  m.latency.Count(),
@@ -169,12 +198,15 @@ func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers 
 		Collapsed:    m.collapsed.Load(),
 		Done:         m.done.Load(),
 		Failed:       m.failed.Load(),
+		Preempted:    m.preempted.Load(),
 		Retries:      m.retries.Load(),
 		Saturated:    m.saturated.Load(),
 		WorkerDeaths: m.workerDeaths.Load(),
 		Latency:      lat,
 		Workers:      workers,
 		Memo:         memoSummary(workers),
+		QoS:          qosSnap,
+		TenantDepths: tenantDepths(workers),
 		TraceEvents:  traceEvents,
 		Store:        storeSnap,
 	}

@@ -23,6 +23,7 @@ type workerState struct {
 	failed     int64
 	memoHits   int64
 	memoMisses int64
+	tenants    map[string]int // per-tenant queue depth, non-empty only
 	// startOffset is the worker pool's t=0 expressed in coordinator
 	// microseconds (from heartbeat uptime), used to align merged traces.
 	startOffset int64
@@ -86,6 +87,7 @@ func (r *registry) heartbeat(hb Heartbeat, now time.Time) bool {
 	ws.failed = hb.Failed
 	ws.memoHits = hb.MemoHits
 	ws.memoMisses = hb.MemoMisses
+	ws.tenants = hb.Tenants
 	ws.startOffset = now.Sub(r.start).Microseconds() - hb.UptimeMicros
 	return true
 }
@@ -177,6 +179,7 @@ func (r *registry) snapshot(now time.Time) []WorkerMetrics {
 			Failed:        ws.failed,
 			MemoHits:      ws.memoHits,
 			MemoMisses:    ws.memoMisses,
+			Tenants:       ws.tenants,
 			Shipped:       ws.shipped,
 			Completed:     ws.completed,
 			Retried:       ws.retried,

@@ -42,6 +42,19 @@ type Env struct {
 	// daemon's µs-since-start); nil uses µs since Run began.
 	TraceMicros func() int64
 	Emit        func(Record)
+	// Tenant is the submitting tenant's QoS identity; when set, stage
+	// trace events carry it ("pipe:<stage>@<tenant>") so a merged timeline
+	// can attribute per-stage work to tenants.
+	Tenant string
+}
+
+// stageLabel is the trace label for one stage's events, tenant-qualified
+// when the run carries a tenant identity.
+func (e *exec) stageLabel(name string) string {
+	if e.env.Tenant != "" {
+		return "pipe:" + name + "@" + e.env.Tenant
+	}
+	return "pipe:" + name
 }
 
 // exec is one run's mutable state.
@@ -246,7 +259,7 @@ func (e *exec) instrument(specIdx int, sr *StageResult, st *StageSpec, body func
 
 	return func(ctx context.Context, in <-chan Record, out chan<- Record) error {
 		start := e.now()
-		e.trace(trace.Event{Cycle: start, Kind: trace.KindExecStart, Proc: proc, From: -1, Label: "pipe:" + sr.Name})
+		e.trace(trace.Event{Cycle: start, Kind: trace.KindExecStart, Proc: proc, From: -1, Label: e.stageLabel(sr.Name)})
 		lastActivity := start
 
 		io := &stageIO{
@@ -286,7 +299,7 @@ func (e *exec) instrument(specIdx int, sr *StageResult, st *StageSpec, body func
 				}
 				lastActivity = now
 				e.trace(trace.Event{Cycle: now, Kind: trace.KindShip, Proc: proc + 1, From: proc,
-					Arg: int64(idx), Label: "pipe:" + sr.Name})
+					Arg: int64(idx), Label: e.stageLabel(sr.Name)})
 				if checkpointing || memoing {
 					blob, merr := json.Marshal(rec)
 					if merr != nil {
@@ -340,7 +353,7 @@ func (e *exec) instrument(specIdx int, sr *StageResult, st *StageSpec, body func
 			sm.busy.Add(fin - start)
 		}
 		e.trace(trace.Event{Cycle: fin, Kind: trace.KindExecFinish, Proc: proc, From: -1,
-			Arg: fin - start, Label: "pipe:" + sr.Name})
+			Arg: fin - start, Label: e.stageLabel(sr.Name)})
 		return err
 	}
 }

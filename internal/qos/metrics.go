@@ -1,0 +1,107 @@
+package qos
+
+import "sort"
+
+// TenantSnapshot is one tenant's row in the `qos` block of /metrics.
+type TenantSnapshot struct {
+	Tenant string `json:"tenant"`
+	Weight int    `json:"weight"`
+	Depth  int    `json:"depth"`
+
+	Admitted  int64 `json:"admitted"`
+	Shed      int64 `json:"shed"`
+	Preempted int64 `json:"preempted,omitempty"`
+	Done      int64 `json:"done"`
+
+	// Wait percentiles are queue time (admission → dispatch), not service.
+	P50WaitMS float64 `json:"p50_wait_ms"`
+	P99WaitMS float64 `json:"p99_wait_ms"`
+}
+
+// Snapshot is the `qos` block of /metrics.
+type Snapshot struct {
+	// Fair reports the scheduling mode; false is the flat-FIFO baseline.
+	Fair        bool `json:"fair"`
+	Capacity    int  `json:"capacity"`
+	TenantDepth int  `json:"tenant_depth,omitempty"`
+	Depth       int  `json:"depth"`
+	// Tenants counts every tenant ever seen; PerTenant is capped to the
+	// busiest snapshotTenantCap by admitted count.
+	Tenants int `json:"tenants"`
+
+	Admitted   int64 `json:"admitted"`
+	Shed       int64 `json:"shed"`
+	Preempted  int64 `json:"preempted"`
+	Dispatched int64 `json:"dispatched"`
+	Done       int64 `json:"done"`
+
+	// ServiceEWMAMS is the drain-rate estimate behind Retry-After.
+	ServiceEWMAMS float64 `json:"service_ewma_ms"`
+
+	PerTenant []TenantSnapshot `json:"per_tenant,omitempty"`
+}
+
+// snapshotTenantCap bounds the per-tenant rows in one snapshot: a harness
+// simulating thousands of tenants should not turn /metrics into a dump.
+const snapshotTenantCap = 32
+
+// Snapshot renders the scheduler's accounting. Rows are the busiest
+// tenants by admitted count, ties broken by name for stable output.
+func (s *Scheduler) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Fair:          s.opt.Fair,
+		Capacity:      s.opt.Capacity,
+		Depth:         s.depth,
+		Tenants:       len(s.tenants),
+		Admitted:      s.admitted,
+		Shed:          s.shed,
+		Preempted:     s.preempted,
+		Dispatched:    s.dispatched,
+		Done:          s.done,
+		ServiceEWMAMS: s.ewmaServiceUS / 1000,
+	}
+	if s.opt.Fair {
+		snap.TenantDepth = s.opt.TenantDepth
+	}
+	rows := make([]TenantSnapshot, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		rows = append(rows, TenantSnapshot{
+			Tenant:    t.name,
+			Weight:    t.weight,
+			Depth:     t.depth,
+			Admitted:  t.admitted,
+			Shed:      t.shed,
+			Preempted: t.preempted,
+			Done:      t.done,
+			P50WaitMS: t.wait.Quantile(0.50) / 1000,
+			P99WaitMS: t.wait.Quantile(0.99) / 1000,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Admitted != rows[j].Admitted {
+			return rows[i].Admitted > rows[j].Admitted
+		}
+		return rows[i].Tenant < rows[j].Tenant
+	})
+	if len(rows) > snapshotTenantCap {
+		rows = rows[:snapshotTenantCap]
+	}
+	snap.PerTenant = rows
+	return snap
+}
+
+// TenantDepths returns every tenant's current queue depth, for heartbeat
+// load reports; tenants with empty queues are omitted.
+func (s *Scheduler) TenantDepths() map[string]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int)
+	for name, t := range s.tenants {
+		if t.depth > 0 {
+			out[name] = t.depth
+		}
+	}
+	return out
+}

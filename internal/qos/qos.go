@@ -1,0 +1,117 @@
+// Package qos is the multi-tenant admission and scheduling layer: the
+// paper's Scheduler/BatchScheduler motifs (§3, ref [6]) realized as the
+// policy layer between the serving front ends and the worker pools.
+//
+// The serving daemon's original admission queue was a single FIFO with
+// global shedding: one aggressive tenant could fill the whole bound and
+// starve everyone behind it. This package replaces that with per-tenant
+// weighted-fair queues under a deficit-round-robin (DRR) scheduler:
+//
+//   - Every tenant gets its own bounded queue; beyond the per-tenant depth
+//     the tenant (and only that tenant) is shed, with a Retry-After derived
+//     from its estimated drain time rather than a shared constant.
+//   - Dequeue order interleaves tenants in proportion to their configured
+//     weights (unit-cost DRR: a tenant with weight w drains up to w jobs
+//     per round). An active tenant is never starved: its head job waits at
+//     most one full round of the other tenants' weights.
+//   - Within a tenant, three priority classes (high > normal > low) are
+//     served strictly. A high-class arrival that finds its queue (or the
+//     global bound) full may preempt a *queued* lower-class job — the
+//     victim is handed back to the caller to fail with a retriable status.
+//     Running work is never touched.
+//
+// The same Scheduler also runs in tenant-blind FIFO mode (Fair == false),
+// which reproduces the old flat-queue semantics exactly; the open-loop SLO
+// harness (cmd/slobench) measures the two modes against each other.
+//
+// Admission decisions narrate through internal/trace as qos.admit /
+// qos.shed / qos.preempt / qos.dispatch events, and Snapshot feeds the
+// `qos` block of /metrics with per-tenant admitted/shed/preempted counts,
+// queue depths, and wait-time percentiles.
+package qos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Class is a job's priority class. Higher classes dequeue first within a
+// tenant, and may preempt queued lower-class work when bounds are hit.
+type Class uint8
+
+// Priority classes, lowest first so ordinal comparison matches priority.
+const (
+	ClassLow Class = iota
+	ClassNormal
+	ClassHigh
+)
+
+var classNames = [...]string{
+	ClassLow:    "low",
+	ClassNormal: "normal",
+	ClassHigh:   "high",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ParseClass maps the wire spelling to a Class; the empty string is
+// ClassNormal so requests that never heard of QoS keep their old behavior.
+func ParseClass(s string) (Class, error) {
+	switch strings.ToLower(s) {
+	case "", "normal":
+		return ClassNormal, nil
+	case "low":
+		return ClassLow, nil
+	case "high":
+		return ClassHigh, nil
+	default:
+		return ClassNormal, fmt.Errorf("unknown class %q (want high, normal, or low)", s)
+	}
+}
+
+// DefaultTenant is the accounting bucket for requests that carry no tenant
+// identity.
+const DefaultTenant = "default"
+
+// ShedError reports an admission refusal with the advice the client needs:
+// which bound was hit and when the tenant's queue is expected to have
+// drained. The HTTP layers map it to 429 with a load-proportional
+// Retry-After header.
+type ShedError struct {
+	// Tenant is the accounting tenant that was refused.
+	Tenant string
+	// Scope is "tenant" when the tenant's own depth bound was hit while
+	// the scheduler had global room, "global" when the total bound was.
+	Scope string
+	// RetryAfter is the advised backoff: the tenant's estimated drain time
+	// (queue depth × observed service time / workers), clamped to
+	// [1s, 60s].
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("qos: %s queue full for tenant %q (retry after %s)", e.Scope, e.Tenant, e.RetryAfter)
+}
+
+// RetryAfterSeconds is the header value for e, always at least 1.
+func (e *ShedError) RetryAfterSeconds() int {
+	s := int((e.RetryAfter + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ErrClosed is returned by Push after Close: the scheduler is draining and
+// admits nothing new.
+var ErrClosed = fmt.Errorf("qos: scheduler closed")
+
+// ErrPreempted is the retriable failure a preempted job should surface to
+// its client: the work never started, so resubmitting is always safe.
+var ErrPreempted = fmt.Errorf("preempted by a higher-class arrival before starting; safe to resubmit")

@@ -1,0 +1,487 @@
+package qos
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// Options sizes and shapes a Scheduler. Zero values select the defaults
+// noted on each field.
+type Options struct {
+	// Capacity bounds the total queued jobs across all tenants (default
+	// 64); at the bound, arrivals either preempt queued lower-class work
+	// or are shed.
+	Capacity int
+	// TenantDepth bounds one tenant's queue in fair mode (default
+	// max(8, Capacity/8)): a flooding tenant fills its own queue and is
+	// shed long before it can crowd out anyone else.
+	TenantDepth int
+	// Weights maps tenant → DRR weight (default weight 1): a tenant with
+	// weight w drains up to w jobs per scheduling round. Tenants absent
+	// from the map get DefaultWeight.
+	Weights map[string]int
+	// DefaultWeight is the weight for tenants not named in Weights
+	// (default 1).
+	DefaultWeight int
+	// Fair selects tenant-aware scheduling. False reproduces the flat
+	// FIFO exactly: one queue, global shedding, no classes, no
+	// preemption — the baseline the SLO harness measures against.
+	Fair bool
+	// Workers is the service parallelism draining this queue; it scales
+	// the drain-time estimate behind Retry-After (default 1).
+	Workers int
+	// Tracer, when non-nil, receives qos.admit/shed/preempt/dispatch
+	// events; NowMicros supplies their clock (default: µs since the
+	// scheduler was built).
+	Tracer    trace.Tracer
+	NowMicros func() int64
+}
+
+func (o *Options) fill(start time.Time) {
+	if o.Capacity <= 0 {
+		o.Capacity = 64
+	}
+	if o.TenantDepth <= 0 {
+		o.TenantDepth = o.Capacity / 8
+		if o.TenantDepth < 8 {
+			o.TenantDepth = 8
+		}
+	}
+	if o.TenantDepth > o.Capacity {
+		o.TenantDepth = o.Capacity
+	}
+	if o.DefaultWeight <= 0 {
+		o.DefaultWeight = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.NowMicros == nil {
+		o.NowMicros = func() int64 { return time.Since(start).Microseconds() }
+	}
+}
+
+// waitBoundsMicros buckets queue-wait times from 100µs to 60s.
+var waitBoundsMicros = []int64{
+	100, 250, 500,
+	1_000, 2_500, 5_000,
+	10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000, 10_000_000, 30_000_000, 60_000_000,
+}
+
+// item is one queued job with its scheduling identity.
+type item struct {
+	v     any
+	t     *tenant
+	class Class
+	enq   time.Time
+}
+
+// tenant is one tenant's queues and accounting.
+type tenant struct {
+	name   string
+	weight int
+	// credit is the DRR deficit counter: items this tenant may still
+	// dequeue in the current round.
+	credit int
+	// queues holds one FIFO per class, indexed by Class (low..high).
+	queues [3][]*item
+	depth  int
+	active bool
+
+	admitted  int64
+	shed      int64
+	preempted int64
+	done      int64
+	wait      *metrics.Histogram
+}
+
+// popClass removes and returns the head of the highest non-empty class
+// queue. Callers guarantee depth > 0.
+func (t *tenant) popClass() *item {
+	for c := int(ClassHigh); c >= int(ClassLow); c-- {
+		if q := t.queues[c]; len(q) > 0 {
+			it := q[0]
+			// Shift rather than re-slice forever so the backing array is
+			// reusable once the queue drains.
+			copy(q, q[1:])
+			q[len(q)-1] = nil
+			t.queues[c] = q[:len(q)-1]
+			t.depth--
+			return it
+		}
+	}
+	return nil
+}
+
+// evictYoungestBelow removes and returns the youngest queued item of the
+// lowest class strictly below limit, or nil if no such item is queued.
+func (t *tenant) evictYoungestBelow(limit Class) *item {
+	for c := int(ClassLow); c < int(limit); c++ {
+		if q := t.queues[c]; len(q) > 0 {
+			it := q[len(q)-1]
+			q[len(q)-1] = nil
+			t.queues[c] = q[:len(q)-1]
+			t.depth--
+			return it
+		}
+	}
+	return nil
+}
+
+// Scheduler is the tenant-aware admission queue: Push admits (or sheds, or
+// preempts for) a job, Pop hands the next job to a worker in weighted-fair
+// order, Close begins the drain. All methods are safe for concurrent use.
+type Scheduler struct {
+	opt   Options
+	start time.Time
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	depth  int
+	// fifo is the flat queue used when Fair is false.
+	fifo []*item
+	// tenants indexes every tenant ever seen (accounting survives an
+	// empty queue); active is the DRR ring of tenants with queued work,
+	// active[0] being the tenant currently holding the deficit round.
+	tenants map[string]*tenant
+	active  []*tenant
+
+	// ewmaServiceUS is the exponentially-weighted mean observed service
+	// time, feeding drain-time estimates; 0 until the first observation.
+	ewmaServiceUS float64
+
+	admitted   int64
+	shed       int64
+	preempted  int64
+	dispatched int64
+	done       int64
+}
+
+// New builds a Scheduler.
+func New(opt Options) *Scheduler {
+	start := time.Now()
+	opt.fill(start)
+	s := &Scheduler{opt: opt, start: start, tenants: make(map[string]*tenant)}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Fair reports the scheduling mode.
+func (s *Scheduler) Fair() bool { return s.opt.Fair }
+
+// Capacity is the global queued bound.
+func (s *Scheduler) Capacity() int { return s.opt.Capacity }
+
+// Depth is the total queued jobs right now.
+func (s *Scheduler) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.depth
+}
+
+// tenantLocked returns (creating if needed) the accounting record for name.
+func (s *Scheduler) tenantLocked(name string) *tenant {
+	if name == "" {
+		name = DefaultTenant
+	}
+	t, ok := s.tenants[name]
+	if !ok {
+		w := s.opt.DefaultWeight
+		if cw, ok := s.opt.Weights[name]; ok && cw > 0 {
+			w = cw
+		}
+		t = &tenant{name: name, weight: w, wait: metrics.NewHistogram(waitBoundsMicros...)}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Push admits v under the given tenant and class. On success victim is
+// non-nil if a queued lower-class job was preempted to make room — the
+// caller owns failing it back to its client with a retriable status
+// (ErrPreempted). On refusal the error is a *ShedError carrying the
+// tenant's drain-time estimate, or ErrClosed after Close.
+func (s *Scheduler) Push(v any, tenantName string, class Class) (victim any, err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	t := s.tenantLocked(tenantName)
+	if !s.opt.Fair {
+		// Flat mode: one FIFO, one bound, tenant identity is accounting
+		// only.
+		if s.depth >= s.opt.Capacity {
+			shedErr := s.refuseLocked(t, "global", class)
+			s.mu.Unlock()
+			return nil, shedErr
+		}
+		it := &item{v: v, t: t, class: class, enq: time.Now()}
+		s.fifo = append(s.fifo, it)
+		s.admitLocked(t, it)
+		s.mu.Unlock()
+		return nil, nil
+	}
+
+	var evicted *item
+	switch {
+	case t.depth >= s.opt.TenantDepth:
+		// The tenant's own bound: a higher-class arrival may displace the
+		// tenant's own queued lower-class work; otherwise the tenant (and
+		// only the tenant) is shed.
+		if evicted = t.evictYoungestBelow(class); evicted == nil {
+			shedErr := s.refuseLocked(t, "tenant", class)
+			s.mu.Unlock()
+			return nil, shedErr
+		}
+		s.notePreemptLocked(evicted)
+	case s.depth >= s.opt.Capacity:
+		// The global bound: look across every tenant for the youngest
+		// queued job of the lowest class below the arrival's.
+		if evicted = s.evictGlobalLocked(class); evicted == nil {
+			shedErr := s.refuseLocked(t, "global", class)
+			s.mu.Unlock()
+			return nil, shedErr
+		}
+		s.notePreemptLocked(evicted)
+	}
+
+	it := &item{v: v, t: t, class: class, enq: time.Now()}
+	t.queues[class] = append(t.queues[class], it)
+	t.depth++
+	if !t.active {
+		t.active = true
+		s.active = append(s.active, t)
+	}
+	s.admitLocked(t, it)
+	s.mu.Unlock()
+	if evicted != nil {
+		return evicted.v, nil
+	}
+	return nil, nil
+}
+
+// PushForce admits v unconditionally, bypassing the per-tenant and global
+// bounds. Crash recovery uses it to re-admit journaled work that was
+// already accepted once — shedding that backlog on restart would break the
+// durability contract. Depth may transiently exceed Capacity; ordinary
+// Push sheds until the backlog drains back under the bounds.
+func (s *Scheduler) PushForce(v any, tenantName string, class Class) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	t := s.tenantLocked(tenantName)
+	it := &item{v: v, t: t, class: class, enq: time.Now()}
+	if !s.opt.Fair {
+		s.fifo = append(s.fifo, it)
+	} else {
+		t.queues[class] = append(t.queues[class], it)
+		t.depth++
+		if !t.active {
+			t.active = true
+			s.active = append(s.active, t)
+		}
+	}
+	s.admitLocked(t, it)
+	return nil
+}
+
+// admitLocked does the shared admission bookkeeping (s.mu held). The item
+// is already queued; the caller unlocks after.
+func (s *Scheduler) admitLocked(t *tenant, it *item) {
+	s.depth++
+	t.admitted++
+	s.admitted++
+	s.emitLocked(trace.KindQoSAdmit, t, it.class, int64(t.depth))
+	s.cond.Signal()
+}
+
+// refuseLocked accounts a shed and builds its ShedError (s.mu held).
+func (s *Scheduler) refuseLocked(t *tenant, scope string, class Class) *ShedError {
+	t.shed++
+	s.shed++
+	e := &ShedError{Tenant: t.name, Scope: scope, RetryAfter: s.retryAfterLocked(t)}
+	s.emitLocked(trace.KindQoSShed, t, class, int64(e.RetryAfterSeconds()))
+	return e
+}
+
+// evictGlobalLocked picks a preemption victim across all tenants: the
+// lowest class strictly below limit that is queued anywhere, and within
+// that class the youngest arrival (the job that has waited least loses).
+func (s *Scheduler) evictGlobalLocked(limit Class) *item {
+	for c := int(ClassLow); c < int(limit); c++ {
+		var victim *tenant
+		var victimEnq time.Time
+		for _, t := range s.active {
+			if q := t.queues[c]; len(q) > 0 {
+				if tail := q[len(q)-1]; victim == nil || tail.enq.After(victimEnq) {
+					victim, victimEnq = t, tail.enq
+				}
+			}
+		}
+		if victim != nil {
+			q := victim.queues[c]
+			it := q[len(q)-1]
+			q[len(q)-1] = nil
+			victim.queues[c] = q[:len(q)-1]
+			victim.depth--
+			return it
+		}
+	}
+	return nil
+}
+
+// notePreemptLocked accounts an eviction and retires the victim's tenant
+// from the DRR ring if it emptied (s.mu held).
+func (s *Scheduler) notePreemptLocked(it *item) {
+	s.depth--
+	it.t.preempted++
+	s.preempted++
+	if it.t.depth == 0 {
+		s.deactivateLocked(it.t)
+	}
+	s.emitLocked(trace.KindQoSPreempt, it.t, it.class, 0)
+}
+
+// deactivateLocked removes t from the DRR ring (s.mu held).
+func (s *Scheduler) deactivateLocked(t *tenant) {
+	if !t.active {
+		return
+	}
+	t.active = false
+	t.credit = 0
+	for i, a := range s.active {
+		if a == t {
+			s.active = append(s.active[:i], s.active[i+1:]...)
+			return
+		}
+	}
+}
+
+// Pop hands the caller the next job in scheduling order. With block true
+// it waits for work, returning ok == false only once the scheduler is
+// closed and drained; with block false it returns immediately, ok == false
+// meaning "nothing queued right now".
+func (s *Scheduler) Pop(block bool) (v any, ok bool) {
+	s.mu.Lock()
+	for s.depth == 0 {
+		if s.closed || !block {
+			s.mu.Unlock()
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+	var it *item
+	if !s.opt.Fair {
+		it = s.fifo[0]
+		copy(s.fifo, s.fifo[1:])
+		s.fifo[len(s.fifo)-1] = nil
+		s.fifo = s.fifo[:len(s.fifo)-1]
+	} else {
+		// Unit-cost DRR: the head tenant spends one credit per dequeue and
+		// holds the floor until its round (weight credits) or its queue is
+		// exhausted, then rotates to the back of the ring.
+		t := s.active[0]
+		if t.credit <= 0 {
+			t.credit = t.weight
+		}
+		it = t.popClass()
+		t.credit--
+		if t.depth == 0 {
+			t.active = false
+			t.credit = 0
+			s.active = s.active[1:]
+		} else if t.credit == 0 {
+			s.active = append(s.active[1:], t)
+		}
+	}
+	s.depth--
+	s.dispatched++
+	wait := time.Since(it.enq)
+	it.t.wait.Observe(wait.Microseconds())
+	s.emitLocked(trace.KindQoSDispatch, it.t, it.class, wait.Microseconds())
+	s.mu.Unlock()
+	return it.v, true
+}
+
+// Close stops admission; Pop keeps draining what was already accepted.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// ObserveDone records one completed job: its tenant's done count and the
+// service time that feeds every tenant's drain-time estimate.
+func (s *Scheduler) ObserveDone(tenantName string, service time.Duration) {
+	us := float64(service.Microseconds())
+	if us < 0 {
+		us = 0
+	}
+	s.mu.Lock()
+	t := s.tenantLocked(tenantName)
+	t.done++
+	s.done++
+	// EWMA with α = 0.2: responsive to load shifts without letting one
+	// outlier job rewrite the estimate.
+	if s.ewmaServiceUS == 0 {
+		s.ewmaServiceUS = us
+	} else {
+		s.ewmaServiceUS += 0.2 * (us - s.ewmaServiceUS)
+	}
+	s.mu.Unlock()
+}
+
+// RetryAfter is the current drain-time advice for the tenant, as attached
+// to a ShedError: queue depth × observed mean service time / workers,
+// clamped to [1s, 60s].
+func (s *Scheduler) RetryAfter(tenantName string) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retryAfterLocked(s.tenantLocked(tenantName))
+}
+
+func (s *Scheduler) retryAfterLocked(t *tenant) time.Duration {
+	depth := t.depth
+	if !s.opt.Fair {
+		depth = s.depth
+	}
+	if s.ewmaServiceUS == 0 || depth == 0 {
+		return time.Second
+	}
+	d := time.Duration(float64(depth)*s.ewmaServiceUS/float64(s.opt.Workers)) * time.Microsecond
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > time.Minute {
+		d = time.Minute
+	}
+	return d
+}
+
+// emitLocked narrates one scheduling decision (s.mu held). Label is
+// "tenant/class"; Proc is -1 (admission has no worker lane).
+func (s *Scheduler) emitLocked(kind trace.Kind, t *tenant, class Class, arg int64) {
+	if s.opt.Tracer == nil {
+		return
+	}
+	s.opt.Tracer.Event(trace.Event{
+		Cycle: s.opt.NowMicros(),
+		Kind:  kind,
+		Proc:  -1,
+		From:  -1,
+		Arg:   arg,
+		Label: t.name + "/" + class.String(),
+	})
+}

@@ -1,0 +1,370 @@
+package qos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drain pops everything currently queued without blocking, returning the
+// values in dispatch order.
+func drain(s *Scheduler) []any {
+	var out []any
+	for {
+		v, ok := s.Pop(false)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+func TestClassOrderWithinTenant(t *testing.T) {
+	s := New(Options{Fair: true, Capacity: 16})
+	for _, c := range []Class{ClassLow, ClassNormal, ClassHigh, ClassNormal} {
+		if _, err := s.Push(c.String(), "a", c); err != nil {
+			t.Fatalf("push %v: %v", c, err)
+		}
+	}
+	got := drain(s)
+	want := []any{"high", "normal", "normal", "low"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("dispatch order %v, want %v", got, want)
+	}
+}
+
+func TestWeightedFairRatio(t *testing.T) {
+	// Two saturated tenants at weights 2:1 must see admitted work drain in
+	// a 2:1 ratio over any full number of DRR rounds.
+	s := New(Options{Fair: true, Capacity: 256, TenantDepth: 128,
+		Weights: map[string]int{"heavy": 2, "light": 1}})
+	for i := 0; i < 90; i++ {
+		if _, err := s.Push("heavy", "heavy", ClassNormal); err != nil {
+			t.Fatalf("push heavy: %v", err)
+		}
+	}
+	for i := 0; i < 90; i++ {
+		if _, err := s.Push("light", "light", ClassNormal); err != nil {
+			t.Fatalf("push light: %v", err)
+		}
+	}
+	counts := map[string]int{}
+	for i := 0; i < 60; i++ { // 20 full rounds of (2 heavy + 1 light)
+		v, ok := s.Pop(false)
+		if !ok {
+			t.Fatalf("queue drained early at %d", i)
+		}
+		counts[v.(string)]++
+	}
+	ratio := float64(counts["heavy"]) / float64(counts["light"])
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("drain ratio heavy:light = %d:%d (%.2f), want ~2.0",
+			counts["heavy"], counts["light"], ratio)
+	}
+}
+
+func TestNoStarvationBound(t *testing.T) {
+	// A tenant arriving behind 8 saturated weight-1 tenants must be served
+	// within one DRR round: at most sum(other weights) dispatches before
+	// its first job runs.
+	s := New(Options{Fair: true, Capacity: 1024, TenantDepth: 64})
+	const others = 8
+	for i := 0; i < others; i++ {
+		name := fmt.Sprintf("t%d", i)
+		for k := 0; k < 32; k++ {
+			if _, err := s.Push(name, name, ClassNormal); err != nil {
+				t.Fatalf("push: %v", err)
+			}
+		}
+	}
+	if _, err := s.Push("late", "late", ClassNormal); err != nil {
+		t.Fatalf("push late: %v", err)
+	}
+	for i := 0; i < others+1; i++ {
+		v, ok := s.Pop(false)
+		if !ok {
+			t.Fatalf("queue drained early at %d", i)
+		}
+		if v.(string) == "late" {
+			return
+		}
+	}
+	t.Fatalf("late tenant not served within %d dispatches (one round)", others+1)
+}
+
+func TestTenantBoundShedsOnlyThatTenant(t *testing.T) {
+	s := New(Options{Fair: true, Capacity: 64, TenantDepth: 4})
+	for i := 0; i < 4; i++ {
+		if _, err := s.Push(i, "flood", ClassNormal); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	_, err := s.Push(99, "flood", ClassNormal)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Scope != "tenant" || shed.Tenant != "flood" {
+		t.Fatalf("flood push: got %v, want tenant-scope ShedError", err)
+	}
+	if shed.RetryAfterSeconds() < 1 {
+		t.Fatalf("Retry-After %d, want >= 1", shed.RetryAfterSeconds())
+	}
+	// A different tenant still has room.
+	if _, err := s.Push("ok", "quiet", ClassNormal); err != nil {
+		t.Fatalf("quiet tenant shed alongside the flood: %v", err)
+	}
+}
+
+func TestPreemptWithinTenant(t *testing.T) {
+	s := New(Options{Fair: true, Capacity: 64, TenantDepth: 2})
+	if _, err := s.Push("low-old", "a", ClassLow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push("low-young", "a", ClassLow); err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.Push("high", "a", ClassHigh)
+	if err != nil {
+		t.Fatalf("high push: %v", err)
+	}
+	if victim != "low-young" {
+		t.Fatalf("victim %v, want the youngest low job", victim)
+	}
+	got := drain(s)
+	if fmt.Sprint(got) != fmt.Sprint([]any{"high", "low-old"}) {
+		t.Fatalf("dispatch order %v", got)
+	}
+	// Equal class never preempts.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Push(i, "b", ClassHigh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Push(2, "b", ClassHigh); err == nil {
+		t.Fatal("equal-class arrival preempted a queued job")
+	}
+}
+
+func TestPreemptGlobalYoungestLowest(t *testing.T) {
+	s := New(Options{Fair: true, Capacity: 3, TenantDepth: 3})
+	if _, err := s.Push("a-norm", "a", ClassNormal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push("b-low-old", "b", ClassLow); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push("c-low-young", "c", ClassLow); err != nil {
+		t.Fatal(err)
+	}
+	victim, err := s.Push("high", "d", ClassHigh)
+	if err != nil {
+		t.Fatalf("high push at global bound: %v", err)
+	}
+	if victim != "c-low-young" {
+		t.Fatalf("victim %v, want the youngest of the lowest class", victim)
+	}
+	if s.Depth() != 3 {
+		t.Fatalf("depth %d after preempting admission, want 3", s.Depth())
+	}
+	// A low arrival at the global bound cannot preempt and is shed with
+	// scope "global".
+	_, err = s.Push("low", "e", ClassLow)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Scope != "global" {
+		t.Fatalf("low push at global bound: got %v, want global-scope ShedError", err)
+	}
+}
+
+// TestPreemptionNeverTouchesDispatchedWork hammers the scheduler from
+// concurrent pushers (low class), preempting pushers (high class), and
+// popping workers, then asserts the victim set and the dispatched set are
+// disjoint and every job is accounted for exactly once. Run under -race
+// this is the "preemption never touches running work" invariant: a job
+// handed to a worker can never later be returned as a victim.
+func TestPreemptionNeverTouchesDispatchedWork(t *testing.T) {
+	s := New(Options{Fair: true, Capacity: 32, TenantDepth: 8})
+	const (
+		pushers    = 4
+		perPusher  = 200
+		preempters = 2
+		perPreempt = 100
+	)
+	var (
+		mu         sync.Mutex
+		dispatched = map[int]bool{}
+		victims    = map[int]bool{}
+		shed       int
+	)
+	var pushWG sync.WaitGroup
+	record := func(m map[int]bool, v any) {
+		mu.Lock()
+		if m[v.(int)] {
+			mu.Unlock()
+			t.Errorf("job %v seen twice", v)
+			return
+		}
+		m[v.(int)] = true
+		mu.Unlock()
+	}
+	for p := 0; p < pushers; p++ {
+		pushWG.Add(1)
+		go func(p int) {
+			defer pushWG.Done()
+			for i := 0; i < perPusher; i++ {
+				id := p*perPusher + i
+				victim, err := s.Push(id, fmt.Sprintf("t%d", p), ClassLow)
+				if victim != nil {
+					record(victims, victim)
+				}
+				if err != nil {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				}
+			}
+		}(p)
+	}
+	for p := 0; p < preempters; p++ {
+		pushWG.Add(1)
+		go func(p int) {
+			defer pushWG.Done()
+			for i := 0; i < perPreempt; i++ {
+				id := 1_000_000 + p*perPreempt + i
+				victim, err := s.Push(id, fmt.Sprintf("hi%d", p), ClassHigh)
+				if victim != nil {
+					record(victims, victim)
+				}
+				if err != nil {
+					mu.Lock()
+					shed++
+					mu.Unlock()
+				}
+			}
+		}(p)
+	}
+	var popWG sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		popWG.Add(1)
+		go func() {
+			defer popWG.Done()
+			for {
+				v, ok := s.Pop(true)
+				if !ok {
+					return
+				}
+				record(dispatched, v)
+				s.ObserveDone("t", time.Microsecond)
+			}
+		}()
+	}
+	pushWG.Wait()
+	s.Close()
+	popWG.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for id := range victims {
+		if dispatched[id] {
+			t.Fatalf("job %d was both dispatched and preempted", id)
+		}
+	}
+	total := pushers*perPusher + preempters*perPreempt
+	if got := len(dispatched) + len(victims) + shed; got != total {
+		t.Fatalf("accounting: dispatched %d + victims %d + shed %d = %d, want %d",
+			len(dispatched), len(victims), shed, got, total)
+	}
+}
+
+func TestFIFOModeIsTenantBlind(t *testing.T) {
+	s := New(Options{Fair: false, Capacity: 4})
+	for i, c := range []Class{ClassLow, ClassHigh, ClassNormal, ClassLow} {
+		if _, err := s.Push(i, fmt.Sprintf("t%d", i%2), c); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+	}
+	// No preemption at the bound, even for a high arrival.
+	victim, err := s.Push(99, "t0", ClassHigh)
+	if victim != nil || err == nil {
+		t.Fatalf("fifo bound: victim %v err %v, want nil victim and a ShedError", victim, err)
+	}
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Scope != "global" {
+		t.Fatalf("fifo shed error: %v", err)
+	}
+	got := drain(s)
+	if fmt.Sprint(got) != fmt.Sprint([]any{0, 1, 2, 3}) {
+		t.Fatalf("fifo order %v, want strict arrival order", got)
+	}
+}
+
+func TestRetryAfterScalesWithDrainTime(t *testing.T) {
+	s := New(Options{Fair: true, Capacity: 256, TenantDepth: 128, Workers: 2})
+	// 100ms observed service time.
+	for i := 0; i < 20; i++ {
+		s.ObserveDone("a", 100*time.Millisecond)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := s.Push(i, "a", ClassNormal); err != nil {
+			t.Fatalf("push: %v", err)
+		}
+	}
+	// 40 queued × 100ms / 2 workers = ~2s.
+	got := s.RetryAfter("a")
+	if got < 1500*time.Millisecond || got > 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want ~2s", got)
+	}
+	// An idle tenant gets the 1s floor.
+	if got := s.RetryAfter("idle"); got != time.Second {
+		t.Fatalf("idle tenant RetryAfter = %v, want 1s", got)
+	}
+}
+
+func TestCloseDrainsThenStops(t *testing.T) {
+	s := New(Options{Fair: true, Capacity: 8})
+	if _, err := s.Push("x", "a", ClassNormal); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := s.Push("y", "a", ClassNormal); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v, want ErrClosed", err)
+	}
+	if v, ok := s.Pop(true); !ok || v != "x" {
+		t.Fatalf("pop after close: %v %v, want queued job", v, ok)
+	}
+	if _, ok := s.Pop(true); ok {
+		t.Fatal("pop after drain returned a job")
+	}
+}
+
+func TestSnapshotAccounting(t *testing.T) {
+	s := New(Options{Fair: true, Capacity: 8, TenantDepth: 2,
+		Weights: map[string]int{"a": 3}})
+	if _, err := s.Push(1, "a", ClassNormal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(2, "a", ClassNormal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(3, "a", ClassNormal); err == nil {
+		t.Fatal("expected tenant shed")
+	}
+	if _, ok := s.Pop(false); !ok {
+		t.Fatal("pop")
+	}
+	s.ObserveDone("a", 5*time.Millisecond)
+	snap := s.Snapshot()
+	if !snap.Fair || snap.Admitted != 2 || snap.Shed != 1 || snap.Dispatched != 1 || snap.Done != 1 {
+		t.Fatalf("aggregate snapshot: %+v", snap)
+	}
+	if len(snap.PerTenant) != 1 {
+		t.Fatalf("per-tenant rows: %+v", snap.PerTenant)
+	}
+	row := snap.PerTenant[0]
+	if row.Tenant != "a" || row.Weight != 3 || row.Depth != 1 || row.Admitted != 2 || row.Shed != 1 {
+		t.Fatalf("tenant row: %+v", row)
+	}
+	depths := s.TenantDepths()
+	if depths["a"] != 1 || len(depths) != 1 {
+		t.Fatalf("TenantDepths: %v", depths)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/parser"
 	"repro/internal/pipeline"
+	"repro/internal/qos"
 	"repro/internal/skel"
 	"repro/internal/strand"
 	"repro/internal/term"
@@ -67,6 +68,17 @@ type JobRequest struct {
 	// share a label, so they co-locate). The local serving layer ignores
 	// it.
 	Label string `json:"label,omitempty"`
+	// Tenant is the accounting tenant this job bills against (default
+	// "default"). Under fair QoS each tenant gets its own bounded
+	// admission queue drained in proportion to its configured weight, so
+	// one flooding tenant is shed without starving the rest. The HTTP
+	// layer also accepts it as the X-Motif-Tenant header.
+	Tenant string `json:"tenant,omitempty"`
+	// Class is the job's priority class: "high", "normal" (default), or
+	// "low". Higher classes dequeue first within a tenant, and a high
+	// arrival that finds its bounds full may preempt *queued* lower-class
+	// work (never running work). Also accepted as X-Motif-Class.
+	Class string `json:"class,omitempty"`
 
 	Align    *bio.AlignJob  `json:"align,omitempty"`
 	Tree     *TreeSpec      `json:"tree,omitempty"`
@@ -130,12 +142,17 @@ type StrandResult struct {
 // State is a job's lifecycle position.
 type State string
 
-// Job states. Terminal states are StateDone and StateError.
+// Job states. Terminal states are StateDone, StateError, and
+// StatePreempted.
 const (
 	StateQueued  State = "queued"
 	StateRunning State = "running"
 	StateDone    State = "done"
 	StateError   State = "error"
+	// StatePreempted marks a queued job evicted by the QoS layer to make
+	// room for a higher-class arrival. The work never started, so
+	// resubmitting is always safe — clients should treat it like a 429.
+	StatePreempted State = "preempted"
 )
 
 // Job is one admitted request moving through the pool.
@@ -189,6 +206,9 @@ type JobStatus struct {
 	// BatchSize is the size of the farm dispatch this job rode in (1 for
 	// an unbatched run).
 	BatchSize int `json:"batch_size,omitempty"`
+	// Tenant and Class echo the request's QoS identity.
+	Tenant string `json:"tenant,omitempty"`
+	Class  string `json:"class,omitempty"`
 
 	Align    *bio.AlignJobResult `json:"align,omitempty"`
 	Tree     *TreeResult         `json:"tree,omitempty"`
@@ -206,6 +226,8 @@ func (j *Job) Status() JobStatus {
 		State:     j.state,
 		Worker:    j.worker,
 		BatchSize: j.batchSize,
+		Tenant:    j.req.Tenant,
+		Class:     j.req.Class,
 		Align:     j.align,
 		Tree:      j.tree,
 		Strand:    j.strand,
@@ -249,6 +271,12 @@ func (r *JobRequest) validate() error {
 	}
 	if len(r.ID) > 128 {
 		return fmt.Errorf("id too long (%d bytes, max 128)", len(r.ID))
+	}
+	if len(r.Tenant) > 128 {
+		return fmt.Errorf("tenant too long (%d bytes, max 128)", len(r.Tenant))
+	}
+	if _, err := qos.ParseClass(r.Class); err != nil {
+		return err
 	}
 	switch r.Type {
 	case JobAlign:
@@ -316,6 +344,13 @@ func (r *JobRequest) validate() error {
 		return fmt.Errorf("unknown job type %q (want align, tree, strand, or pipeline)", r.Type)
 	}
 	return nil
+}
+
+// qosClass is the request's parsed priority class. Validation already
+// rejected unknown spellings, so the parse cannot fail here.
+func (r *JobRequest) qosClass() qos.Class {
+	c, _ := qos.ParseClass(r.Class)
+	return c
 }
 
 func treeShape(s string) (workload.TreeShape, error) {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/qos"
 	"repro/internal/store"
 )
 
@@ -28,6 +29,7 @@ type poolMetrics struct {
 
 	admitted  atomic.Int64
 	shed      atomic.Int64
+	preempted atomic.Int64 // queued jobs evicted for higher-class arrivals
 	rejected  atomic.Int64 // malformed requests (400s)
 	deduped   atomic.Int64 // resubmissions answered from the dedup table
 	collapsed atomic.Int64 // submissions attached to an identical in-flight job
@@ -127,6 +129,7 @@ type MetricsSnapshot struct {
 	QueueCapacity int             `json:"queue_capacity"`
 	Admitted      int64           `json:"admitted"`
 	Shed          int64           `json:"shed"`
+	Preempted     int64           `json:"preempted"`
 	Rejected      int64           `json:"rejected"`
 	Deduped       int64           `json:"deduped"`
 	Collapsed     int64           `json:"collapsed"`
@@ -146,6 +149,9 @@ type MetricsSnapshot struct {
 	// Pipeline is the per-stage streaming-pipeline block; absent until a
 	// pipeline job has run.
 	Pipeline *pipeline.MetricsSnapshot `json:"pipeline,omitempty"`
+	// QoS is the tenant-aware admission block: scheduling mode, per-tenant
+	// admitted/shed/preempted counts, queue depths, and wait percentiles.
+	QoS *qos.Snapshot `json:"qos,omitempty"`
 }
 
 // BatchSummary is the batching block of /metrics.
@@ -155,7 +161,7 @@ type BatchSummary struct {
 	MaxBatch    int64 `json:"max_batch"`
 }
 
-func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, storeSnap *store.MetricsSnapshot, memoSnap *memo.StatsSnapshot, pipeSnap *pipeline.MetricsSnapshot) MetricsSnapshot {
+func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, storeSnap *store.MetricsSnapshot, memoSnap *memo.StatsSnapshot, pipeSnap *pipeline.MetricsSnapshot, qosSnap *qos.Snapshot) MetricsSnapshot {
 	uptime := m.sinceMicros()
 	m.mu.Lock()
 	lat := LatencySummary{
@@ -194,6 +200,7 @@ func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, stor
 		QueueCapacity: queueCap,
 		Admitted:      m.admitted.Load(),
 		Shed:          m.shed.Load(),
+		Preempted:     m.preempted.Load(),
 		Rejected:      m.rejected.Load(),
 		Deduped:       m.deduped.Load(),
 		Collapsed:     m.collapsed.Load(),
@@ -212,5 +219,6 @@ func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, stor
 		Store:       storeSnap,
 		Memo:        memoSnap,
 		Pipeline:    pipeSnap,
+		QoS:         qosSnap,
 	}
 }

@@ -18,7 +18,11 @@ import (
 // event vocabulary as the simulated machine (Cycle = µs since pool start).
 func (s *Server) worker(w int) {
 	defer s.workerWG.Done()
-	for j := range s.q.ch {
+	for {
+		j, ok := s.q.pop()
+		if !ok {
+			return
+		}
 		batch := s.gather(j)
 		s.met.workerBusy(w)
 		s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindBusy, Proc: w, From: -1})
@@ -39,18 +43,14 @@ func (s *Server) gather(first *Job) []*Job {
 		return batch
 	}
 	for len(batch) < s.cfg.BatchMax {
-		select {
-		case j, ok := <-s.q.ch:
-			if !ok {
-				return batch
-			}
-			batch = append(batch, j)
-			if !s.batchable(j) {
-				// Keep draining only while the tail stays batchable; a big
-				// job ends the batch (it still runs, after the small ones).
-				return batch
-			}
-		default:
+		j, ok := s.q.tryPop()
+		if !ok {
+			return batch
+		}
+		batch = append(batch, j)
+		if !s.batchable(j) {
+			// Keep draining only while the tail stays batchable; a big
+			// job ends the batch (it still runs, after the small ones).
 			return batch
 		}
 	}
@@ -139,6 +139,9 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 	}
 	j.mu.Unlock()
 	s.cfg.Store.NoteCheckpointHits(resumed)
+	// Feed the admission scheduler's drain-time estimate (Retry-After on
+	// sheds) with the observed service time.
+	s.q.sched.ObserveDone(j.req.Tenant, dur)
 
 	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindExecFinish,
 		Proc: w, From: -1, Arg: dur.Microseconds(), Label: string(j.req.Type) + ":" + j.id})
@@ -163,6 +166,7 @@ func (s *Server) pipelineEnv(j *Job) *pipeline.Env {
 		Metrics:     s.pipe,
 		Tracer:      s.ring,
 		TraceMicros: s.met.sinceMicros,
+		Tenant:      j.req.Tenant,
 	}
 	if stream := j.stream; stream != nil {
 		env.Emit = func(rec pipeline.Record) {

@@ -2,69 +2,116 @@ package serve
 
 import (
 	"errors"
-	"sync"
+
+	"repro/internal/qos"
 )
 
-// ErrQueueFull is returned by tryPush when the admission queue is at its
-// bound; the HTTP layer maps it to 429 + Retry-After (load shedding).
+// ErrQueueFull is returned by tryPush when admission refuses a job (the
+// global bound, or the submitting tenant's own bound under fair QoS); the
+// HTTP layer maps it to 429 + Retry-After (load shedding).
 var ErrQueueFull = errors.New("serve: admission queue full")
 
-// RetryAfterSeconds is the Retry-After hint attached to every 429 this
-// system sheds: one second is the order of an admission-queue drain at
-// typical job sizes. It is the single spelling shared by the serving
-// layer's queue bound, the cluster coordinator's pending bound, and the
-// cluster re-placement path's default backoff when a saturated worker
-// omits or mangles the header.
+// RetryAfterSeconds is the fallback Retry-After hint for 429s whose cause
+// carries no drain estimate: one second is the order of an admission-queue
+// drain at typical job sizes. Sheds from the admission scheduler instead
+// advise the refused tenant's estimated drain time (queue depth × observed
+// service rate) via retryAfterSeconds; this constant remains the floor the
+// cluster re-placement path assumes when a saturated worker omits or
+// mangles the header.
 const RetryAfterSeconds = 1
 
 // ErrDraining is returned once the server has begun graceful shutdown; the
 // HTTP layer maps it to 503.
 var ErrDraining = errors.New("serve: server draining")
 
-// queue is the bounded admission queue between the HTTP front end and the
-// worker pool. Its capacity is the system's only buffer: when it is full,
-// new work is shed instead of growing memory without bound.
+// queue is the bounded admission layer between the HTTP front end and the
+// worker pool, backed by the tenant-aware qos.Scheduler: in fair mode
+// tenants get weighted-fair service with per-tenant bounds and class
+// preemption; in flat mode it reproduces the original single-FIFO
+// semantics. Either way its capacity is the system's only buffer — when a
+// bound is hit, work is shed instead of growing memory without bound.
 type queue struct {
-	mu     sync.Mutex
-	ch     chan *Job
-	closed bool
+	sched *qos.Scheduler
 }
 
-func newQueue(capacity int) *queue {
-	if capacity < 1 {
-		capacity = 1
-	}
-	return &queue{ch: make(chan *Job, capacity)}
+func newQueue(opt qos.Options) *queue {
+	return &queue{sched: qos.New(opt)}
 }
 
-// tryPush admits j without blocking: ErrQueueFull when at capacity,
-// ErrDraining after close.
-func (q *queue) tryPush(j *Job) error {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
-		return ErrDraining
+// queueFullError carries the scheduler's drain-derived shed advice while
+// still matching the errors.Is(err, ErrQueueFull) checks existing callers
+// rely on.
+type queueFullError struct {
+	shed *qos.ShedError
+}
+
+func (e *queueFullError) Error() string { return e.shed.Error() }
+func (e *queueFullError) Unwrap() error { return ErrQueueFull }
+
+// retryAfterSeconds extracts the drain-derived Retry-After from a shed
+// error, falling back to the legacy constant for errors without one.
+func retryAfterSeconds(err error) int {
+	var qf *queueFullError
+	if errors.As(err, &qf) {
+		return qf.shed.RetryAfterSeconds()
 	}
-	select {
-	case q.ch <- j:
-		return nil
-	default:
-		return ErrQueueFull
+	return RetryAfterSeconds
+}
+
+// tryPush admits j without blocking. A non-nil victim is a queued
+// lower-class job the scheduler evicted to make room (the caller owns
+// failing it back to its client); an ErrQueueFull-wrapping error means j
+// itself was shed, ErrDraining that the server is shutting down.
+func (q *queue) tryPush(j *Job) (victim *Job, err error) {
+	v, err := q.sched.Push(j, j.req.Tenant, j.req.qosClass())
+	if err != nil {
+		var shed *qos.ShedError
+		if errors.As(err, &shed) {
+			return nil, &queueFullError{shed: shed}
+		}
+		if errors.Is(err, qos.ErrClosed) {
+			return nil, ErrDraining
+		}
+		return nil, err
 	}
+	if v != nil {
+		return v.(*Job), nil
+	}
+	return nil, nil
+}
+
+// pushResumed re-admits a crash-recovered job above every bound: the job
+// was already accepted and journaled once, so shedding it on restart would
+// break the durability contract.
+func (q *queue) pushResumed(j *Job) {
+	_ = q.sched.PushForce(j, j.req.Tenant, j.req.qosClass())
+}
+
+// pop blocks for the next job in scheduling order, returning ok == false
+// once the queue is closed and drained — the workers' exit signal.
+func (q *queue) pop() (*Job, bool) {
+	v, ok := q.sched.Pop(true)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Job), true
+}
+
+// tryPop returns immediately; ok == false means nothing is queued right
+// now. The batcher uses it to drain extra work without blocking.
+func (q *queue) tryPop() (*Job, bool) {
+	v, ok := q.sched.Pop(false)
+	if !ok {
+		return nil, false
+	}
+	return v.(*Job), true
 }
 
 // close stops admission; workers drain what was already accepted.
-func (q *queue) close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if !q.closed {
-		q.closed = true
-		close(q.ch)
-	}
-}
+func (q *queue) close() { q.sched.Close() }
 
 // depth is the number of admitted jobs not yet picked up by a worker.
-func (q *queue) depth() int { return len(q.ch) }
+func (q *queue) depth() int { return q.sched.Depth() }
 
-// capacity is the queue bound.
-func (q *queue) capacity() int { return cap(q.ch) }
+// capacity is the global queue bound.
+func (q *queue) capacity() int { return q.sched.Capacity() }

@@ -55,7 +55,7 @@ func submitBody(t *testing.T, s *Server, fn func(ctx context.Context) error) *Jo
 	s.nextID++
 	j.id = fmt.Sprintf("j%06d", s.nextID)
 	s.mu.Unlock()
-	if err := s.q.tryPush(j); err != nil {
+	if _, err := s.q.tryPush(j); err != nil {
 		cancel()
 		t.Fatalf("submitBody: %v", err)
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
+	"repro/internal/qos"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -61,6 +62,18 @@ type Config struct {
 	// subtree values so warm runs skip already-computed subtrees even
 	// across different jobs. Zero disables memoization.
 	MemoBytes int64
+	// FairQoS enables tenant-aware admission (internal/qos): per-tenant
+	// bounded queues drained by weighted deficit round robin, priority
+	// classes with preemption of queued lower-class work, and per-tenant
+	// drain-derived Retry-After on sheds. False keeps the original flat
+	// FIFO (tenant identity is still accounted, just not scheduled on).
+	FairQoS bool
+	// TenantDepth bounds one tenant's queue under FairQoS (default
+	// max(8, QueueCap/8)).
+	TenantDepth int
+	// TenantWeights maps tenant → scheduling weight under FairQoS; absent
+	// tenants weigh 1.
+	TenantWeights map[string]int
 }
 
 func (c *Config) fill() {
@@ -142,11 +155,19 @@ func New(cfg Config) *Server {
 		cfg.Store.SetTracer(s.ring)
 		resume = s.recoverFromStore()
 	}
-	// Recovered jobs ride above the admission bound, so a restart can
+	s.q = newQueue(qos.Options{
+		Capacity:    cfg.QueueCap,
+		TenantDepth: cfg.TenantDepth,
+		Weights:     cfg.TenantWeights,
+		Fair:        cfg.FairQoS,
+		Workers:     cfg.Workers,
+		Tracer:      s.ring,
+		NowMicros:   s.met.sinceMicros,
+	})
+	// Recovered jobs ride above the admission bounds, so a restart can
 	// never shed its own backlog.
-	s.q = newQueue(cfg.QueueCap + len(resume))
 	for _, j := range resume {
-		_ = s.q.tryPush(j)
+		s.q.pushResumed(j)
 	}
 	s.workerWG.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -277,13 +298,19 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	s.storeLocked(j)
 	s.mu.Unlock()
 
-	if err := s.q.tryPush(j); err != nil {
+	victim, err := s.q.tryPush(j)
+	if err != nil {
 		cancel()
 		s.unpublish(j)
 		if errors.Is(err, ErrQueueFull) {
 			s.met.shed.Add(1)
 		}
 		return nil, err
+	}
+	if victim != nil {
+		// The scheduler evicted a queued lower-class job to admit this one;
+		// fail it back to its client as retriable.
+		s.preemptJob(victim)
 	}
 	s.met.admitted.Add(1)
 	// Journal after the job is admitted and before the caller is told, so
@@ -296,6 +323,34 @@ func (s *Server) Submit(req JobRequest) (*Job, error) {
 	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindEnqueue,
 		Proc: -1, From: -1, Arg: int64(s.q.depth()), Label: string(req.Type) + ":" + j.id})
 	return j, nil
+}
+
+// preemptJob finishes a queued job the QoS layer evicted for a
+// higher-class arrival: terminal state "preempted", retriable by contract
+// (the work never started). Its idempotency and singleflight claims are
+// released so a resubmission runs fresh instead of finding the corpse.
+func (s *Server) preemptJob(j *Job) {
+	j.mu.Lock()
+	j.state = StatePreempted
+	j.err = qos.ErrPreempted
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.cancel()
+	s.met.preempted.Add(1)
+	s.mu.Lock()
+	if cid := j.req.ID; cid != "" && s.byClient[cid] == j.id {
+		delete(s.byClient, cid)
+	}
+	if j.hasKey && s.byContent[j.key] == j.id {
+		delete(s.byContent, j.key)
+	}
+	s.mu.Unlock()
+	if s.cfg.Store != nil {
+		_ = s.cfg.Store.Failed(j.id, qos.ErrPreempted.Error())
+	}
+	if j.stream != nil {
+		j.stream.close()
+	}
 }
 
 // unpublish rolls a job back out of the history after a failed enqueue.
@@ -351,6 +406,13 @@ func (s *Server) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// TenantQueueDepths reports each tenant's current admission-queue depth
+// (non-empty queues only) — the per-tenant load block of cluster
+// heartbeats.
+func (s *Server) TenantQueueDepths() map[string]int {
+	return s.q.sched.TenantDepths()
+}
+
 // Metrics snapshots the serving metrics.
 func (s *Server) Metrics() MetricsSnapshot {
 	var memoSnap *memo.StatsSnapshot
@@ -362,7 +424,8 @@ func (s *Server) Metrics() MetricsSnapshot {
 	if ps := s.pipe.Snapshot(); ps != nil && (ps.Jobs > 0 || len(ps.Stages) > 0) {
 		pipeSnap = ps
 	}
-	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total(), s.cfg.Store.Metrics(), memoSnap, pipeSnap)
+	qosSnap := s.q.sched.Snapshot()
+	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total(), s.cfg.Store.Metrics(), memoSnap, pipeSnap, &qosSnap)
 }
 
 // MemoCache exposes the content-addressed cache (nil when memoization is
@@ -442,6 +505,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
 		return
 	}
+	// Headers carry QoS identity for clients that can't touch the body
+	// (gateways stamping tenant on behalf of callers); the body wins.
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-Motif-Tenant")
+	}
+	if req.Class == "" {
+		req.Class = r.Header.Get("X-Motif-Class")
+	}
 	j, err := s.Submit(req)
 	switch {
 	case err == nil:
@@ -449,10 +520,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, errBadRequest):
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrQueueFull):
-		// Load shedding: tell the client when to come back instead of
-		// buffering without bound.
-		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
-		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "admission queue full"})
+		// Load shedding: tell the client when its tenant's queue is
+		// expected to have drained instead of buffering without bound.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(err)))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "server draining"})
 	default:
@@ -497,9 +568,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "motifd up %.0fms  workers=%d  queue %d/%d  admitted=%d shed=%d done=%d failed=%d inflight=%d\n",
+	fmt.Fprintf(w, "motifd up %.0fms  workers=%d  queue %d/%d  admitted=%d shed=%d preempted=%d done=%d failed=%d inflight=%d\n",
 		snap.UptimeMS, snap.Workers, snap.QueueDepth, snap.QueueCapacity,
-		snap.Admitted, snap.Shed, snap.Done, snap.Failed, snap.Inflight)
+		snap.Admitted, snap.Shed, snap.Preempted, snap.Done, snap.Failed, snap.Inflight)
 	fmt.Fprintf(w, "latency ms: p50=%.2f p95=%.2f p99=%.2f mean=%.2f max=%.2f (n=%d)\n",
 		snap.Latency.P50MS, snap.Latency.P95MS, snap.Latency.P99MS,
 		snap.Latency.MeanMS, snap.Latency.MaxMS, snap.Latency.Count)
@@ -510,6 +581,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			snap.Memo.HitRate, snap.Memo.Hits, snap.Memo.Misses,
 			snap.Memo.Bytes, snap.Memo.MaxBytes, snap.Memo.Entries,
 			snap.Memo.Evictions, snap.Collapsed, snap.MemoJobHits)
+	}
+	if q := snap.QoS; q != nil {
+		mode := "fifo"
+		if q.Fair {
+			mode = fmt.Sprintf("fair (tenant depth %d)", q.TenantDepth)
+		}
+		fmt.Fprintf(w, "qos %s: %d tenants, admitted=%d shed=%d preempted=%d service-ewma=%.2fms\n",
+			mode, q.Tenants, q.Admitted, q.Shed, q.Preempted, q.ServiceEWMAMS)
+		for _, ts := range q.PerTenant {
+			fmt.Fprintf(w, "  tenant %-16s w=%d depth=%d admitted=%d shed=%d preempted=%d done=%d wait p50=%.2fms p99=%.2fms\n",
+				ts.Tenant, ts.Weight, ts.Depth, ts.Admitted, ts.Shed, ts.Preempted, ts.Done, ts.P50WaitMS, ts.P99WaitMS)
+		}
 	}
 	if snap.Pipeline != nil {
 		fmt.Fprintf(w, "pipeline: %d jobs, %d records streamed, %d stages resumed\n",

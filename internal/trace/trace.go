@@ -73,6 +73,21 @@ const (
 	// KindMemoCollapse: a concurrent lookup of an in-flight key attached
 	// to the computation already running instead of starting its own.
 	KindMemoCollapse
+	// KindQoSAdmit: the tenant-aware admission layer accepted a job into a
+	// per-tenant queue; Label holds "tenant/class" and Arg the tenant's
+	// queue depth after admission.
+	KindQoSAdmit
+	// KindQoSShed: admission refused a job (per-tenant or global bound);
+	// Label holds "tenant/class" and Arg the advised Retry-After in
+	// seconds.
+	KindQoSShed
+	// KindQoSPreempt: a queued lower-class job was evicted to make room
+	// for a higher-class arrival; Label holds the victim's "tenant/class".
+	KindQoSPreempt
+	// KindQoSDispatch: the weighted-fair scheduler handed a queued job to
+	// a worker; Label holds "tenant/class" and Arg the job's queue wait in
+	// microseconds.
+	KindQoSDispatch
 )
 
 var kindNames = [...]string{
@@ -95,6 +110,10 @@ var kindNames = [...]string{
 	KindMemoMiss:     "memo.miss",
 	KindMemoFill:     "memo.fill",
 	KindMemoCollapse: "memo.collapse",
+	KindQoSAdmit:     "qos.admit",
+	KindQoSShed:      "qos.shed",
+	KindQoSPreempt:   "qos.preempt",
+	KindQoSDispatch:  "qos.dispatch",
 }
 
 func (k Kind) String() string {
