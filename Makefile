@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check build vet staticcheck test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke bench-cluster bench-memo bench-kernel bench-gate bench-slo
+.PHONY: ci fmt-check build vet staticcheck test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke ha-smoke bench-cluster bench-memo bench-kernel bench-gate bench-slo
 
-ci: fmt-check build vet staticcheck test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke bench-gate
+ci: fmt-check build vet staticcheck test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke ha-smoke bench-gate
 	@echo "ci: all steps passed"
 
 fmt-check:
@@ -36,7 +36,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/memo/... ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/... ./internal/bio/... ./internal/qos/...
+	$(GO) test -race ./internal/memo/... ./internal/memoshare/... ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/... ./internal/bio/... ./internal/qos/...
 
 # fuzz-smoke runs each fuzz target briefly: the WAL targets exercise the
 # mutator on the torn/corrupt seed corpus, the kernel target cross-checks
@@ -82,6 +82,13 @@ pipeline-smoke:
 # and asserts tenant isolation (gold p99 within SLO, hostile tenant shed).
 qos-smoke:
 	./scripts/qos_smoke.sh
+
+# ha-smoke mirrors the CI coordinator-failover step: active + standby
+# motifctl on one WAL, SIGKILL the active mid-batch, assert the standby
+# takes over the lease, workers re-register, and no job is lost or
+# duplicated.
+ha-smoke:
+	./scripts/ha_smoke.sh
 
 # bench-cluster measures cluster scheduling at 1/2/4 workers and writes
 # the per-scale throughput/latency report.

@@ -15,7 +15,6 @@ import (
 
 	"repro/internal/bio"
 	"repro/internal/cluster"
-	"repro/internal/memo"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
@@ -59,13 +58,15 @@ type loadReport struct {
 	Band      int         `json:"band,omitempty"`
 	MemoBytes int64       `json:"memo_bytes,omitempty"`
 	Levels    []loadLevel `json:"levels"`
-	// Memo is the daemon's cache block after the run (hits, misses,
-	// hit_rate), fetched from its /metrics; only in -memo mode. Its
-	// cumulative hit_rate is diluted by the cold passes' fills, so
+	// Memo is the target's cache block after the run (hits, misses,
+	// hit_rate; against a coordinator also remote_hits and
+	// effective_hit_rate), fetched from its /metrics; only in -memo mode.
+	// Its cumulative hit_rate is diluted by the cold passes' fills, so
 	// WarmHitRate reports the warm passes alone: the fraction of their
-	// lookups answered from the cache.
-	Memo        *memo.StatsSnapshot `json:"memo,omitempty"`
-	WarmHitRate float64             `json:"warm_hit_rate,omitempty"`
+	// lookups answered from a cache — local or, in a cluster with the peer
+	// memo tier, fetched from the worker that already held the entry.
+	Memo        *memoBlock `json:"memo,omitempty"`
+	WarmHitRate float64    `json:"warm_hit_rate,omitempty"`
 }
 
 // runLoad drives a motifd instance (benchmark "serve") or a motifctl
@@ -116,11 +117,18 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 		// Each level gets its own seed block so its cold pass computes from
 		// scratch; the warm pass repeats the block and hits the cache.
 		seedBase := seed + int64(li*jobs)
+		// A coordinator's memo aggregate trails its workers by a heartbeat,
+		// so cluster reads settle (two consecutive reads agreeing) before
+		// the warm pass is accounted.
+		readMemo := fetchMemoBlock
+		if benchmark == "cluster" {
+			readMemo = settleMemoBlock
+		}
 		var cold loadLevel
 		for _, pass := range []string{"cold", "warm"} {
-			var before *memo.StatsSnapshot
+			var before *memoBlock
 			if pass == "warm" {
-				before, _ = fetchMemoBlock(client, base)
+				before, _ = readMemo(client, base)
 			}
 			lvl, err := runLoadLevel(client, base, c, jobs, n, seqLen, seedBase)
 			if err != nil {
@@ -133,8 +141,10 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 				if lvl.ElapsedMS > 0 {
 					lvl.Speedup = cold.ElapsedMS / lvl.ElapsedMS
 				}
-				if after, err := fetchMemoBlock(client, base); err == nil && before != nil && after != nil {
-					warmHits += after.Hits - before.Hits
+				if after, err := readMemo(client, base); err == nil && before != nil && after != nil {
+					// A peer-tier fetch counts as a warm hit: the worker
+					// missed locally but served cached work, not a recompute.
+					warmHits += (after.Hits + after.RemoteHits) - (before.Hits + before.RemoteHits)
 					warmLookups += (after.Hits + after.Misses) - (before.Hits + before.Misses)
 				}
 			}
@@ -146,10 +156,18 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 	fmt.Printf("== %s load: %d alignment jobs (%d seqs, len %d) per level against %s ==\n%s\n",
 		benchmark, jobs, n, seqLen, base, tab)
 	if memoBytes > 0 {
-		if blk, err := fetchMemoBlock(client, base); err == nil && blk != nil {
+		readMemo := fetchMemoBlock
+		if benchmark == "cluster" {
+			readMemo = settleMemoBlock
+		}
+		if blk, err := readMemo(client, base); err == nil && blk != nil {
 			report.Memo = blk
-			fmt.Printf("daemon cache: %d entries, %d bytes, cumulative hit-rate %.3f (%d hits / %d misses)\n",
-				blk.Entries, blk.Bytes, blk.HitRate, blk.Hits, blk.Misses)
+			fmt.Printf("cache: cumulative hit-rate %.3f (%d hits / %d misses)",
+				blk.HitRate, blk.Hits, blk.Misses)
+			if blk.RemoteHits > 0 {
+				fmt.Printf(", %d peer fetches, effective rate %.3f", blk.RemoteHits, blk.EffectiveHitRate)
+			}
+			fmt.Println()
 		}
 		if warmLookups > 0 {
 			report.WarmHitRate = float64(warmHits) / float64(warmLookups)
@@ -266,10 +284,22 @@ type transportError struct{ err error }
 func (e *transportError) Error() string { return "transport: " + e.err.Error() }
 func (e *transportError) Unwrap() error { return e.err }
 
+// maxTransient bounds consecutive lost exchanges (transport failures,
+// 503s, 404s mid-recovery) one job rides out before giving up. With the
+// clients' jittered backoff capping at 2s this spans well past a
+// coordinator failover — the window it exists for.
+const maxTransient = 20
+
 // driveJob submits one alignment job and polls it to completion, returning
 // the client-perceived latency, how many times the submission was shed
 // (429) and retried, and how many times the queued job was preempted by a
 // higher class and resubmitted.
+//
+// Lost exchanges are transient, not terminal: during a coordinator
+// failover the front answers connection-refused (the active died) or 503 +
+// Retry-After (the standby has not taken over yet) for a few seconds, so
+// the client retries with jittered backoff and only counts a transport
+// error after maxTransient consecutive losses.
 func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *cluster.Backoff) (time.Duration, int64, int64, error) {
 	body, err := json.Marshal(serve.JobRequest{
 		Type:  serve.JobAlign,
@@ -281,14 +311,29 @@ func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *c
 
 	start := time.Now()
 	var retried, preempted int64
+	transient := 0
+	// wait backs off before retrying a lost exchange; false means the
+	// transient budget is spent and the caller should fail the job.
+	wait := func(floor time.Duration) bool {
+		transient++
+		if transient > maxTransient {
+			return false
+		}
+		time.Sleep(bo.Next(floor))
+		return true
+	}
 	for {
 		var id string
-		for {
+		for id == "" {
 			resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
 			if err != nil {
+				if wait(0) {
+					continue
+				}
 				return 0, retried, preempted, &transportError{err}
 			}
-			if resp.StatusCode == http.StatusTooManyRequests {
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests:
 				// Shed: the daemon is protecting its queue bound. Honor its
 				// Retry-After as the backoff floor, jittered so concurrent
 				// clients don't return in lockstep — the load generator
@@ -298,34 +343,66 @@ func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *c
 				retried++
 				time.Sleep(bo.Next(floor))
 				continue
-			}
-			if resp.StatusCode != http.StatusAccepted {
+			case http.StatusServiceUnavailable:
+				// Draining front or a standby awaiting takeover: retriable.
+				floor := cluster.RetryAfterFloor(resp.Header.Get("Retry-After"))
+				resp.Body.Close()
+				if wait(floor) {
+					continue
+				}
+				return 0, retried, preempted, fmt.Errorf("submit: still 503 after %d retries", maxTransient)
+			case http.StatusAccepted:
+			default:
 				resp.Body.Close()
 				return 0, retried, preempted, fmt.Errorf("submit: status %d", resp.StatusCode)
 			}
-			bo.Reset()
 			var st serve.JobStatus
 			err = json.NewDecoder(resp.Body).Decode(&st)
 			resp.Body.Close()
 			if err != nil {
+				// The 202 body was lost mid-read; no id means resubmission
+				// cannot duplicate anything.
+				if wait(0) {
+					continue
+				}
 				return 0, retried, preempted, &transportError{err}
 			}
+			bo.Reset()
+			transient = 0
 			id = st.ID
-			break
 		}
 
 		resubmit := false
 		for !resubmit {
 			resp, err := client.Get(base + "/v1/jobs/" + id)
 			if err != nil {
+				if wait(0) {
+					continue
+				}
 				return 0, retried, preempted, &transportError{err}
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusNotFound {
+				// 503: standby mid-takeover. 404: the promoted coordinator
+				// has not finished re-placing orphans under their original
+				// IDs yet. Both heal within the transient window.
+				floor := cluster.RetryAfterFloor(resp.Header.Get("Retry-After"))
+				code := resp.StatusCode
+				resp.Body.Close()
+				if wait(floor) {
+					continue
+				}
+				return 0, retried, preempted, fmt.Errorf("poll %s: still %d after %d retries", id, code, maxTransient)
 			}
 			var st serve.JobStatus
 			err = json.NewDecoder(resp.Body).Decode(&st)
 			resp.Body.Close()
 			if err != nil {
+				if wait(0) {
+					continue
+				}
 				return 0, retried, preempted, &transportError{err}
 			}
+			transient = 0
 			switch st.State {
 			case serve.StateDone:
 				return time.Since(start), retried, preempted, nil
@@ -345,10 +422,23 @@ func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *c
 	}
 }
 
-// fetchMemoBlock reads the daemon's content-addressed cache counters from
-// its /metrics document; motifd's cache block and motifctl's cluster
-// aggregate share the relevant field names (hits, misses, hit_rate).
-func fetchMemoBlock(client *http.Client, base string) (*memo.StatsSnapshot, error) {
+// memoBlock is the memo section of a /metrics document as this benchmark
+// reads it — the union of motifd's cache block (entries, bytes, hits,
+// misses, hit_rate) and motifctl's cluster aggregate, which adds
+// remote_hits (peer-tier fetches) and effective_hit_rate (a peer-served
+// result counted as a cluster hit).
+type memoBlock struct {
+	Entries          int64   `json:"entries,omitempty"`
+	Bytes            int64   `json:"bytes,omitempty"`
+	Hits             int64   `json:"hits"`
+	Misses           int64   `json:"misses"`
+	RemoteHits       int64   `json:"remote_hits,omitempty"`
+	HitRate          float64 `json:"hit_rate"`
+	EffectiveHitRate float64 `json:"effective_hit_rate,omitempty"`
+}
+
+// fetchMemoBlock reads the memo counters from the target's /metrics.
+func fetchMemoBlock(client *http.Client, base string) (*memoBlock, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return nil, err
@@ -358,12 +448,37 @@ func fetchMemoBlock(client *http.Client, base string) (*memo.StatsSnapshot, erro
 		return nil, fmt.Errorf("metrics: status %d", resp.StatusCode)
 	}
 	var doc struct {
-		Memo *memo.StatsSnapshot `json:"memo"`
+		Memo *memoBlock `json:"memo"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
 		return nil, err
 	}
 	return doc.Memo, nil
+}
+
+// settleMemoBlock reads the memo block until two consecutive reads agree.
+// A coordinator's aggregate lags its workers by a heartbeat, so a read
+// taken right after a pass may miss its tail; settling bounds that skew.
+// The inter-read sleep must span a worker heartbeat or two quick reads
+// can agree on a stale aggregate between beats (motifctl defaults to
+// 500ms; benches that care run it faster).
+func settleMemoBlock(client *http.Client, base string) (*memoBlock, error) {
+	prev, err := fetchMemoBlock(client, base)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 20; i++ {
+		time.Sleep(250 * time.Millisecond)
+		cur, err := fetchMemoBlock(client, base)
+		if err != nil {
+			return nil, err
+		}
+		if prev != nil && cur != nil && *cur == *prev {
+			return cur, nil
+		}
+		prev = cur
+	}
+	return prev, nil
 }
 
 func shutdownCtx() (ctx context.Context, cancel context.CancelFunc) {

@@ -10,7 +10,7 @@
 //	motifd [-addr :8077] [-procs 4] [-inner 4] [-queue 64] [-batch 8]
 //	       [-timeout 30s] [-seed N] [-store DIR] [-memo BYTES]
 //	       [-qos [-tenant-depth N] [-weights gold=4,free=1]]
-//	       [-coordinator http://host:8070 [-advertise URL] [-id NAME]]
+//	       [-coordinator http://host:8070[,http://standby:8071] [-advertise URL] [-id NAME]]
 //
 // With -qos the admission queue becomes tenant-aware: requests carry a
 // tenant (X-Motif-Tenant header or "tenant" body field) and a class
@@ -35,7 +35,13 @@
 // registers with the motifctl coordinator at that URL, heartbeats load
 // reports, and re-registers if the coordinator restarts. The job API is
 // unchanged — the coordinator ships jobs to the same POST /v1/jobs every
-// local client uses.
+// local client uses. Further comma-separated URLs name standby
+// coordinators (motifctl -standby); the agent fails over down the list
+// when the active one stays unreachable. Combined with -memo, the worker
+// also joins the cluster's peer cache tier: it serves its memo entries to
+// peers (GET /v1/memo/{digest}, digest-checksummed) and resolves local
+// misses by asking the coordinator which peer filled the digest and
+// fetching it worker-to-worker before falling back to computing.
 //
 // API:
 //
@@ -62,6 +68,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/cmdutil"
+	"repro/internal/memoshare"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -75,7 +82,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-job deadline")
 	drain := flag.Duration("drain", time.Minute, "graceful-shutdown drain budget")
 	seed := cmdutil.Seed(7)
-	coordinator := flag.String("coordinator", "", "coordinator URL; set to join a cluster as a worker")
+	coordinator := flag.String("coordinator", "", "coordinator URL(s), comma-separated with standbys after the active; set to join a cluster as a worker")
 	advertise := flag.String("advertise", "", "base URL the coordinator ships jobs to (default http://127.0.0.1<addr>)")
 	workerID := flag.String("id", "", "cluster worker id (default host-pid)")
 	storeDir := flag.String("store", "", "durable job store directory; empty disables persistence")
@@ -141,9 +148,22 @@ func main() {
 			}
 			adv = "http://127.0.0.1" + *addr
 		}
+		// -coordinator may list standbys after the active URL; the agent
+		// fails over down the list when the current coordinator goes silent.
+		var urls []string
+		for _, u := range strings.Split(*coordinator, ",") {
+			if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		if len(urls) == 0 {
+			fmt.Fprintln(os.Stderr, "motifd: -coordinator needs at least one URL")
+			os.Exit(2)
+		}
 		var err error
 		agent, err = cluster.StartAgent(cluster.AgentConfig{
-			CoordinatorURL: strings.TrimRight(*coordinator, "/"),
+			CoordinatorURL: urls[0],
+			StandbyURLs:    urls[1:],
 			ID:             *workerID,
 			Addr:           adv,
 			Server:         s,
@@ -157,6 +177,17 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "motifd: %v\n", err)
 			os.Exit(2)
+		}
+		// With a memo cache, local misses may be resolvable from peers: the
+		// fetcher asks the (current) coordinator who recently filled the
+		// digest and pulls the entry worker-to-worker, digest-verified.
+		if s.MemoCache() != nil {
+			s.SetPeerFetcher(memoshare.NewFetcher(memoshare.FetcherConfig{
+				Cache:       s.MemoCache(),
+				Self:        agent.ID(),
+				Coordinator: agent.CoordinatorURL,
+				Tracer:      s.Tracer(),
+			}))
 		}
 	}
 

@@ -12,10 +12,31 @@ import (
 	"repro/internal/serve"
 )
 
+// fillWindow bounds the digests a worker accumulates for its heartbeat
+// recent-fills summaries: the cache-side tracking window and the resend
+// buffer held across unreachable-coordinator gaps. 256 full digests are
+// ~17KB of JSON, comfortably inside the coordinator's 64KB heartbeat body
+// bound.
+const fillWindow = 256
+
+// hbFailLimit is how many consecutive undeliverable heartbeats the agent
+// tolerates before declaring the coordinator lost and failing over to the
+// next configured URL. At the default 500ms cadence this is ~3s of
+// silence — past the coordinator's own 4-interval liveness window, so by
+// the time the agent moves on, the coordinator (if alive) has already
+// written the worker off too.
+const hbFailLimit = 6
+
 // AgentConfig configures a worker's cluster membership.
 type AgentConfig struct {
 	// CoordinatorURL is the coordinator's base URL.
 	CoordinatorURL string
+	// StandbyURLs are additional coordinator URLs (standbys) tried in
+	// order when the current coordinator stays unreachable for
+	// hbFailLimit consecutive heartbeats. The agent rotates through
+	// CoordinatorURL + StandbyURLs until one accepts its registration —
+	// the worker-side half of coordinator failover.
+	StandbyURLs []string
 	// ID names this worker (default "host-pid").
 	ID string
 	// Addr is the base URL under which the coordinator can reach this
@@ -50,6 +71,14 @@ type Agent struct {
 	cfg  AgentConfig
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	urls   []string // CoordinatorURL + StandbyURLs
+	active int      // index of the coordinator currently registered with
+
+	// pendingFills buffers drained recent-fill digests across undeliverable
+	// heartbeats so index updates survive a coordinator blip or failover.
+	pendingFills []string
 }
 
 // StartAgent validates the config and starts the membership loop.
@@ -79,7 +108,11 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	a := &Agent{cfg: cfg, done: make(chan struct{})}
+	urls := append([]string{cfg.CoordinatorURL}, cfg.StandbyURLs...)
+	// The fills window feeds heartbeat digest summaries; enabling it on a
+	// nil cache (memoization off) is a no-op.
+	cfg.Server.MemoCache().TrackFills(fillWindow)
+	a := &Agent{cfg: cfg, done: make(chan struct{}), urls: urls}
 	a.wg.Add(1)
 	go a.loop()
 	return a, nil
@@ -87,6 +120,25 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 
 // ID returns the worker id the agent registered under.
 func (a *Agent) ID() string { return a.cfg.ID }
+
+// CoordinatorURL returns the coordinator the agent currently considers
+// active — after a failover this is the standby it re-registered with.
+// The memoshare fetcher reads it per lookup so peer-location queries
+// follow the agent across coordinator failures.
+func (a *Agent) CoordinatorURL() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.urls[a.active]
+}
+
+// rotate advances to the next configured coordinator URL.
+func (a *Agent) rotate() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.urls) > 1 {
+		a.active = (a.active + 1) % len(a.urls)
+	}
+}
 
 // Stop ends the membership loop. The coordinator notices the silence via
 // heartbeat expiry; there is deliberately no unregister call — a worker
@@ -133,7 +185,8 @@ func (a *Agent) register(bo *Backoff) bool {
 	}
 	body, _ := json.Marshal(info)
 	for {
-		resp, err := a.cfg.Client.Post(a.cfg.CoordinatorURL+"/cluster/v1/register",
+		target := a.CoordinatorURL()
+		resp, err := a.cfg.Client.Post(target+"/cluster/v1/register",
 			"application/json", bytes.NewReader(body))
 		if err == nil {
 			var reg RegisterResponse
@@ -146,12 +199,16 @@ func (a *Agent) register(bo *Backoff) bool {
 					a.cfg.Interval = time.Duration(ms) * time.Millisecond
 				}
 				a.cfg.Logf("cluster: registered %s (lane %d) with %s, heartbeat %s",
-					a.cfg.ID, reg.Index, a.cfg.CoordinatorURL, a.cfg.Interval)
+					a.cfg.ID, reg.Index, target, a.cfg.Interval)
 				return true
 			}
 		} else {
-			a.cfg.Logf("cluster: register: %v", err)
+			a.cfg.Logf("cluster: register with %s: %v", target, err)
 		}
+		// A refused registration (standby not yet active, coordinator down)
+		// moves on to the next configured URL after the backoff — with one
+		// URL this just retries it.
+		a.rotate()
 		select {
 		case <-time.After(bo.Next(0)):
 		case <-a.done:
@@ -160,11 +217,14 @@ func (a *Agent) register(bo *Backoff) bool {
 	}
 }
 
-// heartbeats reports load until stopped (false) or until the coordinator
-// answers 404 (true: re-register).
+// heartbeats reports load until stopped (false) or until the registration
+// must be redone (true): the coordinator answered 404 (it restarted and
+// forgot us) or stayed unreachable for hbFailLimit beats (it died — rotate
+// to the next configured coordinator and register there).
 func (a *Agent) heartbeats() bool {
 	tick := time.NewTicker(a.cfg.Interval)
 	defer tick.Stop()
+	fails := 0
 	for {
 		select {
 		case <-tick.C:
@@ -184,18 +244,30 @@ func (a *Agent) heartbeats() bool {
 			hb.MemoHits = m.Memo.Hits
 			hb.MemoMisses = m.Memo.Misses
 		}
+		if m.Memoshare != nil {
+			hb.MemoRemoteHits = m.Memoshare.PeerHits
+		}
+		hb.MemoFills = a.drainFills()
 		// Per-tenant queue depths let the coordinator aggregate
 		// cluster-wide tenant load across heartbeats.
 		if td := a.cfg.Server.TenantQueueDepths(); len(td) > 0 {
 			hb.Tenants = td
 		}
 		body, _ := json.Marshal(hb)
-		resp, err := a.cfg.Client.Post(a.cfg.CoordinatorURL+"/cluster/v1/heartbeat",
+		resp, err := a.cfg.Client.Post(a.CoordinatorURL()+"/cluster/v1/heartbeat",
 			"application/json", bytes.NewReader(body))
 		if err != nil {
-			// Unreachable coordinator: keep beating at the usual cadence;
-			// it will pick us back up when it returns (our registration
-			// survives a network blip, only its restart loses it).
+			// Unreachable coordinator: keep beating at the usual cadence —
+			// a blip heals itself — but give up after hbFailLimit straight
+			// misses and fail over to the next configured coordinator.
+			a.stashFills(hb.MemoFills)
+			fails++
+			if fails >= hbFailLimit {
+				a.cfg.Logf("cluster: coordinator %s unreachable for %d heartbeats; failing over",
+					a.CoordinatorURL(), fails)
+				a.rotate()
+				return true
+			}
 			continue
 		}
 		code := resp.StatusCode
@@ -203,5 +275,46 @@ func (a *Agent) heartbeats() bool {
 		if code == http.StatusNotFound {
 			return true
 		}
+		if code != http.StatusOK {
+			// A standby answers 503 until it takes over; treat persistent
+			// non-OK like unreachability so the agent moves on.
+			a.stashFills(hb.MemoFills)
+			fails++
+			if fails >= hbFailLimit {
+				a.cfg.Logf("cluster: coordinator %s refusing heartbeats (%d); failing over",
+					a.CoordinatorURL(), code)
+				a.rotate()
+				return true
+			}
+			continue
+		}
+		fails = 0
 	}
+}
+
+// drainFills merges newly filled digests from the cache's recent-fills
+// window with any buffered from undeliverable beats, newest kept.
+func (a *Agent) drainFills() []string {
+	fresh := a.cfg.Server.MemoCache().RecentFills()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := a.pendingFills
+	a.pendingFills = nil
+	for _, k := range fresh {
+		out = append(out, k.String())
+	}
+	if len(out) > fillWindow {
+		out = out[len(out)-fillWindow:]
+	}
+	return out
+}
+
+// stashFills re-buffers digests whose heartbeat never arrived.
+func (a *Agent) stashFills(fills []string) {
+	if len(fills) == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.pendingFills = fills
+	a.mu.Unlock()
 }

@@ -73,6 +73,17 @@ type Heartbeat struct {
 	// cluster-wide hit-rate on /metrics.
 	MemoHits   int64 `json:"memo_hits,omitempty"`
 	MemoMisses int64 `json:"memo_misses,omitempty"`
+	// MemoRemoteHits counts local misses this worker answered by fetching
+	// the entry from a peer (the memoshare tier). The coordinator adds
+	// them to the cluster-wide warm hit-rate: a peer-served result is a
+	// cluster hit even though the local cache missed.
+	MemoRemoteHits int64 `json:"memo_remote_hits,omitempty"`
+	// MemoFills is the worker's recent-fills window: full hex digests of
+	// transferable (Bytes) entries filled since the last heartbeat. It
+	// feeds the coordinator's digest→workers index so peers can locate
+	// entries; bounded on the worker side, so it advertises recency, not
+	// the whole cache.
+	MemoFills []string `json:"memo_fills,omitempty"`
 	// Tenants is the worker's per-tenant admission-queue depth (non-empty
 	// queues only). The coordinator aggregates the latest reports into the
 	// cluster-wide per-tenant load view on /metrics.

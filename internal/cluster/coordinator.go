@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/bio"
 	"repro/internal/memo"
+	"repro/internal/memoshare"
 	"repro/internal/metrics"
 	"repro/internal/qos"
 	"repro/internal/serve"
@@ -78,6 +79,9 @@ type Config struct {
 	// same job id. Off by default: benchmark streams legitimately submit
 	// identical synthetic jobs and expect independent placements.
 	MemoCollapse bool
+	// MemoIndexCap bounds the peer memo tier's digest→workers index fed
+	// by heartbeat fill summaries (default 8192 digests, LRU-evicted).
+	MemoIndexCap int
 	// TraceCap sizes the trace ring (default trace.DefaultRingCapacity).
 	TraceCap int
 	// Client ships and polls jobs (default: 30s-timeout http.Client).
@@ -146,6 +150,9 @@ type Coordinator struct {
 	reg  *registry
 	met  *coordMetrics
 	ring *trace.Ring
+	// memoIdx is the peer memo tier's digest→workers index: advisory
+	// locations for worker-to-worker cache fetches.
+	memoIdx *memoIndex
 	// sched orders accepted jobs between admission and placement: the
 	// same tenant-aware scheduler the serving layer uses, one level up.
 	sched *qos.Scheduler
@@ -217,6 +224,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		jobs:      make(map[string]*Job),
 		byClient:  make(map[string]string),
 		byContent: make(map[memo.Key]string),
+		memoIdx:   newMemoIndex(cfg.MemoIndexCap),
 	}
 	c.sched = qos.New(qos.Options{
 		Capacity:    cfg.PendingCap,
@@ -273,8 +281,11 @@ func (c *Coordinator) sweeper() {
 	for {
 		select {
 		case <-tick.C:
-			for range c.reg.sweep(time.Now()) {
+			for _, id := range c.reg.sweep(time.Now()) {
 				c.met.workerDeaths.Add(1)
+				// Scrub the dead worker from the memo index so peer
+				// lookups stop handing out its address.
+				c.memoIdx.dropWorker(id)
 			}
 		case <-c.ctx.Done():
 			return
@@ -608,8 +619,12 @@ func (c *Coordinator) Job(id string) (*Job, bool) {
 // Metrics snapshots the coordinator metrics.
 func (c *Coordinator) Metrics() MetricsSnapshot {
 	qosSnap := c.sched.Snapshot()
-	return c.met.snapshot(c.cfg.Policy.Name(), int(c.pending.Load()), c.cfg.PendingCap,
+	snap := c.met.snapshot(c.cfg.Policy.Name(), int(c.pending.Load()), c.cfg.PendingCap,
 		c.reg.snapshot(time.Now()), c.ring.Total(), c.cfg.Store.Metrics(), &qosSnap)
+	if idx := c.memoIdx.stats(); idx.Adds > 0 || idx.Lookups > 0 {
+		snap.MemoIndex = &idx
+	}
+	return snap
 }
 
 // timeoutFor is the cluster lifetime granted to one request: its deadline
@@ -648,6 +663,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /cluster/v1/register", c.handleRegister)
 	mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("GET /cluster/v1/memo/{digest}", c.handleMemoLookup)
 	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
 	mux.HandleFunc("GET /v1/jobs", c.handleList)
@@ -687,7 +703,50 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown worker; re-register"})
 		return
 	}
+	// Fold the worker's recent-fills summary into the digest→workers
+	// index. The window is bounded on the worker side; cap it here too so
+	// a misbehaving client cannot flood the index in one beat.
+	fills := hb.MemoFills
+	if len(fills) > fillWindow {
+		fills = fills[len(fills)-fillWindow:]
+	}
+	for _, digest := range fills {
+		if k, err := memo.ParseKey(digest); err == nil {
+			c.memoIdx.add(k, hb.ID)
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMemoLookup answers a worker's peer-location query for one digest:
+// the live workers that recently advertised filling it, excluding the
+// requester. Purely advisory — 404 just means "compute it yourself".
+func (c *Coordinator) handleMemoLookup(w http.ResponseWriter, r *http.Request) {
+	k, err := memo.ParseKey(r.PathValue("digest"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad digest"})
+		return
+	}
+	ids := c.memoIdx.lookup(k, r.URL.Query().Get("exclude"))
+	if len(ids) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "not indexed"})
+		return
+	}
+	holders := make(map[string]struct{}, len(ids))
+	for _, id := range ids {
+		holders[id] = struct{}{}
+	}
+	var locs []memoshare.Location
+	for _, wv := range c.reg.live(time.Now()) {
+		if _, ok := holders[wv.ID]; ok {
+			locs = append(locs, memoshare.Location{ID: wv.ID, Addr: wv.Addr})
+		}
+	}
+	if len(locs) == 0 {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no live holder"})
+		return
+	}
+	writeJSON(w, http.StatusOK, memoshare.LookupResponse{Workers: locs})
 }
 
 func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {

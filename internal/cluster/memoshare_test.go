@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/memoshare"
+	"repro/internal/serve"
+)
+
+// newMemoWorker stands up a memo-enabled serving worker and joins it to the
+// coordinator: agent membership plus the peer-fetch side of the cache tier.
+func newMemoWorker(t *testing.T, id, coordURL string) *serve.Server {
+	t.Helper()
+	s := serve.New(serve.Config{Workers: 2, InnerWorkers: 2, QueueCap: 32, MemoBytes: 1 << 20})
+	ts := httptest.NewServer(s.Handler())
+	a, err := StartAgent(AgentConfig{
+		CoordinatorURL: coordURL,
+		ID:             id,
+		Addr:           ts.URL,
+		Server:         s,
+		PoolWorkers:    2,
+		QueueCap:       32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetPeerFetcher(memoshare.NewFetcher(memoshare.FetcherConfig{
+		Cache:       s.MemoCache(),
+		Self:        id,
+		Coordinator: a.CoordinatorURL,
+		Tracer:      s.Tracer(),
+	}))
+	t.Cleanup(func() {
+		a.Stop()
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// waitServeTerminal polls a local serve job until it finishes.
+func waitServeTerminal(t *testing.T, j *serve.Job) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := j.Status()
+		if st.State == serve.StateDone || st.State == serve.StateError {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s", st.ID, st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestPeerMemoTierEndToEnd drives the whole cache tier over real HTTP:
+// worker A computes and fills its cache, its heartbeat advertises the
+// digest, and worker B — never having seen the content — resolves its
+// local miss by asking the coordinator for a holder and fetching the entry
+// from A, digest-verified, instead of recomputing.
+func TestPeerMemoTierEndToEnd(t *testing.T) {
+	cfg := fastConfig()
+	cfg.HeartbeatInterval = 10 * time.Millisecond
+	cfg.HeartbeatExpiry = 5 * time.Second
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdownCoordinator(t, c)
+	coord := httptest.NewServer(c.Handler())
+	defer coord.Close()
+
+	wa := newMemoWorker(t, "wa", coord.URL)
+	wb := newMemoWorker(t, "wb", coord.URL)
+	waitFor(t, 5*time.Second, func() bool { return c.Metrics().LiveWorkers == 2 })
+
+	// A computes the job and fills its local cache.
+	ja, err := wa.Submit(treeReq(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := waitServeTerminal(t, ja)
+	if va.State != serve.StateDone {
+		t.Fatalf("job on wa finished %s: %s", va.State, va.Error)
+	}
+
+	// The fill digest reaches the coordinator's index via heartbeat.
+	waitFor(t, 5*time.Second, func() bool {
+		idx := c.Metrics().MemoIndex
+		return idx != nil && idx.Entries > 0
+	})
+
+	// B misses locally and must resolve the same content from its peer.
+	jb, err := wb.Submit(treeReq(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb := waitServeTerminal(t, jb)
+	if vb.State != serve.StateDone {
+		t.Fatalf("job on wb finished %s: %s", vb.State, vb.Error)
+	}
+	mb := wb.Metrics()
+	if mb.Memoshare == nil || mb.Memoshare.PeerHits != 1 {
+		t.Fatalf("wb memoshare = %+v; want exactly 1 peer hit", mb.Memoshare)
+	}
+	if mb.Memoshare.VerifyRejects != 0 || mb.Memoshare.FetchFailures != 0 {
+		t.Fatalf("wb memoshare had failures: %+v", mb.Memoshare)
+	}
+	ma := wa.Metrics()
+	if ma.Memoshare == nil || ma.Memoshare.Served != 1 {
+		t.Fatalf("wa memoshare = %+v; want exactly 1 entry served", ma.Memoshare)
+	}
+
+	// The remote hit reaches the cluster rollup: local rate counts B's miss,
+	// effective rate forgives it.
+	waitFor(t, 5*time.Second, func() bool {
+		m := c.Metrics().Memo
+		return m != nil && m.RemoteHits == 1
+	})
+	m := c.Metrics().Memo
+	if m.EffectiveHitRate <= m.HitRate {
+		t.Fatalf("effective rate %v not above local rate %v despite a remote hit",
+			m.EffectiveHitRate, m.HitRate)
+	}
+}
+
+// TestAgentFailsOverToStandby: when the registered coordinator stops
+// answering, the agent rides out hbFailLimit beats, then rotates to the
+// next configured URL and registers there.
+func TestAgentFailsOverToStandby(t *testing.T) {
+	srv, _ := newRealWorker(t)
+
+	primary := httptest.NewServer(coordStub(t, nil))
+	var standbyRegs sync.Mutex
+	registered := false
+	standby := httptest.NewServer(coordStub(t, func() {
+		standbyRegs.Lock()
+		registered = true
+		standbyRegs.Unlock()
+	}))
+	defer standby.Close()
+
+	a, err := StartAgent(AgentConfig{
+		CoordinatorURL: primary.URL,
+		StandbyURLs:    []string{standby.URL},
+		ID:             "failover-agent",
+		Addr:           "http://127.0.0.1:1",
+		Server:         srv,
+		PoolWorkers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	if got := a.CoordinatorURL(); got != primary.URL {
+		t.Fatalf("agent starts at %s, want primary %s", got, primary.URL)
+	}
+
+	// Kill the primary: every further beat is connection-refused.
+	primary.Close()
+
+	waitFor(t, 10*time.Second, func() bool {
+		standbyRegs.Lock()
+		defer standbyRegs.Unlock()
+		return registered && a.CoordinatorURL() == standby.URL
+	})
+}
+
+// coordStub is a minimal coordinator wire surface: registers at a 5ms
+// heartbeat cadence (so failover tests converge fast) and accepts every
+// heartbeat. onRegister, when non-nil, observes registrations.
+func coordStub(t *testing.T, onRegister func()) http.Handler {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /cluster/v1/register", func(w http.ResponseWriter, r *http.Request) {
+		if onRegister != nil {
+			onRegister()
+		}
+		json.NewEncoder(w).Encode(RegisterResponse{Index: 0, HeartbeatMillis: 5, ExpiryMillis: 1000})
+	})
+	mux.HandleFunc("POST /cluster/v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	return mux
+}

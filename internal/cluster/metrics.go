@@ -75,6 +75,9 @@ type WorkerMetrics struct {
 	// last heartbeat (zero when memoization is disabled on the worker).
 	MemoHits   int64 `json:"memo_hits,omitempty"`
 	MemoMisses int64 `json:"memo_misses,omitempty"`
+	// MemoRemoteHits counts local misses the worker answered by fetching
+	// the entry from a peer (last heartbeat).
+	MemoRemoteHits int64 `json:"memo_remote_hits,omitempty"`
 	// Tenants is the worker's last-reported per-tenant queue depth.
 	Tenants map[string]int `json:"tenants,omitempty"`
 	// Shipped/Completed/Retried are coordinator-side: jobs placed on this
@@ -118,6 +121,9 @@ type MetricsSnapshot struct {
 	// Memo aggregates the workers' last-reported memo cache counters into a
 	// cluster-wide view; absent when no worker has memoization enabled.
 	Memo *ClusterMemoSummary `json:"memo,omitempty"`
+	// MemoIndex is the peer memo tier's digest→workers index; absent
+	// until a worker advertises a fill or a peer looks one up.
+	MemoIndex *MemoIndexStats `json:"memo_index,omitempty"`
 	// QoS is the coordinator admission scheduler's per-tenant accounting.
 	QoS *qos.Snapshot `json:"qos,omitempty"`
 	// TenantDepths sums the workers' last-reported per-tenant queue depths
@@ -133,9 +139,16 @@ type MetricsSnapshot struct {
 // ClusterMemoSummary is the cluster-wide aggregate of the workers'
 // content-addressed memo caches, summed over their last heartbeats.
 type ClusterMemoSummary struct {
-	Hits    int64   `json:"hits"`
-	Misses  int64   `json:"misses"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// RemoteHits are local misses answered by peer fetch: every one is
+	// also counted in Misses by the worker that fetched, so the cluster's
+	// effective warm rate is (Hits+RemoteHits)/(Hits+Misses).
+	RemoteHits int64 `json:"remote_hits,omitempty"`
+	// HitRate is the local-only rate, comparable to a single node's cache.
 	HitRate float64 `json:"hit_rate"`
+	// EffectiveHitRate counts a peer-served result as a cluster hit.
+	EffectiveHitRate float64 `json:"effective_hit_rate"`
 }
 
 // tenantDepths sums the workers' last-reported per-tenant queue depths;
@@ -160,11 +173,13 @@ func memoSummary(workers []WorkerMetrics) *ClusterMemoSummary {
 	for _, w := range workers {
 		s.Hits += w.MemoHits
 		s.Misses += w.MemoMisses
+		s.RemoteHits += w.MemoRemoteHits
 	}
 	if s.Hits+s.Misses == 0 {
 		return nil
 	}
 	s.HitRate = float64(s.Hits) / float64(s.Hits+s.Misses)
+	s.EffectiveHitRate = float64(s.Hits+s.RemoteHits) / float64(s.Hits+s.Misses)
 	return &s
 }
 

@@ -116,6 +116,43 @@ func TestLabelRendezvousStability(t *testing.T) {
 	t.Logf("%d labels moved off the removed worker, %d stayed put", moved, stayed)
 }
 
+// TestLabelRendezvousJoinStability is the other half of churn: a worker
+// joining may claim some labels, but every label that does not move to the
+// newcomer must stay exactly where it was. Rendezvous hashing guarantees
+// this; a mod-N scheme would reshuffle almost everything.
+func TestLabelRendezvousJoinStability(t *testing.T) {
+	p, _ := NewPolicy("label", 0)
+	all := views(7)
+	before, rest := make(map[string]string), all[:6]
+	for label := 0; label < 200; label++ {
+		l := fmt.Sprintf("n%d", label)
+		before[l] = p.Pick("j", l, rest).ID
+	}
+	// w6 joins.
+	claimed, stayed := 0, 0
+	for l, prev := range before {
+		now := p.Pick("j", l, all).ID
+		switch {
+		case now == "w6":
+			claimed++
+		case now != prev:
+			t.Fatalf("label %s moved %s→%s though the join only added w6", l, prev, now)
+		default:
+			stayed++
+		}
+	}
+	// With 200 labels over 7 workers the newcomer should win its fair share
+	// (~29); anything at all proves it participates, and a landslide (more
+	// than half) would mean the survivors failed to hold their claims.
+	if claimed == 0 {
+		t.Fatal("joining worker claimed no labels; test lost its bite")
+	}
+	if claimed > len(before)/2 {
+		t.Fatalf("joining worker claimed %d of %d labels; join reshuffled the map", claimed, len(before))
+	}
+	t.Logf("join: %d labels claimed by the new worker, %d stayed put", claimed, stayed)
+}
+
 func TestLeastLoadedPicksIdlest(t *testing.T) {
 	p, err := NewPolicy("least", 0)
 	if err != nil {

@@ -23,7 +23,10 @@ type workerState struct {
 	failed     int64
 	memoHits   int64
 	memoMisses int64
-	tenants    map[string]int // per-tenant queue depth, non-empty only
+	// memoRemoteHits counts local misses the worker answered by peer
+	// fetch (memoshare) — the remote half of the cluster warm hit-rate.
+	memoRemoteHits int64
+	tenants        map[string]int // per-tenant queue depth, non-empty only
 	// startOffset is the worker pool's t=0 expressed in coordinator
 	// microseconds (from heartbeat uptime), used to align merged traces.
 	startOffset int64
@@ -87,6 +90,7 @@ func (r *registry) heartbeat(hb Heartbeat, now time.Time) bool {
 	ws.failed = hb.Failed
 	ws.memoHits = hb.MemoHits
 	ws.memoMisses = hb.MemoMisses
+	ws.memoRemoteHits = hb.MemoRemoteHits
 	ws.tenants = hb.Tenants
 	ws.startOffset = now.Sub(r.start).Microseconds() - hb.UptimeMicros
 	return true
@@ -167,23 +171,24 @@ func (r *registry) snapshot(now time.Time) []WorkerMetrics {
 	out := make([]WorkerMetrics, 0, len(r.workers))
 	for id, ws := range r.workers {
 		out = append(out, WorkerMetrics{
-			ID:            id,
-			Index:         ws.index,
-			Addr:          ws.info.Addr,
-			PoolWorkers:   ws.info.Workers,
-			Live:          !ws.dead,
-			LastBeatAgeMS: float64(now.Sub(ws.lastBeat).Microseconds()) / 1000,
-			QueueDepth:    ws.queueDepth,
-			Inflight:      ws.inflight,
-			Done:          ws.done,
-			Failed:        ws.failed,
-			MemoHits:      ws.memoHits,
-			MemoMisses:    ws.memoMisses,
-			Tenants:       ws.tenants,
-			Shipped:       ws.shipped,
-			Completed:     ws.completed,
-			Retried:       ws.retried,
-			Saturated:     now.Before(ws.saturatedUntil),
+			ID:             id,
+			Index:          ws.index,
+			Addr:           ws.info.Addr,
+			PoolWorkers:    ws.info.Workers,
+			Live:           !ws.dead,
+			LastBeatAgeMS:  float64(now.Sub(ws.lastBeat).Microseconds()) / 1000,
+			QueueDepth:     ws.queueDepth,
+			Inflight:       ws.inflight,
+			Done:           ws.done,
+			Failed:         ws.failed,
+			MemoHits:       ws.memoHits,
+			MemoMisses:     ws.memoMisses,
+			MemoRemoteHits: ws.memoRemoteHits,
+			Tenants:        ws.tenants,
+			Shipped:        ws.shipped,
+			Completed:      ws.completed,
+			Retried:        ws.retried,
+			Saturated:      now.Before(ws.saturatedUntil),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })

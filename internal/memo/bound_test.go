@@ -1,0 +1,159 @@
+package memo
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDoConcurrentFillsRespectByteBound hammers Do from many goroutines
+// with far more resident bytes than the budget and asserts the cache never
+// exceeds its bound and never loses track of its accounting. Run under
+// -race in CI: the eviction path (shard mutex) and the fill counters
+// (atomics) interleave freely here.
+func TestDoConcurrentFillsRespectByteBound(t *testing.T) {
+	const (
+		budget  = 4 << 10 // 4 KiB total across 16 shards
+		valSize = 64
+		keys    = 512 // 32 KiB of candidate residency: 8x the budget
+		workers = 16
+		rounds  = 4
+	)
+	c := New(budget)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < keys; i++ {
+					k := Sum("bound", []byte(fmt.Sprintf("key-%d", (i+w)%keys)))
+					v, err := c.Do(k, func() (Value, error) {
+						return Bytes(make([]byte, valSize)), nil
+					})
+					if err != nil {
+						t.Errorf("Do: %v", err)
+						return
+					}
+					if len(v.(Bytes)) != valSize {
+						t.Errorf("value size %d, want %d", len(v.(Bytes)), valSize)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, budget)
+	}
+	if st.Bytes < 0 || st.Entries < 0 {
+		t.Fatalf("accounting went negative: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions at 8x over-budget churn: %+v", st)
+	}
+	// The shards themselves must agree with the aggregate counters.
+	var shardBytes int64
+	var shardEntries int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if s.bytes > c.perShard {
+			s.mu.Unlock()
+			t.Fatalf("shard %d holds %d bytes, per-shard budget %d", i, s.bytes, c.perShard)
+		}
+		if s.lru.Len() != len(s.items) {
+			s.mu.Unlock()
+			t.Fatalf("shard %d: lru len %d != items %d", i, s.lru.Len(), len(s.items))
+		}
+		shardBytes += s.bytes
+		shardEntries += int64(len(s.items))
+		s.mu.Unlock()
+	}
+	if shardBytes != st.Bytes || shardEntries != st.Entries {
+		t.Fatalf("shard totals (%d bytes, %d entries) disagree with counters (%d, %d)",
+			shardBytes, shardEntries, st.Bytes, st.Entries)
+	}
+}
+
+func TestParseKeyRoundTrip(t *testing.T) {
+	k := Sum("roundtrip", []byte("payload"))
+	got, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatalf("ParseKey(%q): %v", k.String(), err)
+	}
+	if got != k {
+		t.Fatalf("round trip: got %s, want %s", got, k)
+	}
+	for _, bad := range []string{"", "abc", k.String()[:63], k.String() + "00", "zz" + k.String()[2:]} {
+		if _, err := ParseKey(bad); err == nil {
+			t.Fatalf("ParseKey(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestPeekDoesNotCount(t *testing.T) {
+	c := New(1 << 12)
+	k := Sum("peek", []byte("x"))
+	if _, ok := c.Peek(k); ok {
+		t.Fatal("Peek hit an empty cache")
+	}
+	c.Put(k, Bytes("v"))
+	v, ok := c.Peek(k)
+	if !ok || string(v.(Bytes)) != "v" {
+		t.Fatalf("Peek = %v, %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek moved counters: %+v", st)
+	}
+	// Nil-cache safety, like every other method.
+	var nilC *Cache
+	if _, ok := nilC.Peek(k); ok {
+		t.Fatal("nil cache Peek hit")
+	}
+}
+
+func TestRecentFillsWindow(t *testing.T) {
+	c := New(1 << 16)
+	// Disabled by default: fills are not recorded.
+	c.Put(Sum("fills", []byte("before")), Bytes("b"))
+	if got := c.RecentFills(); got != nil {
+		t.Fatalf("RecentFills before TrackFills = %v, want nil", got)
+	}
+
+	c.TrackFills(3)
+	var want []Key
+	for i := 0; i < 5; i++ {
+		k := Sum("fills", []byte{byte(i)})
+		c.Put(k, Bytes("payload"))
+		want = append(want, k)
+	}
+	// Non-Bytes fills are not transferable and must not be advertised.
+	c.Put(Sum("fills", []byte("int")), sized(8))
+
+	got := c.RecentFills()
+	if len(got) != 3 {
+		t.Fatalf("window holds %d keys, want 3 (cap)", len(got))
+	}
+	for i, k := range got {
+		if k != want[i+2] {
+			t.Fatalf("window[%d] = %s, want %s (oldest dropped first)", i, k.Short(), want[i+2].Short())
+		}
+	}
+	if again := c.RecentFills(); again != nil {
+		t.Fatalf("second drain = %v, want nil", again)
+	}
+	var nilC *Cache
+	nilC.TrackFills(4)
+	if got := nilC.RecentFills(); got != nil {
+		t.Fatalf("nil cache RecentFills = %v", got)
+	}
+}
+
+type sized int64
+
+func (s sized) Size() int64 { return int64(s) }

@@ -64,6 +64,13 @@ type Cache struct {
 	flightMu sync.Mutex
 	flight   map[Key]*call
 
+	// fillMu guards the bounded recent-fills window drained by the cluster
+	// agent's heartbeats (TrackFills / RecentFills). Nil fillLog = disabled.
+	fillMu   sync.Mutex
+	fillLog  []Key
+	fillCap  int
+	fillDrop int64 // fills pushed out of the window before being drained
+
 	hits      atomic.Int64
 	misses    atomic.Int64
 	fills     atomic.Int64
@@ -148,6 +155,75 @@ func (c *Cache) Get(k Key) (Value, bool) {
 	return e.val, true
 }
 
+// Peek looks the key up without touching the hit/miss counters or the LRU
+// recency. It is the lookup for observers that must not distort the cache's
+// own accounting — peer memo probes served over HTTP, and the local re-check
+// a worker does right before attempting a peer fetch.
+func (c *Cache) Peek(k Key) (Value, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.items[k]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*entry).val, true
+}
+
+// TrackFills enables a bounded window of recently filled Bytes keys, drained
+// by RecentFills. Only Bytes fills are recorded: they are the transferable
+// tier (serialized job results); in-process values like subtree reductions
+// cannot be served to peers. When the window is full the oldest undrained
+// key is dropped — the window advertises recency, not completeness.
+func (c *Cache) TrackFills(n int) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.fillMu.Lock()
+	c.fillCap = n
+	if c.fillLog == nil {
+		c.fillLog = make([]Key, 0, n)
+	}
+	c.fillMu.Unlock()
+}
+
+// RecentFills drains and returns the recent-fills window (nil when tracking
+// is disabled or nothing filled since the last drain).
+func (c *Cache) RecentFills() []Key {
+	if c == nil {
+		return nil
+	}
+	c.fillMu.Lock()
+	out := c.fillLog
+	if out != nil {
+		c.fillLog = make([]Key, 0, c.fillCap)
+	}
+	c.fillMu.Unlock()
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func (c *Cache) noteFill(k Key, v Value) {
+	if _, ok := v.(Bytes); !ok {
+		return
+	}
+	c.fillMu.Lock()
+	if c.fillLog != nil {
+		if len(c.fillLog) >= c.fillCap {
+			copy(c.fillLog, c.fillLog[1:])
+			c.fillLog = c.fillLog[:len(c.fillLog)-1]
+			c.fillDrop++
+		}
+		c.fillLog = append(c.fillLog, k)
+	}
+	c.fillMu.Unlock()
+}
+
 // Put inserts or refreshes the value under the key, then evicts LRU entries
 // until the shard fits its share of the byte budget. Values larger than a
 // whole shard are dropped rather than thrashing the cache.
@@ -191,6 +267,7 @@ func (c *Cache) Put(k Key, v Value) {
 	}
 	s.mu.Unlock()
 	c.fills.Add(1)
+	c.noteFill(k, v)
 	c.emit(trace.KindMemoFill, size, k)
 }
 

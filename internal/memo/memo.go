@@ -21,6 +21,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"fmt"
 )
 
 // Key is a content digest — the cache key. Two values share a Key exactly
@@ -34,6 +35,20 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 // and placement labels while keeping collisions vanishingly unlikely at
 // cache scale.
 func (k Key) Short() string { return hex.EncodeToString(k[:6]) }
+
+// ParseKey is the inverse of Key.String: a 64-digit hex string back into a
+// Key. It exists for the wire — the peer memo tier addresses entries by
+// digest in URLs and heartbeat summaries.
+func ParseKey(s string) (Key, error) {
+	var k Key
+	if len(s) != 2*len(k) {
+		return Key{}, fmt.Errorf("memo: key %q: want %d hex digits, got %d", s, 2*len(k), len(s))
+	}
+	if _, err := hex.Decode(k[:], []byte(s)); err != nil {
+		return Key{}, fmt.Errorf("memo: key %q: %v", s, err)
+	}
+	return k, nil
+}
 
 // Sum digests a domain tag plus a sequence of byte fields. Every field is
 // length-framed, so no concatenation of distinct field lists can encode

@@ -1,0 +1,286 @@
+package memoshare
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/memo"
+	"repro/internal/trace"
+)
+
+// FetcherConfig configures the peer-fetch side of the memo tier.
+type FetcherConfig struct {
+	// Cache is filled with verified payloads. Required.
+	Cache *memo.Cache
+	// Self is this worker's cluster ID, excluded from lookup answers so a
+	// worker never fetches from itself.
+	Self string
+	// Coordinator returns the base URL of the coordinator to consult for
+	// peer locations — a func so the agent can repoint it at a standby
+	// after failover. Returning "" disables fetching for that call.
+	Coordinator func() string
+	// Timeout bounds each HTTP exchange (lookup, then each peer GET).
+	// Peer fetch competes with just recomputing the result, so it must
+	// stay short; default 2s.
+	Timeout time.Duration
+	// MaxPeers bounds how many indexed peers one fetch will try before
+	// giving up; default 2.
+	MaxPeers int
+	// MaxBytes bounds an accepted payload; default 8 MiB (the serving
+	// layer's request bound).
+	MaxBytes int64
+	// Client optionally overrides the HTTP client (tests); Timeout still
+	// bounds each exchange via the request context.
+	Client *http.Client
+	// Tracer receives memo.peer-fetch / memo.peer-miss / memo.peer-reject
+	// events; nil disables tracing.
+	Tracer trace.Tracer
+}
+
+// fetchCall is one in-flight peer fetch shared by every concurrent miss of
+// the same digest.
+type fetchCall struct {
+	done    chan struct{}
+	payload []byte
+	ok      bool
+}
+
+// Fetcher resolves local memo misses from peers: ask the coordinator who
+// holds the digest, fetch from a peer with a short timeout, verify the
+// payload checksum, fill the local cache. Concurrent fetches of one digest
+// collapse onto a single network exchange. Every method is safe for
+// concurrent use; a nil *Fetcher never fetches.
+type Fetcher struct {
+	cfg   FetcherConfig
+	start time.Time
+
+	flightMu sync.Mutex
+	flight   map[memo.Key]*fetchCall
+
+	lookups       atomic.Int64
+	peerHits      atomic.Int64
+	peerMisses    atomic.Int64
+	fetchFailures atomic.Int64
+	verifyRejects atomic.Int64
+	collapses     atomic.Int64
+	bytesFetched  atomic.Int64
+}
+
+// NewFetcher builds a fetcher. A nil Cache or Coordinator yields a nil
+// fetcher (peer fetch disabled).
+func NewFetcher(cfg FetcherConfig) *Fetcher {
+	if cfg.Cache == nil || cfg.Coordinator == nil {
+		return nil
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.MaxPeers <= 0 {
+		cfg.MaxPeers = 2
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 8 << 20
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: cfg.Timeout}
+	}
+	return &Fetcher{
+		cfg:    cfg,
+		start:  time.Now(),
+		flight: make(map[memo.Key]*fetchCall),
+	}
+}
+
+// Fetch attempts to resolve the digest from a peer: on success the verified
+// payload has already been filled into the local cache. Failure means
+// "compute it yourself" — it is never an error, just a false.
+func (f *Fetcher) Fetch(ctx context.Context, k memo.Key) ([]byte, bool) {
+	if f == nil {
+		return nil, false
+	}
+	f.flightMu.Lock()
+	if cl, ok := f.flight[k]; ok {
+		f.flightMu.Unlock()
+		f.collapses.Add(1)
+		select {
+		case <-cl.done:
+			return cl.payload, cl.ok
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+	cl := &fetchCall{done: make(chan struct{})}
+	f.flight[k] = cl
+	f.flightMu.Unlock()
+
+	// Re-check under flight ownership: a concurrent fetch or a local
+	// compute may have filled the entry between the miss and registration.
+	if v, ok := f.cfg.Cache.Peek(k); ok {
+		if b, isBytes := v.(memo.Bytes); isBytes {
+			cl.payload, cl.ok = b, true
+		}
+	}
+	if !cl.ok {
+		cl.payload, cl.ok = f.fetch(ctx, k)
+	}
+
+	f.flightMu.Lock()
+	delete(f.flight, k)
+	f.flightMu.Unlock()
+	close(cl.done)
+	return cl.payload, cl.ok
+}
+
+func (f *Fetcher) fetch(ctx context.Context, k memo.Key) ([]byte, bool) {
+	f.lookups.Add(1)
+	base := f.cfg.Coordinator()
+	if base == "" {
+		f.peerMisses.Add(1)
+		f.emit(trace.KindMemoPeerMiss, 0, k)
+		return nil, false
+	}
+	locs, ok := f.lookup(ctx, base, k)
+	if !ok || len(locs) == 0 {
+		f.peerMisses.Add(1)
+		f.emit(trace.KindMemoPeerMiss, 0, k)
+		return nil, false
+	}
+	if len(locs) > f.cfg.MaxPeers {
+		locs = locs[:f.cfg.MaxPeers]
+	}
+	for _, loc := range locs {
+		payload, ok := f.fetchFrom(ctx, loc, k)
+		if !ok {
+			continue
+		}
+		f.cfg.Cache.Put(k, memo.Bytes(payload))
+		f.peerHits.Add(1)
+		f.bytesFetched.Add(int64(len(payload)))
+		f.emit(trace.KindMemoPeerFetch, int64(len(payload)), k)
+		return payload, true
+	}
+	f.fetchFailures.Add(1)
+	f.emit(trace.KindMemoPeerMiss, 0, k)
+	return nil, false
+}
+
+// lookup asks the coordinator which live workers hold the digest.
+func (f *Fetcher) lookup(ctx context.Context, base string, k memo.Key) ([]Location, bool) {
+	u := base + "/cluster/v1/memo/" + k.String()
+	if f.cfg.Self != "" {
+		u += "?exclude=" + url.QueryEscape(f.cfg.Self)
+	}
+	body, ok := f.get(ctx, u, 1<<16)
+	if !ok {
+		return nil, false
+	}
+	var resp LookupResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return nil, false
+	}
+	return resp.Workers, true
+}
+
+// fetchFrom pulls the payload from one peer and verifies it against the
+// requested key before accepting it.
+func (f *Fetcher) fetchFrom(ctx context.Context, loc Location, k memo.Key) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, loc.Addr+"/v1/memo/"+k.String(), nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, f.cfg.MaxBytes+1))
+	if err != nil || int64(len(payload)) > f.cfg.MaxBytes {
+		return nil, false
+	}
+	want := PayloadSum(k, payload)
+	if resp.Header.Get(SumHeader) != hex.EncodeToString(want[:]) {
+		f.verifyRejects.Add(1)
+		f.emit(trace.KindMemoPeerReject, int64(len(payload)), k)
+		return nil, false
+	}
+	return payload, true
+}
+
+// get runs one bounded GET with the fetch timeout, returning the body only
+// on a 200.
+func (f *Fetcher) get(ctx context.Context, u string, limit int64) ([]byte, bool) {
+	ctx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+	if err != nil {
+		return nil, false
+	}
+	return body, true
+}
+
+func (f *Fetcher) emit(kind trace.Kind, arg int64, k memo.Key) {
+	if f.cfg.Tracer == nil {
+		return
+	}
+	f.cfg.Tracer.Event(trace.Event{
+		Cycle: time.Since(f.start).Microseconds(),
+		Kind:  kind,
+		Proc:  0,
+		From:  -1,
+		Arg:   arg,
+		Label: k.Short(),
+	})
+}
+
+// AddTo folds the fetcher's counters into a Stats block.
+func (f *Fetcher) AddTo(st *Stats) {
+	if f == nil {
+		return
+	}
+	st.Lookups += f.lookups.Load()
+	st.PeerHits += f.peerHits.Load()
+	st.PeerMisses += f.peerMisses.Load()
+	st.FetchFailures += f.fetchFailures.Load()
+	st.VerifyRejects += f.verifyRejects.Load()
+	st.Collapses += f.collapses.Load()
+	st.BytesFetched += f.bytesFetched.Load()
+}
+
+// PeerHits reports successful peer fetches — the remote half of the
+// cluster's warm hit-rate, carried to the coordinator on heartbeats.
+func (f *Fetcher) PeerHits() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.peerHits.Load()
+}

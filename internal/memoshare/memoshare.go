@@ -1,0 +1,135 @@
+// Package memoshare is the cluster memo tier (S19): peer-to-peer transfer
+// of content-addressed results between workers, coordinated by a
+// digest→workers index on the coordinator.
+//
+// The per-worker memo cache (S15) only pays off cluster-wide when identical
+// jobs land on the same worker, which today depends entirely on label
+// placement. memoshare decouples hit-rate from placement: every worker
+// serves its cache read-only over `GET /v1/memo/{digest}`, the coordinator
+// learns who holds what from bounded recent-fill summaries carried on
+// heartbeats, and a worker that misses locally asks the coordinator for
+// peer locations and fetches the entry instead of recomputing it.
+//
+// Content addressing is what makes the transfer trivially safe: the key
+// already names the value, so a fetched payload needs no trust in the peer
+// — the receiver recomputes the payload checksum bound to the requested
+// digest and discards anything that does not verify. Every failure mode
+// (no indexed peer, stale index entry, dead peer, corrupt payload, slow
+// link) degrades to the status quo: compute locally.
+package memoshare
+
+import (
+	"encoding/hex"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/memo"
+)
+
+// SumHeader carries the payload checksum on GET /v1/memo/{digest}
+// responses. The memo key digests a job's *inputs*, not the stored payload,
+// so the payload cannot be verified against the key alone; the provider
+// instead binds payload to key with PayloadSum and the fetcher recomputes
+// it over the requested key and the received bytes. A corrupt body, a
+// truncated transfer, or a payload served under the wrong key all fail the
+// comparison.
+const SumHeader = "X-Memo-Sum"
+
+// PayloadSum binds a serialized payload to the memo key it is stored
+// under: SHA-256 over the domain tag, the key, and the payload bytes.
+func PayloadSum(k memo.Key, payload []byte) memo.Key {
+	return memo.Sum("memoshare.payload", k[:], payload)
+}
+
+// Location is one peer known to hold a digest — a row of the coordinator's
+// lookup response.
+type Location struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// LookupResponse is the body of GET /cluster/v1/memo/{digest}.
+type LookupResponse struct {
+	Workers []Location `json:"workers"`
+}
+
+// Stats is the memoshare block of /metrics: the fetch side (local misses
+// answered by peers) and the serve side (this worker answering peers).
+type Stats struct {
+	Lookups       int64 `json:"lookups"`        // peer-fetch attempts (post-singleflight)
+	PeerHits      int64 `json:"peer_hits"`      // fetches that filled locally
+	PeerMisses    int64 `json:"peer_misses"`    // coordinator knew no live peer
+	FetchFailures int64 `json:"fetch_failures"` // peers indexed but none delivered
+	VerifyRejects int64 `json:"verify_rejects"` // payloads discarded by checksum
+	Collapses     int64 `json:"collapses"`      // concurrent misses collapsed onto one fetch
+	BytesFetched  int64 `json:"bytes_fetched"`
+	Served        int64 `json:"served"`       // peer requests answered from the local cache
+	ServeMisses   int64 `json:"serve_misses"` // peer requests for entries not held
+	BytesServed   int64 `json:"bytes_served"`
+}
+
+// Provider answers peer requests for local cache entries. It reads through
+// Cache.Peek so probe traffic never distorts the owning worker's hit/miss
+// accounting or LRU order. Only memo.Bytes values are servable — they are
+// the serialized, process-independent tier; in-memory subtree values are
+// reported as misses.
+type Provider struct {
+	cache *memo.Cache
+
+	served      atomic.Int64
+	misses      atomic.Int64
+	bytesServed atomic.Int64
+}
+
+// NewProvider builds a provider over the worker's cache. A nil cache is
+// fine: every request misses.
+func NewProvider(c *memo.Cache) *Provider {
+	return &Provider{cache: c}
+}
+
+// Serve answers one GET /v1/memo/{digest} request. The digest is the
+// 64-hex-digit path suffix; responses carry the raw payload with its
+// PayloadSum in SumHeader.
+func (p *Provider) Serve(w http.ResponseWriter, r *http.Request, digest string) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	k, err := memo.ParseKey(digest)
+	if err != nil {
+		http.Error(w, "bad digest", http.StatusBadRequest)
+		return
+	}
+	v, ok := p.cache.Peek(k)
+	if !ok {
+		p.misses.Add(1)
+		http.Error(w, "not held", http.StatusNotFound)
+		return
+	}
+	b, ok := v.(memo.Bytes)
+	if !ok {
+		p.misses.Add(1)
+		http.Error(w, "not servable", http.StatusNotFound)
+		return
+	}
+	p.served.Add(1)
+	p.bytesServed.Add(int64(len(b)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	sum := PayloadSum(k, b)
+	w.Header().Set(SumHeader, hex.EncodeToString(sum[:]))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+// AddTo folds the provider's counters into a Stats block.
+func (p *Provider) AddTo(st *Stats) {
+	if p == nil {
+		return
+	}
+	st.Served += p.served.Load()
+	st.ServeMisses += p.misses.Load()
+	st.BytesServed += p.bytesServed.Load()
+}

@@ -1,0 +1,284 @@
+package memoshare
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/memo"
+)
+
+func testKey(s string) memo.Key { return memo.Sum("test", []byte(s)) }
+
+// peerServer wraps a Provider in an httptest server speaking the worker's
+// GET /v1/memo/{digest} surface.
+func peerServer(t *testing.T, p *Provider) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		digest := strings.TrimPrefix(r.URL.Path, "/v1/memo/")
+		p.Serve(w, r, digest)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// coordServer answers every lookup with the given locations.
+func coordServer(t *testing.T, locs []Location) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(locs) == 0 {
+			http.Error(w, "not indexed", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(LookupResponse{Workers: locs})
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestProviderServesWithChecksum(t *testing.T) {
+	cache := memo.New(1 << 20)
+	k := testKey("held")
+	payload := []byte("serialized result")
+	cache.Put(k, memo.Bytes(payload))
+	before := cache.Stats()
+
+	p := NewProvider(cache)
+	srv := peerServer(t, p)
+
+	resp, err := http.Get(srv.URL + "/v1/memo/" + k.String())
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(got) != string(payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+	want := PayloadSum(k, payload)
+	if resp.Header.Get(SumHeader) != hex.EncodeToString(want[:]) {
+		t.Fatalf("sum header %q, want %q", resp.Header.Get(SumHeader), hex.EncodeToString(want[:]))
+	}
+
+	// Probe traffic must not distort the owner's hit/miss accounting.
+	after := cache.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("peer probe moved hit/miss counters: before %+v after %+v", before, after)
+	}
+
+	// Unknown digests and malformed digests answer 404 / 400.
+	if code := getStatus(t, srv.URL+"/v1/memo/"+testKey("absent").String()); code != http.StatusNotFound {
+		t.Fatalf("absent digest: status %d, want 404", code)
+	}
+	if code := getStatus(t, srv.URL+"/v1/memo/zzz"); code != http.StatusBadRequest {
+		t.Fatalf("bad digest: status %d, want 400", code)
+	}
+
+	var st Stats
+	p.AddTo(&st)
+	if st.Served != 1 || st.ServeMisses != 1 || st.BytesServed != int64(len(payload)) {
+		t.Fatalf("provider stats %+v", st)
+	}
+}
+
+// intVal is a non-transferable cache value: in-process subtree results must
+// answer 404 to peers, never a serialization of the wrong type.
+type intVal int64
+
+func (intVal) Size() int64 { return 8 }
+
+func TestProviderRefusesNonBytesValues(t *testing.T) {
+	cache := memo.New(1 << 20)
+	k := testKey("subtree")
+	cache.Put(k, intVal(42))
+	srv := peerServer(t, NewProvider(cache))
+	if code := getStatus(t, srv.URL+"/v1/memo/"+k.String()); code != http.StatusNotFound {
+		t.Fatalf("non-Bytes value: status %d, want 404", code)
+	}
+}
+
+func TestFetcherFillsLocalCacheFromPeer(t *testing.T) {
+	k := testKey("shared")
+	payload := []byte("the shared blob")
+
+	ownerCache := memo.New(1 << 20)
+	ownerCache.Put(k, memo.Bytes(payload))
+	peer := peerServer(t, NewProvider(ownerCache))
+	coord := coordServer(t, []Location{{ID: "w1", Addr: peer.URL}})
+
+	local := memo.New(1 << 20)
+	f := NewFetcher(FetcherConfig{
+		Cache:       local,
+		Self:        "w2",
+		Coordinator: func() string { return coord.URL },
+	})
+	got, ok := f.Fetch(context.Background(), k)
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("fetch = %q, %v; want payload, true", got, ok)
+	}
+	v, held := local.Peek(k)
+	if !held {
+		t.Fatal("fetched payload was not filled into the local cache")
+	}
+	if b := v.(memo.Bytes); string(b) != string(payload) {
+		t.Fatalf("cached %q, want %q", b, payload)
+	}
+	var st Stats
+	f.AddTo(&st)
+	if st.PeerHits != 1 || st.BytesFetched != int64(len(payload)) || st.VerifyRejects != 0 {
+		t.Fatalf("fetcher stats %+v", st)
+	}
+}
+
+// TestFetcherRejectsCorruptPayload is the digest-verification contract: a
+// peer serving corrupted bytes (or a payload under the wrong key) must be
+// discarded, never filled into the local cache.
+func TestFetcherRejectsCorruptPayload(t *testing.T) {
+	k := testKey("corrupt")
+	payload := []byte("pristine payload")
+	sum := PayloadSum(k, payload)
+
+	evil := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Advertise the correct checksum but flip a byte in the body —
+		// a bit-rot / truncation / wrong-entry stand-in.
+		corrupted := append([]byte(nil), payload...)
+		corrupted[0] ^= 0xff
+		w.Header().Set(SumHeader, hex.EncodeToString(sum[:]))
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(corrupted)
+	}))
+	defer evil.Close()
+	coord := coordServer(t, []Location{{ID: "evil", Addr: evil.URL}})
+
+	local := memo.New(1 << 20)
+	f := NewFetcher(FetcherConfig{
+		Cache:       local,
+		Coordinator: func() string { return coord.URL },
+	})
+	if _, ok := f.Fetch(context.Background(), k); ok {
+		t.Fatal("fetch accepted a corrupted payload")
+	}
+	if _, held := local.Peek(k); held {
+		t.Fatal("corrupted payload reached the local cache")
+	}
+	var st Stats
+	f.AddTo(&st)
+	if st.VerifyRejects != 1 {
+		t.Fatalf("verify_rejects = %d, want 1 (stats %+v)", st.VerifyRejects, st)
+	}
+	if st.PeerHits != 0 {
+		t.Fatalf("peer_hits = %d, want 0", st.PeerHits)
+	}
+}
+
+func TestFetcherSingleflight(t *testing.T) {
+	k := testKey("flight")
+	payload := []byte("expensive blob")
+	sum := PayloadSum(k, payload)
+
+	var peerGets atomic.Int64
+	release := make(chan struct{})
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		peerGets.Add(1)
+		<-release
+		w.Header().Set(SumHeader, hex.EncodeToString(sum[:]))
+		_, _ = w.Write(payload)
+	}))
+	defer peer.Close()
+	coord := coordServer(t, []Location{{ID: "w1", Addr: peer.URL}})
+
+	f := NewFetcher(FetcherConfig{
+		Cache:       memo.New(1 << 20),
+		Coordinator: func() string { return coord.URL },
+		Timeout:     5 * time.Second,
+	})
+	const callers = 8
+	var wg sync.WaitGroup
+	oks := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, oks[i] = f.Fetch(context.Background(), k)
+		}(i)
+	}
+	// Let the followers pile onto the leader's flight before releasing.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	for i, ok := range oks {
+		if !ok {
+			t.Fatalf("caller %d failed", i)
+		}
+	}
+	if n := peerGets.Load(); n != 1 {
+		t.Fatalf("peer saw %d GETs, want 1 (singleflight)", n)
+	}
+	var st Stats
+	f.AddTo(&st)
+	if st.Collapses == 0 {
+		t.Fatalf("collapses = 0, want > 0 (stats %+v)", st)
+	}
+}
+
+func TestFetcherMissesWhenUnindexed(t *testing.T) {
+	coord := coordServer(t, nil) // 404 for every digest
+	f := NewFetcher(FetcherConfig{
+		Cache:       memo.New(1 << 20),
+		Coordinator: func() string { return coord.URL },
+	})
+	if _, ok := f.Fetch(context.Background(), testKey("nowhere")); ok {
+		t.Fatal("fetch succeeded with no indexed peer")
+	}
+	var st Stats
+	f.AddTo(&st)
+	if st.PeerMisses != 1 {
+		t.Fatalf("peer_misses = %d, want 1", st.PeerMisses)
+	}
+}
+
+func TestFetcherSurvivesDeadPeer(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+	coord := coordServer(t, []Location{{ID: "w9", Addr: deadURL}})
+	f := NewFetcher(FetcherConfig{
+		Cache:       memo.New(1 << 20),
+		Coordinator: func() string { return coord.URL },
+		Timeout:     500 * time.Millisecond,
+	})
+	if _, ok := f.Fetch(context.Background(), testKey("gone")); ok {
+		t.Fatal("fetch succeeded against a dead peer")
+	}
+	var st Stats
+	f.AddTo(&st)
+	if st.FetchFailures != 1 {
+		t.Fatalf("fetch_failures = %d, want 1 (stats %+v)", st.FetchFailures, st)
+	}
+}
+
+func getStatus(t *testing.T, u string) int {
+	t.Helper()
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatalf("get %s: %v", u, err)
+	}
+	defer resp.Body.Close()
+	return resp.StatusCode
+}

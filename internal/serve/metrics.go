@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/memo"
+	"repro/internal/memoshare"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/qos"
@@ -146,6 +147,10 @@ type MetricsSnapshot struct {
 	// Memo is the content-addressed cache block; absent when memoization
 	// is disabled.
 	Memo *memo.StatsSnapshot `json:"memo,omitempty"`
+	// Memoshare is the peer memo-tier block (entries served to peers,
+	// local misses answered by peer fetch); absent when memoization is
+	// disabled.
+	Memoshare *memoshare.Stats `json:"memoshare,omitempty"`
 	// Pipeline is the per-stage streaming-pipeline block; absent until a
 	// pipeline job has run.
 	Pipeline *pipeline.MetricsSnapshot `json:"pipeline,omitempty"`

@@ -122,7 +122,10 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 	s.emit(trace.Event{Cycle: s.met.sinceMicros(), Kind: trace.KindExecStart,
 		Proc: w, From: -1, Label: string(j.req.Type) + ":" + j.id})
 
-	err := j.execute(s.reduceOpts(j), s.memo, s.pipelineEnv(j))
+	var err error
+	if !s.resolveFromCache(j) {
+		err = j.execute(s.reduceOpts(j), s.memo, s.pipelineEnv(j))
+	}
 
 	j.mu.Lock()
 	j.finished = time.Now()
@@ -147,6 +150,36 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 		Proc: w, From: -1, Arg: dur.Microseconds(), Label: string(j.req.Type) + ":" + j.id})
 	s.met.workers[w].jobs.Add(1)
 	s.finish(j, err == nil)
+}
+
+// resolveFromCache answers a running job from the content-addressed tier
+// without executing it: either the local cache filled since admission (an
+// identical job finished while this one queued) or a peer worker holds the
+// entry (memoshare fetch, checksum-verified on receipt, filled locally by
+// the fetcher). Reads the local cache through Peek so the re-check doesn't
+// double-count the miss already recorded at admission. False means compute.
+func (s *Server) resolveFromCache(j *Job) bool {
+	if s.memo == nil || !j.hasKey {
+		return false
+	}
+	var blob []byte
+	if v, ok := s.memo.Peek(j.key); ok {
+		if b, isBytes := v.(memo.Bytes); isBytes {
+			blob = []byte(b)
+		}
+	}
+	if blob == nil {
+		if fetched, ok := s.fetcher.Load().Fetch(j.ctx, j.key); ok {
+			blob = fetched
+		}
+	}
+	if blob == nil {
+		return false
+	}
+	j.mu.Lock()
+	ok := applyCached(j, blob)
+	j.mu.Unlock()
+	return ok
 }
 
 // pipelineEnv is the host environment a pipeline job runs against: the

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/memo"
+	"repro/internal/memoshare"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
 	"repro/internal/qos"
@@ -117,6 +118,12 @@ type Server struct {
 	memo *memo.Cache       // nil when Config.MemoBytes == 0
 	pipe *pipeline.Metrics // per-stage pipeline metrics, aggregated across jobs
 
+	// provider answers peer workers' GET /v1/memo/{digest} reads from the
+	// local cache; fetcher (set by the cluster wiring via SetPeerFetcher)
+	// resolves local misses from peers before computing.
+	provider *memoshare.Provider
+	fetcher  atomic.Pointer[memoshare.Fetcher]
+
 	workerWG sync.WaitGroup
 	draining atomic.Bool
 
@@ -150,6 +157,7 @@ func New(cfg Config) *Server {
 		byContent: make(map[memo.Key]string),
 	}
 	s.memo.SetTracer(s.ring)
+	s.provider = memoshare.NewProvider(s.memo)
 	var resume []*Job
 	if cfg.Store != nil {
 		cfg.Store.SetTracer(s.ring)
@@ -425,12 +433,39 @@ func (s *Server) Metrics() MetricsSnapshot {
 		pipeSnap = ps
 	}
 	qosSnap := s.q.sched.Snapshot()
-	return s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total(), s.cfg.Store.Metrics(), memoSnap, pipeSnap, &qosSnap)
+	m := s.met.snapshot(s.q.depth(), s.q.capacity(), s.ring.Total(), s.cfg.Store.Metrics(), memoSnap, pipeSnap, &qosSnap)
+	if s.memo != nil {
+		var ms memoshare.Stats
+		s.provider.AddTo(&ms)
+		s.fetcher.Load().AddTo(&ms)
+		m.Memoshare = &ms
+	}
+	return m
 }
+
+// SetPeerFetcher installs (or clears) the memoshare fetcher that resolves
+// local memo misses from peer workers at execution time. The cluster
+// wiring calls it once the coordinator address is known; safe to call
+// concurrently with running jobs.
+func (s *Server) SetPeerFetcher(f *memoshare.Fetcher) {
+	if f == nil {
+		s.fetcher.Store(nil)
+		return
+	}
+	s.fetcher.Store(f)
+}
+
+// PeerFetcher returns the installed memoshare fetcher, nil when peer fetch
+// is disabled.
+func (s *Server) PeerFetcher() *memoshare.Fetcher { return s.fetcher.Load() }
 
 // MemoCache exposes the content-addressed cache (nil when memoization is
 // disabled); bench drivers and tests inspect its counters directly.
 func (s *Server) MemoCache() *memo.Cache { return s.memo }
+
+// Tracer exposes the server's trace ring so sidecar components (the
+// memoshare fetcher) can emit into the same timeline.
+func (s *Server) Tracer() trace.Tracer { return s.ring }
 
 func (s *Server) store(j *Job) {
 	s.mu.Lock()
@@ -486,6 +521,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/memo/{digest}", s.handleMemoGet)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -561,6 +597,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
 }
 
+// handleMemoGet is the peer memo tier's read-only surface: serve one local
+// cache entry by digest, payload checksum in the X-Memo-Sum header. Peers
+// read through it on their local misses; it never computes and never
+// distorts this worker's own hit/miss accounting.
+func (s *Server) handleMemoGet(w http.ResponseWriter, r *http.Request) {
+	s.provider.Serve(w, r, r.PathValue("digest"))
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.Metrics()
 	if r.URL.Query().Get("format") != "text" {
@@ -581,6 +625,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			snap.Memo.HitRate, snap.Memo.Hits, snap.Memo.Misses,
 			snap.Memo.Bytes, snap.Memo.MaxBytes, snap.Memo.Entries,
 			snap.Memo.Evictions, snap.Collapsed, snap.MemoJobHits)
+	}
+	if ms := snap.Memoshare; ms != nil && (ms.Lookups > 0 || ms.Served > 0 || ms.ServeMisses > 0) {
+		fmt.Fprintf(w, "memoshare: %d peer hits / %d lookups (%d misses, %d failures, %d rejects, %d collapsed), fetched %d bytes; served %d entries (%d bytes) to peers\n",
+			ms.PeerHits, ms.Lookups, ms.PeerMisses, ms.FetchFailures,
+			ms.VerifyRejects, ms.Collapses, ms.BytesFetched, ms.Served, ms.BytesServed)
 	}
 	if q := snap.QoS; q != nil {
 		mode := "fifo"

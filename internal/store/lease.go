@@ -1,0 +1,137 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// LeaseFile is the coordination file's name inside a store directory. The
+// active coordinator keeps it fresh; a standby watching the same directory
+// treats a stale mtime as permission to take over.
+const LeaseFile = "lease.json"
+
+// ErrLeaseHeld is returned by AcquireLease when another holder's lease is
+// still fresh.
+var ErrLeaseHeld = errors.New("store: lease held")
+
+// leaseBody is what sits in the lease file: just the holder's name. Age is
+// carried by the file's mtime, not a timestamp in the body, so holders with
+// skewed clocks still agree (both sides read the same filesystem clock).
+type leaseBody struct {
+	Holder string `json:"holder"`
+}
+
+// Lease is a held coordination lease over a store directory. The holder
+// renews it at a third of the TTL until Release.
+type Lease struct {
+	path   string
+	holder string
+	ttl    time.Duration
+
+	mu   sync.Mutex
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// AcquireLease claims the lease over dir for holder, stealing it when the
+// current one is stale (older than ttl) or absent. A fresh lease under a
+// different holder returns ErrLeaseHeld; re-acquiring one's own lease
+// always succeeds. The returned lease renews itself until Release.
+func AcquireLease(dir, holder string, ttl time.Duration) (*Lease, error) {
+	if ttl <= 0 {
+		ttl = 2 * time.Second
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(dir, LeaseFile)
+	if cur, age, err := ReadLease(dir); err == nil {
+		if cur != holder && age < ttl {
+			return nil, fmt.Errorf("%w by %q (age %s < ttl %s)", ErrLeaseHeld, cur, age.Round(time.Millisecond), ttl)
+		}
+	}
+	l := &Lease{path: path, holder: holder, ttl: ttl, done: make(chan struct{})}
+	if err := l.write(); err != nil {
+		return nil, err
+	}
+	l.wg.Add(1)
+	go l.renew()
+	return l, nil
+}
+
+// ReadLease reports the current holder and the lease's age (time since its
+// last renewal). os.IsNotExist(err) distinguishes "never held".
+func ReadLease(dir string) (holder string, age time.Duration, err error) {
+	path := filepath.Join(dir, LeaseFile)
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", 0, err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return "", 0, err
+	}
+	var body leaseBody
+	if err := json.Unmarshal(raw, &body); err != nil {
+		return "", 0, fmt.Errorf("store: lease file: %w", err)
+	}
+	return body.Holder, time.Since(fi.ModTime()), nil
+}
+
+// write refreshes the lease atomically (tmp + rename), so a reader never
+// sees a torn body and the mtime moves in one step.
+func (l *Lease) write() error {
+	body, _ := json.Marshal(leaseBody{Holder: l.holder})
+	tmp := l.path + ".tmp"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, l.path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// renew keeps the lease fresh at a third of the TTL: two renewal failures
+// or missed cycles still leave the lease within its window.
+func (l *Lease) renew() {
+	defer l.wg.Done()
+	tick := time.NewTicker(l.ttl / 3)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			_ = l.write()
+		case <-l.done:
+			return
+		}
+	}
+}
+
+// Holder returns the name the lease was acquired under.
+func (l *Lease) Holder() string { return l.holder }
+
+// Release stops renewal and removes the lease file, letting a standby take
+// over immediately instead of waiting out the TTL. Safe to call twice and
+// on a nil lease.
+func (l *Lease) Release() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	select {
+	case <-l.done:
+		l.mu.Unlock()
+		return
+	default:
+		close(l.done)
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	_ = os.Remove(l.path)
+}

@@ -1,0 +1,94 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// TailInfo is a read-only summary of a store directory's journaled state.
+type TailInfo struct {
+	// Records is how many intact records the log currently holds.
+	Records int64 `json:"records"`
+	// Jobs and Incomplete count tracked jobs and the subset a takeover
+	// would have to re-place.
+	Jobs       int `json:"jobs"`
+	Incomplete int `json:"incomplete"`
+}
+
+// Tail replays a store directory without opening it for writing: no
+// truncation of torn tails, no new segments, no lease. A standby uses it to
+// observe the active coordinator's journal while the active process still
+// owns the log — store.Open here would truncate a frame the active writer
+// is mid-append on and start a competing segment. Replay stops silently at
+// the first bad frame of the highest segment (an in-flight append, not
+// corruption).
+func Tail(dir string) (TailInfo, error) {
+	var info TailInfo
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return info, err
+	}
+	var segs []string
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			segs = append(segs, e.Name())
+		}
+	}
+	sort.Strings(segs) // wal-%08d.seg names sort in sequence order
+
+	type jobTail struct{ terminal bool }
+	jobs := make(map[string]*jobTail)
+	for _, name := range segs {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return info, err
+		}
+		hdr := make([]byte, frameHeader)
+		for {
+			if _, err := io.ReadFull(f, hdr); err != nil {
+				break // EOF or torn header: end of readable records here
+			}
+			ln := binary.BigEndian.Uint32(hdr[:4])
+			crc := binary.BigEndian.Uint32(hdr[4:])
+			if ln > maxRecordBytes {
+				break
+			}
+			payload := make([]byte, ln)
+			if _, err := io.ReadFull(f, payload); err != nil {
+				break
+			}
+			if crc32.ChecksumIEEE(payload) != crc {
+				break
+			}
+			info.Records++
+			var rec record
+			if json.Unmarshal(payload, &rec) != nil {
+				continue
+			}
+			switch rec.Kind {
+			case recAccepted:
+				if jobs[rec.Job] == nil {
+					jobs[rec.Job] = &jobTail{}
+				}
+				jobs[rec.Job].terminal = false
+			case recDone, recFailed:
+				if j := jobs[rec.Job]; j != nil {
+					j.terminal = true
+				}
+			}
+		}
+		f.Close()
+	}
+	info.Jobs = len(jobs)
+	for _, j := range jobs {
+		if !j.terminal {
+			info.Incomplete++
+		}
+	}
+	return info, nil
+}

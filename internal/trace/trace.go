@@ -88,6 +88,18 @@ const (
 	// a worker; Label holds "tenant/class" and Arg the job's queue wait in
 	// microseconds.
 	KindQoSDispatch
+	// KindMemoPeerFetch: a local memo miss was answered by fetching the
+	// entry from a peer worker; Label holds the short digest and Arg the
+	// payload size in bytes.
+	KindMemoPeerFetch
+	// KindMemoPeerMiss: a peer fetch could not be completed (no indexed
+	// peer, lookup failure, or every candidate unreachable) and the job
+	// fell back to computing; Label holds the short digest.
+	KindMemoPeerMiss
+	// KindMemoPeerReject: a fetched payload failed digest verification and
+	// was discarded; Label holds the short digest and Arg the rejected
+	// payload's size in bytes.
+	KindMemoPeerReject
 )
 
 var kindNames = [...]string{
@@ -114,6 +126,10 @@ var kindNames = [...]string{
 	KindQoSShed:      "qos.shed",
 	KindQoSPreempt:   "qos.preempt",
 	KindQoSDispatch:  "qos.dispatch",
+
+	KindMemoPeerFetch:  "memo.peer-fetch",
+	KindMemoPeerMiss:   "memo.peer-miss",
+	KindMemoPeerReject: "memo.peer-reject",
 }
 
 func (k Kind) String() string {

@@ -2,7 +2,9 @@
 # Cluster scaling bench, run by `make bench-cluster`: for 1, 2, and 4
 # workers, start a motifctl coordinator plus that many motifd workers,
 # drive the cluster with alignbench -cluster, and collect the per-scale
-# throughput/latency reports into BENCH_cluster.json.
+# throughput/latency reports into BENCH_cluster.json. A final pass runs
+# two memo-enabled workers cold then warm over the same job seeds to
+# measure the peer cache tier (remote hits + effective hit-rate).
 set -eu
 
 OUT="${1:-BENCH_cluster.json}"
@@ -59,6 +61,40 @@ for WORKERS in 1 2 4; do
     PIDS=""
 done
 
+# Memo tier pass: two memo-enabled workers under the (default) rand
+# policy, so a warm repeat often lands on the worker that did NOT compute
+# it cold — a local miss it must resolve from its peer's cache. The warm
+# pass's effective hit-rate (local + remote) is the tier's headline.
+# The fast heartbeat keeps the coordinator's memo aggregate close behind
+# the workers, so the benchmark's settled before/after reads bracket the
+# warm pass accurately.
+echo "== bench: memo tier (2 workers, peer fetch) =="
+"$TMP/motifctl" -addr "$COORD_ADDR" -heartbeat 100ms 2>"$TMP/motifctl.log" &
+CPID=$!
+PIDS="$CPID"
+wait_up "$COORD"
+w=0
+while [ "$w" -lt 2 ]; do
+    ADDR="127.0.0.1:$((18180 + w))"
+    "$TMP/motifd" -addr "$ADDR" -procs 2 -id "bench-w$w" -memo 67108864 \
+        -coordinator "$COORD" -advertise "http://$ADDR" 2>"$TMP/w$w.log" &
+    PIDS="$PIDS $!"
+    wait_up "http://$ADDR"
+    w=$((w + 1))
+done
+i=0
+while :; do
+    LIVE="$(curl -sf "$COORD/metrics" | python3 -c 'import json,sys; print(json.load(sys.stdin)["live_workers"])')"
+    [ "$LIVE" = 2 ] && break
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "only $LIVE/2 workers registered" >&2; exit 1; }
+    sleep 0.1
+done
+"$TMP/alignbench" -cluster "$COORD" -memo 67108864 -clients 4 -jobs 48 -out "$TMP/run_memo.json"
+kill $PIDS 2>/dev/null || true
+for P in $PIDS; do wait "$P" 2>/dev/null || true; done
+PIDS=""
+
 python3 - "$OUT" "$TMP" <<'EOF'
 import json, sys
 out, tmp = sys.argv[1], sys.argv[2]
@@ -66,8 +102,11 @@ runs = []
 for workers in (1, 2, 4):
     with open(f"{tmp}/run_{workers}.json") as f:
         runs.append({"workers": workers, "report": json.load(f)})
+with open(f"{tmp}/run_memo.json") as f:
+    memo_tier = {"workers": 2, "report": json.load(f)}
 with open(out, "w") as f:
-    json.dump({"benchmark": "cluster-scaling", "runs": runs}, f, indent=2)
+    json.dump({"benchmark": "cluster-scaling", "runs": runs,
+               "memo_tier": memo_tier}, f, indent=2)
     f.write("\n")
 print(f"wrote {out}")
 EOF

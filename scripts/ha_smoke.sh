@@ -1,0 +1,197 @@
+#!/bin/sh
+# Coordinator-failover smoke test for the HA pair, run by CI and
+# `make ha-smoke`:
+#
+#   Start an active motifctl (holding the store lease) and a standby
+#   (-standby -peer) tailing the same WAL directory, plus two workers whose
+#   -coordinator lists both URLs. Submit a batch with client request ids,
+#   SIGKILL the *active coordinator* mid-batch, and assert the standby takes
+#   over the lease and the WAL, the workers re-register with it on their
+#   own, every accepted job completes under its original id (zero lost), and
+#   resubmitting every request id answers with the original job (zero
+#   duplicated).
+set -eu
+
+A_ADDR=127.0.0.1:18270
+B_ADDR=127.0.0.1:18271
+W1_ADDR=127.0.0.1:18281
+W2_ADDR=127.0.0.1:18282
+ACTIVE="http://$A_ADDR"
+STANDBY="http://$B_ADDR"
+JOBS=16
+TMP="$(mktemp -d)"
+APID= BPID= W1PID= W2PID=
+trap 'kill -9 "$APID" "$BPID" "$W1PID" "$W2PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/motifctl" ./cmd/motifctl
+go build -o "$TMP/motifd" ./cmd/motifd
+
+json_path() { # json_path FILE DOTTED.PATH -> value (asserts valid JSON)
+    python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for part in sys.argv[2].split("."):
+    doc = doc[part]
+print(doc)' "$1" "$2"
+}
+
+wait_up() { # wait_up URL NAME LOG
+    i=0
+    until curl -sf "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "$2 did not come up; log:" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+wait_workers() { # wait_workers BASE N — poll a coordinator until N workers are live
+    i=0
+    while :; do
+        if curl -sf "$1/metrics" >"$TMP/metrics.json" 2>/dev/null; then
+            LIVE="$(json_path "$TMP/metrics.json" live_workers)"
+            [ "$LIVE" = "$2" ] && break
+        fi
+        i=$((i + 1))
+        [ "$i" -lt 200 ] || { echo "workers never registered with $1 (want $2)" >&2; cat "$TMP/standby.log" >&2; exit 1; }
+        sleep 0.1
+    done
+}
+
+# Active holds the lease over the shared store; standby watches both the
+# active's /healthz and that lease. A short TTL keeps the takeover window
+# tight for the test.
+"$TMP/motifctl" -addr "$A_ADDR" -heartbeat 100ms -store "$TMP/shared-store" \
+    -lease-ttl 1s 2>"$TMP/active.log" &
+APID=$!
+wait_up "$ACTIVE" motifctl-active "$TMP/active.log"
+"$TMP/motifctl" -addr "$B_ADDR" -heartbeat 100ms -store "$TMP/shared-store" \
+    -lease-ttl 1s -standby -peer "$ACTIVE" 2>"$TMP/standby.log" &
+BPID=$!
+wait_up "$STANDBY" motifctl-standby "$TMP/standby.log"
+curl -sf "$STANDBY/healthz" >"$TMP/healthz.json"
+STATE="$(json_path "$TMP/healthz.json" status)"
+[ "$STATE" = standby ] || { echo "standby reports '$STATE' before takeover, want 'standby'" >&2; exit 1; }
+
+# Workers list both coordinator URLs: they register with the active and
+# fail over to the standby on their own once the active goes silent.
+"$TMP/motifd" -addr "$W1_ADDR" -procs 1 -inner 1 -id w1 \
+    -coordinator "$ACTIVE,$STANDBY" -advertise "http://$W1_ADDR" 2>"$TMP/w1.log" &
+W1PID=$!
+"$TMP/motifd" -addr "$W2_ADDR" -procs 1 -inner 1 -id w2 \
+    -coordinator "$ACTIVE,$STANDBY" -advertise "http://$W2_ADDR" 2>"$TMP/w2.log" &
+W2PID=$!
+wait_up "http://$W1_ADDR" w1 "$TMP/w1.log"
+wait_up "http://$W2_ADDR" w2 "$TMP/w2.log"
+wait_workers "$ACTIVE" 2
+echo "HA pair up: active + standby on one WAL, 2 workers registered"
+
+# Submit the batch with client request ids; 202 only after the WAL fsync.
+: >"$TMP/ids"
+j=0
+while [ "$j" -lt "$JOBS" ]; do
+    CODE="$(curl -s -o "$TMP/submit.json" -w '%{http_code}' -X POST "$ACTIVE/v1/jobs" \
+        -H 'Content-Type: application/json' \
+        -d "{\"type\":\"tree\",\"id\":\"ha-$j\",\"tree\":{\"leaves\":64,\"node_cost_us\":3000,\"seed\":$j}}")"
+    [ "$CODE" = 202 ] || { echo "submit $j returned $CODE" >&2; cat "$TMP/submit.json" >&2; exit 1; }
+    json_path "$TMP/submit.json" id >>"$TMP/ids"
+    j=$((j + 1))
+done
+echo "submitted $JOBS jobs with request ids"
+
+# Let part of the batch finish so the kill lands mid-run.
+i=0
+while :; do
+    curl -sf "$ACTIVE/metrics" >"$TMP/metrics.json"
+    DONE="$(json_path "$TMP/metrics.json" done)"
+    [ "$DONE" -ge 2 ] && break
+    i=$((i + 1))
+    [ "$i" -lt 200 ] || { echo "no jobs finished before the kill (done=$DONE)" >&2; exit 1; }
+    sleep 0.05
+done
+
+# Crash the ACTIVE coordinator: SIGKILL, no drain, no lease release. The
+# standby must notice the dead peer and the stale lease, replay the WAL,
+# and take over.
+kill -9 "$APID"
+echo "killed active motifctl (SIGKILL) with done=$DONE of $JOBS"
+
+i=0
+while :; do
+    if curl -sf "$STANDBY/healthz" >"$TMP/healthz.json" 2>/dev/null; then
+        STATE="$(json_path "$TMP/healthz.json" status)"
+        [ "$STATE" = ok ] && break
+    fi
+    i=$((i + 1))
+    [ "$i" -lt 200 ] || { echo "standby never took over (status=$STATE)" >&2; cat "$TMP/standby.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "took over" "$TMP/standby.log" || { echo "no takeover line in standby log:" >&2; cat "$TMP/standby.log" >&2; exit 1; }
+curl -sf "$STANDBY/metrics" >"$TMP/metrics.json"
+REPLAYED="$(json_path "$TMP/metrics.json" store.replayed_records)"
+[ "$REPLAYED" -gt 0 ] || { echo "standby replayed nothing at takeover" >&2; exit 1; }
+echo "standby took over: replayed $REPLAYED records"
+
+# The workers must re-register with the standby without being restarted.
+wait_workers "$STANDBY" 2
+echo "both workers failed over to the standby"
+
+# Zero lost: every accepted id reaches done on the standby under its
+# original id (orphans re-placed from the replayed WAL).
+while read -r ID; do
+    i=0
+    while :; do
+        CODE="$(curl -s -o "$TMP/job.json" -w '%{http_code}' "$STANDBY/v1/jobs/$ID")"
+        [ "$CODE" = 200 ] || { echo "poll $ID returned $CODE after takeover" >&2; exit 1; }
+        STATE="$(json_path "$TMP/job.json" state)"
+        case "$STATE" in
+        done) break ;;
+        error) echo "job $ID lost to the failover:" >&2; cat "$TMP/job.json" >&2; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -lt 600 ] || { echo "job $ID stuck in $STATE after takeover" >&2; exit 1; }
+        sleep 0.05
+    done
+done <"$TMP/ids"
+echo "all $JOBS jobs completed across the failover (zero lost)"
+
+# Zero duplicated: resubmitting every request id must answer with the
+# original job, not start a fresh execution on the new coordinator.
+j=0
+while [ "$j" -lt "$JOBS" ]; do
+    WANT="$(sed -n "$((j + 1))p" "$TMP/ids")"
+    CODE="$(curl -s -o "$TMP/submit.json" -w '%{http_code}' -X POST "$STANDBY/v1/jobs" \
+        -H 'Content-Type: application/json' \
+        -d "{\"type\":\"tree\",\"id\":\"ha-$j\",\"tree\":{\"leaves\":64,\"node_cost_us\":3000,\"seed\":$j}}")"
+    [ "$CODE" = 202 ] || { echo "resubmit $j returned $CODE" >&2; cat "$TMP/submit.json" >&2; exit 1; }
+    GOT="$(json_path "$TMP/submit.json" id)"
+    [ "$GOT" = "$WANT" ] || { echo "resubmit ha-$j got $GOT, want $WANT (duplicated job)" >&2; exit 1; }
+    j=$((j + 1))
+done
+curl -sf "$STANDBY/metrics" >"$TMP/metrics.json"
+FAILED="$(json_path "$TMP/metrics.json" failed)"
+DEDUPED="$(json_path "$TMP/metrics.json" deduped)"
+[ "$FAILED" = 0 ] || { echo "failed=$FAILED after failover, want 0" >&2; cat "$TMP/metrics.json" >&2; exit 1; }
+[ "$DEDUPED" -ge "$JOBS" ] || { echo "deduped=$DEDUPED, want >= $JOBS" >&2; exit 1; }
+echo "idempotent resubmission across failover (deduped=$DEDUPED, failed=0)"
+
+# Drain the promoted coordinator and the workers.
+kill -TERM "$BPID"
+i=0
+while kill -0 "$BPID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "promoted motifctl did not drain" >&2; cat "$TMP/standby.log" >&2; exit 1; }
+    sleep 0.1
+done
+grep -q "drained" "$TMP/standby.log" || { echo "no drain line in standby log:" >&2; cat "$TMP/standby.log" >&2; exit 1; }
+kill -TERM "$W1PID" "$W2PID"
+i=0
+while kill -0 "$W1PID" 2>/dev/null || kill -0 "$W2PID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "workers did not drain" >&2; exit 1; }
+    sleep 0.1
+done
+echo "ha smoke: OK"

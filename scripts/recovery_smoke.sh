@@ -64,7 +64,8 @@ wait_workers() { # wait_workers N — poll the coordinator until N workers are l
 
 # ---------- Phase A: coordinator crash + restart, zero lost / duplicated ----------
 
-"$TMP/motifctl" -addr "$COORD_ADDR" -heartbeat 100ms -store "$TMP/coord-store" 2>"$TMP/motifctl.log" &
+"$TMP/motifctl" -addr "$COORD_ADDR" -heartbeat 100ms -store "$TMP/coord-store" \
+    -lease-ttl 500ms 2>"$TMP/motifctl.log" &
 CPID=$!
 "$TMP/motifd" -addr "$W1_ADDR" -procs 1 -inner 1 -id w1 \
     -coordinator "$COORD" -advertise "http://$W1_ADDR" 2>"$TMP/w1.log" &
@@ -109,9 +110,13 @@ done
 kill -9 "$CPID"
 echo "killed motifctl (SIGKILL) with done=$DONE of $JOBS"
 
-# Restart against the same store directory. The log replays: finished jobs
-# stay pollable, orphans are re-placed once the workers re-register.
-"$TMP/motifctl" -addr "$COORD_ADDR" -heartbeat 100ms -store "$TMP/coord-store" 2>"$TMP/motifctl2.log" &
+# Restart against the same store directory. The dead coordinator's store
+# lease must first go stale (it stops renewing at SIGKILL but stays fresh
+# for up to a TTL), then the log replays: finished jobs stay pollable,
+# orphans are re-placed once the workers re-register.
+sleep 0.8
+"$TMP/motifctl" -addr "$COORD_ADDR" -heartbeat 100ms -store "$TMP/coord-store" \
+    -lease-ttl 500ms 2>"$TMP/motifctl2.log" &
 CPID=$!
 wait_up "$COORD" motifctl-restarted "$TMP/motifctl2.log"
 curl -sf "$COORD/metrics" >"$TMP/metrics.json"
