@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: ci fmt-check build vet staticcheck test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke ha-smoke bench-cluster bench-memo bench-kernel bench-gate bench-slo
+.PHONY: ci fmt-check build vet staticcheck test race fuzz-smoke bench-smoke bench motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke ha-smoke motif-jobs-smoke bench-cluster bench-memo bench-kernel bench-gate bench-slo
 
-ci: fmt-check build vet staticcheck test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke ha-smoke bench-gate
+ci: fmt-check build vet staticcheck test race fuzz-smoke bench-smoke motifd-smoke cluster-smoke recovery-smoke pipeline-smoke qos-smoke ha-smoke motif-jobs-smoke bench-gate
 	@echo "ci: all steps passed"
 
 fmt-check:
@@ -36,7 +36,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/memo/... ./internal/memoshare/... ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/... ./internal/bio/... ./internal/qos/...
+	$(GO) test -race ./internal/memo/... ./internal/memoshare/... ./internal/skel/... ./internal/motifs/... ./internal/serve/... ./internal/cluster/... ./internal/store/... ./internal/bio/... ./internal/qos/... ./internal/jobs/...
 
 # fuzz-smoke runs each fuzz target briefly: the WAL targets exercise the
 # mutator on the torn/corrupt seed corpus, the kernel target cross-checks
@@ -50,9 +50,10 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # bench load-tests the serving layer at 1/4/16 concurrent clients against an
-# in-process motifd and writes the throughput/latency report.
+# in-process motifd — one align, one search, and one grid row per level —
+# and writes the throughput/latency report.
 bench:
-	$(GO) run ./cmd/alignbench -serve self -clients 1,4,16 -jobs 48 -out BENCH_serve.json
+	$(GO) run ./cmd/alignbench -serve self -clients 1,4,16 -jobs 48 -search -grid -out BENCH_serve.json
 
 # motifd-smoke mirrors the CI smoke step: start the daemon, submit a job,
 # assert it completes, drain.
@@ -89,6 +90,14 @@ qos-smoke:
 # duplicated.
 ha-smoke:
 	./scripts/ha_smoke.sh
+
+# motif-jobs-smoke mirrors the CI motif-jobs step: search/grid/sort job
+# types against motifd with -store, SIGKILL mid-search inside the settle
+# window, restart and assert the journaled shortcircuit decision is honored;
+# then a 2-worker cluster where killing the worker holding a terminated
+# search makes the retry a no-op (completed from the harvested decision).
+motif-jobs-smoke:
+	./scripts/motif_jobs_smoke.sh
 
 # bench-cluster measures cluster scheduling at 1/2/4 workers and writes
 # the per-scale throughput/latency report.

@@ -265,7 +265,10 @@ func BenchmarkSkeletonTreeReduce(b *testing.B) {
 func BenchmarkSkeletonSearch(b *testing.B) {
 	q := skel.NQueens{N: 8}
 	for i := 0; i < b.N; i++ {
-		sols, _ := skel.Search[skel.NQState](q, q.Start(), skel.SearchOptions{Workers: 4})
+		sols, _, err := skel.Search[skel.NQState](context.Background(), q, q.Start(), skel.SearchOptions{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(sols) != 92 {
 			b.Fatal("wrong solution count")
 		}
@@ -280,7 +283,7 @@ func BenchmarkSkeletonJacobi(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := skel.Jacobi(g, skel.JacobiOptions{Workers: 4, Iterations: 100}); err != nil {
+		if _, _, _, err := skel.Jacobi(context.Background(), g, skel.JacobiOptions{Workers: 4, Iterations: 100}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -295,7 +298,9 @@ func BenchmarkSkeletonMergeSort(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		skel.MergeSort(xs, func(a, b int) bool { return a < b }, 4)
+		if _, err := skel.MergeSort(context.Background(), xs, func(a, b int) bool { return a < b }, 4); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

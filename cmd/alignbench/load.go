@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bio"
 	"repro/internal/cluster"
+	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
@@ -24,11 +25,14 @@ import (
 // the same job seeds: "cold" computes, "warm" answers from the daemon's
 // content-addressed cache.
 type loadLevel struct {
-	Clients   int   `json:"clients"`
-	Jobs      int   `json:"jobs"`
-	Shed      int64 `json:"shed"`
-	Preempted int64 `json:"preempted,omitempty"`
-	Failed    int64 `json:"failed"`
+	Clients int `json:"clients"`
+	// Type is the job type this row drove (align, search, or grid); empty
+	// rows predate the per-type load and mean align.
+	Type      serve.JobType `json:"type,omitempty"`
+	Jobs      int           `json:"jobs"`
+	Shed      int64         `json:"shed"`
+	Preempted int64         `json:"preempted,omitempty"`
+	Failed    int64         `json:"failed"`
 	// TransportErrs counts network-level failures (dial, timeout, broken
 	// connection) separately from Failed: a 429 is the server shedding by
 	// policy and a failed job is the server answering "error", but a
@@ -47,6 +51,12 @@ type loadLevel struct {
 // runs. Banded jobs exercise the S16 banded kernel through the full
 // serve/cluster path.
 var loadBand int
+
+// loadSearch / loadGrid add a search (or-parallel pattern scan) and a grid
+// (stencil relaxation) row to every client level, driving the new job
+// types through the same submit/poll path as the alignment load; set once
+// from the -search / -grid flags.
+var loadSearch, loadGrid bool
 
 // loadReport is the BENCH_serve.json / BENCH_memo.json document.
 type loadReport struct {
@@ -100,18 +110,27 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 	if memoBytes > 0 {
 		tab = metrics.NewTable("clients", "pass", "jobs", "shed", "failed", "xport", "elapsed ms", "jobs/s", "p50 ms", "p95 ms", "speedup")
 	} else {
-		tab = metrics.NewTable("clients", "jobs", "shed", "failed", "xport", "elapsed ms", "jobs/s", "p50 ms", "p95 ms")
+		tab = metrics.NewTable("clients", "type", "jobs", "shed", "failed", "xport", "elapsed ms", "jobs/s", "p50 ms", "p95 ms")
+	}
+	types := []serve.JobType{serve.JobAlign}
+	if loadSearch {
+		types = append(types, serve.JobSearch)
+	}
+	if loadGrid {
+		types = append(types, serve.JobGrid)
 	}
 	var warmHits, warmLookups int64
 	for li, c := range clients {
 		if memoBytes == 0 {
-			lvl, err := runLoadLevel(client, base, c, jobs, n, seqLen, seed)
-			if err != nil {
-				return fmt.Errorf("level %d clients: %w", c, err)
+			for _, jt := range types {
+				lvl, err := runLoadLevel(client, base, jt, c, jobs, n, seqLen, seed)
+				if err != nil {
+					return fmt.Errorf("level %d clients (%s): %w", c, jt, err)
+				}
+				report.Levels = append(report.Levels, lvl)
+				tab.AddRow(lvl.Clients, string(lvl.Type), lvl.Jobs, lvl.Shed, lvl.Failed, lvl.TransportErrs,
+					lvl.ElapsedMS, lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS)
 			}
-			report.Levels = append(report.Levels, lvl)
-			tab.AddRow(lvl.Clients, lvl.Jobs, lvl.Shed, lvl.Failed, lvl.TransportErrs,
-				lvl.ElapsedMS, lvl.ThroughputJPS, lvl.P50MS, lvl.P95MS)
 			continue
 		}
 		// Each level gets its own seed block so its cold pass computes from
@@ -130,7 +149,7 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 			if pass == "warm" {
 				before, _ = readMemo(client, base)
 			}
-			lvl, err := runLoadLevel(client, base, c, jobs, n, seqLen, seedBase)
+			lvl, err := runLoadLevel(client, base, serve.JobAlign, c, jobs, n, seqLen, seedBase)
 			if err != nil {
 				return fmt.Errorf("level %d clients (%s): %w", c, pass, err)
 			}
@@ -189,7 +208,7 @@ func runLoad(benchmark, target string, clients []int, jobs, n, seqLen int, seed 
 	return nil
 }
 
-func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen int, seed int64) (loadLevel, error) {
+func runLoadLevel(client *http.Client, base string, jobType serve.JobType, nClients, jobs, n, seqLen int, seed int64) (loadLevel, error) {
 	var (
 		next      atomic.Int64
 		shed      atomic.Int64
@@ -214,7 +233,7 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 				if i > int64(jobs) {
 					return
 				}
-				lat, retried, evicted, err := driveJob(client, base, n, seqLen, seed+i, bo)
+				lat, retried, evicted, err := driveJob(client, base, jobType, n, seqLen, seed+i, bo)
 				shed.Add(retried)
 				preempted.Add(evicted)
 				if err != nil {
@@ -245,6 +264,7 @@ func runLoadLevel(client *http.Client, base string, nClients, jobs, n, seqLen in
 	qs := metrics.Quantiles(latencies, 0.5, 0.95)
 	return loadLevel{
 		Clients:       nClients,
+		Type:          jobType,
 		Jobs:          jobs,
 		Shed:          shed.Load(),
 		Preempted:     preempted.Load(),
@@ -300,11 +320,8 @@ const maxTransient = 20
 // Retry-After (the standby has not taken over yet) for a few seconds, so
 // the client retries with jittered backoff and only counts a transport
 // error after maxTransient consecutive losses.
-func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *cluster.Backoff) (time.Duration, int64, int64, error) {
-	body, err := json.Marshal(serve.JobRequest{
-		Type:  serve.JobAlign,
-		Align: &bio.AlignJob{N: n, Len: seqLen, Seed: seed, Band: loadBand},
-	})
+func driveJob(client *http.Client, base string, jobType serve.JobType, n, seqLen int, seed int64, bo *cluster.Backoff) (time.Duration, int64, int64, error) {
+	body, err := json.Marshal(loadRequest(jobType, n, seqLen, seed))
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -418,6 +435,31 @@ func driveJob(client *http.Client, base string, n, seqLen int, seed int64, bo *c
 			if !resubmit {
 				time.Sleep(2 * time.Millisecond)
 			}
+		}
+	}
+}
+
+// loadRequest builds one generated job. Like the alignment jobs, the
+// search and grid instances are small on purpose — the interesting
+// quantity is serving behavior, not one job's runtime. Search rows are
+// exhaustive (not FirstOnly) so each seed's work is deterministic; grid
+// rows vary the hot-boundary temperature by seed so concurrent levels
+// don't degenerate into one repeated instance.
+func loadRequest(jobType serve.JobType, n, seqLen int, seed int64) serve.JobRequest {
+	switch jobType {
+	case serve.JobSearch:
+		return serve.JobRequest{Type: serve.JobSearch, Search: &jobs.SearchSpec{
+			Pattern: "ACGUACGU", Seqs: 4, SeqLen: 2048, Seed: seed, MaxMismatches: 2,
+		}}
+	case serve.JobGrid:
+		return serve.JobRequest{Type: serve.JobGrid, Grid: &jobs.GridSpec{
+			Rows: 24, Cols: 24, Iterations: 300, Tolerance: 1e-4,
+			Hot: 80 + float64(seed%40),
+		}}
+	default:
+		return serve.JobRequest{
+			Type:  serve.JobAlign,
+			Align: &bio.AlignJob{N: n, Len: seqLen, Seed: seed, Band: loadBand},
 		}
 	}
 }

@@ -5,7 +5,7 @@
 //
 //	alignbench [-n seqs] [-len seqLen] [-seed N] [-mode native|sim|both]
 //	alignbench -trace out.json [-n seqs] [-len seqLen] [-seed N]
-//	alignbench -serve URL|self [-clients 1,4,16] [-jobs 48] [-out BENCH_serve.json]
+//	alignbench -serve URL|self [-clients 1,4,16] [-jobs 48] [-search] [-grid] [-out BENCH_serve.json]
 //	alignbench -serve self -memo BYTES [-clients 1,4,16] [-jobs 48] [-out BENCH_memo.json]
 //	alignbench -cluster URL [-clients 1,4,16] [-jobs 48] [-out BENCH_cluster.json]
 //	alignbench -pipeline URL|self [-n seqs] [-len seqLen] [-group N] [-stage-delay-us N]
@@ -19,7 +19,9 @@
 // alignment jobs at each client-concurrency level and reports throughput
 // and client-perceived p50/p95 latency, optionally as JSON via -out. A 429
 // response is honored: the generator backs off for at least the daemon's
-// Retry-After, jittered, rather than hammering a shedding queue.
+// Retry-After, jittered, rather than hammering a shedding queue. -search
+// and -grid add a row per level driving those job types through the same
+// submit/poll path.
 //
 // With -cluster, the same load generator drives a motifctl coordinator —
 // the job API is identical, so this measures cluster scheduling (placement,
@@ -70,9 +72,12 @@ func main() {
 	jobs := flag.Int("jobs", 48, "alignment jobs per concurrency level for -serve")
 	out := flag.String("out", "", "write the -serve load report as JSON to this file")
 	band := flag.Int("band", 0, "band half-width for -serve/-cluster jobs (0 = exact alignment)")
+	searchLoad := flag.Bool("search", false, "add a search-job row per -serve/-cluster client level (or-parallel pattern scan)")
+	gridLoad := flag.Bool("grid", false, "add a grid-job row per -serve/-cluster client level (stencil relaxation)")
 	memoBytes := cmdutil.MemoBytes(0)
 	flag.Parse()
 	loadBand = *band
+	loadSearch, loadGrid = *searchLoad, *gridLoad
 
 	if *pipelineURL != "" {
 		if err := runPipeline(*pipelineURL, *n, *seqLen, *seed, *band, *group, *stageDelay, *memoBytes); err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -23,7 +24,7 @@ func main() {
 
 	for _, workers := range []int{1, 2, 4} {
 		start := time.Now()
-		out, sweeps, delta, err := skel.Jacobi(g, skel.JacobiOptions{
+		out, sweeps, delta, err := skel.Jacobi(context.Background(), g, skel.JacobiOptions{
 			Workers:    workers,
 			Iterations: 200000,
 			Tolerance:  1e-6,

@@ -6,17 +6,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"time"
 
 	"repro/internal/skel"
 )
 
 func main() {
+	ctx := context.Background()
 	for _, n := range []int{6, 8, 10} {
 		q := skel.NQueens{N: n}
 		start := time.Now()
-		sols, stats := skel.Search[skel.NQState](q, q.Start(), skel.SearchOptions{Workers: 4})
+		sols, stats, err := skel.Search[skel.NQState](ctx, q, q.Start(), skel.SearchOptions{Workers: 4})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%2d-queens: %6d solutions in %8v  (%d states explored, imbalance %.2f)\n",
 			n, len(sols), time.Since(start).Round(time.Microsecond),
 			stats.TotalUnits(), stats.Imbalance())
@@ -25,7 +31,10 @@ func main() {
 	// First solution only: or-parallel cut.
 	q := skel.NQueens{N: 12}
 	start := time.Now()
-	sols, _ := skel.Search[skel.NQState](q, q.Start(), skel.SearchOptions{Workers: 4, FirstOnly: true})
+	sols, _, err := skel.Search[skel.NQState](ctx, q, q.Start(), skel.SearchOptions{Workers: 4, FirstOnly: true})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("first 12-queens solution in %v: %v\n",
 		time.Since(start).Round(time.Microsecond), sols[0].Cols)
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/bio"
+	"repro/internal/jobs"
 	"repro/internal/memo"
 	"repro/internal/memoshare"
 	"repro/internal/metrics"
@@ -343,6 +344,12 @@ type Job struct {
 	finished    time.Time
 	result      *serve.JobStatus // terminal status fetched from the worker
 	errMsg      string
+	// decision is the job's harvested mid-flight commitment (e.g. a
+	// FirstOnly search's shortcircuit winner), copied off the worker's
+	// status while it was still running and journaled in the coordinator's
+	// own WAL. Once set, losing the worker no longer loses the answer: the
+	// retry completes from the decision instead of re-placing the work.
+	decision *serve.DecisionNote
 }
 
 // JobView is the JSON view of a cluster job: the local serving layer's
@@ -367,6 +374,13 @@ type JobView struct {
 	Align  *bio.AlignJobResult `json:"align,omitempty"`
 	Tree   *serve.TreeResult   `json:"tree,omitempty"`
 	Strand *serve.StrandResult `json:"strand,omitempty"`
+	Search *jobs.SearchResult  `json:"search,omitempty"`
+	Grid   *jobs.GridResult    `json:"grid,omitempty"`
+	Sort   *jobs.SortResult    `json:"sort,omitempty"`
+
+	// Decision is the job's harvested mid-flight commitment, if any —
+	// durable at the coordinator even if the worker that made it dies.
+	Decision *serve.DecisionNote `json:"decision,omitempty"`
 }
 
 // View snapshots the job.
@@ -402,7 +416,11 @@ func (j *Job) View() JobView {
 		v.Align = j.result.Align
 		v.Tree = j.result.Tree
 		v.Strand = j.result.Strand
+		v.Search = j.result.Search
+		v.Grid = j.result.Grid
+		v.Sort = j.result.Sort
 	}
+	v.Decision = j.decision
 	return v
 }
 
@@ -809,6 +827,7 @@ func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
 			v := j.View()
 			// The list view is a summary; drop result payloads.
 			v.Align, v.Tree, v.Strand = nil, nil, nil
+			v.Search, v.Grid, v.Sort = nil, nil, nil
 			out = append(out, v)
 		}
 	}

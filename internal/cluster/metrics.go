@@ -39,6 +39,9 @@ type coordMetrics struct {
 	saturated    atomic.Int64 // re-placements after a worker 429
 	workerDeaths atomic.Int64 // heartbeat expiries
 
+	decisionsHarvested  atomic.Int64 // mid-flight decision records journaled from worker polls
+	decisionCompletions atomic.Int64 // jobs finished from a decision record instead of a re-placement
+
 	mu      sync.Mutex
 	latency *metrics.Histogram
 }
@@ -115,6 +118,13 @@ type MetricsSnapshot struct {
 	Retries      int64 `json:"retries"`
 	Saturated    int64 `json:"saturated_replacements"`
 	WorkerDeaths int64 `json:"worker_deaths"`
+
+	// DecisionsHarvested counts mid-flight decision records journaled off
+	// worker status polls; DecisionCompletions counts jobs finished from
+	// such a record instead of a re-placement (terminated-search retries
+	// that became no-ops).
+	DecisionsHarvested  int64 `json:"decisions_harvested,omitempty"`
+	DecisionCompletions int64 `json:"decision_completions,omitempty"`
 
 	Latency serve.LatencySummary `json:"latency"`
 	Workers []WorkerMetrics      `json:"workers"`
@@ -217,12 +227,15 @@ func (m *coordMetrics) snapshot(policy string, pending, pendingCap int, workers 
 		Retries:      m.retries.Load(),
 		Saturated:    m.saturated.Load(),
 		WorkerDeaths: m.workerDeaths.Load(),
-		Latency:      lat,
-		Workers:      workers,
-		Memo:         memoSummary(workers),
-		QoS:          qosSnap,
-		TenantDepths: tenantDepths(workers),
-		TraceEvents:  traceEvents,
-		Store:        storeSnap,
+
+		DecisionsHarvested:  m.decisionsHarvested.Load(),
+		DecisionCompletions: m.decisionCompletions.Load(),
+		Latency:             lat,
+		Workers:             workers,
+		Memo:                memoSummary(workers),
+		QoS:                 qosSnap,
+		TenantDepths:        tenantDepths(workers),
+		TraceEvents:         traceEvents,
+		Store:               storeSnap,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -55,6 +56,15 @@ func (c *Coordinator) recoverFromStore() {
 			// died with it.
 			j.state = serve.StateQueued
 			j.deadline = now.Add(c.timeoutFor(req))
+			// Unless the old process already harvested a decision record:
+			// then the outcome is committed and run() completes from it
+			// without ever re-placing (standby takeover rides this path too).
+			if raw, ok := c.cfg.Store.Decisions(js.ID)[jobs.ReasonShortCircuit]; ok {
+				j.decision = &serve.DecisionNote{
+					Reason: jobs.ReasonShortCircuit,
+					Data:   append(json.RawMessage(nil), raw...),
+				}
+			}
 		}
 		c.jobs[j.id] = j
 		c.order = append(c.order, j.id)

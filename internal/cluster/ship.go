@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -50,6 +51,13 @@ const pollFailLimit = 3
 func (c *Coordinator) run(j *Job) {
 	defer c.jobsWG.Done()
 	defer c.pending.Add(-1)
+	// A journaled decision (e.g. a FirstOnly search's short-circuit winner,
+	// loaded during recovery) already fixes the job's outcome; completing
+	// from it here means a restarted coordinator never re-places terminated
+	// work.
+	if c.completeFromDecision(j) {
+		return
+	}
 	bo := NewBackoff(c.cfg.RetryBase, c.cfg.RetryMax, c.cfg.Seed^idSeed(j.id))
 	for {
 		if c.ctx.Err() != nil {
@@ -76,6 +84,13 @@ func (c *Coordinator) run(j *Job) {
 			c.fail(j, out.msg)
 			return
 		case outcomeWorkerLost:
+			// If the dead worker's last status carried a decision record,
+			// the job's outcome is already committed: complete from it
+			// instead of re-placing. The retry is a no-op — no attempt is
+			// consumed and no other worker re-explores.
+			if c.completeFromDecision(j) {
+				return
+			}
 			c.met.retries.Add(1)
 			c.reg.noteRetried(w.ID)
 			j.mu.Lock()
@@ -228,6 +243,13 @@ func (c *Coordinator) shipAndTrack(j *Job, w WorkerView) shipOutcome {
 			continue
 		}
 		fails = 0
+		if st.Decision != nil {
+			// The worker committed to an outcome mid-flight (e.g. a
+			// FirstOnly search short-circuited and is inside its settle
+			// window). Journal it coordinator-side now, so the outcome
+			// survives even if this worker dies before reporting done.
+			c.harvestDecision(j, st.Decision)
+		}
 		switch st.State {
 		case serve.StateDone:
 			c.reg.noteCompleted(w.ID)
@@ -241,6 +263,53 @@ func (c *Coordinator) shipAndTrack(j *Job, w WorkerView) shipOutcome {
 			return shipOutcome{kind: outcomeTerminal, msg: "worker " + w.ID + ": " + st.Error}
 		}
 	}
+}
+
+// harvestDecision records a worker's mid-flight decision on the
+// coordinator's side of the fence: once in memory (first reason wins) and
+// once in the coordinator's own WAL, durable before the poll loop moves
+// on. From then on the job can complete without the worker.
+func (c *Coordinator) harvestDecision(j *Job, note *serve.DecisionNote) {
+	j.mu.Lock()
+	if j.decision != nil {
+		j.mu.Unlock()
+		return
+	}
+	j.decision = &serve.DecisionNote{
+		Reason: note.Reason,
+		Data:   append(json.RawMessage(nil), note.Data...),
+	}
+	j.mu.Unlock()
+	_ = c.cfg.Store.Decision(j.id, note.Reason, note.Data)
+	c.met.decisionsHarvested.Add(1)
+}
+
+// completeFromDecision finishes a job directly from its harvested (or
+// replayed) decision record, when the record alone determines the result.
+// True means the job is terminal and the placement loop must stop.
+func (c *Coordinator) completeFromDecision(j *Job) bool {
+	j.mu.Lock()
+	note := j.decision
+	j.mu.Unlock()
+	if note == nil || j.req.Type != serve.JobSearch || note.Reason != jobs.ReasonShortCircuit {
+		return false
+	}
+	res, err := jobs.SearchResultFromDecision(note.Reason, note.Data)
+	if err != nil {
+		// An undecodable record can't seed a result; fall back to normal
+		// placement rather than wedging the job.
+		return false
+	}
+	st := &serve.JobStatus{
+		ID:       j.id,
+		Type:     j.req.Type,
+		State:    serve.StateDone,
+		Search:   res,
+		Decision: note,
+	}
+	c.finish(j, st)
+	c.met.decisionCompletions.Add(1)
+	return true
 }
 
 // consumeAttempt charges one placement against the job's attempt bound and

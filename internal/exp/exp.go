@@ -578,7 +578,10 @@ func E10Skeletons(seed int64) (*metrics.Table, error) {
 
 	// Search: 8-queens.
 	q := skel.NQueens{N: 8}
-	sols, _ := skel.Search[skel.NQState](q, q.Start(), skel.SearchOptions{Workers: 4})
+	sols, _, err := skel.Search[skel.NQState](context.Background(), q, q.Start(), skel.SearchOptions{Workers: 4})
+	if err != nil {
+		return nil, err
+	}
 	tab.AddRow("search", "8-queens solutions", len(sols))
 
 	// Sorting: mergesort over 10k ints.
@@ -587,7 +590,10 @@ func E10Skeletons(seed int64) (*metrics.Table, error) {
 	for i := range xs {
 		xs[i] = rng.Intn(1 << 20)
 	}
-	sorted := skel.MergeSort(xs, func(a, b int) bool { return a < b }, 4)
+	sorted, err := skel.MergeSort(context.Background(), xs, func(a, b int) bool { return a < b }, 4)
+	if err != nil {
+		return nil, err
+	}
 	ok := sort.IntsAreSorted(sorted)
 	tab.AddRow("sorting", "mergesort 10k sorted", ok)
 
@@ -596,7 +602,7 @@ func E10Skeletons(seed int64) (*metrics.Table, error) {
 	for c := 0; c < 34; c++ {
 		g.Set(0, c, 1)
 	}
-	_, sweeps, _, err := skel.Jacobi(g, skel.JacobiOptions{Workers: 4, Iterations: 100000, Tolerance: 1e-8})
+	_, sweeps, _, err := skel.Jacobi(context.Background(), g, skel.JacobiOptions{Workers: 4, Iterations: 100000, Tolerance: 1e-8})
 	if err != nil {
 		return nil, err
 	}

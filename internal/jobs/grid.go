@@ -1,0 +1,238 @@
+package jobs
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/memo"
+	"repro/internal/skel"
+)
+
+// Grid engine bounds.
+const (
+	maxGridDim        = 512
+	maxGridIterations = 500_000
+	// gridCkptKey is the rolling checkpoint slot: each snapshot supersedes
+	// the previous one, so compaction keeps exactly one live grid.
+	gridCkptKey = "sweep"
+)
+
+// GridSpec describes a boundary-driven Jacobi stencil relaxation: a
+// Dirichlet problem with fixed hot/cold boundary rows (or a uniformly hot
+// frame) relaxed to tolerance or an iteration bound.
+type GridSpec struct {
+	// Rows, Cols size the grid including boundary (defaults 48×48, min 3,
+	// max 512 each). Non-square grids are fine.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// Iterations bounds the sweeps (default 2000).
+	Iterations int `json:"iterations,omitempty"`
+	// Tolerance, when > 0, stops once the max cell update falls below it.
+	Tolerance float64 `json:"tolerance,omitempty"`
+	// Hot and Cold are the driven boundary values (defaults 100 and 0).
+	Hot  float64 `json:"hot,omitempty"`
+	Cold float64 `json:"cold,omitempty"`
+	// Boundary selects the drive: "topbottom" (default — hot top row, cold
+	// bottom row) or "edges" (all four edges hot).
+	Boundary string `json:"boundary,omitempty"`
+	// CheckpointEvery journals the working grid every this many sweeps
+	// (0 = no checkpoints). Timing-only: it never changes the result,
+	// because each sweep is a deterministic function of the previous grid.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+}
+
+// Validate normalizes the spec in place and rejects malformed fields.
+func (s *GridSpec) Validate() error {
+	if s.Rows == 0 {
+		s.Rows = 48
+	}
+	if s.Cols == 0 {
+		s.Cols = 48
+	}
+	if s.Rows < 3 || s.Rows > maxGridDim || s.Cols < 3 || s.Cols > maxGridDim {
+		return fmt.Errorf("grid dimensions out of range: %dx%d (3..%d)", s.Rows, s.Cols, maxGridDim)
+	}
+	if s.Iterations == 0 {
+		s.Iterations = 2000
+	}
+	if s.Iterations < 1 || s.Iterations > maxGridIterations {
+		return fmt.Errorf("grid iterations out of range: %d", s.Iterations)
+	}
+	if s.Tolerance < 0 || math.IsNaN(s.Tolerance) || math.IsInf(s.Tolerance, 0) {
+		return fmt.Errorf("grid tolerance out of range: %v", s.Tolerance)
+	}
+	if math.IsNaN(s.Hot) || math.IsInf(s.Hot, 0) || math.IsNaN(s.Cold) || math.IsInf(s.Cold, 0) {
+		return fmt.Errorf("grid boundary values must be finite")
+	}
+	if s.Hot == 0 && s.Cold == 0 {
+		s.Hot = 100
+	}
+	switch s.Boundary {
+	case "":
+		s.Boundary = "topbottom"
+	case "topbottom", "edges":
+	default:
+		return fmt.Errorf("unknown grid boundary %q (want topbottom or edges)", s.Boundary)
+	}
+	if s.CheckpointEvery < 0 || s.CheckpointEvery > maxGridIterations {
+		return fmt.Errorf("grid checkpoint_every out of range: %d", s.CheckpointEvery)
+	}
+	return nil
+}
+
+// GridResult is the outcome of a grid job.
+type GridResult struct {
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// Sweeps is the total sweep count the final grid represents (including
+	// sweeps restored from a checkpoint); Delta the final max update.
+	Sweeps int     `json:"sweeps"`
+	Delta  float64 `json:"delta"`
+	// Converged is set when Tolerance stopped the iteration.
+	Converged bool `json:"converged"`
+	// Center samples the relaxed field at the grid midpoint.
+	Center float64 `json:"center"`
+	// Checksum digests the full final grid — the determinism witness: equal
+	// specs produce equal checksums for any worker count, crash/resume
+	// history, or cluster placement.
+	Checksum string `json:"checksum"`
+	// ResumedSweeps counts sweeps skipped by resuming from a journaled
+	// snapshot; a cold run reports 0.
+	ResumedSweeps int `json:"resumed_sweeps,omitempty"`
+	// Units is the number of interior cell updates this run computed.
+	Units int64 `json:"units"`
+}
+
+// gridSnapshot is the journaled checkpoint payload.
+type gridSnapshot struct {
+	Sweep int     `json:"sweep"`
+	Rows  int     `json:"rows"`
+	Cols  int     `json:"cols"`
+	Delta float64 `json:"delta"`
+	// Data is the row-major grid, little-endian float64s, base64-encoded.
+	Data string `json:"data"`
+}
+
+func encodeGridData(g *skel.Grid) string {
+	return base64.StdEncoding.EncodeToString(gridBytes(g))
+}
+
+func decodeGridData(s string, rows, cols int) (*skel.Grid, bool) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil || len(buf) != 8*rows*cols {
+		return nil, false
+	}
+	g := skel.NewGrid(rows, cols)
+	for i := range g.Data {
+		g.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return g, true
+}
+
+// buildGrid materializes the boundary-driven initial grid.
+func (s *GridSpec) buildGrid() *skel.Grid {
+	g := skel.NewGrid(s.Rows, s.Cols)
+	switch s.Boundary {
+	case "edges":
+		for c := 0; c < s.Cols; c++ {
+			g.Set(0, c, s.Hot)
+			g.Set(s.Rows-1, c, s.Hot)
+		}
+		for r := 0; r < s.Rows; r++ {
+			g.Set(r, 0, s.Hot)
+			g.Set(r, s.Cols-1, s.Hot)
+		}
+	default: // topbottom
+		for c := 0; c < s.Cols; c++ {
+			g.Set(0, c, s.Hot)
+			g.Set(s.Rows-1, c, s.Cold)
+		}
+	}
+	return g
+}
+
+// RunGrid executes the stencil workload, journaling rolling snapshots when
+// the spec asks for them and resuming from the deepest journaled sweep.
+func RunGrid(ctx context.Context, spec *GridSpec, env *Env) (*GridResult, error) {
+	g := spec.buildGrid()
+	resumed := 0
+	opts := skel.JacobiOptions{
+		Workers:    env.workers(),
+		Iterations: spec.Iterations,
+		Tolerance:  spec.Tolerance,
+	}
+	if spec.CheckpointEvery > 0 && env != nil && env.Checkpoint != nil {
+		opts.CheckpointEvery = spec.CheckpointEvery
+		opts.Checkpoint = func(sweep int, snap *skel.Grid, delta float64) {
+			blob, err := json.Marshal(gridSnapshot{
+				Sweep: sweep, Rows: snap.Rows, Cols: snap.Cols,
+				Delta: delta, Data: encodeGridData(snap),
+			})
+			if err == nil {
+				env.Checkpoint(gridCkptKey, blob)
+			}
+		}
+	}
+	if env != nil && env.Resume != nil {
+		opts.Resume = func() (*skel.Grid, int, bool) {
+			blob, ok := env.Resume(gridCkptKey)
+			if !ok {
+				return nil, 0, false
+			}
+			var snap gridSnapshot
+			if err := json.Unmarshal(blob, &snap); err != nil {
+				return nil, 0, false
+			}
+			rg, ok := decodeGridData(snap.Data, snap.Rows, snap.Cols)
+			if !ok || snap.Rows != spec.Rows || snap.Cols != spec.Cols {
+				return nil, 0, false
+			}
+			resumed = snap.Sweep
+			return rg, snap.Sweep, true
+		}
+	}
+	out, sweeps, delta, err := skel.Jacobi(ctx, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	key := memo.Leaf("jobs.grid", gridBytes(out))
+	return &GridResult{
+		Rows:          spec.Rows,
+		Cols:          spec.Cols,
+		Sweeps:        sweeps,
+		Delta:         delta,
+		Converged:     spec.Tolerance > 0 && delta < spec.Tolerance,
+		Center:        out.At(spec.Rows/2, spec.Cols/2),
+		Checksum:      hex.EncodeToString(key[:8]),
+		ResumedSweeps: resumed,
+		Units:         int64(sweeps-resumed) * int64(spec.Rows-2) * int64(spec.Cols-2),
+	}, nil
+}
+
+func gridBytes(g *skel.Grid) []byte {
+	buf := make([]byte, 8*len(g.Data))
+	for i, v := range g.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	return buf
+}
+
+// DigestFields returns the canonical digest input for grid jobs: everything
+// that determines the relaxed field. CheckpointEvery is excluded — sweeps
+// are deterministic functions of the previous grid, so snapshot cadence
+// (and crash/resume history) never changes the result.
+func (s *GridSpec) DigestFields() [][]byte {
+	var nums [48]byte
+	binary.BigEndian.PutUint64(nums[0:], uint64(int64(s.Rows)))
+	binary.BigEndian.PutUint64(nums[8:], uint64(int64(s.Cols)))
+	binary.BigEndian.PutUint64(nums[16:], uint64(int64(s.Iterations)))
+	binary.BigEndian.PutUint64(nums[24:], math.Float64bits(s.Tolerance))
+	binary.BigEndian.PutUint64(nums[32:], math.Float64bits(s.Hot))
+	binary.BigEndian.PutUint64(nums[40:], math.Float64bits(s.Cold))
+	return [][]byte{nums[:], []byte(s.Boundary)}
+}

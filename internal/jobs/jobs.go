@@ -1,0 +1,70 @@
+// Package jobs holds the motif workload engines behind the serving layer's
+// search, grid, and sort job types — one real workload per remaining motif
+// of the paper: an or-parallel pattern search over a FASTA sequence
+// database (Search + ShortCircuit), a boundary-driven Jacobi stencil
+// relaxation (Grid), and a divide-and-conquer mergesort (DC/Sorting).
+//
+// The engines are deliberately independent of the HTTP layer: they take a
+// context, a validated spec, and an Env of host hooks (worker budget,
+// WAL-backed checkpoint/resume, decision journaling), and return a plain
+// result struct. motifd wires Env to its store and pool; tests wire it to
+// maps.
+//
+// The load-bearing semantics live in the search engine: with FirstOnly set
+// the or-parallel cut commits to whichever match wins, and that choice is
+// nondeterministic. The engine therefore journals the winning match as a
+// decision record at the instant the cut is made (skel.SearchOptions.
+// Terminate), and every later life of the job — crash replay on the same
+// WAL, a cluster retry on a different worker, a standby takeover — completes
+// from the journaled decision instead of re-exploring and possibly
+// committing to a different, equally valid, solution.
+package jobs
+
+// Env carries the host hooks an engine may use. The zero value is valid:
+// one worker, no durability, no decisions.
+type Env struct {
+	// Workers is the engine's parallelism budget; minimum 1.
+	Workers int
+	// Checkpoint, when non-nil, durably journals a resumable partial value
+	// under a stable key (WAL-backed in motifd). Re-journaling a key
+	// supersedes the previous value.
+	Checkpoint func(key string, data []byte)
+	// Resume, when non-nil, returns the journaled value for a key from a
+	// previous life of the same job.
+	Resume func(key string) ([]byte, bool)
+	// Decision, when non-nil, durably journals an irreversible mid-flight
+	// commitment (e.g. the shortcircuit winner). It must not return before
+	// the record is durable: the engine calls it before the early-stop
+	// signal fans out.
+	Decision func(reason string, data []byte)
+	// Decided, when non-nil, returns a decision journaled by a previous
+	// life of the same job; the engine honors it instead of re-running.
+	Decided func(reason string) ([]byte, bool)
+}
+
+func (e *Env) workers() int {
+	if e == nil || e.Workers < 1 {
+		return 1
+	}
+	return e.Workers
+}
+
+func (e *Env) checkpoint(key string, data []byte) {
+	if e != nil && e.Checkpoint != nil {
+		e.Checkpoint(key, data)
+	}
+}
+
+func (e *Env) resume(key string) ([]byte, bool) {
+	if e == nil || e.Resume == nil {
+		return nil, false
+	}
+	return e.Resume(key)
+}
+
+func (e *Env) decided(reason string) ([]byte, bool) {
+	if e == nil || e.Decided == nil {
+		return nil, false
+	}
+	return e.Decided(reason)
+}

@@ -1,0 +1,385 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mapEnv is a test Env whose hooks are backed by maps — a stand-in for the
+// WAL across simulated process lives.
+type mapEnv struct {
+	mu        sync.Mutex
+	ckpts     map[string][]byte
+	decisions map[string][]byte
+}
+
+func newMapEnv(workers int) (*Env, *mapEnv) {
+	m := &mapEnv{ckpts: map[string][]byte{}, decisions: map[string][]byte{}}
+	env := &Env{
+		Workers: workers,
+		Checkpoint: func(key string, data []byte) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			m.ckpts[key] = append([]byte(nil), data...)
+		},
+		Resume: func(key string) ([]byte, bool) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			v, ok := m.ckpts[key]
+			return v, ok
+		},
+		Decision: func(reason string, data []byte) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			m.decisions[reason] = append([]byte(nil), data...)
+		},
+		Decided: func(reason string) ([]byte, bool) {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			v, ok := m.decisions[reason]
+			return v, ok
+		},
+	}
+	return env, m
+}
+
+func validated(t *testing.T, spec *SearchSpec) *SearchSpec {
+	t.Helper()
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+const testFasta = `>a
+ACGUACGUAA
+>b
+UUACGUUUUU
+>c
+GGGGGGGGGG
+`
+
+func TestSearchExhaustiveFindsAllMatches(t *testing.T) {
+	spec := validated(t, &SearchSpec{Pattern: "ACGU", Fasta: testFasta})
+	res, err := RunSearch(context.Background(), spec, &Env{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a: ACGUACGUAA has ACGU at 0 and 4; b: UUACGUUUUU at 2; c: none.
+	if res.Total != 3 {
+		t.Fatalf("total = %d, want 3 (matches %+v)", res.Total, res.Matches)
+	}
+	want := []Match{
+		{Seq: "a", SeqIndex: 0, Pos: 0},
+		{Seq: "a", SeqIndex: 0, Pos: 4},
+		{Seq: "b", SeqIndex: 1, Pos: 2},
+	}
+	for i, w := range want {
+		g := res.Matches[i]
+		if g.Seq != w.Seq || g.SeqIndex != w.SeqIndex || g.Pos != w.Pos || g.Mismatches != 0 {
+			t.Fatalf("match[%d] = %+v, want %+v", i, g, w)
+		}
+	}
+	if res.Terminated {
+		t.Fatal("exhaustive search reported terminated")
+	}
+	if res.Units == 0 || res.Seqs != 3 || res.Bases != 30 {
+		t.Fatalf("stats: %+v", res)
+	}
+}
+
+func TestSearchExhaustiveDeterministicAcrossWorkers(t *testing.T) {
+	var prev *SearchResult
+	for _, workers := range []int{1, 2, 8} {
+		spec := validated(t, &SearchSpec{Pattern: "ACGN", Seqs: 6, SeqLen: 300, Seed: 11, MaxMismatches: 1})
+		res, err := RunSearch(context.Background(), spec, &Env{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if res.Total != prev.Total || len(res.Matches) != len(prev.Matches) {
+				t.Fatalf("workers=%d: total %d vs %d", workers, res.Total, prev.Total)
+			}
+			for i := range res.Matches {
+				if res.Matches[i] != prev.Matches[i] {
+					t.Fatalf("workers=%d: match[%d] %+v vs %+v", workers, i, res.Matches[i], prev.Matches[i])
+				}
+			}
+		}
+		prev = res
+	}
+}
+
+func TestSearchFirstOnlyJournalsDecision(t *testing.T) {
+	env, m := newMapEnv(4)
+	spec := validated(t, &SearchSpec{Pattern: "ACGU", Fasta: testFasta, FirstOnly: true})
+	res, err := RunSearch(context.Background(), spec, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminated || res.Reason != ReasonShortCircuit || res.Total != 1 || len(res.Matches) != 1 {
+		t.Fatalf("result: %+v", res)
+	}
+	data, ok := m.decisions[ReasonShortCircuit]
+	if !ok {
+		t.Fatal("no decision journaled")
+	}
+	var journaled Match
+	if err := json.Unmarshal(data, &journaled); err != nil {
+		t.Fatal(err)
+	}
+	if journaled != res.Matches[0] {
+		t.Fatalf("journaled %+v != returned %+v", journaled, res.Matches[0])
+	}
+
+	// A later life of the same job must complete from the decision without
+	// re-exploring — even if exploration would now find something else.
+	res2, err := RunSearch(context.Background(), spec, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.ResumedDecision || res2.Matches[0] != journaled || res2.Units != 0 {
+		t.Fatalf("resumed result: %+v", res2)
+	}
+}
+
+func TestSearchDecidedWinsOverExploration(t *testing.T) {
+	// Plant a decision that exploration would never produce: retry must
+	// honor the journal, not the database.
+	planted := Match{Seq: "ghost", SeqIndex: 99, Pos: 123, Mismatches: 0}
+	blob, _ := json.Marshal(planted)
+	env := &Env{Decided: func(reason string) ([]byte, bool) {
+		if reason == ReasonShortCircuit {
+			return blob, true
+		}
+		return nil, false
+	}}
+	spec := validated(t, &SearchSpec{Pattern: "ACGU", Fasta: testFasta, FirstOnly: true})
+	res, err := RunSearch(context.Background(), spec, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ResumedDecision || res.Matches[0] != planted {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	spec := validated(t, &SearchSpec{Pattern: "AAAAAAAAAA", Fasta: ">x\nCGCGCGCGCGCG\n", FirstOnly: true})
+	env, m := newMapEnv(2)
+	res, err := RunSearch(context.Background(), spec, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 0 || res.Terminated || len(m.decisions) != 0 {
+		t.Fatalf("result: %+v decisions: %v", res, m.decisions)
+	}
+}
+
+func TestSearchSpecValidate(t *testing.T) {
+	bad := []SearchSpec{
+		{},                              // no pattern
+		{Pattern: "ACGX"},               // bad base
+		{Pattern: "A", Seqs: -1},        // bad seqs
+		{Pattern: "A", SeqLen: 1 << 20}, // too long
+		{Pattern: "A", MaxMismatches: 99},
+		{Pattern: "A", SettleMillis: 99_999},
+		{Pattern: strings.Repeat("A", 65)},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("spec %d validated: %+v", i, bad[i])
+		}
+	}
+	ok := SearchSpec{Pattern: "acgt"}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Pattern != "ACGT" || ok.Seqs != 16 || ok.SeqLen != 512 || ok.MaxMatches != 64 {
+		t.Fatalf("defaults: %+v", ok)
+	}
+}
+
+func TestGridConvergesAndChecksumStable(t *testing.T) {
+	var prev *GridResult
+	for _, workers := range []int{1, 3} {
+		spec := &GridSpec{Rows: 20, Cols: 30, Iterations: 50_000, Tolerance: 1e-7}
+		if err := spec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunGrid(context.Background(), spec, &Env{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("did not converge: %+v", res)
+		}
+		if res.Center <= 0 || res.Center >= 100 {
+			t.Fatalf("center %v outside (0, 100)", res.Center)
+		}
+		if prev != nil && (res.Checksum != prev.Checksum || res.Sweeps != prev.Sweeps) {
+			t.Fatalf("workers changed result: %+v vs %+v", res, prev)
+		}
+		prev = res
+	}
+}
+
+func TestGridCheckpointResumeSameChecksum(t *testing.T) {
+	mk := func() *GridSpec {
+		spec := &GridSpec{Rows: 16, Cols: 16, Iterations: 100, CheckpointEvery: 10}
+		if err := spec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	cold, err := RunGrid(context.Background(), mk(), &Env{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First life: run 40 sweeps (checkpointing), as if killed after.
+	env, m := newMapEnv(2)
+	partial := mk()
+	partial.Iterations = 40
+	if _, err := RunGrid(context.Background(), partial, env); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.ckpts[gridCkptKey]; !ok {
+		t.Fatal("no snapshot journaled")
+	}
+	// Second life: full iteration budget resumes from the snapshot.
+	res, err := RunGrid(context.Background(), mk(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedSweeps != 40 {
+		t.Fatalf("resumed sweeps = %d, want 40", res.ResumedSweeps)
+	}
+	if res.Checksum != cold.Checksum || res.Sweeps != cold.Sweeps {
+		t.Fatalf("resumed run differs: %+v vs cold %+v", res, cold)
+	}
+	if res.Units >= cold.Units {
+		t.Fatalf("resume did not skip work: %d >= %d", res.Units, cold.Units)
+	}
+}
+
+func TestGridSpecValidate(t *testing.T) {
+	bad := []GridSpec{
+		{Rows: 2},
+		{Rows: 1024},
+		{Iterations: -1},
+		{Boundary: "spiral"},
+		{Tolerance: -1},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("spec %d validated: %+v", i, bad[i])
+		}
+	}
+	ok := GridSpec{}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ok.Rows != 48 || ok.Cols != 48 || ok.Hot != 100 || ok.Boundary != "topbottom" {
+		t.Fatalf("defaults: %+v", ok)
+	}
+}
+
+func TestSortDeterministicAndVerified(t *testing.T) {
+	var prev *SortResult
+	for _, workers := range []int{1, 4} {
+		spec := &SortSpec{N: 50_000, Seed: 5, Dist: "uniform"}
+		if err := spec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSort(context.Background(), spec, &Env{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Sorted || res.N != 50_000 {
+			t.Fatalf("result: %+v", res)
+		}
+		if prev != nil && res.Checksum != prev.Checksum {
+			t.Fatalf("checksum differs across workers")
+		}
+		prev = res
+	}
+}
+
+func TestSortCheckpointResume(t *testing.T) {
+	mk := func() *SortSpec {
+		spec := &SortSpec{N: 100_000, Seed: 9, Dist: "reverse", CheckpointDepth: 3}
+		if err := spec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return spec
+	}
+	cold, err := RunSort(context.Background(), mk(), &Env{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	env, m := newMapEnv(4)
+	if _, err := RunSort(context.Background(), mk(), env); err != nil {
+		t.Fatal(err)
+	}
+	// Depth bound holds: no path deeper than CheckpointDepth journaled.
+	for key := range m.ckpts {
+		path := strings.TrimPrefix(key, "p:")
+		if pathDepth(path) > 3 {
+			t.Fatalf("checkpoint beyond depth bound: %q", key)
+		}
+	}
+	if len(m.ckpts) == 0 {
+		t.Fatal("no checkpoints journaled")
+	}
+	// A second life resumes from the journaled subtrees: same output, less
+	// work.
+	res, err := RunSort(context.Background(), mk(), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumedPaths == 0 {
+		t.Fatal("no paths resumed")
+	}
+	if res.Checksum != cold.Checksum || !res.Sorted {
+		t.Fatalf("resumed differs: %+v vs %+v", res, cold)
+	}
+	if res.Units >= cold.Units {
+		t.Fatalf("resume did not skip work: %d >= %d", res.Units, cold.Units)
+	}
+}
+
+func TestSortDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "sorted", "reverse", "runs"} {
+		spec := &SortSpec{N: 10_000, Seed: 3, Dist: dist}
+		if err := spec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := RunSort(context.Background(), spec, &Env{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Sorted {
+			t.Fatalf("dist %s: not sorted", dist)
+		}
+	}
+}
+
+func TestSortSpecValidate(t *testing.T) {
+	bad := []SortSpec{
+		{N: -1},
+		{N: 1 << 22},
+		{Dist: "zipfian"},
+		{CheckpointDepth: 9},
+		{MergeCostMicros: 1 << 30},
+	}
+	for i := range bad {
+		if err := bad[i].Validate(); err == nil {
+			t.Fatalf("spec %d validated: %+v", i, bad[i])
+		}
+	}
+}

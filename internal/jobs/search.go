@@ -1,0 +1,399 @@
+package jobs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/bio"
+	"repro/internal/skel"
+)
+
+// ReasonShortCircuit is the decision reason journaled when a FirstOnly
+// search commits to its winning match — the or-parallel cut made durable.
+const ReasonShortCircuit = "shortcircuit"
+
+// Search engine bounds.
+const (
+	maxSearchSeqs       = 512
+	maxSearchSeqLen     = 1 << 16
+	maxSearchPattern    = 64
+	maxSearchMismatches = 8
+	maxSearchMatches    = 1024
+	maxSearchSettleMS   = 10_000
+	maxSearchCostMicros = 100_000
+	searchBlock         = 32 // positions per leaf block of the or-tree
+)
+
+// SearchSpec describes an or-parallel pattern search across a FASTA
+// sequence database — the serving form of the paper's five-motif search
+// composition: motifd's Server admits the job, the Scheduler (pool) places
+// it, the or-parallel Search skeleton fans the match space out, Rand-style
+// dynamic farming balances the subtrees, and with FirstOnly the
+// ShortCircuit transformation cuts the remaining workers the moment one
+// finds a match (compare motifs.TerminatingRandom, the same composition on
+// the simulated machine).
+type SearchSpec struct {
+	// Pattern is the query over the RNA alphabet plus N as a wildcard
+	// (DNA input is accepted: T matches U). Required, 1..64 bases.
+	Pattern string `json:"pattern"`
+	// Fasta, when non-empty, is the inline FASTA database to search.
+	Fasta string `json:"fasta,omitempty"`
+	// Seqs and SeqLen size the synthetic database generated when Fasta is
+	// empty (defaults 16 sequences of 512 bases), derived from Seed.
+	Seqs   int   `json:"seqs,omitempty"`
+	SeqLen int   `json:"seq_len,omitempty"`
+	Seed   int64 `json:"seed,omitempty"`
+	// MaxMismatches allows Hamming-distance slack per window (0..8).
+	MaxMismatches int `json:"max_mismatches,omitempty"`
+	// FirstOnly stops at the first match found (or-parallel cut). Which
+	// match wins is unspecified — the engine journals the winner as a
+	// shortcircuit decision so every retry/replay returns the same one.
+	FirstOnly bool `json:"first_only,omitempty"`
+	// MaxMatches caps the matches reported in the result (default 64); the
+	// total found is always reported exactly.
+	MaxMatches int `json:"max_matches,omitempty"`
+	// NodeCostMicros sleeps this long at every examined candidate position
+	// (max 100ms) — makes exploration time controllable so crash tests can
+	// land a SIGKILL mid-search.
+	NodeCostMicros int64 `json:"node_cost_us,omitempty"`
+	// SettleMillis holds the job between the shortcircuit decision and
+	// completion (max 10s), modeling the or-parallel termination
+	// detection's settle phase. Recovery tests use it to open a window
+	// where the decision is journaled but the job is not yet done.
+	SettleMillis int64 `json:"settle_ms,omitempty"`
+}
+
+// Validate normalizes the spec in place and rejects malformed fields.
+func (s *SearchSpec) Validate() error {
+	s.Pattern = strings.ToUpper(strings.TrimSpace(s.Pattern))
+	if s.Pattern == "" {
+		return fmt.Errorf("search job needs a pattern")
+	}
+	if len(s.Pattern) > maxSearchPattern {
+		return fmt.Errorf("search pattern too long (%d bases, max %d)", len(s.Pattern), maxSearchPattern)
+	}
+	for i := 0; i < len(s.Pattern); i++ {
+		switch s.Pattern[i] {
+		case 'A', 'C', 'G', 'U', 'T', 'N':
+		default:
+			return fmt.Errorf("search pattern has non-ACGUTN base %q at %d", s.Pattern[i], i)
+		}
+	}
+	if len(s.Fasta) > 1<<24 {
+		return fmt.Errorf("search fasta too large (%d bytes)", len(s.Fasta))
+	}
+	if s.Fasta == "" {
+		if s.Seqs == 0 {
+			s.Seqs = 16
+		}
+		if s.SeqLen == 0 {
+			s.SeqLen = 512
+		}
+		if s.Seqs < 1 || s.Seqs > maxSearchSeqs {
+			return fmt.Errorf("search seqs out of range: %d", s.Seqs)
+		}
+		if s.SeqLen < 1 || s.SeqLen > maxSearchSeqLen {
+			return fmt.Errorf("search seq_len out of range: %d", s.SeqLen)
+		}
+	}
+	if s.MaxMismatches < 0 || s.MaxMismatches > maxSearchMismatches {
+		return fmt.Errorf("search max_mismatches out of range: %d", s.MaxMismatches)
+	}
+	if s.MaxMatches == 0 {
+		s.MaxMatches = 64
+	}
+	if s.MaxMatches < 1 || s.MaxMatches > maxSearchMatches {
+		return fmt.Errorf("search max_matches out of range: %d", s.MaxMatches)
+	}
+	if s.NodeCostMicros < 0 || s.NodeCostMicros > maxSearchCostMicros {
+		return fmt.Errorf("search node_cost_us out of range: %d", s.NodeCostMicros)
+	}
+	if s.SettleMillis < 0 || s.SettleMillis > maxSearchSettleMS {
+		return fmt.Errorf("search settle_ms out of range: %d", s.SettleMillis)
+	}
+	return nil
+}
+
+// Match is one pattern occurrence.
+type Match struct {
+	// Seq is the FASTA record name; SeqIndex its position in the database.
+	Seq      string `json:"seq"`
+	SeqIndex int    `json:"seq_index"`
+	// Pos is the 0-based window start within the sequence.
+	Pos        int `json:"pos"`
+	Mismatches int `json:"mismatches"`
+}
+
+// SearchResult is the outcome of a search job.
+type SearchResult struct {
+	// Matches holds up to MaxMatches occurrences — sorted by (seq_index,
+	// pos) in exhaustive mode, the single winner in FirstOnly mode.
+	Matches []Match `json:"matches,omitempty"`
+	// Total is the exact number of occurrences found (1 when a FirstOnly
+	// search terminated early, regardless of how many exist).
+	Total int `json:"total"`
+	// Seqs and Bases describe the database searched.
+	Seqs  int `json:"seqs"`
+	Bases int `json:"bases"`
+	// Units is the number of candidate states the or-tree examined.
+	Units int64 `json:"units"`
+	// Terminated marks an early stop; Reason is "shortcircuit".
+	Terminated bool   `json:"terminated,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+	// ResumedDecision marks a result completed from a journaled decision
+	// record (after a crash, retry, or takeover) without re-exploring.
+	ResumedDecision bool `json:"resumed_decision,omitempty"`
+}
+
+// searchState is a node of the or-tree over the match space: a range of
+// candidate start positions [Lo, Hi) within one database sequence. The
+// root fans out to one subtree per sequence; ranges split until a leaf
+// block, whose children are single candidate positions (Hi == Lo+1).
+type searchState struct {
+	SeqIndex int
+	Lo, Hi   int
+}
+
+type patternProblem struct {
+	pattern []byte // normalized to RNA, N = wildcard
+	db      []bio.Seq
+	names   []string
+	maxMM   int
+	cost    time.Duration
+}
+
+func (p *patternProblem) Expand(s searchState) []searchState {
+	switch {
+	case s.SeqIndex < 0: // root: one or-branch per database sequence
+		out := make([]searchState, 0, len(p.db))
+		for i, sq := range p.db {
+			if n := len(sq) - len(p.pattern) + 1; n > 0 {
+				out = append(out, searchState{SeqIndex: i, Lo: 0, Hi: n})
+			}
+		}
+		return out
+	case s.Hi-s.Lo > searchBlock: // split the range
+		mid := (s.Lo + s.Hi) / 2
+		return []searchState{{s.SeqIndex, s.Lo, mid}, {s.SeqIndex, mid, s.Hi}}
+	case s.Hi-s.Lo > 1: // leaf block: fan out to candidate positions
+		out := make([]searchState, 0, s.Hi-s.Lo)
+		for pos := s.Lo; pos < s.Hi; pos++ {
+			out = append(out, searchState{s.SeqIndex, pos, pos + 1})
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+func (p *patternProblem) IsGoal(s searchState) bool {
+	if s.SeqIndex < 0 || s.Hi-s.Lo != 1 {
+		return false
+	}
+	if p.cost > 0 {
+		time.Sleep(p.cost)
+	}
+	_, ok := p.matchAt(s)
+	return ok
+}
+
+// matchAt tests the window at a candidate position state.
+func (p *patternProblem) matchAt(s searchState) (Match, bool) {
+	seq := p.db[s.SeqIndex]
+	mm := 0
+	for i, pb := range p.pattern {
+		if pb == 'N' {
+			continue
+		}
+		if seq[s.Lo+i] != pb {
+			mm++
+			if mm > p.maxMM {
+				return Match{}, false
+			}
+		}
+	}
+	return Match{Seq: p.names[s.SeqIndex], SeqIndex: s.SeqIndex, Pos: s.Lo, Mismatches: mm}, true
+}
+
+// database materializes the sequence set: the inline FASTA when given,
+// otherwise a deterministic synthetic database derived from the seed —
+// mutated copies of a common ancestor, so patterns lifted from one
+// sequence recur approximately in the others.
+func (s *SearchSpec) database() ([]bio.Seq, []string, error) {
+	if s.Fasta != "" {
+		sc := bio.ScanFASTA(strings.NewReader(s.Fasta))
+		var seqs []bio.Seq
+		var names []string
+		for sc.Scan() {
+			rec := sc.Record()
+			sq, err := bio.NormalizeSeq(rec.Raw)
+			if err != nil {
+				return nil, nil, fmt.Errorf("search fasta record %q: %w", rec.Name, err)
+			}
+			seqs = append(seqs, sq)
+			names = append(names, rec.Name)
+			if len(seqs) > maxSearchSeqs {
+				return nil, nil, fmt.Errorf("search fasta has more than %d records", maxSearchSeqs)
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return nil, nil, err
+		}
+		if len(seqs) == 0 {
+			return nil, nil, fmt.Errorf("search fasta has no records")
+		}
+		return seqs, names, nil
+	}
+	if s.Seqs == 1 {
+		// bio.Evolve needs ≥2 sequences; a single-sequence database is just
+		// the ancestor.
+		fam, err := bio.Evolve(2, s.SeqLen, 0.02, 0.0, s.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return []bio.Seq{fam.Ancestor}, []string{"org1"}, nil
+	}
+	fam, err := bio.Evolve(s.Seqs, s.SeqLen, 0.02, 0.01, s.Seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	return fam.Seqs, fam.Names, nil
+}
+
+// normalizePattern transcribes the validated pattern to the RNA alphabet.
+func (s *SearchSpec) normalizePattern() []byte {
+	pat := []byte(s.Pattern)
+	for i, b := range pat {
+		if b == 'T' {
+			pat[i] = 'U'
+		}
+	}
+	return pat
+}
+
+// SearchResultFromDecision reconstructs the terminal result a decided
+// FirstOnly search must report, from the journaled decision record alone.
+// The cluster coordinator uses it to complete a terminated search whose
+// worker died — the retry is a no-op because the decision already binds
+// the answer.
+func SearchResultFromDecision(reason string, data []byte) (*SearchResult, error) {
+	var m Match
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("corrupt %s decision: %w", reason, err)
+	}
+	return &SearchResult{
+		Matches:         []Match{m},
+		Total:           1,
+		Terminated:      true,
+		Reason:          reason,
+		ResumedDecision: true,
+	}, nil
+}
+
+// RunSearch executes the search workload. If a shortcircuit decision was
+// journaled by a previous life of this job, it completes from the decision
+// without touching the database — the early termination already happened
+// and must not be re-decided.
+func RunSearch(ctx context.Context, spec *SearchSpec, env *Env) (*SearchResult, error) {
+	if data, ok := env.decided(ReasonShortCircuit); ok {
+		return SearchResultFromDecision(ReasonShortCircuit, data)
+	}
+
+	db, names, err := spec.database()
+	if err != nil {
+		return nil, err
+	}
+	bases := 0
+	for _, sq := range db {
+		bases += len(sq)
+	}
+	problem := &patternProblem{
+		pattern: spec.normalizePattern(),
+		db:      db,
+		names:   names,
+		maxMM:   spec.MaxMismatches,
+		cost:    time.Duration(spec.NodeCostMicros) * time.Microsecond,
+	}
+
+	opts := skel.SearchOptions{Workers: env.workers(), FirstOnly: spec.FirstOnly}
+	if spec.FirstOnly && env != nil && env.Decision != nil {
+		opts.Terminate = func(sol any) {
+			st := sol.(searchState)
+			m, _ := problem.matchAt(st)
+			if data, err := json.Marshal(m); err == nil {
+				env.Decision(ReasonShortCircuit, data)
+			}
+		}
+	}
+	root := searchState{SeqIndex: -1}
+	sols, stats, err := skel.Search[searchState](ctx, problem, root, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SearchResult{
+		Total: len(sols),
+		Seqs:  len(db),
+		Bases: bases,
+		Units: stats.TotalUnits(),
+	}
+	matches := make([]Match, 0, len(sols))
+	for _, st := range sols {
+		if m, ok := problem.matchAt(st); ok {
+			matches = append(matches, m)
+		}
+	}
+	if spec.FirstOnly {
+		if len(matches) > 0 {
+			res.Matches = matches[:1]
+			res.Total = 1
+			res.Terminated = true
+			res.Reason = ReasonShortCircuit
+			// Termination-detection settle: the decision is durable but the
+			// job stays running for a beat, giving crash tests a stable
+			// window between "decided" and "done".
+			if spec.SettleMillis > 0 {
+				t := time.NewTimer(time.Duration(spec.SettleMillis) * time.Millisecond)
+				defer t.Stop()
+				select {
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				case <-t.C:
+				}
+			}
+		}
+		return res, nil
+	}
+	// Exhaustive mode: canonical order, so equal specs yield equal results
+	// regardless of worker interleaving (what makes them memoizable).
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].SeqIndex != matches[j].SeqIndex {
+			return matches[i].SeqIndex < matches[j].SeqIndex
+		}
+		return matches[i].Pos < matches[j].Pos
+	})
+	if len(matches) > spec.MaxMatches {
+		matches = matches[:spec.MaxMatches]
+	}
+	res.Matches = matches
+	return res, nil
+}
+
+// DigestFields returns the canonical digest input for exhaustive
+// (deterministic) searches; see ContentKey in internal/serve for the
+// FirstOnly exclusion rationale. Timing-only knobs (node_cost_us,
+// settle_ms) are excluded: they shape the run, not the result.
+func (s *SearchSpec) DigestFields() [][]byte {
+	var nums [40]byte
+	binary.BigEndian.PutUint64(nums[0:], uint64(int64(s.Seqs)))
+	binary.BigEndian.PutUint64(nums[8:], uint64(int64(s.SeqLen)))
+	binary.BigEndian.PutUint64(nums[16:], uint64(s.Seed))
+	binary.BigEndian.PutUint64(nums[24:], uint64(int64(s.MaxMismatches)))
+	binary.BigEndian.PutUint64(nums[32:], uint64(int64(s.MaxMatches)))
+	return [][]byte{[]byte(s.Pattern), []byte(s.Fasta), nums[:]}
+}

@@ -1,0 +1,260 @@
+package jobs
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/memo"
+	"repro/internal/skel"
+)
+
+// Sort engine bounds.
+const (
+	maxSortN          = 1 << 21
+	maxSortCkptDepth  = 6
+	maxSortCostMicros = 100_000
+	sortBaseSpan      = 4096
+)
+
+// SortSpec describes a divide-and-conquer mergesort over a deterministic
+// synthetic key set — the DC/sorting motif as a served workload. The
+// division is the midpoint split, so the path tree ("", "0", "1", "0.1",
+// ...) is stable across runs and checkpointed subtree results from a
+// previous life resume exactly.
+type SortSpec struct {
+	// N is the key count (default 65536, max 1<<21).
+	N int `json:"n,omitempty"`
+	// Seed derives the key set.
+	Seed int64 `json:"seed,omitempty"`
+	// Dist selects the input distribution: "uniform" (default), "sorted",
+	// "reverse", or "runs" (concatenated sorted runs).
+	Dist string `json:"dist,omitempty"`
+	// CheckpointDepth journals merged subtree results for division paths of
+	// depth ≤ this (0 = no checkpoints; max 6). Timing-only: the sorted
+	// output is identical with or without checkpoints.
+	CheckpointDepth int `json:"checkpoint_depth,omitempty"`
+	// MergeCostMicros sleeps this long in every combine (max 100ms) — the
+	// crash-window knob for recovery tests.
+	MergeCostMicros int64 `json:"merge_cost_us,omitempty"`
+}
+
+// Validate normalizes the spec in place and rejects malformed fields.
+func (s *SortSpec) Validate() error {
+	if s.N == 0 {
+		s.N = 1 << 16
+	}
+	if s.N < 1 || s.N > maxSortN {
+		return fmt.Errorf("sort n out of range: %d", s.N)
+	}
+	switch s.Dist {
+	case "":
+		s.Dist = "uniform"
+	case "uniform", "sorted", "reverse", "runs":
+	default:
+		return fmt.Errorf("unknown sort dist %q (want uniform, sorted, reverse, or runs)", s.Dist)
+	}
+	if s.CheckpointDepth < 0 || s.CheckpointDepth > maxSortCkptDepth {
+		return fmt.Errorf("sort checkpoint_depth out of range: %d", s.CheckpointDepth)
+	}
+	if s.MergeCostMicros < 0 || s.MergeCostMicros > maxSortCostMicros {
+		return fmt.Errorf("sort merge_cost_us out of range: %d", s.MergeCostMicros)
+	}
+	return nil
+}
+
+// SortResult is the outcome of a sort job.
+type SortResult struct {
+	N int `json:"n"`
+	// Checksum digests the sorted key sequence — the determinism witness.
+	Checksum string `json:"checksum"`
+	// Sorted is the engine's own verification pass over the output.
+	Sorted bool `json:"sorted"`
+	// Units counts elements written by merge steps this run performed.
+	Units int64 `json:"units"`
+	// ResumedPaths counts subtree results restored from journaled
+	// checkpoints instead of re-merged; a cold run reports 0.
+	ResumedPaths int64 `json:"resumed_paths,omitempty"`
+}
+
+// keys materializes the deterministic input.
+func (s *SortSpec) keys() []uint64 {
+	rng := rand.New(rand.NewSource(s.Seed))
+	xs := make([]uint64, s.N)
+	switch s.Dist {
+	case "sorted":
+		v := uint64(0)
+		for i := range xs {
+			v += uint64(rng.Intn(8))
+			xs[i] = v
+		}
+	case "reverse":
+		v := uint64(s.N) * 8
+		for i := range xs {
+			v -= uint64(rng.Intn(8))
+			xs[i] = v
+		}
+	case "runs":
+		run := s.N / 16
+		if run < 1 {
+			run = 1
+		}
+		for i := 0; i < len(xs); i += run {
+			v := uint64(rng.Uint32())
+			for j := i; j < i+run && j < len(xs); j++ {
+				v += uint64(rng.Intn(16))
+				xs[j] = v
+			}
+		}
+	default: // uniform
+		for i := range xs {
+			xs[i] = rng.Uint64()
+		}
+	}
+	return xs
+}
+
+func encodeKeys(xs []uint64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, v := range xs {
+		binary.LittleEndian.PutUint64(buf[i*8:], v)
+	}
+	return buf
+}
+
+func decodeKeys(buf []byte) ([]uint64, bool) {
+	if len(buf)%8 != 0 {
+		return nil, false
+	}
+	xs := make([]uint64, len(buf)/8)
+	for i := range xs {
+		xs[i] = binary.LittleEndian.Uint64(buf[i*8:])
+	}
+	return xs, true
+}
+
+// pathDepth is the division-path depth: 0 for the root, 1 for "0"/"1", ...
+func pathDepth(path string) int {
+	if path == "" {
+		return 0
+	}
+	return strings.Count(path, ".") + 1
+}
+
+// RunSort executes the mergesort workload through skel.DivideConquer,
+// journaling shallow subtree results as checkpoints and resuming them on a
+// restarted run.
+func RunSort(ctx context.Context, spec *SortSpec, env *Env) (*SortResult, error) {
+	xs := spec.keys()
+	var units, resumed atomic.Int64
+	cost := time.Duration(spec.MergeCostMicros) * time.Microsecond
+
+	type span struct{ lo, hi int }
+	opts := skel.DCOptions{Parallel: env.workers(), Depth: 6}
+	if spec.CheckpointDepth > 0 && env != nil && env.Checkpoint != nil {
+		depth := spec.CheckpointDepth
+		opts.Checkpoint = func(path string, v any) {
+			if pathDepth(path) > depth {
+				return
+			}
+			if keys, ok := v.([]uint64); ok {
+				env.Checkpoint("p:"+path, []byte(base64.StdEncoding.EncodeToString(encodeKeys(keys))))
+			}
+		}
+	}
+	if env != nil && env.Resume != nil {
+		opts.Resume = func(path string) (any, bool) {
+			blob, ok := env.Resume("p:" + path)
+			if !ok {
+				return nil, false
+			}
+			raw, err := base64.StdEncoding.DecodeString(string(blob))
+			if err != nil {
+				return nil, false
+			}
+			keys, ok := decodeKeys(raw)
+			if !ok {
+				return nil, false
+			}
+			resumed.Add(1)
+			return keys, true
+		}
+	}
+
+	out, err := skel.DivideConquer(
+		ctx,
+		span{0, len(xs)},
+		func(s span) bool { return s.hi-s.lo <= sortBaseSpan },
+		func(s span) []uint64 {
+			res := make([]uint64, s.hi-s.lo)
+			copy(res, xs[s.lo:s.hi])
+			sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+			units.Add(int64(len(res)))
+			return res
+		},
+		func(s span) []span {
+			mid := (s.lo + s.hi) / 2
+			return []span{{s.lo, mid}, {mid, s.hi}}
+		},
+		func(_ span, parts [][]uint64) []uint64 {
+			if cost > 0 {
+				time.Sleep(cost)
+			}
+			merged := mergeKeys(parts[0], parts[1])
+			units.Add(int64(len(merged)))
+			return merged
+		},
+		opts,
+	)
+	if err != nil {
+		return nil, err
+	}
+	sorted := true
+	for i := 1; i < len(out); i++ {
+		if out[i-1] > out[i] {
+			sorted = false
+			break
+		}
+	}
+	key := memo.Leaf("jobs.sort", encodeKeys(out))
+	return &SortResult{
+		N:            len(out),
+		Checksum:     hex.EncodeToString(key[:8]),
+		Sorted:       sorted,
+		Units:        units.Load(),
+		ResumedPaths: resumed.Load(),
+	}, nil
+}
+
+func mergeKeys(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j] < a[i] {
+			out = append(out, b[j])
+			j++
+		} else {
+			out = append(out, a[i])
+			i++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// DigestFields returns the canonical digest input for sort jobs: the
+// sorted output is a pure function of (n, seed, dist); checkpoint cadence
+// and merge cost shape timing only.
+func (s *SortSpec) DigestFields() [][]byte {
+	var nums [16]byte
+	binary.BigEndian.PutUint64(nums[0:], uint64(int64(s.N)))
+	binary.BigEndian.PutUint64(nums[8:], uint64(s.Seed))
+	return [][]byte{nums[:], []byte(s.Dist)}
+}

@@ -15,6 +15,15 @@
 // stable across processes and runs — a requirement for the cluster layer,
 // where placement labels derived from digests must agree between
 // coordinator restarts and across worker lifetimes.
+//
+// Only deterministic computations may be content-addressed: a key must
+// name one value. That is why a FirstOnly (shortcircuit) search is never
+// given a memo key — its winner is a race outcome among equally valid
+// matches, and caching one run's winner would silently promote it to "the"
+// answer for every later submission of the same spec. The exhaustive
+// search, converged grids, and sorts are all spec-determined and cache
+// normally; the exclusion lives next to the other per-type digest
+// decisions in the serving layer's ContentKey (internal/serve/memo.go).
 package memo
 
 import (

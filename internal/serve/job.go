@@ -14,12 +14,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/bio"
+	"repro/internal/jobs"
 	"repro/internal/memo"
 	"repro/internal/parser"
 	"repro/internal/pipeline"
@@ -46,6 +48,18 @@ const (
 	// (internal/pipeline), with records streamed to the client as NDJSON via
 	// GET /v1/jobs/{id}/stream while later stages are still executing.
 	JobPipeline JobType = "pipeline"
+	// JobSearch runs an or-parallel pattern search over a FASTA sequence
+	// database (internal/jobs). With first_only set the search short-circuits
+	// at its first match and journals the winner as a WAL decision record, so
+	// crash replay, cluster retry, and standby takeover all return the same
+	// solution instead of re-exploring.
+	JobSearch JobType = "search"
+	// JobGrid runs a boundary-driven Jacobi stencil relaxation to tolerance
+	// or an iteration bound, with rolling WAL snapshots for crash resume.
+	JobGrid JobType = "grid"
+	// JobSort runs a divide-and-conquer mergesort over a deterministic key
+	// set, journaling shallow subtree results for crash resume.
+	JobSort JobType = "sort"
 )
 
 // JobRequest is the JSON body of POST /v1/jobs. Exactly one of the spec
@@ -80,10 +94,13 @@ type JobRequest struct {
 	// work (never running work). Also accepted as X-Motif-Class.
 	Class string `json:"class,omitempty"`
 
-	Align    *bio.AlignJob  `json:"align,omitempty"`
-	Tree     *TreeSpec      `json:"tree,omitempty"`
-	Strand   *StrandSpec    `json:"strand,omitempty"`
-	Pipeline *pipeline.Spec `json:"pipeline,omitempty"`
+	Align    *bio.AlignJob    `json:"align,omitempty"`
+	Tree     *TreeSpec        `json:"tree,omitempty"`
+	Strand   *StrandSpec      `json:"strand,omitempty"`
+	Pipeline *pipeline.Spec   `json:"pipeline,omitempty"`
+	Search   *jobs.SearchSpec `json:"search,omitempty"`
+	Grid     *jobs.GridSpec   `json:"grid,omitempty"`
+	Sort     *jobs.SortSpec   `json:"sort,omitempty"`
 }
 
 // TreeSpec describes a generic tree-reduction job over a random arithmetic
@@ -180,7 +197,14 @@ type Job struct {
 	tree      *TreeResult
 	strand    *StrandResult
 	pipe      *pipeline.Result
-	err       error
+	search    *jobs.SearchResult
+	grid      *jobs.GridResult
+	sortRes   *jobs.SortResult
+	// decision is the mid-flight commitment this job journaled (e.g. the
+	// shortcircuit winner), surfaced on the status while the job is still
+	// running so the cluster coordinator can harvest it before a worker dies.
+	decision *DecisionNote
+	err      error
 
 	// stream carries a pipeline job's records to GET /v1/jobs/{id}/stream
 	// readers as they are produced; nil for non-pipeline jobs.
@@ -214,6 +238,21 @@ type JobStatus struct {
 	Tree     *TreeResult         `json:"tree,omitempty"`
 	Strand   *StrandResult       `json:"strand,omitempty"`
 	Pipeline *pipeline.Result    `json:"pipeline,omitempty"`
+	Search   *jobs.SearchResult  `json:"search,omitempty"`
+	Grid     *jobs.GridResult    `json:"grid,omitempty"`
+	Sort     *jobs.SortResult    `json:"sort,omitempty"`
+
+	// Decision is the job's journaled mid-flight commitment, if any. It is
+	// visible while the job is still running — that is the point: a poller
+	// (the cluster coordinator) can make the commitment durable on its side
+	// before this worker finishes or dies, and a retry then honors it.
+	Decision *DecisionNote `json:"decision,omitempty"`
+}
+
+// DecisionNote is the status view of a journaled decision record.
+type DecisionNote struct {
+	Reason string          `json:"reason"`
+	Data   json.RawMessage `json:"data,omitempty"`
 }
 
 // Status snapshots the job.
@@ -232,6 +271,10 @@ func (j *Job) Status() JobStatus {
 		Tree:      j.tree,
 		Strand:    j.strand,
 		Pipeline:  j.pipe,
+		Search:    j.search,
+		Grid:      j.grid,
+		Sort:      j.sortRes,
+		Decision:  j.decision,
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -278,11 +321,22 @@ func (r *JobRequest) validate() error {
 	if _, err := qos.ParseClass(r.Class); err != nil {
 		return err
 	}
+	// A request may only carry the spec matching its type.
+	for _, sp := range []struct {
+		t  JobType
+		ok bool
+	}{
+		{JobAlign, r.Align != nil}, {JobTree, r.Tree != nil},
+		{JobStrand, r.Strand != nil}, {JobPipeline, r.Pipeline != nil},
+		{JobSearch, r.Search != nil}, {JobGrid, r.Grid != nil},
+		{JobSort, r.Sort != nil},
+	} {
+		if sp.ok && sp.t != r.Type {
+			return fmt.Errorf("%s job with non-%s spec", r.Type, r.Type)
+		}
+	}
 	switch r.Type {
 	case JobAlign:
-		if r.Tree != nil || r.Strand != nil || r.Pipeline != nil {
-			return fmt.Errorf("align job with non-align spec")
-		}
 		if r.Align == nil {
 			r.Align = &bio.AlignJob{}
 		}
@@ -290,9 +344,6 @@ func (r *JobRequest) validate() error {
 			return err
 		}
 	case JobTree:
-		if r.Align != nil || r.Strand != nil || r.Pipeline != nil {
-			return fmt.Errorf("tree job with non-tree spec")
-		}
 		if r.Tree == nil {
 			r.Tree = &TreeSpec{}
 		}
@@ -309,9 +360,6 @@ func (r *JobRequest) validate() error {
 			return fmt.Errorf("tree job node_cost_us out of range: %d", r.Tree.NodeCostMicros)
 		}
 	case JobStrand:
-		if r.Align != nil || r.Tree != nil || r.Pipeline != nil {
-			return fmt.Errorf("strand job with non-strand spec")
-		}
 		if r.Strand == nil || strings.TrimSpace(r.Strand.Source) == "" {
 			return fmt.Errorf("strand job needs source")
 		}
@@ -331,17 +379,35 @@ func (r *JobRequest) validate() error {
 			r.Strand.Goal = "main"
 		}
 	case JobPipeline:
-		if r.Align != nil || r.Tree != nil || r.Strand != nil {
-			return fmt.Errorf("pipeline job with non-pipeline spec")
-		}
 		if r.Pipeline == nil {
 			return fmt.Errorf("pipeline job needs a pipeline spec")
 		}
 		if err := r.Pipeline.Validate(); err != nil {
 			return err
 		}
+	case JobSearch:
+		if r.Search == nil {
+			return fmt.Errorf("search job needs a search spec")
+		}
+		if err := r.Search.Validate(); err != nil {
+			return err
+		}
+	case JobGrid:
+		if r.Grid == nil {
+			r.Grid = &jobs.GridSpec{}
+		}
+		if err := r.Grid.Validate(); err != nil {
+			return err
+		}
+	case JobSort:
+		if r.Sort == nil {
+			r.Sort = &jobs.SortSpec{}
+		}
+		if err := r.Sort.Validate(); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown job type %q (want align, tree, strand, or pipeline)", r.Type)
+		return fmt.Errorf("unknown job type %q (want align, tree, strand, pipeline, search, grid, or sort)", r.Type)
 	}
 	return nil
 }
@@ -370,8 +436,9 @@ func treeShape(s string) (workload.TreeShape, error) {
 // options; it is called on a pool worker. A non-nil cache memoizes
 // subtree values inside align and tree reductions, so warm runs skip
 // already-computed subtrees even across different jobs. penv is the host
-// environment for pipeline jobs (nil otherwise).
-func (j *Job) execute(opts skel.ReduceOptions, cache *memo.Cache, penv *pipeline.Env) (err error) {
+// environment for pipeline jobs, menv the hook environment for the motif
+// job types (nil otherwise).
+func (j *Job) execute(opts skel.ReduceOptions, cache *memo.Cache, penv *pipeline.Env, menv *jobs.Env) (err error) {
 	defer func() {
 		// A panic in an eval function (e.g. on a corrupt intermediate
 		// alignment) must fail the job, not the daemon.
@@ -438,9 +505,44 @@ func (j *Job) execute(opts skel.ReduceOptions, cache *memo.Cache, penv *pipeline
 		j.pipe = res
 		j.mu.Unlock()
 		return nil
+	case JobSearch:
+		res, err := jobs.RunSearch(j.ctx, j.req.Search, menv)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.search = res
+		j.mu.Unlock()
+		return nil
+	case JobGrid:
+		res, err := jobs.RunGrid(j.ctx, j.req.Grid, menv)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.grid = res
+		j.mu.Unlock()
+		return nil
+	case JobSort:
+		res, err := jobs.RunSort(j.ctx, j.req.Sort, menv)
+		if err != nil {
+			return err
+		}
+		j.mu.Lock()
+		j.sortRes = res
+		j.mu.Unlock()
+		return nil
 	default:
 		return fmt.Errorf("unknown job type %q", j.req.Type)
 	}
+}
+
+// noteDecision publishes a journaled decision on the job's status. Called
+// from the store-decision hook, after the record is durable.
+func (j *Job) noteDecision(reason string, data []byte) {
+	j.mu.Lock()
+	j.decision = &DecisionNote{Reason: reason, Data: append(json.RawMessage(nil), data...)}
+	j.mu.Unlock()
 }
 
 // intLeafDigest digests one arithmetic-tree leaf value.

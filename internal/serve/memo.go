@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/bio"
+	"repro/internal/jobs"
 	"repro/internal/memo"
 )
 
@@ -51,6 +52,27 @@ func ContentKey(req *JobRequest) (memo.Key, bool) {
 		// identical upstream work across jobs, including partial overlaps the
 		// whole-job digest could never express.
 		return memo.Key{}, false
+	case JobSearch:
+		if req.Search.FirstOnly {
+			// Deliberately uncacheable: which match a FirstOnly search commits
+			// to is unspecified (the or-parallel cut races), so two equal
+			// submissions may legitimately hold different answers. Serving one
+			// job's winner as another's would silently promote a race outcome
+			// into a cross-job contract. Per-job determinism is provided by
+			// the WAL decision record instead, which binds exactly one job's
+			// lives together.
+			return memo.Key{}, false
+		}
+		// Exhaustive searches report every occurrence in canonical
+		// (seq_index, pos) order, so equal specs produce equal results.
+		return memo.Sum("serve.job", append([][]byte{[]byte(req.Type)}, req.Search.DigestFields()...)...), true
+	case JobGrid:
+		// Each Jacobi sweep is a pure function of the previous grid, so the
+		// relaxed field is bitwise identical for any worker count or
+		// crash/resume history.
+		return memo.Sum("serve.job", append([][]byte{[]byte(req.Type)}, req.Grid.DigestFields()...)...), true
+	case JobSort:
+		return memo.Sum("serve.job", append([][]byte{[]byte(req.Type)}, req.Sort.DigestFields()...)...), true
 	default:
 		return memo.Key{}, false
 	}
@@ -62,15 +84,20 @@ type cachedResult struct {
 	Align  *bio.AlignJobResult `json:"align,omitempty"`
 	Tree   *TreeResult         `json:"tree,omitempty"`
 	Strand *StrandResult       `json:"strand,omitempty"`
+	Search *jobs.SearchResult  `json:"search,omitempty"`
+	Grid   *jobs.GridResult    `json:"grid,omitempty"`
+	Sort   *jobs.SortResult    `json:"sort,omitempty"`
 }
 
 // marshalCached serializes a finished job's result payload, or nil when
 // there is nothing cacheable (test bodies, failed jobs).
 func marshalCached(j *Job) []byte {
 	j.mu.Lock()
-	c := cachedResult{Align: j.align, Tree: j.tree, Strand: j.strand}
+	c := cachedResult{Align: j.align, Tree: j.tree, Strand: j.strand,
+		Search: j.search, Grid: j.grid, Sort: j.sortRes}
 	j.mu.Unlock()
-	if c.Align == nil && c.Tree == nil && c.Strand == nil {
+	if c.Align == nil && c.Tree == nil && c.Strand == nil &&
+		c.Search == nil && c.Grid == nil && c.Sort == nil {
 		return nil
 	}
 	blob, err := json.Marshal(c)
@@ -100,9 +127,22 @@ func applyCached(j *Job, blob []byte) bool {
 		if c.Strand == nil {
 			return false
 		}
+	case JobSearch:
+		if c.Search == nil {
+			return false
+		}
+	case JobGrid:
+		if c.Grid == nil {
+			return false
+		}
+	case JobSort:
+		if c.Sort == nil {
+			return false
+		}
 	default:
 		return false
 	}
 	j.align, j.tree, j.strand = c.Align, c.Tree, c.Strand
+	j.search, j.grid, j.sortRes = c.Search, c.Grid, c.Sort
 	return true
 }

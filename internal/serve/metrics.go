@@ -43,6 +43,8 @@ type poolMetrics struct {
 	batchedJobs     atomic.Int64
 	maxBatch        atomic.Int64
 
+	motif motifMetrics
+
 	mu      sync.Mutex
 	latency *metrics.Histogram
 
@@ -102,6 +104,99 @@ func (m *poolMetrics) recordBatch(size int) {
 	}
 }
 
+// motifMetrics counts the motif job types' outcomes: completions, work
+// units, early terminations, and resumes from journaled state.
+type motifMetrics struct {
+	searchDone, searchUnits, searchTerminated, searchResumedDecisions atomic.Int64
+	gridDone, gridUnits, gridConverged, gridResumedSweeps             atomic.Int64
+	sortDone, sortUnits, sortResumedPaths                             atomic.Int64
+}
+
+// MotifSearchStats is the search block of /metrics.
+type MotifSearchStats struct {
+	Done  int64 `json:"done"`
+	Units int64 `json:"units"`
+	// Terminated counts searches stopped by the or-parallel cut;
+	// ResumedDecisions the completions answered from a journaled
+	// shortcircuit decision instead of re-exploring.
+	Terminated       int64 `json:"terminated"`
+	ResumedDecisions int64 `json:"resumed_decisions"`
+}
+
+// MotifGridStats is the grid block of /metrics.
+type MotifGridStats struct {
+	Done          int64 `json:"done"`
+	Units         int64 `json:"units"`
+	Converged     int64 `json:"converged"`
+	ResumedSweeps int64 `json:"resumed_sweeps"`
+}
+
+// MotifSortStats is the sort block of /metrics.
+type MotifSortStats struct {
+	Done         int64 `json:"done"`
+	Units        int64 `json:"units"`
+	ResumedPaths int64 `json:"resumed_paths"`
+}
+
+// MotifSnapshot is the per-type motif-jobs block of /metrics.
+type MotifSnapshot struct {
+	Search MotifSearchStats `json:"search"`
+	Grid   MotifGridStats   `json:"grid"`
+	Sort   MotifSortStats   `json:"sort"`
+}
+
+// observe accumulates one finished job's outcome into the per-type block.
+func (m *motifMetrics) observe(j *Job) {
+	switch {
+	case j.search != nil:
+		m.searchDone.Add(1)
+		m.searchUnits.Add(j.search.Units)
+		if j.search.Terminated {
+			m.searchTerminated.Add(1)
+		}
+		if j.search.ResumedDecision {
+			m.searchResumedDecisions.Add(1)
+		}
+	case j.grid != nil:
+		m.gridDone.Add(1)
+		m.gridUnits.Add(j.grid.Units)
+		if j.grid.Converged {
+			m.gridConverged.Add(1)
+		}
+		m.gridResumedSweeps.Add(int64(j.grid.ResumedSweeps))
+	case j.sortRes != nil:
+		m.sortDone.Add(1)
+		m.sortUnits.Add(j.sortRes.Units)
+		m.sortResumedPaths.Add(j.sortRes.ResumedPaths)
+	}
+}
+
+func (m *motifMetrics) snapshot() *MotifSnapshot {
+	snap := &MotifSnapshot{
+		Search: MotifSearchStats{
+			Done:             m.searchDone.Load(),
+			Units:            m.searchUnits.Load(),
+			Terminated:       m.searchTerminated.Load(),
+			ResumedDecisions: m.searchResumedDecisions.Load(),
+		},
+		Grid: MotifGridStats{
+			Done:          m.gridDone.Load(),
+			Units:         m.gridUnits.Load(),
+			Converged:     m.gridConverged.Load(),
+			ResumedSweeps: m.gridResumedSweeps.Load(),
+		},
+		Sort: MotifSortStats{
+			Done:         m.sortDone.Load(),
+			Units:        m.sortUnits.Load(),
+			ResumedPaths: m.sortResumedPaths.Load(),
+		},
+	}
+	if snap.Search.Done == 0 && snap.Grid.Done == 0 && snap.Sort.Done == 0 {
+		return nil
+	}
+	return snap
+}
+
 // LatencySummary is the latency block of the /metrics JSON document.
 type LatencySummary struct {
 	Count    int64   `json:"count"`
@@ -157,6 +252,9 @@ type MetricsSnapshot struct {
 	// QoS is the tenant-aware admission block: scheduling mode, per-tenant
 	// admitted/shed/preempted counts, queue depths, and wait percentiles.
 	QoS *qos.Snapshot `json:"qos,omitempty"`
+	// Motif is the per-type block for the search/grid/sort job types;
+	// absent until one of them has run.
+	Motif *MotifSnapshot `json:"motif,omitempty"`
 }
 
 // BatchSummary is the batching block of /metrics.
@@ -225,5 +323,6 @@ func (m *poolMetrics) snapshot(queueDepth, queueCap int, traceEvents int64, stor
 		Memo:        memoSnap,
 		Pipeline:    pipeSnap,
 		QoS:         qosSnap,
+		Motif:       m.motif.snapshot(),
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/memo"
 	"repro/internal/pipeline"
 	"repro/internal/skel"
@@ -124,7 +125,7 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 
 	var err error
 	if !s.resolveFromCache(j) {
-		err = j.execute(s.reduceOpts(j), s.memo, s.pipelineEnv(j))
+		err = j.execute(s.reduceOpts(j), s.memo, s.pipelineEnv(j), s.motifEnv(j))
 	}
 
 	j.mu.Lock()
@@ -137,9 +138,15 @@ func (s *Server) runJob(w int, j *Job, batchSize int) {
 	}
 	dur := j.finished.Sub(j.started)
 	var resumed int64
-	if j.tree != nil {
+	switch {
+	case j.tree != nil:
 		resumed = j.tree.ResumedNodes
+	case j.grid != nil && j.grid.ResumedSweeps > 0:
+		resumed = 1 // one snapshot restored
+	case j.sortRes != nil:
+		resumed = j.sortRes.ResumedPaths
 	}
+	s.met.motif.observe(j)
 	j.mu.Unlock()
 	s.cfg.Store.NoteCheckpointHits(resumed)
 	// Feed the admission scheduler's drain-time estimate (Retry-After on
@@ -206,6 +213,59 @@ func (s *Server) pipelineEnv(j *Job) *pipeline.Env {
 			if blob, err := json.Marshal(rec); err == nil {
 				stream.append(blob)
 			}
+		}
+	}
+	return env
+}
+
+// motifEnv is the hook environment a search, grid, or sort job runs
+// against: the pool's inner-worker budget plus, with a durable store, the
+// job's WAL slice — string-keyed checkpoints for grid snapshots and sort
+// subtree results, and decision records for the search shortcircuit
+// commitment. The Decision hook is durable-before-return (store.Decision
+// fsyncs), which is what lets the engine fire it before the early-stop
+// signal fans out; it also surfaces the decision on the job status so a
+// cluster coordinator polling this worker can harvest it. Nil for other
+// job types.
+func (s *Server) motifEnv(j *Job) *jobs.Env {
+	switch j.req.Type {
+	case JobSearch, JobGrid, JobSort:
+	default:
+		return nil
+	}
+	env := &jobs.Env{Workers: s.cfg.InnerWorkers}
+	st := s.cfg.Store
+	id := j.id
+	// The decision note always surfaces on the job status — even without a
+	// local WAL — so a cluster coordinator polling this worker can journal
+	// the commitment on its own side of the fence.
+	env.Decision = func(reason string, data []byte) {
+		if st != nil {
+			_ = st.Decision(id, reason, data)
+		}
+		j.noteDecision(reason, data)
+	}
+	if st == nil {
+		return env
+	}
+	env.Checkpoint = func(key string, data []byte) {
+		_ = st.CheckpointKey(id, key, data)
+	}
+	if ckpts := st.CheckpointsKey(id); len(ckpts) > 0 {
+		env.Resume = func(key string) ([]byte, bool) {
+			raw, ok := ckpts[key]
+			return raw, ok
+		}
+	}
+	if decs := st.Decisions(id); len(decs) > 0 {
+		env.Decided = func(reason string) ([]byte, bool) {
+			raw, ok := decs[reason]
+			if ok {
+				// Replayed lives surface the inherited decision too, so a
+				// poller sees it even before the engine finishes honoring it.
+				j.noteDecision(reason, raw)
+			}
+			return raw, ok
 		}
 	}
 	return env

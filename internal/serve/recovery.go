@@ -86,6 +86,7 @@ func terminalJobFromStore(js store.JobState) *Job {
 			j.req.Type = st.Type
 		}
 		j.align, j.tree, j.strand, j.pipe = st.Align, st.Tree, st.Strand, st.Pipeline
+		j.search, j.grid, j.sortRes = st.Search, st.Grid, st.Sort
 	} else {
 		j.state = StateError
 		j.err = errors.New(js.Error)

@@ -591,6 +591,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			st := j.Status()
 			// The list view is a summary; drop result payloads.
 			st.Align, st.Tree, st.Strand, st.Pipeline = nil, nil, nil, nil
+			st.Search, st.Grid, st.Sort = nil, nil, nil
 			out = append(out, st)
 		}
 	}
@@ -642,6 +643,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "  tenant %-16s w=%d depth=%d admitted=%d shed=%d preempted=%d done=%d wait p50=%.2fms p99=%.2fms\n",
 				ts.Tenant, ts.Weight, ts.Depth, ts.Admitted, ts.Shed, ts.Preempted, ts.Done, ts.P50WaitMS, ts.P99WaitMS)
 		}
+	}
+	if mo := snap.Motif; mo != nil {
+		fmt.Fprintf(w, "motif jobs: search done=%d terminated=%d resumed-decisions=%d; grid done=%d converged=%d resumed-sweeps=%d; sort done=%d resumed-paths=%d\n",
+			mo.Search.Done, mo.Search.Terminated, mo.Search.ResumedDecisions,
+			mo.Grid.Done, mo.Grid.Converged, mo.Grid.ResumedSweeps,
+			mo.Sort.Done, mo.Sort.ResumedPaths)
 	}
 	if snap.Pipeline != nil {
 		fmt.Fprintf(w, "pipeline: %d jobs, %d records streamed, %d stages resumed\n",

@@ -142,13 +142,17 @@ func DivideConquer[P, R any](
 
 // MergeSort sorts using the divide-and-conquer skeleton — the paper's
 // "sorting" motif area. It is a correctness vehicle for DivideConquer more
-// than a competitive sort.
-func MergeSort[T any](xs []T, less func(a, b T) bool, parallel int) []T {
+// than a competitive sort. The division is deterministic (always split at
+// the midpoint), so for a stable less the output is identical for any
+// parallelism. Cancellation follows DivideConquer: when ctx is done the
+// recursion unwinds, every goroutine exits, and MergeSort returns nil and
+// ctx.Err().
+func MergeSort[T any](ctx context.Context, xs []T, less func(a, b T) bool, parallel int) ([]T, error) {
 	type span struct{ lo, hi int }
 	buf := make([]T, len(xs))
 	copy(buf, xs)
-	out, _ := DivideConquer(
-		context.Background(),
+	return DivideConquer(
+		ctx,
 		span{0, len(xs)},
 		func(s span) bool { return s.hi-s.lo <= 1 },
 		func(s span) []T {
@@ -165,7 +169,6 @@ func MergeSort[T any](xs []T, less func(a, b T) bool, parallel int) []T {
 		},
 		DCOptions{Parallel: parallel, Depth: 4},
 	)
-	return out
 }
 
 func merge[T any](a, b []T, less func(x, y T) bool) []T {

@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -41,6 +42,20 @@ type JacobiOptions struct {
 	Iterations int
 	// Tolerance is the optional convergence threshold.
 	Tolerance float64
+	// CheckpointEvery, when > 0 and Checkpoint is non-nil, snapshots the
+	// working grid every CheckpointEvery sweeps.
+	CheckpointEvery int
+	// Checkpoint is the durability hook: it receives the sweep count, a
+	// private copy of the grid after that sweep, and the sweep's max
+	// update. Because each sweep is a deterministic function of the grid
+	// before it — independent of Workers — resuming from a snapshot
+	// reproduces the uncheckpointed run bitwise.
+	Checkpoint func(sweep int, g *Grid, delta float64)
+	// Resume is consulted once at the start: returning (g, sweep, true)
+	// with a grid of matching dimensions and sweep > 0 continues
+	// relaxation from that snapshot instead of from the input grid.
+	// Snapshots with mismatched dimensions are ignored.
+	Resume func() (g *Grid, sweep int, ok bool)
 }
 
 // Jacobi runs Jacobi relaxation on the grid's interior (boundary rows and
@@ -51,7 +66,15 @@ type JacobiOptions struct {
 // block, with a barrier between sweeps standing in for boundary exchange.
 // It returns the relaxed grid, the number of sweeps performed, and the
 // final maximum update.
-func Jacobi(g *Grid, opts JacobiOptions) (*Grid, int, float64, error) {
+//
+// Every new cell value reads only the previous sweep's buffer, so the
+// result after k sweeps is bitwise identical for any worker count — the
+// property that makes grid results memoizable and snapshots portable.
+//
+// Cancellation is observed between sweeps: when ctx is done the skeleton
+// returns nil, the sweeps completed so far, and ctx.Err(), with no worker
+// goroutines left behind.
+func Jacobi(ctx context.Context, g *Grid, opts JacobiOptions) (*Grid, int, float64, error) {
 	if g.Rows < 3 || g.Cols < 3 {
 		return nil, 0, 0, fmt.Errorf("skel: Jacobi needs at least a 3x3 grid, got %dx%d", g.Rows, g.Cols)
 	}
@@ -64,10 +87,20 @@ func Jacobi(g *Grid, opts JacobiOptions) (*Grid, int, float64, error) {
 		p = interior
 	}
 	cur, next := g.Clone(), g.Clone()
+	sweeps := 0
+	if opts.Resume != nil {
+		if rg, s, ok := opts.Resume(); ok && rg != nil && s > 0 && rg.Rows == g.Rows && rg.Cols == g.Cols {
+			cur, next = rg.Clone(), rg.Clone()
+			sweeps = s
+		}
+	}
 	maxDelta := make([]float64, p)
 
-	sweeps := 0
-	for it := 0; it < opts.Iterations; it++ {
+	lastDelta := 0.0
+	for sweeps < opts.Iterations {
+		if err := ctx.Err(); err != nil {
+			return nil, sweeps, 0, err
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < p; w++ {
 			w := w
@@ -97,12 +130,13 @@ func Jacobi(g *Grid, opts JacobiOptions) (*Grid, int, float64, error) {
 				delta = d
 			}
 		}
+		lastDelta = delta
+		if opts.Checkpoint != nil && opts.CheckpointEvery > 0 && sweeps%opts.CheckpointEvery == 0 {
+			opts.Checkpoint(sweeps, cur.Clone(), delta)
+		}
 		if opts.Tolerance > 0 && delta < opts.Tolerance {
 			return cur, sweeps, delta, nil
 		}
-		if it == opts.Iterations-1 {
-			return cur, sweeps, delta, nil
-		}
 	}
-	return cur, sweeps, 0, nil
+	return cur, sweeps, lastDelta, nil
 }

@@ -1,0 +1,313 @@
+package skel
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"testing"
+)
+
+// countingProblem wraps a SearchProblem and counts every IsGoal test — the
+// definition of a search "unit" — so tests can check the accounting
+// invariant: units explored == sum of per-worker units, exactly.
+type countingProblem struct {
+	inner  NQueens
+	goals  atomic.Int64
+	costNS int64
+}
+
+func (c *countingProblem) Expand(s NQState) []NQState { return c.inner.Expand(s) }
+func (c *countingProblem) IsGoal(s NQState) bool {
+	c.goals.Add(1)
+	return c.inner.IsGoal(s)
+}
+
+func TestSearchUnitsPartitionExactly(t *testing.T) {
+	for _, firstOnly := range []bool{false, true} {
+		for _, workers := range []int{1, 4, 7} {
+			p := &countingProblem{inner: NQueens{N: 7}}
+			_, stats, err := Search[NQState](context.Background(), p, p.inner.Start(),
+				SearchOptions{Workers: workers, FirstOnly: firstOnly})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := stats.TotalUnits(), p.goals.Load(); got != want {
+				t.Fatalf("firstOnly=%v workers=%d: TotalUnits %d != states examined %d",
+					firstOnly, workers, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchFirstOnlyValidAndTerminateOnce(t *testing.T) {
+	// Which solution FirstOnly returns is unspecified — the API contract is
+	// only that it is valid, that exactly one is returned, and that the
+	// Terminate hook fires exactly once with exactly that solution.
+	q := NQueens{N: 8}
+	for trial := 0; trial < 30; trial++ {
+		var fired atomic.Int64
+		var journaled NQState
+		sols, _, err := Search[NQState](context.Background(), q, q.Start(), SearchOptions{
+			Workers:   8,
+			FirstOnly: true,
+			Terminate: func(s any) {
+				fired.Add(1)
+				journaled = s.(NQState)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sols) != 1 {
+			t.Fatalf("trial %d: %d solutions, want exactly 1", trial, len(sols))
+		}
+		if !q.IsGoal(sols[0]) {
+			t.Fatalf("trial %d: returned non-goal state %v", trial, sols[0].Cols)
+		}
+		if n := fired.Load(); n != 1 {
+			t.Fatalf("trial %d: Terminate fired %d times", trial, n)
+		}
+		for i, c := range sols[0].Cols {
+			if journaled.Cols[i] != c {
+				t.Fatalf("trial %d: journaled solution %v != returned %v",
+					trial, journaled.Cols, sols[0].Cols)
+			}
+		}
+	}
+}
+
+// rootGoal is a problem whose start state is already a goal, so FirstOnly
+// terminates during frontier growth, before any worker spawns.
+type rootGoal struct{}
+
+func (rootGoal) Expand(int) []int { return nil }
+func (rootGoal) IsGoal(int) bool  { return true }
+
+func TestSearchFirstOnlyPreFrontierTerminate(t *testing.T) {
+	var fired int
+	sols, stats, err := Search[int](context.Background(), rootGoal{}, 42, SearchOptions{
+		Workers:   4,
+		FirstOnly: true,
+		Terminate: func(s any) { fired++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != 1 || sols[0] != 42 {
+		t.Fatalf("sols = %v", sols)
+	}
+	if fired != 1 {
+		t.Fatalf("Terminate fired %d times", fired)
+	}
+	if stats.TotalUnits() != 1 {
+		t.Fatalf("units = %d, want 1", stats.TotalUnits())
+	}
+}
+
+// slowProblem is an unbounded search tree whose IsGoal cancels the context
+// after a fixed number of examined states; used for leak tests.
+type slowProblem struct {
+	cancelAt int64
+	cancel   context.CancelFunc
+	examined atomic.Int64
+}
+
+func (p *slowProblem) Expand(s int) []int { return []int{s * 2, s*2 + 1} }
+func (p *slowProblem) IsGoal(s int) bool {
+	if p.examined.Add(1) == p.cancelAt {
+		p.cancel()
+	}
+	return false
+}
+
+func TestSearchCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &slowProblem{cancelAt: 500, cancel: cancel}
+	sols, _, err := Search[int](ctx, p, 1, SearchOptions{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sols != nil {
+		t.Fatalf("cancelled search returned solutions: %v", sols)
+	}
+	if n := p.examined.Load(); n > 1_000_000 {
+		t.Fatalf("cancellation did not stop the search: examined %d states", n)
+	}
+	settleGoroutines(t, base)
+}
+
+func TestJacobiCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGrid(16, 16)
+	for c := 0; c < 16; c++ {
+		g.Set(0, c, 1)
+	}
+	_, sweeps, _, err := Jacobi(ctx, g, JacobiOptions{
+		Workers:         3,
+		Iterations:      1_000_000,
+		CheckpointEvery: 1,
+		Checkpoint: func(sweep int, _ *Grid, _ float64) {
+			if sweep == 5 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sweeps < 5 || sweeps > 6 {
+		t.Fatalf("sweeps = %d, want 5 or 6", sweeps)
+	}
+	settleGoroutines(t, base)
+	cancel()
+}
+
+func TestMergeSortCancelNoLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	xs := make([]int, 1<<14)
+	rng := rand.New(rand.NewSource(3))
+	for i := range xs {
+		xs[i] = rng.Int()
+	}
+	var cmps atomic.Int64
+	out, err := MergeSort(ctx, xs, func(a, b int) bool {
+		if cmps.Add(1) == 1000 {
+			cancel()
+		}
+		return a < b
+	}, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled sort returned %d elements", len(out))
+	}
+	settleGoroutines(t, base)
+}
+
+func TestJacobiToleranceFirstSweep(t *testing.T) {
+	// An already-relaxed (uniform) grid converges on the very first sweep:
+	// the max update is 0, below any positive tolerance.
+	g := NewGrid(8, 8)
+	out, sweeps, delta, err := Jacobi(context.Background(), g, JacobiOptions{
+		Workers: 2, Iterations: 100, Tolerance: 1e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sweeps != 1 {
+		t.Fatalf("sweeps = %d, want 1", sweeps)
+	}
+	if delta != 0 {
+		t.Fatalf("delta = %g, want 0", delta)
+	}
+	if out == nil {
+		t.Fatal("nil grid")
+	}
+}
+
+func TestJacobiZeroIterations(t *testing.T) {
+	g := NewGrid(4, 4)
+	out, sweeps, delta, err := Jacobi(context.Background(), g, JacobiOptions{Workers: 2})
+	if err != nil || sweeps != 0 || delta != 0 || out == nil {
+		t.Fatalf("out=%v sweeps=%d delta=%g err=%v", out != nil, sweeps, delta, err)
+	}
+}
+
+func TestJacobiNonSquareWorkerInvariance(t *testing.T) {
+	for _, dims := range [][2]int{{5, 40}, {40, 5}, {7, 13}} {
+		rows, cols := dims[0], dims[1]
+		base := NewGrid(rows, cols)
+		for c := 0; c < cols; c++ {
+			base.Set(0, c, 3.0)
+		}
+		for r := 0; r < rows; r++ {
+			base.Set(r, cols-1, -2.0)
+		}
+		run := func(workers int) *Grid {
+			out, _, _, err := Jacobi(context.Background(), base, JacobiOptions{Workers: workers, Iterations: 40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		g1, gN := run(1), run(6)
+		for i := range g1.Data {
+			if g1.Data[i] != gN.Data[i] {
+				t.Fatalf("%dx%d: differs with worker count at %d: %v vs %v",
+					rows, cols, i, g1.Data[i], gN.Data[i])
+			}
+		}
+	}
+}
+
+func TestJacobiCheckpointResumeBitwise(t *testing.T) {
+	mk := func() *Grid {
+		g := NewGrid(10, 14)
+		for c := 0; c < 14; c++ {
+			g.Set(0, c, 7.0)
+		}
+		return g
+	}
+	// Straight run to 30 sweeps.
+	want, sweeps, _, err := Jacobi(context.Background(), mk(), JacobiOptions{Workers: 2, Iterations: 30})
+	if err != nil || sweeps != 30 {
+		t.Fatalf("sweeps=%d err=%v", sweeps, err)
+	}
+	// Checkpointed run captures the sweep-20 snapshot...
+	var snap *Grid
+	var snapSweep int
+	_, _, _, err = Jacobi(context.Background(), mk(), JacobiOptions{
+		Workers: 4, Iterations: 20, CheckpointEvery: 10,
+		Checkpoint: func(sweep int, g *Grid, _ float64) { snap, snapSweep = g, sweep },
+	})
+	if err != nil || snap == nil || snapSweep != 20 {
+		t.Fatalf("snap sweep=%d err=%v", snapSweep, err)
+	}
+	// ...and a resumed run from it, with a different worker count, must
+	// reproduce the straight run bitwise.
+	got, sweeps, _, err := Jacobi(context.Background(), mk(), JacobiOptions{
+		Workers: 3, Iterations: 30,
+		Resume: func() (*Grid, int, bool) { return snap, snapSweep, true },
+	})
+	if err != nil || sweeps != 30 {
+		t.Fatalf("resumed sweeps=%d err=%v", sweeps, err)
+	}
+	for i := range want.Data {
+		if want.Data[i] != got.Data[i] {
+			t.Fatalf("resumed grid differs at %d: %v vs %v", i, want.Data[i], got.Data[i])
+		}
+	}
+}
+
+func TestMergeSortDeterministicAcrossParallelism(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := make([]int, 5000)
+	for i := range xs {
+		xs[i] = rng.Intn(100)
+	}
+	var prev []int
+	for _, par := range []int{0, 1, 4, 16} {
+		got, err := MergeSort(context.Background(), xs, func(a, b int) bool { return a < b }, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("parallel=%d: not sorted", par)
+		}
+		if prev != nil {
+			for i := range got {
+				if got[i] != prev[i] {
+					t.Fatalf("parallel=%d differs at %d", par, i)
+				}
+			}
+		}
+		prev = got
+	}
+}

@@ -1,6 +1,7 @@
 package skel
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 )
@@ -20,46 +21,97 @@ type SearchProblem[S any] interface {
 type SearchOptions struct {
 	// Workers is the exploration worker count; minimum 1.
 	Workers int
-	// FirstOnly stops at the first solution found instead of counting all.
+	// FirstOnly stops at the first solution found instead of collecting all
+	// of them — the or-parallel cut. Which solution is returned is
+	// unspecified: it depends on worker interleaving, so two runs over the
+	// same problem may return different (equally valid) goals. The returned
+	// state always satisfies IsGoal, and the stats partition invariant still
+	// holds: every state examined before the cut fanned out is counted in
+	// exactly one per-worker slot. Callers that need a stable answer across
+	// runs must journal the one returned (see Terminate) or run without
+	// FirstOnly and pick canonically.
 	FirstOnly bool
+	// Terminate, when non-nil and FirstOnly is set, is called exactly once
+	// with the winning solution at the moment the short-circuit decision is
+	// made — before the stop signal fans out to the other workers and
+	// before Search returns. It is the durability hook for early
+	// termination: a caller that journals the solution here can survive a
+	// crash between decision and return without re-exploring (and possibly
+	// committing to a different goal). It runs synchronously on the
+	// deciding worker; keep it brief. The argument's dynamic type is the
+	// search's state type S (SearchOptions itself is not generic).
+	Terminate func(solution any)
 }
 
 // Search explores the tree rooted at start and returns the solutions found
-// (all of them, or one if FirstOnly). Work is distributed by expanding the
-// frontier breadth-first until it has at least one subtree per worker, then
-// farming the subtrees dynamically — the standard or-parallel execution
-// scheme.
-func Search[S any](problem SearchProblem[S], start S, opts SearchOptions) ([]S, *Stats) {
+// (all of them, or exactly one if FirstOnly). Work is distributed by
+// expanding the frontier breadth-first until it has at least one subtree
+// per worker, then farming the subtrees dynamically — the standard
+// or-parallel execution scheme.
+//
+// Cancellation: when ctx is done the workers stop at the next state
+// boundary, every goroutine exits, and Search returns nil solutions, the
+// stats accumulated so far, and ctx.Err().
+//
+// Accounting: a "unit" is one state examined (one IsGoal test). Every
+// examined state is counted in exactly one UnitsPerWorker slot — frontier
+// growth runs on the caller's goroutine and is attributed to worker 0 — so
+// stats.TotalUnits() equals the number of states examined exactly, in both
+// FirstOnly and exhaustive modes.
+func Search[S any](ctx context.Context, problem SearchProblem[S], start S, opts SearchOptions) ([]S, *Stats, error) {
 	p := opts.Workers
 	if p < 1 {
 		p = 1
 	}
 	stats := &Stats{UnitsPerWorker: make([]int64, p)}
+	terminate := func(s S) {
+		if opts.Terminate != nil {
+			opts.Terminate(s)
+		}
+	}
 
 	// Grow a frontier of independent subtrees.
 	frontier := []S{start}
 	var preSolutions []S
 	for len(frontier) > 0 && len(frontier) < 4*p {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		next := frontier[:0:0]
 		for _, s := range frontier {
+			stats.UnitsPerWorker[0]++
 			if problem.IsGoal(s) {
-				preSolutions = append(preSolutions, s)
 				if opts.FirstOnly {
-					return preSolutions[:1], stats
+					terminate(s)
+					return []S{s}, stats, nil
 				}
+				preSolutions = append(preSolutions, s)
 				continue
 			}
 			next = append(next, problem.Expand(s)...)
 		}
 		if len(next) == 0 {
-			return preSolutions, stats
+			return preSolutions, stats, nil
 		}
 		frontier = next
 	}
 
+	// stop doubles as the cancellation flag so the hot explore loop needs
+	// only one atomic load per state; a watcher goroutine forwards ctx
+	// expiry into it and is released when the workers drain.
 	var stop atomic.Bool
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stop.Store(true)
+		case <-watchDone:
+		}
+	}()
+
 	var mu sync.Mutex
 	solutions := preSolutions
+	terminated := false
 
 	var explore func(s S, w int)
 	explore = func(s S, w int) {
@@ -69,11 +121,21 @@ func Search[S any](problem SearchProblem[S], start S, opts SearchOptions) ([]S, 
 		stats.UnitsPerWorker[w]++ // each worker writes only its own slot
 		if problem.IsGoal(s) {
 			mu.Lock()
-			solutions = append(solutions, s)
-			mu.Unlock()
 			if opts.FirstOnly {
-				stop.Store(true)
+				// Exactly one goal wins the cut: the decision — and its
+				// durability hook — commits under the mutex before the stop
+				// signal fans out, so a concurrent second goal is discarded
+				// rather than racing the journaled one.
+				if !terminated {
+					terminated = true
+					solutions = []S{s}
+					terminate(s)
+					stop.Store(true)
+				}
+			} else {
+				solutions = append(solutions, s)
 			}
+			mu.Unlock()
 			return
 		}
 		for _, c := range problem.Expand(s) {
@@ -102,7 +164,11 @@ func Search[S any](problem SearchProblem[S], start S, opts SearchOptions) ([]S, 
 		})
 	}
 	wg.Wait()
-	return solutions, stats
+	close(watchDone)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	return solutions, stats, nil
 }
 
 // NQueens is a ready-made search problem: place n queens on an n×n board.

@@ -256,7 +256,10 @@ func TestMergeSort(t *testing.T) {
 		for i := range xs {
 			xs[i] = rng.Intn(1000)
 		}
-		got := MergeSort(xs, func(a, b int) bool { return a < b }, 4)
+		got, err := MergeSort(context.Background(), xs, func(a, b int) bool { return a < b }, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want := append([]int(nil), xs...)
 		sort.Ints(want)
 		if len(got) != len(want) {
@@ -273,7 +276,10 @@ func TestMergeSort(t *testing.T) {
 func TestMergeSortStability(t *testing.T) {
 	type kv struct{ k, seq int }
 	xs := []kv{{1, 0}, {0, 1}, {1, 2}, {0, 3}, {1, 4}}
-	got := MergeSort(xs, func(a, b kv) bool { return a.k < b.k }, 2)
+	got, err := MergeSort(context.Background(), xs, func(a, b kv) bool { return a.k < b.k }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Equal keys must preserve original order (merge takes from a first).
 	var zeroSeqs, oneSeqs []int
 	for _, e := range got {
@@ -293,7 +299,10 @@ func TestNQueensCounts(t *testing.T) {
 	want := map[int]int{4: 2, 5: 10, 6: 4, 7: 40, 8: 92}
 	for n, count := range want {
 		q := NQueens{N: n}
-		sols, _ := Search[NQState](q, q.Start(), SearchOptions{Workers: 4})
+		sols, _, err := Search[NQState](context.Background(), q, q.Start(), SearchOptions{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(sols) != count {
 			t.Fatalf("n=%d: %d solutions, want %d", n, len(sols), count)
 		}
@@ -302,7 +311,10 @@ func TestNQueensCounts(t *testing.T) {
 
 func TestNQueensFirstOnly(t *testing.T) {
 	q := NQueens{N: 8}
-	sols, _ := Search[NQState](q, q.Start(), SearchOptions{Workers: 4, FirstOnly: true})
+	sols, _, err := Search[NQState](context.Background(), q, q.Start(), SearchOptions{Workers: 4, FirstOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sols) != 1 {
 		t.Fatalf("solutions = %d", len(sols))
 	}
@@ -313,7 +325,10 @@ func TestNQueensFirstOnly(t *testing.T) {
 
 func TestNQueensNoSolution(t *testing.T) {
 	q := NQueens{N: 3}
-	sols, _ := Search[NQState](q, q.Start(), SearchOptions{Workers: 2})
+	sols, _, err := Search[NQState](context.Background(), q, q.Start(), SearchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(sols) != 0 {
 		t.Fatalf("3-queens should have no solutions, got %d", len(sols))
 	}
@@ -321,7 +336,10 @@ func TestNQueensNoSolution(t *testing.T) {
 
 func TestSearchWorkerAccounting(t *testing.T) {
 	q := NQueens{N: 8}
-	_, stats := Search[NQState](q, q.Start(), SearchOptions{Workers: 4})
+	_, stats, err := Search[NQState](context.Background(), q, q.Start(), SearchOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if stats.TotalUnits() == 0 {
 		t.Fatal("no units recorded")
 	}
@@ -336,7 +354,7 @@ func TestJacobiConvergesToLaplace(t *testing.T) {
 	for c := 0; c < 18; c++ {
 		g.Set(0, c, 1.0)
 	}
-	out, sweeps, delta, err := Jacobi(g, JacobiOptions{Workers: 4, Iterations: 10000, Tolerance: 1e-9})
+	out, sweeps, delta, err := Jacobi(context.Background(), g, JacobiOptions{Workers: 4, Iterations: 10000, Tolerance: 1e-9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -360,7 +378,7 @@ func TestJacobiWorkerCountInvariance(t *testing.T) {
 		base.Set(11, c, -1.0)
 	}
 	run := func(workers int) *Grid {
-		out, _, _, err := Jacobi(base, JacobiOptions{Workers: workers, Iterations: 50})
+		out, _, _, err := Jacobi(context.Background(), base, JacobiOptions{Workers: workers, Iterations: 50})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -375,7 +393,7 @@ func TestJacobiWorkerCountInvariance(t *testing.T) {
 }
 
 func TestJacobiTooSmall(t *testing.T) {
-	if _, _, _, err := Jacobi(NewGrid(2, 5), JacobiOptions{Workers: 1, Iterations: 1}); err == nil {
+	if _, _, _, err := Jacobi(context.Background(), NewGrid(2, 5), JacobiOptions{Workers: 1, Iterations: 1}); err == nil {
 		t.Fatal("expected error")
 	}
 }

@@ -31,6 +31,7 @@ const (
 	recAccepted = "accepted"
 	recPlaced   = "placed"
 	recCkpt     = "ckpt"
+	recDecision = "decision"
 	recDone     = "done"
 	recFailed   = "failed"
 )
@@ -42,7 +43,7 @@ type record struct {
 	Job    string          `json:"j"`
 	Client string          `json:"c,omitempty"` // idempotency key (accepted)
 	Worker string          `json:"w,omitempty"` // placement target (placed)
-	Node   string          `json:"n,omitempty"` // checkpoint key (ckpt)
+	Node   string          `json:"n,omitempty"` // checkpoint key (ckpt) / decision reason (decision)
 	Data   json.RawMessage `json:"d,omitempty"` // request / value / result
 	Err    string          `json:"e,omitempty"` // failure message (failed)
 }
@@ -105,26 +106,29 @@ type JobStore struct {
 	opts  Options
 	start time.Time
 
-	mu     sync.Mutex
-	w      *wal
-	jobs   map[string]*JobState
-	order  []string // insertion order, for bounded eviction and stable listing
-	ckpts  map[string]map[int]json.RawMessage
-	tracer trace.Tracer
+	mu        sync.Mutex
+	w         *wal
+	jobs      map[string]*JobState
+	order     []string // insertion order, for bounded eviction and stable listing
+	ckpts     map[string]map[string]json.RawMessage
+	decisions map[string]map[string]json.RawMessage
+	tracer    trace.Tracer
 
-	compacting bool
-	ckptWrites atomic.Int64
-	hits       atomic.Int64
+	compacting     bool
+	ckptWrites     atomic.Int64
+	decisionWrites atomic.Int64
+	hits           atomic.Int64
 }
 
 // Open opens (creating if needed) the store in dir and replays its log.
 func Open(dir string, opts Options) (*JobStore, error) {
 	opts.fill()
 	s := &JobStore{
-		opts:  opts,
-		start: time.Now(),
-		jobs:  make(map[string]*JobState),
-		ckpts: make(map[string]map[int]json.RawMessage),
+		opts:      opts,
+		start:     time.Now(),
+		jobs:      make(map[string]*JobState),
+		ckpts:     make(map[string]map[string]json.RawMessage),
+		decisions: make(map[string]map[string]json.RawMessage),
 	}
 	w, err := openWAL(dir, opts.SegmentBytes, opts.NoSync, func(payload []byte) error {
 		var rec record
@@ -182,21 +186,33 @@ func (s *JobStore) applyLocked(rec record) {
 		if !ok || js.Status.Terminal() {
 			return
 		}
-		node, err := strconv.Atoi(rec.Node)
-		if err != nil {
-			return
-		}
 		m := s.ckpts[rec.Job]
 		if m == nil {
-			m = make(map[int]json.RawMessage)
+			m = make(map[string]json.RawMessage)
 			s.ckpts[rec.Job] = m
 		}
-		m[node] = rec.Data
+		m[rec.Node] = rec.Data
+	case recDecision:
+		// A decision is a commitment made while the job was still running
+		// (e.g. an early-terminated search's winning solution). Like
+		// checkpoints it only matters for incomplete jobs: once the job is
+		// terminal the result record subsumes it.
+		js, ok := s.jobs[rec.Job]
+		if !ok || js.Status.Terminal() {
+			return
+		}
+		m := s.decisions[rec.Job]
+		if m == nil {
+			m = make(map[string]json.RawMessage)
+			s.decisions[rec.Job] = m
+		}
+		m[rec.Node] = rec.Data
 	case recDone:
 		if js, ok := s.jobs[rec.Job]; ok {
 			js.Status = StatusDone
 			js.Result = rec.Data
 			delete(s.ckpts, rec.Job)
+			delete(s.decisions, rec.Job)
 		}
 		s.evictLocked()
 	case recFailed:
@@ -204,6 +220,7 @@ func (s *JobStore) applyLocked(rec record) {
 			js.Status = StatusFailed
 			js.Error = rec.Err
 			delete(s.ckpts, rec.Job)
+			delete(s.decisions, rec.Job)
 		}
 		s.evictLocked()
 	}
@@ -275,11 +292,33 @@ func (s *JobStore) Placed(id, worker string) error {
 // Checkpoint journals one materialized subtree value for the job, keyed by
 // the reduction's stable node index.
 func (s *JobStore) Checkpoint(id string, node int, val []byte) error {
+	return s.CheckpointKey(id, strconv.Itoa(node), val)
+}
+
+// CheckpointKey journals one materialized partial value for the job under
+// an arbitrary stable key — a division path for divide-and-conquer, a
+// rolling "sweep" slot for grid relaxation. Re-journaling a key supersedes
+// the previous value (and compaction drops the superseded record).
+func (s *JobStore) CheckpointKey(id, key string, val []byte) error {
 	if s == nil {
 		return nil
 	}
 	s.ckptWrites.Add(1)
-	return s.appendRecord(record{Kind: recCkpt, Job: id, Node: strconv.Itoa(node), Data: val})
+	return s.appendRecord(record{Kind: recCkpt, Job: id, Node: key, Data: val})
+}
+
+// Decision journals an irreversible mid-flight commitment for an incomplete
+// job, keyed by reason — e.g. reason "shortcircuit" with an early-terminated
+// search's winning solution. Unlike a checkpoint (a resumable partial), a
+// decision binds what the final result must be: replay, cluster retry, and
+// standby takeover complete the job from the journaled decision instead of
+// re-running it. The record is durable when Decision returns.
+func (s *JobStore) Decision(id, reason string, data []byte) error {
+	if s == nil {
+		return nil
+	}
+	s.decisionWrites.Add(1)
+	return s.appendRecord(record{Kind: recDecision, Job: id, Node: reason, Data: data})
 }
 
 // Done journals successful completion with the encoded result.
@@ -339,8 +378,27 @@ func (s *JobStore) Incomplete() []JobState {
 	return out
 }
 
-// Checkpoints returns the job's journaled subtree values by node index.
+// Checkpoints returns the job's journaled subtree values by node index;
+// non-integer keys (journaled via CheckpointKey) are omitted.
 func (s *JobStore) Checkpoints(id string) map[int]json.RawMessage {
+	m := s.CheckpointsKey(id)
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[int]json.RawMessage, len(m))
+	for k, v := range m {
+		if node, err := strconv.Atoi(k); err == nil {
+			out[node] = v
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// CheckpointsKey returns the job's journaled partial values by string key.
+func (s *JobStore) CheckpointsKey(id string) map[string]json.RawMessage {
 	if s == nil {
 		return nil
 	}
@@ -350,7 +408,27 @@ func (s *JobStore) Checkpoints(id string) map[int]json.RawMessage {
 	if len(m) == 0 {
 		return nil
 	}
-	out := make(map[int]json.RawMessage, len(m))
+	out := make(map[string]json.RawMessage, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Decisions returns the job's journaled mid-flight commitments by reason;
+// nil once the job is terminal (the result subsumes them) or when none were
+// journaled.
+func (s *JobStore) Decisions(id string) map[string]json.RawMessage {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.decisions[id]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]json.RawMessage, len(m))
 	for k, v := range m {
 		out[k] = v
 	}
@@ -373,13 +451,23 @@ func (s *JobStore) liveRecordsLocked() [][]byte {
 			add(record{Kind: recPlaced, Job: id, Worker: js.Worker})
 		}
 		if m := s.ckpts[id]; len(m) > 0 {
-			nodes := make([]int, 0, len(m))
-			for n := range m {
-				nodes = append(nodes, n)
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
 			}
-			sort.Ints(nodes)
-			for _, n := range nodes {
-				add(record{Kind: recCkpt, Job: id, Node: strconv.Itoa(n), Data: m[n]})
+			sort.Strings(keys)
+			for _, k := range keys {
+				add(record{Kind: recCkpt, Job: id, Node: k, Data: m[k]})
+			}
+		}
+		if m := s.decisions[id]; len(m) > 0 {
+			reasons := make([]string, 0, len(m))
+			for r := range m {
+				reasons = append(reasons, r)
+			}
+			sort.Strings(reasons)
+			for _, r := range reasons {
+				add(record{Kind: recDecision, Job: id, Node: r, Data: m[r]})
 			}
 		}
 		switch js.Status {
@@ -455,6 +543,7 @@ type MetricsSnapshot struct {
 	IncompleteJobs   int     `json:"incomplete_jobs"`
 	CheckpointWrites int64   `json:"checkpoint_writes"`
 	CheckpointHits   int64   `json:"checkpoint_hits"`
+	DecisionWrites   int64   `json:"decision_writes,omitempty"`
 }
 
 // Metrics returns the store's observable state; nil on a nil store, which
@@ -489,6 +578,7 @@ func (s *JobStore) Metrics() *MetricsSnapshot {
 		IncompleteJobs:   incomplete,
 		CheckpointWrites: s.ckptWrites.Load(),
 		CheckpointHits:   s.hits.Load(),
+		DecisionWrites:   s.decisionWrites.Load(),
 	}
 }
 

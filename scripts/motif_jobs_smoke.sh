@@ -1,0 +1,229 @@
+#!/bin/sh
+# Motif-jobs smoke test for the search/grid/sort job types, run by CI and
+# `make motif-jobs-smoke`. Two phases:
+#
+#   A. Standalone motifd with -store: submit one grid job (tolerance
+#      convergence), one sort job, and one FirstOnly search whose settle
+#      window holds it open after the shortcircuit decision is journaled.
+#      SIGKILL the daemon inside that window, restart it on the same store
+#      directory, and assert the resumed search honors the journaled
+#      decision: same solution, resumed_decision=true, zero re-explored
+#      units.
+#
+#   B. Cluster: motifctl with -store plus two workers. Submit a FirstOnly
+#      search, wait for the coordinator to harvest the decision record off
+#      a status poll, SIGKILL the worker holding the job, and assert the
+#      retry is a no-op — the job completes from the harvested decision
+#      (decision_completions=1, retries=0) without re-placing.
+set -eu
+
+D_ADDR=127.0.0.1:18190
+COORD_ADDR=127.0.0.1:18191
+W1_ADDR=127.0.0.1:18192
+W2_ADDR=127.0.0.1:18193
+COORD="http://$COORD_ADDR"
+TMP="$(mktemp -d)"
+DPID= CPID= W1PID= W2PID=
+trap 'kill -9 "$DPID" "$CPID" "$W1PID" "$W2PID" 2>/dev/null || true; rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/motifd" ./cmd/motifd
+go build -o "$TMP/motifctl" ./cmd/motifctl
+
+json_path() { # json_path FILE DOTTED.PATH -> value (asserts valid JSON)
+    python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for part in sys.argv[2].split("."):
+    doc = doc[int(part)] if isinstance(doc, list) else doc[part]
+print(doc)' "$1" "$2"
+}
+
+wait_up() { # wait_up URL NAME LOG
+    i=0
+    until curl -sf "$1/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        if [ "$i" -ge 100 ]; then
+            echo "$2 did not come up; log:" >&2
+            cat "$3" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+wait_done() { # wait_done BASEURL JOBID -> job.json filled
+    i=0
+    while :; do
+        CODE="$(curl -s -o "$TMP/job.json" -w '%{http_code}' "$1/v1/jobs/$2")"
+        [ "$CODE" = 200 ] || { echo "poll $2 returned $CODE" >&2; exit 1; }
+        STATE="$(json_path "$TMP/job.json" state)"
+        case "$STATE" in
+        done) return 0 ;;
+        error) echo "job $2 failed:" >&2; cat "$TMP/job.json" >&2; exit 1 ;;
+        esac
+        i=$((i + 1))
+        [ "$i" -lt 600 ] || { echo "job $2 stuck in $STATE" >&2; exit 1; }
+        sleep 0.05
+    done
+}
+
+submit() { # submit BASEURL JSON -> prints job id
+    CODE="$(curl -s -o "$TMP/submit.json" -w '%{http_code}' -X POST "$1/v1/jobs" \
+        -H 'Content-Type: application/json' -d "$2")"
+    [ "$CODE" = 202 ] || { echo "submit returned $CODE" >&2; cat "$TMP/submit.json" >&2; exit 1; }
+    json_path "$TMP/submit.json" id
+}
+
+# ---------- Phase A: all three types against one motifd, kill mid-search ----------
+
+"$TMP/motifd" -addr "$D_ADDR" -procs 2 -inner 2 -store "$TMP/d-store" 2>"$TMP/d1.log" &
+DPID=$!
+wait_up "http://$D_ADDR" motifd "$TMP/d1.log"
+
+# Grid: boundary-driven relaxation that must converge under its tolerance.
+GID="$(submit "http://$D_ADDR" '{"type":"grid","grid":{"rows":32,"cols":32,"iterations":20000,"tolerance":1e-4}}')"
+wait_done "http://$D_ADDR" "$GID"
+CONV="$(json_path "$TMP/job.json" grid.converged)"
+GSUM="$(json_path "$TMP/job.json" grid.checksum)"
+[ "$CONV" = "True" ] || { echo "grid did not converge" >&2; cat "$TMP/job.json" >&2; exit 1; }
+[ -n "$GSUM" ] || { echo "grid checksum empty" >&2; exit 1; }
+echo "grid job: converged with checksum $GSUM"
+
+# Sort: divide-and-conquer mergesort, self-verifying.
+SID="$(submit "http://$D_ADDR" '{"type":"sort","sort":{"n":65536,"seed":7}}')"
+wait_done "http://$D_ADDR" "$SID"
+SORTED="$(json_path "$TMP/job.json" sort.sorted)"
+[ "$SORTED" = "True" ] || { echo "sort output not sorted" >&2; cat "$TMP/job.json" >&2; exit 1; }
+echo "sort job: 65536 keys sorted, checksum $(json_path "$TMP/job.json" sort.checksum)"
+
+# FirstOnly search: the settle window holds the job open after the
+# shortcircuit decision hits the WAL, so the SIGKILL below lands between
+# commitment and completion — the hard case.
+JID="$(submit "http://$D_ADDR" '{"type":"search","search":{"pattern":"ACGUACGU","seqs":8,"seq_len":4096,"seed":3,"max_mismatches":2,"first_only":true,"node_cost_us":200,"settle_ms":9000}}')"
+
+# Wait until the running job surfaces its decision record, then capture
+# the journaled winner.
+i=0
+while :; do
+    curl -sf "http://$D_ADDR/v1/jobs/$JID" >"$TMP/job.json"
+    if json_path "$TMP/job.json" decision.reason >/dev/null 2>&1; then
+        break
+    fi
+    i=$((i + 1))
+    [ "$i" -lt 600 ] || { echo "search never journaled a decision" >&2; cat "$TMP/job.json" >&2; exit 1; }
+    sleep 0.05
+done
+REASON="$(json_path "$TMP/job.json" decision.reason)"
+[ "$REASON" = shortcircuit ] || { echo "decision reason $REASON, want shortcircuit" >&2; exit 1; }
+WANT_SEQ="$(json_path "$TMP/job.json" decision.data.seq_index)"
+WANT_POS="$(json_path "$TMP/job.json" decision.data.pos)"
+STATE="$(json_path "$TMP/job.json" state)"
+[ "$STATE" = running ] || { echo "search already $STATE before the kill (settle window too short)" >&2; exit 1; }
+
+kill -9 "$DPID"
+echo "killed motifd (SIGKILL) with shortcircuit decision journaled (winner seq=$WANT_SEQ pos=$WANT_POS)"
+
+"$TMP/motifd" -addr "$D_ADDR" -procs 2 -inner 2 -store "$TMP/d-store" 2>"$TMP/d2.log" &
+DPID=$!
+wait_up "http://$D_ADDR" motifd-restarted "$TMP/d2.log"
+
+# The resumed search must honor the journaled decision: identical winner,
+# marked resumed, zero units re-explored.
+wait_done "http://$D_ADDR" "$JID"
+GOT_SEQ="$(json_path "$TMP/job.json" search.matches.0.seq_index)"
+GOT_POS="$(json_path "$TMP/job.json" search.matches.0.pos)"
+RESUMED="$(json_path "$TMP/job.json" search.resumed_decision)"
+UNITS="$(json_path "$TMP/job.json" search.units)"
+[ "$GOT_SEQ" = "$WANT_SEQ" ] && [ "$GOT_POS" = "$WANT_POS" ] ||
+    { echo "resumed search changed the winner: got seq=$GOT_SEQ pos=$GOT_POS, want seq=$WANT_SEQ pos=$WANT_POS" >&2; exit 1; }
+[ "$RESUMED" = "True" ] || { echo "resumed search not marked resumed_decision" >&2; cat "$TMP/job.json" >&2; exit 1; }
+[ "$UNITS" = 0 ] || { echo "resumed search re-explored $UNITS units, want 0" >&2; exit 1; }
+curl -sf "http://$D_ADDR/metrics" >"$TMP/metrics.json"
+RD="$(json_path "$TMP/metrics.json" motif.search.resumed_decisions)"
+[ "$RD" -ge 1 ] || { echo "motif.search.resumed_decisions=$RD, want >= 1" >&2; exit 1; }
+echo "resumed search honored the decision: same winner, resumed_decision=true, units=0"
+
+kill -TERM "$DPID"
+i=0
+while kill -0 "$DPID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "motifd did not drain" >&2; cat "$TMP/d2.log" >&2; exit 1; }
+    sleep 0.1
+done
+echo "phase A (motifd decision durability): OK"
+
+# ---------- Phase B: coordinator harvests the decision, worker death is a no-op retry ----------
+
+"$TMP/motifctl" -addr "$COORD_ADDR" -heartbeat 100ms -store "$TMP/coord-store" \
+    -lease-ttl 500ms 2>"$TMP/motifctl.log" &
+CPID=$!
+"$TMP/motifd" -addr "$W1_ADDR" -procs 1 -inner 1 -id w1 \
+    -coordinator "$COORD" -advertise "http://$W1_ADDR" 2>"$TMP/w1.log" &
+W1PID=$!
+"$TMP/motifd" -addr "$W2_ADDR" -procs 1 -inner 1 -id w2 \
+    -coordinator "$COORD" -advertise "http://$W2_ADDR" 2>"$TMP/w2.log" &
+W2PID=$!
+wait_up "$COORD" motifctl "$TMP/motifctl.log"
+wait_up "http://$W1_ADDR" w1 "$TMP/w1.log"
+wait_up "http://$W2_ADDR" w2 "$TMP/w2.log"
+i=0
+while :; do
+    curl -sf "$COORD/metrics" >"$TMP/metrics.json"
+    LIVE="$(json_path "$TMP/metrics.json" live_workers)"
+    [ "$LIVE" = 2 ] && break
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "workers never registered (live=$LIVE)" >&2; exit 1; }
+    sleep 0.1
+done
+echo "cluster up: 2 workers registered"
+
+CJID="$(submit "$COORD" '{"type":"search","search":{"pattern":"ACGUACGU","seqs":8,"seq_len":4096,"seed":3,"max_mismatches":2,"first_only":true,"node_cost_us":200,"settle_ms":9000}}')"
+
+# Wait for the coordinator to harvest the decision off a status poll.
+i=0
+while :; do
+    curl -sf "$COORD/metrics" >"$TMP/metrics.json"
+    HARVESTED="$(json_path "$TMP/metrics.json" decisions_harvested 2>/dev/null || echo 0)"
+    [ "$HARVESTED" -ge 1 ] && break
+    i=$((i + 1))
+    [ "$i" -lt 600 ] || { echo "coordinator never harvested the decision" >&2; cat "$TMP/metrics.json" >&2; exit 1; }
+    sleep 0.05
+done
+curl -sf "$COORD/v1/jobs/$CJID" >"$TMP/job.json"
+WORKER="$(json_path "$TMP/job.json" worker_id)"
+CWANT_SEQ="$(json_path "$TMP/job.json" decision.data.seq_index)"
+CWANT_POS="$(json_path "$TMP/job.json" decision.data.pos)"
+
+# SIGKILL the worker holding the terminated-but-settling search.
+case "$WORKER" in
+w1) kill -9 "$W1PID" ;;
+w2) kill -9 "$W2PID" ;;
+*) echo "job on unknown worker $WORKER" >&2; exit 1 ;;
+esac
+echo "killed worker $WORKER (SIGKILL) after decision harvest"
+
+# The retry must be a no-op: done from the harvested decision, same
+# winner, no re-placement on the surviving worker.
+wait_done "$COORD" "$CJID"
+CGOT_SEQ="$(json_path "$TMP/job.json" search.matches.0.seq_index)"
+CGOT_POS="$(json_path "$TMP/job.json" search.matches.0.pos)"
+CRESUMED="$(json_path "$TMP/job.json" search.resumed_decision)"
+[ "$CGOT_SEQ" = "$CWANT_SEQ" ] && [ "$CGOT_POS" = "$CWANT_POS" ] ||
+    { echo "cluster retry changed the winner: got seq=$CGOT_SEQ pos=$CGOT_POS, want seq=$CWANT_SEQ pos=$CWANT_POS" >&2; exit 1; }
+[ "$CRESUMED" = "True" ] || { echo "cluster job not completed from the decision" >&2; cat "$TMP/job.json" >&2; exit 1; }
+curl -sf "$COORD/metrics" >"$TMP/metrics.json"
+COMPLETIONS="$(json_path "$TMP/metrics.json" decision_completions)"
+RETRIES="$(json_path "$TMP/metrics.json" retries)"
+[ "$COMPLETIONS" -ge 1 ] || { echo "decision_completions=$COMPLETIONS, want >= 1" >&2; exit 1; }
+[ "$RETRIES" = 0 ] || { echo "retries=$RETRIES, want 0 (terminated-search retry must be a no-op)" >&2; exit 1; }
+echo "cluster retry was a no-op: completed from harvested decision (completions=$COMPLETIONS, retries=$RETRIES)"
+
+kill -TERM "$CPID"
+i=0
+while kill -0 "$CPID" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "motifctl did not drain" >&2; cat "$TMP/motifctl.log" >&2; exit 1; }
+    sleep 0.1
+done
+echo "phase B (cluster decision harvest): OK"
+echo "motif jobs smoke: OK"
